@@ -1,0 +1,205 @@
+//! Host-side AES-128 golden model (FIPS-197).
+//!
+//! Used to verify the assembly implementation running on the simulated
+//! CPU, to expand round keys staged into simulator memory, and by the
+//! attack selection functions.
+
+use crate::sbox::SBOX;
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+pub const ROUNDS: usize = 10;
+/// Round-key bytes for AES-128 (11 round keys × 16 bytes).
+pub const ROUND_KEY_BYTES: usize = 16 * (ROUNDS + 1);
+
+/// Multiplication by `x` in GF(2⁸) with the AES polynomial.
+#[inline]
+pub fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// AES-128 key schedule: expands a 16-byte key into 176 round-key bytes.
+pub fn expand_key(key: &[u8; 16]) -> [u8; ROUND_KEY_BYTES] {
+    const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in NK..4 * (ROUNDS + 1) {
+        let mut temp = w[i - 1];
+        if i % NK == 0 {
+            temp.rotate_left(1);
+            for b in &mut temp {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= RCON[i / NK - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - NK][j] ^ temp[j];
+        }
+    }
+    let mut out = [0u8; ROUND_KEY_BYTES];
+    for (i, word) in w.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(word);
+    }
+    out
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+/// Shift row `r` of the column-major state left by `r` positions.
+fn shift_rows(state: &mut [u8; 16]) {
+    let original = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = original[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        let a0 = col[0];
+        let mut i = 0;
+        while i < 4 {
+            let next = if i == 3 { a0 } else { col[i + 1] };
+            col[i] ^= t ^ xtime(col[i] ^ next);
+            i += 1;
+        }
+    }
+}
+
+/// Encrypts one block with AES-128.
+///
+/// ```
+/// let key = [0u8; 16];
+/// let ct = sca_aes::encrypt_block(&key, &[0u8; 16]);
+/// assert_eq!(ct[0], 0x66); // FIPS-197-derived known answer
+/// ```
+pub fn encrypt_block(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    let rk = expand_key(key);
+    encrypt_with_round_keys(&rk, plaintext)
+}
+
+/// Encrypts one block given pre-expanded round keys (as staged into the
+/// simulator's memory).
+pub fn encrypt_with_round_keys(rk: &[u8; ROUND_KEY_BYTES], plaintext: &[u8; 16]) -> [u8; 16] {
+    let mut state = *plaintext;
+    add_round_key(&mut state, &rk[0..16]);
+    for round in 1..ROUNDS {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &rk[16 * round..16 * round + 16]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rk[16 * ROUNDS..]);
+    state
+}
+
+/// The state after round 1's SubBytes for a given key/plaintext — the
+/// intermediate the paper's Figure 3 model targets.
+pub fn round1_subbytes(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    let mut state = *plaintext;
+    let rk = expand_key(key);
+    add_round_key(&mut state, &rk[0..16]);
+    sub_bytes(&mut state);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex("3243f6a8885a308d313198a2e0370734");
+        let ct = encrypt_block(&key, &pt);
+        assert_eq!(ct, hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let ct = encrypt_block(&key, &pt);
+        assert_eq!(ct, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn key_expansion_known_words() {
+        // FIPS-197 Appendix A.1 expansion of the Appendix B key.
+        let rk = expand_key(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        assert_eq!(&rk[16..20], &[0xa0, 0xfa, 0xfe, 0x17], "w[4]");
+        assert_eq!(&rk[172..176], &[0xb6, 0x63, 0x0c, 0xa6], "w[43]");
+    }
+
+    #[test]
+    fn xtime_known_values() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x80), 0x1b);
+        assert_eq!(xtime(0x01), 0x02);
+    }
+
+    #[test]
+    fn round1_subbytes_matches_manual_computation() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex("3243f6a8885a308d313198a2e0370734");
+        let state = round1_subbytes(&key, &pt);
+        for i in 0..16 {
+            assert_eq!(state[i], SBOX[(pt[i] ^ key[i]) as usize]);
+        }
+    }
+
+    #[test]
+    fn encrypt_with_precomputed_keys_matches() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let rk = expand_key(&key);
+        assert_eq!(encrypt_with_round_keys(&rk, &pt), encrypt_block(&key, &pt));
+    }
+
+    #[test]
+    fn shift_rows_geometry() {
+        let mut state = [0u8; 16];
+        for (i, s) in state.iter_mut().enumerate() {
+            *s = i as u8;
+        }
+        shift_rows(&mut state);
+        // Row 0 unchanged, row 1 rotated by 1 column.
+        assert_eq!(state[0], 0);
+        assert_eq!(state[1], 5);
+        assert_eq!(state[2], 10);
+        assert_eq!(state[3], 15);
+        assert_eq!(state[13], 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sca-aes — the attack target
+//!
+//! AES-128 three ways:
+//!
+//! * a host-side golden model ([`encrypt_block`], [`expand_key`]) verified
+//!   against FIPS-197;
+//! * a complete assembly implementation for the simulated superscalar CPU
+//!   ([`AesSim`], [`AES128_ASM`]), structured like the compiled reference
+//!   code the paper attacks — table-based SubBytes (load + store per
+//!   byte), ShiftRows composed with one-byte shifts, MixColumns through a
+//!   non-inlined shift-reduce `xtime` with stack spills;
+//! * the paper's two attack models ([`SubBytesHw`] for Figure 3,
+//!   [`SubBytesStoreHd`] for Figure 4).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attack;
+mod golden;
+mod harness;
+mod models;
+mod sbox;
+
+pub use attack::{recover_full_key, RecoveredKey};
+pub use golden::{
+    encrypt_block, encrypt_with_round_keys, expand_key, round1_subbytes, xtime, ROUNDS,
+    ROUND_KEY_BYTES,
+};
+pub use harness::{aes128_program, AesSim, AES128_ASM, RK_ADDR, SBOX_ADDR, STATE_ADDR};
+pub use models::{SubBytesHw, SubBytesStoreHd};
+pub use sbox::{INV_SBOX, SBOX};

@@ -1,0 +1,90 @@
+//! The paper's attack-side leakage models for AES.
+//!
+//! * Figure 3 (bare metal): Hamming weight of a SubBytes output byte —
+//!   deliberately microarchitecture-*unaware*, yet effective because the
+//!   ALU outputs, MDR and write-back buses all leak HW-shaped signals.
+//! * Figure 4 (loaded Linux): Hamming distance between two consecutively
+//!   stored SubBytes output bytes — the microarchitecture-aware model
+//!   derived from the MDR/align-buffer characterization, which keeps
+//!   working at much lower SNR.
+
+use sca_analysis::SelectionFunction;
+
+use crate::sbox::SBOX;
+
+/// `HW(SBOX[pt[byte] ⊕ k])` — the Figure 3 model.
+#[derive(Clone, Copy, Debug)]
+pub struct SubBytesHw {
+    /// Targeted state byte index (0..16).
+    pub byte: usize,
+}
+
+impl SelectionFunction for SubBytesHw {
+    fn predict(&self, input: &[u8], guess: u8) -> f64 {
+        f64::from(SBOX[(input[self.byte] ^ guess) as usize].count_ones())
+    }
+
+    fn name(&self) -> String {
+        format!("HW(SubBytes(pt[{}] ^ k))", self.byte)
+    }
+}
+
+/// `HD(SBOX[pt[byte-1] ⊕ k_known], SBOX[pt[byte] ⊕ k])` — the Figure 4
+/// model: the Hamming distance between two consecutive SubBytes stores.
+///
+/// The previous byte's key must already be known (recovered first, e.g.
+/// with [`SubBytesHw`]); the attack then proceeds byte-by-byte along the
+/// state, exactly like the store sequence in the implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct SubBytesStoreHd {
+    /// Targeted state byte index (1..16).
+    pub byte: usize,
+    /// Already-recovered key byte at `byte - 1`.
+    pub prev_key: u8,
+}
+
+impl SelectionFunction for SubBytesStoreHd {
+    fn predict(&self, input: &[u8], guess: u8) -> f64 {
+        let prev = SBOX[(input[self.byte - 1] ^ self.prev_key) as usize];
+        let cur = SBOX[(input[self.byte] ^ guess) as usize];
+        f64::from((prev ^ cur).count_ones())
+    }
+
+    fn name(&self) -> String {
+        format!("HD(SubBytes stores {} -> {})", self.byte - 1, self.byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_model_matches_direct_computation() {
+        let model = SubBytesHw { byte: 2 };
+        let mut input = [0u8; 16];
+        input[2] = 0x53;
+        // SBOX[0x53 ^ 0x00] = 0xed -> HW 6
+        assert_eq!(model.predict(&input, 0x00), 6.0);
+        // SBOX[0x53 ^ 0x53] = SBOX[0] = 0x63 -> HW 4
+        assert_eq!(model.predict(&input, 0x53), 4.0);
+    }
+
+    #[test]
+    fn hd_model_uses_both_bytes() {
+        let model = SubBytesStoreHd { byte: 1, prev_key: 0x00 };
+        let mut input = [0u8; 16];
+        input[0] = 0x10;
+        input[1] = 0x20;
+        let expected = f64::from(
+            (SBOX[0x10usize] ^ SBOX[(0x20u8 ^ 0x42) as usize]).count_ones(),
+        );
+        assert_eq!(model.predict(&input, 0x42), expected);
+    }
+
+    #[test]
+    fn names_identify_bytes() {
+        assert!(SubBytesHw { byte: 5 }.name().contains('5'));
+        assert!(SubBytesStoreHd { byte: 3, prev_key: 0 }.name().contains("2 -> 3"));
+    }
+}

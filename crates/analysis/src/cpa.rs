@@ -1,0 +1,280 @@
+//! Correlation Power Analysis.
+//!
+//! For every key-byte guess, correlate the predicted leakage (from a
+//! [`SelectionFunction`]) with the measured traces at every sample point;
+//! the guess whose correlation peaks highest is the attack's key
+//! candidate. This reproduces the attacks of Section 5 of the paper
+//! (Figures 3 and 4).
+
+use crate::{
+    distinguishing_confidence, PearsonAccumulator, SelectionFunction, TraceSet,
+};
+
+/// CPA attack parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CpaConfig {
+    /// Number of key guesses (256 for a key byte).
+    pub guesses: usize,
+    /// Worker threads across guesses.
+    pub threads: usize,
+}
+
+impl CpaConfig {
+    /// One key byte, eight threads.
+    pub fn key_byte() -> CpaConfig {
+        CpaConfig { guesses: 256, threads: 8 }
+    }
+}
+
+impl Default for CpaConfig {
+    fn default() -> CpaConfig {
+        CpaConfig::key_byte()
+    }
+}
+
+/// Result of a CPA attack: the full guess × sample correlation matrix.
+#[derive(Clone, Debug)]
+pub struct CpaResult {
+    guesses: usize,
+    samples: usize,
+    /// Row-major `guess × sample` correlations.
+    corr: Vec<f64>,
+    /// Traces used.
+    n: u64,
+}
+
+impl CpaResult {
+    /// Number of traces the attack consumed.
+    pub fn traces_used(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of samples per trace.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of guesses evaluated.
+    pub fn guesses(&self) -> usize {
+        self.guesses
+    }
+
+    /// Correlation series for one guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guess` is out of range.
+    pub fn series(&self, guess: usize) -> &[f64] {
+        &self.corr[guess * self.samples..(guess + 1) * self.samples]
+    }
+
+    /// Peak absolute correlation of a guess, with its sample index.
+    pub fn peak(&self, guess: usize) -> (usize, f64) {
+        let series = self.series(guess);
+        let mut best = (0usize, 0.0f64);
+        for (i, &r) in series.iter().enumerate() {
+            if r.abs() > best.1.abs() {
+                best = (i, r);
+            }
+        }
+        best
+    }
+
+    /// The guess with the highest peak |correlation|.
+    pub fn best_guess(&self) -> usize {
+        (0..self.guesses)
+            .max_by(|&a, &b| {
+                self.peak(a)
+                    .1
+                    .abs()
+                    .partial_cmp(&self.peak(b).1.abs())
+                    .expect("correlations are finite")
+            })
+            .expect("at least one guess")
+    }
+
+    /// Guesses ordered best-first by peak |correlation|.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.guesses).collect();
+        order.sort_by(|&a, &b| {
+            self.peak(b)
+                .1
+                .abs()
+                .partial_cmp(&self.peak(a).1.abs())
+                .expect("correlations are finite")
+        });
+        order
+    }
+
+    /// Rank of a guess (0 = best) — the key-rank metric.
+    pub fn rank_of(&self, guess: usize) -> usize {
+        self.ranking().iter().position(|&g| g == guess).expect("guess in range")
+    }
+
+    /// Peak |correlation| of the best *wrong* guess, given the correct
+    /// key.
+    pub fn best_wrong_peak(&self, correct: usize) -> f64 {
+        (0..self.guesses)
+            .filter(|&g| g != correct)
+            .map(|g| self.peak(g).1.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Confidence that the correct guess's peak exceeds the best wrong
+    /// guess's — the paper's Figure 4 success criterion (>99%).
+    pub fn success_confidence(&self, correct: usize) -> f64 {
+        let r_correct = self.peak(correct).1.abs();
+        let r_wrong = self.best_wrong_peak(correct);
+        distinguishing_confidence(r_correct, r_wrong, self.n)
+    }
+}
+
+/// Runs a CPA attack over a trace set.
+///
+/// ```no_run
+/// use sca_analysis::{cpa_attack, CpaConfig, FnSelection, hw8};
+/// # let traces = sca_power::TraceSet::new(0);
+/// let model = FnSelection::new("hw(pt ^ k)", |input: &[u8], k: u8| {
+///     f64::from(hw8(input[0] ^ k))
+/// });
+/// let result = cpa_attack(&traces, &model, &CpaConfig::key_byte());
+/// let recovered = result.best_guess();
+/// # let _ = recovered;
+/// ```
+pub fn cpa_attack(
+    traces: &TraceSet,
+    selection: &dyn SelectionFunction,
+    config: &CpaConfig,
+) -> CpaResult {
+    let samples = traces.samples_per_trace();
+    let guesses = config.guesses.max(1);
+    let n = traces.len() as u64;
+    let mut corr = vec![0.0f64; guesses * samples];
+
+    let threads = config.threads.max(1).min(guesses);
+    let chunk = guesses.div_ceil(threads);
+    // Split the output matrix into disjoint per-thread slices.
+    let mut slices: Vec<&mut [f64]> = corr.chunks_mut(chunk * samples).collect();
+    std::thread::scope(|scope| {
+        for (w, slice) in slices.iter_mut().enumerate() {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(guesses);
+            scope.spawn(move || {
+                for guess in lo..hi {
+                    let mut acc = PearsonAccumulator::new(samples);
+                    for (input, trace) in traces.iter() {
+                        acc.add(selection.predict(input, guess as u8), trace);
+                    }
+                    let series = acc.correlations();
+                    let base = (guess - lo) * samples;
+                    slice[base..base + samples].copy_from_slice(&series);
+                }
+            });
+        }
+    });
+
+    CpaResult { guesses, samples, corr, n }
+}
+
+/// Evaluates a single key-less model against the traces, returning its
+/// correlation series — the characterization primitive behind Table 2.
+pub fn model_correlation(traces: &TraceSet, model: &dyn SelectionFunction) -> Vec<f64> {
+    let mut acc = PearsonAccumulator::new(traces.samples_per_trace());
+    for (input, trace) in traces.iter() {
+        acc.add(model.predict(input, 0), trace);
+    }
+    acc.correlations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hw8, FnSelection};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A nonlinear 8-bit permutation (x ↦ x^3-like construction). An
+    /// affine map would create perfectly anticorrelated "ghost" keys and
+    /// make CPA ranks meaningless.
+    fn sbox(x: u8) -> u8 {
+        let y = u32::from(x).wrapping_add(113);
+        let cube = y.wrapping_mul(y).wrapping_mul(y);
+        (cube ^ (cube >> 8) ^ (cube >> 17)) as u8
+    }
+
+    /// Builds a synthetic campaign: power at sample 3 is HW(S(pt ^ key))
+    /// plus noise, other samples are noise.
+    fn synthetic_traces(key: u8, traces: usize, noise_sd: f64) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut set = TraceSet::new(8);
+        for _ in 0..traces {
+            let pt: u8 = rng.gen();
+            let leak = f64::from(hw8(sbox(pt ^ key)));
+            let mut trace = vec![0.0f32; 8];
+            for (i, t) in trace.iter_mut().enumerate() {
+                let noise: f64 = rng.gen_range(-noise_sd..noise_sd);
+                *t = (noise + if i == 3 { leak } else { 0.0 }) as f32;
+            }
+            set.push(trace, vec![pt]);
+        }
+        set
+    }
+
+    fn sbox_model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
+        FnSelection::new("hw(S(pt^k))", |input: &[u8], k: u8| f64::from(hw8(sbox(input[0] ^ k))))
+    }
+
+    #[test]
+    fn recovers_key_from_clean_traces() {
+        let set = synthetic_traces(0x3c, 300, 0.5);
+        let result = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 4 });
+        assert_eq!(result.best_guess(), 0x3c);
+        assert_eq!(result.rank_of(0x3c), 0);
+        let (sample, r) = result.peak(0x3c);
+        assert_eq!(sample, 3, "leak localized at the right instant");
+        assert!(r > 0.9, "peak correlation {r}");
+        assert!(result.success_confidence(0x3c) > 0.99);
+    }
+
+    #[test]
+    fn noisy_traces_need_more_data() {
+        let few = synthetic_traces(0x77, 40, 8.0);
+        let many = synthetic_traces(0x77, 2000, 8.0);
+        let config = CpaConfig { guesses: 256, threads: 4 };
+        let result_many = cpa_attack(&many, &sbox_model(), &config);
+        assert_eq!(result_many.best_guess(), 0x77, "2000 noisy traces suffice");
+        let rank_few = cpa_attack(&few, &sbox_model(), &config).rank_of(0x77);
+        let rank_many = result_many.rank_of(0x77);
+        assert!(rank_many <= rank_few, "more traces cannot hurt the rank");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let set = synthetic_traces(0x11, 200, 1.0);
+        let a = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 1 });
+        let b = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 7 });
+        for g in 0..256 {
+            assert_eq!(a.series(g), b.series(g), "guess {g}");
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let set = synthetic_traces(0x00, 100, 2.0);
+        let result = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 4 });
+        let mut ranking = result.ranking();
+        ranking.sort_unstable();
+        assert_eq!(ranking, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn model_correlation_detects_input_leak() {
+        let set = synthetic_traces(0x00, 400, 0.5);
+        // With key 0, the leak is hw(sbox(pt)).
+        let model =
+            crate::InputModel::new("hw(S(pt))", |input: &[u8]| f64::from(hw8(sbox(input[0]))));
+        let series = model_correlation(&set, &model);
+        assert!(series[3] > 0.9, "corr at leak sample: {}", series[3]);
+        assert!(series[0].abs() < 0.2, "corr elsewhere: {}", series[0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sca-analysis — side-channel attack and assessment statistics
+//!
+//! The analysis layer of the DAC 2018 reproduction: Pearson-correlation
+//! CPA (the paper's distinguisher), the Fisher-z confidence tests behind
+//! its ">99.5% leakage detection" and ">99% key distinguishability"
+//! criteria, plus Welch t-test (TVLA) and SNR assessments.
+//!
+//! * [`pearson`] / [`PearsonAccumulator`] — correlation, one-pass and
+//!   mergeable;
+//! * [`SelectionFunction`] / [`FnSelection`] / [`InputModel`] — attack and
+//!   characterization leakage models;
+//! * [`cpa_attack`] / [`CpaResult`] — the guess × sample correlation
+//!   matrix with ranking and success metrics;
+//! * [`significance_threshold`] / [`distinguishing_confidence`] — the
+//!   paper's statistical criteria;
+//! * [`welch_t`] / [`snr`] — complementary leakage assessments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cpa;
+mod metrics;
+mod models;
+mod pearson;
+mod snr;
+mod stats;
+mod ttest;
+
+pub use cpa::{cpa_attack, model_correlation, CpaConfig, CpaResult};
+pub use metrics::{rank_evolution, traces_to_rank0, RankPoint};
+pub use models::{hd32, hw32, hw8, input_word, FnSelection, InputModel, SelectionFunction};
+pub use pearson::{pearson, PearsonAccumulator};
+pub use snr::snr;
+pub use stats::{
+    correlation_confidence, distinguishing_confidence, fisher_z, normal_cdf, normal_quantile,
+    significance_threshold, significant,
+};
+pub use ttest::{leaks, welch_t, TVLA_THRESHOLD};
+
+// Re-exported so attack code only needs this crate.
+pub use sca_power::TraceSet;

@@ -1,0 +1,180 @@
+//! Attack-effort metrics: how the correct key's rank evolves with the
+//! number of traces.
+//!
+//! The paper reports single operating points (100k traces bare metal,
+//! hundreds of averaged traces under Linux); a library user evaluating a
+//! countermeasure wants the whole curve — "how many traces until rank 0"
+//! is the standard measurement-to-disclosure metric. The evolution is
+//! computed in one streaming pass using mergeable Pearson accumulators.
+
+use crate::{PearsonAccumulator, SelectionFunction, TraceSet};
+
+/// The attack state at one checkpoint of the trace budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankPoint {
+    /// Traces consumed so far.
+    pub traces: usize,
+    /// Rank of the correct key (0 = attack succeeds).
+    pub rank: usize,
+    /// Peak |correlation| of the correct key at this point.
+    pub correct_peak: f64,
+    /// Peak |correlation| of the best wrong guess.
+    pub best_wrong_peak: f64,
+}
+
+/// Computes the correct-key rank at increasing trace counts, in one pass.
+///
+/// `checkpoints` are trace counts at which to snapshot (values larger
+/// than the set are clamped; duplicates and zeros are ignored). Guesses
+/// are `0..=255`.
+///
+/// ```no_run
+/// # use sca_analysis::{rank_evolution, FnSelection};
+/// # let traces = sca_power::TraceSet::new(0);
+/// let model = FnSelection::new("m", |i: &[u8], k: u8| f64::from(i[0] ^ k));
+/// let curve = rank_evolution(&traces, &model, 0x2b, &[50, 100, 200, 400]);
+/// let needed = curve.iter().find(|p| p.rank == 0).map(|p| p.traces);
+/// # let _ = needed;
+/// ```
+pub fn rank_evolution(
+    traces: &TraceSet,
+    selection: &dyn SelectionFunction,
+    correct: u8,
+    checkpoints: &[usize],
+) -> Vec<RankPoint> {
+    let samples = traces.samples_per_trace();
+    let mut accumulators: Vec<PearsonAccumulator> =
+        (0..256).map(|_| PearsonAccumulator::new(samples)).collect();
+
+    let mut points: Vec<usize> = checkpoints
+        .iter()
+        .copied()
+        .map(|c| c.min(traces.len()))
+        .filter(|&c| c > 0)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+
+    let mut out = Vec::with_capacity(points.len());
+    let mut next = points.iter().copied().peekable();
+    for (index, (input, trace)) in traces.iter().enumerate() {
+        // Parallelize the 256 accumulator updates across threads.
+        std::thread::scope(|scope| {
+            let chunk = 64;
+            for (g0, accs) in accumulators.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    for (i, acc) in accs.iter_mut().enumerate() {
+                        let guess = (g0 * chunk + i) as u8;
+                        acc.add(selection.predict(input, guess), trace);
+                    }
+                });
+            }
+        });
+        while next.peek() == Some(&(index + 1)) {
+            let n = next.next().expect("peeked");
+            let peaks: Vec<f64> = accumulators
+                .iter()
+                .map(|acc| {
+                    acc.correlations().iter().fold(0.0f64, |best, &r| best.max(r.abs()))
+                })
+                .collect();
+            let correct_peak = peaks[usize::from(correct)];
+            let rank = peaks.iter().filter(|&&p| p > correct_peak).count();
+            let best_wrong_peak = peaks
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| *g != usize::from(correct))
+                .map(|(_, &p)| p)
+                .fold(0.0, f64::max);
+            out.push(RankPoint { traces: n, rank, correct_peak, best_wrong_peak });
+        }
+    }
+    out
+}
+
+/// The smallest checkpoint at which the attack reaches rank 0 and stays
+/// there for all later checkpoints, if any — the "traces to disclosure"
+/// summary metric.
+pub fn traces_to_rank0(curve: &[RankPoint]) -> Option<usize> {
+    let mut candidate = None;
+    for point in curve {
+        if point.rank == 0 {
+            candidate.get_or_insert(point.traces);
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hw8, FnSelection};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sbox(x: u8) -> u8 {
+        let y = u32::from(x).wrapping_add(113);
+        let cube = y.wrapping_mul(y).wrapping_mul(y);
+        (cube ^ (cube >> 8) ^ (cube >> 17)) as u8
+    }
+
+    fn noisy_traces(key: u8, n: usize, noise: f64) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut set = TraceSet::new(4);
+        for _ in 0..n {
+            let pt: u8 = rng.gen();
+            let leak = f64::from(hw8(sbox(pt ^ key)));
+            let mut t = vec![0.0f32; 4];
+            for (i, v) in t.iter_mut().enumerate() {
+                *v = (rng.gen_range(-noise..noise) + if i == 2 { leak } else { 0.0 }) as f32;
+            }
+            set.push(t, vec![pt]);
+        }
+        set
+    }
+
+    fn model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
+        FnSelection::new("hw(S(pt^k))", |i: &[u8], k: u8| f64::from(hw8(sbox(i[0] ^ k))))
+    }
+
+    #[test]
+    fn rank_improves_with_traces() {
+        let set = noisy_traces(0x42, 600, 6.0);
+        let curve = rank_evolution(&set, &model(), 0x42, &[20, 100, 300, 600]);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve.last().expect("nonempty").rank, 0, "600 traces suffice");
+        // Monotone trace counts; final rank better or equal to earliest.
+        assert!(curve.first().expect("nonempty").rank >= curve.last().expect("nonempty").rank);
+    }
+
+    #[test]
+    fn evolution_matches_full_cpa_at_the_end() {
+        let set = noisy_traces(0x17, 200, 2.0);
+        let curve = rank_evolution(&set, &model(), 0x17, &[200]);
+        let full = crate::cpa_attack(&set, &model(), &crate::CpaConfig { guesses: 256, threads: 4 });
+        assert_eq!(curve[0].rank, full.rank_of(0x17));
+        let (_, peak) = full.peak(0x17);
+        assert!((curve[0].correct_peak - peak.abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_to_rank0_requires_stability() {
+        let curve = vec![
+            RankPoint { traces: 10, rank: 0, correct_peak: 0.5, best_wrong_peak: 0.4 },
+            RankPoint { traces: 20, rank: 3, correct_peak: 0.4, best_wrong_peak: 0.5 },
+            RankPoint { traces: 30, rank: 0, correct_peak: 0.6, best_wrong_peak: 0.3 },
+        ];
+        assert_eq!(traces_to_rank0(&curve), Some(30), "early luck at n=10 does not count");
+        assert_eq!(traces_to_rank0(&[]), None);
+    }
+
+    #[test]
+    fn checkpoints_are_clamped_and_deduped() {
+        let set = noisy_traces(0x01, 50, 1.0);
+        let curve = rank_evolution(&set, &model(), 0x01, &[0, 25, 25, 500]);
+        let ns: Vec<usize> = curve.iter().map(|p| p.traces).collect();
+        assert_eq!(ns, vec![25, 50]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Attack-side leakage models (selection functions).
+//!
+//! A CPA attack predicts, for every key guess, a leakage value from each
+//! trace's public input. The paper uses two such models against AES:
+//! the Hamming weight of a SubBytes output byte (Figure 3) and the
+//! Hamming distance between two consecutively stored SubBytes output
+//! bytes (Figure 4). Those concrete models live in `sca-aes`; this module
+//! defines the trait plus generic combinators so the characterization
+//! tooling can also express per-component models (`rB`, `rB ⊕ rD`, …).
+
+use std::fmt;
+
+/// Predicts a leakage value from a trace's input bytes under a key guess.
+///
+/// Implementations must be `Send + Sync`: attacks evaluate guesses on
+/// worker threads.
+pub trait SelectionFunction: Send + Sync {
+    /// Hypothetical leakage for `input` under `guess`.
+    fn predict(&self, input: &[u8], guess: u8) -> f64;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> String {
+        "selection".to_owned()
+    }
+}
+
+/// Hamming weight of a byte.
+#[inline]
+pub fn hw8(v: u8) -> u32 {
+    v.count_ones()
+}
+
+/// Hamming weight of a 32-bit word.
+#[inline]
+pub fn hw32(v: u32) -> u32 {
+    v.count_ones()
+}
+
+/// Hamming distance between two words.
+#[inline]
+pub fn hd32(a: u32, b: u32) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// A selection function defined by a plain function pointer or closure:
+/// `predict = f(input, guess)`.
+pub struct FnSelection<F> {
+    f: F,
+    name: String,
+}
+
+impl<F> FnSelection<F>
+where
+    F: Fn(&[u8], u8) -> f64 + Send + Sync,
+{
+    /// Wraps a closure as a named selection function.
+    pub fn new(name: impl Into<String>, f: F) -> FnSelection<F> {
+        FnSelection { f, name: name.into() }
+    }
+}
+
+impl<F> SelectionFunction for FnSelection<F>
+where
+    F: Fn(&[u8], u8) -> f64 + Send + Sync,
+{
+    fn predict(&self, input: &[u8], guess: u8) -> f64 {
+        (self.f)(input, guess)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<F> fmt::Debug for FnSelection<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnSelection({})", self.name)
+    }
+}
+
+/// Key-less "model evaluation" used by the leakage characterization: the
+/// Table 2 expressions (`rB`, `rB ⊕ rD`, `rC ≪ n`, …) depend only on the
+/// known random inputs, not on a secret. Wraps a `Fn(&[u8]) -> f64`.
+pub struct InputModel<F> {
+    f: F,
+    name: String,
+}
+
+impl<F> InputModel<F>
+where
+    F: Fn(&[u8]) -> f64 + Send + Sync,
+{
+    /// Wraps a closure as a named input-only model.
+    pub fn new(name: impl Into<String>, f: F) -> InputModel<F> {
+        InputModel { f, name: name.into() }
+    }
+}
+
+impl<F> SelectionFunction for InputModel<F>
+where
+    F: Fn(&[u8]) -> f64 + Send + Sync,
+{
+    fn predict(&self, input: &[u8], _guess: u8) -> f64 {
+        (self.f)(input)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<F> fmt::Debug for InputModel<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InputModel({})", self.name)
+    }
+}
+
+/// Reads the little-endian `u32` at byte offset `4 * word_index` of an
+/// input. Characterization benchmarks serialize their random operands as
+/// consecutive LE words.
+///
+/// # Panics
+///
+/// Panics if the input is too short.
+pub fn input_word(input: &[u8], word_index: usize) -> u32 {
+    let o = word_index * 4;
+    u32::from_le_bytes([input[o], input[o + 1], input[o + 2], input[o + 3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_helpers() {
+        assert_eq!(hw8(0xff), 8);
+        assert_eq!(hw8(0x00), 0);
+        assert_eq!(hw32(0xffff_ffff), 32);
+        assert_eq!(hd32(0b1010, 0b0101), 4);
+        assert_eq!(hd32(7, 7), 0);
+    }
+
+    #[test]
+    fn fn_selection_applies_guess() {
+        let sel = FnSelection::new("pt^k", |input: &[u8], k: u8| f64::from(hw8(input[0] ^ k)));
+        assert_eq!(sel.predict(&[0x0f], 0xf0), 8.0);
+        assert_eq!(sel.predict(&[0x0f], 0x0f), 0.0);
+        assert_eq!(sel.name(), "pt^k");
+    }
+
+    #[test]
+    fn input_model_ignores_guess() {
+        let m = InputModel::new("hw(w0)", |input: &[u8]| f64::from(hw32(input_word(input, 0))));
+        let bytes = 0xff00_00ffu32.to_le_bytes();
+        assert_eq!(m.predict(&bytes, 0), 16.0);
+        assert_eq!(m.predict(&bytes, 255), 16.0);
+    }
+
+    #[test]
+    fn input_word_extracts_le() {
+        let mut input = Vec::new();
+        input.extend(0x1122_3344u32.to_le_bytes());
+        input.extend(0xaabb_ccddu32.to_le_bytes());
+        assert_eq!(input_word(&input, 0), 0x1122_3344);
+        assert_eq!(input_word(&input, 1), 0xaabb_ccdd);
+    }
+}

@@ -1,0 +1,219 @@
+//! Pearson correlation, plain and streaming.
+//!
+//! Pearson's correlation coefficient between a predicted leakage and the
+//! measured power is the paper's side-channel distinguisher (after
+//! Bruneau et al., cited as [9] there).
+
+/// Pearson correlation of two equal-length series.
+///
+/// Returns 0 when either series has zero variance (a flat prediction
+/// cannot correlate with anything — and, for an attack, should not).
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((sca_analysis::pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    let n = x.len() as f64;
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Streaming correlation of one predictor against many sample points.
+///
+/// Accumulates raw moments so traces can be fed one at a time (or merged
+/// across threads) without holding the whole matrix; correlations are
+/// extracted at the end. This is the standard one-pass CPA layout.
+#[derive(Clone, Debug)]
+pub struct PearsonAccumulator {
+    n: u64,
+    sum_x: f64,
+    sum_xx: f64,
+    sum_y: Vec<f64>,
+    sum_yy: Vec<f64>,
+    sum_xy: Vec<f64>,
+}
+
+impl PearsonAccumulator {
+    /// Creates an accumulator for `samples` trace points.
+    pub fn new(samples: usize) -> PearsonAccumulator {
+        PearsonAccumulator {
+            n: 0,
+            sum_x: 0.0,
+            sum_xx: 0.0,
+            sum_y: vec![0.0; samples],
+            sum_yy: vec![0.0; samples],
+            sum_xy: vec![0.0; samples],
+        }
+    }
+
+    /// Number of observations added.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether any observation was added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds one observation: predictor value `x` and its trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` length differs from the accumulator width.
+    pub fn add(&mut self, x: f64, trace: &[f32]) {
+        assert_eq!(trace.len(), self.sum_y.len(), "trace width mismatch");
+        self.n += 1;
+        self.sum_x += x;
+        self.sum_xx += x * x;
+        for (i, &y) in trace.iter().enumerate() {
+            let y = f64::from(y);
+            self.sum_y[i] += y;
+            self.sum_yy[i] += y * y;
+            self.sum_xy[i] += x * y;
+        }
+    }
+
+    /// Merges another accumulator (e.g. from a worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn merge(&mut self, other: &PearsonAccumulator) {
+        assert_eq!(self.sum_y.len(), other.sum_y.len(), "width mismatch");
+        self.n += other.n;
+        self.sum_x += other.sum_x;
+        self.sum_xx += other.sum_xx;
+        for i in 0..self.sum_y.len() {
+            self.sum_y[i] += other.sum_y[i];
+            self.sum_yy[i] += other.sum_yy[i];
+            self.sum_xy[i] += other.sum_xy[i];
+        }
+    }
+
+    /// Correlation at every sample point.
+    pub fn correlations(&self) -> Vec<f64> {
+        let n = self.n as f64;
+        if self.n < 2 {
+            return vec![0.0; self.sum_y.len()];
+        }
+        let var_x = self.sum_xx - self.sum_x * self.sum_x / n;
+        self.sum_y
+            .iter()
+            .zip(&self.sum_yy)
+            .zip(&self.sum_xy)
+            .map(|((&sy, &syy), &sxy)| {
+                let var_y = syy - sy * sy / n;
+                let cov = sxy - self.sum_x * sy / n;
+                if var_x <= 0.0 || var_y <= 0.0 {
+                    0.0
+                } else {
+                    cov / (var_x.sqrt() * var_y.sqrt())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverse_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_is_small() {
+        // Deterministic pseudo-random-ish sequences.
+        let x: Vec<f64> = (0..1000).map(|i| f64::from((i * 7919) % 101)).collect();
+        let y: Vec<f64> = (0..1000).map(|i| f64::from((i * 104729) % 97)).collect();
+        assert!(pearson(&x, &y).abs() < 0.1);
+    }
+
+    #[test]
+    fn accumulator_matches_direct_computation() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let traces: Vec<Vec<f32>> = vec![
+            vec![1.0, 9.0],
+            vec![4.5, 2.0],
+            vec![2.0, 7.0],
+            vec![8.5, 1.0],
+            vec![5.0, 4.0],
+        ];
+        let mut acc = PearsonAccumulator::new(2);
+        for (x, t) in xs.iter().zip(&traces) {
+            acc.add(*x, t);
+        }
+        let corr = acc.correlations();
+        for s in 0..2 {
+            let ys: Vec<f64> = traces.iter().map(|t| f64::from(t[s])).collect();
+            let direct = pearson(&xs, &ys);
+            assert!((corr[s] - direct).abs() < 1e-12, "sample {s}: {} vs {direct}", corr[s]);
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..20).map(|i| f64::from(i % 7)).collect();
+        let traces: Vec<Vec<f32>> = (0..20).map(|i| vec![(i as f32).sin(), (i as f32) * 0.5]).collect();
+        let mut whole = PearsonAccumulator::new(2);
+        let mut left = PearsonAccumulator::new(2);
+        let mut right = PearsonAccumulator::new(2);
+        for (i, (x, t)) in xs.iter().zip(&traces).enumerate() {
+            whole.add(*x, t);
+            if i < 10 {
+                left.add(*x, t)
+            } else {
+                right.add(*x, t)
+            }
+        }
+        left.merge(&right);
+        let a = whole.correlations();
+        let b = left.correlations();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn too_few_observations_yield_zero() {
+        let mut acc = PearsonAccumulator::new(1);
+        assert_eq!(acc.correlations(), vec![0.0]);
+        acc.add(1.0, &[2.0]);
+        assert_eq!(acc.correlations(), vec![0.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Signal-to-noise ratio of a labeled trace set.
+//!
+//! SNR = Var(signal) / E(noise variance), where the signal is the
+//! class-conditional mean. Complements Pearson correlation for judging
+//! how exploitable a leak is at each sample point.
+
+use std::collections::BTreeMap;
+
+use crate::TraceSet;
+
+/// Per-sample SNR for traces labeled by `label(input)`.
+///
+/// Classes with a single trace contribute no noise estimate; if all
+/// classes are singletons the SNR is reported as 0.
+pub fn snr<L>(traces: &TraceSet, label: L) -> Vec<f64>
+where
+    L: Fn(&[u8]) -> u64,
+{
+    let width = traces.samples_per_trace();
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for i in 0..traces.len() {
+        groups.entry(label(traces.input(i))).or_default().push(i);
+    }
+
+    // Per-class means.
+    let mut class_means: Vec<Vec<f64>> = Vec::with_capacity(groups.len());
+    let mut class_sizes: Vec<usize> = Vec::with_capacity(groups.len());
+    for members in groups.values() {
+        let mut mean = vec![0.0f64; width];
+        for &i in members {
+            for (m, &s) in mean.iter_mut().zip(traces.trace(i)) {
+                *m += f64::from(s);
+            }
+        }
+        for m in &mut mean {
+            *m /= members.len() as f64;
+        }
+        class_means.push(mean);
+        class_sizes.push(members.len());
+    }
+
+    // Signal variance: variance of class means (weighted by class size).
+    let total: usize = class_sizes.iter().sum();
+    let mut grand = vec![0.0f64; width];
+    for (mean, &size) in class_means.iter().zip(&class_sizes) {
+        for (g, m) in grand.iter_mut().zip(mean) {
+            *g += m * size as f64;
+        }
+    }
+    for g in &mut grand {
+        *g /= total as f64;
+    }
+    let mut signal_var = vec![0.0f64; width];
+    for (mean, &size) in class_means.iter().zip(&class_sizes) {
+        for ((sv, m), g) in signal_var.iter_mut().zip(mean).zip(&grand) {
+            let d = m - g;
+            *sv += d * d * size as f64;
+        }
+    }
+    for sv in &mut signal_var {
+        *sv /= total as f64;
+    }
+
+    // Noise: within-class variance, averaged.
+    let mut noise_var = vec![0.0f64; width];
+    let mut noise_obs = 0usize;
+    for (members, mean) in groups.values().zip(&class_means) {
+        if members.len() < 2 {
+            continue;
+        }
+        for &i in members {
+            for ((nv, &s), m) in noise_var.iter_mut().zip(traces.trace(i)).zip(mean) {
+                let d = f64::from(s) - m;
+                *nv += d * d;
+            }
+        }
+        noise_obs += members.len();
+    }
+    if noise_obs == 0 {
+        return vec![0.0; width];
+    }
+    for nv in &mut noise_var {
+        *nv /= noise_obs as f64;
+    }
+
+    signal_var
+        .iter()
+        .zip(&noise_var)
+        .map(|(&s, &n)| if n <= 0.0 { 0.0 } else { s / n })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn snr_peaks_where_signal_lives() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut set = TraceSet::new(3);
+        for _ in 0..600 {
+            let class: u8 = rng.gen_range(0..4);
+            let mut t = vec![0.0f32; 3];
+            for (i, v) in t.iter_mut().enumerate() {
+                *v = rng.gen_range(-0.5..0.5) + if i == 1 { f32::from(class) * 2.0 } else { 0.0 };
+            }
+            set.push(t, vec![class]);
+        }
+        let series = snr(&set, |input| u64::from(input[0]));
+        assert!(series[1] > 10.0, "SNR at signal: {}", series[1]);
+        assert!(series[0] < 0.5, "SNR at noise: {}", series[0]);
+        assert!(series[2] < 0.5);
+    }
+
+    #[test]
+    fn pure_noise_has_low_snr() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut set = TraceSet::new(2);
+        for _ in 0..400 {
+            let class: u8 = rng.gen_range(0..2);
+            set.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], vec![class]);
+        }
+        let series = snr(&set, |input| u64::from(input[0]));
+        assert!(series.iter().all(|&s| s < 0.2), "{series:?}");
+    }
+
+    #[test]
+    fn singleton_classes_degrade_gracefully() {
+        let mut set = TraceSet::new(1);
+        set.push(vec![1.0], vec![0]);
+        set.push(vec![2.0], vec![1]);
+        assert_eq!(snr(&set, |input| u64::from(input[0])), vec![0.0]);
+    }
+}

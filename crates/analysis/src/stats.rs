@@ -1,0 +1,197 @@
+//! Statistical significance machinery.
+//!
+//! The paper declares a leakage present "whenever its power model
+//! reported, in the correct clock cycle, a correlation distinguishable
+//! from zero with a statistical confidence >99.5%", and declares the
+//! Figure 4 attack successful because "the correct key is distinguishable
+//! from the best wrong guess with a statistical confidence >99%". Both
+//! tests live here, built on the Fisher z-transform of the correlation
+//! coefficient.
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9 — far below anything these
+/// confidence tests need).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 on `erf`, |error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+    let erf = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x / 2.0).exp();
+    if x >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    }
+}
+
+/// Fisher z-transform of a correlation coefficient.
+pub fn fisher_z(r: f64) -> f64 {
+    r.clamp(-0.999_999, 0.999_999).atanh()
+}
+
+/// The smallest |r| that is distinguishable from zero with two-sided
+/// `confidence` given `n` observations.
+///
+/// ```
+/// // With 100k traces (the paper's Table 2 campaigns), even tiny
+/// // correlations are significant:
+/// let r = sca_analysis::significance_threshold(100_000, 0.995);
+/// assert!(r < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `confidence` is not in `(0, 1)`.
+pub fn significance_threshold(n: u64, confidence: f64) -> f64 {
+    assert!(n >= 4, "need at least 4 observations");
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    (z / ((n as f64) - 3.0).sqrt()).tanh()
+}
+
+/// Two-sided confidence that a sample correlation `r` over `n`
+/// observations reflects a non-zero true correlation.
+pub fn correlation_confidence(r: f64, n: u64) -> f64 {
+    if n < 4 {
+        return 0.0;
+    }
+    let z = fisher_z(r).abs() * ((n as f64) - 3.0).sqrt();
+    2.0 * normal_cdf(z) - 1.0
+}
+
+/// Whether `r` is distinguishable from zero at the given confidence —
+/// the paper's leakage-detection criterion (it uses 99.5%).
+pub fn significant(r: f64, n: u64, confidence: f64) -> bool {
+    n >= 4 && r.abs() >= significance_threshold(n, confidence)
+}
+
+/// One-sided confidence that the true correlation behind `r_best` exceeds
+/// the one behind `r_second` (independent-sample approximation on the
+/// Fisher z scale) — the paper's key-recovery success criterion
+/// (it uses 99% between the correct key and the best wrong guess).
+pub fn distinguishing_confidence(r_best: f64, r_second: f64, n: u64) -> f64 {
+    if n < 4 {
+        return 0.0;
+    }
+    let dz = fisher_z(r_best) - fisher_z(r_second);
+    let se = (2.0 / ((n as f64) - 3.0)).sqrt();
+    normal_cdf(dz / se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_round_trips_cdf() {
+        for p in [0.001, 0.01, 0.25, 0.5, 0.75, 0.995, 0.9995] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-5, "p={p}");
+        }
+    }
+
+    #[test]
+    fn known_quantiles() {
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575_829).abs() < 1e-4);
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_shrinks_with_traces() {
+        let small = significance_threshold(100, 0.995);
+        let large = significance_threshold(100_000, 0.995);
+        assert!(large < small);
+        assert!(small < 0.3);
+        assert!(large < 0.01);
+    }
+
+    #[test]
+    fn significance_consistency() {
+        let n = 1000;
+        let thr = significance_threshold(n, 0.995);
+        assert!(significant(thr * 1.01, n, 0.995));
+        assert!(!significant(thr * 0.99, n, 0.995));
+        assert!(significant(-thr * 1.2, n, 0.995), "two-sided");
+        // Confidence at the threshold is the threshold confidence.
+        let c = correlation_confidence(thr, n);
+        assert!((c - 0.995).abs() < 1e-3, "confidence {c}");
+    }
+
+    #[test]
+    fn distinguishing_confidence_behaviour() {
+        // Clearly separated correlations with plenty of traces.
+        assert!(distinguishing_confidence(0.3, 0.05, 10_000) > 0.999);
+        // Equal correlations: 50/50.
+        let c = distinguishing_confidence(0.1, 0.1, 10_000);
+        assert!((c - 0.5).abs() < 1e-9);
+        // Reversed order: below half.
+        assert!(distinguishing_confidence(0.05, 0.3, 10_000) < 0.001);
+        // The paper's Figure 4 regime: ~0.02 peak over ~100 averaged
+        // traces... distinguishability there relies on the margin; verify
+        // monotonicity in n.
+        let few = distinguishing_confidence(0.25, 0.02, 100);
+        let many = distinguishing_confidence(0.25, 0.02, 1000);
+        assert!(many > few);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn threshold_requires_observations() {
+        significance_threshold(3, 0.99);
+    }
+}

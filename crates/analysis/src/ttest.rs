@@ -1,0 +1,112 @@
+//! Welch's t-test (TVLA-style leakage assessment).
+//!
+//! A complement to the paper's correlation-based detection: fixed-vs-
+//! random trace populations are compared point-wise; |t| > 4.5 is the
+//! conventional leakage-assessment threshold.
+
+use crate::TraceSet;
+
+/// Point-wise Welch t statistics between two trace populations.
+///
+/// Shorter of the two widths is used; populations need not be equal size.
+///
+/// # Panics
+///
+/// Panics if either set has fewer than two traces.
+pub fn welch_t(a: &TraceSet, b: &TraceSet) -> Vec<f64> {
+    assert!(a.len() >= 2 && b.len() >= 2, "need at least two traces per population");
+    let width = a.samples_per_trace().min(b.samples_per_trace());
+    let stats = |set: &TraceSet| -> (Vec<f64>, Vec<f64>) {
+        let n = set.len() as f64;
+        let mut mean = vec![0.0f64; width];
+        for i in 0..set.len() {
+            for (m, &s) in mean.iter_mut().zip(set.trace(i)) {
+                *m += f64::from(s);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; width];
+        for i in 0..set.len() {
+            for ((v, &s), m) in var.iter_mut().zip(set.trace(i)).zip(&mean) {
+                let d = f64::from(s) - m;
+                *v += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n - 1.0;
+        }
+        (mean, var)
+    };
+    let (mean_a, var_a) = stats(a);
+    let (mean_b, var_b) = stats(b);
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    (0..width)
+        .map(|i| {
+            let se = (var_a[i] / na + var_b[i] / nb).sqrt();
+            if se == 0.0 {
+                0.0
+            } else {
+                (mean_a[i] - mean_b[i]) / se
+            }
+        })
+        .collect()
+}
+
+/// The conventional TVLA detection threshold.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// Whether any sample's |t| crosses the TVLA threshold.
+pub fn leaks(a: &TraceSet, b: &TraceSet) -> bool {
+    welch_t(a, b).iter().any(|t| t.abs() > TVLA_THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn population(mean_at_2: f32, n: usize, seed: u64) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = TraceSet::new(4);
+        for _ in 0..n {
+            let mut t = vec![0.0f32; 4];
+            for (i, v) in t.iter_mut().enumerate() {
+                *v = rng.gen_range(-1.0..1.0) + if i == 2 { mean_at_2 } else { 0.0 };
+            }
+            set.push(t, vec![]);
+        }
+        set
+    }
+
+    #[test]
+    fn detects_mean_difference() {
+        let a = population(3.0, 200, 1);
+        let b = population(0.0, 200, 2);
+        let t = welch_t(&a, &b);
+        assert!(t[2] > TVLA_THRESHOLD, "t at leaking sample: {}", t[2]);
+        assert!(t[0].abs() < TVLA_THRESHOLD, "t elsewhere: {}", t[0]);
+        assert!(leaks(&a, &b));
+    }
+
+    #[test]
+    fn identical_populations_do_not_leak() {
+        let a = population(0.0, 200, 3);
+        let b = population(0.0, 200, 4);
+        assert!(!leaks(&a, &b));
+    }
+
+    #[test]
+    fn zero_variance_yields_zero_t() {
+        let mut a = TraceSet::new(1);
+        a.push(vec![1.0], vec![]);
+        a.push(vec![1.0], vec![]);
+        let mut b = TraceSet::new(1);
+        b.push(vec![1.0], vec![]);
+        b.push(vec![1.0], vec![]);
+        assert_eq!(welch_t(&a, &b), vec![0.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Analysis-layer benchmarks: Pearson accumulation and a full 256-guess
+//! CPA — the statistical kernels behind Figures 3 and 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sca_analysis::{cpa_attack, CpaConfig, FnSelection, PearsonAccumulator, TraceSet};
+
+fn synthetic_traces(traces: usize, samples: usize) -> TraceSet {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut set = TraceSet::new(samples);
+    for _ in 0..traces {
+        let pt: u8 = rng.gen();
+        let mut trace = vec![0.0f32; samples];
+        for (i, t) in trace.iter_mut().enumerate() {
+            *t = rng.gen_range(-1.0..1.0)
+                + if i == samples / 2 { f32::from((pt ^ 0x3c).count_ones() as u8) } else { 0.0 };
+        }
+        set.push(trace, vec![pt]);
+    }
+    set
+}
+
+fn bench_pearson_accumulator(c: &mut Criterion) {
+    let set = synthetic_traces(500, 500);
+    c.bench_function("analysis/pearson_500x500", |b| {
+        b.iter(|| {
+            let mut acc = PearsonAccumulator::new(set.samples_per_trace());
+            for (input, trace) in set.iter() {
+                acc.add(f64::from(input[0]), trace);
+            }
+            std::hint::black_box(acc.correlations())
+        });
+    });
+}
+
+fn bench_cpa(c: &mut Criterion) {
+    let set = synthetic_traces(300, 400);
+    let model = FnSelection::new("hw", |input: &[u8], k: u8| {
+        f64::from((input[0] ^ k).count_ones())
+    });
+    c.bench_function("figure3/cpa_256_guesses_300x400", |b| {
+        b.iter(|| {
+            std::hint::black_box(cpa_attack(
+                &set,
+                &model,
+                &CpaConfig { guesses: 256, threads: 8 },
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pearson_accumulator, bench_cpa
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! End-to-end experiment kernels at reduced scale — one Criterion target
+//! per paper artifact (Table 1, Figure 2, Table 2, Figure 3, Figure 4).
+//! Full-scale regeneration lives in the `sca-bench` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sca_bench::{run_figure3, run_figure4, Figure3Config, Figure4Config};
+use sca_core::{
+    measure_cpi, run_benchmark, table2_benchmarks, CharacterizationConfig, CpiBenchmark,
+    PipelineHypothesis,
+};
+use sca_isa::InsnClass;
+use sca_power::GaussianNoise;
+use sca_uarch::UarchConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = UarchConfig::cortex_a7().with_ideal_memory();
+    c.bench_function("table1/alu_aluimm_pair", |b| {
+        let bench = CpiBenchmark::hazard_free(InsnClass::Alu, InsnClass::AluImm);
+        b.iter(|| std::hint::black_box(measure_cpi(&bench, &config).expect("measures")));
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let config = UarchConfig::cortex_a7().with_ideal_memory();
+    c.bench_function("figure2/pipeline_inference", |b| {
+        b.iter(|| std::hint::black_box(PipelineHypothesis::infer(&config).expect("infers")));
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let uarch = UarchConfig::cortex_a7().with_ideal_memory();
+    let benchmarks = table2_benchmarks();
+    let config = CharacterizationConfig {
+        traces: 80,
+        executions_per_trace: 1,
+        noise: GaussianNoise { sd: 2.0, baseline: 5.0 },
+        threads: 4,
+        ..CharacterizationConfig::default()
+    };
+    c.bench_function("table2/row1_characterization_80_traces", |b| {
+        b.iter(|| std::hint::black_box(run_benchmark(&benchmarks[0], &uarch, &config).expect("runs")));
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let config = Figure3Config {
+        traces: 40,
+        executions_per_trace: 1,
+        threads: 8,
+        ..Figure3Config::default()
+    };
+    c.bench_function("figure3/cpa_aes_40_traces", |b| {
+        b.iter(|| std::hint::black_box(run_figure3(&config).expect("runs")));
+    });
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let config = Figure4Config {
+        traces: 30,
+        executions_per_trace: 2,
+        threads: 8,
+        ..Figure4Config::default()
+    };
+    c.bench_function("figure4/cpa_aes_linux_30_traces", |b| {
+        b.iter(|| std::hint::black_box(run_figure4(&config).expect("runs")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_figure2, bench_table2, bench_figure3, bench_figure4
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Substrate benchmarks: how fast the cycle-level CPU simulates, and the
+//! cost of one CPI micro-benchmark measurement (the kernel behind
+//! Table 1 and Figure 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sca_aes::AesSim;
+use sca_core::{measure_cpi, CpiBenchmark};
+use sca_isa::{assemble, InsnClass};
+use sca_uarch::{Cpu, NullObserver, UarchConfig};
+
+fn bench_aes_encrypt(c: &mut Criterion) {
+    let key = [0x5au8; 16];
+    let sim = AesSim::new(UarchConfig::cortex_a7(), &key).expect("AES sim builds");
+    c.bench_function("simulator/aes128_encrypt", |b| {
+        let mut sim = sim.clone();
+        let mut pt = [0u8; 16];
+        b.iter(|| {
+            pt[0] = pt[0].wrapping_add(1);
+            std::hint::black_box(sim.encrypt(&pt).expect("encrypts"));
+        });
+    });
+}
+
+fn bench_cycle_throughput(c: &mut Criterion) {
+    let program = assemble(
+        "
+        mov r0, #200
+loop:   add r1, r2, r3
+        add r4, r5, #7
+        subs r0, r0, #1
+        bne loop
+        halt
+    ",
+    )
+    .expect("assembles");
+    c.bench_function("simulator/alu_loop_800_insns", |b| {
+        let mut cpu = Cpu::new(UarchConfig::cortex_a7().with_ideal_memory());
+        cpu.load(&program).expect("loads");
+        b.iter(|| {
+            cpu.restart(0);
+            std::hint::black_box(cpu.run(&mut NullObserver).expect("runs"));
+        });
+    });
+}
+
+fn bench_cpi_measurement(c: &mut Criterion) {
+    let config = UarchConfig::cortex_a7().with_ideal_memory();
+    let bench = CpiBenchmark::hazard_free(InsnClass::Mov, InsnClass::Mov);
+    c.bench_function("table1/one_pair_cpi_measurement", |b| {
+        b.iter(|| std::hint::black_box(measure_cpi(&bench, &config).expect("measures")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aes_encrypt, bench_cycle_throughput, bench_cpi_measurement
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Minimal command-line parsing shared by the regeneration binaries.
+
+/// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--full`.
+///
+/// `--full` raises trace counts to the paper's scale (100k traces for
+/// the characterizations, Figure 3); without it the defaults are sized
+/// for a quick run with the same qualitative outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct CommonArgs {
+    /// Trace count override.
+    pub traces: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Paper-scale campaign.
+    pub full: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> CommonArgs {
+        CommonArgs { traces: None, seed: 0xdac_2018, threads: 8, full: false }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> CommonArgs {
+        let mut out = CommonArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--traces" => {
+                    out.traces = args.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        out.threads = v;
+                    }
+                }
+                "--full" => out.full = true,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Picks the trace count: explicit override, else `full_default` when
+    /// `--full`, else `quick_default`.
+    pub fn trace_count(&self, quick_default: usize, full_default: usize) -> usize {
+        self.traces.unwrap_or(if self.full { full_default } else { quick_default })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_count_precedence() {
+        let mut args = CommonArgs::default();
+        assert_eq!(args.trace_count(100, 100_000), 100);
+        args.full = true;
+        assert_eq!(args.trace_count(100, 100_000), 100_000);
+        args.traces = Some(42);
+        assert_eq!(args.trace_count(100, 100_000), 42);
+    }
+}

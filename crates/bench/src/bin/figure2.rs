@@ -1,0 +1,19 @@
+//! Regenerates Figure 2: the pipeline structure deduced from CPI data.
+//!
+//! Usage: `cargo run --release -p sca-bench --bin figure2`
+
+use sca_core::PipelineHypothesis;
+use sca_uarch::UarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 2 — pipeline structure deduced from timing alone\n");
+    let hypothesis = PipelineHypothesis::infer(&UarchConfig::cortex_a7())?;
+    println!("{hypothesis}\n");
+    let expected = PipelineHypothesis::cortex_a7_expected();
+    if hypothesis == expected {
+        println!("Deduction matches the paper's Figure 2 structure exactly.");
+    } else {
+        println!("Deviation from the paper's structure:\n  measured {hypothesis:?}\n  paper    {expected:?}");
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: per-component leakage characterization of the
+//! seven micro-benchmarks.
+//!
+//! Usage: `cargo run --release -p sca-bench --bin table2 [--traces N] [--full]`
+
+use sca_bench::CommonArgs;
+use sca_core::{characterize, CharacterizationConfig};
+use sca_uarch::UarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse();
+    let config = CharacterizationConfig {
+        traces: args.trace_count(4000, 100_000),
+        executions_per_trace: if args.full { 16 } else { 4 },
+        threads: args.threads,
+        seed: args.seed,
+        ..CharacterizationConfig::default()
+    };
+    println!(
+        "Table 2 — leakage characterization ({} traces x {} averaged executions per benchmark)\n",
+        config.traces, config.executions_per_trace
+    );
+    let report = characterize(&UarchConfig::cortex_a7(), &config)?;
+    println!("{}", report.render());
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # sca-bench — experiment drivers and regeneration harness
+//!
+//! One driver per table/figure of the paper, shared between the
+//! regeneration binaries (`cargo run -p sca-bench --bin table1` etc.) and
+//! the Criterion benches. Each driver returns a structured result so
+//! integration tests can assert the paper's qualitative findings — who
+//! leaks, where, and whether the attacks succeed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod figure3;
+pub mod figure4;
+pub mod plot;
+
+pub use args::CommonArgs;
+pub use figure3::{run_figure3, Figure3Config, Figure3Result, PhaseRegion};
+pub use figure4::{run_figure4, Figure4Config, Figure4Result};

@@ -1,0 +1,87 @@
+//! Terminal plotting for the figure reproductions.
+
+/// Renders a series as a fixed-height ASCII plot with a y-axis in the
+/// data's units and an x-axis in the given unit label.
+pub fn ascii_plot(series: &[f64], height: usize, width: usize, x_label: &str, x_scale: f64) -> String {
+    if series.is_empty() || height == 0 || width == 0 {
+        return String::new();
+    }
+    let max = series.iter().copied().fold(f64::MIN, f64::max);
+    let min = series.iter().copied().fold(f64::MAX, f64::min).min(0.0);
+    let span = (max - min).max(1e-12);
+    // Downsample to `width` columns, keeping each column's extreme value.
+    let bucket = series.len().div_ceil(width);
+    let columns: Vec<f64> = series
+        .chunks(bucket)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .copied()
+                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let mut out = String::new();
+    for row in 0..height {
+        let level = max - span * row as f64 / (height - 1).max(1) as f64;
+        let cell = span / (height - 1).max(1) as f64;
+        out.push_str(&format!("{level:+8.3} |"));
+        for &v in &columns {
+            out.push(if (v - level).abs() <= cell / 2.0 {
+                '*'
+            } else if v > level && level > 0.0 && v > 0.0 {
+                '.'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("         +{}\n", "-".repeat(columns.len())));
+    out.push_str(&format!(
+        "          0{}{:.2} {x_label}\n",
+        " ".repeat(columns.len().saturating_sub(12)),
+        series.len() as f64 * x_scale
+    ));
+    out
+}
+
+/// Renders series values as a two-column table (x, y), decimated to at
+/// most `rows` rows — the machine-readable companion to the plot.
+pub fn series_table(series: &[f64], rows: usize, x_scale: f64, x_label: &str, y_label: &str) -> String {
+    let mut out = format!("{x_label:>12} {y_label:>12}\n");
+    if series.is_empty() {
+        return out;
+    }
+    let step = series.len().div_ceil(rows.max(1)).max(1);
+    for (i, &v) in series.iter().enumerate().step_by(step) {
+        out.push_str(&format!("{:>12.4} {v:>12.5}\n", i as f64 * x_scale));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_is_nonempty_and_peaks_marked() {
+        let mut series = vec![0.0; 100];
+        series[50] = 1.0;
+        let plot = ascii_plot(&series, 8, 60, "us", 0.01);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("us"));
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        assert!(ascii_plot(&[], 5, 10, "x", 1.0).is_empty());
+    }
+
+    #[test]
+    fn table_decimates() {
+        let series: Vec<f64> = (0..1000).map(f64::from).collect();
+        let table = series_table(&series, 10, 1.0, "t", "v");
+        assert!(table.lines().count() <= 12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Microarchitecture inference from CPI data (Sections 3.2 of the paper,
+//! producing Table 1 and the Figure 2 pipeline hypothesis).
+//!
+//! "To the best of our knowledge, this is the first time CPI data are
+//! employed to deduce the microarchitecture of a CPU" — this module is
+//! that method, executable: it measures every class-pair CPI on a given
+//! [`UarchConfig`] and derives the dual-issue matrix, the number and
+//! asymmetry of the ALUs, the register-file port counts, and the
+//! pipelining of the multi-cycle units, with the same chain of deductions
+//! the paper spells out.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sca_isa::InsnClass;
+use sca_uarch::{UarchConfig, UarchError};
+
+use crate::{measure_cpi, CpiBenchmark};
+
+/// The measured dual-issue matrix — the reproduction of Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DualIssueMap {
+    /// CPI per (older, younger) class pair, in [`InsnClass::TABLE1`] order.
+    pub cpi: [[f64; 7]; 7],
+}
+
+impl DualIssueMap {
+    /// Measures every Table 1 class pair on a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn measure(config: &UarchConfig) -> Result<DualIssueMap, UarchError> {
+        let mut cpi = [[0.0f64; 7]; 7];
+        for (i, older) in InsnClass::TABLE1.into_iter().enumerate() {
+            for (j, younger) in InsnClass::TABLE1.into_iter().enumerate() {
+                let bench = CpiBenchmark::hazard_free(older, younger);
+                cpi[i][j] = measure_cpi(&bench, config)?.cpi;
+            }
+        }
+        Ok(DualIssueMap { cpi })
+    }
+
+    /// Whether the pair dual-issued (CPI ≈ 0.5).
+    pub fn dual_issued(&self, older: InsnClass, younger: InsnClass) -> bool {
+        let i = InsnClass::TABLE1.iter().position(|&c| c == older).expect("table1 class");
+        let j = InsnClass::TABLE1.iter().position(|&c| c == younger).expect("table1 class");
+        self.cpi[i][j] < 0.75
+    }
+
+    /// Renders the matrix in the paper's Table 1 layout (✓/✗).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<12}", ""));
+        for younger in InsnClass::TABLE1 {
+            out.push_str(&format!("{:>12}", younger.label()));
+        }
+        out.push('\n');
+        for (i, older) in InsnClass::TABLE1.into_iter().enumerate() {
+            out.push_str(&format!("{:<12}", older.label()));
+            for j in 0..7 {
+                let mark = if self.cpi[i][j] < 0.75 { "✓" } else { "✗" };
+                out.push_str(&format!("{:>11} ", format!("{mark} ({:.2})", self.cpi[i][j])));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The deduced pipeline structure — the reproduction of Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineHypothesis {
+    /// Number of ALUs deduced (two iff ALU+ALU-imm pairs dual-issue).
+    pub alus: usize,
+    /// Whether the ALUs are asymmetric: shifter and multiplier on one
+    /// pipe only (deduced from shifts/muls never pairing with
+    /// computational instructions).
+    pub asymmetric_alus: bool,
+    /// Register-file read ports / RF→EX buses (3 iff two-register ALU
+    /// pairs need an immediate to pair).
+    pub rf_read_ports: usize,
+    /// Write-back buses (2 iff CPI 0.5 is sustained).
+    pub rf_write_ports: usize,
+    /// Whether the LSU is fully pipelined (load streams at CPI 1).
+    pub lsu_pipelined: bool,
+    /// Whether the multiplier is pipelined (mul streams at CPI 1).
+    pub mul_pipelined: bool,
+    /// Instructions fetched per cycle (2 iff CPI 0.5 is sustained).
+    pub fetch_width: usize,
+    /// Whether address generation happens in the issue stage (loads pair
+    /// with immediate-operand ALU instructions without clobbering an ALU).
+    pub agu_in_issue: bool,
+}
+
+impl PipelineHypothesis {
+    /// Runs the paper's full deduction chain against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn infer(config: &UarchConfig) -> Result<PipelineHypothesis, UarchError> {
+        let measure = |older, younger| -> Result<bool, UarchError> {
+            Ok(measure_cpi(&CpiBenchmark::hazard_free(older, younger), config)?.cpi < 0.75)
+        };
+        let stream_cpi = |class| -> Result<f64, UarchError> {
+            Ok(measure_cpi(&CpiBenchmark::stream(class, false), config)?.cpi)
+        };
+
+        // i) Two arithmetic instructions dual-issue when one carries an
+        //    immediate -> two ALUs are present...
+        let alu_imm_pairs = measure(InsnClass::Alu, InsnClass::AluImm)?;
+        let mov_pairs = measure(InsnClass::Mov, InsnClass::Mov)?;
+        let alus = if alu_imm_pairs || mov_pairs { 2 } else { 1 };
+        // ...but shifts and muls never pair with computational
+        // instructions -> only one ALU owns the shifter and multiplier.
+        let shift_with_alu = measure(InsnClass::Alu, InsnClass::Shift)?
+            || measure(InsnClass::Shift, InsnClass::Mov)?
+            || measure(InsnClass::Mul, InsnClass::Mov)?;
+        let asymmetric_alus = alus == 2 && !shift_with_alu;
+
+        // iii) Two reg-reg ALU ops never pair while reg-reg + imm does ->
+        //      three read buses; sustained 0.5 CPI -> two write buses.
+        let alu_alu = measure(InsnClass::Alu, InsnClass::Alu)?;
+        let rf_read_ports = if alu_imm_pairs && !alu_alu { 3 } else { 4 };
+        let rf_write_ports = if mov_pairs { 2 } else { 1 };
+
+        // ii) Unit pipelining from sustained stream CPIs.
+        let lsu_pipelined = stream_cpi(InsnClass::LdSt)? < 1.2;
+        let mul_pipelined = stream_cpi(InsnClass::Mul)? < 1.2;
+
+        // Fetch keeps up with the best case -> dual fetch.
+        let fetch_width = if mov_pairs { 2 } else { 1 };
+
+        // Loads pair with ALU-imm -> address generation cannot be using
+        // an ALU; it lives in the issue stage (as the gcc machine
+        // description states).
+        let agu_in_issue = measure(InsnClass::AluImm, InsnClass::LdSt)?;
+
+        Ok(PipelineHypothesis {
+            alus,
+            asymmetric_alus,
+            rf_read_ports,
+            rf_write_ports,
+            lsu_pipelined,
+            mul_pipelined,
+            fetch_width,
+            agu_in_issue,
+        })
+    }
+
+    /// The structure the paper deduces for the Cortex-A7.
+    pub fn cortex_a7_expected() -> PipelineHypothesis {
+        PipelineHypothesis {
+            alus: 2,
+            asymmetric_alus: true,
+            rf_read_ports: 3,
+            rf_write_ports: 2,
+            lsu_pipelined: true,
+            mul_pipelined: true,
+            fetch_width: 2,
+            agu_in_issue: true,
+        }
+    }
+}
+
+impl fmt::Display for PipelineHypothesis {
+    /// Renders the Figure 2 pipeline diagram with the deduced parameters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Deduced pipeline structure (cf. paper Figure 2):")?;
+        writeln!(f, "  fetch width:        {} instruction(s)/cycle", self.fetch_width)?;
+        writeln!(f, "  ALUs:               {}{}", self.alus, if self.asymmetric_alus { " (asymmetric: shifter+multiplier on pipe 0 only)" } else { "" })?;
+        writeln!(f, "  RF read ports:      {}", self.rf_read_ports)?;
+        writeln!(f, "  RF write ports:     {}", self.rf_write_ports)?;
+        writeln!(f, "  LSU pipelined:      {}", self.lsu_pipelined)?;
+        writeln!(f, "  MUL pipelined:      {}", self.mul_pipelined)?;
+        writeln!(f, "  AGU in issue stage: {}", self.agu_in_issue)?;
+        writeln!(f)?;
+        writeln!(f, "              +-----------+   RP1..RP{}   +--> ALU0 (shifter, mul, 3-stage)", self.rf_read_ports)?;
+        writeln!(f, "  Fetch x{} ->| prefetch  |-> Decode -> Issue --> ALU1 (1-stage)", self.fetch_width)?;
+        writeln!(f, "              |  buffer   |      ^  immediate +--> LSU (3-stage, pipelined: {})", self.lsu_pipelined)?;
+        writeln!(f, "              +-----------+      |            +--> FPU (4-stage)")?;
+        write!(f, "         WP1..WP{} <---- write-back buses <---- EX/WB buffers", self.rf_write_ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full-matrix measurement is exercised by the integration tests
+    // and the table1 bench; here we keep the quick deductions.
+
+    #[test]
+    fn infers_cortex_a7_structure() {
+        let hypothesis =
+            PipelineHypothesis::infer(&UarchConfig::cortex_a7().with_ideal_memory()).unwrap();
+        assert_eq!(hypothesis, PipelineHypothesis::cortex_a7_expected());
+    }
+
+    #[test]
+    fn infers_scalar_structure() {
+        let hypothesis =
+            PipelineHypothesis::infer(&UarchConfig::scalar().with_ideal_memory()).unwrap();
+        assert_eq!(hypothesis.alus, 1);
+        assert_eq!(hypothesis.fetch_width, 1);
+        assert_eq!(hypothesis.rf_write_ports, 1);
+        // Unit pipelining is orthogonal to dual issue.
+        assert!(hypothesis.lsu_pipelined);
+        assert!(hypothesis.mul_pipelined);
+    }
+
+    #[test]
+    fn display_mentions_key_findings() {
+        let text = PipelineHypothesis::cortex_a7_expected().to_string();
+        for needle in ["ALU0", "shifter", "RP1..RP3", "WP1..WP2", "prefetch"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,864 @@
+//! The Table 2 leakage characterization: seven micro-benchmarks, one
+//! leakage-model expression per potentially-leaking component, Pearson
+//! correlation with >99.5% Fisher-z significance.
+//!
+//! Each benchmark is a 2–4 instruction kernel framed by 100 `nop`s inside
+//! a trigger window, run with fresh random operands per trace (averaged
+//! over several executions, as in the paper's protocol), with destination
+//! registers pre-charged to their expected results. The model expressions
+//! are those printed in the paper's Table 2 (`rB`, `rB ⊕ rD`, `rC ≪ n`,
+//! …); the *expected* verdicts encode the paper's findings:
+//!
+//! * the register file never leaks;
+//! * IS/EX buffers leak same-position operand HDs of single-issued
+//!   instructions, plus operand HWs when a `nop`'s zeros separate them;
+//! * the ALUs leak result HWs; the shifter buffer leaks shifted-value
+//!   HWs at ~1/10 weight;
+//! * EX/WB leaks HDs between single-issued results, with †-marked
+//!   boundary HWs caused by `nop`s zeroing the write-back bus;
+//! * dual-issued pairs do not combine operands or results;
+//! * the MDR leaks HDs between successive full memory words; the align
+//!   buffer leaks HDs between successive sub-word values, with remanence
+//!   across intervening word accesses.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use sca_analysis::{model_correlation, significance_threshold, InputModel};
+use sca_isa::{AddrMode, Insn, Program, ProgramBuilder, Reg, ShiftKind};
+use sca_power::{
+    ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource, TraceSet,
+};
+use sca_uarch::{Cpu, NodeKind, NullObserver, UarchConfig, UarchError};
+
+/// Paper-derived expectation for one model cell of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Statistically sound leakage (printed red in the paper).
+    Red,
+    /// Leakage caused by the `nop` boundary effects (red with † in the
+    /// paper).
+    RedBoundary,
+    /// No significant correlation (printed black).
+    Black,
+}
+
+impl Expectation {
+    /// Whether significance is expected.
+    pub fn leaks(self) -> bool {
+        !matches!(self, Expectation::Black)
+    }
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::Red => f.write_str("RED"),
+            Expectation::RedBoundary => f.write_str("RED†"),
+            Expectation::Black => f.write_str("black"),
+        }
+    }
+}
+
+type ModelFn = Arc<dyn Fn(&[u8]) -> f64 + Send + Sync>;
+type StageFn = Arc<dyn Fn(&mut Cpu, &[u8]) + Send + Sync>;
+
+/// One leakage-model expression attached to a component column.
+#[derive(Clone)]
+pub struct ModelSpec {
+    /// Component the model targets (Table 2 column).
+    pub component: NodeKind,
+    /// The expression as printed in the paper (e.g. `rB ⊕ rD`).
+    pub expr: String,
+    /// Paper-derived expected verdict.
+    pub expected: Expectation,
+    model: ModelFn,
+}
+
+impl ModelSpec {
+    fn new(
+        component: NodeKind,
+        expr: impl Into<String>,
+        expected: Expectation,
+        model: impl Fn(&[u8]) -> f64 + Send + Sync + 'static,
+    ) -> ModelSpec {
+        ModelSpec { component, expr: expr.into(), expected, model: Arc::new(model) }
+    }
+}
+
+impl fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ModelSpec({} / {} / {:?})", self.component, self.expr, self.expected)
+    }
+}
+
+/// One of the seven Table 2 micro-benchmarks.
+#[derive(Clone)]
+pub struct LeakBenchmark {
+    /// Row number in the paper's Table 2 (1-based).
+    pub row: usize,
+    /// The instruction sequence, as displayed in the paper.
+    pub sequence: String,
+    /// Whether the paper reports the pair as dual-issued.
+    pub dual_issued: bool,
+    /// Number of random 32-bit input words per trace.
+    pub input_words: usize,
+    program: Program,
+    stage: StageFn,
+    /// The model expressions of this row.
+    pub models: Vec<ModelSpec>,
+}
+
+impl fmt::Debug for LeakBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LeakBenchmark(row {}: {})", self.row, self.sequence)
+    }
+}
+
+/// Number of framing `nop`s on each side of a kernel (as in the paper).
+pub const PAD_NOPS: usize = 100;
+
+/// Scratch addresses used by the memory benchmarks (distinct cache lines
+/// and distinct containing words).
+const MEM_A: u32 = 0x8000;
+const MEM_B: u32 = 0x8040;
+const MEM_C: u32 = 0x8080;
+const MEM_D: u32 = 0x80c0;
+
+fn kernel_program(kernel: Vec<Insn>) -> Program {
+    ProgramBuilder::new(0)
+        .push(Insn::trig(true))
+        .nops(PAD_NOPS)
+        .extend(kernel)
+        .nops(PAD_NOPS)
+        .push(Insn::trig(false))
+        .push(Insn::halt())
+        .build()
+        .expect("characterization kernels encode")
+}
+
+fn word(input: &[u8], i: usize) -> u32 {
+    sca_analysis::input_word(input, i)
+}
+
+fn hw(v: u32) -> f64 {
+    f64::from(v.count_ones())
+}
+
+fn hd(a: u32, b: u32) -> f64 {
+    f64::from((a ^ b).count_ones())
+}
+
+/// Builds all seven benchmarks of Table 2.
+pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
+    use Expectation::{Black, Red, RedBoundary};
+    use NodeKind::{AlignBuffer, Alu, ExWbBuffer, IsExBuffer, Mdr, RegisterFile, ShiftBuffer};
+
+    let mut benchmarks = Vec::new();
+
+    // Row 1: mov rA, rB; nop; mov rC, rD       (rB = w0, rD = w1)
+    benchmarks.push(LeakBenchmark {
+        row: 1,
+        sequence: "mov rA, rB; nop; mov rC, rD".into(),
+        dual_issued: false,
+        input_words: 2,
+        program: kernel_program(vec![
+            Insn::mov(Reg::R0, Reg::R1),
+            Insn::nop(),
+            Insn::mov(Reg::R3, Reg::R2),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R1, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+            // Destination pre-charge (paper, Section 4).
+            cpu.set_reg(Reg::R0, word(input, 0));
+            cpu.set_reg(Reg::R3, word(input, 1));
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |i| hw(word(i, 0))),
+            ModelSpec::new(RegisterFile, "rD", Black, |i| hw(word(i, 1))),
+            ModelSpec::new(IsExBuffer, "rB", Red, |i| hw(word(i, 0))),
+            ModelSpec::new(IsExBuffer, "rD", Red, |i| hw(word(i, 1))),
+            ModelSpec::new(IsExBuffer, "rB ^ rD", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(ExWbBuffer, "rB (†)", RedBoundary, |i| hw(word(i, 0))),
+            ModelSpec::new(ExWbBuffer, "rD (†)", RedBoundary, |i| hw(word(i, 1))),
+            ModelSpec::new(ExWbBuffer, "rB ^ rD", Red, |i| hd(word(i, 0), word(i, 1))),
+        ],
+    });
+
+    // Row 2: add rA, rB, rC; add rD, rE, rF    (w0..w3 = rB, rC, rE, rF)
+    benchmarks.push(LeakBenchmark {
+        row: 2,
+        sequence: "add rA, rB, rC; add rD, rE, rF".into(),
+        dual_issued: false,
+        input_words: 4,
+        program: kernel_program(vec![
+            Insn::add(Reg::R0, Reg::R1, Reg::R2),
+            Insn::add(Reg::R5, Reg::R3, Reg::R4),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R1, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+            cpu.set_reg(Reg::R3, word(input, 2));
+            cpu.set_reg(Reg::R4, word(input, 3));
+            cpu.set_reg(Reg::R0, word(input, 0).wrapping_add(word(input, 1)));
+            cpu.set_reg(Reg::R5, word(input, 2).wrapping_add(word(input, 3)));
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |i| hw(word(i, 0))),
+            ModelSpec::new(RegisterFile, "rC", Black, |i| hw(word(i, 1))),
+            ModelSpec::new(RegisterFile, "rE", Black, |i| hw(word(i, 2))),
+            ModelSpec::new(RegisterFile, "rF", Black, |i| hw(word(i, 3))),
+            ModelSpec::new(IsExBuffer, "rB ^ rE", Red, |i| hd(word(i, 0), word(i, 2))),
+            ModelSpec::new(IsExBuffer, "rC ^ rF", Red, |i| hd(word(i, 1), word(i, 3))),
+            ModelSpec::new(IsExBuffer, "rB ^ rF (cross)", Black, |i| hd(word(i, 0), word(i, 3))),
+            ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1)))),
+            ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(word(i, 3)))),
+            ModelSpec::new(Alu, "rB", Black, |i| hw(word(i, 0))),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rA (†)",
+                RedBoundary,
+                |i| hw(word(i, 0).wrapping_add(word(i, 1))),
+            ),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rD (†)",
+                RedBoundary,
+                |i| hw(word(i, 2).wrapping_add(word(i, 3))),
+            ),
+            ModelSpec::new(ExWbBuffer, "rA ^ rD", Red, |i| {
+                hd(
+                    word(i, 0).wrapping_add(word(i, 1)),
+                    word(i, 2).wrapping_add(word(i, 3)),
+                )
+            }),
+        ],
+    });
+
+    // Row 3: add rA, rB, rC; add rD, rE, #n    (dual-issued; w0..w2)
+    benchmarks.push(LeakBenchmark {
+        row: 3,
+        sequence: "add rA, rB, rC; add rD, rE, #n (dual-issued)".into(),
+        dual_issued: true,
+        input_words: 3,
+        program: kernel_program(vec![
+            Insn::add(Reg::R0, Reg::R1, Reg::R2),
+            Insn::add(Reg::R5, Reg::R3, 7u32),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R1, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+            cpu.set_reg(Reg::R3, word(input, 2));
+            cpu.set_reg(Reg::R0, word(input, 0).wrapping_add(word(input, 1)));
+            cpu.set_reg(Reg::R5, word(input, 2).wrapping_add(7));
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |i| hw(word(i, 0))),
+            ModelSpec::new(RegisterFile, "rE", Black, |i| hw(word(i, 2))),
+            // Dual-issued: source operands share no pipeline resource.
+            ModelSpec::new(IsExBuffer, "rB ^ rE", Black, |i| hd(word(i, 0), word(i, 2))),
+            ModelSpec::new(IsExBuffer, "rC ^ rE", Black, |i| hd(word(i, 1), word(i, 2))),
+            ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1)))),
+            ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(7))),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rA (†)",
+                RedBoundary,
+                |i| hw(word(i, 0).wrapping_add(word(i, 1))),
+            ),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rD (†)",
+                RedBoundary,
+                |i| hw(word(i, 2).wrapping_add(7)),
+            ),
+            // Dual-issued results ride separate write-back buses.
+            ModelSpec::new(ExWbBuffer, "rA ^ rD", Black, |i| {
+                hd(word(i, 0).wrapping_add(word(i, 1)), word(i, 2).wrapping_add(7))
+            }),
+        ],
+    });
+
+    // Row 4: add rA, rB, rC, lsl #4; add rD, rE, rF, lsl #4  (w0..w3)
+    let shifted = |rm: Reg| sca_isa::Operand2::ShiftedReg {
+        rm,
+        kind: ShiftKind::Lsl,
+        amount: sca_isa::ShiftAmount::Imm(4),
+    };
+    benchmarks.push(LeakBenchmark {
+        row: 4,
+        sequence: "add rA, rB, rC, lsl #4; add rD, rE, rF, lsl #4".into(),
+        dual_issued: false,
+        input_words: 4,
+        program: kernel_program(vec![
+            Insn::add(Reg::R0, Reg::R1, shifted(Reg::R2)),
+            Insn::add(Reg::R5, Reg::R3, shifted(Reg::R4)),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R1, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+            cpu.set_reg(Reg::R3, word(input, 2));
+            cpu.set_reg(Reg::R4, word(input, 3));
+            cpu.set_reg(Reg::R0, word(input, 0).wrapping_add(word(input, 1) << 4));
+            cpu.set_reg(Reg::R5, word(input, 2).wrapping_add(word(input, 3) << 4));
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |i| hw(word(i, 0))),
+            ModelSpec::new(IsExBuffer, "rB ^ rE", Red, |i| hd(word(i, 0), word(i, 2))),
+            ModelSpec::new(IsExBuffer, "rC ^ rF", Red, |i| hd(word(i, 1), word(i, 3))),
+            ModelSpec::new(ShiftBuffer, "rC << n", Red, |i| hw(word(i, 1) << 4)),
+            ModelSpec::new(ShiftBuffer, "rF << n", Red, |i| hw(word(i, 3) << 4)),
+            ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1) << 4))),
+            ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(word(i, 3) << 4))),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rA (†)",
+                RedBoundary,
+                |i| hw(word(i, 0).wrapping_add(word(i, 1) << 4)),
+            ),
+            ModelSpec::new(ExWbBuffer, "rA ^ rD", Red, |i| {
+                hd(
+                    word(i, 0).wrapping_add(word(i, 1) << 4),
+                    word(i, 2).wrapping_add(word(i, 3) << 4),
+                )
+            }),
+        ],
+    });
+
+    // Row 5: ldr rA, [rB]; ldr rC, [rD]   (loaded words w0, w1)
+    benchmarks.push(LeakBenchmark {
+        row: 5,
+        sequence: "ldr rA, [rB]; ldr rC, [rD]".into(),
+        dual_issued: false,
+        input_words: 2,
+        program: kernel_program(vec![
+            Insn::ldr(Reg::R0, AddrMode::base(Reg::R8)),
+            Insn::ldr(Reg::R2, AddrMode::base(Reg::R9)),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R8, MEM_A);
+            cpu.set_reg(Reg::R9, MEM_B);
+            cpu.mem_mut().write_u32(MEM_A, word(input, 0)).expect("scratch mapped");
+            cpu.mem_mut().write_u32(MEM_B, word(input, 1)).expect("scratch mapped");
+            cpu.set_reg(Reg::R0, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |_| 0.0),
+            ModelSpec::new(Mdr, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(ExWbBuffer, "rA (†)", RedBoundary, |i| hw(word(i, 0))),
+            ModelSpec::new(ExWbBuffer, "rC (†)", RedBoundary, |i| hw(word(i, 1))),
+            ModelSpec::new(ExWbBuffer, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| hd(word(i, 0), word(i, 1))),
+        ],
+    });
+
+    // Row 6: str rA, [rB]; str rC, [rD]   (stored words w0, w1)
+    benchmarks.push(LeakBenchmark {
+        row: 6,
+        sequence: "str rA, [rB]; str rC, [rD]".into(),
+        dual_issued: false,
+        input_words: 2,
+        program: kernel_program(vec![
+            Insn::str(Reg::R0, AddrMode::base(Reg::R8)),
+            Insn::str(Reg::R2, AddrMode::base(Reg::R9)),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R8, MEM_A);
+            cpu.set_reg(Reg::R9, MEM_B);
+            cpu.set_reg(Reg::R0, word(input, 0));
+            cpu.set_reg(Reg::R2, word(input, 1));
+            // Target cells hold stale random data from the previous
+            // trace; overwrite deterministically so the MDR transition is
+            // exactly w0 -> w1.
+            cpu.mem_mut().write_u32(MEM_A, 0).expect("scratch mapped");
+            cpu.mem_mut().write_u32(MEM_B, 0).expect("scratch mapped");
+        }),
+        models: vec![
+            ModelSpec::new(RegisterFile, "rB", Black, |_| 0.0),
+            ModelSpec::new(IsExBuffer, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(Mdr, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| hd(word(i, 0), word(i, 1))),
+        ],
+    });
+
+    // Row 7: ldr rA,[rB]; ldrb rC,[rD]; ldr rE,[rF]; ldrb rG,[rH]
+    // Inputs w0..w3 are the full words at the four addresses; the byte
+    // loads read the low bytes of w1 and w3.
+    benchmarks.push(LeakBenchmark {
+        row: 7,
+        sequence: "ldr rA,[rB]; ldrb rC,[rD]; ldr rE,[rF]; ldrb rG,[rH]".into(),
+        dual_issued: false,
+        input_words: 4,
+        program: kernel_program(vec![
+            Insn::ldr(Reg::R0, AddrMode::base(Reg::R8)),
+            Insn::ldrb(Reg::R1, AddrMode::base(Reg::R9)),
+            Insn::ldr(Reg::R2, AddrMode::base(Reg::R10)),
+            Insn::ldrb(Reg::R3, AddrMode::base(Reg::R11)),
+        ]),
+        stage: Arc::new(|cpu, input| {
+            cpu.set_reg(Reg::R8, MEM_A);
+            cpu.set_reg(Reg::R9, MEM_B);
+            cpu.set_reg(Reg::R10, MEM_C);
+            cpu.set_reg(Reg::R11, MEM_D);
+            for (k, addr) in [MEM_A, MEM_B, MEM_C, MEM_D].into_iter().enumerate() {
+                cpu.mem_mut().write_u32(addr, word(input, k)).expect("scratch mapped");
+            }
+            cpu.set_reg(Reg::R0, word(input, 0));
+            cpu.set_reg(Reg::R1, word(input, 1) & 0xff);
+            cpu.set_reg(Reg::R2, word(input, 2));
+            cpu.set_reg(Reg::R3, word(input, 3) & 0xff);
+        }),
+        models: vec![
+            // MDR sees full words for every access, sub-word included.
+            ModelSpec::new(Mdr, "wA ^ wC", Red, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(Mdr, "wC ^ wE", Red, |i| hd(word(i, 1), word(i, 2))),
+            ModelSpec::new(Mdr, "wE ^ wG", Red, |i| hd(word(i, 2), word(i, 3))),
+            // The align buffer pairs the two byte loads across the
+            // intervening word load (data remanence).
+            ModelSpec::new(
+                AlignBuffer,
+                "rC ^ rG",
+                Red,
+                |i| hd(word(i, 1) & 0xff, word(i, 3) & 0xff),
+            ),
+            ModelSpec::new(
+                AlignBuffer,
+                "rC ^ rE (word breaks it?)",
+                Black,
+                |i| hd(word(i, 1) & 0xff, word(i, 2)),
+            ),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rA ^ rC",
+                Red,
+                |i| hd(word(i, 0), word(i, 1) & 0xff),
+            ),
+            ModelSpec::new(
+                ExWbBuffer,
+                "rE ^ rG",
+                Red,
+                |i| hd(word(i, 2), word(i, 3) & 0xff),
+            ),
+        ],
+    });
+
+    benchmarks
+}
+
+/// One evaluated cell of Table 2.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Component column.
+    pub component: NodeKind,
+    /// Model expression.
+    pub expr: String,
+    /// Peak |correlation| across the window.
+    pub peak_corr: f64,
+    /// Sample index of the peak.
+    pub peak_sample: usize,
+    /// Whether the correlation is significant at the configured level.
+    pub significant: bool,
+    /// The paper-derived expectation.
+    pub expected: Expectation,
+}
+
+impl CellResult {
+    /// Whether our verdict matches the paper's.
+    pub fn matches_paper(&self) -> bool {
+        self.significant == self.expected.leaks()
+    }
+}
+
+/// One evaluated benchmark row.
+#[derive(Clone, Debug)]
+pub struct RowResult {
+    /// Row number (1-based, as in the paper).
+    pub row: usize,
+    /// Kernel description.
+    pub sequence: String,
+    /// Whether the kernel dual-issued when run.
+    pub dual_issued: bool,
+    /// Traces used.
+    pub traces: usize,
+    /// Per-model outcomes.
+    pub cells: Vec<CellResult>,
+}
+
+/// The full Table 2 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table2Report {
+    /// All rows.
+    pub rows: Vec<RowResult>,
+    /// Significance level used (the paper's is 0.995).
+    pub confidence: f64,
+}
+
+impl Table2Report {
+    /// Number of cells whose verdict matches the paper.
+    pub fn matching_cells(&self) -> usize {
+        self.rows.iter().flat_map(|r| &r.cells).filter(|c| c.matches_paper()).count()
+    }
+
+    /// Total number of cells.
+    pub fn total_cells(&self) -> usize {
+        self.rows.iter().map(|r| r.cells.len()).sum()
+    }
+
+    /// Renders the table in a paper-like layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Table 2 reproduction — leakage detection at {:.1}% confidence\n",
+            self.confidence * 100.0
+        ));
+        out.push_str(&format!(
+            "{} of {} cells match the paper's verdicts\n\n",
+            self.matching_cells(),
+            self.total_cells()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "Row {}: {}   [dual-issued: {}; {} traces]\n",
+                row.row,
+                row.sequence,
+                if row.dual_issued { "yes" } else { "no" },
+                row.traces
+            ));
+            for cell in &row.cells {
+                let verdict = if cell.significant { "RED  " } else { "black" };
+                let mark = if cell.matches_paper() { ' ' } else { '!' };
+                out.push_str(&format!(
+                    "  {mark} {:<14} {:<24} corr {:+.4} @ {:<5} -> {verdict} (paper: {})\n",
+                    cell.component.label(),
+                    cell.expr,
+                    cell.peak_corr,
+                    cell.peak_sample,
+                    cell.expected,
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Configuration of a characterization campaign.
+#[derive(Clone, Debug)]
+pub struct CharacterizationConfig {
+    /// Traces per benchmark (the paper records 100k; simulation needs far
+    /// fewer for the same confidence because the noise is configurable).
+    pub traces: usize,
+    /// Executions averaged per trace (paper: 16).
+    pub executions_per_trace: usize,
+    /// Measurement noise.
+    pub noise: GaussianNoise,
+    /// Detection confidence (paper: 0.995).
+    pub confidence: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> CharacterizationConfig {
+        CharacterizationConfig {
+            // Enough for the weakest leak (the barrel-shifter buffer, at
+            // ~1/10 the magnitude of the other components) to clear the
+            // 99.5% threshold; the paper compensates with 100k traces.
+            traces: 4000,
+            executions_per_trace: 4,
+            noise: GaussianNoise { sd: 6.0, baseline: 30.0 },
+            confidence: 0.995,
+            seed: 0xdac2018,
+            threads: 4,
+        }
+    }
+}
+
+/// Runs one benchmark row and evaluates its models.
+///
+/// Leakage is attributed per component: the acquisition records one
+/// power sub-trace per pipeline component ("ascribing the power
+/// consumption of a signal to its driving circuit", as the paper puts
+/// it, borrowing EDA practice), and each Table 2 cell correlates its
+/// model expression against its own component's sub-trace. This is the
+/// simulation equivalent of the paper's "correlation in the correct
+/// clock cycle" criterion and is what distinguishes the silent
+/// register-file read ports from the operand buses that carry the same
+/// values one cycle later.
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+pub fn run_benchmark(
+    benchmark: &LeakBenchmark,
+    uarch: &UarchConfig,
+    config: &CharacterizationConfig,
+) -> Result<RowResult, UarchError> {
+    use rand::SeedableRng;
+    use rand::Rng as _;
+
+    // Template CPU, warmed by one throwaway execution.
+    let mut template = Cpu::new(uarch.clone());
+    template.load(&benchmark.program)?;
+    (benchmark.stage)(&mut template, &vec![0u8; benchmark.input_words * 4]);
+    template.run(&mut NullObserver)?;
+    let dual_issued = template.stats().dual_issue_cycles > 0;
+
+    // Noise-free probe runs with distinct inputs determine the window
+    // length and, per component, the sample instants whose power is
+    // input-dependent — the "correct clock cycle" of each potential
+    // leak. Correlations are only meaningful there; testing the whole
+    // window would drown the verdicts in multiple-comparison false
+    // positives (the paper's per-cycle criterion serves the same
+    // purpose).
+    let (window_len, instants) = {
+        let mut probes: Vec<Vec<Vec<f64>>> = Vec::new();
+        for probe_seed in [11u64, 22, 33] {
+            let mut probe = template.clone();
+            // Identical scramble seed: power differences between probes
+            // are then attributable to the input alone. Inputs are
+            // pseudorandom (not uniform fills), so HD-type instants with
+            // equal-value operands are not missed.
+            probe.restart_seeded(0, 77);
+            let mut probe_rng = StdRng::seed_from_u64(probe_seed);
+            let mut input = vec![0u8; benchmark.input_words * 4];
+            probe_rng.fill(&mut input[..]);
+            (benchmark.stage)(&mut probe, &input);
+            let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
+            probe.run(&mut rec)?;
+            probes.push(NodeKind::ALL.iter().map(|&kind| rec.windowed_power(kind)).collect());
+        }
+        let window_len = probes[0][0].len();
+        let mut instants: Vec<Vec<usize>> = vec![Vec::new(); NodeKind::COUNT];
+        for kind in NodeKind::ALL {
+            for s in 0..window_len {
+                let a = probes[0][kind.index()].get(s).copied().unwrap_or(0.0);
+                let b = probes[1][kind.index()].get(s).copied().unwrap_or(0.0);
+                let c = probes[2][kind.index()].get(s).copied().unwrap_or(0.0);
+                if (a - b).abs() > 1e-9 || (a - c).abs() > 1e-9 {
+                    instants[kind.index()].push(s);
+                }
+            }
+        }
+        (window_len, instants)
+    };
+
+    // Per-component trace sets, acquired in one pass per execution.
+    let threads = config.threads.max(1);
+    let chunk = config.traces.div_ceil(threads);
+    let seed = config.seed ^ ((benchmark.row as u64) << 32);
+    let mut partials: Vec<Result<Vec<TraceSet>, UarchError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(config.traces);
+            if lo >= hi {
+                break;
+            }
+            let template = &template;
+            let stage = &benchmark.stage;
+            let words = benchmark.input_words;
+            let noise = config.noise;
+            let executions = config.executions_per_trace.max(1);
+            handles.push(scope.spawn(move || {
+                let mut sets: Vec<TraceSet> =
+                    (0..NodeKind::COUNT).map(|_| TraceSet::new(window_len)).collect();
+                let mut cpu = template.clone();
+                for t in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
+                    let mut input = vec![0u8; words * 4];
+                    rng.fill(&mut input[..]);
+                    let mut accumulated: Vec<Vec<f64>> =
+                        vec![vec![0.0; window_len]; NodeKind::COUNT];
+                    for e in 0..executions {
+                        cpu.restart_seeded(0, seed ^ ((t as u64) << 8 | e as u64));
+                        stage(&mut cpu, &input);
+                        let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
+                        cpu.run(&mut rec)?;
+                        let mut gauss = noise;
+                        for kind in NodeKind::ALL {
+                            let mut samples = rec.windowed_power(kind);
+                            samples.resize(window_len, 0.0);
+                            gauss.add_to(&mut rng, &mut samples);
+                            for (a, s) in accumulated[kind.index()].iter_mut().zip(&samples) {
+                                *a += s;
+                            }
+                        }
+                    }
+                    let inv = 1.0 / executions as f64;
+                    for kind in NodeKind::ALL {
+                        let trace: Vec<f32> = accumulated[kind.index()]
+                            .iter()
+                            .map(|&s| (s * inv) as f32)
+                            .collect();
+                        sets[kind.index()].push(trace, input.clone());
+                    }
+                }
+                Ok(sets)
+            }));
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT).map(|_| TraceSet::new(window_len)).collect();
+    for partial in partials {
+        for (kind, set) in partial?.into_iter().enumerate() {
+            sets[kind].merge(set);
+        }
+    }
+
+    let n = sets[0].len() as u64;
+    let cells = benchmark
+        .models
+        .iter()
+        .map(|spec| {
+            let model = InputModel::new(spec.expr.clone(), {
+                let f = Arc::clone(&spec.model);
+                move |input: &[u8]| f(input)
+            });
+            let series = model_correlation(&sets[spec.component.index()], &model);
+            let candidates = &instants[spec.component.index()];
+            let (peak_sample, peak_corr) = candidates
+                .iter()
+                .filter(|&&s| s < series.len())
+                .map(|&s| (s, series[s]))
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .unwrap_or((0, 0.0));
+            // Bonferroni over the candidate instants keeps the per-cell
+            // false-positive rate at (1 - confidence).
+            let corrected = 1.0 - (1.0 - config.confidence) / candidates.len().max(1) as f64;
+            let threshold = significance_threshold(n, corrected);
+            CellResult {
+                component: spec.component,
+                expr: spec.expr.clone(),
+                peak_corr,
+                peak_sample,
+                significant: peak_corr.abs() >= threshold,
+                expected: spec.expected,
+            }
+        })
+        .collect();
+
+    Ok(RowResult {
+        row: benchmark.row,
+        sequence: benchmark.sequence.clone(),
+        dual_issued,
+        traces: n as usize,
+        cells,
+    })
+}
+
+/// Runs the full Table 2 characterization.
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+pub fn characterize(
+    uarch: &UarchConfig,
+    config: &CharacterizationConfig,
+) -> Result<Table2Report, UarchError> {
+    let rows = table2_benchmarks()
+        .iter()
+        .map(|b| run_benchmark(b, uarch, config))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Table2Report { rows, confidence: config.confidence })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> CharacterizationConfig {
+        CharacterizationConfig {
+            traces: 400,
+            executions_per_trace: 2,
+            noise: GaussianNoise { sd: 4.0, baseline: 10.0 },
+            threads: 4,
+            ..CharacterizationConfig::default()
+        }
+    }
+
+    fn cell<'a>(row: &'a RowResult, component: NodeKind, expr: &str) -> &'a CellResult {
+        row.cells
+            .iter()
+            .find(|c| c.component == component && c.expr == expr)
+            .unwrap_or_else(|| panic!("cell {component}/{expr} missing"))
+    }
+
+    #[test]
+    fn benchmarks_cover_all_seven_rows() {
+        let benchmarks = table2_benchmarks();
+        assert_eq!(benchmarks.len(), 7);
+        for (i, b) in benchmarks.iter().enumerate() {
+            assert_eq!(b.row, i + 1);
+            assert!(!b.models.is_empty());
+        }
+    }
+
+    #[test]
+    fn row1_nop_interleaved_movs() {
+        let benchmarks = table2_benchmarks();
+        let uarch = UarchConfig::cortex_a7().with_ideal_memory();
+        let row = run_benchmark(&benchmarks[0], &uarch, &quick_config()).unwrap();
+        assert!(!row.dual_issued);
+        // RF silent; IS/EX shows both the HW (nop zeros) and HD leaks.
+        assert!(!cell(&row, NodeKind::RegisterFile, "rB").significant);
+        assert!(cell(&row, NodeKind::IsExBuffer, "rB").significant);
+        assert!(cell(&row, NodeKind::IsExBuffer, "rB ^ rD").significant);
+        assert!(cell(&row, NodeKind::ExWbBuffer, "rB ^ rD").significant);
+        assert!(cell(&row, NodeKind::ExWbBuffer, "rB (†)").significant);
+    }
+
+    #[test]
+    fn row3_dual_issue_suppresses_operand_combination() {
+        let benchmarks = table2_benchmarks();
+        let uarch = UarchConfig::cortex_a7().with_ideal_memory();
+        let row = run_benchmark(&benchmarks[2], &uarch, &quick_config()).unwrap();
+        assert!(row.dual_issued, "row 3 pair must dual-issue");
+        assert!(!cell(&row, NodeKind::IsExBuffer, "rB ^ rE").significant);
+        assert!(!cell(&row, NodeKind::ExWbBuffer, "rA ^ rD").significant);
+        assert!(cell(&row, NodeKind::Alu, "rA").significant);
+    }
+
+    #[test]
+    fn row7_align_buffer_remanence() {
+        let benchmarks = table2_benchmarks();
+        let uarch = UarchConfig::cortex_a7().with_ideal_memory();
+        let row = run_benchmark(&benchmarks[6], &uarch, &quick_config()).unwrap();
+        assert!(cell(&row, NodeKind::AlignBuffer, "rC ^ rG").significant);
+        assert!(cell(&row, NodeKind::Mdr, "wA ^ wC").significant);
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = Table2Report {
+            rows: vec![RowResult {
+                row: 1,
+                sequence: "mov".into(),
+                dual_issued: false,
+                traces: 10,
+                cells: vec![CellResult {
+                    component: NodeKind::Mdr,
+                    expr: "x".into(),
+                    peak_corr: 0.5,
+                    peak_sample: 3,
+                    significant: true,
+                    expected: Expectation::Red,
+                }],
+            }],
+            confidence: 0.995,
+        };
+        let text = report.render();
+        assert!(text.contains("Row 1"));
+        assert!(text.contains("RED"));
+        assert!(text.contains("1 of 1"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Programmatic program construction.
+//!
+//! The CPI micro-benchmark generator builds thousands of small kernels
+//! (instruction pair × repetition count × hazard pattern); doing that
+//! through the text assembler would be wasteful, so [`ProgramBuilder`]
+//! offers a direct, label-aware builder over [`Insn`] values.
+//!
+//! ```
+//! use sca_isa::{Insn, InsnExt, ProgramBuilder, Reg};
+//!
+//! let program = ProgramBuilder::new(0x0)
+//!     .push(Insn::mov(Reg::R0, 4u32))
+//!     .label("loop")
+//!     .push(Insn::sub(Reg::R0, Reg::R0, 1u32).flag_setting())
+//!     .branch_to(sca_isa::Cond::Ne, false, "loop")
+//!     .push(Insn::halt())
+//!     .build()?;
+//! assert_eq!(program.symbol("loop"), Some(4));
+//! # Ok::<(), sca_isa::IsaError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::{Cond, Insn, InsnKind, IsaError, Program};
+
+/// Extension helpers on [`Insn`] used when building programs fluently.
+pub trait InsnExt {
+    /// Returns the flag-setting (`s` suffix) variant of a data-processing
+    /// or multiply instruction; other kinds are returned unchanged.
+    fn flag_setting(self) -> Insn;
+}
+
+impl InsnExt for Insn {
+    fn flag_setting(mut self) -> Insn {
+        match &mut self.kind {
+            InsnKind::Dp { set_flags, .. } | InsnKind::Mul { set_flags, .. } => *set_flags = true,
+            _ => {}
+        }
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Ready(Insn),
+    Branch { cond: Cond, link: bool, label: String },
+}
+
+/// Builds a [`Program`] from instructions with symbolic branch targets.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    base: u32,
+    slots: Vec<Slot>,
+    labels: BTreeMap<String, usize>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program at `base`.
+    pub fn new(base: u32) -> ProgramBuilder {
+        ProgramBuilder { base, slots: Vec::new(), labels: BTreeMap::new() }
+    }
+
+    /// Appends one instruction.
+    #[must_use]
+    pub fn push(mut self, insn: Insn) -> ProgramBuilder {
+        self.slots.push(Slot::Ready(insn));
+        self
+    }
+
+    /// Appends every instruction from an iterator.
+    #[must_use]
+    pub fn extend<I: IntoIterator<Item = Insn>>(mut self, insns: I) -> ProgramBuilder {
+        self.slots.extend(insns.into_iter().map(Slot::Ready));
+        self
+    }
+
+    /// Appends `count` copies of `insn`.
+    #[must_use]
+    pub fn repeat(mut self, insn: Insn, count: usize) -> ProgramBuilder {
+        for _ in 0..count {
+            self.slots.push(Slot::Ready(insn));
+        }
+        self
+    }
+
+    /// Appends `count` `nop`s — the paper frames every benchmark kernel
+    /// with 100 of them to flush pipeline state.
+    #[must_use]
+    pub fn nops(self, count: usize) -> ProgramBuilder {
+        self.repeat(Insn::nop(), count)
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined — a builder-programming
+    /// error, not a data error.
+    #[must_use]
+    pub fn label(mut self, name: impl Into<String>) -> ProgramBuilder {
+        let name = name.into();
+        let previous = self.labels.insert(name.clone(), self.slots.len());
+        assert!(previous.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    /// Appends a conditional branch (or branch-and-link) to a label, which
+    /// may be defined before or after this point.
+    #[must_use]
+    pub fn branch_to(mut self, cond: Cond, link: bool, label: impl Into<String>) -> ProgramBuilder {
+        self.slots.push(Slot::Branch { cond, link, label: label.into() });
+        self
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no instructions have been added.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resolves branches and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined labels or instructions whose fields
+    /// do not fit their encodings.
+    pub fn build(self) -> Result<Program, IsaError> {
+        let mut insns = Vec::with_capacity(self.slots.len());
+        for (index, slot) in self.slots.iter().enumerate() {
+            let insn = match slot {
+                Slot::Ready(insn) => *insn,
+                Slot::Branch { cond, link, label } => {
+                    let target = *self.labels.get(label).ok_or_else(|| IsaError::Asm {
+                        line: index + 1,
+                        message: format!("undefined label `{label}`"),
+                    })?;
+                    let offset = target as i64 - (index as i64 + 1);
+                    Insn::new(InsnKind::Branch { link: *link, offset: offset as i32 })
+                        .with_cond(*cond)
+                }
+            };
+            insns.push(insn);
+        }
+        let mut program = Program::from_insns(self.base, &insns)?;
+        for (name, slot_index) in &self.labels {
+            program.insert_symbol(name.clone(), self.base + (*slot_index as u32) * 4);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn builds_loop() {
+        let program = ProgramBuilder::new(0)
+            .push(Insn::mov(Reg::R0, 3u32))
+            .label("top")
+            .push(Insn::sub(Reg::R0, Reg::R0, 1u32).flag_setting())
+            .branch_to(Cond::Ne, false, "top")
+            .push(Insn::halt())
+            .build()
+            .unwrap();
+        assert_eq!(program.symbol("top"), Some(4));
+        let branch = program.insn_at(8).unwrap();
+        match branch.kind {
+            InsnKind::Branch { offset, .. } => assert_eq!(offset, -2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_label() {
+        let program = ProgramBuilder::new(0)
+            .branch_to(Cond::Al, false, "end")
+            .nops(3)
+            .label("end")
+            .push(Insn::halt())
+            .build()
+            .unwrap();
+        let branch = program.insn_at(0).unwrap();
+        match branch.kind {
+            InsnKind::Branch { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let result = ProgramBuilder::new(0).branch_to(Cond::Al, false, "nowhere").build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let _ = ProgramBuilder::new(0).label("x").label("x");
+    }
+
+    #[test]
+    fn repeat_and_nops() {
+        let program = ProgramBuilder::new(0)
+            .repeat(Insn::mov(Reg::R0, Reg::R1), 5)
+            .nops(2)
+            .build()
+            .unwrap();
+        assert_eq!(program.words().len(), 7);
+        assert_eq!(program.insn_at(24).unwrap(), Insn::nop());
+    }
+
+    #[test]
+    fn flag_setting_helper() {
+        assert!(Insn::add(Reg::R0, Reg::R0, 1u32).flag_setting().sets_flags());
+        assert!(Insn::mul(Reg::R0, Reg::R1, Reg::R2).flag_setting().sets_flags());
+        // Unchanged for non-DP kinds.
+        assert!(!Insn::nop().flag_setting().sets_flags());
+    }
+}

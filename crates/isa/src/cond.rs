@@ -1,0 +1,305 @@
+//! Condition codes and the architectural flag state.
+//!
+//! Every instruction in the ISA is conditionally executed, exactly as in
+//! A32. The paper leans on this: the Cortex-A7 `nop` is "a conditional
+//! instruction (set never to execute) with zero-valued operands", which is
+//! why it still drives the operand buses and write-back bus with zeros and
+//! is *not* side-channel neutral.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::IsaError;
+
+/// The N/Z/C/V architectural flags.
+///
+/// ```
+/// use sca_isa::{Cond, Flags};
+///
+/// let flags = Flags { z: true, ..Flags::default() };
+/// assert!(Cond::Eq.passes(flags));
+/// assert!(!Cond::Ne.passes(flags));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Flags {
+    /// Negative: result bit 31 set.
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Carry (or shifter carry-out for logical operations).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { 'n' },
+            if self.z { 'Z' } else { 'z' },
+            if self.c { 'C' } else { 'c' },
+            if self.v { 'V' } else { 'v' },
+        )
+    }
+}
+
+/// An A32-style condition code.
+///
+/// [`Cond::Nv`] ("never") is retained — unlike modern A32 which repurposed
+/// it — because the simulated core implements `nop` as a never-executed
+/// conditional data-processing instruction (see the crate docs and the
+/// paper's Section 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0,
+    /// Not equal (Z clear).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative (N set).
+    Mi = 4,
+    /// Plus / positive-or-zero (N clear).
+    Pl = 5,
+    /// Overflow set.
+    Vs = 6,
+    /// Overflow clear.
+    Vc = 7,
+    /// Unsigned higher (C set and Z clear).
+    Hi = 8,
+    /// Unsigned lower-or-same (C clear or Z set).
+    Ls = 9,
+    /// Signed greater-or-equal (N == V).
+    Ge = 10,
+    /// Signed less (N != V).
+    Lt = 11,
+    /// Signed greater (Z clear and N == V).
+    Gt = 12,
+    /// Signed less-or-equal (Z set or N != V).
+    Le = 13,
+    /// Always.
+    #[default]
+    Al = 14,
+    /// Never: the instruction occupies pipeline resources but does not
+    /// architecturally execute.
+    Nv = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// Encoding field value (bits `[31:28]` of an instruction word).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes the four-bit condition field.
+    pub(crate) fn from_bits(bits: u32) -> Cond {
+        Cond::ALL[(bits & 0xf) as usize]
+    }
+
+    /// Evaluates the condition against the current flags.
+    ///
+    /// ```
+    /// use sca_isa::{Cond, Flags};
+    /// assert!(Cond::Al.passes(Flags::default()));
+    /// assert!(!Cond::Nv.passes(Flags::default()));
+    /// ```
+    pub fn passes(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+
+    /// The logically opposite condition (`Al`/`Nv` are each other's
+    /// opposites).
+    pub fn inverse(self) -> Cond {
+        Cond::ALL[(self as usize) ^ 1]
+    }
+
+    /// The assembly suffix; empty for [`Cond::Al`].
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Cond::Al {
+            f.write_str("al")
+        } else {
+            f.write_str(self.suffix())
+        }
+    }
+}
+
+impl FromStr for Cond {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let cond = match lower.as_str() {
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "cs" | "hs" => Cond::Cs,
+            "cc" | "lo" => Cond::Cc,
+            "mi" => Cond::Mi,
+            "pl" => Cond::Pl,
+            "vs" => Cond::Vs,
+            "vc" => Cond::Vc,
+            "hi" => Cond::Hi,
+            "ls" => Cond::Ls,
+            "ge" => Cond::Ge,
+            "lt" => Cond::Lt,
+            "gt" => Cond::Gt,
+            "le" => Cond::Le,
+            "al" | "" => Cond::Al,
+            "nv" => Cond::Nv,
+            _ => return Err(IsaError::ParseCond(s.to_owned())),
+        };
+        Ok(cond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(n: bool, z: bool, c: bool, v: bool) -> Flags {
+        Flags { n, z, c, v }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_bits(cond.bits()), cond);
+        }
+    }
+
+    #[test]
+    fn eq_ne() {
+        assert!(Cond::Eq.passes(flags(false, true, false, false)));
+        assert!(!Cond::Eq.passes(flags(false, false, false, false)));
+        assert!(Cond::Ne.passes(flags(false, false, false, false)));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // Hi: C && !Z
+        assert!(Cond::Hi.passes(flags(false, false, true, false)));
+        assert!(!Cond::Hi.passes(flags(false, true, true, false)));
+        // Ls: !C || Z
+        assert!(Cond::Ls.passes(flags(false, true, true, false)));
+        assert!(Cond::Ls.passes(flags(false, false, false, false)));
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // Ge: N == V
+        assert!(Cond::Ge.passes(flags(true, false, false, true)));
+        assert!(Cond::Ge.passes(flags(false, false, false, false)));
+        assert!(!Cond::Ge.passes(flags(true, false, false, false)));
+        // Gt: !Z && N == V
+        assert!(Cond::Gt.passes(flags(false, false, false, false)));
+        assert!(!Cond::Gt.passes(flags(false, true, false, false)));
+        // Le: Z || N != V
+        assert!(Cond::Le.passes(flags(false, true, false, false)));
+        assert!(Cond::Le.passes(flags(true, false, false, false)));
+    }
+
+    #[test]
+    fn always_and_never() {
+        for n in [false, true] {
+            for z in [false, true] {
+                let f = flags(n, z, n, z);
+                assert!(Cond::Al.passes(f));
+                assert!(!Cond::Nv.passes(f));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_complementary() {
+        for cond in Cond::ALL {
+            for bits in 0..16u8 {
+                let f = flags(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_eq!(
+                    cond.passes(f),
+                    !cond.inverse().passes(f),
+                    "cond {cond:?} flags {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for cond in Cond::ALL {
+            if cond == Cond::Al {
+                continue; // displays as "al", suffix is empty
+            }
+            assert_eq!(cond.suffix().parse::<Cond>().unwrap(), cond);
+        }
+        assert_eq!("hs".parse::<Cond>().unwrap(), Cond::Cs);
+        assert_eq!("lo".parse::<Cond>().unwrap(), Cond::Cc);
+        assert!("xx".parse::<Cond>().is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Binary instruction encoding and decoding.
+//!
+//! The ISA uses a fixed 32-bit, A32-inspired layout. Bits `[31:28]` hold
+//! the condition and bits `[27:24]` a major opcode selecting the format:
+//!
+//! | major | format |
+//! |-------|--------|
+//! | `0x0` | data-processing, register operand |
+//! | `0x1` | data-processing, rotated immediate |
+//! | `0x2` | data-processing, register shifted by immediate |
+//! | `0x3` | data-processing, register shifted by register |
+//! | `0x4` | load/store, immediate offset |
+//! | `0x5` | load/store, register offset |
+//! | `0x6` | multiply / multiply-accumulate |
+//! | `0x7` | branch / branch-and-link |
+//! | `0x8` | branch to register |
+//! | `0x9` | no-op |
+//! | `0xa` | trigger pseudo-op |
+//! | `0xb` | halt pseudo-op |
+//!
+//! Encoding and decoding round-trip exactly; this is checked by unit and
+//! property tests.
+
+use crate::{
+    AddrMode, Cond, DpOp, IndexMode, Insn, InsnKind, IsaError, MemDir, MemMultiMode, MemOffset,
+    MemSize, MulOp, Operand2, Reg, RegSet, RotatedImm, ShiftAmount, ShiftKind,
+};
+
+const MAJOR_DP_REG: u32 = 0x0;
+const MAJOR_DP_IMM: u32 = 0x1;
+const MAJOR_DP_SHIFT_IMM: u32 = 0x2;
+const MAJOR_DP_SHIFT_REG: u32 = 0x3;
+const MAJOR_MEM_IMM: u32 = 0x4;
+const MAJOR_MEM_REG: u32 = 0x5;
+const MAJOR_MUL: u32 = 0x6;
+const MAJOR_BRANCH: u32 = 0x7;
+const MAJOR_BX: u32 = 0x8;
+const MAJOR_NOP: u32 = 0x9;
+const MAJOR_TRIG: u32 = 0xa;
+const MAJOR_HALT: u32 = 0xb;
+const MAJOR_MEM_MULTI: u32 = 0xc;
+const MAJOR_MUL_LONG: u32 = 0xd;
+
+fn field(value: u32, lo: u32, width: u32) -> u32 {
+    (value >> lo) & ((1 << width) - 1)
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Errors
+///
+/// Returns an error when a value does not fit its encoding field:
+/// an immediate that is not a [`RotatedImm`], a memory offset outside
+/// `-1023..=1023`, a shifted memory offset amount above 15, or a branch
+/// offset outside the signed 23-bit range.
+pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
+    let cond = insn.cond.bits() << 28;
+    let word = match &insn.kind {
+        InsnKind::Dp { op, set_flags, rd, rn, op2 } => {
+            let common = (op.bits() << 20)
+                | (u32::from(*set_flags) << 19)
+                | ((rd.map_or(0, |r| r.index() as u32)) << 15)
+                | ((rn.map_or(0, |r| r.index() as u32)) << 11);
+            match op2 {
+                Operand2::Reg(rm) => {
+                    (MAJOR_DP_REG << 24) | common | ((rm.index() as u32) << 7)
+                }
+                Operand2::Imm(value) => {
+                    let imm = RotatedImm::encode(*value)
+                        .ok_or(IsaError::ImmediateRange(*value))?;
+                    let (imm8, rot) = imm.fields();
+                    (MAJOR_DP_IMM << 24) | common | (rot << 8) | imm8
+                }
+                Operand2::ShiftedReg { rm, kind, amount } => {
+                    let base = common | ((rm.index() as u32) << 7) | (kind.bits() << 5);
+                    match amount {
+                        ShiftAmount::Imm(n) => {
+                            if *n > 31 {
+                                return Err(IsaError::ShiftRange(*n));
+                            }
+                            (MAJOR_DP_SHIFT_IMM << 24) | base | u32::from(*n)
+                        }
+                        ShiftAmount::Reg(rs) => {
+                            (MAJOR_DP_SHIFT_REG << 24) | base | ((rs.index() as u32) << 1)
+                        }
+                    }
+                }
+            }
+        }
+        InsnKind::Mem { dir, size, rd, addr } => {
+            let idx = match addr.index {
+                IndexMode::Offset => 0,
+                IndexMode::PreWriteback => 1,
+                IndexMode::PostIndex => 2,
+            };
+            let common = (u32::from(*dir == MemDir::Load) << 23)
+                | (size.bits() << 21)
+                | (idx << 19)
+                | ((rd.index() as u32) << 14)
+                | ((addr.base.index() as u32) << 10);
+            match addr.offset {
+                MemOffset::Imm(imm) => {
+                    if !(-1023..=1023).contains(&imm) {
+                        return Err(IsaError::OffsetRange(imm));
+                    }
+                    let up = u32::from(imm >= 0) << 18;
+                    (MAJOR_MEM_IMM << 24) | common | up | (imm.unsigned_abs() & 0x3ff)
+                }
+                MemOffset::Reg { rm, kind, amount, sub } => {
+                    if amount > 15 {
+                        return Err(IsaError::ShiftRange(amount));
+                    }
+                    let up = u32::from(!sub) << 18;
+                    (MAJOR_MEM_REG << 24)
+                        | common
+                        | up
+                        | ((rm.index() as u32) << 6)
+                        | (kind.bits() << 4)
+                        | u32::from(amount)
+                }
+            }
+        }
+        InsnKind::Mul { op, set_flags, rd, rm, rs, ra } => {
+            (MAJOR_MUL << 24)
+                | (u32::from(*op == MulOp::Mla) << 23)
+                | (u32::from(*set_flags) << 22)
+                | ((rd.index() as u32) << 18)
+                | ((rm.index() as u32) << 14)
+                | ((rs.index() as u32) << 10)
+                | ((ra.map_or(0, |r| r.index() as u32)) << 6)
+        }
+        InsnKind::Branch { link, offset } => {
+            const RANGE: i32 = 1 << 22;
+            if !(-RANGE..RANGE).contains(offset) {
+                return Err(IsaError::BranchRange(*offset));
+            }
+            (MAJOR_BRANCH << 24) | (u32::from(*link) << 23) | ((*offset as u32) & 0x7f_ffff)
+        }
+        InsnKind::MemMulti { dir, base, writeback, regs, mode } => {
+            let mut rlist = 0u32;
+            for reg in regs.iter() {
+                rlist |= 1 << reg.index();
+            }
+            (MAJOR_MEM_MULTI << 24)
+                | (u32::from(*dir == MemDir::Load) << 23)
+                | (u32::from(*writeback) << 22)
+                | (u32::from(*mode == MemMultiMode::Db) << 21)
+                | ((base.index() as u32) << 16)
+                | rlist
+        }
+        InsnKind::MulLong { signed, rd_hi, rd_lo, rm, rs } => {
+            (MAJOR_MUL_LONG << 24)
+                | (u32::from(*signed) << 23)
+                | ((rd_hi.index() as u32) << 16)
+                | ((rd_lo.index() as u32) << 12)
+                | ((rm.index() as u32) << 8)
+                | ((rs.index() as u32) << 4)
+        }
+        InsnKind::Bx { rm } => (MAJOR_BX << 24) | rm.index() as u32,
+        InsnKind::Nop => MAJOR_NOP << 24,
+        InsnKind::Trig { high } => (MAJOR_TRIG << 24) | u32::from(*high),
+        InsnKind::Halt => MAJOR_HALT << 24,
+    };
+    Ok(cond | word)
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::DecodeWord`] if the major opcode or a sub-field does
+/// not name a valid instruction.
+pub fn decode(word: u32) -> Result<Insn, IsaError> {
+    let cond = Cond::from_bits(field(word, 28, 4));
+    let major = field(word, 24, 4);
+    let kind = match major {
+        MAJOR_DP_REG | MAJOR_DP_IMM | MAJOR_DP_SHIFT_IMM | MAJOR_DP_SHIFT_REG => {
+            let op = DpOp::from_bits(field(word, 20, 4)).ok_or(IsaError::DecodeWord(word))?;
+            let set_flags = field(word, 19, 1) != 0;
+            let rd_field = Reg::from_field(field(word, 15, 4));
+            let rn_field = Reg::from_field(field(word, 11, 4));
+            let rd = if op.is_compare() { None } else { Some(rd_field) };
+            let rn = if op.is_move() { None } else { Some(rn_field) };
+            let op2 = match major {
+                MAJOR_DP_REG => Operand2::Reg(Reg::from_field(field(word, 7, 4))),
+                MAJOR_DP_IMM => Operand2::Imm(
+                    RotatedImm::from_fields(field(word, 0, 8), field(word, 8, 3)).value(),
+                ),
+                MAJOR_DP_SHIFT_IMM => Operand2::ShiftedReg {
+                    rm: Reg::from_field(field(word, 7, 4)),
+                    kind: ShiftKind::from_bits(field(word, 5, 2)),
+                    amount: ShiftAmount::Imm(field(word, 0, 5) as u8),
+                },
+                _ => Operand2::ShiftedReg {
+                    rm: Reg::from_field(field(word, 7, 4)),
+                    kind: ShiftKind::from_bits(field(word, 5, 2)),
+                    amount: ShiftAmount::Reg(Reg::from_field(field(word, 1, 4))),
+                },
+            };
+            InsnKind::Dp { op, set_flags, rd, rn, op2 }
+        }
+        MAJOR_MEM_IMM | MAJOR_MEM_REG => {
+            let dir = if field(word, 23, 1) != 0 { MemDir::Load } else { MemDir::Store };
+            let size = MemSize::from_bits(field(word, 21, 2));
+            let index = match field(word, 19, 2) {
+                0 => IndexMode::Offset,
+                1 => IndexMode::PreWriteback,
+                2 => IndexMode::PostIndex,
+                _ => return Err(IsaError::DecodeWord(word)),
+            };
+            let up = field(word, 18, 1) != 0;
+            let rd = Reg::from_field(field(word, 14, 4));
+            let base = Reg::from_field(field(word, 10, 4));
+            let offset = if major == MAJOR_MEM_IMM {
+                let magnitude = field(word, 0, 10) as i32;
+                MemOffset::Imm(if up { magnitude } else { -magnitude })
+            } else {
+                MemOffset::Reg {
+                    rm: Reg::from_field(field(word, 6, 4)),
+                    kind: ShiftKind::from_bits(field(word, 4, 2)),
+                    amount: field(word, 0, 4) as u8,
+                    sub: !up,
+                }
+            };
+            InsnKind::Mem { dir, size, rd, addr: AddrMode { base, offset, index } }
+        }
+        MAJOR_MUL => {
+            let mla = field(word, 23, 1) != 0;
+            InsnKind::Mul {
+                op: if mla { MulOp::Mla } else { MulOp::Mul },
+                set_flags: field(word, 22, 1) != 0,
+                rd: Reg::from_field(field(word, 18, 4)),
+                rm: Reg::from_field(field(word, 14, 4)),
+                rs: Reg::from_field(field(word, 10, 4)),
+                ra: if mla { Some(Reg::from_field(field(word, 6, 4))) } else { None },
+            }
+        }
+        MAJOR_BRANCH => {
+            let raw = field(word, 0, 23);
+            // Sign-extend the 23-bit field.
+            let offset = ((raw << 9) as i32) >> 9;
+            InsnKind::Branch { link: field(word, 23, 1) != 0, offset }
+        }
+        MAJOR_MEM_MULTI => {
+            let mut regs = RegSet::new();
+            for i in 0..16u8 {
+                if field(word, u32::from(i), 1) != 0 {
+                    regs.insert(Reg::from_index(i).expect("index < 16"));
+                }
+            }
+            InsnKind::MemMulti {
+                dir: if field(word, 23, 1) != 0 { MemDir::Load } else { MemDir::Store },
+                writeback: field(word, 22, 1) != 0,
+                mode: if field(word, 21, 1) != 0 { MemMultiMode::Db } else { MemMultiMode::Ia },
+                base: Reg::from_field(field(word, 16, 4)),
+                regs,
+            }
+        }
+        MAJOR_MUL_LONG => InsnKind::MulLong {
+            signed: field(word, 23, 1) != 0,
+            rd_hi: Reg::from_field(field(word, 16, 4)),
+            rd_lo: Reg::from_field(field(word, 12, 4)),
+            rm: Reg::from_field(field(word, 8, 4)),
+            rs: Reg::from_field(field(word, 4, 4)),
+        },
+        MAJOR_BX => InsnKind::Bx { rm: Reg::from_field(field(word, 0, 4)) },
+        MAJOR_NOP => InsnKind::Nop,
+        MAJOR_TRIG => InsnKind::Trig { high: field(word, 0, 1) != 0 },
+        MAJOR_HALT => InsnKind::Halt,
+        _ => return Err(IsaError::DecodeWord(word)),
+    };
+    Ok(Insn { cond, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Insn;
+
+    fn round_trip(insn: Insn) {
+        let word = encode(&insn).unwrap_or_else(|e| panic!("encode {insn}: {e}"));
+        let back = decode(word).unwrap_or_else(|e| panic!("decode {insn} (0x{word:08x}): {e}"));
+        assert_eq!(back, insn, "round trip of {insn} via 0x{word:08x}");
+    }
+
+    #[test]
+    fn round_trip_dp_forms() {
+        round_trip(Insn::mov(Reg::R0, Reg::R1));
+        round_trip(Insn::mov(Reg::R0, 0xff00u32));
+        round_trip(Insn::mvn(Reg::R7, 0u32));
+        round_trip(Insn::add(Reg::R1, Reg::R2, Reg::R3));
+        round_trip(Insn::add(Reg::R1, Reg::R2, 0xffu32));
+        round_trip(Insn::eor(Reg::R4, Reg::R5, Reg::R6).with_cond(Cond::Ne));
+        round_trip(Insn::cmp(Reg::R1, 0u32));
+        round_trip(Insn::cmp(Reg::R1, Reg::R2));
+        let mut s = Insn::sub(Reg::R1, Reg::R1, 1u32);
+        if let InsnKind::Dp { set_flags, .. } = &mut s.kind {
+            *set_flags = true;
+        }
+        round_trip(s);
+    }
+
+    #[test]
+    fn round_trip_shifted_forms() {
+        round_trip(Insn::shift_imm(ShiftKind::Lsl, Reg::R0, Reg::R1, 31));
+        round_trip(Insn::shift_imm(ShiftKind::Ror, Reg::R0, Reg::R1, 8));
+        let by_reg = Insn::new(InsnKind::Dp {
+            op: DpOp::Add,
+            set_flags: false,
+            rd: Some(Reg::R0),
+            rn: Some(Reg::R1),
+            op2: Operand2::ShiftedReg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsr,
+                amount: ShiftAmount::Reg(Reg::R3),
+            },
+        });
+        round_trip(by_reg);
+    }
+
+    #[test]
+    fn round_trip_mem_forms() {
+        round_trip(Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)));
+        round_trip(Insn::ldrb(Reg::R2, AddrMode::imm_offset(Reg::R3, 17).unwrap()));
+        round_trip(Insn::ldrh(Reg::R2, AddrMode::imm_offset(Reg::R3, -1023).unwrap()));
+        round_trip(Insn::str(Reg::R4, AddrMode::reg_offset(Reg::R5, Reg::R6)));
+        round_trip(Insn::strb(Reg::R4, AddrMode {
+            base: Reg::R5,
+            offset: MemOffset::Reg { rm: Reg::R6, kind: ShiftKind::Lsl, amount: 2, sub: true },
+            index: IndexMode::PreWriteback,
+        }));
+        round_trip(Insn::strh(Reg::R4, AddrMode {
+            base: Reg::R5,
+            offset: MemOffset::Imm(4),
+            index: IndexMode::PostIndex,
+        }));
+    }
+
+    #[test]
+    fn round_trip_mul_branch_misc() {
+        round_trip(Insn::mul(Reg::R0, Reg::R1, Reg::R2));
+        round_trip(Insn::mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3));
+        round_trip(Insn::b(0));
+        round_trip(Insn::b(-200));
+        round_trip(Insn::bl(12345));
+        round_trip(Insn::bx(Reg::LR));
+        round_trip(Insn::nop());
+        round_trip(Insn::nop().with_cond(Cond::Nv));
+        round_trip(Insn::trig(true));
+        round_trip(Insn::trig(false));
+        round_trip(Insn::halt());
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        assert!(matches!(
+            encode(&Insn::mov(Reg::R0, 0x1234_5678u32)),
+            Err(IsaError::ImmediateRange(_))
+        ));
+        assert!(matches!(
+            encode(&Insn::b(1 << 23)),
+            Err(IsaError::BranchRange(_))
+        ));
+        let bad_shift = Insn::new(InsnKind::Dp {
+            op: DpOp::Mov,
+            set_flags: false,
+            rd: Some(Reg::R0),
+            rn: None,
+            op2: Operand2::ShiftedReg {
+                rm: Reg::R1,
+                kind: ShiftKind::Lsl,
+                amount: ShiftAmount::Imm(32),
+            },
+        });
+        assert!(matches!(encode(&bad_shift), Err(IsaError::ShiftRange(_))));
+    }
+
+    #[test]
+    fn decode_rejects_bad_major() {
+        // Major 0xe..0xf are unused.
+        for major in 0xeu32..=0xf {
+            let word = major << 24;
+            assert!(decode(word).is_err(), "major {major:#x} should not decode");
+        }
+    }
+
+    #[test]
+    fn round_trip_multi_and_long() {
+        let regs: RegSet = [Reg::R0, Reg::R4, Reg::LR].into_iter().collect();
+        round_trip(Insn::push(regs));
+        round_trip(Insn::pop(regs));
+        round_trip(Insn::ldmia(Reg::R1, false, regs));
+        round_trip(Insn::stmdb(Reg::R2, true, regs).with_cond(Cond::Ne));
+        round_trip(Insn::umull(Reg::R0, Reg::R1, Reg::R2, Reg::R3));
+        round_trip(Insn::smull(Reg::R4, Reg::R5, Reg::R6, Reg::R7));
+    }
+
+    #[test]
+    fn branch_sign_extension() {
+        let word = encode(&Insn::b(-1)).unwrap();
+        let insn = decode(word).unwrap();
+        assert!(matches!(insn.kind, InsnKind::Branch { link: false, offset: -1 }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, encoding, decoding, or assembling
+/// instructions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// Register index above 15.
+    InvalidRegister(u8),
+    /// Text did not name a register.
+    ParseRegister(String),
+    /// Text did not name a condition code.
+    ParseCond(String),
+    /// Text did not name a shift operation.
+    ParseShift(String),
+    /// Immediate not expressible as a rotated 8-bit constant.
+    ImmediateRange(u32),
+    /// Memory offset outside `-1023..=1023`.
+    OffsetRange(i32),
+    /// Shift amount outside its encoding field.
+    ShiftRange(u8),
+    /// Branch offset outside the signed 23-bit instruction range.
+    BranchRange(i32),
+    /// Word does not decode to a valid instruction.
+    DecodeWord(u32),
+    /// Assembly-source error, with 1-based line number.
+    Asm {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl IsaError {
+    /// Shorthand for an assembler error at `line`.
+    pub(crate) fn asm(line: usize, message: impl Into<String>) -> IsaError {
+        IsaError::Asm { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(idx) => write!(f, "register index {idx} out of range"),
+            IsaError::ParseRegister(s) => write!(f, "`{s}` is not a register"),
+            IsaError::ParseCond(s) => write!(f, "`{s}` is not a condition code"),
+            IsaError::ParseShift(s) => write!(f, "`{s}` is not a shift operation"),
+            IsaError::ImmediateRange(v) => {
+                write!(f, "immediate 0x{v:x} is not encodable as a rotated 8-bit constant")
+            }
+            IsaError::OffsetRange(v) => write!(f, "memory offset {v} outside -1023..=1023"),
+            IsaError::ShiftRange(v) => write!(f, "shift amount {v} outside encoding range"),
+            IsaError::BranchRange(v) => write!(f, "branch offset {v} outside signed 23-bit range"),
+            IsaError::DecodeWord(w) => write!(f, "word 0x{w:08x} is not a valid instruction"),
+            IsaError::Asm { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msg = IsaError::InvalidRegister(99).to_string();
+        assert!(msg.starts_with("register"));
+        assert!(!msg.ends_with('.'));
+        let msg = IsaError::asm(3, "unknown mnemonic `foo`").to_string();
+        assert_eq!(msg, "line 3: unknown mnemonic `foo`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

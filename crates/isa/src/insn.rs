@@ -1,0 +1,966 @@
+//! Instruction definitions, classification, and data-flow queries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AddrMode, Cond, Operand2, Reg, RegSet, ShiftAmount};
+
+/// Data-processing opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum DpOp {
+    /// Bitwise AND.
+    And = 0,
+    /// Bitwise exclusive OR.
+    Eor = 1,
+    /// Subtract.
+    Sub = 2,
+    /// Reverse subtract (`rd = op2 - rn`).
+    Rsb = 3,
+    /// Add.
+    Add = 4,
+    /// Add with carry.
+    Adc = 5,
+    /// Subtract with carry.
+    Sbc = 6,
+    /// Bit clear (`rd = rn & !op2`).
+    Bic = 7,
+    /// Compare (flags only).
+    Cmp = 8,
+    /// Compare negative (flags only).
+    Cmn = 9,
+    /// Test bits (flags only).
+    Tst = 10,
+    /// Test equivalence (flags only).
+    Teq = 11,
+    /// Move.
+    Mov = 12,
+    /// Move NOT.
+    Mvn = 13,
+    /// Bitwise inclusive OR.
+    Orr = 14,
+}
+
+impl DpOp {
+    /// All data-processing opcodes in encoding order.
+    pub const ALL: [DpOp; 15] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Bic,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Tst,
+        DpOp::Teq,
+        DpOp::Mov,
+        DpOp::Mvn,
+        DpOp::Orr,
+    ];
+
+    /// Encoding field value.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    pub(crate) fn from_bits(bits: u32) -> Option<DpOp> {
+        DpOp::ALL.get(bits as usize).copied()
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Bic => "bic",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+            DpOp::Mov => "mov",
+            DpOp::Mvn => "mvn",
+            DpOp::Orr => "orr",
+        }
+    }
+
+    /// Move-style operations have no first source register.
+    pub fn is_move(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// Compare/test operations write flags but no destination register.
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Cmp | DpOp::Cmn | DpOp::Tst | DpOp::Teq)
+    }
+
+    /// Logical operations derive C from the shifter carry-out.
+    pub fn is_logical(self) -> bool {
+        matches!(
+            self,
+            DpOp::And | DpOp::Eor | DpOp::Tst | DpOp::Teq | DpOp::Orr | DpOp::Mov | DpOp::Mvn | DpOp::Bic
+        )
+    }
+
+    /// Whether the operation consumes the incoming carry flag.
+    pub fn uses_carry(self) -> bool {
+        matches!(self, DpOp::Adc | DpOp::Sbc)
+    }
+}
+
+impl fmt::Display for DpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Multiply opcodes — executed by the (single) pipelined multiplier that
+/// lives next to the barrel shifter in ALU pipe 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MulOp {
+    /// `rd = rm * rs`
+    Mul,
+    /// `rd = rm * rs + ra`
+    Mla,
+}
+
+impl MulOp {
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mla => "mla",
+        }
+    }
+}
+
+/// Access width of a memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MemSize {
+    /// 32-bit word.
+    Word = 0,
+    /// 8-bit byte. Sub-word accesses exercise the LSU align buffer.
+    Byte = 1,
+    /// 16-bit halfword. Sub-word accesses exercise the LSU align buffer.
+    Half = 2,
+}
+
+impl MemSize {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Word => 4,
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+        }
+    }
+
+    /// Whether this is a sub-word access (byte or halfword).
+    pub fn is_subword(self) -> bool {
+        !matches!(self, MemSize::Word)
+    }
+
+    /// Mnemonic suffix (`""`, `"b"`, `"h"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemSize::Word => "",
+            MemSize::Byte => "b",
+            MemSize::Half => "h",
+        }
+    }
+
+    pub(crate) fn bits(self) -> u32 {
+        self as u32
+    }
+
+    pub(crate) fn from_bits(bits: u32) -> MemSize {
+        match bits & 0x3 {
+            1 => MemSize::Byte,
+            2 => MemSize::Half,
+            _ => MemSize::Word,
+        }
+    }
+}
+
+/// Direction of a memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MemDir {
+    /// Load from memory into a register.
+    Load,
+    /// Store from a register to memory.
+    Store,
+}
+
+/// Addressing discipline of a load/store-multiple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MemMultiMode {
+    /// Increment after (`ldmia`/`stmia`; `pop` is `ldmia sp!`).
+    Ia,
+    /// Decrement before (`ldmdb`/`stmdb`; `push` is `stmdb sp!`).
+    Db,
+}
+
+/// The operation performed by an instruction, without its condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InsnKind {
+    /// Data-processing operation.
+    Dp {
+        /// Opcode.
+        op: DpOp,
+        /// Whether flags are updated (`s` suffix). Compares always set flags.
+        set_flags: bool,
+        /// Destination (`None` for compare/test ops).
+        rd: Option<Reg>,
+        /// First source (`None` for move ops).
+        rn: Option<Reg>,
+        /// Flexible second operand.
+        op2: Operand2,
+    },
+    /// Multiply / multiply-accumulate.
+    Mul {
+        /// Opcode.
+        op: MulOp,
+        /// Whether flags are updated.
+        set_flags: bool,
+        /// Destination.
+        rd: Reg,
+        /// Multiplicand.
+        rm: Reg,
+        /// Multiplier.
+        rs: Reg,
+        /// Accumulator (only for [`MulOp::Mla`]).
+        ra: Option<Reg>,
+    },
+    /// Load or store.
+    Mem {
+        /// Load or store.
+        dir: MemDir,
+        /// Access width.
+        size: MemSize,
+        /// Data register (destination for loads, source for stores).
+        rd: Reg,
+        /// Addressing mode.
+        addr: AddrMode,
+    },
+    /// Load/store multiple: sequential word transfers through the LSU,
+    /// lowest-numbered register at the lowest address (A32 semantics).
+    MemMulti {
+        /// Load or store.
+        dir: MemDir,
+        /// Base register.
+        base: Reg,
+        /// Whether the base is written back.
+        writeback: bool,
+        /// Transferred registers.
+        regs: RegSet,
+        /// Increment-after or decrement-before.
+        mode: MemMultiMode,
+    },
+    /// 64-bit multiply: `rd_hi:rd_lo = rm * rs` (`umull`/`smull`).
+    MulLong {
+        /// Signed (`smull`) or unsigned (`umull`).
+        signed: bool,
+        /// High result word.
+        rd_hi: Reg,
+        /// Low result word.
+        rd_lo: Reg,
+        /// Multiplicand.
+        rm: Reg,
+        /// Multiplier.
+        rs: Reg,
+    },
+    /// PC-relative branch. The offset is in *instructions* relative to the
+    /// instruction after the branch.
+    Branch {
+        /// Whether `lr` is written (branch-and-link).
+        link: bool,
+        /// Signed instruction offset.
+        offset: i32,
+    },
+    /// Branch to register.
+    Bx {
+        /// Target register.
+        rm: Reg,
+    },
+    /// Architectural no-op. Microarchitecturally this is a never-executed
+    /// conditional data-processing instruction with zero operands: it
+    /// occupies an issue slot, drives zeros onto the IS/EX operand buses
+    /// and zeroes the write-back bus (paper, Section 4.1).
+    Nop,
+    /// Toggle the simulated GPIO trigger pin (measurement window marker).
+    Trig {
+        /// Pin level to assert.
+        high: bool,
+    },
+    /// Stop the simulation (models the end of a bare-metal benchmark).
+    Halt,
+}
+
+/// A complete instruction: a condition plus an operation.
+///
+/// ```
+/// use sca_isa::{Insn, Reg};
+///
+/// let insn = Insn::add(Reg::R0, Reg::R1, Reg::R2);
+/// assert_eq!(insn.to_string(), "add r0, r1, r2");
+/// assert_eq!(insn.class(), sca_isa::InsnClass::Alu);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Insn {
+    /// Condition under which the instruction architecturally executes.
+    pub cond: Cond,
+    /// The operation.
+    pub kind: InsnKind,
+}
+
+impl Insn {
+    /// Wraps an [`InsnKind`] with the always condition.
+    pub fn new(kind: InsnKind) -> Insn {
+        Insn { cond: Cond::Al, kind }
+    }
+
+    /// Replaces the condition.
+    pub fn with_cond(mut self, cond: Cond) -> Insn {
+        self.cond = cond;
+        self
+    }
+
+    // ---- convenience constructors -------------------------------------
+
+    /// `mov rd, op2`
+    pub fn mov(rd: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::new(InsnKind::Dp {
+            op: DpOp::Mov,
+            set_flags: false,
+            rd: Some(rd),
+            rn: None,
+            op2: op2.into(),
+        })
+    }
+
+    /// `mvn rd, op2`
+    pub fn mvn(rd: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::new(InsnKind::Dp {
+            op: DpOp::Mvn,
+            set_flags: false,
+            rd: Some(rd),
+            rn: None,
+            op2: op2.into(),
+        })
+    }
+
+    /// Generic three-operand data-processing constructor.
+    pub fn dp(op: DpOp, rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::new(InsnKind::Dp {
+            op,
+            set_flags: false,
+            rd: Some(rd),
+            rn: Some(rn),
+            op2: op2.into(),
+        })
+    }
+
+    /// `add rd, rn, op2`
+    pub fn add(rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::dp(DpOp::Add, rd, rn, op2)
+    }
+
+    /// `sub rd, rn, op2`
+    pub fn sub(rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::dp(DpOp::Sub, rd, rn, op2)
+    }
+
+    /// `eor rd, rn, op2`
+    pub fn eor(rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::dp(DpOp::Eor, rd, rn, op2)
+    }
+
+    /// `and rd, rn, op2`
+    pub fn and(rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::dp(DpOp::And, rd, rn, op2)
+    }
+
+    /// `orr rd, rn, op2`
+    pub fn orr(rd: Reg, rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::dp(DpOp::Orr, rd, rn, op2)
+    }
+
+    /// `cmp rn, op2`
+    pub fn cmp(rn: Reg, op2: impl Into<Operand2>) -> Insn {
+        Insn::new(InsnKind::Dp {
+            op: DpOp::Cmp,
+            set_flags: true,
+            rd: None,
+            rn: Some(rn),
+            op2: op2.into(),
+        })
+    }
+
+    /// Explicit shift: `lsl/lsr/asr/ror rd, rm, #amount` — sugar for a
+    /// `mov` with a shifted-register operand, exactly as in A32.
+    pub fn shift_imm(kind: crate::ShiftKind, rd: Reg, rm: Reg, amount: u8) -> Insn {
+        Insn::new(InsnKind::Dp {
+            op: DpOp::Mov,
+            set_flags: false,
+            rd: Some(rd),
+            rn: None,
+            op2: Operand2::ShiftedReg { rm, kind, amount: ShiftAmount::Imm(amount) },
+        })
+    }
+
+    /// `mul rd, rm, rs`
+    pub fn mul(rd: Reg, rm: Reg, rs: Reg) -> Insn {
+        Insn::new(InsnKind::Mul {
+            op: MulOp::Mul,
+            set_flags: false,
+            rd,
+            rm,
+            rs,
+            ra: None,
+        })
+    }
+
+    /// `mla rd, rm, rs, ra`
+    pub fn mla(rd: Reg, rm: Reg, rs: Reg, ra: Reg) -> Insn {
+        Insn::new(InsnKind::Mul {
+            op: MulOp::Mla,
+            set_flags: false,
+            rd,
+            rm,
+            rs,
+            ra: Some(ra),
+        })
+    }
+
+    /// `ldr rd, addr` (word).
+    pub fn ldr(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Word, rd, addr })
+    }
+
+    /// `ldrb rd, addr`.
+    pub fn ldrb(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Byte, rd, addr })
+    }
+
+    /// `ldrh rd, addr`.
+    pub fn ldrh(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Half, rd, addr })
+    }
+
+    /// `str rd, addr` (word).
+    pub fn str(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Word, rd, addr })
+    }
+
+    /// `strb rd, addr`.
+    pub fn strb(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Byte, rd, addr })
+    }
+
+    /// `strh rd, addr`.
+    pub fn strh(rd: Reg, addr: AddrMode) -> Insn {
+        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Half, rd, addr })
+    }
+
+    /// `ldmia base(!), {regs}`.
+    pub fn ldmia(base: Reg, writeback: bool, regs: RegSet) -> Insn {
+        Insn::new(InsnKind::MemMulti {
+            dir: MemDir::Load,
+            base,
+            writeback,
+            regs,
+            mode: MemMultiMode::Ia,
+        })
+    }
+
+    /// `stmdb base(!), {regs}`.
+    pub fn stmdb(base: Reg, writeback: bool, regs: RegSet) -> Insn {
+        Insn::new(InsnKind::MemMulti {
+            dir: MemDir::Store,
+            base,
+            writeback,
+            regs,
+            mode: MemMultiMode::Db,
+        })
+    }
+
+    /// `push {regs}` — alias of `stmdb sp!, {regs}`.
+    pub fn push(regs: RegSet) -> Insn {
+        Insn::stmdb(Reg::SP, true, regs)
+    }
+
+    /// `pop {regs}` — alias of `ldmia sp!, {regs}`.
+    pub fn pop(regs: RegSet) -> Insn {
+        Insn::ldmia(Reg::SP, true, regs)
+    }
+
+    /// `umull rd_lo, rd_hi, rm, rs`.
+    pub fn umull(rd_lo: Reg, rd_hi: Reg, rm: Reg, rs: Reg) -> Insn {
+        Insn::new(InsnKind::MulLong { signed: false, rd_hi, rd_lo, rm, rs })
+    }
+
+    /// `smull rd_lo, rd_hi, rm, rs`.
+    pub fn smull(rd_lo: Reg, rd_hi: Reg, rm: Reg, rs: Reg) -> Insn {
+        Insn::new(InsnKind::MulLong { signed: true, rd_hi, rd_lo, rm, rs })
+    }
+
+    /// `b offset` (offset in instructions from the next instruction).
+    pub fn b(offset: i32) -> Insn {
+        Insn::new(InsnKind::Branch { link: false, offset })
+    }
+
+    /// `bl offset`.
+    pub fn bl(offset: i32) -> Insn {
+        Insn::new(InsnKind::Branch { link: true, offset })
+    }
+
+    /// `bx rm`.
+    pub fn bx(rm: Reg) -> Insn {
+        Insn::new(InsnKind::Bx { rm })
+    }
+
+    /// `nop`.
+    pub fn nop() -> Insn {
+        Insn::new(InsnKind::Nop)
+    }
+
+    /// `trig #level` — simulated GPIO trigger edge.
+    pub fn trig(high: bool) -> Insn {
+        Insn::new(InsnKind::Trig { high })
+    }
+
+    /// `halt`.
+    pub fn halt() -> Insn {
+        Insn::new(InsnKind::Halt)
+    }
+
+    // ---- data-flow queries ---------------------------------------------
+
+    /// The set of registers this instruction reads.
+    pub fn reads(&self) -> RegSet {
+        let mut set = RegSet::new();
+        match &self.kind {
+            InsnKind::Dp { rn, op2, .. } => {
+                set.extend(rn.iter().copied());
+                set.extend(op2.reads());
+            }
+            InsnKind::Mul { rm, rs, ra, .. } => {
+                set.insert(*rm);
+                set.insert(*rs);
+                set.extend(ra.iter().copied());
+            }
+            InsnKind::Mem { dir, rd, addr, .. } => {
+                set.extend(addr.reads());
+                if *dir == MemDir::Store {
+                    set.insert(*rd);
+                }
+            }
+            InsnKind::MemMulti { dir, base, regs, .. } => {
+                set.insert(*base);
+                if *dir == MemDir::Store {
+                    set = set.union(*regs);
+                }
+            }
+            InsnKind::MulLong { rm, rs, .. } => {
+                set.insert(*rm);
+                set.insert(*rs);
+            }
+            InsnKind::Bx { rm } => set.insert(*rm),
+            InsnKind::Branch { .. } | InsnKind::Nop | InsnKind::Trig { .. } | InsnKind::Halt => {}
+        }
+        set
+    }
+
+    /// The set of registers this instruction writes.
+    pub fn writes(&self) -> RegSet {
+        let mut set = RegSet::new();
+        match &self.kind {
+            InsnKind::Dp { rd, .. } => set.extend(rd.iter().copied()),
+            InsnKind::Mul { rd, .. } => set.insert(*rd),
+            InsnKind::Mem { dir, rd, addr, .. } => {
+                if *dir == MemDir::Load {
+                    set.insert(*rd);
+                }
+                if addr.writes_base() {
+                    set.insert(addr.base);
+                }
+            }
+            InsnKind::MemMulti { dir, base, writeback, regs, .. } => {
+                if *dir == MemDir::Load {
+                    set = set.union(*regs);
+                }
+                if *writeback {
+                    set.insert(*base);
+                }
+            }
+            InsnKind::MulLong { rd_hi, rd_lo, .. } => {
+                set.insert(*rd_hi);
+                set.insert(*rd_lo);
+            }
+            InsnKind::Branch { link, .. } => {
+                if *link {
+                    set.insert(Reg::LR);
+                }
+            }
+            InsnKind::Bx { .. } | InsnKind::Nop | InsnKind::Trig { .. } | InsnKind::Halt => {}
+        }
+        set
+    }
+
+    /// Number of register-file read ports the instruction needs in the
+    /// issue stage.
+    ///
+    /// Stores reserve a port for the data register in addition to the
+    /// address registers, which is how the Table 1 `ld/st` pairing
+    /// restrictions arise from a three-read-port register file.
+    pub fn read_ports(&self) -> usize {
+        match &self.kind {
+            // ld/st reserve the LSU's two operand ports (base + data) as a
+            // unit; loads leave the data port idle but still own it.
+            InsnKind::Mem { addr, .. } => 1 + addr.reads().count(),
+            // Multi-transfers iterate through the LSU's ports beat by
+            // beat; they never demand more than the unit's two ports in
+            // one cycle.
+            InsnKind::MemMulti { .. } => 2,
+            _ => self.reads().len(),
+        }
+    }
+
+    /// Whether the instruction updates the flags.
+    pub fn sets_flags(&self) -> bool {
+        match &self.kind {
+            InsnKind::Dp { set_flags, op, .. } => *set_flags || op.is_compare(),
+            InsnKind::Mul { set_flags, .. } => *set_flags,
+            _ => false,
+        }
+    }
+
+    /// Whether the instruction reads the flags (conditional execution or
+    /// carry-consuming ops).
+    pub fn reads_flags(&self) -> bool {
+        if self.cond != Cond::Al && self.cond != Cond::Nv {
+            return true;
+        }
+        match &self.kind {
+            InsnKind::Dp { op, .. } => op.uses_carry(),
+            _ => false,
+        }
+    }
+
+    /// The instruction class used by the dual-issue policy (Table 1 of the
+    /// paper).
+    pub fn class(&self) -> InsnClass {
+        match &self.kind {
+            InsnKind::Nop => InsnClass::Nop,
+            InsnKind::Dp { op, op2, .. } => {
+                if op2.uses_shifter() {
+                    InsnClass::Shift
+                } else if op.is_move() {
+                    InsnClass::Mov
+                } else if op2.is_imm() {
+                    InsnClass::AluImm
+                } else {
+                    InsnClass::Alu
+                }
+            }
+            InsnKind::Mul { .. } | InsnKind::MulLong { .. } => InsnClass::Mul,
+            InsnKind::Mem { .. } | InsnKind::MemMulti { .. } => InsnClass::LdSt,
+            InsnKind::Branch { .. } | InsnKind::Bx { .. } => InsnClass::Branch,
+            // Trigger/halt are measurement pseudo-ops; they behave like
+            // system instructions and never pair.
+            InsnKind::Trig { .. } | InsnKind::Halt => InsnClass::System,
+        }
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, InsnKind::Branch { .. } | InsnKind::Bx { .. })
+    }
+
+    /// Whether this is a memory access.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, InsnKind::Mem { .. } | InsnKind::MemMulti { .. })
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cond = self.cond.suffix();
+        match &self.kind {
+            InsnKind::Dp { op, set_flags, rd, rn, op2 } => {
+                let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+                write!(f, "{op}{cond}{s} ")?;
+                let mut first = true;
+                if let Some(rd) = rd {
+                    write!(f, "{rd}")?;
+                    first = false;
+                }
+                if let Some(rn) = rn {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{rn}")?;
+                    first = false;
+                }
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{op2}")
+            }
+            InsnKind::Mul { op, set_flags, rd, rm, rs, ra } => {
+                let s = if *set_flags { "s" } else { "" };
+                write!(f, "{}{cond}{s} {rd}, {rm}, {rs}", op.mnemonic())?;
+                if let Some(ra) = ra {
+                    write!(f, ", {ra}")?;
+                }
+                Ok(())
+            }
+            InsnKind::Mem { dir, size, rd, addr } => {
+                let mnem = match dir {
+                    MemDir::Load => "ldr",
+                    MemDir::Store => "str",
+                };
+                // UAL order: size suffix before the condition (`strbeq`).
+                write!(f, "{mnem}{}{cond} {rd}, {addr}", size.suffix())
+            }
+            InsnKind::MemMulti { dir, base, writeback, regs, mode } => {
+                let reg_list = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    write!(f, "{{")?;
+                    for (i, reg) in regs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{reg}")?;
+                    }
+                    write!(f, "}}")
+                };
+                // Canonical aliases for the stack idioms.
+                if *base == Reg::SP && *writeback {
+                    match (dir, mode) {
+                        (MemDir::Store, MemMultiMode::Db) => {
+                            write!(f, "push{cond} ")?;
+                            return reg_list(f);
+                        }
+                        (MemDir::Load, MemMultiMode::Ia) => {
+                            write!(f, "pop{cond} ")?;
+                            return reg_list(f);
+                        }
+                        _ => {}
+                    }
+                }
+                let mnem = match (dir, mode) {
+                    (MemDir::Load, MemMultiMode::Ia) => "ldmia",
+                    (MemDir::Load, MemMultiMode::Db) => "ldmdb",
+                    (MemDir::Store, MemMultiMode::Ia) => "stmia",
+                    (MemDir::Store, MemMultiMode::Db) => "stmdb",
+                };
+                write!(f, "{mnem}{cond} {base}{} ", if *writeback { "!," } else { "," })?;
+                reg_list(f)
+            }
+            InsnKind::MulLong { signed, rd_hi, rd_lo, rm, rs } => {
+                let mnem = if *signed { "smull" } else { "umull" };
+                write!(f, "{mnem}{cond} {rd_lo}, {rd_hi}, {rm}, {rs}")
+            }
+            InsnKind::Branch { link, offset } => {
+                let mnem = if *link { "bl" } else { "b" };
+                write!(f, "{mnem}{cond} {offset:+}")
+            }
+            InsnKind::Bx { rm } => write!(f, "bx{cond} {rm}"),
+            InsnKind::Nop => write!(f, "nop{cond}"),
+            InsnKind::Trig { high } => write!(f, "trig{cond} #{}", u8::from(*high)),
+            InsnKind::Halt => write!(f, "halt{cond}"),
+        }
+    }
+}
+
+/// Instruction classes distinguished by the Cortex-A7 dual-issue policy
+/// (rows/columns of Table 1 in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum InsnClass {
+    /// Register or immediate moves.
+    Mov = 0,
+    /// Arithmetic/logic with a register second operand.
+    Alu = 1,
+    /// Arithmetic/logic with an immediate second operand.
+    AluImm = 2,
+    /// Multiplies.
+    Mul = 3,
+    /// Anything routed through the barrel shifter.
+    Shift = 4,
+    /// Branches.
+    Branch = 5,
+    /// Loads and stores.
+    LdSt = 6,
+    /// The never-executed conditional `nop` (not dual-issued on the A7).
+    Nop = 7,
+    /// Measurement pseudo-ops (trigger, halt).
+    System = 8,
+}
+
+impl InsnClass {
+    /// The seven classes that appear in Table 1, in the paper's column
+    /// order.
+    pub const TABLE1: [InsnClass; 7] = [
+        InsnClass::Mov,
+        InsnClass::Alu,
+        InsnClass::AluImm,
+        InsnClass::Mul,
+        InsnClass::Shift,
+        InsnClass::Branch,
+        InsnClass::LdSt,
+    ];
+
+    /// Total number of classes.
+    pub const COUNT: usize = 9;
+
+    /// Short label used when rendering Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            InsnClass::Mov => "mov",
+            InsnClass::Alu => "ALU",
+            InsnClass::AluImm => "ALU w/ imm",
+            InsnClass::Mul => "mul",
+            InsnClass::Shift => "shifts",
+            InsnClass::Branch => "branch",
+            InsnClass::LdSt => "ld/st",
+            InsnClass::Nop => "nop",
+            InsnClass::System => "system",
+        }
+    }
+
+    /// Index usable for matrix storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for InsnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShiftKind;
+
+    #[test]
+    fn classification_matches_table1_rows() {
+        assert_eq!(Insn::mov(Reg::R0, Reg::R1).class(), InsnClass::Mov);
+        assert_eq!(Insn::mov(Reg::R0, 7u32).class(), InsnClass::Mov);
+        assert_eq!(Insn::add(Reg::R0, Reg::R1, Reg::R2).class(), InsnClass::Alu);
+        assert_eq!(Insn::add(Reg::R0, Reg::R1, 4u32).class(), InsnClass::AluImm);
+        assert_eq!(Insn::mul(Reg::R0, Reg::R1, Reg::R2).class(), InsnClass::Mul);
+        assert_eq!(
+            Insn::shift_imm(ShiftKind::Lsl, Reg::R0, Reg::R1, 3).class(),
+            InsnClass::Shift
+        );
+        let shifted_add = Insn::add(
+            Reg::R0,
+            Reg::R1,
+            Operand2::ShiftedReg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsl,
+                amount: ShiftAmount::Imm(4),
+            },
+        );
+        assert_eq!(shifted_add.class(), InsnClass::Shift);
+        assert_eq!(Insn::b(-3).class(), InsnClass::Branch);
+        assert_eq!(Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)).class(), InsnClass::LdSt);
+        assert_eq!(Insn::nop().class(), InsnClass::Nop);
+    }
+
+    #[test]
+    fn read_write_sets_dp() {
+        let insn = Insn::add(Reg::R0, Reg::R1, Reg::R2);
+        assert_eq!(insn.reads(), [Reg::R1, Reg::R2].into_iter().collect());
+        assert_eq!(insn.writes(), [Reg::R0].into_iter().collect());
+        assert_eq!(insn.read_ports(), 2);
+        let imm = Insn::add(Reg::R0, Reg::R1, 9u32);
+        assert_eq!(imm.read_ports(), 1);
+    }
+
+    #[test]
+    fn read_write_sets_mem() {
+        let load = Insn::ldr(Reg::R0, AddrMode::base(Reg::R1));
+        assert_eq!(load.reads(), [Reg::R1].into_iter().collect());
+        assert_eq!(load.writes(), [Reg::R0].into_iter().collect());
+        // The LSU owns two ports even for loads.
+        assert_eq!(load.read_ports(), 2);
+
+        let store = Insn::str(Reg::R0, AddrMode::base(Reg::R1));
+        assert_eq!(store.reads(), [Reg::R0, Reg::R1].into_iter().collect());
+        assert!(store.writes().is_empty());
+        assert_eq!(store.read_ports(), 2);
+    }
+
+    #[test]
+    fn read_write_sets_mul_and_branch() {
+        let mla = Insn::mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3);
+        assert_eq!(mla.reads().len(), 3);
+        assert_eq!(mla.writes(), [Reg::R0].into_iter().collect());
+        let bl = Insn::bl(5);
+        assert_eq!(bl.writes(), [Reg::LR].into_iter().collect());
+        assert!(bl.reads().is_empty());
+    }
+
+    #[test]
+    fn writeback_addressing_writes_base() {
+        let addr = AddrMode {
+            base: Reg::R1,
+            offset: crate::MemOffset::Imm(4),
+            index: crate::IndexMode::PostIndex,
+        };
+        let load = Insn::ldr(Reg::R0, addr);
+        assert!(load.writes().contains(Reg::R1));
+        assert!(load.writes().contains(Reg::R0));
+    }
+
+    #[test]
+    fn flags_queries() {
+        assert!(Insn::cmp(Reg::R0, Reg::R1).sets_flags());
+        assert!(!Insn::add(Reg::R0, Reg::R1, Reg::R2).sets_flags());
+        let adc = Insn::dp(DpOp::Adc, Reg::R0, Reg::R1, Reg::R2);
+        assert!(adc.reads_flags());
+        let cond = Insn::add(Reg::R0, Reg::R1, Reg::R2).with_cond(Cond::Eq);
+        assert!(cond.reads_flags());
+        // Nv does not *evaluate* flags: it never executes.
+        let nop_like = Insn::mov(Reg::R0, 0u32).with_cond(Cond::Nv);
+        assert!(!nop_like.reads_flags());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Insn::mov(Reg::R0, 5u32).to_string(), "mov r0, #5");
+        assert_eq!(Insn::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(Insn::cmp(Reg::R1, 0u32).to_string(), "cmp r1, #0");
+        assert_eq!(
+            Insn::shift_imm(ShiftKind::Lsl, Reg::R0, Reg::R1, 3).to_string(),
+            "mov r0, r1, lsl #3"
+        );
+        assert_eq!(
+            Insn::mla(Reg::R0, Reg::R1, Reg::R2, Reg::R3).to_string(),
+            "mla r0, r1, r2, r3"
+        );
+        assert_eq!(
+            Insn::ldrb(Reg::R0, AddrMode::base(Reg::R1)).to_string(),
+            "ldrb r0, [r1]"
+        );
+        assert_eq!(Insn::b(4).with_cond(Cond::Ne).to_string(), "bne +4");
+        assert_eq!(Insn::nop().to_string(), "nop");
+        assert_eq!(Insn::trig(true).to_string(), "trig #1");
+    }
+}

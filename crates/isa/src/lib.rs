@@ -1,0 +1,62 @@
+//! # sca-isa — the instruction-set substrate
+//!
+//! An A32-inspired 32-bit ISA used by the `superscalar-sca` project, a
+//! reproduction of *"Side-channel security of superscalar CPUs: Evaluating
+//! the Impact of Micro-architectural Features"* (Barenghi & Pelosi,
+//! DAC 2018). The paper's case study is the ARM Cortex-A7; this crate
+//! models the instruction classes that drive its dual-issue policy
+//! (Table 1 of the paper) and its per-component leakage (Table 2):
+//! moves, arithmetic/logic with register or immediate operands, barrel
+//! shifts, multiplies, word and sub-word loads/stores, and branches —
+//! plus the `nop` that the A7 implements as a *never-executed conditional
+//! instruction with zero operands*, which is why it is semantically
+//! neutral but not side-channel neutral.
+//!
+//! The crate provides:
+//!
+//! * instruction data types ([`Insn`], [`Operand2`], [`AddrMode`], …) with
+//!   data-flow queries (read/write sets, read-port demand, classes);
+//! * a fixed 32-bit binary [`encode`]/[`decode`] pair that round-trips;
+//! * a two-pass text [`assemble`]r and a programmatic [`ProgramBuilder`];
+//! * pure architectural semantics ([`eval_dp`], [`eval_mul`],
+//!   [`apply_shift`]) shared with the pipeline simulator.
+//!
+//! ```
+//! use sca_isa::{assemble, Insn, Reg};
+//!
+//! let program = assemble("
+//!     start:  mov  r0, #0xff
+//!             add  r1, r0, r0, lsl #4
+//!             halt
+//! ")?;
+//! assert_eq!(program.entry(), 0);
+//! assert_eq!(program.insn_at(0)?, Insn::mov(Reg::R0, 0xffu32));
+//! # Ok::<(), sca_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod builder;
+mod cond;
+mod encode;
+mod error;
+mod insn;
+mod operand;
+mod program;
+mod reg;
+mod semantics;
+mod shift;
+
+pub use asm::{assemble, Assembler};
+pub use builder::{InsnExt, ProgramBuilder};
+pub use cond::{Cond, Flags};
+pub use encode::{decode, encode};
+pub use error::IsaError;
+pub use insn::{DpOp, Insn, InsnClass, InsnKind, MemDir, MemMultiMode, MemSize, MulOp};
+pub use operand::{AddrMode, IndexMode, MemOffset, Operand2, RotatedImm, ShiftAmount};
+pub use program::Program;
+pub use reg::{Reg, RegSet};
+pub use semantics::{eval_dp, eval_mul, DpOutcome};
+pub use shift::{apply_shift, ShiftKind, ShiftOut};

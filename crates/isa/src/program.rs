@@ -1,0 +1,160 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{decode, Insn, IsaError};
+
+/// An assembled program: a contiguous little-endian image plus symbol and
+/// source-line metadata.
+///
+/// The image is word-granular; data emitted by `.word`/`.byte`/`.space`
+/// directives shares the address space with code, as on the real machine
+/// (the AES S-box lives in the same image as the code that indexes it).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Load address of the first word.
+    base: u32,
+    /// Image contents, one 32-bit little-endian word per entry.
+    words: Vec<u32>,
+    /// Label → address.
+    symbols: BTreeMap<String, u32>,
+    /// Address → 1-based source line (for diagnostics and audits).
+    source_lines: BTreeMap<u32, usize>,
+    /// Execution entry point.
+    entry: u32,
+}
+
+impl Program {
+    /// Creates a program from raw words at a base address; the entry point
+    /// defaults to `base`.
+    pub fn from_words(base: u32, words: Vec<u32>) -> Program {
+        Program { base, words, entry: base, ..Program::default() }
+    }
+
+    /// Creates a program from a sequence of instructions at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures (e.g. un-encodable immediates).
+    pub fn from_insns(base: u32, insns: &[Insn]) -> Result<Program, IsaError> {
+        let words = insns.iter().map(crate::encode).collect::<Result<Vec<u32>, _>>()?;
+        Ok(Program::from_words(base, words))
+    }
+
+    /// Load address of the first word.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Execution entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Sets the execution entry point.
+    pub fn set_entry(&mut self, entry: u32) {
+        self.entry = entry;
+    }
+
+    /// Image length in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The raw image words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Word at an absolute (word-aligned) address, if inside the image.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        if addr < self.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        self.words.get(((addr - self.base) / 4) as usize).copied()
+    }
+
+    /// Decoded instruction at an absolute address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::DecodeWord`] when the address is outside the
+    /// image or holds data rather than a valid instruction.
+    pub fn insn_at(&self, addr: u32) -> Result<Insn, IsaError> {
+        let word = self.word_at(addr).ok_or(IsaError::DecodeWord(addr))?;
+        decode(word)
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Source line (1-based) that produced the word at `addr`, if known.
+    pub fn source_line(&self, addr: u32) -> Option<usize> {
+        self.source_lines.get(&addr).copied()
+    }
+
+    pub(crate) fn insert_symbol(&mut self, name: String, addr: u32) {
+        self.symbols.insert(name, addr);
+    }
+
+    pub(crate) fn insert_source_line(&mut self, addr: u32, line: usize) {
+        self.source_lines.insert(addr, line);
+    }
+
+    pub(crate) fn set_base(&mut self, base: u32) {
+        self.base = base;
+    }
+
+    pub(crate) fn push_word(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn from_insns_and_lookup() {
+        let program = Program::from_insns(
+            0x100,
+            &[Insn::mov(Reg::R0, 1u32), Insn::add(Reg::R1, Reg::R0, Reg::R0), Insn::halt()],
+        )
+        .unwrap();
+        assert_eq!(program.base(), 0x100);
+        assert_eq!(program.entry(), 0x100);
+        assert_eq!(program.len_bytes(), 12);
+        assert_eq!(program.insn_at(0x100).unwrap(), Insn::mov(Reg::R0, 1u32));
+        assert_eq!(program.insn_at(0x108).unwrap(), Insn::halt());
+        assert!(program.word_at(0x10c).is_none());
+        assert!(program.word_at(0xfc).is_none());
+        assert!(program.word_at(0x101).is_none());
+    }
+
+    #[test]
+    fn symbols_and_source_lines() {
+        let mut program = Program::from_words(0, vec![0, 0]);
+        program.insert_symbol("loop".to_owned(), 4);
+        program.insert_source_line(4, 7);
+        assert_eq!(program.symbol("loop"), Some(4));
+        assert_eq!(program.symbol("missing"), None);
+        assert_eq!(program.source_line(4), Some(7));
+        assert_eq!(program.source_line(0), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! General-purpose register names.
+//!
+//! The ISA exposes sixteen 32-bit registers, `r0`–`r15`, following the
+//! A32 convention that `r13` is the stack pointer, `r14` the link register
+//! and `r15` the program counter.
+//!
+//! ```
+//! use sca_isa::Reg;
+//!
+//! let r = Reg::R3;
+//! assert_eq!(r.index(), 3);
+//! assert_eq!(Reg::SP, Reg::R13);
+//! assert_eq!("r7".parse::<Reg>().unwrap(), Reg::R7);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::IsaError;
+
+/// One of the sixteen architectural general-purpose registers.
+///
+/// `Reg` is a validated newtype over the register index: a value of this
+/// type always names an existing register, so downstream code (register
+/// files, pipelines) can index arrays without bounds checks failing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)] // the sixteen register names are self-describing
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    /// Stack pointer, alias of [`Reg::R13`].
+    pub const SP: Reg = Reg(13);
+    /// Link register, alias of [`Reg::R14`].
+    pub const LR: Reg = Reg(14);
+    /// Program counter, alias of [`Reg::R15`].
+    pub const PC: Reg = Reg(15);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `index > 15`.
+    pub fn from_index(index: u8) -> Result<Reg, IsaError> {
+        if index < 16 {
+            Ok(Reg(index))
+        } else {
+            Err(IsaError::InvalidRegister(index))
+        }
+    }
+
+    /// Creates a register from the low four bits of an encoding field.
+    pub(crate) fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0xf) as u8)
+    }
+
+    /// The register index, `0..=15`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all sixteen registers in index order.
+    ///
+    /// ```
+    /// use sca_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 16);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+
+    /// `true` for `r13`/`sp`, `r14`/`lr` and `r15`/`pc`.
+    pub fn is_special(self) -> bool {
+        self.0 >= 13
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg::R{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl FromStr for Reg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "sp" => return Ok(Reg::SP),
+            "lr" => return Ok(Reg::LR),
+            "pc" => return Ok(Reg::PC),
+            "fp" => return Ok(Reg::R11),
+            "ip" => return Ok(Reg::R12),
+            _ => {}
+        }
+        let digits = lower
+            .strip_prefix('r')
+            .ok_or_else(|| IsaError::ParseRegister(s.to_owned()))?;
+        let index: u8 = digits
+            .parse()
+            .map_err(|_| IsaError::ParseRegister(s.to_owned()))?;
+        Reg::from_index(index).map_err(|_| IsaError::ParseRegister(s.to_owned()))
+    }
+}
+
+/// A compact set of registers, used for read/write-set computations.
+///
+/// ```
+/// use sca_isa::{Reg, RegSet};
+///
+/// let mut set = RegSet::new();
+/// set.insert(Reg::R1);
+/// set.insert(Reg::R5);
+/// assert!(set.contains(Reg::R1));
+/// assert_eq!(set.len(), 2);
+/// assert!(set.intersects(RegSet::from_iter([Reg::R5])));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty register set.
+    pub fn new() -> RegSet {
+        RegSet(0)
+    }
+
+    /// Adds a register to the set.
+    pub fn insert(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Removes a register from the set.
+    pub fn remove(&mut self, reg: Reg) {
+        self.0 &= !(1 << reg.index());
+    }
+
+    /// Whether `reg` is a member.
+    pub fn contains(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the two sets share any member.
+    pub fn intersects(self, other: RegSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Iterates over the members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..16u8).filter(move |i| self.0 & (1 << i) != 0).map(Reg)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut set = RegSet::new();
+        for reg in iter {
+            set.insert(reg);
+        }
+        set
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for reg in iter {
+            self.insert(reg);
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, reg) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{reg}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_match_indices() {
+        assert_eq!(Reg::SP, Reg::R13);
+        assert_eq!(Reg::LR, Reg::R14);
+        assert_eq!(Reg::PC, Reg::R15);
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert!(Reg::from_index(15).is_ok());
+        assert!(Reg::from_index(16).is_err());
+        assert!(Reg::from_index(255).is_err());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for reg in Reg::all() {
+            let text = reg.to_string();
+            assert_eq!(text.parse::<Reg>().unwrap(), reg, "register {text}");
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::R13);
+        assert_eq!("LR".parse::<Reg>().unwrap(), Reg::R14);
+        assert_eq!("pc".parse::<Reg>().unwrap(), Reg::R15);
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::R11);
+        assert_eq!("ip".parse::<Reg>().unwrap(), Reg::R12);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x0".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+        assert!("r-1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_special_names() {
+        assert_eq!(Reg::R13.to_string(), "sp");
+        assert_eq!(Reg::R14.to_string(), "lr");
+        assert_eq!(Reg::R15.to_string(), "pc");
+        assert_eq!(Reg::R4.to_string(), "r4");
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut set = RegSet::new();
+        assert!(set.is_empty());
+        set.insert(Reg::R0);
+        set.insert(Reg::R15);
+        set.insert(Reg::R0);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(Reg::R0));
+        assert!(set.contains(Reg::R15));
+        assert!(!set.contains(Reg::R7));
+        set.remove(Reg::R0);
+        assert!(!set.contains(Reg::R0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn regset_set_ops() {
+        let a: RegSet = [Reg::R1, Reg::R2].into_iter().collect();
+        let b: RegSet = [Reg::R2, Reg::R3].into_iter().collect();
+        assert!(a.intersects(b));
+        let u = a.union(b);
+        assert_eq!(u.len(), 3);
+        let c: RegSet = [Reg::R9].into_iter().collect();
+        assert!(!a.intersects(c));
+    }
+
+    #[test]
+    fn regset_iter_in_order() {
+        let set: RegSet = [Reg::R9, Reg::R1, Reg::R4].into_iter().collect();
+        let order: Vec<Reg> = set.iter().collect();
+        assert_eq!(order, vec![Reg::R1, Reg::R4, Reg::R9]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Architectural semantics of data-processing operations.
+//!
+//! These are pure functions shared by the pipeline's execute stage and by
+//! any host-side golden models. Keeping them here lets the simulator crate
+//! focus exclusively on *timing and value movement* — the paper's subject —
+//! while correctness of the arithmetic is tested once, in isolation.
+
+use crate::{DpOp, Flags};
+
+/// Outcome of a data-processing computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DpOutcome {
+    /// Result value (meaningful even for compare ops, which discard it).
+    pub value: u32,
+    /// Flags that a flag-setting variant would latch.
+    pub flags: Flags,
+}
+
+fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
+    let unsigned = u64::from(a) + u64::from(b) + u64::from(carry_in);
+    let value = unsigned as u32;
+    let carry = unsigned > u64::from(u32::MAX);
+    let signed = i64::from(a as i32) + i64::from(b as i32) + i64::from(carry_in);
+    let overflow = signed != i64::from(value as i32);
+    (value, carry, overflow)
+}
+
+/// Evaluates a data-processing operation.
+///
+/// * `rn` — first operand (ignored by `mov`/`mvn`).
+/// * `op2` — the already-shifted second operand.
+/// * `shifter_carry` — carry-out of the barrel shifter (or the incoming C
+///   for unshifted operands), used as the C result of logical operations.
+/// * `flags_in` — current flags, consumed by `adc`/`sbc` and preserved in
+///   fields the operation does not touch.
+///
+/// ```
+/// use sca_isa::{eval_dp, DpOp, Flags};
+///
+/// let out = eval_dp(DpOp::Add, 2, 3, false, Flags::default());
+/// assert_eq!(out.value, 5);
+/// assert!(!out.flags.z);
+/// ```
+pub fn eval_dp(op: DpOp, rn: u32, op2: u32, shifter_carry: bool, flags_in: Flags) -> DpOutcome {
+    let (value, carry, overflow) = match op {
+        DpOp::And | DpOp::Tst => (rn & op2, shifter_carry, flags_in.v),
+        DpOp::Eor | DpOp::Teq => (rn ^ op2, shifter_carry, flags_in.v),
+        DpOp::Orr => (rn | op2, shifter_carry, flags_in.v),
+        DpOp::Bic => (rn & !op2, shifter_carry, flags_in.v),
+        DpOp::Mov => (op2, shifter_carry, flags_in.v),
+        DpOp::Mvn => (!op2, shifter_carry, flags_in.v),
+        DpOp::Add | DpOp::Cmn => add_with_carry(rn, op2, false),
+        DpOp::Adc => add_with_carry(rn, op2, flags_in.c),
+        DpOp::Sub | DpOp::Cmp => add_with_carry(rn, !op2, true),
+        DpOp::Sbc => add_with_carry(rn, !op2, flags_in.c),
+        DpOp::Rsb => add_with_carry(op2, !rn, true),
+    };
+    let flags = Flags { n: value >> 31 != 0, z: value == 0, c: carry, v: overflow };
+    DpOutcome { value, flags }
+}
+
+/// Evaluates a multiply or multiply-accumulate: `rm * rs (+ ra)`.
+///
+/// The low 32 bits are kept, as for A32 `mul`/`mla`.
+pub fn eval_mul(rm: u32, rs: u32, ra: Option<u32>) -> u32 {
+    rm.wrapping_mul(rs).wrapping_add(ra.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F0: Flags = Flags { n: false, z: false, c: false, v: false };
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let out = eval_dp(DpOp::Add, u32::MAX, 1, false, F0);
+        assert_eq!(out.value, 0);
+        assert!(out.flags.z);
+        assert!(out.flags.c);
+        assert!(!out.flags.v);
+
+        let out = eval_dp(DpOp::Add, 0x7fff_ffff, 1, false, F0);
+        assert_eq!(out.value, 0x8000_0000);
+        assert!(out.flags.n);
+        assert!(out.flags.v);
+        assert!(!out.flags.c);
+    }
+
+    #[test]
+    fn sub_carry_means_no_borrow() {
+        let out = eval_dp(DpOp::Sub, 5, 3, false, F0);
+        assert_eq!(out.value, 2);
+        assert!(out.flags.c);
+        let out = eval_dp(DpOp::Sub, 3, 5, false, F0);
+        assert_eq!(out.value, 3u32.wrapping_sub(5));
+        assert!(!out.flags.c);
+        assert!(out.flags.n);
+    }
+
+    #[test]
+    fn rsb_reverses() {
+        let out = eval_dp(DpOp::Rsb, 3, 10, false, F0);
+        assert_eq!(out.value, 7);
+    }
+
+    #[test]
+    fn adc_sbc_consume_carry() {
+        let carry_in = Flags { c: true, ..F0 };
+        assert_eq!(eval_dp(DpOp::Adc, 1, 2, false, carry_in).value, 4);
+        assert_eq!(eval_dp(DpOp::Adc, 1, 2, false, F0).value, 3);
+        // sbc: rn - op2 - (1 - C)
+        assert_eq!(eval_dp(DpOp::Sbc, 10, 3, false, carry_in).value, 7);
+        assert_eq!(eval_dp(DpOp::Sbc, 10, 3, false, F0).value, 6);
+    }
+
+    #[test]
+    fn logical_ops_use_shifter_carry() {
+        let out = eval_dp(DpOp::And, 0b1100, 0b1010, true, F0);
+        assert_eq!(out.value, 0b1000);
+        assert!(out.flags.c);
+        let out = eval_dp(DpOp::Eor, 0xff, 0xff, false, Flags { v: true, ..F0 });
+        assert!(out.flags.z);
+        assert!(out.flags.v, "logical ops preserve V");
+    }
+
+    #[test]
+    fn moves() {
+        assert_eq!(eval_dp(DpOp::Mov, 0xdead, 0x1234, false, F0).value, 0x1234);
+        assert_eq!(eval_dp(DpOp::Mvn, 0, 0x0000_ffff, false, F0).value, 0xffff_0000);
+    }
+
+    #[test]
+    fn compares_match_their_arithmetic() {
+        for (a, b) in [(0u32, 0u32), (5, 3), (3, 5), (u32::MAX, 1)] {
+            assert_eq!(
+                eval_dp(DpOp::Cmp, a, b, false, F0).flags,
+                eval_dp(DpOp::Sub, a, b, false, F0).flags
+            );
+            assert_eq!(
+                eval_dp(DpOp::Cmn, a, b, false, F0).flags,
+                eval_dp(DpOp::Add, a, b, false, F0).flags
+            );
+        }
+    }
+
+    #[test]
+    fn multiplies() {
+        assert_eq!(eval_mul(6, 7, None), 42);
+        assert_eq!(eval_mul(6, 7, Some(8)), 50);
+        assert_eq!(eval_mul(0x1_0000, 0x1_0000, None), 0); // low 32 bits
+        assert_eq!(eval_mul(u32::MAX, 2, None), u32::MAX.wrapping_mul(2));
+    }
+}

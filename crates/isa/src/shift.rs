@@ -1,0 +1,267 @@
+//! Barrel-shifter operations.
+//!
+//! One of the two ALUs in the modeled core owns the single barrel shifter
+//! (Section 3.2 of the paper deduces this from `shift` instructions never
+//! dual-issuing with computational instructions). The shifter's output
+//! buffer is a leakage source of its own (Table 2, "Shift Buffer"), so the
+//! shift result is computed here as a standalone, observable value.
+//!
+//! Semantics follow A32 with one documented simplification: immediate
+//! shift amounts are literal (`0..=31`); the A32 special encodings
+//! (`lsr #0` ≡ `lsr #32`, `ror #0` ≡ `rrx`) are not used. Register-specified
+//! amounts use the low 8 bits of the register, with the standard A32
+//! behaviour for amounts ≥ 32.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::IsaError;
+
+/// The four barrel-shifter operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right.
+    Ror = 3,
+}
+
+impl ShiftKind {
+    /// All shift kinds in encoding order.
+    pub const ALL: [ShiftKind; 4] = [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr, ShiftKind::Ror];
+
+    /// Encoding field value.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    pub(crate) fn from_bits(bits: u32) -> ShiftKind {
+        ShiftKind::ALL[(bits & 0x3) as usize]
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Lsl => "lsl",
+            ShiftKind::Lsr => "lsr",
+            ShiftKind::Asr => "asr",
+            ShiftKind::Ror => "ror",
+        }
+    }
+}
+
+impl fmt::Display for ShiftKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for ShiftKind {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lsl" => Ok(ShiftKind::Lsl),
+            "lsr" => Ok(ShiftKind::Lsr),
+            "asr" => Ok(ShiftKind::Asr),
+            "ror" => Ok(ShiftKind::Ror),
+            _ => Err(IsaError::ParseShift(s.to_owned())),
+        }
+    }
+}
+
+/// Result of a barrel-shifter evaluation: the shifted value and the
+/// carry-out that a flag-setting logical operation would latch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShiftOut {
+    /// Shifted value — the word asserted on the shifter output buffer.
+    pub value: u32,
+    /// Shifter carry-out.
+    pub carry: bool,
+}
+
+/// Applies a barrel-shifter operation.
+///
+/// `amount` is the *effective* amount: for immediate-shift forms it is the
+/// encoded 5-bit literal; for register-shift forms the caller passes the
+/// low 8 bits of the shift register. A zero amount passes the value through
+/// and propagates `carry_in` as carry-out, matching A32.
+///
+/// ```
+/// use sca_isa::{apply_shift, ShiftKind};
+///
+/// let out = apply_shift(ShiftKind::Lsl, 0x8000_0001, 1, false);
+/// assert_eq!(out.value, 2);
+/// assert!(out.carry); // bit 31 shifted out
+/// ```
+pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> ShiftOut {
+    let amount = amount & 0xff;
+    if amount == 0 {
+        return ShiftOut { value, carry: carry_in };
+    }
+    match kind {
+        ShiftKind::Lsl => {
+            if amount < 32 {
+                ShiftOut {
+                    value: value << amount,
+                    carry: (value >> (32 - amount)) & 1 != 0,
+                }
+            } else if amount == 32 {
+                ShiftOut { value: 0, carry: value & 1 != 0 }
+            } else {
+                ShiftOut { value: 0, carry: false }
+            }
+        }
+        ShiftKind::Lsr => {
+            if amount < 32 {
+                ShiftOut {
+                    value: value >> amount,
+                    carry: (value >> (amount - 1)) & 1 != 0,
+                }
+            } else if amount == 32 {
+                ShiftOut { value: 0, carry: value >> 31 != 0 }
+            } else {
+                ShiftOut { value: 0, carry: false }
+            }
+        }
+        ShiftKind::Asr => {
+            if amount < 32 {
+                ShiftOut {
+                    value: ((value as i32) >> amount) as u32,
+                    carry: (value >> (amount - 1)) & 1 != 0,
+                }
+            } else {
+                let fill = if value >> 31 != 0 { u32::MAX } else { 0 };
+                ShiftOut { value: fill, carry: value >> 31 != 0 }
+            }
+        }
+        ShiftKind::Ror => {
+            let rot = amount % 32;
+            let value_out = value.rotate_right(rot);
+            let carry = if rot == 0 {
+                // amount is a nonzero multiple of 32
+                value >> 31 != 0
+            } else {
+                (value >> (rot - 1)) & 1 != 0
+            };
+            ShiftOut { value: value_out, carry }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_amount_is_identity() {
+        for kind in ShiftKind::ALL {
+            for carry in [false, true] {
+                let out = apply_shift(kind, 0xdead_beef, 0, carry);
+                assert_eq!(out.value, 0xdead_beef);
+                assert_eq!(out.carry, carry);
+            }
+        }
+    }
+
+    #[test]
+    fn lsl_basic() {
+        assert_eq!(apply_shift(ShiftKind::Lsl, 1, 4, false).value, 16);
+        let out = apply_shift(ShiftKind::Lsl, 0x8000_0000, 1, false);
+        assert_eq!(out.value, 0);
+        assert!(out.carry);
+    }
+
+    #[test]
+    fn lsl_large_amounts() {
+        let out = apply_shift(ShiftKind::Lsl, 0xffff_ffff, 32, false);
+        assert_eq!(out.value, 0);
+        assert!(out.carry);
+        let out = apply_shift(ShiftKind::Lsl, 0xffff_ffff, 33, true);
+        assert_eq!(out.value, 0);
+        assert!(!out.carry);
+    }
+
+    #[test]
+    fn lsr_basic() {
+        let out = apply_shift(ShiftKind::Lsr, 0b110, 1, false);
+        assert_eq!(out.value, 0b11);
+        assert!(!out.carry);
+        let out = apply_shift(ShiftKind::Lsr, 0b11, 1, false);
+        assert_eq!(out.value, 0b1);
+        assert!(out.carry);
+    }
+
+    #[test]
+    fn lsr_32_and_beyond() {
+        let out = apply_shift(ShiftKind::Lsr, 0x8000_0000, 32, false);
+        assert_eq!(out.value, 0);
+        assert!(out.carry);
+        let out = apply_shift(ShiftKind::Lsr, 0xffff_ffff, 40, true);
+        assert_eq!(out.value, 0);
+        assert!(!out.carry);
+    }
+
+    #[test]
+    fn asr_sign_extends() {
+        let out = apply_shift(ShiftKind::Asr, 0x8000_0000, 4, false);
+        assert_eq!(out.value, 0xf800_0000);
+        let out = apply_shift(ShiftKind::Asr, 0x8000_0000, 64, false);
+        assert_eq!(out.value, 0xffff_ffff);
+        assert!(out.carry);
+        let out = apply_shift(ShiftKind::Asr, 0x7fff_ffff, 64, true);
+        assert_eq!(out.value, 0);
+        assert!(!out.carry);
+    }
+
+    #[test]
+    fn ror_rotates() {
+        let out = apply_shift(ShiftKind::Ror, 0x0000_00f1, 4, false);
+        assert_eq!(out.value, 0x1000_000f);
+    }
+
+    #[test]
+    fn ror_carry_is_bit_amount_minus_one() {
+        // 0xf1 = 0b1111_0001: rotating by 4 exposes bit 3 (= 0) as carry.
+        let value = 0xf1u32;
+        let out = apply_shift(ShiftKind::Ror, value, 4, false);
+        assert_eq!(out.carry, (value >> 3) & 1 != 0);
+        assert!(!out.carry);
+        // Rotating by 1 exposes bit 0 (= 1).
+        let out = apply_shift(ShiftKind::Ror, value, 1, false);
+        assert!(out.carry);
+    }
+
+    #[test]
+    fn ror_multiple_of_32() {
+        let out = apply_shift(ShiftKind::Ror, 0x8000_0001, 32, false);
+        assert_eq!(out.value, 0x8000_0001);
+        assert!(out.carry);
+        let out = apply_shift(ShiftKind::Ror, 0x7000_0001, 64, false);
+        assert_eq!(out.value, 0x7000_0001);
+        assert!(!out.carry);
+    }
+
+    #[test]
+    fn amount_uses_low_byte_only() {
+        let out = apply_shift(ShiftKind::Lsl, 0xabcd, 0x100, true);
+        assert_eq!(out.value, 0xabcd);
+        assert!(out.carry);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in ShiftKind::ALL {
+            assert_eq!(kind.mnemonic().parse::<ShiftKind>().unwrap(), kind);
+            assert_eq!(ShiftKind::from_bits(kind.bits()), kind);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the ISA: encoding round-trips, assembler
+//! round-trips, and semantic invariants.
+
+use proptest::prelude::*;
+use sca_isa::{
+    apply_shift, assemble, decode, encode, eval_dp, AddrMode, Cond, DpOp, Flags, IndexMode, Insn,
+    InsnKind, MemDir, MemMultiMode, MemOffset, MemSize, Operand2, Reg, RegSet, RotatedImm,
+    ShiftAmount, ShiftKind,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).expect("index < 16"))
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_shift_kind() -> impl Strategy<Value = ShiftKind> {
+    prop::sample::select(ShiftKind::ALL.to_vec())
+}
+
+fn arb_rotated_imm() -> impl Strategy<Value = u32> {
+    (0u32..=0xff, 0u32..8).prop_map(|(imm8, rot)| imm8.rotate_right(rot * 4))
+}
+
+fn arb_operand2() -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        arb_rotated_imm().prop_map(Operand2::Imm),
+        arb_reg().prop_map(Operand2::Reg),
+        (arb_reg(), arb_shift_kind(), 0u8..32).prop_map(|(rm, kind, n)| Operand2::ShiftedReg {
+            rm,
+            kind,
+            amount: ShiftAmount::Imm(n),
+        }),
+        (arb_reg(), arb_shift_kind(), arb_reg()).prop_map(|(rm, kind, rs)| {
+            Operand2::ShiftedReg { rm, kind, amount: ShiftAmount::Reg(rs) }
+        }),
+    ]
+}
+
+fn arb_dp_op() -> impl Strategy<Value = DpOp> {
+    prop::sample::select(DpOp::ALL.to_vec())
+}
+
+fn arb_addr_mode() -> impl Strategy<Value = AddrMode> {
+    let offset = prop_oneof![
+        (-1023i32..=1023).prop_map(MemOffset::Imm),
+        (arb_reg(), arb_shift_kind(), 0u8..16, any::<bool>()).prop_map(
+            |(rm, kind, amount, sub)| MemOffset::Reg { rm, kind, amount, sub }
+        ),
+    ];
+    let index = prop_oneof![
+        Just(IndexMode::Offset),
+        Just(IndexMode::PreWriteback),
+        Just(IndexMode::PostIndex),
+    ];
+    (arb_reg(), offset, index).prop_map(|(base, offset, index)| AddrMode { base, offset, index })
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let dp = (arb_dp_op(), any::<bool>(), arb_reg(), arb_reg(), arb_operand2()).prop_map(
+        |(op, set_flags, rd, rn, op2)| {
+            Insn::new(InsnKind::Dp {
+                op,
+                set_flags: set_flags || op.is_compare(),
+                rd: if op.is_compare() { None } else { Some(rd) },
+                rn: if op.is_move() { None } else { Some(rn) },
+                op2,
+            })
+        },
+    );
+    let mul = (any::<bool>(), any::<bool>(), arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(
+        |(mla, set_flags, rd, rm, rs, ra)| {
+            Insn::new(InsnKind::Mul {
+                op: if mla { sca_isa::MulOp::Mla } else { sca_isa::MulOp::Mul },
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ra: mla.then_some(ra),
+            })
+        },
+    );
+    let mem = (
+        any::<bool>(),
+        prop::sample::select(vec![MemSize::Word, MemSize::Byte, MemSize::Half]),
+        arb_reg(),
+        arb_addr_mode(),
+    )
+        .prop_map(|(load, size, rd, addr)| {
+            Insn::new(InsnKind::Mem {
+                dir: if load { MemDir::Load } else { MemDir::Store },
+                size,
+                rd,
+                addr,
+            })
+        });
+    let branch = (any::<bool>(), -(1i32 << 22)..(1i32 << 22))
+        .prop_map(|(link, offset)| Insn::new(InsnKind::Branch { link, offset }));
+    let multi = (any::<bool>(), any::<bool>(), any::<bool>(), arb_reg(), 1u16..=0xffff).prop_map(
+        |(load, writeback, db, base, bits)| {
+            let regs: RegSet = (0..16u8)
+                .filter(|i| bits & (1 << i) != 0)
+                .map(|i| Reg::from_index(i).expect("index < 16"))
+                .collect();
+            Insn::new(InsnKind::MemMulti {
+                dir: if load { MemDir::Load } else { MemDir::Store },
+                base,
+                writeback,
+                regs,
+                mode: if db { MemMultiMode::Db } else { MemMultiMode::Ia },
+            })
+        },
+    );
+    let mul_long = (any::<bool>(), arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(
+        |(signed, rd_lo, rd_hi, rm, rs)| {
+            if signed {
+                Insn::smull(rd_lo, rd_hi, rm, rs)
+            } else {
+                Insn::umull(rd_lo, rd_hi, rm, rs)
+            }
+        },
+    );
+    let misc = prop_oneof![
+        arb_reg().prop_map(Insn::bx),
+        Just(Insn::nop()),
+        any::<bool>().prop_map(Insn::trig),
+        Just(Insn::halt()),
+    ];
+    (
+        prop_oneof![dp, mul, mem, branch, multi, mul_long, misc],
+        arb_cond(),
+    )
+        .prop_map(|(insn, cond)| insn.with_cond(cond))
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(insn in arb_insn()) {
+        let word = encode(&insn).expect("generated instructions are encodable");
+        let back = decode(word).expect("encoded words decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_words_reencode_identically(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            // Decoding is not injective (don't-care fields), but the decoded
+            // instruction must itself round-trip.
+            let word2 = encode(&insn).expect("decoded instruction re-encodes");
+            let insn2 = decode(word2).expect("re-encoded word decodes");
+            prop_assert_eq!(insn, insn2);
+        }
+    }
+
+    #[test]
+    fn rotated_imm_round_trip(imm8 in 0u32..=0xff, rot in 0u32..8) {
+        let value = imm8.rotate_right(rot * 4);
+        let enc = RotatedImm::encode(value).expect("by construction encodable");
+        prop_assert_eq!(enc.value(), value);
+    }
+
+    #[test]
+    fn display_reassembles_non_branch(insn in arb_insn()) {
+        // `b +off` renders a relative offset that the assembler reads as an
+        // absolute target, so branches are excluded from this round trip.
+        if insn.is_branch() {
+            return Ok(());
+        }
+        let text = insn.to_string();
+        let program = assemble(&format!("{text}\n"))
+            .unwrap_or_else(|e| panic!("`{text}` failed to reassemble: {e}"));
+        let back = program.insn_at(0).expect("one instruction");
+        prop_assert_eq!(back, insn, "source `{}`", text);
+    }
+
+    #[test]
+    fn shift_matches_u32_ops(value in any::<u32>(), amount in 0u32..32) {
+        let lsl = apply_shift(ShiftKind::Lsl, value, amount, false);
+        prop_assert_eq!(lsl.value, value.wrapping_shl(amount));
+        let lsr = apply_shift(ShiftKind::Lsr, value, amount, false);
+        prop_assert_eq!(lsr.value, value.wrapping_shr(amount));
+        let asr = apply_shift(ShiftKind::Asr, value, amount, false);
+        prop_assert_eq!(asr.value, (value as i32).wrapping_shr(amount) as u32);
+        let ror = apply_shift(ShiftKind::Ror, value, amount, false);
+        prop_assert_eq!(ror.value, value.rotate_right(amount));
+    }
+
+    #[test]
+    fn sub_equals_two_complement_add(a in any::<u32>(), b in any::<u32>()) {
+        let sub = eval_dp(DpOp::Sub, a, b, false, Flags::default());
+        prop_assert_eq!(sub.value, a.wrapping_sub(b));
+        // C set iff no borrow.
+        prop_assert_eq!(sub.flags.c, a >= b);
+    }
+
+    #[test]
+    fn flags_n_z_consistent(op in arb_dp_op(), a in any::<u32>(), b in any::<u32>()) {
+        let out = eval_dp(op, a, b, false, Flags::default());
+        prop_assert_eq!(out.flags.z, out.value == 0);
+        prop_assert_eq!(out.flags.n, out.value >> 31 != 0);
+    }
+
+    #[test]
+    fn read_ports_never_exceed_three(insn in arb_insn()) {
+        // No single instruction in this ISA can demand more ports than the
+        // Cortex-A7 register file provides.
+        prop_assert!(insn.read_ports() <= 3, "{} wants {} ports", insn, insn.read_ports());
+    }
+}

@@ -1,0 +1,195 @@
+//! Preemptive-scheduler effects on captured traces.
+//!
+//! The Figure 4 victim runs as an ordinary userspace process: no CPU
+//! affinity, no elevated priority. When the scheduler preempts it
+//! mid-encryption, the oscilloscope (triggered on the GPIO) keeps
+//! recording — but what it records during the time slice belongs to
+//! whatever ran instead. From the fixed-length trace's viewpoint the
+//! effect is an inserted foreign segment that pushes the victim's
+//! remaining activity later (truncated at the end of the capture).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Preemption model: per-execution probability and slice geometry.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PreemptionModel {
+    /// Probability that a given execution is preempted at least once.
+    pub probability: f64,
+    /// Smallest inserted slice, in samples.
+    pub min_slice: usize,
+    /// Largest inserted slice, in samples.
+    pub max_slice: usize,
+    /// Power level recorded while the foreign task runs (the attacker
+    /// sees some other process's activity).
+    pub foreign_power: f64,
+}
+
+impl PreemptionModel {
+    /// No preemption (bare metal / pinned high-priority victim).
+    pub fn none() -> PreemptionModel {
+        PreemptionModel { probability: 0.0, min_slice: 0, max_slice: 0, foreign_power: 0.0 }
+    }
+
+    /// A loaded interactive system: occasional preemption with slices
+    /// much longer than one AES encryption is wide.
+    pub fn loaded() -> PreemptionModel {
+        PreemptionModel {
+            probability: 0.08,
+            min_slice: 50,
+            max_slice: 400,
+            foreign_power: 30.0,
+        }
+    }
+
+    /// Applies the model to one execution's samples.
+    pub fn apply(&self, rng: &mut StdRng, samples: &mut Vec<f64>) {
+        if self.probability <= 0.0 || samples.is_empty() {
+            return;
+        }
+        if rng.gen::<f64>() >= self.probability {
+            return;
+        }
+        let len = samples.len();
+        let slice = if self.max_slice > self.min_slice {
+            rng.gen_range(self.min_slice..=self.max_slice)
+        } else {
+            self.min_slice
+        };
+        if slice == 0 {
+            return;
+        }
+        let at = rng.gen_range(0..len);
+        // Insert the foreign segment, shift the tail, keep the length.
+        let mut shifted: Vec<f64> = Vec::with_capacity(len);
+        shifted.extend_from_slice(&samples[..at]);
+        shifted.extend(std::iter::repeat_n(self.foreign_power, slice.min(len - at)));
+        let remaining = len - shifted.len();
+        shifted.extend_from_slice(&samples[at..at + remaining]);
+        *samples = shifted;
+    }
+}
+
+/// Per-execution trigger/clock jitter: the capture window shifts by a few
+/// samples between executions (interrupt latency on the GPIO toggle, PLL
+/// wander), smearing sharp leakage peaks.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceJitter {
+    /// Maximum shift magnitude in samples (uniform in `-max..=max`).
+    pub max_shift: usize,
+}
+
+impl TraceJitter {
+    /// No jitter.
+    pub fn none() -> TraceJitter {
+        TraceJitter { max_shift: 0 }
+    }
+
+    /// Applies a random shift, zero-filling the vacated samples.
+    pub fn apply(&self, rng: &mut StdRng, samples: &mut [f64]) {
+        if self.max_shift == 0 || samples.is_empty() {
+            return;
+        }
+        let shift = rng.gen_range(-(self.max_shift as isize)..=self.max_shift as isize);
+        let n = samples.len();
+        match shift.cmp(&0) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Greater => {
+                let s = (shift as usize).min(n);
+                samples.rotate_right(s);
+                for v in samples.iter_mut().take(s) {
+                    *v = 0.0;
+                }
+            }
+            std::cmp::Ordering::Less => {
+                let s = ((-shift) as usize).min(n);
+                samples.rotate_left(s);
+                for v in samples.iter_mut().skip(n - s) {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_preemption_is_identity() {
+        let model = PreemptionModel::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples = vec![1.0, 2.0, 3.0];
+        model.apply(&mut rng, &mut samples);
+        assert_eq!(samples, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn preemption_preserves_length_and_inserts_foreign_power() {
+        let model = PreemptionModel {
+            probability: 1.0,
+            min_slice: 2,
+            max_slice: 2,
+            foreign_power: 99.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..10).map(f64::from).collect();
+        model.apply(&mut rng, &mut samples);
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().filter(|&&s| s == 99.0).count() >= 1);
+        // The prefix before the insertion is intact and ordered.
+        let first_foreign = samples.iter().position(|&s| s == 99.0).unwrap();
+        for i in 1..first_foreign {
+            assert!(samples[i] > samples[i - 1]);
+        }
+    }
+
+    #[test]
+    fn preemption_probability_honored_statistically() {
+        let model = PreemptionModel {
+            probability: 0.3,
+            min_slice: 1,
+            max_slice: 1,
+            foreign_power: -1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hit = 0;
+        for _ in 0..2000 {
+            let mut samples = vec![1.0; 4];
+            model.apply(&mut rng, &mut samples);
+            if samples.contains(&-1.0) {
+                hit += 1;
+            }
+        }
+        let rate = f64::from(hit) / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn jitter_shifts_but_preserves_length() {
+        let jitter = TraceJitter { max_shift: 2 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut samples: Vec<f64> = (1..=8).map(f64::from).collect();
+            jitter.apply(&mut rng, &mut samples);
+            assert_eq!(samples.len(), 8);
+            // The surviving non-zero run must stay in order.
+            let kept: Vec<f64> = samples.iter().copied().filter(|&v| v != 0.0).collect();
+            for w in kept.windows(2) {
+                assert!(w[1] > w[0], "{samples:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let jitter = TraceJitter::none();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut samples = vec![1.0, 2.0];
+        jitter.apply(&mut rng, &mut samples);
+        assert_eq!(samples, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sca-power — leakage modeling and trace synthesis
+//!
+//! Converts the microarchitectural activity streamed by `sca-uarch` into
+//! synthetic power traces, following the leakage hypothesis of Barenghi &
+//! Pelosi (DAC 2018, Section 4): power is the weighted Hamming
+//! distance/weight of value transitions on pipeline buffers, measured
+//! through a band-limited sampling chain with Gaussian noise, acquired as
+//! averages of 16 executions per input.
+//!
+//! * [`LeakageWeights`] — per-component weights (register file silent,
+//!   shifter at 1/10, etc.);
+//! * [`PowerRecorder`] — a `PipelineObserver` integrating per-cycle power;
+//! * [`SamplingConfig`] — 500 MS/s-style cycle→sample expansion;
+//! * [`GaussianNoise`]/[`NoiseSource`] — measurement and environment noise;
+//! * [`TraceSynthesizer`]/[`AcquisitionConfig`] — deterministic,
+//!   optionally multi-threaded campaign runner producing [`TraceSet`]s.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod io;
+mod model;
+mod noise;
+mod recorder;
+mod sampling;
+mod synth;
+mod trace;
+
+pub use io::{read_traces, write_traces};
+pub use model::LeakageWeights;
+pub use noise::{GaussianNoise, NoiseSource};
+pub use recorder::{ComponentPowerRecorder, PowerRecorder};
+pub use sampling::SamplingConfig;
+pub use synth::{AcquisitionConfig, TraceSynthesizer};
+pub use trace::TraceSet;

@@ -1,0 +1,154 @@
+//! The power-consumption model.
+//!
+//! Following Section 4 of the paper, instantaneous power is modeled as a
+//! weighted sum of switching activity on the tracked microarchitectural
+//! nodes: gates driving large capacitive loads contribute the Hamming
+//! distance between the values they assert in subsequent cycles; the
+//! zero-precharged ALU outputs and the barrel-shifter buffer contribute
+//! the Hamming weight of their result (a Hamming distance from zero).
+//!
+//! The default weights encode the paper's *findings*:
+//!
+//! * register-file read ports do **not** leak (short capacitive load) —
+//!   weight 0;
+//! * IS/EX buffers, EX/WB buffers, write-back buses and the MDR leak with
+//!   full weight;
+//! * the shifter buffer leaks at about one tenth of the other components
+//!   (Section 4.1);
+//! * the align buffer leaks like the MDR;
+//! * the fetch path is given a negligible, non-zero weight so that
+//!   data-independent fetch activity contributes systematic (not
+//!   data-correlated) background power.
+
+use serde::{Deserialize, Serialize};
+
+use sca_uarch::{NodeEvent, NodeKind};
+
+/// Per-component leakage weights.
+///
+/// ```
+/// use sca_power::LeakageWeights;
+/// use sca_uarch::NodeKind;
+///
+/// let weights = LeakageWeights::cortex_a7();
+/// assert_eq!(weights.hd(NodeKind::RegisterFile), 0.0);
+/// assert!(weights.hd(NodeKind::ShiftBuffer) < weights.hd(NodeKind::Mdr));
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LeakageWeights {
+    /// Hamming-distance weight per node kind.
+    hd: [f64; NodeKind::COUNT],
+    /// Additional Hamming-weight term per node kind (beyond what the
+    /// precharge behaviour already contributes through `hd`).
+    hw: [f64; NodeKind::COUNT],
+}
+
+impl LeakageWeights {
+    /// All-zero weights (useful as a builder base).
+    pub fn zero() -> LeakageWeights {
+        LeakageWeights { hd: [0.0; NodeKind::COUNT], hw: [0.0; NodeKind::COUNT] }
+    }
+
+    /// The weights matching the paper's Cortex-A7 characterization.
+    pub fn cortex_a7() -> LeakageWeights {
+        let mut weights = LeakageWeights::zero();
+        weights.set_hd(NodeKind::RegisterFile, 0.0);
+        weights.set_hd(NodeKind::IsExBuffer, 1.0);
+        // "its absolute value in correlation is about 1/10 of the average
+        // value for the other leakages"
+        weights.set_hd(NodeKind::ShiftBuffer, 0.1);
+        weights.set_hd(NodeKind::Alu, 1.0);
+        weights.set_hd(NodeKind::ExWbBuffer, 1.0);
+        weights.set_hd(NodeKind::Mdr, 1.3);
+        weights.set_hd(NodeKind::AlignBuffer, 1.0);
+        weights.set_hd(NodeKind::FetchPath, 0.02);
+        weights
+    }
+
+    /// Hamming-distance weight of a component.
+    pub fn hd(&self, kind: NodeKind) -> f64 {
+        self.hd[kind.index()]
+    }
+
+    /// Hamming-weight weight of a component.
+    pub fn hw(&self, kind: NodeKind) -> f64 {
+        self.hw[kind.index()]
+    }
+
+    /// Sets the Hamming-distance weight of a component.
+    pub fn set_hd(&mut self, kind: NodeKind, weight: f64) {
+        self.hd[kind.index()] = weight;
+    }
+
+    /// Sets the extra Hamming-weight term of a component.
+    pub fn set_hw(&mut self, kind: NodeKind, weight: f64) {
+        self.hw[kind.index()] = weight;
+    }
+
+    /// Builder-style variant of [`LeakageWeights::set_hd`].
+    #[must_use]
+    pub fn with_hd(mut self, kind: NodeKind, weight: f64) -> LeakageWeights {
+        self.set_hd(kind, weight);
+        self
+    }
+
+    /// Power contribution of one node event.
+    pub fn power_of(&self, event: &NodeEvent) -> f64 {
+        let kind = event.node.kind();
+        self.hd(kind) * f64::from(event.hamming_distance())
+            + self.hw(kind) * f64::from(event.hamming_weight())
+    }
+}
+
+impl Default for LeakageWeights {
+    fn default() -> LeakageWeights {
+        LeakageWeights::cortex_a7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_uarch::Node;
+
+    #[test]
+    fn register_file_does_not_leak_by_default() {
+        let weights = LeakageWeights::cortex_a7();
+        let event = NodeEvent { cycle: 0, node: Node::RfRead(0), before: 0, after: 0xffff_ffff };
+        assert_eq!(weights.power_of(&event), 0.0);
+    }
+
+    #[test]
+    fn hamming_distance_scales_power() {
+        let weights = LeakageWeights::cortex_a7();
+        let small = NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 0b1 };
+        let large = NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 0xff };
+        assert!(weights.power_of(&large) > weights.power_of(&small));
+        assert_eq!(weights.power_of(&large), 8.0 * weights.hd(sca_uarch::NodeKind::Mdr));
+    }
+
+    #[test]
+    fn shifter_weight_is_one_tenth() {
+        let weights = LeakageWeights::cortex_a7();
+        let ratio = weights.hd(sca_uarch::NodeKind::ShiftBuffer)
+            / weights.hd(sca_uarch::NodeKind::IsExBuffer);
+        assert!((ratio - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hw_term_is_additive() {
+        let mut weights = LeakageWeights::zero();
+        weights.set_hd(NodeKind::Mdr, 1.0);
+        weights.set_hw(NodeKind::Mdr, 0.5);
+        let event = NodeEvent { cycle: 0, node: Node::Mdr, before: 0b11, after: 0b01 };
+        // HD = 1, HW = 1 → 1.0*1 + 0.5*1
+        assert!((weights.power_of(&event) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_style() {
+        let weights = LeakageWeights::zero().with_hd(NodeKind::Alu, 2.0);
+        assert_eq!(weights.hd(NodeKind::Alu), 2.0);
+        assert_eq!(weights.hd(NodeKind::Mdr), 0.0);
+    }
+}

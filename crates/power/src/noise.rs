@@ -1,0 +1,106 @@
+//! Measurement noise.
+//!
+//! Side-channel acquisitions carry random noise (thermal/amplifier) and
+//! systematic components. The synthesizer adds white Gaussian noise per
+//! raw execution — averaging the 16 executions of one trace then improves
+//! SNR by √16, exactly as in the paper's acquisition protocol — plus an
+//! optional external noise source (the OS/second-core model from
+//! `sca-osnoise` plugs in through [`NoiseSource`]).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A pluggable additive noise source (e.g. co-resident workload power).
+pub trait NoiseSource: Send {
+    /// Adds this source's contribution to a sample series in place.
+    fn add_to(&mut self, rng: &mut StdRng, samples: &mut [f64]);
+}
+
+/// White Gaussian measurement noise plus a constant baseline.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GaussianNoise {
+    /// Standard deviation, in the same unit as node switching power.
+    pub sd: f64,
+    /// Constant baseline offset (static power; irrelevant to CPA but kept
+    /// for realistic-looking traces).
+    pub baseline: f64,
+}
+
+impl GaussianNoise {
+    /// A bare-metal-quality acquisition: moderate noise.
+    pub fn bare_metal() -> GaussianNoise {
+        GaussianNoise { sd: 12.0, baseline: 40.0 }
+    }
+
+    /// An ideal noiseless probe (unit tests and audits).
+    pub fn none() -> GaussianNoise {
+        GaussianNoise { sd: 0.0, baseline: 0.0 }
+    }
+
+    /// Samples one Gaussian value via Box–Muller (keeps us independent of
+    /// `rand_distr`, which is outside the approved dependency set).
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        if self.sd == 0.0 {
+            return 0.0;
+        }
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        z * self.sd
+    }
+}
+
+impl NoiseSource for GaussianNoise {
+    fn add_to(&mut self, rng: &mut StdRng, samples: &mut [f64]) {
+        for s in samples.iter_mut() {
+            *s += self.baseline + self.sample(rng);
+        }
+    }
+}
+
+impl Default for GaussianNoise {
+    fn default() -> GaussianNoise {
+        GaussianNoise::bare_metal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_only_shifts_baseline() {
+        let mut noise = GaussianNoise { sd: 0.0, baseline: 5.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples = vec![1.0, 2.0];
+        noise.add_to(&mut rng, &mut samples);
+        assert_eq!(samples, vec![6.0, 7.0]);
+    }
+
+    #[test]
+    fn gaussian_statistics_are_plausible() {
+        let mut noise = GaussianNoise { sd: 3.0, baseline: 0.0 };
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut samples = vec![0.0; 20_000];
+        noise.add_to(&mut rng, &mut samples);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let run = || {
+            let mut noise = GaussianNoise { sd: 1.0, baseline: 0.0 };
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut samples = vec![0.0; 8];
+            noise.add_to(&mut rng, &mut samples);
+            samples
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,410 @@
+//! Trace acquisition: run a program many times with random inputs and
+//! synthesize the oscilloscope traces an attacker would capture.
+//!
+//! The protocol mirrors the paper's Section 4 setup:
+//!
+//! 1. the caller warms a [`Cpu`] (run the benchmark once so both cache
+//!    levels are hot);
+//! 2. for each trace, an input is drawn from a seeded RNG and staged into
+//!    registers/memory;
+//! 3. the benchmark runs `executions_per_trace` times (16 in the paper)
+//!    with the *same* input; each execution's windowed per-cycle power is
+//!    expanded to samples and gets fresh Gaussian noise;
+//! 4. the executions are averaged into one stored trace.
+//!
+//! Acquisition is deterministic given the seed, independent of the thread
+//! count: every trace derives its own RNG stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sca_uarch::{Cpu, UarchError};
+
+use crate::{GaussianNoise, LeakageWeights, NoiseSource, PowerRecorder, SamplingConfig, TraceSet};
+
+/// Acquisition campaign parameters.
+#[derive(Clone, Debug)]
+pub struct AcquisitionConfig {
+    /// Number of traces to record.
+    pub traces: usize,
+    /// Executions averaged into each trace (the paper uses 16).
+    pub executions_per_trace: usize,
+    /// Sampling chain model.
+    pub sampling: SamplingConfig,
+    /// Per-execution measurement noise.
+    pub noise: GaussianNoise,
+    /// Master seed; all randomness (inputs and noise) derives from it.
+    pub seed: u64,
+    /// Worker threads (1 = serial). Results are identical regardless.
+    pub threads: usize,
+}
+
+impl AcquisitionConfig {
+    /// A quick default: 1000 averaged traces, paper-like sampling.
+    pub fn new(traces: usize) -> AcquisitionConfig {
+        AcquisitionConfig {
+            traces,
+            executions_per_trace: 16,
+            sampling: SamplingConfig::default(),
+            noise: GaussianNoise::bare_metal(),
+            seed: 0x5ca_1ab1e,
+            threads: 1,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> AcquisitionConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> AcquisitionConfig {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Derives a statistically-independent child seed (SplitMix64 step).
+fn child_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Synthesizes trace sets from a CPU, a leakage model and an acquisition
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct TraceSynthesizer {
+    weights: LeakageWeights,
+    config: AcquisitionConfig,
+}
+
+impl TraceSynthesizer {
+    /// Creates a synthesizer.
+    pub fn new(weights: LeakageWeights, config: AcquisitionConfig) -> TraceSynthesizer {
+        TraceSynthesizer { weights, config }
+    }
+
+    /// The acquisition configuration.
+    pub fn config(&self) -> &AcquisitionConfig {
+        &self.config
+    }
+
+    /// Acquires a trace set.
+    ///
+    /// * `cpu` — a loaded (and ideally warmed) CPU used as the template
+    ///   for every execution.
+    /// * `entry` — program entry point for each (re-)run.
+    /// * `generate` — draws one input (opaque bytes) per trace.
+    /// * `stage` — writes an input into CPU registers/memory; called
+    ///   before *every* execution, so it must fully re-initialize any
+    ///   memory the program mutates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from any execution.
+    pub fn acquire<G, S>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+    ) -> Result<TraceSet, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+    {
+        self.acquire_with(cpu, entry, generate, stage, |_, _| {})
+    }
+
+    /// Like [`TraceSynthesizer::acquire`], with a post-processing hook
+    /// applied to each raw execution's samples (after leakage expansion
+    /// and Gaussian noise). The OS-noise models in `sca-osnoise` inject
+    /// co-resident workload power and trace jitter through this hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from any execution.
+    pub fn acquire_with<G, S, P>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+        post: P,
+    ) -> Result<TraceSet, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        // Probe run: determine the window length in samples.
+        let samples_per_trace = {
+            let mut probe_cpu = cpu.clone();
+            let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, u64::MAX));
+            let input = generate(&mut rng, usize::MAX);
+            probe_cpu.restart_seeded(entry, 0);
+            stage(&mut probe_cpu, &input);
+            let mut recorder = PowerRecorder::new(self.weights.clone());
+            probe_cpu.run(&mut recorder)?;
+            self.config.sampling.sample_count(recorder.windowed_power().len())
+        };
+
+        let threads = self.config.threads.max(1).min(self.config.traces.max(1));
+        if threads <= 1 {
+            let mut set = TraceSet::new(samples_per_trace);
+            let mut worker_cpu = cpu.clone();
+            for t in 0..self.config.traces {
+                let (trace, input) = self.one_trace(&mut worker_cpu, entry, t, &generate, &stage, &post)?;
+                set.push(trace, input);
+            }
+            return Ok(set);
+        }
+
+        // Contiguous chunks per thread; merged in order afterwards.
+        let chunk = self.config.traces.div_ceil(threads);
+        let mut partials: Vec<Result<TraceSet, UarchError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(self.config.traces);
+                if lo >= hi {
+                    break;
+                }
+                let generate = &generate;
+                let stage = &stage;
+                let post = &post;
+                let template = cpu;
+                handles.push(scope.spawn(move || {
+                    let mut set = TraceSet::new(samples_per_trace);
+                    let mut worker_cpu = template.clone();
+                    for t in lo..hi {
+                        let (trace, input) =
+                            self.one_trace(&mut worker_cpu, entry, t, generate, stage, post)?;
+                        set.push(trace, input);
+                    }
+                    Ok(set)
+                }));
+            }
+            for handle in handles {
+                partials.push(handle.join().expect("worker panicked"));
+            }
+        });
+        let mut set = TraceSet::new(samples_per_trace);
+        for partial in partials {
+            set.merge(partial?);
+        }
+        Ok(set)
+    }
+
+    fn one_trace<G, S, P>(
+        &self,
+        cpu: &mut Cpu,
+        entry: u32,
+        index: usize,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Result<(Vec<f32>, Vec<u8>), UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, index as u64));
+        let input = generate(&mut rng, index);
+        let executions = self.config.executions_per_trace.max(1);
+        let mut accumulated: Vec<f64> = Vec::new();
+        let mut noise = self.config.noise;
+        for execution in 0..executions {
+            let scramble = child_seed(
+                self.config.seed ^ 0x5eed_0f0d_e500,
+                (index as u64) << 8 | execution as u64,
+            );
+            cpu.restart_seeded(entry, scramble);
+            stage(cpu, &input);
+            let mut recorder = PowerRecorder::new(self.weights.clone());
+            cpu.run(&mut recorder)?;
+            let mut samples = self.config.sampling.expand(recorder.windowed_power());
+            noise.add_to(&mut rng, &mut samples);
+            post(&mut rng, &mut samples);
+            if accumulated.is_empty() {
+                accumulated = samples;
+            } else {
+                let n = accumulated.len().min(samples.len());
+                for i in 0..n {
+                    accumulated[i] += samples[i];
+                }
+            }
+        }
+        let inv = 1.0 / executions as f64;
+        let trace: Vec<f32> = accumulated.iter().map(|&s| (s * inv) as f32).collect();
+        Ok((trace, input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{assemble, Reg};
+    use sca_uarch::UarchConfig;
+
+    fn fixture() -> (Cpu, u32) {
+        // A benchmark that loads a word (driving the MDR) inside a trigger
+        // window; the loaded value is the staged input. As in the paper,
+        // nops pad the window so in-flight activity (the load completes 3
+        // cycles after issue) lands before the trigger falls.
+        let program = assemble(
+            "
+            trig #1
+            ldr r1, [r10]
+            nop
+            nop
+            nop
+            nop
+            nop
+            nop
+            trig #0
+            halt
+        ",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(UarchConfig::cortex_a7().with_ideal_memory());
+        cpu.load(&program).unwrap();
+        cpu.set_reg(Reg::R10, 0x800);
+        (cpu, program.entry())
+    }
+
+    fn stage(cpu: &mut Cpu, input: &[u8]) {
+        let word = u32::from_le_bytes([input[0], input[1], input[2], input[3]]);
+        cpu.mem_mut().write_u32(0x800, word).unwrap();
+    }
+
+    #[test]
+    fn acquisition_is_deterministic() {
+        let (cpu, entry) = fixture();
+        let config = AcquisitionConfig {
+            traces: 6,
+            executions_per_trace: 4,
+            sampling: SamplingConfig::per_cycle(),
+            noise: GaussianNoise { sd: 1.0, baseline: 0.0 },
+            seed: 99,
+            threads: 1,
+        };
+        let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), config);
+        let gen = |rng: &mut StdRng, _| {
+            use rand::Rng;
+            rng.gen::<u32>().to_le_bytes().to_vec()
+        };
+        let a = synth.acquire(&cpu, entry, gen, stage).unwrap();
+        let b = synth.acquire(&cpu, entry, gen, stage).unwrap();
+        assert_eq!(a.len(), 6);
+        for i in 0..a.len() {
+            assert_eq!(a.trace(i), b.trace(i));
+            assert_eq!(a.input(i), b.input(i));
+        }
+    }
+
+    #[test]
+    fn threading_does_not_change_results() {
+        let (cpu, entry) = fixture();
+        let make = |threads| {
+            let config = AcquisitionConfig {
+                traces: 9,
+                executions_per_trace: 2,
+                sampling: SamplingConfig::per_cycle(),
+                noise: GaussianNoise { sd: 0.5, baseline: 1.0 },
+                seed: 1234,
+                threads,
+            };
+            let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), config);
+            synth
+                .acquire(
+                    &cpu,
+                    entry,
+                    |rng: &mut StdRng, _| {
+                        use rand::Rng;
+                        rng.gen::<u32>().to_le_bytes().to_vec()
+                    },
+                    stage,
+                )
+                .unwrap()
+        };
+        let serial = make(1);
+        let parallel = make(4);
+        assert_eq!(serial.len(), parallel.len());
+        for i in 0..serial.len() {
+            assert_eq!(serial.trace(i), parallel.trace(i), "trace {i}");
+            assert_eq!(serial.input(i), parallel.input(i), "input {i}");
+        }
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let (cpu, entry) = fixture();
+        let acquire_with_avg = |executions| {
+            let config = AcquisitionConfig {
+                traces: 40,
+                executions_per_trace: executions,
+                sampling: SamplingConfig::per_cycle(),
+                noise: GaussianNoise { sd: 8.0, baseline: 0.0 },
+                seed: 7,
+                threads: 1,
+            };
+            let synth = TraceSynthesizer::new(LeakageWeights::zero(), config);
+            synth
+                .acquire(&cpu, entry, |_, _| vec![0, 0, 0, 0], stage)
+                .unwrap()
+        };
+        // With zero leakage weights and a fixed input, traces are pure
+        // noise; their variance should shrink with averaging.
+        let variance = |set: &TraceSet| {
+            let mut acc = 0.0f64;
+            let mut n = 0usize;
+            for i in 0..set.len() {
+                for &s in set.trace(i) {
+                    acc += f64::from(s) * f64::from(s);
+                    n += 1;
+                }
+            }
+            acc / n as f64
+        };
+        let raw = variance(&acquire_with_avg(1));
+        let averaged = variance(&acquire_with_avg(16));
+        assert!(averaged < raw / 8.0, "raw {raw} averaged {averaged}");
+    }
+
+    #[test]
+    fn signal_survives_averaging() {
+        let (cpu, entry) = fixture();
+        let config = AcquisitionConfig {
+            traces: 2,
+            executions_per_trace: 8,
+            sampling: SamplingConfig::per_cycle(),
+            noise: GaussianNoise::none(),
+            seed: 3,
+            threads: 1,
+        };
+        let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), config);
+        // Two fixed, different inputs: all-zeros vs all-ones word.
+        let set = synth
+            .acquire(
+                &cpu,
+                entry,
+                |_, t| if t % 2 == 0 { vec![0, 0, 0, 0] } else { vec![0xff; 4] },
+                stage,
+            )
+            .unwrap();
+        let e0: f32 = set.trace(0).iter().sum();
+        let e1: f32 = set.trace(1).iter().sum();
+        assert!(
+            e1 > e0 + 1.0,
+            "loading 0xffffffff must consume more modeled power: {e0} vs {e1}"
+        );
+    }
+}

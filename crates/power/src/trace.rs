@@ -1,0 +1,182 @@
+//! Trace containers.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of power traces with their per-trace input metadata.
+///
+/// Traces are stored row-major (`trace × sample`), all the same length;
+/// inputs are opaque byte strings interpreted by the attack (e.g. the
+/// 16-byte AES plaintext, or the random operand words of a
+/// characterization benchmark).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    samples_per_trace: usize,
+    samples: Vec<f32>,
+    inputs: Vec<Vec<u8>>,
+}
+
+impl TraceSet {
+    /// Creates an empty set expecting traces of the given length.
+    pub fn new(samples_per_trace: usize) -> TraceSet {
+        TraceSet { samples_per_trace, samples: Vec::new(), inputs: Vec::new() }
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Samples per trace.
+    pub fn samples_per_trace(&self) -> usize {
+        self.samples_per_trace
+    }
+
+    /// Appends a trace. Shorter traces are zero-padded, longer ones
+    /// truncated — executions may differ by a cycle or two of pipeline
+    /// drain, and CPA requires a rectangular matrix.
+    pub fn push(&mut self, mut trace: Vec<f32>, input: Vec<u8>) {
+        trace.resize(self.samples_per_trace, 0.0);
+        self.samples.extend_from_slice(&trace);
+        self.inputs.push(input);
+    }
+
+    /// One trace's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn trace(&self, index: usize) -> &[f32] {
+        let start = index * self.samples_per_trace;
+        &self.samples[start..start + self.samples_per_trace]
+    }
+
+    /// One trace's input metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn input(&self, index: usize) -> &[u8] {
+        &self.inputs[index]
+    }
+
+    /// Iterates `(input, trace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[f32])> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| (input.as_slice(), self.trace(i)))
+    }
+
+    /// Pointwise mean trace.
+    pub fn mean_trace(&self) -> Vec<f64> {
+        let mut mean = vec![0.0f64; self.samples_per_trace];
+        if self.is_empty() {
+            return mean;
+        }
+        for i in 0..self.len() {
+            for (m, &s) in mean.iter_mut().zip(self.trace(i)) {
+                *m += f64::from(s);
+            }
+        }
+        let n = self.len() as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        mean
+    }
+
+    /// Returns a copy keeping only the first `samples` points of every
+    /// trace — e.g. to focus CPA on the first AES round, as the paper's
+    /// Figure 3 does.
+    pub fn truncated(&self, samples: usize) -> TraceSet {
+        self.window(0, samples)
+    }
+
+    /// Returns a copy keeping `samples` points starting at `start` —
+    /// focusing the analysis on one region (the paper's Figure 4 spans
+    /// only the SubBytes stores, ~0.7 µs).
+    pub fn window(&self, start: usize, samples: usize) -> TraceSet {
+        let start = start.min(self.samples_per_trace);
+        let end = (start + samples).min(self.samples_per_trace);
+        let mut out = TraceSet::new(end - start);
+        for i in 0..self.len() {
+            out.push(self.trace(i)[start..end].to_vec(), self.inputs[i].clone());
+        }
+        out
+    }
+
+    /// Merges another set with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample counts differ (a programming error in the
+    /// acquisition pipeline).
+    pub fn merge(&mut self, other: TraceSet) {
+        assert_eq!(
+            self.samples_per_trace, other.samples_per_trace,
+            "cannot merge trace sets of different widths"
+        );
+        self.samples.extend_from_slice(&other.samples);
+        self.inputs.extend(other.inputs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut set = TraceSet::new(3);
+        set.push(vec![1.0, 2.0, 3.0], vec![0xaa]);
+        set.push(vec![4.0, 5.0], vec![0xbb]); // padded
+        set.push(vec![6.0, 7.0, 8.0, 9.0], vec![0xcc]); // truncated
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.trace(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(set.trace(1), &[4.0, 5.0, 0.0]);
+        assert_eq!(set.trace(2), &[6.0, 7.0, 8.0]);
+        assert_eq!(set.input(2), &[0xcc]);
+    }
+
+    #[test]
+    fn mean_trace() {
+        let mut set = TraceSet::new(2);
+        set.push(vec![1.0, 3.0], vec![]);
+        set.push(vec![3.0, 5.0], vec![]);
+        assert_eq!(set.mean_trace(), vec![2.0, 4.0]);
+        assert_eq!(TraceSet::new(2).mean_trace(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = TraceSet::new(2);
+        a.push(vec![1.0, 2.0], vec![1]);
+        let mut b = TraceSet::new(2);
+        b.push(vec![3.0, 4.0], vec![2]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.trace(1), &[3.0, 4.0]);
+        assert_eq!(a.input(1), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = TraceSet::new(2);
+        a.merge(TraceSet::new(3));
+    }
+
+    #[test]
+    fn iter_pairs_inputs_with_traces() {
+        let mut set = TraceSet::new(1);
+        set.push(vec![1.0], vec![7]);
+        set.push(vec![2.0], vec![8]);
+        let pairs: Vec<(u8, f32)> = set.iter().map(|(i, t)| (i[0], t[0])).collect();
+        assert_eq!(pairs, vec![(7, 1.0), (8, 2.0)]);
+    }
+}

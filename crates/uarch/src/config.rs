@@ -1,0 +1,206 @@
+//! Simulator configuration.
+//!
+//! Every microarchitectural feature whose side-channel impact the paper
+//! discusses is a knob here, so the benches can run ablations: dual-issue
+//! on/off, the `nop` write-back-zeroing behaviour, the align buffer's
+//! presence, port counts, unit latencies and cache geometry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DualIssuePolicy;
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u32,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+    /// Extra cycles added by a miss at this level.
+    pub miss_penalty: u64,
+}
+
+impl CacheConfig {
+    /// 32 KiB, 4-way, 32-byte lines — the Cortex-A7 L1 geometry.
+    pub fn l1_cortex_a7() -> CacheConfig {
+        CacheConfig { capacity: 32 * 1024, ways: 4, line_size: 32, miss_penalty: 10 }
+    }
+
+    /// 512 KiB, 8-way, 64-byte lines — the Allwinner A20's shared L2.
+    pub fn l2_allwinner_a20() -> CacheConfig {
+        CacheConfig { capacity: 512 * 1024, ways: 8, line_size: 64, miss_penalty: 40 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u32 {
+        (self.capacity / self.line_size / self.ways).max(1)
+    }
+}
+
+/// Full microarchitecture configuration.
+///
+/// Use [`UarchConfig::cortex_a7`] for the paper's characterized core, or
+/// start from it and toggle features for ablations:
+///
+/// ```
+/// use sca_uarch::UarchConfig;
+///
+/// let mut config = UarchConfig::cortex_a7();
+/// config.dual_issue = false; // what if the core were scalar?
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct UarchConfig {
+    /// Whether the issue stage may issue two instructions per cycle.
+    pub dual_issue: bool,
+    /// Class-pair policy consulted when `dual_issue` is on.
+    pub policy: DualIssuePolicy,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Cycles an instruction spends in the front end (fetch2 + decode)
+    /// before becoming issueable; also the taken-branch refill penalty.
+    pub frontend_latency: u64,
+    /// Prefetch/decode queue capacity in instructions.
+    pub frontend_capacity: usize,
+    /// Register-file read ports available per cycle.
+    pub rf_read_ports: usize,
+    /// Register-file write ports (results retiring per cycle).
+    pub retire_width: usize,
+    /// Issue→forward latency of a simple ALU operation.
+    pub alu_latency: u64,
+    /// Issue→forward latency of a shifted-operand (barrel shifter) op.
+    pub shift_latency: u64,
+    /// Issue→forward latency of a multiply.
+    pub mul_latency: u64,
+    /// Issue→forward latency of a load hitting the L1.
+    pub load_latency: u64,
+    /// Whether results forward from execute outputs to issue; when off,
+    /// consumers wait for write-back (+2 cycles).
+    pub forwarding: bool,
+    /// Whether a retiring `nop` drives zero onto write-back bus 0
+    /// (the behaviour behind the paper's † boundary leakage).
+    pub nop_zeroes_wb: bool,
+    /// Whether `nop`s drive their zero-valued operands onto the shared
+    /// operand buses (the never-executed-conditional implementation).
+    pub nop_drives_operand_buses: bool,
+    /// Whether the LSU has a sub-word align buffer (with data remanence).
+    pub align_buffer: bool,
+    /// L1 instruction cache; `None` = ideal (always hit).
+    pub icache: Option<CacheConfig>,
+    /// L1 data cache; `None` = ideal.
+    pub dcache: Option<CacheConfig>,
+    /// Unified L2 behind both L1s; `None` = misses go straight to memory.
+    pub l2: Option<CacheConfig>,
+    /// Main-memory access latency in cycles (applied on last-level miss).
+    pub memory_latency: u64,
+    /// Simulated RAM size in bytes.
+    pub mem_size: u32,
+    /// Safety valve: abort after this many cycles without a `halt`.
+    pub max_cycles: u64,
+}
+
+impl UarchConfig {
+    /// The ARM Cortex-A7 MPCore as characterized in the paper: in-order,
+    /// partial dual-issue per Table 1, 8-stage pipeline, two asymmetric
+    /// ALUs, pipelined 3-stage LSU and multiplier, 3 RF read ports and 2
+    /// write ports, leaky `nop` implementation.
+    pub fn cortex_a7() -> UarchConfig {
+        UarchConfig {
+            dual_issue: true,
+            policy: DualIssuePolicy::cortex_a7(),
+            fetch_width: 2,
+            frontend_latency: 2,
+            frontend_capacity: 8,
+            rf_read_ports: 3,
+            retire_width: 2,
+            alu_latency: 1,
+            shift_latency: 2,
+            mul_latency: 3,
+            load_latency: 3,
+            forwarding: true,
+            nop_zeroes_wb: true,
+            nop_drives_operand_buses: true,
+            align_buffer: true,
+            icache: Some(CacheConfig::l1_cortex_a7()),
+            dcache: Some(CacheConfig::l1_cortex_a7()),
+            l2: Some(CacheConfig::l2_allwinner_a20()),
+            memory_latency: 60,
+            mem_size: 1 << 20,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// A single-issue variant of the same core — the "scalar
+    /// microcontroller" end of the spectrum the paper's introduction
+    /// contrasts against (e.g. a Cortex-M class device).
+    pub fn scalar() -> UarchConfig {
+        UarchConfig {
+            dual_issue: false,
+            policy: DualIssuePolicy::single_issue(),
+            ..UarchConfig::cortex_a7()
+        }
+    }
+
+    /// An idealized memory system (all cache accesses hit), giving fully
+    /// deterministic timing. The paper approximates this by warming the
+    /// caches and measuring steady state; tests use it for exact CPI
+    /// assertions.
+    pub fn with_ideal_memory(mut self) -> UarchConfig {
+        self.icache = None;
+        self.dcache = None;
+        self.l2 = None;
+        self
+    }
+
+    /// Effective number of read buses between RF and issue stage — the
+    /// paper deduces three on the A7.
+    pub fn operand_buses(&self) -> usize {
+        self.rf_read_ports
+    }
+}
+
+impl Default for UarchConfig {
+    fn default() -> UarchConfig {
+        UarchConfig::cortex_a7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cortex_a7_matches_paper_deductions() {
+        let c = UarchConfig::cortex_a7();
+        assert!(c.dual_issue);
+        assert_eq!(c.rf_read_ports, 3, "three RF→EX buses (Section 3.2)");
+        assert_eq!(c.retire_width, 2, "two write-back buses (Section 3.2)");
+        assert_eq!(c.fetch_width, 2, "fetch sustains CPI 0.5");
+        assert!(c.nop_zeroes_wb);
+        assert!(c.align_buffer);
+        assert_eq!(c.mul_latency, 3);
+        assert_eq!(c.load_latency, 3);
+    }
+
+    #[test]
+    fn scalar_disables_pairing() {
+        let c = UarchConfig::scalar();
+        assert!(!c.dual_issue);
+        assert_eq!(c.policy, DualIssuePolicy::single_issue());
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = CacheConfig::l1_cortex_a7();
+        assert_eq!(l1.sets(), 256);
+        let l2 = CacheConfig::l2_allwinner_a20();
+        assert_eq!(l2.sets(), 1024);
+    }
+
+    #[test]
+    fn ideal_memory_clears_caches() {
+        let c = UarchConfig::cortex_a7().with_ideal_memory();
+        assert!(c.icache.is_none() && c.dcache.is_none() && c.l2.is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while running a program on the simulated CPU.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum UarchError {
+    /// Memory access outside the simulated RAM.
+    BadAddress(u32),
+    /// The program counter left the loaded image or pointed at data that
+    /// does not decode.
+    BadInstruction {
+        /// Faulting address.
+        addr: u32,
+        /// Offending word, if readable.
+        word: Option<u32>,
+    },
+    /// The run exceeded the configured cycle budget without halting.
+    CycleBudgetExceeded(u64),
+    /// Program image does not fit in the configured RAM.
+    ImageTooLarge {
+        /// Image end address.
+        end: u32,
+        /// RAM size.
+        mem_size: u32,
+    },
+}
+
+impl fmt::Display for UarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UarchError::BadAddress(addr) => write!(f, "memory access at 0x{addr:08x} out of range"),
+            UarchError::BadInstruction { addr, word: Some(w) } => {
+                write!(f, "invalid instruction 0x{w:08x} at 0x{addr:08x}")
+            }
+            UarchError::BadInstruction { addr, word: None } => {
+                write!(f, "instruction fetch from unmapped address 0x{addr:08x}")
+            }
+            UarchError::CycleBudgetExceeded(limit) => {
+                write!(f, "no halt within {limit} cycles")
+            }
+            UarchError::ImageTooLarge { end, mem_size } => {
+                write!(f, "program image ends at 0x{end:08x} but RAM is {mem_size} bytes")
+            }
+        }
+    }
+}
+
+impl Error for UarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(UarchError::BadAddress(0x100).to_string().contains("0x00000100"));
+        assert!(UarchError::CycleBudgetExceeded(5).to_string().contains('5'));
+        let e = UarchError::BadInstruction { addr: 4, word: Some(0xffff_ffff) };
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UarchError>();
+    }
+}

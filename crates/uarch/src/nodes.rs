@@ -1,0 +1,392 @@
+//! Microarchitectural *nodes* — the observable buffers and buses whose
+//! value transitions drive side-channel leakage.
+//!
+//! Section 4 of the paper models the Cortex-A7's leakage as the switching
+//! activity of gates driving large capacitive loads: the register-file
+//! read ports, the IS/EX inter-stage buffers, the ALU and barrel-shifter
+//! output buffers, the EX/WB buffers, the write-back buses, the Memory
+//! Data Register (MDR) and the LSU's sub-word *align buffer*. Each of
+//! those is a [`Node`] here. Every cycle the pipeline asserts values on
+//! nodes; the old/new pair is delivered to observers as a [`NodeEvent`],
+//! from which the power model computes Hamming-distance/weight terms.
+//!
+//! Two families deserve comment, because their split is what lets the
+//! model reproduce *all* of Table 2 simultaneously:
+//!
+//! * **Operand buses vs. IS/EX buffers.** The three shared register-read
+//!   buses ([`Node::OperandBus`]) are driven by *every* issued instruction
+//!   — including the `nop`, which drives zeros (it is a never-executed
+//!   conditional with zero operands). The per-pipe IS/EX buffers
+//!   ([`Node::IsExOp`]) latch only for instructions actually dispatched to
+//!   that pipe, so a `nop` between two `mov`s leaves the pipe-0 buffer
+//!   transitioning directly `rB → rD`. Together these explain the paper's
+//!   observation that `mov rA, rB; nop; mov rC, rD` leaks both
+//!   `HW(rB)`/`HW(rD)` *and* `rB ⊕ rD`.
+//! * **EX/WB buffers vs. WB buses.** The per-pipe output buffer
+//!   ([`Node::ExWbBuf`]) holds results of successive instructions executed
+//!   on the same pipe (`rA ⊕ rD` leakage when single-issued), while the
+//!   write-back buses ([`Node::WbBus`]) are zeroed by retiring `nop`s,
+//!   producing the boundary Hamming-weight leakage the paper marks with †.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies an execution pipe for node bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Pipe {
+    /// ALU pipe 0: three stages, owns the barrel shifter and the
+    /// multiplier.
+    Alu0 = 0,
+    /// ALU pipe 1: single-stage simple ALU.
+    Alu1 = 1,
+    /// Load/store unit: three stages, fully pipelined.
+    Lsu = 2,
+    /// Floating-point/NEON placeholder pipe (four stages, unused by the
+    /// integer ISA but kept for structural fidelity with Figure 2).
+    Fpu = 3,
+}
+
+impl Pipe {
+    /// All pipes.
+    pub const ALL: [Pipe; 4] = [Pipe::Alu0, Pipe::Alu1, Pipe::Lsu, Pipe::Fpu];
+
+    /// Index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Pipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pipe::Alu0 => f.write_str("ALU0"),
+            Pipe::Alu1 => f.write_str("ALU1"),
+            Pipe::Lsu => f.write_str("LSU"),
+            Pipe::Fpu => f.write_str("FPU"),
+        }
+    }
+}
+
+/// A tracked microarchitectural storage/bus element.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// Register-file read port `0..=2`. The paper found these do **not**
+    /// leak measurably (short capacitive load); the default power weight
+    /// is therefore zero, but the node is still tracked so that the
+    /// characterization can *test* the RF models and report them black.
+    RfRead(u8),
+    /// Shared RF→issue operand bus `0..=2`. Driven by every issued
+    /// instruction in operand-position order; `nop`s drive zeros.
+    OperandBus(u8),
+    /// Per-pipe IS/EX operand buffer; `slot` 0 = first source position,
+    /// 1 = second source position.
+    IsExOp {
+        /// Execution pipe owning the buffer.
+        pipe: Pipe,
+        /// Operand position (0 or 1).
+        slot: u8,
+    },
+    /// Barrel-shifter output buffer (pipe 0 only). Zero-precharged; leaks
+    /// the Hamming weight of the shifted value at roughly one tenth of the
+    /// other nodes' weight (paper, Section 4.1).
+    ShiftBuf,
+    /// ALU result signals, zero-precharged each operation, so the
+    /// transition weight equals the Hamming weight of the result.
+    AluOut(Pipe),
+    /// Per-pipe EX→WB output buffer, holding the last result produced by
+    /// that pipe.
+    ExWbBuf(Pipe),
+    /// Write-back bus `0..=1` from the EX/WB buffers to the register-file
+    /// write ports. Retiring `nop`s reset bus 0 to zero.
+    WbBus(u8),
+    /// Memory Data Register: the full 32-bit word moved to/from the data
+    /// cache, even for sub-word accesses.
+    Mdr,
+    /// LSU sub-word alignment buffer: the extracted byte/halfword value.
+    /// Exhibits data remanence across intervening word-sized accesses.
+    AlignBuf,
+    /// Instruction words entering the prefetch buffer (fetch-path
+    /// leakage; negligible weight by default, tracked for completeness).
+    FetchWord(u8),
+}
+
+impl Node {
+    /// The coarse component this node belongs to, used for weight lookup
+    /// and for grouping in characterization reports (the columns of
+    /// Table 2).
+    pub fn kind(self) -> NodeKind {
+        match self {
+            Node::RfRead(_) => NodeKind::RegisterFile,
+            Node::OperandBus(_) | Node::IsExOp { .. } => NodeKind::IsExBuffer,
+            Node::ShiftBuf => NodeKind::ShiftBuffer,
+            Node::AluOut(_) => NodeKind::Alu,
+            Node::ExWbBuf(_) | Node::WbBus(_) => NodeKind::ExWbBuffer,
+            Node::Mdr => NodeKind::Mdr,
+            Node::AlignBuf => NodeKind::AlignBuffer,
+            Node::FetchWord(_) => NodeKind::FetchPath,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::RfRead(p) => write!(f, "RF.read{p}"),
+            Node::OperandBus(b) => write!(f, "bus{b}"),
+            Node::IsExOp { pipe, slot } => write!(f, "IS/EX.{pipe}.op{}", slot + 1),
+            Node::ShiftBuf => f.write_str("shift.out"),
+            Node::AluOut(p) => write!(f, "{p}.out"),
+            Node::ExWbBuf(p) => write!(f, "EX/WB.{p}"),
+            Node::WbBus(b) => write!(f, "WB.bus{b}"),
+            Node::Mdr => f.write_str("MDR"),
+            Node::AlignBuf => f.write_str("align"),
+            Node::FetchWord(s) => write!(f, "fetch{s}"),
+        }
+    }
+}
+
+/// Coarse component classes, one per column of the paper's Table 2 (plus
+/// the fetch path, an extension).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// Register-file read ports.
+    RegisterFile = 0,
+    /// Issue→execute operand buffers and shared operand buses.
+    IsExBuffer = 1,
+    /// Barrel-shifter output buffer.
+    ShiftBuffer = 2,
+    /// ALU output signals.
+    Alu = 3,
+    /// Execute→write-back buffers and write-back buses.
+    ExWbBuffer = 4,
+    /// Memory data register.
+    Mdr = 5,
+    /// Sub-word align buffer.
+    AlignBuffer = 6,
+    /// Instruction-fetch path.
+    FetchPath = 7,
+}
+
+impl NodeKind {
+    /// All kinds, in Table 2 column order.
+    pub const ALL: [NodeKind; 8] = [
+        NodeKind::RegisterFile,
+        NodeKind::IsExBuffer,
+        NodeKind::ShiftBuffer,
+        NodeKind::Alu,
+        NodeKind::ExWbBuffer,
+        NodeKind::Mdr,
+        NodeKind::AlignBuffer,
+        NodeKind::FetchPath,
+    ];
+
+    /// Number of kinds.
+    pub const COUNT: usize = 8;
+
+    /// Index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable label matching the paper's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::RegisterFile => "Register File",
+            NodeKind::IsExBuffer => "Is/Ex Buffer",
+            NodeKind::ShiftBuffer => "Shift Buffer",
+            NodeKind::Alu => "ALU",
+            NodeKind::ExWbBuffer => "Ex/Wb Buffer",
+            NodeKind::Mdr => "MDR",
+            NodeKind::AlignBuffer => "Align Buffer",
+            NodeKind::FetchPath => "Fetch Path",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A value transition on a node at a given cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NodeEvent {
+    /// Cycle at which the new value is asserted.
+    pub cycle: u64,
+    /// The node.
+    pub node: Node,
+    /// Value previously held (zero for precharged nodes).
+    pub before: u32,
+    /// Newly asserted value.
+    pub after: u32,
+}
+
+impl NodeEvent {
+    /// Hamming distance of the transition — the paper's primary leakage
+    /// quantity.
+    pub fn hamming_distance(&self) -> u32 {
+        (self.before ^ self.after).count_ones()
+    }
+
+    /// Hamming weight of the new value.
+    pub fn hamming_weight(&self) -> u32 {
+        self.after.count_ones()
+    }
+}
+
+/// Tracks the current value of every node and emits [`NodeEvent`]s on
+/// change.
+#[derive(Clone, Debug, Default)]
+pub struct NodeState {
+    values: std::collections::BTreeMap<Node, u32>,
+}
+
+impl NodeState {
+    /// Creates an all-zero node state covering the full node set.
+    ///
+    /// Every possible node is pre-registered so that [`NodeState::scramble`]
+    /// acts on the same set regardless of execution history — cloned CPUs
+    /// and long-running CPUs must behave identically.
+    pub fn new() -> NodeState {
+        let mut values = std::collections::BTreeMap::new();
+        for i in 0..4u8 {
+            values.insert(Node::RfRead(i), 0);
+            values.insert(Node::OperandBus(i), 0);
+            values.insert(Node::WbBus(i), 0);
+            values.insert(Node::FetchWord(i), 0);
+        }
+        for pipe in Pipe::ALL {
+            for slot in 0..2u8 {
+                values.insert(Node::IsExOp { pipe, slot }, 0);
+            }
+            values.insert(Node::AluOut(pipe), 0);
+            values.insert(Node::ExWbBuf(pipe), 0);
+        }
+        values.insert(Node::ShiftBuf, 0);
+        values.insert(Node::Mdr, 0);
+        values.insert(Node::AlignBuf, 0);
+        NodeState { values }
+    }
+
+    /// Current value of a node (zero if never asserted).
+    pub fn value(&self, node: Node) -> u32 {
+        self.values.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Asserts `value` on `node`, returning the transition event.
+    ///
+    /// The event is returned (not swallowed) so the caller can forward it
+    /// to observers; identical-value assertions still produce an event
+    /// with `before == after` (zero Hamming distance), because downstream
+    /// statistics need to know the node was *driven* this cycle.
+    pub fn assert(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
+        let before = self.values.insert(node, value).unwrap_or(0);
+        NodeEvent { cycle, node, before, after: value }
+    }
+
+    /// Asserts a value on a zero-precharged node: the transition is always
+    /// measured from zero, and the stored value returns to zero afterwards
+    /// (so the next assertion is again measured from zero).
+    pub fn assert_precharged(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
+        self.values.insert(node, 0);
+        NodeEvent { cycle, node, before: 0, after: value }
+    }
+
+    /// Resets every node to zero (used between independent benchmark
+    /// runs).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+
+    /// Scrambles every tracked node to a pseudorandom value derived from
+    /// `seed` (SplitMix64 per node).
+    ///
+    /// Real buffers keep whatever the previous execution left in them;
+    /// resetting them to zero between measured executions would fabricate
+    /// Hamming-weight leakage on every first use of a node — leakage the
+    /// paper does not observe. Scrambling models the "unknown stale
+    /// value" state while keeping runs deterministic.
+    pub fn scramble(&mut self, seed: u64) {
+        for (i, value) in self.values.values_mut().enumerate() {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *value = (z ^ (z >> 31)) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_hamming_quantities() {
+        let ev = NodeEvent { cycle: 0, node: Node::Mdr, before: 0b1100, after: 0b1010 };
+        assert_eq!(ev.hamming_distance(), 2);
+        assert_eq!(ev.hamming_weight(), 2);
+    }
+
+    #[test]
+    fn node_state_tracks_old_values() {
+        let mut state = NodeState::new();
+        let ev = state.assert(1, Node::Mdr, 0xff);
+        assert_eq!(ev.before, 0);
+        assert_eq!(ev.after, 0xff);
+        let ev = state.assert(2, Node::Mdr, 0x0f);
+        assert_eq!(ev.before, 0xff);
+        assert_eq!(ev.hamming_distance(), 4);
+        assert_eq!(state.value(Node::Mdr), 0x0f);
+    }
+
+    #[test]
+    fn precharged_nodes_measure_from_zero() {
+        let mut state = NodeState::new();
+        let ev = state.assert_precharged(1, Node::AluOut(Pipe::Alu0), 0xf0);
+        assert_eq!(ev.hamming_distance(), 4);
+        let ev = state.assert_precharged(2, Node::AluOut(Pipe::Alu0), 0xf0);
+        assert_eq!(ev.before, 0, "precharge resets between assertions");
+        assert_eq!(ev.hamming_distance(), 4);
+    }
+
+    #[test]
+    fn node_kinds_cover_table2_columns() {
+        assert_eq!(Node::RfRead(0).kind(), NodeKind::RegisterFile);
+        assert_eq!(Node::OperandBus(1).kind(), NodeKind::IsExBuffer);
+        assert_eq!(Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }.kind(), NodeKind::IsExBuffer);
+        assert_eq!(Node::ShiftBuf.kind(), NodeKind::ShiftBuffer);
+        assert_eq!(Node::AluOut(Pipe::Alu1).kind(), NodeKind::Alu);
+        assert_eq!(Node::ExWbBuf(Pipe::Lsu).kind(), NodeKind::ExWbBuffer);
+        assert_eq!(Node::WbBus(0).kind(), NodeKind::ExWbBuffer);
+        assert_eq!(Node::Mdr.kind(), NodeKind::Mdr);
+        assert_eq!(Node::AlignBuf.kind(), NodeKind::AlignBuffer);
+        assert_eq!(Node::FetchWord(0).kind(), NodeKind::FetchPath);
+    }
+
+    #[test]
+    fn distinct_nodes_do_not_alias() {
+        let mut state = NodeState::new();
+        state.assert(0, Node::WbBus(0), 1);
+        state.assert(0, Node::WbBus(1), 2);
+        state.assert(0, Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }, 3);
+        state.assert(0, Node::IsExOp { pipe: Pipe::Alu0, slot: 1 }, 4);
+        assert_eq!(state.value(Node::WbBus(0)), 1);
+        assert_eq!(state.value(Node::WbBus(1)), 2);
+        assert_eq!(state.value(Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }), 3);
+        assert_eq!(state.value(Node::IsExOp { pipe: Pipe::Alu0, slot: 1 }), 4);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut state = NodeState::new();
+        state.assert(0, Node::Mdr, 0xdead);
+        state.reset();
+        assert_eq!(state.value(Node::Mdr), 0);
+    }
+}

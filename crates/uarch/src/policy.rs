@@ -1,0 +1,208 @@
+//! The dual-issue pairing policy (Table 1 of the paper).
+//!
+//! The Cortex-A7 is *partial* dual-issue: only certain (older, younger)
+//! instruction-class pairs may issue in the same cycle, and the measured
+//! matrix contains quirks that pure structural reasoning would not predict
+//! (e.g. `mov` followed by `ld/st` is never paired although register-file
+//! ports would allow it, and `nop`s are never dual-issued at all). The
+//! policy is therefore data: a class-pair matrix, with the measured A7
+//! matrix as the default. Structural hazards (register-file ports, RAW
+//! dependences, single shifter/multiplier/LSU) are checked separately by
+//! the issue stage — the policy expresses only what the issue logic is
+//! *willing* to pair.
+
+use serde::{Deserialize, Serialize};
+
+use sca_isa::InsnClass;
+
+/// Which (older, younger) instruction-class pairs the issue unit may
+/// dual-issue.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DualIssuePolicy {
+    /// `matrix[older][younger]`.
+    matrix: [[bool; InsnClass::COUNT]; InsnClass::COUNT],
+}
+
+impl DualIssuePolicy {
+    /// A policy that never pairs anything (a scalar core).
+    pub fn single_issue() -> DualIssuePolicy {
+        DualIssuePolicy { matrix: [[false; InsnClass::COUNT]; InsnClass::COUNT] }
+    }
+
+    /// A policy that pairs everything except `nop`/system ops, leaving
+    /// legality entirely to structural checks. Useful for what-if studies
+    /// of more aggressive front ends.
+    pub fn structural_only() -> DualIssuePolicy {
+        let mut policy = DualIssuePolicy::single_issue();
+        for older in InsnClass::TABLE1 {
+            for younger in InsnClass::TABLE1 {
+                policy.matrix[older.index()][younger.index()] = true;
+            }
+        }
+        policy
+    }
+
+    /// The measured ARM Cortex-A7 policy — Table 1 of the paper, verbatim.
+    ///
+    /// Rows are the older instruction, columns the younger:
+    ///
+    /// | older ↓ / younger → | mov | ALU | ALU imm | mul | shifts | branch | ld/st |
+    /// |---|---|---|---|---|---|---|---|
+    /// | mov     | ✓ | ✓ | ✓ | ✗ | ✓ | ✓ | ✗ |
+    /// | ALU     | ✓ | ✗ | ✓ | ✗ | ✗ | ✓ | ✗ |
+    /// | ALU imm | ✓ | ✓ | ✓ | ✗ | ✓ | ✓ | ✓ |
+    /// | branch  | ✓ | ✓ | ✓ | ✓ | ✓ | ✗ | ✓ |
+    /// | ld/st   | ✓ | ✗ | ✓ | ✗ | ✗ | ✓ | ✗ |
+    /// | mul     | ✗ | ✗ | ✗ | ✗ | ✗ | ✓ | ✗ |
+    /// | shifts  | ✗ | ✗ | ✓ | ✗ | ✗ | ✓ | ✗ |
+    ///
+    /// `nop` is never dual-issued ("albeit counter-intuitively", Section
+    /// 3.2).
+    pub fn cortex_a7() -> DualIssuePolicy {
+        use InsnClass::*;
+        let mut policy = DualIssuePolicy::single_issue();
+        let rows: [(InsnClass, [(InsnClass, bool); 7]); 7] = [
+            (
+                Mov,
+                [(Mov, true), (Alu, true), (AluImm, true), (Mul, false), (Shift, true), (Branch, true), (LdSt, false)],
+            ),
+            (
+                Alu,
+                [(Mov, true), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+            ),
+            (
+                AluImm,
+                [(Mov, true), (Alu, true), (AluImm, true), (Mul, false), (Shift, true), (Branch, true), (LdSt, true)],
+            ),
+            (
+                Branch,
+                [(Mov, true), (Alu, true), (AluImm, true), (Mul, true), (Shift, true), (Branch, false), (LdSt, true)],
+            ),
+            (
+                LdSt,
+                [(Mov, true), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+            ),
+            (
+                Mul,
+                [(Mov, false), (Alu, false), (AluImm, false), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+            ),
+            (
+                Shift,
+                [(Mov, false), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+            ),
+        ];
+        for (older, cols) in rows {
+            for (younger, allowed) in cols {
+                policy.matrix[older.index()][younger.index()] = allowed;
+            }
+        }
+        policy
+    }
+
+    /// Whether the policy permits pairing `older` with `younger`.
+    pub fn allows(&self, older: InsnClass, younger: InsnClass) -> bool {
+        self.matrix[older.index()][younger.index()]
+    }
+
+    /// Enables or disables one pair — for ablation experiments.
+    pub fn set(&mut self, older: InsnClass, younger: InsnClass, allowed: bool) {
+        self.matrix[older.index()][younger.index()] = allowed;
+    }
+}
+
+impl Default for DualIssuePolicy {
+    fn default() -> DualIssuePolicy {
+        DualIssuePolicy::cortex_a7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InsnClass::*;
+
+    #[test]
+    fn table1_spot_checks() {
+        let p = DualIssuePolicy::cortex_a7();
+        // Hazard-free movs sustain CPI 0.5 (Section 3.2).
+        assert!(p.allows(Mov, Mov));
+        // Two register-register ALU ops never pair (only 3 read ports).
+        assert!(!p.allows(Alu, Alu));
+        // One immediate operand makes the pair legal, in either order.
+        assert!(p.allows(Alu, AluImm));
+        assert!(p.allows(AluImm, Alu));
+        // Quirk: mov then ld/st does not pair, but ALU-imm then ld/st does.
+        assert!(!p.allows(Mov, LdSt));
+        assert!(p.allows(AluImm, LdSt));
+        // mul pairs with nothing except a following branch.
+        for younger in InsnClass::TABLE1 {
+            assert_eq!(p.allows(Mul, younger), younger == Branch, "mul+{younger}");
+        }
+        // shifts and muls never dual-issue with computational instructions
+        // (single shifter/multiplier on ALU pipe 0).
+        assert!(!p.allows(Shift, Mov));
+        assert!(!p.allows(Alu, Shift));
+        assert!(!p.allows(Shift, Shift));
+        // Branches pair broadly but not with each other.
+        assert!(!p.allows(Branch, Branch));
+        assert!(p.allows(Branch, Mul));
+        // ld/st mirror ALU pairing on the younger side.
+        assert!(p.allows(LdSt, Mov));
+        assert!(!p.allows(LdSt, LdSt));
+    }
+
+    #[test]
+    fn nop_never_pairs() {
+        let p = DualIssuePolicy::cortex_a7();
+        for other in InsnClass::TABLE1 {
+            assert!(!p.allows(Nop, other));
+            assert!(!p.allows(other, Nop));
+        }
+        assert!(!p.allows(Nop, Nop));
+    }
+
+    #[test]
+    fn single_issue_pairs_nothing() {
+        let p = DualIssuePolicy::single_issue();
+        for a in InsnClass::TABLE1 {
+            for b in InsnClass::TABLE1 {
+                assert!(!p.allows(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn structural_only_pairs_all_table1_classes() {
+        let p = DualIssuePolicy::structural_only();
+        for a in InsnClass::TABLE1 {
+            for b in InsnClass::TABLE1 {
+                assert!(p.allows(a, b));
+            }
+        }
+        assert!(!p.allows(Nop, Mov));
+        assert!(!p.allows(System, Mov));
+    }
+
+    #[test]
+    fn set_overrides_single_pair() {
+        let mut p = DualIssuePolicy::cortex_a7();
+        assert!(!p.allows(Alu, Alu));
+        p.set(Alu, Alu, true);
+        assert!(p.allows(Alu, Alu));
+        p.set(Alu, Alu, false);
+        assert!(!p.allows(Alu, Alu));
+    }
+
+    #[test]
+    fn row_column_asymmetry_is_preserved() {
+        // The measured matrix is not symmetric; make sure we did not
+        // accidentally symmetrize it.
+        let p = DualIssuePolicy::cortex_a7();
+        assert!(p.allows(Mov, Shift));
+        assert!(!p.allows(Shift, Mov));
+        assert!(p.allows(Branch, LdSt));
+        assert!(p.allows(LdSt, Branch));
+        assert!(p.allows(Branch, Mul));
+        assert!(!p.allows(Mul, Mov));
+    }
+}

@@ -1,0 +1,145 @@
+//! Execution statistics: CPI and its decomposition.
+//!
+//! The paper's entire microarchitectural exploration (Section 3.2) rests
+//! on the Clock-cycles-Per-Instruction index of crafted kernels; these
+//! counters are what the measurement harness in `sca-core` consumes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why the issue stage failed to issue (or to dual-issue) in a cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum StallCause {
+    /// Operand not yet forwardable (read-after-write).
+    RawHazard,
+    /// Flags not yet available for a conditional/carry-consuming op.
+    FlagsHazard,
+    /// Front end had no instruction ready (refill after a branch, or an
+    /// instruction-cache miss).
+    Frontend,
+    /// Execution resource busy or out of register-file read ports.
+    Structural,
+}
+
+/// Aggregate run statistics.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// Instructions retired (including `nop`s and squashed conditionals).
+    pub instructions: u64,
+    /// Cycles in which two instructions were issued together.
+    pub dual_issue_cycles: u64,
+    /// Cycles in which exactly one instruction issued.
+    pub single_issue_cycles: u64,
+    /// Cycles in which nothing issued, by cause.
+    pub raw_stalls: u64,
+    /// See [`StallCause::FlagsHazard`].
+    pub flags_stalls: u64,
+    /// See [`StallCause::Frontend`].
+    pub frontend_stalls: u64,
+    /// See [`StallCause::Structural`].
+    pub structural_stalls: u64,
+    /// Taken branches (each costs a front-end refill).
+    pub taken_branches: u64,
+    /// Branches retired in total.
+    pub branches: u64,
+    /// Pairs rejected by the dual-issue policy matrix (would otherwise
+    /// have been structurally legal).
+    pub policy_rejections: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+}
+
+impl ExecStats {
+    /// Clock cycles per instruction.
+    ///
+    /// Returns infinity for an empty run, so callers notice misuse
+    /// instead of dividing by zero.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of issue cycles that were dual issues.
+    pub fn dual_issue_rate(&self) -> f64 {
+        let issued = self.dual_issue_cycles + self.single_issue_cycles;
+        if issued == 0 {
+            0.0
+        } else {
+            self.dual_issue_cycles as f64 / issued as f64
+        }
+    }
+
+    /// Records a stall.
+    pub(crate) fn count_stall(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::RawHazard => self.raw_stalls += 1,
+            StallCause::FlagsHazard => self.flags_stalls += 1,
+            StallCause::Frontend => self.frontend_stalls += 1,
+            StallCause::Structural => self.structural_stalls += 1,
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:            {}", self.cycles)?;
+        writeln!(f, "instructions:      {}", self.instructions)?;
+        writeln!(f, "CPI:               {:.3}", self.cpi())?;
+        writeln!(f, "dual-issue cycles: {} ({:.1}%)", self.dual_issue_cycles, 100.0 * self.dual_issue_rate())?;
+        writeln!(f, "stalls raw/flags:  {}/{}", self.raw_stalls, self.flags_stalls)?;
+        writeln!(f, "stalls fe/struct:  {}/{}", self.frontend_stalls, self.structural_stalls)?;
+        writeln!(f, "branches (taken):  {} ({})", self.branches, self.taken_branches)?;
+        write!(f, "cache misses I/D:  {}/{}", self.icache_misses, self.dcache_misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_computation() {
+        let stats = ExecStats { cycles: 100, instructions: 200, ..ExecStats::default() };
+        assert!((stats.cpi() - 0.5).abs() < 1e-12);
+        let empty = ExecStats::default();
+        assert!(empty.cpi().is_infinite());
+    }
+
+    #[test]
+    fn dual_issue_rate() {
+        let stats = ExecStats {
+            dual_issue_cycles: 30,
+            single_issue_cycles: 10,
+            ..ExecStats::default()
+        };
+        assert!((stats.dual_issue_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ExecStats::default().dual_issue_rate(), 0.0);
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut stats = ExecStats::default();
+        stats.count_stall(StallCause::RawHazard);
+        stats.count_stall(StallCause::RawHazard);
+        stats.count_stall(StallCause::Frontend);
+        assert_eq!(stats.raw_stalls, 2);
+        assert_eq!(stats.frontend_stalls, 1);
+        assert_eq!(stats.structural_stalls, 0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = ExecStats::default().to_string();
+        for needle in ["CPI", "dual-issue", "branches", "cache"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

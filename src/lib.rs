@@ -1,0 +1,108 @@
+//! # superscalar-sca
+//!
+//! A full reproduction of **"Side-channel security of superscalar CPUs:
+//! Evaluating the Impact of Micro-architectural Features"** (Barenghi &
+//! Pelosi, DAC 2018) as a Rust library: a cycle-level Cortex-A7-like
+//! superscalar simulator with first-class leakage tracking, the paper's
+//! CPI-based microarchitecture-inference method, its per-component
+//! leakage characterization, and the CPA attacks that validate the model
+//! against an AES-128 implementation — on bare metal and under a
+//! simulated loaded Linux.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `sca-isa` | A32-inspired ISA, assembler, program images |
+//! | [`uarch`] | `sca-uarch` | the dual-issue pipeline simulator and its leakage nodes |
+//! | [`power`] | `sca-power` | leakage weights, noise, trace synthesis |
+//! | [`analysis`] | `sca-analysis` | Pearson CPA, significance statistics, t-test, SNR |
+//! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementation under attack |
+//! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
+//! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use superscalar_sca::prelude::*;
+//!
+//! // Assemble a kernel, run it on the simulated Cortex-A7, inspect CPI.
+//! let program = assemble("
+//!     trig #1
+//!     mov  r0, r1
+//!     mov  r2, r3
+//!     trig #0
+//!     halt
+//! ")?;
+//! let mut cpu = Cpu::new(UarchConfig::cortex_a7().with_ideal_memory());
+//! cpu.load(&program)?;
+//! let stats = cpu.run(&mut NullObserver)?;
+//! assert!(stats.dual_issue_cycles >= 1); // the two movs paired
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The paper's tables and figures regenerate through the `sca-bench`
+//! binaries (`cargo run --release -p sca-bench --bin table1`, …); see
+//! `EXPERIMENTS.md` at the repository root for the index and the
+//! paper-versus-measured comparison.
+
+#![warn(missing_docs)]
+
+/// Instruction-set substrate (re-export of `sca-isa`).
+pub mod isa {
+    pub use sca_isa::*;
+}
+
+/// Cycle-level superscalar CPU simulator (re-export of `sca-uarch`).
+pub mod uarch {
+    pub use sca_uarch::*;
+}
+
+/// Power modeling and trace synthesis (re-export of `sca-power`).
+pub mod power {
+    pub use sca_power::*;
+}
+
+/// Side-channel analysis statistics (re-export of `sca-analysis`).
+pub mod analysis {
+    pub use sca_analysis::*;
+}
+
+/// AES-128 target (re-export of `sca-aes`).
+pub mod aes {
+    pub use sca_aes::*;
+}
+
+/// Operating-system noise environments (re-export of `sca-osnoise`).
+pub mod osnoise {
+    pub use sca_osnoise::*;
+}
+
+/// The paper's methodology: characterization and audit (re-export of
+/// `sca-core`).
+pub mod core {
+    pub use sca_core::*;
+}
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use sca_aes::{encrypt_block, AesSim, SubBytesHw, SubBytesStoreHd};
+    pub use sca_analysis::{
+        cpa_attack, model_correlation, pearson, significance_threshold, CpaConfig, FnSelection,
+        InputModel, TraceSet,
+    };
+    pub use sca_core::{
+        audit_program, characterize, measure_cpi, table2_benchmarks, AuditConfig,
+        CharacterizationConfig, CpiBenchmark, DualIssueMap, PipelineHypothesis, SecretModel,
+    };
+    pub use sca_isa::{assemble, Insn, InsnClass, Program, ProgramBuilder, Reg};
+    pub use sca_osnoise::LinuxEnvironment;
+    pub use sca_power::{
+        AcquisitionConfig, GaussianNoise, LeakageWeights, PowerRecorder, SamplingConfig,
+        TraceSynthesizer,
+    };
+    pub use sca_uarch::{
+        Cpu, DualIssuePolicy, Node, NodeKind, NullObserver, PipelineObserver, RecordingObserver,
+        UarchConfig,
+    };
+}

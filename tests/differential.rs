@@ -1,0 +1,163 @@
+//! Differential property tests: microarchitecture must never change
+//! architecture.
+//!
+//! Random programs run on the dual-issue Cortex-A7 model, the scalar
+//! model, and a permissive structural-only policy must produce identical
+//! final register/flag/memory state — the paper's whole premise is that
+//! the *semantically equivalent* execution models differ only in
+//! side-channel behaviour.
+
+use proptest::prelude::*;
+
+use superscalar_sca::isa::{
+    AddrMode, DpOp, Insn, InsnKind, Operand2, Program, Reg, ShiftAmount, ShiftKind,
+};
+use superscalar_sca::uarch::{Cpu, DualIssuePolicy, NullObserver, UarchConfig};
+
+/// Scratch RAM used by generated memory instructions.
+const SCRATCH: u32 = 0x4000;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    // r0..r7 for data; r10 reserved as memory base, r13-15 excluded so
+    // generated programs cannot branch or smash a stack.
+    (0u8..8).prop_map(|i| Reg::from_index(i).expect("index < 8"))
+}
+
+fn arb_dp_op() -> impl Strategy<Value = DpOp> {
+    prop::sample::select(vec![
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Bic,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Mvn,
+        DpOp::Cmp,
+        DpOp::Tst,
+    ])
+}
+
+fn arb_operand2() -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        (0u32..256).prop_map(Operand2::Imm),
+        arb_reg().prop_map(Operand2::Reg),
+        (arb_reg(), prop::sample::select(ShiftKind::ALL.to_vec()), 0u8..32).prop_map(
+            |(rm, kind, amount)| Operand2::ShiftedReg {
+                rm,
+                kind,
+                amount: ShiftAmount::Imm(amount)
+            }
+        ),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let dp = (arb_dp_op(), any::<bool>(), arb_reg(), arb_reg(), arb_operand2()).prop_map(
+        |(op, set_flags, rd, rn, op2)| {
+            Insn::new(InsnKind::Dp {
+                op,
+                set_flags: set_flags || op.is_compare(),
+                rd: if op.is_compare() { None } else { Some(rd) },
+                rn: if op.is_move() { None } else { Some(rn) },
+                op2,
+            })
+        },
+    );
+    let mul = (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rm, rs)| Insn::mul(rd, rm, rs));
+    // Loads/stores inside a 64-byte scratch window via r10 + small imm.
+    let mem = (any::<bool>(), 0u8..3, arb_reg(), 0i32..60).prop_map(|(load, size, rd, off)| {
+        let addr = AddrMode::imm_offset(Reg::R10, off).expect("small offset");
+        match (load, size) {
+            (true, 0) => Insn::ldr(rd, addr),
+            (true, 1) => Insn::ldrb(rd, addr),
+            (true, _) => Insn::ldrh(rd, addr),
+            (false, 0) => Insn::str(rd, addr),
+            (false, 1) => Insn::strb(rd, addr),
+            (false, _) => Insn::strh(rd, addr),
+        }
+    });
+    let misc = prop_oneof![Just(Insn::nop())];
+    prop_oneof![6 => dp, 1 => mul, 3 => mem, 1 => misc]
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Insn>> {
+    prop::collection::vec(arb_insn(), 1..60)
+}
+
+#[derive(Debug, PartialEq)]
+struct ArchState {
+    regs: Vec<u32>,
+    flags: sca_isa::Flags,
+    scratch: Vec<u8>,
+}
+
+fn run_on(insns: &[Insn], config: UarchConfig, seed: u64) -> ArchState {
+    let mut body = insns.to_vec();
+    body.push(Insn::halt());
+    let program = Program::from_insns(0, &body).expect("encodes");
+    let mut cpu = Cpu::new(config);
+    cpu.load(&program).expect("loads");
+    // Deterministic pseudo-random initial register values.
+    for i in 0..8u8 {
+        let reg = Reg::from_index(i).expect("reg");
+        cpu.set_reg(reg, (seed as u32).wrapping_mul(2654435761).wrapping_add(u32::from(i) * 97));
+    }
+    cpu.set_reg(Reg::R10, SCRATCH);
+    cpu.run(&mut NullObserver).expect("runs");
+    ArchState {
+        regs: (0..13u8).map(|i| cpu.reg(Reg::from_index(i).expect("reg"))).collect(),
+        flags: cpu.flags(),
+        scratch: cpu.mem().read_bytes(SCRATCH, 64).expect("scratch").to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dual_issue_never_changes_architecture(insns in arb_program(), seed in any::<u64>()) {
+        let a7 = run_on(&insns, UarchConfig::cortex_a7().with_ideal_memory(), seed);
+        let scalar = run_on(&insns, UarchConfig::scalar().with_ideal_memory(), seed);
+        prop_assert_eq!(&a7, &scalar);
+    }
+
+    #[test]
+    fn aggressive_policy_never_changes_architecture(insns in arb_program(), seed in any::<u64>()) {
+        let a7 = run_on(&insns, UarchConfig::cortex_a7().with_ideal_memory(), seed);
+        let mut aggressive = UarchConfig::cortex_a7().with_ideal_memory();
+        aggressive.policy = DualIssuePolicy::structural_only();
+        let permissive = run_on(&insns, aggressive, seed);
+        prop_assert_eq!(&a7, &permissive);
+    }
+
+    #[test]
+    fn caches_never_change_architecture(insns in arb_program(), seed in any::<u64>()) {
+        let ideal = run_on(&insns, UarchConfig::cortex_a7().with_ideal_memory(), seed);
+        let cached = run_on(&insns, UarchConfig::cortex_a7(), seed);
+        prop_assert_eq!(&ideal, &cached);
+    }
+
+    #[test]
+    fn leakage_knobs_never_change_architecture(insns in arb_program(), seed in any::<u64>()) {
+        let a7 = run_on(&insns, UarchConfig::cortex_a7().with_ideal_memory(), seed);
+        let mut quiet = UarchConfig::cortex_a7().with_ideal_memory();
+        quiet.nop_zeroes_wb = false;
+        quiet.nop_drives_operand_buses = false;
+        quiet.align_buffer = false;
+        let quiet_state = run_on(&insns, quiet, seed);
+        prop_assert_eq!(&a7, &quiet_state);
+    }
+
+    #[test]
+    fn forwarding_changes_timing_not_results(insns in arb_program(), seed in any::<u64>()) {
+        let fast = run_on(&insns, UarchConfig::cortex_a7().with_ideal_memory(), seed);
+        let mut no_fwd = UarchConfig::cortex_a7().with_ideal_memory();
+        no_fwd.forwarding = false;
+        let slow = run_on(&insns, no_fwd, seed);
+        prop_assert_eq!(&fast, &slow);
+    }
+}
