@@ -1,0 +1,175 @@
+; AES-128 encryption for the simulated Cortex-A7-like core.
+;
+; Structured like the compiled reference implementation the DAC 2018
+; paper attacks:
+;   * table-based SubBytes: one load + one store per state byte, walking
+;     the state bytes in order 0..15 (the consecutive-store sequence the
+;     Figure 4 HD model targets);
+;   * ShiftRows composed from one-byte loads and stores;
+;   * MixColumns through a non-inlined shift-reduce `xtime` subroutine
+;     with stack spills around each call.
+;
+; The code is constant-time by construction: no data-dependent branches
+; or addresses beyond the warm, in-cache S-box lookups, so the only
+; input dependence is in the leaked values themselves.
+;
+; Memory contract with the Rust harness (crates/aes/src/harness.rs):
+;   STATE  0x1000  16-byte block, in/out, FIPS-197 byte order
+;   RK     0x1100  176 bytes of expanded round keys
+;   SBOX   0x1200  256-byte S-box table
+; The harness stages RK/SBOX once and rewrites STATE before each run.
+
+        .equ  STATE, 0x1000
+        .equ  RK,    0x1100
+        .equ  SBOX,  0x1200
+        .equ  STACK, 0x4000
+
+start:  mov   sp, #STACK
+        trig  #1
+        mov   r4, #STATE
+        mov   r6, #RK
+        bl    addkey            ; whitening key, advances r6 to round 1
+        mov   r7, #9
+round:  bl    subbytes
+        bl    shiftrows
+        bl    mixcolumns
+        bl    addkey
+        subs  r7, r7, #1
+        bne   round
+        bl    subbytes          ; final round: no MixColumns
+        bl    shiftrows
+        bl    addkey
+        trig  #0
+        halt
+
+; --- AddRoundKey: state ^= *r6, word-wise; r6 += 16 ------------------
+addkey: ldr   r0, [r4]
+        ldr   r1, [r6], #4
+        eor   r0, r0, r1
+        str   r0, [r4]
+        ldr   r0, [r4, #4]
+        ldr   r1, [r6], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #4]
+        ldr   r0, [r4, #8]
+        ldr   r1, [r6], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #8]
+        ldr   r0, [r4, #12]
+        ldr   r1, [r6], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #12]
+        bx    lr
+
+; --- SubBytes: state[i] = SBOX[state[i]], i = 0..15 in order ---------
+; Software-pipelined: the next input byte is fetched before the current
+; S-box output is stored, so the substituted bytes stream through the
+; LSU's store-data path and the align buffer back to back — the
+; consecutive-store sequence the Figure 4 HD model targets.
+subbytes:
+        mov   r2, #SBOX
+        mov   r3, r4            ; read pointer
+        mov   r12, r4           ; write pointer
+        mov   r0, #7
+        ldrb  r1, [r3], #1      ; x0
+        ldrb  r1, [r2, r1]      ; s0 = SBOX[x0]
+        ldrb  r9, [r3], #1      ; x1
+        ldrb  r9, [r2, r9]      ; s1
+sb_loop:
+        ldrb  r5, [r3], #1      ; x(i+2)
+        ldrb  r11, [r3], #1     ; x(i+3)
+        strb  r1, [r12], #1     ; store s(i)
+        strb  r9, [r12], #1     ; store s(i+1), back to back
+        ldrb  r5, [r2, r5]      ; s(i+2)
+        ldrb  r11, [r2, r11]    ; s(i+3)
+        mov   r1, r5
+        mov   r9, r11
+        subs  r0, r0, #1
+        bne   sb_loop
+        strb  r1, [r12], #1     ; store s14
+        strb  r9, [r12], #1     ; store s15
+        bx    lr
+
+; --- ShiftRows: row r rotates left by r (state is column-major) ------
+shiftrows:
+        ldrb  r0, [r4, #1]      ; row 1: rotate left 1
+        ldrb  r1, [r4, #5]
+        ldrb  r2, [r4, #9]
+        ldrb  r3, [r4, #13]
+        strb  r1, [r4, #1]
+        strb  r2, [r4, #5]
+        strb  r3, [r4, #9]
+        strb  r0, [r4, #13]
+        ldrb  r0, [r4, #2]      ; row 2: rotate left 2 (swap pairs)
+        ldrb  r1, [r4, #6]
+        ldrb  r2, [r4, #10]
+        ldrb  r3, [r4, #14]
+        strb  r2, [r4, #2]
+        strb  r3, [r4, #6]
+        strb  r0, [r4, #10]
+        strb  r1, [r4, #14]
+        ldrb  r0, [r4, #3]      ; row 3: rotate left 3 (= right 1)
+        ldrb  r1, [r4, #7]
+        ldrb  r2, [r4, #11]
+        ldrb  r3, [r4, #15]
+        strb  r3, [r4, #3]
+        strb  r0, [r4, #7]
+        strb  r1, [r4, #11]
+        strb  r2, [r4, #15]
+        bx    lr
+
+; --- MixColumns: per column, b = xtime(a); spills through the stack --
+; new0 = a0 ^ t ^ xtime(a0^a1), t = a0^a1^a2^a3, and cyclically on.
+mixcolumns:
+        push  {lr}
+        mov   r8, r4            ; column pointer
+        mov   r9, #4            ; column counter
+mc_col: ldrb  r2, [r8]          ; a0
+        ldrb  r3, [r8, #1]      ; a1
+        ldrb  r5, [r8, #2]      ; a2
+        ldrb  r10, [r8, #3]     ; a3
+        eor   r11, r2, r3
+        eor   r12, r5, r10
+        eor   r11, r11, r12     ; t
+        eor   r0, r2, r3
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r2        ; new a0
+        push  {r0}
+        eor   r0, r3, r5
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r3        ; new a1
+        push  {r0}
+        eor   r0, r5, r10
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r5        ; new a2
+        push  {r0}
+        eor   r0, r10, r2
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r10       ; new a3
+        strb  r0, [r8, #3]
+        pop   {r0}
+        strb  r0, [r8, #2]
+        pop   {r0}
+        strb  r0, [r8, #1]
+        pop   {r0}
+        strb  r0, [r8]
+        add   r8, r8, #4
+        subs  r9, r9, #1
+        bne   mc_col
+        pop   {pc}
+
+; --- xtime: GF(2^8) doubling, branchless shift-reduce ----------------
+; arg/result in r0; spills its scratch register.
+xtime:  push  {r1}
+        lsl   r0, r0, #1
+        lsr   r1, r0, #8        ; carried-out bit, 0 or 1
+        rsb   r1, r1, #0        ; 0x00000000 or 0xffffffff
+        and   r1, r1, #0x1b
+        eor   r0, r0, r1
+        and   r0, r0, #0xff
+        pop   {r1}
+        bx    lr

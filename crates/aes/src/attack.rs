@@ -28,7 +28,11 @@ pub struct RecoveredKey {
 impl RecoveredKey {
     /// Number of bytes matching a reference key.
     pub fn correct_bytes(&self, reference: &[u8; 16]) -> usize {
-        self.key.iter().zip(reference).filter(|(a, b)| a == b).count()
+        self.key
+            .iter()
+            .zip(reference)
+            .filter(|(a, b)| a == b)
+            .count()
     }
 }
 
@@ -38,7 +42,10 @@ impl RecoveredKey {
 /// HD-store-model for odd bytes. The traces should cover the round-1
 /// SubBytes (e.g. `TraceSet::truncated` to the first round).
 pub fn recover_full_key(traces: &TraceSet, threads: usize) -> RecoveredKey {
-    let config = CpaConfig { guesses: 256, threads };
+    let config = CpaConfig {
+        guesses: 256,
+        threads,
+    };
     let mut key = [0u8; 16];
     let mut margins = [0.0f64; 16];
     for byte in 0..16 {
@@ -47,7 +54,10 @@ pub fn recover_full_key(traces: &TraceSet, threads: usize) -> RecoveredKey {
         } else {
             cpa_attack(
                 traces,
-                &SubBytesStoreHd { byte, prev_key: key[byte - 1] },
+                &SubBytesStoreHd {
+                    byte,
+                    prev_key: key[byte - 1],
+                },
                 &config,
             )
         };
@@ -55,8 +65,7 @@ pub fn recover_full_key(traces: &TraceSet, threads: usize) -> RecoveredKey {
         let winner = ranking[0];
         let runner_up = ranking[1];
         key[byte] = winner as u8;
-        margins[byte] =
-            result.peak(winner).1.abs() - result.peak(runner_up).1.abs();
+        margins[byte] = result.peak(winner).1.abs() - result.peak(runner_up).1.abs();
     }
     RecoveredKey { key, margins }
 }
@@ -74,13 +83,15 @@ mod tests {
     #[test]
     fn recovers_every_byte_of_the_key() {
         let key = *b"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f";
-        let sim = AesSim::new(UarchConfig::cortex_a7().with_ideal_memory(), &key)
-            .expect("builds");
+        let sim = AesSim::new(UarchConfig::cortex_a7().with_ideal_memory(), &key).expect("builds");
         let acquisition = AcquisitionConfig {
             traces: 300,
             executions_per_trace: 1,
             sampling: SamplingConfig::per_cycle(),
-            noise: GaussianNoise { sd: 2.0, baseline: 10.0 },
+            noise: GaussianNoise {
+                sd: 2.0,
+                baseline: 10.0,
+            },
             seed: 5,
             threads: 4,
         };
@@ -100,7 +111,8 @@ mod tests {
             .truncated(380);
         let recovered = recover_full_key(&traces, 4);
         assert_eq!(
-            recovered.key, key,
+            recovered.key,
+            key,
             "full key recovery ({}/16 bytes correct)",
             recovered.correct_bytes(&key)
         );

@@ -59,7 +59,10 @@ impl AesSim {
         cpu.mem_mut().write_bytes(SBOX_ADDR, &SBOX)?;
         let rk = expand_key(key);
         cpu.mem_mut().write_bytes(RK_ADDR, &rk)?;
-        let mut sim = AesSim { cpu, entry: program.entry() };
+        let mut sim = AesSim {
+            cpu,
+            entry: program.entry(),
+        };
         // Warm-up run.
         sim.encrypt(&[0u8; 16])?;
         Ok(sim)
@@ -169,7 +172,11 @@ mod tests {
         for _ in 0..12 {
             let mut pt = [0u8; 16];
             rng.fill(&mut pt);
-            assert_eq!(sim.encrypt(&pt).unwrap(), encrypt_block(&key(), &pt), "pt {pt:02x?}");
+            assert_eq!(
+                sim.encrypt(&pt).unwrap(),
+                encrypt_block(&key(), &pt),
+                "pt {pt:02x?}"
+            );
         }
     }
 

@@ -72,19 +72,25 @@ mod tests {
 
     #[test]
     fn hd_model_uses_both_bytes() {
-        let model = SubBytesStoreHd { byte: 1, prev_key: 0x00 };
+        let model = SubBytesStoreHd {
+            byte: 1,
+            prev_key: 0x00,
+        };
         let mut input = [0u8; 16];
         input[0] = 0x10;
         input[1] = 0x20;
-        let expected = f64::from(
-            (SBOX[0x10usize] ^ SBOX[(0x20u8 ^ 0x42) as usize]).count_ones(),
-        );
+        let expected = f64::from((SBOX[0x10usize] ^ SBOX[(0x20u8 ^ 0x42) as usize]).count_ones());
         assert_eq!(model.predict(&input, 0x42), expected);
     }
 
     #[test]
     fn names_identify_bytes() {
         assert!(SubBytesHw { byte: 5 }.name().contains('5'));
-        assert!(SubBytesStoreHd { byte: 3, prev_key: 0 }.name().contains("2 -> 3"));
+        assert!(SubBytesStoreHd {
+            byte: 3,
+            prev_key: 0
+        }
+        .name()
+        .contains("2 -> 3"));
     }
 }

@@ -6,9 +6,7 @@
 //! candidate. This reproduces the attacks of Section 5 of the paper
 //! (Figures 3 and 4).
 
-use crate::{
-    distinguishing_confidence, PearsonAccumulator, SelectionFunction, TraceSet,
-};
+use crate::{distinguishing_confidence, PearsonAccumulator, SelectionFunction, TraceSet};
 
 /// CPA attack parameters.
 #[derive(Clone, Copy, Debug)]
@@ -22,7 +20,10 @@ pub struct CpaConfig {
 impl CpaConfig {
     /// One key byte, eight threads.
     pub fn key_byte() -> CpaConfig {
-        CpaConfig { guesses: 256, threads: 8 }
+        CpaConfig {
+            guesses: 256,
+            threads: 8,
+        }
     }
 }
 
@@ -108,7 +109,10 @@ impl CpaResult {
 
     /// Rank of a guess (0 = best) — the key-rank metric.
     pub fn rank_of(&self, guess: usize) -> usize {
-        self.ranking().iter().position(|&g| g == guess).expect("guess in range")
+        self.ranking()
+            .iter()
+            .position(|&g| g == guess)
+            .expect("guess in range")
     }
 
     /// Peak |correlation| of the best *wrong* guess, given the correct
@@ -173,7 +177,12 @@ pub fn cpa_attack(
         }
     });
 
-    CpaResult { guesses, samples, corr, n }
+    CpaResult {
+        guesses,
+        samples,
+        corr,
+        n,
+    }
 }
 
 /// Evaluates a single key-less model against the traces, returning its
@@ -221,13 +230,22 @@ mod tests {
     }
 
     fn sbox_model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
-        FnSelection::new("hw(S(pt^k))", |input: &[u8], k: u8| f64::from(hw8(sbox(input[0] ^ k))))
+        FnSelection::new("hw(S(pt^k))", |input: &[u8], k: u8| {
+            f64::from(hw8(sbox(input[0] ^ k)))
+        })
     }
 
     #[test]
     fn recovers_key_from_clean_traces() {
         let set = synthetic_traces(0x3c, 300, 0.5);
-        let result = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 4 });
+        let result = cpa_attack(
+            &set,
+            &sbox_model(),
+            &CpaConfig {
+                guesses: 256,
+                threads: 4,
+            },
+        );
         assert_eq!(result.best_guess(), 0x3c);
         assert_eq!(result.rank_of(0x3c), 0);
         let (sample, r) = result.peak(0x3c);
@@ -240,7 +258,10 @@ mod tests {
     fn noisy_traces_need_more_data() {
         let few = synthetic_traces(0x77, 40, 8.0);
         let many = synthetic_traces(0x77, 2000, 8.0);
-        let config = CpaConfig { guesses: 256, threads: 4 };
+        let config = CpaConfig {
+            guesses: 256,
+            threads: 4,
+        };
         let result_many = cpa_attack(&many, &sbox_model(), &config);
         assert_eq!(result_many.best_guess(), 0x77, "2000 noisy traces suffice");
         let rank_few = cpa_attack(&few, &sbox_model(), &config).rank_of(0x77);
@@ -251,8 +272,22 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_result() {
         let set = synthetic_traces(0x11, 200, 1.0);
-        let a = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 1 });
-        let b = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 7 });
+        let a = cpa_attack(
+            &set,
+            &sbox_model(),
+            &CpaConfig {
+                guesses: 256,
+                threads: 1,
+            },
+        );
+        let b = cpa_attack(
+            &set,
+            &sbox_model(),
+            &CpaConfig {
+                guesses: 256,
+                threads: 7,
+            },
+        );
         for g in 0..256 {
             assert_eq!(a.series(g), b.series(g), "guess {g}");
         }
@@ -261,7 +296,14 @@ mod tests {
     #[test]
     fn ranking_is_a_permutation() {
         let set = synthetic_traces(0x00, 100, 2.0);
-        let result = cpa_attack(&set, &sbox_model(), &CpaConfig { guesses: 256, threads: 4 });
+        let result = cpa_attack(
+            &set,
+            &sbox_model(),
+            &CpaConfig {
+                guesses: 256,
+                threads: 4,
+            },
+        );
         let mut ranking = result.ranking();
         ranking.sort_unstable();
         assert_eq!(ranking, (0..256).collect::<Vec<_>>());

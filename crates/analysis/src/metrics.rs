@@ -75,7 +75,9 @@ pub fn rank_evolution(
             let peaks: Vec<f64> = accumulators
                 .iter()
                 .map(|acc| {
-                    acc.correlations().iter().fold(0.0f64, |best, &r| best.max(r.abs()))
+                    acc.correlations()
+                        .iter()
+                        .fold(0.0f64, |best, &r| best.max(r.abs()))
                 })
                 .collect();
             let correct_peak = peaks[usize::from(correct)];
@@ -86,7 +88,12 @@ pub fn rank_evolution(
                 .filter(|(g, _)| *g != usize::from(correct))
                 .map(|(_, &p)| p)
                 .fold(0.0, f64::max);
-            out.push(RankPoint { traces: n, rank, correct_peak, best_wrong_peak });
+            out.push(RankPoint {
+                traces: n,
+                rank,
+                correct_peak,
+                best_wrong_peak,
+            });
         }
     }
     out
@@ -136,7 +143,9 @@ mod tests {
     }
 
     fn model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
-        FnSelection::new("hw(S(pt^k))", |i: &[u8], k: u8| f64::from(hw8(sbox(i[0] ^ k))))
+        FnSelection::new("hw(S(pt^k))", |i: &[u8], k: u8| {
+            f64::from(hw8(sbox(i[0] ^ k)))
+        })
     }
 
     #[test]
@@ -144,7 +153,11 @@ mod tests {
         let set = noisy_traces(0x42, 600, 6.0);
         let curve = rank_evolution(&set, &model(), 0x42, &[20, 100, 300, 600]);
         assert_eq!(curve.len(), 4);
-        assert_eq!(curve.last().expect("nonempty").rank, 0, "600 traces suffice");
+        assert_eq!(
+            curve.last().expect("nonempty").rank,
+            0,
+            "600 traces suffice"
+        );
         // Monotone trace counts; final rank better or equal to earliest.
         assert!(curve.first().expect("nonempty").rank >= curve.last().expect("nonempty").rank);
     }
@@ -153,7 +166,14 @@ mod tests {
     fn evolution_matches_full_cpa_at_the_end() {
         let set = noisy_traces(0x17, 200, 2.0);
         let curve = rank_evolution(&set, &model(), 0x17, &[200]);
-        let full = crate::cpa_attack(&set, &model(), &crate::CpaConfig { guesses: 256, threads: 4 });
+        let full = crate::cpa_attack(
+            &set,
+            &model(),
+            &crate::CpaConfig {
+                guesses: 256,
+                threads: 4,
+            },
+        );
         assert_eq!(curve[0].rank, full.rank_of(0x17));
         let (_, peak) = full.peak(0x17);
         assert!((curve[0].correct_peak - peak.abs()).abs() < 1e-12);
@@ -162,11 +182,30 @@ mod tests {
     #[test]
     fn traces_to_rank0_requires_stability() {
         let curve = vec![
-            RankPoint { traces: 10, rank: 0, correct_peak: 0.5, best_wrong_peak: 0.4 },
-            RankPoint { traces: 20, rank: 3, correct_peak: 0.4, best_wrong_peak: 0.5 },
-            RankPoint { traces: 30, rank: 0, correct_peak: 0.6, best_wrong_peak: 0.3 },
+            RankPoint {
+                traces: 10,
+                rank: 0,
+                correct_peak: 0.5,
+                best_wrong_peak: 0.4,
+            },
+            RankPoint {
+                traces: 20,
+                rank: 3,
+                correct_peak: 0.4,
+                best_wrong_peak: 0.5,
+            },
+            RankPoint {
+                traces: 30,
+                rank: 0,
+                correct_peak: 0.6,
+                best_wrong_peak: 0.3,
+            },
         ];
-        assert_eq!(traces_to_rank0(&curve), Some(30), "early luck at n=10 does not count");
+        assert_eq!(
+            traces_to_rank0(&curve),
+            Some(30),
+            "early luck at n=10 does not count"
+        );
         assert_eq!(traces_to_rank0(&[]), None);
     }
 

@@ -55,7 +55,10 @@ where
 {
     /// Wraps a closure as a named selection function.
     pub fn new(name: impl Into<String>, f: F) -> FnSelection<F> {
-        FnSelection { f, name: name.into() }
+        FnSelection {
+            f,
+            name: name.into(),
+        }
     }
 }
 
@@ -92,7 +95,10 @@ where
 {
     /// Wraps a closure as a named input-only model.
     pub fn new(name: impl Into<String>, f: F) -> InputModel<F> {
-        InputModel { f, name: name.into() }
+        InputModel {
+            f,
+            name: name.into(),
+        }
     }
 }
 
@@ -150,7 +156,9 @@ mod tests {
 
     #[test]
     fn input_model_ignores_guess() {
-        let m = InputModel::new("hw(w0)", |input: &[u8]| f64::from(hw32(input_word(input, 0))));
+        let m = InputModel::new("hw(w0)", |input: &[u8]| {
+            f64::from(hw32(input_word(input, 0)))
+        });
         let bytes = 0xff00_00ffu32.to_le_bytes();
         assert_eq!(m.predict(&bytes, 0), 16.0);
         assert_eq!(m.predict(&bytes, 255), 16.0);

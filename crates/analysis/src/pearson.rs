@@ -182,14 +182,20 @@ mod tests {
         for s in 0..2 {
             let ys: Vec<f64> = traces.iter().map(|t| f64::from(t[s])).collect();
             let direct = pearson(&xs, &ys);
-            assert!((corr[s] - direct).abs() < 1e-12, "sample {s}: {} vs {direct}", corr[s]);
+            assert!(
+                (corr[s] - direct).abs() < 1e-12,
+                "sample {s}: {} vs {direct}",
+                corr[s]
+            );
         }
     }
 
     #[test]
     fn merge_equals_sequential() {
         let xs: Vec<f64> = (0..20).map(|i| f64::from(i % 7)).collect();
-        let traces: Vec<Vec<f32>> = (0..20).map(|i| vec![(i as f32).sin(), (i as f32) * 0.5]).collect();
+        let traces: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![(i as f32).sin(), (i as f32) * 0.5])
+            .collect();
         let mut whole = PearsonAccumulator::new(2);
         let mut left = PearsonAccumulator::new(2);
         let mut right = PearsonAccumulator::new(2);

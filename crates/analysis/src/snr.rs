@@ -104,7 +104,8 @@ mod tests {
             let class: u8 = rng.gen_range(0..4);
             let mut t = vec![0.0f32; 3];
             for (i, v) in t.iter_mut().enumerate() {
-                *v = rng.gen_range(-0.5..0.5) + if i == 1 { f32::from(class) * 2.0 } else { 0.0 };
+                *v =
+                    rng.gen_range(-0.5f32..0.5) + if i == 1 { f32::from(class) * 2.0 } else { 0.0 };
             }
             set.push(t, vec![class]);
         }
@@ -120,7 +121,10 @@ mod tests {
         let mut set = TraceSet::new(2);
         for _ in 0..400 {
             let class: u8 = rng.gen_range(0..2);
-            set.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], vec![class]);
+            set.push(
+                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                vec![class],
+            );
         }
         let series = snr(&set, |input| u64::from(input[0]));
         assert!(series.iter().all(|&s| s < 0.2), "{series:?}");

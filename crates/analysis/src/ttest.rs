@@ -14,7 +14,10 @@ use crate::TraceSet;
 ///
 /// Panics if either set has fewer than two traces.
 pub fn welch_t(a: &TraceSet, b: &TraceSet) -> Vec<f64> {
-    assert!(a.len() >= 2 && b.len() >= 2, "need at least two traces per population");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "need at least two traces per population"
+    );
     let width = a.samples_per_trace().min(b.samples_per_trace());
     let stats = |set: &TraceSet| -> (Vec<f64>, Vec<f64>) {
         let n = set.len() as f64;
@@ -75,7 +78,7 @@ mod tests {
         for _ in 0..n {
             let mut t = vec![0.0f32; 4];
             for (i, v) in t.iter_mut().enumerate() {
-                *v = rng.gen_range(-1.0..1.0) + if i == 2 { mean_at_2 } else { 0.0 };
+                *v = rng.gen_range(-1.0f32..1.0) + if i == 2 { mean_at_2 } else { 0.0 };
             }
             set.push(t, vec![]);
         }

@@ -14,8 +14,12 @@ fn synthetic_traces(traces: usize, samples: usize) -> TraceSet {
         let pt: u8 = rng.gen();
         let mut trace = vec![0.0f32; samples];
         for (i, t) in trace.iter_mut().enumerate() {
-            *t = rng.gen_range(-1.0..1.0)
-                + if i == samples / 2 { f32::from((pt ^ 0x3c).count_ones() as u8) } else { 0.0 };
+            *t = rng.gen_range(-1.0f32..1.0)
+                + if i == samples / 2 {
+                    f32::from((pt ^ 0x3c).count_ones() as u8)
+                } else {
+                    0.0
+                };
         }
         set.push(trace, vec![pt]);
     }
@@ -45,7 +49,10 @@ fn bench_cpa(c: &mut Criterion) {
             std::hint::black_box(cpa_attack(
                 &set,
                 &model,
-                &CpaConfig { guesses: 256, threads: 8 },
+                &CpaConfig {
+                    guesses: 256,
+                    threads: 8,
+                },
             ))
         });
     });

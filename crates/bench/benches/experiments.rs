@@ -34,12 +34,17 @@ fn bench_table2(c: &mut Criterion) {
     let config = CharacterizationConfig {
         traces: 80,
         executions_per_trace: 1,
-        noise: GaussianNoise { sd: 2.0, baseline: 5.0 },
+        noise: GaussianNoise {
+            sd: 2.0,
+            baseline: 5.0,
+        },
         threads: 4,
         ..CharacterizationConfig::default()
     };
     c.bench_function("table2/row1_characterization_80_traces", |b| {
-        b.iter(|| std::hint::black_box(run_benchmark(&benchmarks[0], &uarch, &config).expect("runs")));
+        b.iter(|| {
+            std::hint::black_box(run_benchmark(&benchmarks[0], &uarch, &config).expect("runs"))
+        });
     });
 }
 

@@ -19,7 +19,12 @@ pub struct CommonArgs {
 
 impl Default for CommonArgs {
     fn default() -> CommonArgs {
-        CommonArgs { traces: None, seed: 0xdac_2018, threads: 8, full: false }
+        CommonArgs {
+            traces: None,
+            seed: 0xdac_2018,
+            threads: 8,
+            full: false,
+        }
     }
 }
 
@@ -53,7 +58,11 @@ impl CommonArgs {
     /// Picks the trace count: explicit override, else `full_default` when
     /// `--full`, else `quick_default`.
     pub fn trace_count(&self, quick_default: usize, full_default: usize) -> usize {
-        self.traces.unwrap_or(if self.full { full_default } else { quick_default })
+        self.traces.unwrap_or(if self.full {
+            full_default
+        } else {
+            quick_default
+        })
     }
 }
 

@@ -36,11 +36,7 @@ fn characterization(args: &CommonArgs) -> CharacterizationConfig {
     }
 }
 
-fn cell_corr(
-    row: &sca_core::RowResult,
-    component: sca_uarch::NodeKind,
-    expr: &str,
-) -> (f64, bool) {
+fn cell_corr(row: &sca_core::RowResult, component: sca_uarch::NodeKind, expr: &str) -> (f64, bool) {
     row.cells
         .iter()
         .find(|c| c.component == component && c.expr == expr)
@@ -66,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("   dual-issue OFF (scalar):  |corr| {corr_off:.4}  leak detected: {sig_off}");
         println!(
             "   -> pairing the instructions keeps their results on separate WB buses{}\n",
-            if !sig_on && sig_off { " (leak appears only when scalar)" } else { "" }
+            if !sig_on && sig_off {
+                " (leak appears only when scalar)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -97,7 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("3. LSU align buffer and sub-word remanence (row 7, align model rC ^ rG):");
         println!("   align buffer present:     |corr| {corr_on:.4}  leak detected: {sig_on}");
         println!("   align buffer removed:     |corr| {corr_off:.4}  leak detected: {sig_off}");
-        println!("   -> byte values recombine across an intervening word load only via the buffer\n");
+        println!(
+            "   -> byte values recombine across an intervening word load only via the buffer\n"
+        );
     }
 
     // 4. Operand swap (Section 4.2's "apparently harmless change").
@@ -130,12 +132,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cpu.set_reg(Reg::R1, input_word(input, 1));
             cpu.set_reg(Reg::R4, 0x5a5a_5a5a);
         };
-        let audit_cfg = AuditConfig { executions: 400, ..AuditConfig::default() };
+        let audit_cfg = AuditConfig {
+            executions: 400,
+            ..AuditConfig::default()
+        };
         let uarch = UarchConfig::cortex_a7().with_ideal_memory();
-        let report_straight =
-            audit_program(&uarch, &straight, 8, stage, &models(), &audit_cfg)?;
-        let report_swapped =
-            audit_program(&uarch, &swapped, 8, stage, &models(), &audit_cfg)?;
+        let report_straight = audit_program(&uarch, &straight, 8, stage, &models(), &audit_cfg)?;
+        let report_swapped = audit_program(&uarch, &swapped, 8, stage, &models(), &audit_cfg)?;
         let bus_leaks = |report: &sca_core::AuditReport| {
             report
                 .findings

@@ -40,10 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let wrong_peak = result.series_best_wrong.iter().copied().fold(0.0, f64::max);
-    println!("\nkey byte: recovered 0x{:02x}, true 0x{:02x} -> {}", result.recovered, result.correct,
-        if result.success() { "SUCCESS" } else { "FAILURE" });
-    println!("peak correct-key |corr| {:.4}; best wrong guess {:.4}", result.peak(), wrong_peak);
+    println!(
+        "\nkey byte: recovered 0x{:02x}, true 0x{:02x} -> {}",
+        result.recovered,
+        result.correct,
+        if result.success() {
+            "SUCCESS"
+        } else {
+            "FAILURE"
+        }
+    );
+    println!(
+        "peak correct-key |corr| {:.4}; best wrong guess {:.4}",
+        result.peak(),
+        wrong_peak
+    );
     println!("\nseries (decimated):");
-    print!("{}", plot::series_table(&result.series_correct, 40, us_per_sample, "time_us", "corr"));
+    print!(
+        "{}",
+        plot::series_table(&result.series_correct, 40, us_per_sample, "time_us", "corr")
+    );
     Ok(())
 }

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nkey byte: recovered 0x{:02x}, true 0x{:02x} -> {}",
         result.recovered,
         result.correct,
-        if result.success() { "SUCCESS" } else { "FAILURE" }
+        if result.success() {
+            "SUCCESS"
+        } else {
+            "FAILURE"
+        }
     );
     println!(
         "peak correct |corr| {:.4}; best wrong {:.4}; distinguishing confidence {:.2}% (paper requires > 99%)",
@@ -45,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.amplitude_reduction()
     );
     println!("\nseries (decimated):");
-    print!("{}", plot::series_table(&result.series_correct, 40, us_per_sample, "time_us", "corr"));
+    print!(
+        "{}",
+        plot::series_table(&result.series_correct, 40, us_per_sample, "time_us", "corr")
+    );
     Ok(())
 }

@@ -13,7 +13,9 @@ use rand::Rng;
 
 use sca_aes::{aes128_program, AesSim, SubBytesHw};
 use sca_analysis::{cpa_attack, CpaConfig};
-use sca_power::{AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer};
+use sca_power::{
+    AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer,
+};
 use sca_uarch::{PipelineObserver, UarchConfig};
 
 /// Figure 3 campaign parameters.
@@ -94,16 +96,21 @@ impl Figure3Result {
         self.regions
             .iter()
             .filter(|r| r.name == region_name)
-            .flat_map(|r| self.series_correct[r.start.min(self.series_correct.len())
-                ..r.end.min(self.series_correct.len())]
-                .iter()
-                .map(|c| c.abs()))
+            .flat_map(|r| {
+                self.series_correct
+                    [r.start.min(self.series_correct.len())..r.end.min(self.series_correct.len())]
+                    .iter()
+                    .map(|c| c.abs())
+            })
             .fold(0.0, f64::max)
     }
 
     /// Global peak |correlation| of the correct key.
     pub fn peak(&self) -> f64 {
-        self.series_correct.iter().map(|c| c.abs()).fold(0.0, f64::max)
+        self.series_correct
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -168,7 +175,9 @@ pub fn round1_regions(sim: &AesSim) -> Result<Vec<CycleRegion>, Box<dyn std::err
         if cycle < t0 {
             continue;
         }
-        let Some(label) = label_of(&function_of(addr)) else { continue };
+        let Some(label) = label_of(&function_of(addr)) else {
+            continue;
+        };
         let rel = cycle - t0;
         match regions.last_mut() {
             Some((name, _, end)) if name == label && rel <= *end + 6 => *end = rel + 1,
@@ -202,7 +211,10 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
     let samples_per_cycle = sampling.samples_per_cycle;
 
     let regions_cycles = round1_regions(&sim)?;
-    let analysis_end_cycle = regions_cycles.last().map(|(_, _, e)| *e + 16).unwrap_or(1200);
+    let analysis_end_cycle = regions_cycles
+        .last()
+        .map(|(_, _, e)| *e + 16)
+        .unwrap_or(1200);
     let analysis_samples = (analysis_end_cycle as f64 * samples_per_cycle) as usize;
 
     let acquisition = AcquisitionConfig {
@@ -226,8 +238,17 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
     )?;
     let traces = traces.truncated(analysis_samples);
 
-    let model = SubBytesHw { byte: config.target_byte };
-    let result = cpa_attack(&traces, &model, &CpaConfig { guesses: 256, threads: config.threads });
+    let model = SubBytesHw {
+        byte: config.target_byte,
+    };
+    let result = cpa_attack(
+        &traces,
+        &model,
+        &CpaConfig {
+            guesses: 256,
+            threads: config.threads,
+        },
+    );
 
     let correct = config.key[config.target_byte];
     let series_correct = result.series(usize::from(correct)).to_vec();

@@ -13,7 +13,9 @@ use rand::Rng;
 use sca_aes::{AesSim, SubBytesStoreHd};
 use sca_analysis::{cpa_attack, model_correlation, CpaConfig, InputModel, SelectionFunction};
 use sca_osnoise::LinuxEnvironment;
-use sca_power::{AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer};
+use sca_power::{
+    AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer,
+};
 use sca_uarch::UarchConfig;
 
 /// Figure 4 campaign parameters.
@@ -80,7 +82,10 @@ impl Figure4Result {
 
     /// Peak |correlation| of the correct key.
     pub fn peak(&self) -> f64 {
-        self.series_correct.iter().map(|c| c.abs()).fold(0.0, f64::max)
+        self.series_correct
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max)
     }
 
     /// How much the OS environment reduced the correlation amplitude
@@ -177,7 +182,14 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
             .map(|c| c.abs())
             .fold(0.0, f64::max)
     };
-    let result = cpa_attack(&traces, &model, &CpaConfig { guesses: 256, threads: config.threads });
+    let result = cpa_attack(
+        &traces,
+        &model,
+        &CpaConfig {
+            guesses: 256,
+            threads: config.threads,
+        },
+    );
 
     let correct = config.key[config.target_byte];
     let series_correct = result.series(usize::from(correct)).to_vec();

@@ -2,7 +2,13 @@
 
 /// Renders a series as a fixed-height ASCII plot with a y-axis in the
 /// data's units and an x-axis in the given unit label.
-pub fn ascii_plot(series: &[f64], height: usize, width: usize, x_label: &str, x_scale: f64) -> String {
+pub fn ascii_plot(
+    series: &[f64],
+    height: usize,
+    width: usize,
+    x_label: &str,
+    x_scale: f64,
+) -> String {
     if series.is_empty() || height == 0 || width == 0 {
         return String::new();
     }
@@ -48,7 +54,13 @@ pub fn ascii_plot(series: &[f64], height: usize, width: usize, x_label: &str, x_
 
 /// Renders series values as a two-column table (x, y), decimated to at
 /// most `rows` rows — the machine-readable companion to the plot.
-pub fn series_table(series: &[f64], rows: usize, x_scale: f64, x_label: &str, y_label: &str) -> String {
+pub fn series_table(
+    series: &[f64],
+    rows: usize,
+    x_scale: f64,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     let mut out = format!("{x_label:>12} {y_label:>12}\n");
     if series.is_empty() {
         return out;

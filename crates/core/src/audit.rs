@@ -41,8 +41,14 @@ pub struct SecretModel {
 
 impl SecretModel {
     /// Creates a named secret expression.
-    pub fn new(name: impl Into<String>, f: impl Fn(&[u8]) -> f64 + Send + Sync + 'static) -> SecretModel {
-        SecretModel { name: name.into(), f: Box::new(f) }
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&[u8]) -> f64 + Send + Sync + 'static,
+    ) -> SecretModel {
+        SecretModel {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -65,7 +71,11 @@ pub struct AuditConfig {
 
 impl Default for AuditConfig {
     fn default() -> AuditConfig {
-        AuditConfig { executions: 600, confidence: 0.9999, seed: 0xaadd17 }
+        AuditConfig {
+            executions: 600,
+            confidence: 0.9999,
+            seed: 0xaadd17,
+        }
     }
 }
 
@@ -126,7 +136,9 @@ impl AuditReport {
                 f.cycle,
                 f.model,
                 f.corr,
-                f.source_line.map(|l| format!("  (source line {l})")).unwrap_or_default(),
+                f.source_line
+                    .map(|l| format!("  (source line {l})"))
+                    .unwrap_or_default(),
             ));
         }
         out
@@ -173,8 +185,8 @@ pub fn audit_program(
         for event in &obs.events {
             activity
                 .entry((event.node, event.cycle))
-                .or_insert_with(|| vec![0.0; config.executions])
-                [execution] = f64::from(event.hamming_distance());
+                .or_insert_with(|| vec![0.0; config.executions])[execution] =
+                f64::from(event.hamming_distance());
         }
         if execution == 0 {
             for &(cycle, addr) in &obs.retirements {
@@ -211,7 +223,10 @@ pub fn audit_program(
         }
     }
     findings.sort_by(|a, b| b.corr.abs().partial_cmp(&a.corr.abs()).expect("finite"));
-    Ok(AuditReport { findings, executions: config.executions })
+    Ok(AuditReport {
+        findings,
+        executions: config.executions,
+    })
 }
 
 #[cfg(test)]
@@ -254,16 +269,19 @@ mod tests {
                 cpu.set_reg(Reg::R4, 0x5a5a_5a5a);
             },
             &models,
-            &AuditConfig { executions: 300, ..AuditConfig::default() },
+            &AuditConfig {
+                executions: 300,
+                ..AuditConfig::default()
+            },
         )
         .unwrap();
         assert!(!report.is_clean(), "share recombination must be flagged");
         // The leak must involve an IS/EX-class node.
         assert!(
-            report.findings.iter().any(|f| matches!(
-                f.node,
-                Node::OperandBus(_) | Node::IsExOp { .. }
-            )),
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f.node, Node::OperandBus(_) | Node::IsExOp { .. })),
             "expected an operand-path finding, got {:?}",
             report.findings
         );
@@ -301,7 +319,10 @@ mod tests {
                 cpu.set_reg(Reg::R7, 0x1234_5678);
             },
             &models,
-            &AuditConfig { executions: 300, ..AuditConfig::default() },
+            &AuditConfig {
+                executions: 300,
+                ..AuditConfig::default()
+            },
         )
         .unwrap();
         let bus_findings: Vec<_> = report
@@ -341,7 +362,10 @@ mod tests {
                 cpu.set_reg(Reg::R7, 42);
             },
             &models,
-            &AuditConfig { executions: 200, ..AuditConfig::default() },
+            &AuditConfig {
+                executions: 200,
+                ..AuditConfig::default()
+            },
         )
         .unwrap();
         assert!(report.is_clean(), "{}", report.render());
@@ -368,7 +392,10 @@ mod tests {
             4,
             |cpu, input| cpu.set_reg(Reg::R0, input_word(input, 0)),
             &models,
-            &AuditConfig { executions: 200, ..AuditConfig::default() },
+            &AuditConfig {
+                executions: 200,
+                ..AuditConfig::default()
+            },
         )
         .unwrap();
         assert!(!report.is_clean());

@@ -133,7 +133,11 @@ impl CpiBenchmark {
         CpiBenchmark {
             label: format!(
                 "{class} stream ({})",
-                if dependent { "dependent" } else { "independent" }
+                if dependent {
+                    "dependent"
+                } else {
+                    "independent"
+                }
             ),
             pair: [insn, insn],
             reps: 200,
@@ -228,7 +232,10 @@ impl PipelineObserver for TriggerWindow {
 /// # Errors
 ///
 /// Propagates simulator faults.
-pub fn measure_cpi(benchmark: &CpiBenchmark, config: &UarchConfig) -> Result<CpiMeasurement, UarchError> {
+pub fn measure_cpi(
+    benchmark: &CpiBenchmark,
+    config: &UarchConfig,
+) -> Result<CpiMeasurement, UarchError> {
     let window = |program: &Program| -> Result<u64, UarchError> {
         let mut cpu = Cpu::new(config.clone());
         cpu.load(program)?;
@@ -240,23 +247,35 @@ pub fn measure_cpi(benchmark: &CpiBenchmark, config: &UarchConfig) -> Result<Cpi
         let mut obs = TriggerWindow::default();
         cpu.run(&mut obs)?;
         let (Some(start), Some(end)) = (obs.start, obs.end) else {
-            return Err(UarchError::BadInstruction { addr: 0, word: None });
+            return Err(UarchError::BadInstruction {
+                addr: 0,
+                word: None,
+            });
         };
         Ok(end - start)
     };
     let program = benchmark.program().expect("generated benchmarks encode");
-    let calibration = benchmark.calibration_program().expect("calibration encodes");
+    let calibration = benchmark
+        .calibration_program()
+        .expect("calibration encodes");
     let window_cycles = window(&program)?;
     let calibration_cycles = window(&calibration)?;
     let kernel_cycles = window_cycles.saturating_sub(calibration_cycles);
     let cpi = kernel_cycles as f64 / benchmark.measured_instructions() as f64;
-    Ok(CpiMeasurement { window_cycles, calibration_cycles, cpi })
+    Ok(CpiMeasurement {
+        window_cycles,
+        calibration_cycles,
+        cpi,
+    })
 }
 
 /// Presets registers for CPI kernels: small distinct values, plus valid
 /// scratch addresses in the `ld/st` base registers.
 pub fn stage_cpi_registers(cpu: &mut Cpu) {
-    for (i, reg) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5].into_iter().enumerate() {
+    for (i, reg) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]
+        .into_iter()
+        .enumerate()
+    {
         cpu.set_reg(reg, 0x10 + i as u32);
     }
     cpu.set_reg(LDST_BASE_A, LDST_SCRATCH);
@@ -289,12 +308,17 @@ mod tests {
 
     #[test]
     fn alu_alu_single_but_alu_imm_dual() {
-        let reg = measure_cpi(&CpiBenchmark::hazard_free(InsnClass::Alu, InsnClass::Alu), &a7())
-            .unwrap();
+        let reg = measure_cpi(
+            &CpiBenchmark::hazard_free(InsnClass::Alu, InsnClass::Alu),
+            &a7(),
+        )
+        .unwrap();
         assert!(!reg.dual_issued(), "ALU+ALU CPI {}", reg.cpi);
-        let imm =
-            measure_cpi(&CpiBenchmark::hazard_free(InsnClass::Alu, InsnClass::AluImm), &a7())
-                .unwrap();
+        let imm = measure_cpi(
+            &CpiBenchmark::hazard_free(InsnClass::Alu, InsnClass::AluImm),
+            &a7(),
+        )
+        .unwrap();
         assert!(imm.dual_issued(), "ALU+ALUimm CPI {}", imm.cpi);
     }
 
@@ -314,8 +338,11 @@ mod tests {
 
     #[test]
     fn nops_are_not_dual_issued() {
-        let m = measure_cpi(&CpiBenchmark::hazard_free(InsnClass::Nop, InsnClass::Nop), &a7())
-            .unwrap();
+        let m = measure_cpi(
+            &CpiBenchmark::hazard_free(InsnClass::Nop, InsnClass::Nop),
+            &a7(),
+        )
+        .unwrap();
         assert!((m.cpi - 1.0).abs() < 0.05, "nop CPI {}", m.cpi);
     }
 

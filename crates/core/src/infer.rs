@@ -44,8 +44,14 @@ impl DualIssueMap {
 
     /// Whether the pair dual-issued (CPI ≈ 0.5).
     pub fn dual_issued(&self, older: InsnClass, younger: InsnClass) -> bool {
-        let i = InsnClass::TABLE1.iter().position(|&c| c == older).expect("table1 class");
-        let j = InsnClass::TABLE1.iter().position(|&c| c == younger).expect("table1 class");
+        let i = InsnClass::TABLE1
+            .iter()
+            .position(|&c| c == older)
+            .expect("table1 class");
+        let j = InsnClass::TABLE1
+            .iter()
+            .position(|&c| c == younger)
+            .expect("table1 class");
         self.cpi[i][j] < 0.75
     }
 
@@ -61,7 +67,10 @@ impl DualIssueMap {
             out.push_str(&format!("{:<12}", older.label()));
             for j in 0..7 {
                 let mark = if self.cpi[i][j] < 0.75 { "✓" } else { "✗" };
-                out.push_str(&format!("{:>11} ", format!("{mark} ({:.2})", self.cpi[i][j])));
+                out.push_str(&format!(
+                    "{:>11} ",
+                    format!("{mark} ({:.2})", self.cpi[i][j])
+                ));
             }
             out.push('\n');
         }
@@ -169,19 +178,51 @@ impl fmt::Display for PipelineHypothesis {
     /// Renders the Figure 2 pipeline diagram with the deduced parameters.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Deduced pipeline structure (cf. paper Figure 2):")?;
-        writeln!(f, "  fetch width:        {} instruction(s)/cycle", self.fetch_width)?;
-        writeln!(f, "  ALUs:               {}{}", self.alus, if self.asymmetric_alus { " (asymmetric: shifter+multiplier on pipe 0 only)" } else { "" })?;
+        writeln!(
+            f,
+            "  fetch width:        {} instruction(s)/cycle",
+            self.fetch_width
+        )?;
+        writeln!(
+            f,
+            "  ALUs:               {}{}",
+            self.alus,
+            if self.asymmetric_alus {
+                " (asymmetric: shifter+multiplier on pipe 0 only)"
+            } else {
+                ""
+            }
+        )?;
         writeln!(f, "  RF read ports:      {}", self.rf_read_ports)?;
         writeln!(f, "  RF write ports:     {}", self.rf_write_ports)?;
         writeln!(f, "  LSU pipelined:      {}", self.lsu_pipelined)?;
         writeln!(f, "  MUL pipelined:      {}", self.mul_pipelined)?;
         writeln!(f, "  AGU in issue stage: {}", self.agu_in_issue)?;
         writeln!(f)?;
-        writeln!(f, "              +-----------+   RP1..RP{}   +--> ALU0 (shifter, mul, 3-stage)", self.rf_read_ports)?;
-        writeln!(f, "  Fetch x{} ->| prefetch  |-> Decode -> Issue --> ALU1 (1-stage)", self.fetch_width)?;
-        writeln!(f, "              |  buffer   |      ^  immediate +--> LSU (3-stage, pipelined: {})", self.lsu_pipelined)?;
-        writeln!(f, "              +-----------+      |            +--> FPU (4-stage)")?;
-        write!(f, "         WP1..WP{} <---- write-back buses <---- EX/WB buffers", self.rf_write_ports)
+        writeln!(
+            f,
+            "              +-----------+   RP1..RP{}   +--> ALU0 (shifter, mul, 3-stage)",
+            self.rf_read_ports
+        )?;
+        writeln!(
+            f,
+            "  Fetch x{} ->| prefetch  |-> Decode -> Issue --> ALU1 (1-stage)",
+            self.fetch_width
+        )?;
+        writeln!(
+            f,
+            "              |  buffer   |      ^  immediate +--> LSU (3-stage, pipelined: {})",
+            self.lsu_pipelined
+        )?;
+        writeln!(
+            f,
+            "              +-----------+      |            +--> FPU (4-stage)"
+        )?;
+        write!(
+            f,
+            "         WP1..WP{} <---- write-back buses <---- EX/WB buffers",
+            self.rf_write_ports
+        )
     }
 }
 

@@ -28,9 +28,7 @@ use rand::rngs::StdRng;
 
 use sca_analysis::{model_correlation, significance_threshold, InputModel};
 use sca_isa::{AddrMode, Insn, Program, ProgramBuilder, Reg, ShiftKind};
-use sca_power::{
-    ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource, TraceSet,
-};
+use sca_power::{ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource, TraceSet};
 use sca_uarch::{Cpu, NodeKind, NullObserver, UarchConfig, UarchError};
 
 /// Paper-derived expectation for one model cell of Table 2.
@@ -84,13 +82,22 @@ impl ModelSpec {
         expected: Expectation,
         model: impl Fn(&[u8]) -> f64 + Send + Sync + 'static,
     ) -> ModelSpec {
-        ModelSpec { component, expr: expr.into(), expected, model: Arc::new(model) }
+        ModelSpec {
+            component,
+            expr: expr.into(),
+            expected,
+            model: Arc::new(model),
+        }
     }
 }
 
 impl fmt::Debug for ModelSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ModelSpec({} / {} / {:?})", self.component, self.expr, self.expected)
+        write!(
+            f,
+            "ModelSpec({} / {} / {:?})",
+            self.component, self.expr, self.expected
+        )
     }
 }
 
@@ -213,22 +220,18 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(RegisterFile, "rF", Black, |i| hw(word(i, 3))),
             ModelSpec::new(IsExBuffer, "rB ^ rE", Red, |i| hd(word(i, 0), word(i, 2))),
             ModelSpec::new(IsExBuffer, "rC ^ rF", Red, |i| hd(word(i, 1), word(i, 3))),
-            ModelSpec::new(IsExBuffer, "rB ^ rF (cross)", Black, |i| hd(word(i, 0), word(i, 3))),
+            ModelSpec::new(IsExBuffer, "rB ^ rF (cross)", Black, |i| {
+                hd(word(i, 0), word(i, 3))
+            }),
             ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1)))),
             ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(word(i, 3)))),
             ModelSpec::new(Alu, "rB", Black, |i| hw(word(i, 0))),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rA (†)",
-                RedBoundary,
-                |i| hw(word(i, 0).wrapping_add(word(i, 1))),
-            ),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rD (†)",
-                RedBoundary,
-                |i| hw(word(i, 2).wrapping_add(word(i, 3))),
-            ),
+            ModelSpec::new(ExWbBuffer, "rA (†)", RedBoundary, |i| {
+                hw(word(i, 0).wrapping_add(word(i, 1)))
+            }),
+            ModelSpec::new(ExWbBuffer, "rD (†)", RedBoundary, |i| {
+                hw(word(i, 2).wrapping_add(word(i, 3)))
+            }),
             ModelSpec::new(ExWbBuffer, "rA ^ rD", Red, |i| {
                 hd(
                     word(i, 0).wrapping_add(word(i, 1)),
@@ -263,21 +266,18 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(IsExBuffer, "rC ^ rE", Black, |i| hd(word(i, 1), word(i, 2))),
             ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1)))),
             ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(7))),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rA (†)",
-                RedBoundary,
-                |i| hw(word(i, 0).wrapping_add(word(i, 1))),
-            ),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rD (†)",
-                RedBoundary,
-                |i| hw(word(i, 2).wrapping_add(7)),
-            ),
+            ModelSpec::new(ExWbBuffer, "rA (†)", RedBoundary, |i| {
+                hw(word(i, 0).wrapping_add(word(i, 1)))
+            }),
+            ModelSpec::new(ExWbBuffer, "rD (†)", RedBoundary, |i| {
+                hw(word(i, 2).wrapping_add(7))
+            }),
             // Dual-issued results ride separate write-back buses.
             ModelSpec::new(ExWbBuffer, "rA ^ rD", Black, |i| {
-                hd(word(i, 0).wrapping_add(word(i, 1)), word(i, 2).wrapping_add(7))
+                hd(
+                    word(i, 0).wrapping_add(word(i, 1)),
+                    word(i, 2).wrapping_add(7),
+                )
             }),
         ],
     });
@@ -311,14 +311,15 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(IsExBuffer, "rC ^ rF", Red, |i| hd(word(i, 1), word(i, 3))),
             ModelSpec::new(ShiftBuffer, "rC << n", Red, |i| hw(word(i, 1) << 4)),
             ModelSpec::new(ShiftBuffer, "rF << n", Red, |i| hw(word(i, 3) << 4)),
-            ModelSpec::new(Alu, "rA", Red, |i| hw(word(i, 0).wrapping_add(word(i, 1) << 4))),
-            ModelSpec::new(Alu, "rD", Red, |i| hw(word(i, 2).wrapping_add(word(i, 3) << 4))),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rA (†)",
-                RedBoundary,
-                |i| hw(word(i, 0).wrapping_add(word(i, 1) << 4)),
-            ),
+            ModelSpec::new(Alu, "rA", Red, |i| {
+                hw(word(i, 0).wrapping_add(word(i, 1) << 4))
+            }),
+            ModelSpec::new(Alu, "rD", Red, |i| {
+                hw(word(i, 2).wrapping_add(word(i, 3) << 4))
+            }),
+            ModelSpec::new(ExWbBuffer, "rA (†)", RedBoundary, |i| {
+                hw(word(i, 0).wrapping_add(word(i, 1) << 4))
+            }),
             ModelSpec::new(ExWbBuffer, "rA ^ rD", Red, |i| {
                 hd(
                     word(i, 0).wrapping_add(word(i, 1) << 4),
@@ -341,8 +342,12 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
         stage: Arc::new(|cpu, input| {
             cpu.set_reg(Reg::R8, MEM_A);
             cpu.set_reg(Reg::R9, MEM_B);
-            cpu.mem_mut().write_u32(MEM_A, word(input, 0)).expect("scratch mapped");
-            cpu.mem_mut().write_u32(MEM_B, word(input, 1)).expect("scratch mapped");
+            cpu.mem_mut()
+                .write_u32(MEM_A, word(input, 0))
+                .expect("scratch mapped");
+            cpu.mem_mut()
+                .write_u32(MEM_B, word(input, 1))
+                .expect("scratch mapped");
             cpu.set_reg(Reg::R0, word(input, 0));
             cpu.set_reg(Reg::R2, word(input, 1));
         }),
@@ -352,7 +357,9 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(ExWbBuffer, "rA (†)", RedBoundary, |i| hw(word(i, 0))),
             ModelSpec::new(ExWbBuffer, "rC (†)", RedBoundary, |i| hw(word(i, 1))),
             ModelSpec::new(ExWbBuffer, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
-            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| {
+                hd(word(i, 0), word(i, 1))
+            }),
         ],
     });
 
@@ -381,7 +388,9 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(RegisterFile, "rB", Black, |_| 0.0),
             ModelSpec::new(IsExBuffer, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
             ModelSpec::new(Mdr, "rA ^ rC", Red, |i| hd(word(i, 0), word(i, 1))),
-            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| hd(word(i, 0), word(i, 1))),
+            ModelSpec::new(AlignBuffer, "rA ^ rC", Black, |i| {
+                hd(word(i, 0), word(i, 1))
+            }),
         ],
     });
 
@@ -405,7 +414,9 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             cpu.set_reg(Reg::R10, MEM_C);
             cpu.set_reg(Reg::R11, MEM_D);
             for (k, addr) in [MEM_A, MEM_B, MEM_C, MEM_D].into_iter().enumerate() {
-                cpu.mem_mut().write_u32(addr, word(input, k)).expect("scratch mapped");
+                cpu.mem_mut()
+                    .write_u32(addr, word(input, k))
+                    .expect("scratch mapped");
             }
             cpu.set_reg(Reg::R0, word(input, 0));
             cpu.set_reg(Reg::R1, word(input, 1) & 0xff);
@@ -419,30 +430,18 @@ pub fn table2_benchmarks() -> Vec<LeakBenchmark> {
             ModelSpec::new(Mdr, "wE ^ wG", Red, |i| hd(word(i, 2), word(i, 3))),
             // The align buffer pairs the two byte loads across the
             // intervening word load (data remanence).
-            ModelSpec::new(
-                AlignBuffer,
-                "rC ^ rG",
-                Red,
-                |i| hd(word(i, 1) & 0xff, word(i, 3) & 0xff),
-            ),
-            ModelSpec::new(
-                AlignBuffer,
-                "rC ^ rE (word breaks it?)",
-                Black,
-                |i| hd(word(i, 1) & 0xff, word(i, 2)),
-            ),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rA ^ rC",
-                Red,
-                |i| hd(word(i, 0), word(i, 1) & 0xff),
-            ),
-            ModelSpec::new(
-                ExWbBuffer,
-                "rE ^ rG",
-                Red,
-                |i| hd(word(i, 2), word(i, 3) & 0xff),
-            ),
+            ModelSpec::new(AlignBuffer, "rC ^ rG", Red, |i| {
+                hd(word(i, 1) & 0xff, word(i, 3) & 0xff)
+            }),
+            ModelSpec::new(AlignBuffer, "rC ^ rE (word breaks it?)", Black, |i| {
+                hd(word(i, 1) & 0xff, word(i, 2))
+            }),
+            ModelSpec::new(ExWbBuffer, "rA ^ rC", Red, |i| {
+                hd(word(i, 0), word(i, 1) & 0xff)
+            }),
+            ModelSpec::new(ExWbBuffer, "rE ^ rG", Red, |i| {
+                hd(word(i, 2), word(i, 3) & 0xff)
+            }),
         ],
     });
 
@@ -500,7 +499,11 @@ pub struct Table2Report {
 impl Table2Report {
     /// Number of cells whose verdict matches the paper.
     pub fn matching_cells(&self) -> usize {
-        self.rows.iter().flat_map(|r| &r.cells).filter(|c| c.matches_paper()).count()
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .filter(|c| c.matches_paper())
+            .count()
     }
 
     /// Total number of cells.
@@ -572,7 +575,10 @@ impl Default for CharacterizationConfig {
             // 99.5% threshold; the paper compensates with 100k traces.
             traces: 4000,
             executions_per_trace: 4,
-            noise: GaussianNoise { sd: 6.0, baseline: 30.0 },
+            noise: GaussianNoise {
+                sd: 6.0,
+                baseline: 30.0,
+            },
             confidence: 0.995,
             seed: 0xdac2018,
             threads: 4,
@@ -600,8 +606,8 @@ pub fn run_benchmark(
     uarch: &UarchConfig,
     config: &CharacterizationConfig,
 ) -> Result<RowResult, UarchError> {
-    use rand::SeedableRng;
     use rand::Rng as _;
+    use rand::SeedableRng;
 
     // Template CPU, warmed by one throwaway execution.
     let mut template = Cpu::new(uarch.clone());
@@ -632,7 +638,12 @@ pub fn run_benchmark(
             (benchmark.stage)(&mut probe, &input);
             let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
             probe.run(&mut rec)?;
-            probes.push(NodeKind::ALL.iter().map(|&kind| rec.windowed_power(kind)).collect());
+            probes.push(
+                NodeKind::ALL
+                    .iter()
+                    .map(|&kind| rec.windowed_power(kind))
+                    .collect(),
+            );
         }
         let window_len = probes[0][0].len();
         let mut instants: Vec<Vec<usize>> = vec![Vec::new(); NodeKind::COUNT];
@@ -668,8 +679,9 @@ pub fn run_benchmark(
             let noise = config.noise;
             let executions = config.executions_per_trace.max(1);
             handles.push(scope.spawn(move || {
-                let mut sets: Vec<TraceSet> =
-                    (0..NodeKind::COUNT).map(|_| TraceSet::new(window_len)).collect();
+                let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT)
+                    .map(|_| TraceSet::new(window_len))
+                    .collect();
                 let mut cpu = template.clone();
                 for t in lo..hi {
                     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
@@ -708,7 +720,9 @@ pub fn run_benchmark(
             partials.push(handle.join().expect("worker panicked"));
         }
     });
-    let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT).map(|_| TraceSet::new(window_len)).collect();
+    let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT)
+        .map(|_| TraceSet::new(window_len))
+        .collect();
     for partial in partials {
         for (kind, set) in partial?.into_iter().enumerate() {
             sets[kind].merge(set);
@@ -769,7 +783,10 @@ pub fn characterize(
         .iter()
         .map(|b| run_benchmark(b, uarch, config))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Table2Report { rows, confidence: config.confidence })
+    Ok(Table2Report {
+        rows,
+        confidence: config.confidence,
+    })
 }
 
 #[cfg(test)]
@@ -780,7 +797,10 @@ mod tests {
         CharacterizationConfig {
             traces: 400,
             executions_per_trace: 2,
-            noise: GaussianNoise { sd: 4.0, baseline: 10.0 },
+            noise: GaussianNoise {
+                sd: 4.0,
+                baseline: 10.0,
+            },
             threads: 4,
             ..CharacterizationConfig::default()
         }

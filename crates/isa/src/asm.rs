@@ -96,7 +96,10 @@ impl Assembler {
         for line in &lines {
             for label in &line.labels {
                 if symbols.contains_key(label) {
-                    return Err(IsaError::asm(line.number, format!("duplicate symbol `{label}`")));
+                    return Err(IsaError::asm(
+                        line.number,
+                        format!("duplicate symbol `{label}`"),
+                    ));
                 }
                 symbols.insert(label.clone(), i64::from(cursor));
             }
@@ -217,7 +220,8 @@ impl Assembler {
                 Some(Stmt::Insn(pinsn)) => {
                     align_to(&mut image, &mut cursor, base, 4);
                     let insn = pinsn.resolve(cursor, &symbols, line.number)?;
-                    let word = encode(&insn).map_err(|e| IsaError::asm(line.number, e.to_string()))?;
+                    let word =
+                        encode(&insn).map_err(|e| IsaError::asm(line.number, e.to_string()))?;
                     line_of_addr.push((cursor, line.number));
                     emit(&mut image, &mut cursor, &word.to_le_bytes());
                 }
@@ -238,7 +242,10 @@ impl Assembler {
         for (addr, number) in line_of_addr {
             program.insert_source_line(addr, number);
         }
-        let entry = program.symbol("start").or_else(|| program.symbol("_start")).unwrap_or(base);
+        let entry = program
+            .symbol("start")
+            .or_else(|| program.symbol("_start"))
+            .unwrap_or(base);
         program.set_entry(entry);
         Ok(program)
     }
@@ -291,9 +298,9 @@ impl Stmt {
             Stmt::Byte(exprs) => exprs.len() as u32,
             Stmt::Space(expr) => {
                 // Sizes must be known in pass 1: only constants allowed.
-                let n = expr.eval(&BTreeMap::new(), line).map_err(|_| {
-                    IsaError::asm(line, ".space size must be a literal constant")
-                })?;
+                let n = expr
+                    .eval(&BTreeMap::new(), line)
+                    .map_err(|_| IsaError::asm(line, ".space size must be a literal constant"))?;
                 n as u32
             }
             Stmt::Align(expr) => {
@@ -315,11 +322,26 @@ impl Stmt {
 #[derive(Debug)]
 enum PInsn {
     Ready(Insn),
-    Branch { cond: Cond, link: bool, target: Expr },
-    Adr { cond: Cond, rd: Reg, target: Expr },
+    Branch {
+        cond: Cond,
+        link: bool,
+        target: Expr,
+    },
+    Adr {
+        cond: Cond,
+        rd: Reg,
+        target: Expr,
+    },
     /// Data-processing with a symbolic immediate (e.g. `mov r0, #STATE`),
     /// resolved against the symbol table in pass 2.
-    DpImm { cond: Cond, op: DpOp, set_flags: bool, rd: Option<Reg>, rn: Option<Reg>, imm: Expr },
+    DpImm {
+        cond: Cond,
+        op: DpOp,
+        set_flags: bool,
+        rd: Option<Reg>,
+        rn: Option<Reg>,
+        imm: Expr,
+    },
 }
 
 impl PInsn {
@@ -337,7 +359,11 @@ impl PInsn {
                 if delta % 4 != 0 {
                     return Err(IsaError::asm(line, "branch target not word aligned"));
                 }
-                Ok(Insn::new(InsnKind::Branch { link: *link, offset: delta / 4 }).with_cond(*cond))
+                Ok(Insn::new(InsnKind::Branch {
+                    link: *link,
+                    offset: delta / 4,
+                })
+                .with_cond(*cond))
             }
             PInsn::Adr { cond, rd, target } => {
                 let value = target.eval(symbols, line)? as u32;
@@ -349,7 +375,14 @@ impl PInsn {
                 }
                 Ok(Insn::mov(*rd, value).with_cond(*cond))
             }
-            PInsn::DpImm { cond, op, set_flags, rd, rn, imm } => {
+            PInsn::DpImm {
+                cond,
+                op,
+                set_flags,
+                rd,
+                rn,
+                imm,
+            } => {
                 let value = imm.eval(symbols, line)? as u32;
                 Ok(Insn::new(InsnKind::Dp {
                     op: *op,
@@ -473,7 +506,8 @@ fn lex(line_no: usize, text: &str) -> Result<Vec<Tok>, IsaError> {
             '.' => {
                 let start = i + 1;
                 let mut end = start;
-                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
                 {
                     end += 1;
                 }
@@ -486,7 +520,8 @@ fn lex(line_no: usize, text: &str) -> Result<Vec<Tok>, IsaError> {
             '0'..='9' => {
                 let start = i;
                 let mut end = i;
-                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
                 {
                     end += 1;
                 }
@@ -505,7 +540,8 @@ fn lex(line_no: usize, text: &str) -> Result<Vec<Tok>, IsaError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut end = i;
-                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
                 {
                     end += 1;
                 }
@@ -513,7 +549,10 @@ fn lex(line_no: usize, text: &str) -> Result<Vec<Tok>, IsaError> {
                 i = end;
             }
             other => {
-                return Err(IsaError::asm(line_no, format!("unexpected character `{other}`")));
+                return Err(IsaError::asm(
+                    line_no,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -612,7 +651,11 @@ impl Parser {
 
 fn parse_line(number: usize, text: &str) -> Result<Line, IsaError> {
     let toks = lex(number, text)?;
-    let mut parser = Parser { toks, pos: 0, line: number };
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        line: number,
+    };
     let mut labels = Vec::new();
 
     // Leading `ident :` pairs are labels.
@@ -624,7 +667,11 @@ fn parse_line(number: usize, text: &str) -> Result<Line, IsaError> {
     }
 
     if parser.at_end() {
-        return Ok(Line { number, labels, stmt: None });
+        return Ok(Line {
+            number,
+            labels,
+            stmt: None,
+        });
     }
 
     let stmt = match parser.next().expect("not at end") {
@@ -635,7 +682,11 @@ fn parse_line(number: usize, text: &str) -> Result<Line, IsaError> {
     if !parser.at_end() {
         return Err(parser.err("trailing tokens after statement"));
     }
-    Ok(Line { number, labels, stmt: Some(stmt) })
+    Ok(Line {
+        number,
+        labels,
+        stmt: Some(stmt),
+    })
 }
 
 fn parse_directive(parser: &mut Parser, name: &str) -> Result<Stmt, IsaError> {
@@ -678,15 +729,33 @@ fn split_mnemonic(raw: &str) -> Option<(&'static str, Cond, bool)> {
         "ldmfd", "stmia", "stmdb", "stmfd", "push", "pop", "umull", "smull",
     ];
     let lower = raw.to_ascii_lowercase();
-    let mut candidates: Vec<&'static str> =
-        BASES.iter().copied().filter(|b| lower.starts_with(b)).collect();
+    let mut candidates: Vec<&'static str> = BASES
+        .iter()
+        .copied()
+        .filter(|b| lower.starts_with(b))
+        .collect();
     candidates.sort_by_key(|b| std::cmp::Reverse(b.len()));
     for base in candidates {
         let rest = &lower[base.len()..];
         let allows_s = matches!(
             base,
-            "and" | "eor" | "sub" | "rsb" | "add" | "adc" | "sbc" | "bic" | "mov" | "mvn" | "orr"
-                | "lsl" | "lsr" | "asr" | "ror" | "mul" | "mla"
+            "and"
+                | "eor"
+                | "sub"
+                | "rsb"
+                | "add"
+                | "adc"
+                | "sbc"
+                | "bic"
+                | "mov"
+                | "mvn"
+                | "orr"
+                | "lsl"
+                | "lsr"
+                | "asr"
+                | "ror"
+                | "mul"
+                | "mla"
         );
         let (rest, set_flags) = match rest.strip_suffix('s') {
             // Guard: `cs`/`ls`/`vs` are conditions ending in s.
@@ -707,19 +776,29 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
     let (base, cond, set_flags) = split_mnemonic(mnemonic)
         .ok_or_else(|| parser.err(format!("unknown mnemonic `{mnemonic}`")))?;
 
-    let finish_dp = |op: DpOp,
-                     set_flags: bool,
-                     rd: Option<Reg>,
-                     rn: Option<Reg>,
-                     op2: Op2Parse|
-     -> PInsn {
-        match op2 {
-            Op2Parse::Ready(op2) => PInsn::Ready(
-                Insn::new(InsnKind::Dp { op, set_flags, rd, rn, op2 }).with_cond(cond),
-            ),
-            Op2Parse::ImmExpr(imm) => PInsn::DpImm { cond, op, set_flags, rd, rn, imm },
-        }
-    };
+    let finish_dp =
+        |op: DpOp, set_flags: bool, rd: Option<Reg>, rn: Option<Reg>, op2: Op2Parse| -> PInsn {
+            match op2 {
+                Op2Parse::Ready(op2) => PInsn::Ready(
+                    Insn::new(InsnKind::Dp {
+                        op,
+                        set_flags,
+                        rd,
+                        rn,
+                        op2,
+                    })
+                    .with_cond(cond),
+                ),
+                Op2Parse::ImmExpr(imm) => PInsn::DpImm {
+                    cond,
+                    op,
+                    set_flags,
+                    rd,
+                    rn,
+                    imm,
+                },
+            }
+        };
     let dp3 = |op: DpOp, parser: &mut Parser| -> Result<PInsn, IsaError> {
         let rd = parser.reg()?;
         parser.expect(&Tok::Comma)?;
@@ -766,9 +845,9 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
             parser.expect(&Tok::Comma)?;
             let amount = if parser.eat(&Tok::Hash) {
                 let expr = parser.expr()?;
-                let value = expr.eval(&BTreeMap::new(), parser.line).map_err(|_| {
-                    parser.err("shift amount must be a literal constant")
-                })?;
+                let value = expr
+                    .eval(&BTreeMap::new(), parser.line)
+                    .map_err(|_| parser.err("shift amount must be a literal constant"))?;
                 if !(0..=31).contains(&value) {
                     return Err(parser.err("shift amount outside 0..=31"));
                 }
@@ -800,11 +879,23 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
                 (MulOp::Mul, None)
             };
             Ok(PInsn::Ready(
-                Insn::new(InsnKind::Mul { op, set_flags, rd, rm, rs, ra }).with_cond(cond),
+                Insn::new(InsnKind::Mul {
+                    op,
+                    set_flags,
+                    rd,
+                    rm,
+                    rs,
+                    ra,
+                })
+                .with_cond(cond),
             ))
         }
         "ldr" | "ldrb" | "ldrh" | "str" | "strb" | "strh" => {
-            let dir = if base.starts_with("ldr") { MemDir::Load } else { MemDir::Store };
+            let dir = if base.starts_with("ldr") {
+                MemDir::Load
+            } else {
+                MemDir::Store
+            };
             let size = match base.as_bytes().last() {
                 Some(b'b') => MemSize::Byte,
                 Some(b'h') => MemSize::Half,
@@ -813,11 +904,23 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
             let rd = parser.reg()?;
             parser.expect(&Tok::Comma)?;
             let addr = parse_addr_mode(parser)?;
-            Ok(PInsn::Ready(Insn::new(InsnKind::Mem { dir, size, rd, addr }).with_cond(cond)))
+            Ok(PInsn::Ready(
+                Insn::new(InsnKind::Mem {
+                    dir,
+                    size,
+                    rd,
+                    addr,
+                })
+                .with_cond(cond),
+            ))
         }
         "b" | "bl" => {
             let target = parser.expr()?;
-            Ok(PInsn::Branch { cond, link: base == "bl", target })
+            Ok(PInsn::Branch {
+                cond,
+                link: base == "bl",
+                target,
+            })
         }
         "bx" => Ok(PInsn::Ready(Insn::bx(parser.reg()?).with_cond(cond))),
         "adr" => {
@@ -828,7 +931,11 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
         }
         "ldmia" | "ldmdb" | "ldmfd" | "stmia" | "stmdb" | "stmfd" => {
             // fd ("full descending") aliases: ldmfd = ldmia, stmfd = stmdb.
-            let dir = if base.starts_with("ldm") { MemDir::Load } else { MemDir::Store };
+            let dir = if base.starts_with("ldm") {
+                MemDir::Load
+            } else {
+                MemDir::Store
+            };
             let mode = match &base[3..] {
                 "ia" => MemMultiMode::Ia,
                 "db" => MemMultiMode::Db,
@@ -840,13 +947,23 @@ fn parse_insn(parser: &mut Parser, mnemonic: &str) -> Result<PInsn, IsaError> {
             parser.expect(&Tok::Comma)?;
             let regs = parse_reg_list(parser)?;
             Ok(PInsn::Ready(
-                Insn::new(InsnKind::MemMulti { dir, base: base_reg, writeback, regs, mode })
-                    .with_cond(cond),
+                Insn::new(InsnKind::MemMulti {
+                    dir,
+                    base: base_reg,
+                    writeback,
+                    regs,
+                    mode,
+                })
+                .with_cond(cond),
             ))
         }
         "push" | "pop" => {
             let regs = parse_reg_list(parser)?;
-            let insn = if base == "push" { Insn::push(regs) } else { Insn::pop(regs) };
+            let insn = if base == "push" {
+                Insn::push(regs)
+            } else {
+                Insn::pop(regs)
+            };
             Ok(PInsn::Ready(insn.with_cond(cond)))
         }
         "umull" | "smull" => {
@@ -922,15 +1039,27 @@ fn parse_addr_mode(parser: &mut Parser) -> Result<AddrMode, IsaError> {
         // `[rn]`, `[rn], #off`, `[rn], rm` (post-index)
         if parser.eat(&Tok::Comma) {
             let offset = parse_mem_offset(parser)?;
-            return Ok(AddrMode { base, offset, index: IndexMode::PostIndex });
+            return Ok(AddrMode {
+                base,
+                offset,
+                index: IndexMode::PostIndex,
+            });
         }
         return Ok(AddrMode::base(base));
     }
     parser.expect(&Tok::Comma)?;
     let offset = parse_mem_offset(parser)?;
     parser.expect(&Tok::RBracket)?;
-    let index = if parser.eat(&Tok::Bang) { IndexMode::PreWriteback } else { IndexMode::Offset };
-    Ok(AddrMode { base, offset, index })
+    let index = if parser.eat(&Tok::Bang) {
+        IndexMode::PreWriteback
+    } else {
+        IndexMode::Offset
+    };
+    Ok(AddrMode {
+        base,
+        offset,
+        index,
+    })
 }
 
 fn parse_mem_offset(parser: &mut Parser) -> Result<MemOffset, IsaError> {
@@ -958,9 +1087,19 @@ fn parse_mem_offset(parser: &mut Parser) -> Result<MemOffset, IsaError> {
         if !(0..=15).contains(&amount) {
             return Err(parser.err("memory offset shift outside 0..=15"));
         }
-        Ok(MemOffset::Reg { rm, kind, amount: amount as u8, sub })
+        Ok(MemOffset::Reg {
+            rm,
+            kind,
+            amount: amount as u8,
+            sub,
+        })
     } else {
-        Ok(MemOffset::Reg { rm, kind: ShiftKind::Lsl, amount: 0, sub })
+        Ok(MemOffset::Reg {
+            rm,
+            kind: ShiftKind::Lsl,
+            amount: 0,
+            sub,
+        })
     }
 }
 
@@ -1019,7 +1158,10 @@ loop:   subs r0, r0, #1
         assert_eq!(program.entry(), 0);
         let branch = program.insn_at(8).unwrap();
         match branch.kind {
-            InsnKind::Branch { link: false, offset } => {
+            InsnKind::Branch {
+                link: false,
+                offset,
+            } => {
                 // From 8, next insn is 12, target 4 → offset -2.
                 assert_eq!(offset, -2);
             }
@@ -1080,7 +1222,14 @@ done:   halt
         );
         let by_reg = program.insn_at(8).unwrap();
         match by_reg.kind {
-            InsnKind::Dp { op2: Operand2::ShiftedReg { amount: ShiftAmount::Reg(rs), .. }, .. } => {
+            InsnKind::Dp {
+                op2:
+                    Operand2::ShiftedReg {
+                        amount: ShiftAmount::Reg(rs),
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!(rs, Reg::R7)
             }
             other => panic!("unexpected {other:?}"),
@@ -1100,7 +1249,10 @@ done:   halt
         str  r0, [r1], #4
 ";
         let program = assemble(src).unwrap();
-        assert_eq!(program.insn_at(0).unwrap(), Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)));
+        assert_eq!(
+            program.insn_at(0).unwrap(),
+            Insn::ldr(Reg::R0, AddrMode::base(Reg::R1))
+        );
         assert_eq!(
             program.insn_at(4).unwrap(),
             Insn::ldr(Reg::R0, AddrMode::imm_offset(Reg::R1, 8).unwrap())
@@ -1111,7 +1263,14 @@ done:   halt
         );
         let neg_reg = program.insn_at(16).unwrap();
         match neg_reg.kind {
-            InsnKind::Mem { addr: AddrMode { offset: MemOffset::Reg { sub, .. }, .. }, .. } => {
+            InsnKind::Mem {
+                addr:
+                    AddrMode {
+                        offset: MemOffset::Reg { sub, .. },
+                        ..
+                    },
+                ..
+            } => {
                 assert!(sub)
             }
             other => panic!("unexpected {other:?}"),
@@ -1148,7 +1307,10 @@ end:    halt
         assert_eq!(program.symbol("after"), Some(0x10c));
         assert_eq!(program.word_at(0x10c), Some(0x108));
         assert_eq!(program.symbol("end"), Some(0x118));
-        assert_eq!(program.word_at(0x108).map(|w| w & 0xff_ffff), Some(0x030201));
+        assert_eq!(
+            program.word_at(0x108).map(|w| w & 0xff_ffff),
+            Some(0x030201)
+        );
     }
 
     #[test]
@@ -1161,7 +1323,10 @@ end:    halt
         // Immediates may reference .equ constants and label symbols.
         let program = assemble(src).unwrap();
         assert_eq!(program.insn_at(0).unwrap(), Insn::mov(Reg::R0, 12u32));
-        assert_eq!(program.insn_at(4).unwrap(), Insn::add(Reg::R1, Reg::R0, 16u32));
+        assert_eq!(
+            program.insn_at(4).unwrap(),
+            Insn::add(Reg::R1, Reg::R0, 16u32)
+        );
         // .word can use them too.
         let program = assemble(".equ SIZE, 12\n.word SIZE + 4\n").unwrap();
         assert_eq!(program.word_at(0), Some(16));
@@ -1183,7 +1348,10 @@ end:    halt
 table:  .word 0
 ";
         let program = assemble(src).unwrap();
-        assert_eq!(program.insn_at(0x100).unwrap(), Insn::mov(Reg::R0, 0x200u32));
+        assert_eq!(
+            program.insn_at(0x100).unwrap(),
+            Insn::mov(Reg::R0, 0x200u32)
+        );
     }
 
     #[test]
@@ -1221,12 +1389,19 @@ table:  .word 0
         smullne r4, r5, r6, r7
 ";
         let program = assemble(src).unwrap();
-        let expected: RegSet =
-            [Reg::R0, Reg::R4, Reg::R5, Reg::R6, Reg::LR].into_iter().collect();
+        let expected: RegSet = [Reg::R0, Reg::R4, Reg::R5, Reg::R6, Reg::LR]
+            .into_iter()
+            .collect();
         assert_eq!(program.insn_at(0).unwrap(), Insn::push(expected));
         let pop = program.insn_at(4).unwrap();
         match pop.kind {
-            InsnKind::MemMulti { dir: MemDir::Load, base, writeback, regs, .. } => {
+            InsnKind::MemMulti {
+                dir: MemDir::Load,
+                base,
+                writeback,
+                regs,
+                ..
+            } => {
                 assert_eq!(base, Reg::SP);
                 assert!(writeback);
                 assert!(regs.contains(Reg::PC));
@@ -1235,7 +1410,9 @@ table:  .word 0
         }
         let ldm = program.insn_at(8).unwrap();
         match ldm.kind {
-            InsnKind::MemMulti { writeback, mode, .. } => {
+            InsnKind::MemMulti {
+                writeback, mode, ..
+            } => {
                 assert!(writeback);
                 assert_eq!(mode, MemMultiMode::Ia);
             }

@@ -43,7 +43,11 @@ impl InsnExt for Insn {
 #[derive(Debug)]
 enum Slot {
     Ready(Insn),
-    Branch { cond: Cond, link: bool, label: String },
+    Branch {
+        cond: Cond,
+        link: bool,
+        label: String,
+    },
 }
 
 /// Builds a [`Program`] from instructions with symbolic branch targets.
@@ -57,7 +61,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts an empty program at `base`.
     pub fn new(base: u32) -> ProgramBuilder {
-        ProgramBuilder { base, slots: Vec::new(), labels: BTreeMap::new() }
+        ProgramBuilder {
+            base,
+            slots: Vec::new(),
+            labels: BTreeMap::new(),
+        }
     }
 
     /// Appends one instruction.
@@ -108,7 +116,11 @@ impl ProgramBuilder {
     /// may be defined before or after this point.
     #[must_use]
     pub fn branch_to(mut self, cond: Cond, link: bool, label: impl Into<String>) -> ProgramBuilder {
-        self.slots.push(Slot::Branch { cond, link, label: label.into() });
+        self.slots.push(Slot::Branch {
+            cond,
+            link,
+            label: label.into(),
+        });
         self
     }
 
@@ -139,8 +151,11 @@ impl ProgramBuilder {
                         message: format!("undefined label `{label}`"),
                     })?;
                     let offset = target as i64 - (index as i64 + 1);
-                    Insn::new(InsnKind::Branch { link: *link, offset: offset as i32 })
-                        .with_cond(*cond)
+                    Insn::new(InsnKind::Branch {
+                        link: *link,
+                        offset: offset as i32,
+                    })
+                    .with_cond(*cond)
                 }
             };
             insns.push(insn);
@@ -194,7 +209,9 @@ mod tests {
 
     #[test]
     fn undefined_label_is_error() {
-        let result = ProgramBuilder::new(0).branch_to(Cond::Al, false, "nowhere").build();
+        let result = ProgramBuilder::new(0)
+            .branch_to(Cond::Al, false, "nowhere")
+            .build();
         assert!(result.is_err());
     }
 
@@ -217,8 +234,12 @@ mod tests {
 
     #[test]
     fn flag_setting_helper() {
-        assert!(Insn::add(Reg::R0, Reg::R0, 1u32).flag_setting().sets_flags());
-        assert!(Insn::mul(Reg::R0, Reg::R1, Reg::R2).flag_setting().sets_flags());
+        assert!(Insn::add(Reg::R0, Reg::R0, 1u32)
+            .flag_setting()
+            .sets_flags());
+        assert!(Insn::mul(Reg::R0, Reg::R1, Reg::R2)
+            .flag_setting()
+            .sets_flags());
         // Unchanged for non-DP kinds.
         assert!(!Insn::nop().flag_setting().sets_flags());
     }

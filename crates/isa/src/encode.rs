@@ -56,18 +56,21 @@ fn field(value: u32, lo: u32, width: u32) -> u32 {
 pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
     let cond = insn.cond.bits() << 28;
     let word = match &insn.kind {
-        InsnKind::Dp { op, set_flags, rd, rn, op2 } => {
+        InsnKind::Dp {
+            op,
+            set_flags,
+            rd,
+            rn,
+            op2,
+        } => {
             let common = (op.bits() << 20)
                 | (u32::from(*set_flags) << 19)
                 | ((rd.map_or(0, |r| r.index() as u32)) << 15)
                 | ((rn.map_or(0, |r| r.index() as u32)) << 11);
             match op2 {
-                Operand2::Reg(rm) => {
-                    (MAJOR_DP_REG << 24) | common | ((rm.index() as u32) << 7)
-                }
+                Operand2::Reg(rm) => (MAJOR_DP_REG << 24) | common | ((rm.index() as u32) << 7),
                 Operand2::Imm(value) => {
-                    let imm = RotatedImm::encode(*value)
-                        .ok_or(IsaError::ImmediateRange(*value))?;
+                    let imm = RotatedImm::encode(*value).ok_or(IsaError::ImmediateRange(*value))?;
                     let (imm8, rot) = imm.fields();
                     (MAJOR_DP_IMM << 24) | common | (rot << 8) | imm8
                 }
@@ -87,7 +90,12 @@ pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
                 }
             }
         }
-        InsnKind::Mem { dir, size, rd, addr } => {
+        InsnKind::Mem {
+            dir,
+            size,
+            rd,
+            addr,
+        } => {
             let idx = match addr.index {
                 IndexMode::Offset => 0,
                 IndexMode::PreWriteback => 1,
@@ -106,7 +114,12 @@ pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
                     let up = u32::from(imm >= 0) << 18;
                     (MAJOR_MEM_IMM << 24) | common | up | (imm.unsigned_abs() & 0x3ff)
                 }
-                MemOffset::Reg { rm, kind, amount, sub } => {
+                MemOffset::Reg {
+                    rm,
+                    kind,
+                    amount,
+                    sub,
+                } => {
                     if amount > 15 {
                         return Err(IsaError::ShiftRange(amount));
                     }
@@ -120,7 +133,14 @@ pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
                 }
             }
         }
-        InsnKind::Mul { op, set_flags, rd, rm, rs, ra } => {
+        InsnKind::Mul {
+            op,
+            set_flags,
+            rd,
+            rm,
+            rs,
+            ra,
+        } => {
             (MAJOR_MUL << 24)
                 | (u32::from(*op == MulOp::Mla) << 23)
                 | (u32::from(*set_flags) << 22)
@@ -136,7 +156,13 @@ pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
             }
             (MAJOR_BRANCH << 24) | (u32::from(*link) << 23) | ((*offset as u32) & 0x7f_ffff)
         }
-        InsnKind::MemMulti { dir, base, writeback, regs, mode } => {
+        InsnKind::MemMulti {
+            dir,
+            base,
+            writeback,
+            regs,
+            mode,
+        } => {
             let mut rlist = 0u32;
             for reg in regs.iter() {
                 rlist |= 1 << reg.index();
@@ -148,7 +174,13 @@ pub fn encode(insn: &Insn) -> Result<u32, IsaError> {
                 | ((base.index() as u32) << 16)
                 | rlist
         }
-        InsnKind::MulLong { signed, rd_hi, rd_lo, rm, rs } => {
+        InsnKind::MulLong {
+            signed,
+            rd_hi,
+            rd_lo,
+            rm,
+            rs,
+        } => {
             (MAJOR_MUL_LONG << 24)
                 | (u32::from(*signed) << 23)
                 | ((rd_hi.index() as u32) << 16)
@@ -179,7 +211,11 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
             let set_flags = field(word, 19, 1) != 0;
             let rd_field = Reg::from_field(field(word, 15, 4));
             let rn_field = Reg::from_field(field(word, 11, 4));
-            let rd = if op.is_compare() { None } else { Some(rd_field) };
+            let rd = if op.is_compare() {
+                None
+            } else {
+                Some(rd_field)
+            };
             let rn = if op.is_move() { None } else { Some(rn_field) };
             let op2 = match major {
                 MAJOR_DP_REG => Operand2::Reg(Reg::from_field(field(word, 7, 4))),
@@ -197,10 +233,20 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
                     amount: ShiftAmount::Reg(Reg::from_field(field(word, 1, 4))),
                 },
             };
-            InsnKind::Dp { op, set_flags, rd, rn, op2 }
+            InsnKind::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            }
         }
         MAJOR_MEM_IMM | MAJOR_MEM_REG => {
-            let dir = if field(word, 23, 1) != 0 { MemDir::Load } else { MemDir::Store };
+            let dir = if field(word, 23, 1) != 0 {
+                MemDir::Load
+            } else {
+                MemDir::Store
+            };
             let size = MemSize::from_bits(field(word, 21, 2));
             let index = match field(word, 19, 2) {
                 0 => IndexMode::Offset,
@@ -222,7 +268,16 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
                     sub: !up,
                 }
             };
-            InsnKind::Mem { dir, size, rd, addr: AddrMode { base, offset, index } }
+            InsnKind::Mem {
+                dir,
+                size,
+                rd,
+                addr: AddrMode {
+                    base,
+                    offset,
+                    index,
+                },
+            }
         }
         MAJOR_MUL => {
             let mla = field(word, 23, 1) != 0;
@@ -232,14 +287,21 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
                 rd: Reg::from_field(field(word, 18, 4)),
                 rm: Reg::from_field(field(word, 14, 4)),
                 rs: Reg::from_field(field(word, 10, 4)),
-                ra: if mla { Some(Reg::from_field(field(word, 6, 4))) } else { None },
+                ra: if mla {
+                    Some(Reg::from_field(field(word, 6, 4)))
+                } else {
+                    None
+                },
             }
         }
         MAJOR_BRANCH => {
             let raw = field(word, 0, 23);
             // Sign-extend the 23-bit field.
             let offset = ((raw << 9) as i32) >> 9;
-            InsnKind::Branch { link: field(word, 23, 1) != 0, offset }
+            InsnKind::Branch {
+                link: field(word, 23, 1) != 0,
+                offset,
+            }
         }
         MAJOR_MEM_MULTI => {
             let mut regs = RegSet::new();
@@ -249,9 +311,17 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
                 }
             }
             InsnKind::MemMulti {
-                dir: if field(word, 23, 1) != 0 { MemDir::Load } else { MemDir::Store },
+                dir: if field(word, 23, 1) != 0 {
+                    MemDir::Load
+                } else {
+                    MemDir::Store
+                },
                 writeback: field(word, 22, 1) != 0,
-                mode: if field(word, 21, 1) != 0 { MemMultiMode::Db } else { MemMultiMode::Ia },
+                mode: if field(word, 21, 1) != 0 {
+                    MemMultiMode::Db
+                } else {
+                    MemMultiMode::Ia
+                },
                 base: Reg::from_field(field(word, 16, 4)),
                 regs,
             }
@@ -263,9 +333,13 @@ pub fn decode(word: u32) -> Result<Insn, IsaError> {
             rm: Reg::from_field(field(word, 8, 4)),
             rs: Reg::from_field(field(word, 4, 4)),
         },
-        MAJOR_BX => InsnKind::Bx { rm: Reg::from_field(field(word, 0, 4)) },
+        MAJOR_BX => InsnKind::Bx {
+            rm: Reg::from_field(field(word, 0, 4)),
+        },
         MAJOR_NOP => InsnKind::Nop,
-        MAJOR_TRIG => InsnKind::Trig { high: field(word, 0, 1) != 0 },
+        MAJOR_TRIG => InsnKind::Trig {
+            high: field(word, 0, 1) != 0,
+        },
         MAJOR_HALT => InsnKind::Halt,
         _ => return Err(IsaError::DecodeWord(word)),
     };
@@ -321,19 +395,36 @@ mod tests {
     #[test]
     fn round_trip_mem_forms() {
         round_trip(Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)));
-        round_trip(Insn::ldrb(Reg::R2, AddrMode::imm_offset(Reg::R3, 17).unwrap()));
-        round_trip(Insn::ldrh(Reg::R2, AddrMode::imm_offset(Reg::R3, -1023).unwrap()));
+        round_trip(Insn::ldrb(
+            Reg::R2,
+            AddrMode::imm_offset(Reg::R3, 17).unwrap(),
+        ));
+        round_trip(Insn::ldrh(
+            Reg::R2,
+            AddrMode::imm_offset(Reg::R3, -1023).unwrap(),
+        ));
         round_trip(Insn::str(Reg::R4, AddrMode::reg_offset(Reg::R5, Reg::R6)));
-        round_trip(Insn::strb(Reg::R4, AddrMode {
-            base: Reg::R5,
-            offset: MemOffset::Reg { rm: Reg::R6, kind: ShiftKind::Lsl, amount: 2, sub: true },
-            index: IndexMode::PreWriteback,
-        }));
-        round_trip(Insn::strh(Reg::R4, AddrMode {
-            base: Reg::R5,
-            offset: MemOffset::Imm(4),
-            index: IndexMode::PostIndex,
-        }));
+        round_trip(Insn::strb(
+            Reg::R4,
+            AddrMode {
+                base: Reg::R5,
+                offset: MemOffset::Reg {
+                    rm: Reg::R6,
+                    kind: ShiftKind::Lsl,
+                    amount: 2,
+                    sub: true,
+                },
+                index: IndexMode::PreWriteback,
+            },
+        ));
+        round_trip(Insn::strh(
+            Reg::R4,
+            AddrMode {
+                base: Reg::R5,
+                offset: MemOffset::Imm(4),
+                index: IndexMode::PostIndex,
+            },
+        ));
     }
 
     #[test]
@@ -399,6 +490,12 @@ mod tests {
     fn branch_sign_extension() {
         let word = encode(&Insn::b(-1)).unwrap();
         let insn = decode(word).unwrap();
-        assert!(matches!(insn.kind, InsnKind::Branch { link: false, offset: -1 }));
+        assert!(matches!(
+            insn.kind,
+            InsnKind::Branch {
+                link: false,
+                offset: -1
+            }
+        ));
     }
 }

@@ -38,7 +38,10 @@ pub enum IsaError {
 impl IsaError {
     /// Shorthand for an assembler error at `line`.
     pub(crate) fn asm(line: usize, message: impl Into<String>) -> IsaError {
-        IsaError::Asm { line, message: message.into() }
+        IsaError::Asm {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl fmt::Display for IsaError {
             IsaError::ParseCond(s) => write!(f, "`{s}` is not a condition code"),
             IsaError::ParseShift(s) => write!(f, "`{s}` is not a shift operation"),
             IsaError::ImmediateRange(v) => {
-                write!(f, "immediate 0x{v:x} is not encodable as a rotated 8-bit constant")
+                write!(
+                    f,
+                    "immediate 0x{v:x} is not encodable as a rotated 8-bit constant"
+                )
             }
             IsaError::OffsetRange(v) => write!(f, "memory offset {v} outside -1023..=1023"),
             IsaError::ShiftRange(v) => write!(f, "shift amount {v} outside encoding range"),

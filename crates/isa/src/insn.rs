@@ -107,7 +107,14 @@ impl DpOp {
     pub fn is_logical(self) -> bool {
         matches!(
             self,
-            DpOp::And | DpOp::Eor | DpOp::Tst | DpOp::Teq | DpOp::Orr | DpOp::Mov | DpOp::Mvn | DpOp::Bic
+            DpOp::And
+                | DpOp::Eor
+                | DpOp::Tst
+                | DpOp::Teq
+                | DpOp::Orr
+                | DpOp::Mov
+                | DpOp::Mvn
+                | DpOp::Bic
         )
     }
 
@@ -326,7 +333,10 @@ pub struct Insn {
 impl Insn {
     /// Wraps an [`InsnKind`] with the always condition.
     pub fn new(kind: InsnKind) -> Insn {
-        Insn { cond: Cond::Al, kind }
+        Insn {
+            cond: Cond::Al,
+            kind,
+        }
     }
 
     /// Replaces the condition.
@@ -414,7 +424,11 @@ impl Insn {
             set_flags: false,
             rd: Some(rd),
             rn: None,
-            op2: Operand2::ShiftedReg { rm, kind, amount: ShiftAmount::Imm(amount) },
+            op2: Operand2::ShiftedReg {
+                rm,
+                kind,
+                amount: ShiftAmount::Imm(amount),
+            },
         })
     }
 
@@ -444,32 +458,62 @@ impl Insn {
 
     /// `ldr rd, addr` (word).
     pub fn ldr(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Word, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Load,
+            size: MemSize::Word,
+            rd,
+            addr,
+        })
     }
 
     /// `ldrb rd, addr`.
     pub fn ldrb(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Byte, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Load,
+            size: MemSize::Byte,
+            rd,
+            addr,
+        })
     }
 
     /// `ldrh rd, addr`.
     pub fn ldrh(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Load, size: MemSize::Half, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Load,
+            size: MemSize::Half,
+            rd,
+            addr,
+        })
     }
 
     /// `str rd, addr` (word).
     pub fn str(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Word, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Store,
+            size: MemSize::Word,
+            rd,
+            addr,
+        })
     }
 
     /// `strb rd, addr`.
     pub fn strb(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Byte, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Store,
+            size: MemSize::Byte,
+            rd,
+            addr,
+        })
     }
 
     /// `strh rd, addr`.
     pub fn strh(rd: Reg, addr: AddrMode) -> Insn {
-        Insn::new(InsnKind::Mem { dir: MemDir::Store, size: MemSize::Half, rd, addr })
+        Insn::new(InsnKind::Mem {
+            dir: MemDir::Store,
+            size: MemSize::Half,
+            rd,
+            addr,
+        })
     }
 
     /// `ldmia base(!), {regs}`.
@@ -506,17 +550,32 @@ impl Insn {
 
     /// `umull rd_lo, rd_hi, rm, rs`.
     pub fn umull(rd_lo: Reg, rd_hi: Reg, rm: Reg, rs: Reg) -> Insn {
-        Insn::new(InsnKind::MulLong { signed: false, rd_hi, rd_lo, rm, rs })
+        Insn::new(InsnKind::MulLong {
+            signed: false,
+            rd_hi,
+            rd_lo,
+            rm,
+            rs,
+        })
     }
 
     /// `smull rd_lo, rd_hi, rm, rs`.
     pub fn smull(rd_lo: Reg, rd_hi: Reg, rm: Reg, rs: Reg) -> Insn {
-        Insn::new(InsnKind::MulLong { signed: true, rd_hi, rd_lo, rm, rs })
+        Insn::new(InsnKind::MulLong {
+            signed: true,
+            rd_hi,
+            rd_lo,
+            rm,
+            rs,
+        })
     }
 
     /// `b offset` (offset in instructions from the next instruction).
     pub fn b(offset: i32) -> Insn {
-        Insn::new(InsnKind::Branch { link: false, offset })
+        Insn::new(InsnKind::Branch {
+            link: false,
+            offset,
+        })
     }
 
     /// `bl offset`.
@@ -565,7 +624,9 @@ impl Insn {
                     set.insert(*rd);
                 }
             }
-            InsnKind::MemMulti { dir, base, regs, .. } => {
+            InsnKind::MemMulti {
+                dir, base, regs, ..
+            } => {
                 set.insert(*base);
                 if *dir == MemDir::Store {
                     set = set.union(*regs);
@@ -595,7 +656,13 @@ impl Insn {
                     set.insert(addr.base);
                 }
             }
-            InsnKind::MemMulti { dir, base, writeback, regs, .. } => {
+            InsnKind::MemMulti {
+                dir,
+                base,
+                writeback,
+                regs,
+                ..
+            } => {
                 if *dir == MemDir::Load {
                     set = set.union(*regs);
                 }
@@ -697,8 +764,18 @@ impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let cond = self.cond.suffix();
         match &self.kind {
-            InsnKind::Dp { op, set_flags, rd, rn, op2 } => {
-                let s = if *set_flags && !op.is_compare() { "s" } else { "" };
+            InsnKind::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
+                let s = if *set_flags && !op.is_compare() {
+                    "s"
+                } else {
+                    ""
+                };
                 write!(f, "{op}{cond}{s} ")?;
                 let mut first = true;
                 if let Some(rd) = rd {
@@ -717,7 +794,14 @@ impl fmt::Display for Insn {
                 }
                 write!(f, "{op2}")
             }
-            InsnKind::Mul { op, set_flags, rd, rm, rs, ra } => {
+            InsnKind::Mul {
+                op,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ra,
+            } => {
                 let s = if *set_flags { "s" } else { "" };
                 write!(f, "{}{cond}{s} {rd}, {rm}, {rs}", op.mnemonic())?;
                 if let Some(ra) = ra {
@@ -725,7 +809,12 @@ impl fmt::Display for Insn {
                 }
                 Ok(())
             }
-            InsnKind::Mem { dir, size, rd, addr } => {
+            InsnKind::Mem {
+                dir,
+                size,
+                rd,
+                addr,
+            } => {
                 let mnem = match dir {
                     MemDir::Load => "ldr",
                     MemDir::Store => "str",
@@ -733,7 +822,13 @@ impl fmt::Display for Insn {
                 // UAL order: size suffix before the condition (`strbeq`).
                 write!(f, "{mnem}{}{cond} {rd}, {addr}", size.suffix())
             }
-            InsnKind::MemMulti { dir, base, writeback, regs, mode } => {
+            InsnKind::MemMulti {
+                dir,
+                base,
+                writeback,
+                regs,
+                mode,
+            } => {
                 let reg_list = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
                     write!(f, "{{")?;
                     for (i, reg) in regs.iter().enumerate() {
@@ -764,10 +859,20 @@ impl fmt::Display for Insn {
                     (MemDir::Store, MemMultiMode::Ia) => "stmia",
                     (MemDir::Store, MemMultiMode::Db) => "stmdb",
                 };
-                write!(f, "{mnem}{cond} {base}{} ", if *writeback { "!," } else { "," })?;
+                write!(
+                    f,
+                    "{mnem}{cond} {base}{} ",
+                    if *writeback { "!," } else { "," }
+                )?;
                 reg_list(f)
             }
-            InsnKind::MulLong { signed, rd_hi, rd_lo, rm, rs } => {
+            InsnKind::MulLong {
+                signed,
+                rd_hi,
+                rd_lo,
+                rm,
+                rs,
+            } => {
                 let mnem = if *signed { "smull" } else { "umull" };
                 write!(f, "{mnem}{cond} {rd_lo}, {rd_hi}, {rm}, {rs}")
             }
@@ -879,7 +984,10 @@ mod tests {
         );
         assert_eq!(shifted_add.class(), InsnClass::Shift);
         assert_eq!(Insn::b(-3).class(), InsnClass::Branch);
-        assert_eq!(Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)).class(), InsnClass::LdSt);
+        assert_eq!(
+            Insn::ldr(Reg::R0, AddrMode::base(Reg::R1)).class(),
+            InsnClass::LdSt
+        );
         assert_eq!(Insn::nop().class(), InsnClass::Nop);
     }
 
@@ -945,7 +1053,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Insn::mov(Reg::R0, 5u32).to_string(), "mov r0, #5");
-        assert_eq!(Insn::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(
+            Insn::add(Reg::R1, Reg::R2, Reg::R3).to_string(),
+            "add r1, r2, r3"
+        );
         assert_eq!(Insn::cmp(Reg::R1, 0u32).to_string(), "cmp r1, #0");
         assert_eq!(
             Insn::shift_imm(ShiftKind::Lsl, Reg::R0, Reg::R1, 3).to_string(),

@@ -131,7 +131,10 @@ impl RotatedImm {
         for rot in 0..8u8 {
             let unrotated = value.rotate_left(u32::from(rot) * 4);
             if unrotated <= 0xff {
-                return Some(RotatedImm { imm8: unrotated as u8, rot });
+                return Some(RotatedImm {
+                    imm8: unrotated as u8,
+                    rot,
+                });
             }
         }
         None
@@ -148,7 +151,10 @@ impl RotatedImm {
     }
 
     pub(crate) fn from_fields(imm8: u32, rot: u32) -> RotatedImm {
-        RotatedImm { imm8: (imm8 & 0xff) as u8, rot: (rot & 0x7) as u8 }
+        RotatedImm {
+            imm8: (imm8 & 0xff) as u8,
+            rot: (rot & 0x7) as u8,
+        }
     }
 }
 
@@ -185,7 +191,12 @@ pub enum MemOffset {
 impl MemOffset {
     /// A plain register offset with no shift.
     pub fn reg(rm: Reg) -> MemOffset {
-        MemOffset::Reg { rm, kind: ShiftKind::Lsl, amount: 0, sub: false }
+        MemOffset::Reg {
+            rm,
+            kind: ShiftKind::Lsl,
+            amount: 0,
+            sub: false,
+        }
     }
 
     /// Whether this is a zero immediate offset.
@@ -215,7 +226,11 @@ pub struct AddrMode {
 impl AddrMode {
     /// `[rn]` — base register only.
     pub fn base(base: Reg) -> AddrMode {
-        AddrMode { base, offset: MemOffset::Imm(0), index: IndexMode::Offset }
+        AddrMode {
+            base,
+            offset: MemOffset::Imm(0),
+            index: IndexMode::Offset,
+        }
     }
 
     /// `[rn, #imm]` — immediate offset.
@@ -227,12 +242,20 @@ impl AddrMode {
         if !(-1023..=1023).contains(&imm) {
             return Err(IsaError::OffsetRange(imm));
         }
-        Ok(AddrMode { base, offset: MemOffset::Imm(imm), index: IndexMode::Offset })
+        Ok(AddrMode {
+            base,
+            offset: MemOffset::Imm(imm),
+            index: IndexMode::Offset,
+        })
     }
 
     /// `[rn, rm]` — register offset.
     pub fn reg_offset(base: Reg, rm: Reg) -> AddrMode {
-        AddrMode { base, offset: MemOffset::reg(rm), index: IndexMode::Offset }
+        AddrMode {
+            base,
+            offset: MemOffset::reg(rm),
+            index: IndexMode::Offset,
+        }
     }
 
     /// Registers read when computing the address (base plus any offset
@@ -256,7 +279,12 @@ impl fmt::Display for AddrMode {
         let offset = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
             match self.offset {
                 MemOffset::Imm(v) => write!(f, ", #{v}"),
-                MemOffset::Reg { rm, kind, amount, sub } => {
+                MemOffset::Reg {
+                    rm,
+                    kind,
+                    amount,
+                    sub,
+                } => {
                     let sign = if sub { "-" } else { "" };
                     if amount == 0 && kind == ShiftKind::Lsl {
                         write!(f, ", {sign}{rm}")
@@ -294,7 +322,18 @@ mod tests {
     #[test]
     fn rotated_imm_round_trip_common_constants() {
         for value in [
-            0u32, 1, 2, 0xff, 0x100, 0xff00, 0xff_0000, 0xff00_0000, 0xf000_000f, 0x240, 200, 63,
+            0u32,
+            1,
+            2,
+            0xff,
+            0x100,
+            0xff00,
+            0xff_0000,
+            0xff00_0000,
+            0xf000_000f,
+            0x240,
+            200,
+            63,
         ] {
             let imm = RotatedImm::encode(value)
                 .unwrap_or_else(|| panic!("0x{value:08x} should be encodable"));
@@ -338,9 +377,18 @@ mod tests {
     #[test]
     fn addr_mode_display() {
         assert_eq!(AddrMode::base(Reg::R1).to_string(), "[r1]");
-        assert_eq!(AddrMode::imm_offset(Reg::R1, 8).unwrap().to_string(), "[r1, #8]");
-        assert_eq!(AddrMode::imm_offset(Reg::R1, -8).unwrap().to_string(), "[r1, #-8]");
-        assert_eq!(AddrMode::reg_offset(Reg::R2, Reg::R3).to_string(), "[r2, r3]");
+        assert_eq!(
+            AddrMode::imm_offset(Reg::R1, 8).unwrap().to_string(),
+            "[r1, #8]"
+        );
+        assert_eq!(
+            AddrMode::imm_offset(Reg::R1, -8).unwrap().to_string(),
+            "[r1, #-8]"
+        );
+        assert_eq!(
+            AddrMode::reg_offset(Reg::R2, Reg::R3).to_string(),
+            "[r2, r3]"
+        );
         let pre = AddrMode {
             base: Reg::R1,
             offset: MemOffset::Imm(4),

@@ -30,7 +30,12 @@ impl Program {
     /// Creates a program from raw words at a base address; the entry point
     /// defaults to `base`.
     pub fn from_words(base: u32, words: Vec<u32>) -> Program {
-        Program { base, words, entry: base, ..Program::default() }
+        Program {
+            base,
+            words,
+            entry: base,
+            ..Program::default()
+        }
     }
 
     /// Creates a program from a sequence of instructions at `base`.
@@ -39,7 +44,10 @@ impl Program {
     ///
     /// Propagates encoding failures (e.g. un-encodable immediates).
     pub fn from_insns(base: u32, insns: &[Insn]) -> Result<Program, IsaError> {
-        let words = insns.iter().map(crate::encode).collect::<Result<Vec<u32>, _>>()?;
+        let words = insns
+            .iter()
+            .map(crate::encode)
+            .collect::<Result<Vec<u32>, _>>()?;
         Ok(Program::from_words(base, words))
     }
 
@@ -122,7 +130,6 @@ impl Program {
     pub(crate) fn push_word(&mut self, word: u32) {
         self.words.push(word);
     }
-
 }
 
 #[cfg(test)]
@@ -134,7 +141,11 @@ mod tests {
     fn from_insns_and_lookup() {
         let program = Program::from_insns(
             0x100,
-            &[Insn::mov(Reg::R0, 1u32), Insn::add(Reg::R1, Reg::R0, Reg::R0), Insn::halt()],
+            &[
+                Insn::mov(Reg::R0, 1u32),
+                Insn::add(Reg::R1, Reg::R0, Reg::R0),
+                Insn::halt(),
+            ],
         )
         .unwrap();
         assert_eq!(program.base(), 0x100);

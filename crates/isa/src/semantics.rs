@@ -55,7 +55,12 @@ pub fn eval_dp(op: DpOp, rn: u32, op2: u32, shifter_carry: bool, flags_in: Flags
         DpOp::Sbc => add_with_carry(rn, !op2, flags_in.c),
         DpOp::Rsb => add_with_carry(op2, !rn, true),
     };
-    let flags = Flags { n: value >> 31 != 0, z: value == 0, c: carry, v: overflow };
+    let flags = Flags {
+        n: value >> 31 != 0,
+        z: value == 0,
+        c: carry,
+        v: overflow,
+    };
     DpOutcome { value, flags }
 }
 
@@ -70,7 +75,12 @@ pub fn eval_mul(rm: u32, rs: u32, ra: Option<u32>) -> u32 {
 mod tests {
     use super::*;
 
-    const F0: Flags = Flags { n: false, z: false, c: false, v: false };
+    const F0: Flags = Flags {
+        n: false,
+        z: false,
+        c: false,
+        v: false,
+    };
 
     #[test]
     fn add_sets_carry_and_overflow() {
@@ -127,7 +137,10 @@ mod tests {
     #[test]
     fn moves() {
         assert_eq!(eval_dp(DpOp::Mov, 0xdead, 0x1234, false, F0).value, 0x1234);
-        assert_eq!(eval_dp(DpOp::Mvn, 0, 0x0000_ffff, false, F0).value, 0xffff_0000);
+        assert_eq!(
+            eval_dp(DpOp::Mvn, 0, 0x0000_ffff, false, F0).value,
+            0xffff_0000
+        );
     }
 
     #[test]

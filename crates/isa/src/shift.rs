@@ -35,7 +35,12 @@ pub enum ShiftKind {
 
 impl ShiftKind {
     /// All shift kinds in encoding order.
-    pub const ALL: [ShiftKind; 4] = [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr, ShiftKind::Ror];
+    pub const ALL: [ShiftKind; 4] = [
+        ShiftKind::Lsl,
+        ShiftKind::Lsr,
+        ShiftKind::Asr,
+        ShiftKind::Ror,
+    ];
 
     /// Encoding field value.
     #[inline]
@@ -105,7 +110,10 @@ pub struct ShiftOut {
 pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> ShiftOut {
     let amount = amount & 0xff;
     if amount == 0 {
-        return ShiftOut { value, carry: carry_in };
+        return ShiftOut {
+            value,
+            carry: carry_in,
+        };
     }
     match kind {
         ShiftKind::Lsl => {
@@ -115,9 +123,15 @@ pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> 
                     carry: (value >> (32 - amount)) & 1 != 0,
                 }
             } else if amount == 32 {
-                ShiftOut { value: 0, carry: value & 1 != 0 }
+                ShiftOut {
+                    value: 0,
+                    carry: value & 1 != 0,
+                }
             } else {
-                ShiftOut { value: 0, carry: false }
+                ShiftOut {
+                    value: 0,
+                    carry: false,
+                }
             }
         }
         ShiftKind::Lsr => {
@@ -127,9 +141,15 @@ pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> 
                     carry: (value >> (amount - 1)) & 1 != 0,
                 }
             } else if amount == 32 {
-                ShiftOut { value: 0, carry: value >> 31 != 0 }
+                ShiftOut {
+                    value: 0,
+                    carry: value >> 31 != 0,
+                }
             } else {
-                ShiftOut { value: 0, carry: false }
+                ShiftOut {
+                    value: 0,
+                    carry: false,
+                }
             }
         }
         ShiftKind::Asr => {
@@ -140,7 +160,10 @@ pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> 
                 }
             } else {
                 let fill = if value >> 31 != 0 { u32::MAX } else { 0 };
-                ShiftOut { value: fill, carry: value >> 31 != 0 }
+                ShiftOut {
+                    value: fill,
+                    carry: value >> 31 != 0,
+                }
             }
         }
         ShiftKind::Ror => {
@@ -152,7 +175,10 @@ pub fn apply_shift(kind: ShiftKind, value: u32, amount: u32, carry_in: bool) -> 
             } else {
                 (value >> (rot - 1)) & 1 != 0
             };
-            ShiftOut { value: value_out, carry }
+            ShiftOut {
+                value: value_out,
+                carry,
+            }
         }
     }
 }

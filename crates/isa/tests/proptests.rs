@@ -34,7 +34,11 @@ fn arb_operand2() -> impl Strategy<Value = Operand2> {
             amount: ShiftAmount::Imm(n),
         }),
         (arb_reg(), arb_shift_kind(), arb_reg()).prop_map(|(rm, kind, rs)| {
-            Operand2::ShiftedReg { rm, kind, amount: ShiftAmount::Reg(rs) }
+            Operand2::ShiftedReg {
+                rm,
+                kind,
+                amount: ShiftAmount::Reg(rs),
+            }
         }),
     ]
 }
@@ -47,7 +51,12 @@ fn arb_addr_mode() -> impl Strategy<Value = AddrMode> {
     let offset = prop_oneof![
         (-1023i32..=1023).prop_map(MemOffset::Imm),
         (arb_reg(), arb_shift_kind(), 0u8..16, any::<bool>()).prop_map(
-            |(rm, kind, amount, sub)| MemOffset::Reg { rm, kind, amount, sub }
+            |(rm, kind, amount, sub)| MemOffset::Reg {
+                rm,
+                kind,
+                amount,
+                sub
+            }
         ),
     ];
     let index = prop_oneof![
@@ -55,12 +64,22 @@ fn arb_addr_mode() -> impl Strategy<Value = AddrMode> {
         Just(IndexMode::PreWriteback),
         Just(IndexMode::PostIndex),
     ];
-    (arb_reg(), offset, index).prop_map(|(base, offset, index)| AddrMode { base, offset, index })
+    (arb_reg(), offset, index).prop_map(|(base, offset, index)| AddrMode {
+        base,
+        offset,
+        index,
+    })
 }
 
 fn arb_insn() -> impl Strategy<Value = Insn> {
-    let dp = (arb_dp_op(), any::<bool>(), arb_reg(), arb_reg(), arb_operand2()).prop_map(
-        |(op, set_flags, rd, rn, op2)| {
+    let dp = (
+        arb_dp_op(),
+        any::<bool>(),
+        arb_reg(),
+        arb_reg(),
+        arb_operand2(),
+    )
+        .prop_map(|(op, set_flags, rd, rn, op2)| {
             Insn::new(InsnKind::Dp {
                 op,
                 set_flags: set_flags || op.is_compare(),
@@ -68,20 +87,29 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
                 rn: if op.is_move() { None } else { Some(rn) },
                 op2,
             })
-        },
-    );
-    let mul = (any::<bool>(), any::<bool>(), arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(
-        |(mla, set_flags, rd, rm, rs, ra)| {
+        });
+    let mul = (
+        any::<bool>(),
+        any::<bool>(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+    )
+        .prop_map(|(mla, set_flags, rd, rm, rs, ra)| {
             Insn::new(InsnKind::Mul {
-                op: if mla { sca_isa::MulOp::Mla } else { sca_isa::MulOp::Mul },
+                op: if mla {
+                    sca_isa::MulOp::Mla
+                } else {
+                    sca_isa::MulOp::Mul
+                },
                 set_flags,
                 rd,
                 rm,
                 rs,
                 ra: mla.then_some(ra),
             })
-        },
-    );
+        });
     let mem = (
         any::<bool>(),
         prop::sample::select(vec![MemSize::Word, MemSize::Byte, MemSize::Half]),
@@ -98,8 +126,14 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         });
     let branch = (any::<bool>(), -(1i32 << 22)..(1i32 << 22))
         .prop_map(|(link, offset)| Insn::new(InsnKind::Branch { link, offset }));
-    let multi = (any::<bool>(), any::<bool>(), any::<bool>(), arb_reg(), 1u16..=0xffff).prop_map(
-        |(load, writeback, db, base, bits)| {
+    let multi = (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        arb_reg(),
+        1u16..=0xffff,
+    )
+        .prop_map(|(load, writeback, db, base, bits)| {
             let regs: RegSet = (0..16u8)
                 .filter(|i| bits & (1 << i) != 0)
                 .map(|i| Reg::from_index(i).expect("index < 16"))
@@ -109,10 +143,13 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
                 base,
                 writeback,
                 regs,
-                mode: if db { MemMultiMode::Db } else { MemMultiMode::Ia },
+                mode: if db {
+                    MemMultiMode::Db
+                } else {
+                    MemMultiMode::Ia
+                },
             })
-        },
-    );
+        });
     let mul_long = (any::<bool>(), arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(
         |(signed, rd_lo, rd_hi, rm, rs)| {
             if signed {

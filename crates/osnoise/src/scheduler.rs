@@ -29,7 +29,12 @@ pub struct PreemptionModel {
 impl PreemptionModel {
     /// No preemption (bare metal / pinned high-priority victim).
     pub fn none() -> PreemptionModel {
-        PreemptionModel { probability: 0.0, min_slice: 0, max_slice: 0, foreign_power: 0.0 }
+        PreemptionModel {
+            probability: 0.0,
+            min_slice: 0,
+            max_slice: 0,
+            foreign_power: 0.0,
+        }
     }
 
     /// A loaded interactive system: occasional preemption with slices

@@ -85,14 +85,18 @@ impl WorkloadProfile {
             // An invalid embedded workload is a packaging bug; surface it
             // as a bad-instruction style error with the line number lost.
             let _ = e;
-            UarchError::BadInstruction { addr: 0, word: None }
+            UarchError::BadInstruction {
+                addr: 0,
+                word: None,
+            }
         })?;
         let mut cpu = Cpu::new(config);
         cpu.load(&program)?;
         // Seed the request buffer with non-trivial data so loads/stores
         // actually switch bits.
         for i in 0..128u32 {
-            cpu.mem_mut().write_u8(0x2000 + i, (i.wrapping_mul(37) ^ 0x5c) as u8)?;
+            cpu.mem_mut()
+                .write_u8(0x2000 + i, (i.wrapping_mul(37) ^ 0x5c) as u8)?;
         }
         let mut recorder = PowerRecorder::new(LeakageWeights::cortex_a7());
         cpu.run(&mut recorder)?;
@@ -166,7 +170,11 @@ mod tests {
     fn apache_profile_has_activity() {
         let profile = WorkloadProfile::apache_like(&SamplingConfig::per_cycle()).unwrap();
         assert!(profile.len() > 1000, "profile length {}", profile.len());
-        assert!(profile.mean_power() > 1.0, "mean power {}", profile.mean_power());
+        assert!(
+            profile.mean_power() > 1.0,
+            "mean power {}",
+            profile.mean_power()
+        );
     }
 
     #[test]
@@ -184,7 +192,10 @@ mod tests {
 
     #[test]
     fn windows_wrap_and_accumulate() {
-        let profile = WorkloadProfile { samples: vec![1.0, 2.0, 3.0], gain: 2.0 };
+        let profile = WorkloadProfile {
+            samples: vec![1.0, 2.0, 3.0],
+            gain: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = vec![0.0; 7];
         profile.add_window(&mut rng, &mut out);
@@ -204,7 +215,10 @@ mod tests {
 
     #[test]
     fn empty_profile_is_harmless() {
-        let profile = WorkloadProfile { samples: vec![], gain: 1.0 };
+        let profile = WorkloadProfile {
+            samples: vec![],
+            gain: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = vec![1.0; 3];
         profile.add_window(&mut rng, &mut out);

@@ -46,7 +46,10 @@ pub fn read_traces<R: Read>(mut reader: R) -> io::Result<TraceSet> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace-set file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a trace-set file",
+        ));
     }
     let mut u32_buf = [0u8; 4];
     reader.read_exact(&mut u32_buf)?;

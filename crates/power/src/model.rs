@@ -46,7 +46,10 @@ pub struct LeakageWeights {
 impl LeakageWeights {
     /// All-zero weights (useful as a builder base).
     pub fn zero() -> LeakageWeights {
-        LeakageWeights { hd: [0.0; NodeKind::COUNT], hw: [0.0; NodeKind::COUNT] }
+        LeakageWeights {
+            hd: [0.0; NodeKind::COUNT],
+            hw: [0.0; NodeKind::COUNT],
+        }
     }
 
     /// The weights matching the paper's Cortex-A7 characterization.
@@ -114,17 +117,35 @@ mod tests {
     #[test]
     fn register_file_does_not_leak_by_default() {
         let weights = LeakageWeights::cortex_a7();
-        let event = NodeEvent { cycle: 0, node: Node::RfRead(0), before: 0, after: 0xffff_ffff };
+        let event = NodeEvent {
+            cycle: 0,
+            node: Node::RfRead(0),
+            before: 0,
+            after: 0xffff_ffff,
+        };
         assert_eq!(weights.power_of(&event), 0.0);
     }
 
     #[test]
     fn hamming_distance_scales_power() {
         let weights = LeakageWeights::cortex_a7();
-        let small = NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 0b1 };
-        let large = NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 0xff };
+        let small = NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0,
+            after: 0b1,
+        };
+        let large = NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0,
+            after: 0xff,
+        };
         assert!(weights.power_of(&large) > weights.power_of(&small));
-        assert_eq!(weights.power_of(&large), 8.0 * weights.hd(sca_uarch::NodeKind::Mdr));
+        assert_eq!(
+            weights.power_of(&large),
+            8.0 * weights.hd(sca_uarch::NodeKind::Mdr)
+        );
     }
 
     #[test]
@@ -140,7 +161,12 @@ mod tests {
         let mut weights = LeakageWeights::zero();
         weights.set_hd(NodeKind::Mdr, 1.0);
         weights.set_hw(NodeKind::Mdr, 0.5);
-        let event = NodeEvent { cycle: 0, node: Node::Mdr, before: 0b11, after: 0b01 };
+        let event = NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0b11,
+            after: 0b01,
+        };
         // HD = 1, HW = 1 → 1.0*1 + 0.5*1
         assert!((weights.power_of(&event) - 1.5).abs() < 1e-12);
     }

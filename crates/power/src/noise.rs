@@ -30,12 +30,18 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// A bare-metal-quality acquisition: moderate noise.
     pub fn bare_metal() -> GaussianNoise {
-        GaussianNoise { sd: 12.0, baseline: 40.0 }
+        GaussianNoise {
+            sd: 12.0,
+            baseline: 40.0,
+        }
     }
 
     /// An ideal noiseless probe (unit tests and audits).
     pub fn none() -> GaussianNoise {
-        GaussianNoise { sd: 0.0, baseline: 0.0 }
+        GaussianNoise {
+            sd: 0.0,
+            baseline: 0.0,
+        }
     }
 
     /// Samples one Gaussian value via Box–Muller (keeps us independent of
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn zero_noise_only_shifts_baseline() {
-        let mut noise = GaussianNoise { sd: 0.0, baseline: 5.0 };
+        let mut noise = GaussianNoise {
+            sd: 0.0,
+            baseline: 5.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut samples = vec![1.0, 2.0];
         noise.add_to(&mut rng, &mut samples);
@@ -81,7 +90,10 @@ mod tests {
 
     #[test]
     fn gaussian_statistics_are_plausible() {
-        let mut noise = GaussianNoise { sd: 3.0, baseline: 0.0 };
+        let mut noise = GaussianNoise {
+            sd: 3.0,
+            baseline: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(42);
         let mut samples = vec![0.0; 20_000];
         noise.add_to(&mut rng, &mut samples);
@@ -95,7 +107,10 @@ mod tests {
     #[test]
     fn determinism_with_same_seed() {
         let run = || {
-            let mut noise = GaussianNoise { sd: 1.0, baseline: 0.0 };
+            let mut noise = GaussianNoise {
+                sd: 1.0,
+                baseline: 0.0,
+            };
             let mut rng = StdRng::seed_from_u64(7);
             let mut samples = vec![0.0; 8];
             noise.add_to(&mut rng, &mut samples);

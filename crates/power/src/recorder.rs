@@ -21,7 +21,11 @@ pub struct PowerRecorder {
 impl PowerRecorder {
     /// Creates a recorder with the given leakage weights.
     pub fn new(weights: LeakageWeights) -> PowerRecorder {
-        PowerRecorder { weights, power: Vec::new(), triggers: Vec::new() }
+        PowerRecorder {
+            weights,
+            power: Vec::new(),
+            triggers: Vec::new(),
+        }
     }
 
     /// The raw per-cycle power series for the whole execution.
@@ -39,7 +43,12 @@ impl PowerRecorder {
     /// Returns the whole series when no trigger fired (bench code without
     /// `trig` instructions).
     pub fn windowed_power(&self) -> &[f64] {
-        let Some(start) = self.triggers.iter().find(|(_, h)| *h).map(|(c, _)| *c as usize) else {
+        let Some(start) = self
+            .triggers
+            .iter()
+            .find(|(_, h)| *h)
+            .map(|(c, _)| *c as usize)
+        else {
             return &self.power;
         };
         let end = self
@@ -112,7 +121,12 @@ impl ComponentPowerRecorder {
     /// window (whole series when no trigger fired).
     pub fn windowed_power(&self, kind: sca_uarch::NodeKind) -> Vec<f64> {
         let series = &self.power[kind.index()];
-        let Some(start) = self.triggers.iter().find(|(_, h)| *h).map(|(c, _)| *c as usize) else {
+        let Some(start) = self
+            .triggers
+            .iter()
+            .find(|(_, h)| *h)
+            .map(|(c, _)| *c as usize)
+        else {
             return series.clone();
         };
         let end = self
@@ -156,12 +170,18 @@ mod tests {
     use sca_uarch::Node;
 
     fn ev(cycle: u64, before: u32, after: u32) -> NodeEvent {
-        NodeEvent { cycle, node: Node::Mdr, before, after }
+        NodeEvent {
+            cycle,
+            node: Node::Mdr,
+            before,
+            after,
+        }
     }
 
     #[test]
     fn accumulates_power_per_cycle() {
-        let mut rec = PowerRecorder::new(LeakageWeights::zero().with_hd(sca_uarch::NodeKind::Mdr, 1.0));
+        let mut rec =
+            PowerRecorder::new(LeakageWeights::zero().with_hd(sca_uarch::NodeKind::Mdr, 1.0));
         rec.begin_cycle(0);
         rec.node_event(ev(0, 0, 0b111));
         rec.node_event(ev(0, 0, 0b1));
@@ -172,7 +192,8 @@ mod tests {
 
     #[test]
     fn window_extraction() {
-        let mut rec = PowerRecorder::new(LeakageWeights::zero().with_hd(sca_uarch::NodeKind::Mdr, 1.0));
+        let mut rec =
+            PowerRecorder::new(LeakageWeights::zero().with_hd(sca_uarch::NodeKind::Mdr, 1.0));
         for c in 0..10 {
             rec.begin_cycle(c);
             rec.node_event(ev(c, 0, 1));

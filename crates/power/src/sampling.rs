@@ -31,13 +31,18 @@ impl SamplingConfig {
     /// One sample per cycle, identity kernel — keeps sample indices equal
     /// to cycle indices (convenient in unit tests and audits).
     pub fn per_cycle() -> SamplingConfig {
-        SamplingConfig { samples_per_cycle: 1.0, kernel: vec![1.0] }
+        SamplingConfig {
+            samples_per_cycle: 1.0,
+            kernel: vec![1.0],
+        }
     }
 
     /// Number of samples produced for a given cycle count.
     pub fn sample_count(&self, cycles: usize) -> usize {
         // The epsilon keeps exact ratios (500/120 × 120) from rounding up.
-        (cycles as f64 * self.samples_per_cycle - 1e-9).ceil().max(0.0) as usize
+        (cycles as f64 * self.samples_per_cycle - 1e-9)
+            .ceil()
+            .max(0.0) as usize
     }
 
     /// Expands per-cycle power into a sample series.
@@ -102,8 +107,10 @@ mod tests {
         let in_energy: f64 = cycles.iter().sum();
         let out_energy: f64 = out.iter().sum();
         // The tail of the last kernel may be truncated; allow 5%.
-        assert!((out_energy - in_energy).abs() / in_energy < 0.05,
-            "in {in_energy} out {out_energy}");
+        assert!(
+            (out_energy - in_energy).abs() / in_energy < 0.05,
+            "in {in_energy} out {out_energy}"
+        );
     }
 
     #[test]

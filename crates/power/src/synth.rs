@@ -151,7 +151,9 @@ impl TraceSynthesizer {
             stage(&mut probe_cpu, &input);
             let mut recorder = PowerRecorder::new(self.weights.clone());
             probe_cpu.run(&mut recorder)?;
-            self.config.sampling.sample_count(recorder.windowed_power().len())
+            self.config
+                .sampling
+                .sample_count(recorder.windowed_power().len())
         };
 
         let threads = self.config.threads.max(1).min(self.config.traces.max(1));
@@ -159,7 +161,8 @@ impl TraceSynthesizer {
             let mut set = TraceSet::new(samples_per_trace);
             let mut worker_cpu = cpu.clone();
             for t in 0..self.config.traces {
-                let (trace, input) = self.one_trace(&mut worker_cpu, entry, t, &generate, &stage, &post)?;
+                let (trace, input) =
+                    self.one_trace(&mut worker_cpu, entry, t, &generate, &stage, &post)?;
                 set.push(trace, input);
             }
             return Ok(set);
@@ -292,7 +295,10 @@ mod tests {
             traces: 6,
             executions_per_trace: 4,
             sampling: SamplingConfig::per_cycle(),
-            noise: GaussianNoise { sd: 1.0, baseline: 0.0 },
+            noise: GaussianNoise {
+                sd: 1.0,
+                baseline: 0.0,
+            },
             seed: 99,
             threads: 1,
         };
@@ -318,7 +324,10 @@ mod tests {
                 traces: 9,
                 executions_per_trace: 2,
                 sampling: SamplingConfig::per_cycle(),
-                noise: GaussianNoise { sd: 0.5, baseline: 1.0 },
+                noise: GaussianNoise {
+                    sd: 0.5,
+                    baseline: 1.0,
+                },
                 seed: 1234,
                 threads,
             };
@@ -352,7 +361,10 @@ mod tests {
                 traces: 40,
                 executions_per_trace: executions,
                 sampling: SamplingConfig::per_cycle(),
-                noise: GaussianNoise { sd: 8.0, baseline: 0.0 },
+                noise: GaussianNoise {
+                    sd: 8.0,
+                    baseline: 0.0,
+                },
                 seed: 7,
                 threads: 1,
             };
@@ -396,7 +408,13 @@ mod tests {
             .acquire(
                 &cpu,
                 entry,
-                |_, t| if t % 2 == 0 { vec![0, 0, 0, 0] } else { vec![0xff; 4] },
+                |_, t| {
+                    if t % 2 == 0 {
+                        vec![0, 0, 0, 0]
+                    } else {
+                        vec![0xff; 4]
+                    }
+                },
                 stage,
             )
             .unwrap();

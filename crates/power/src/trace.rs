@@ -18,7 +18,11 @@ pub struct TraceSet {
 impl TraceSet {
     /// Creates an empty set expecting traces of the given length.
     pub fn new(samples_per_trace: usize) -> TraceSet {
-        TraceSet { samples_per_trace, samples: Vec::new(), inputs: Vec::new() }
+        TraceSet {
+            samples_per_trace,
+            samples: Vec::new(),
+            inputs: Vec::new(),
+        }
     }
 
     /// Number of traces.

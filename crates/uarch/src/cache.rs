@@ -37,9 +37,16 @@ impl Cache {
     /// Builds an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = (0..config.sets())
-            .map(|_| CacheSet { lines: Vec::with_capacity(config.ways as usize) })
+            .map(|_| CacheSet {
+                lines: Vec::with_capacity(config.ways as usize),
+            })
             .collect();
-        Cache { config, sets, hits: 0, misses: 0 }
+        Cache {
+            config,
+            sets,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
@@ -58,12 +65,18 @@ impl Cache {
             let tag = set.lines.remove(pos);
             set.lines.insert(0, tag);
             self.hits += 1;
-            CacheAccess { hit: true, penalty: 0 }
+            CacheAccess {
+                hit: true,
+                penalty: 0,
+            }
         } else {
             set.lines.insert(0, tag);
             set.lines.truncate(ways);
             self.misses += 1;
-            CacheAccess { hit: false, penalty: self.config.miss_penalty }
+            CacheAccess {
+                hit: false,
+                penalty: self.config.miss_penalty,
+            }
         }
     }
 
@@ -112,7 +125,11 @@ pub struct CacheHierarchy {
 
 impl CacheHierarchy {
     /// Builds a hierarchy from optional level configs.
-    pub fn new(l1: Option<CacheConfig>, l2: Option<CacheConfig>, memory_latency: u64) -> CacheHierarchy {
+    pub fn new(
+        l1: Option<CacheConfig>,
+        l2: Option<CacheConfig>,
+        memory_latency: u64,
+    ) -> CacheHierarchy {
         CacheHierarchy {
             l1: l1.map(Cache::new),
             l2: l2.map(Cache::new),
@@ -158,7 +175,12 @@ mod tests {
 
     fn tiny() -> CacheConfig {
         // 4 sets x 2 ways x 16-byte lines = 128 bytes.
-        CacheConfig { capacity: 128, ways: 2, line_size: 16, miss_penalty: 10 }
+        CacheConfig {
+            capacity: 128,
+            ways: 2,
+            line_size: 16,
+            miss_penalty: 10,
+        }
     }
 
     #[test]
@@ -206,7 +228,12 @@ mod tests {
     fn hierarchy_accumulates_penalties() {
         let mut h = CacheHierarchy::new(
             Some(tiny()),
-            Some(CacheConfig { capacity: 256, ways: 2, line_size: 16, miss_penalty: 20 }),
+            Some(CacheConfig {
+                capacity: 256,
+                ways: 2,
+                line_size: 16,
+                miss_penalty: 20,
+            }),
             100,
         );
         // Cold: L1 miss + L2 miss + memory.

@@ -25,12 +25,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 32 KiB, 4-way, 32-byte lines — the Cortex-A7 L1 geometry.
     pub fn l1_cortex_a7() -> CacheConfig {
-        CacheConfig { capacity: 32 * 1024, ways: 4, line_size: 32, miss_penalty: 10 }
+        CacheConfig {
+            capacity: 32 * 1024,
+            ways: 4,
+            line_size: 32,
+            miss_penalty: 10,
+        }
     }
 
     /// 512 KiB, 8-way, 64-byte lines — the Allwinner A20's shared L2.
     pub fn l2_allwinner_a20() -> CacheConfig {
-        CacheConfig { capacity: 512 * 1024, ways: 8, line_size: 64, miss_penalty: 40 }
+        CacheConfig {
+            capacity: 512 * 1024,
+            ways: 8,
+            line_size: 64,
+            miss_penalty: 40,
+        }
     }
 
     /// Number of sets implied by the geometry.

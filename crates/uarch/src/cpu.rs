@@ -20,8 +20,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use sca_isa::{
-    apply_shift, decode, eval_dp, eval_mul, Flags, Insn, InsnClass, InsnKind, MemDir,
-    MemMultiMode, MemOffset, MemSize, Operand2, Program, Reg, ShiftAmount,
+    apply_shift, decode, eval_dp, eval_mul, Flags, Insn, InsnClass, InsnKind, MemDir, MemMultiMode,
+    MemOffset, MemSize, Operand2, Program, Reg, ShiftAmount,
 };
 
 use crate::{
@@ -153,7 +153,10 @@ impl Cpu {
     pub fn load(&mut self, program: &Program) -> Result<(), UarchError> {
         let end = program.base() + program.len_bytes();
         if end > self.mem.size() {
-            return Err(UarchError::ImageTooLarge { end, mem_size: self.mem.size() });
+            return Err(UarchError::ImageTooLarge {
+                end,
+                mem_size: self.mem.size(),
+            });
         }
         for (i, word) in program.words().iter().enumerate() {
             self.mem.write_u32(program.base() + (i as u32) * 4, *word)?;
@@ -300,7 +303,9 @@ impl Cpu {
         let cycle = self.cycle;
         let mut slot = 0u8;
         while slot < self.config.retire_width as u8 {
-            let Some(head) = self.retire_queue.front() else { break };
+            let Some(head) = self.retire_queue.front() else {
+                break;
+            };
             if head.complete_at > cycle {
                 break;
             }
@@ -345,7 +350,10 @@ impl Cpu {
         let older = match head.insn {
             Ok(insn) => insn,
             Err(word) => {
-                return Err(UarchError::BadInstruction { addr: head.addr, word: Some(word) })
+                return Err(UarchError::BadInstruction {
+                    addr: head.addr,
+                    word: Some(word),
+                })
             }
         };
         if let Some(cause) = self.issue_blocker(&older) {
@@ -443,8 +451,7 @@ impl Cpu {
             older.class(),
             InsnClass::Mov | InsnClass::Alu | InsnClass::AluImm | InsnClass::Shift | InsnClass::Mul
         );
-        let younger_needs_alu0 =
-            matches!(younger.class(), InsnClass::Shift | InsnClass::Mul);
+        let younger_needs_alu0 = matches!(younger.class(), InsnClass::Shift | InsnClass::Mul);
         if younger_needs_alu0 || !older_takes_alu0 {
             Pipe::Alu0
         } else {
@@ -493,18 +500,24 @@ impl Cpu {
         let cycle = self.cycle;
         for (slot, value) in slots.iter().enumerate() {
             if let Some(value) = value {
-                let node = Node::IsExOp { pipe, slot: slot as u8 };
+                let node = Node::IsExOp {
+                    pipe,
+                    slot: slot as u8,
+                };
                 self.schedule(cycle + 1, node, *value, false);
             }
         }
     }
 
     fn schedule(&mut self, at: u64, node: Node, value: u32, precharged: bool) {
-        self.pending.entry(at.max(self.cycle + 1)).or_default().push(PendingEvent {
-            node,
-            value,
-            precharged,
-        });
+        self.pending
+            .entry(at.max(self.cycle + 1))
+            .or_default()
+            .push(PendingEvent {
+                node,
+                value,
+                precharged,
+            });
     }
 
     fn ready_cycle(&self, forward_at: u64) -> u64 {
@@ -564,7 +577,14 @@ impl Cpu {
                 }
                 // (The zero "register reads" above also keep the read-port
                 // nodes cycling with data-independent values.)
-                self.push_retire(addr, insn, cycle + self.config.alu_latency, None, None, true);
+                self.push_retire(
+                    addr,
+                    insn,
+                    cycle + self.config.alu_latency,
+                    None,
+                    None,
+                    true,
+                );
                 Ok(false)
             }
             InsnKind::Trig { high } => {
@@ -578,7 +598,13 @@ impl Cpu {
                 self.push_retire(addr, insn, cycle + 1, None, None, false);
                 Ok(false)
             }
-            InsnKind::Dp { op, set_flags, rd, rn, op2 } => {
+            InsnKind::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
                 let rn_val = rn.map(|r| self.operand(r, addr));
                 // Operand-2 evaluation through the immediate path or the
                 // barrel shifter.
@@ -621,7 +647,11 @@ impl Cpu {
                 self.drive_operand_buses(observer, &bus_values, bus_base);
 
                 let pipe = if shifted { Pipe::Alu0 } else { preferred_pipe };
-                let latency = if shifted { self.config.shift_latency } else { self.config.alu_latency };
+                let latency = if shifted {
+                    self.config.shift_latency
+                } else {
+                    self.config.alu_latency
+                };
 
                 if cond_pass {
                     // IS/EX buffers latch only for instructions that
@@ -629,7 +659,12 @@ impl Cpu {
                     let slots = [rn_val.or(Some(op2_val)), rn_val.map(|_| op2_val)];
                     self.latch_is_ex(pipe, &slots);
                     if shifted {
-                        self.schedule(cycle + self.config.shift_latency, Node::ShiftBuf, op2_val, true);
+                        self.schedule(
+                            cycle + self.config.shift_latency,
+                            Node::ShiftBuf,
+                            op2_val,
+                            true,
+                        );
                     }
                     let out = eval_dp(op, rn_val.unwrap_or(0), op2_val, shifter_carry, self.flags);
                     self.schedule(cycle + latency, Node::AluOut(pipe), out.value, true);
@@ -664,7 +699,14 @@ impl Cpu {
                 self.push_retire(addr, insn, cycle + latency, None, None, false);
                 Ok(false)
             }
-            InsnKind::Mul { op: _, set_flags, rd, rm, rs, ra } => {
+            InsnKind::Mul {
+                op: _,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ra,
+            } => {
                 let rm_val = self.operand(rm, addr);
                 let rs_val = self.operand(rs, addr);
                 let ra_val = ra.map(|r| self.operand(r, addr));
@@ -685,20 +727,42 @@ impl Cpu {
                     }
                     self.regs[rd.index()] = value;
                     self.reg_ready[rd.index()] = self.ready_cycle(cycle + latency);
-                    self.push_retire(addr, insn, cycle + latency, Some(value), Some(Pipe::Alu0), false);
+                    self.push_retire(
+                        addr,
+                        insn,
+                        cycle + latency,
+                        Some(value),
+                        Some(Pipe::Alu0),
+                        false,
+                    );
                 } else {
                     self.push_retire(addr, insn, cycle + latency, None, None, false);
                 }
                 Ok(false)
             }
-            InsnKind::Mem { dir, size, rd, addr: mode } => {
+            InsnKind::Mem {
+                dir,
+                size,
+                rd,
+                addr: mode,
+            } => {
                 let base_val = self.operand(mode.base, addr);
                 let (offset_val, offset_bus) = match mode.offset {
                     MemOffset::Imm(imm) => (imm as i64, None),
-                    MemOffset::Reg { rm, kind, amount, sub } => {
+                    MemOffset::Reg {
+                        rm,
+                        kind,
+                        amount,
+                        sub,
+                    } => {
                         let rm_val = self.operand(rm, addr);
-                        let shifted = apply_shift(kind, rm_val, u32::from(amount), self.flags.c).value;
-                        let signed = if sub { -(i64::from(shifted)) } else { i64::from(shifted) };
+                        let shifted =
+                            apply_shift(kind, rm_val, u32::from(amount), self.flags.c).value;
+                        let signed = if sub {
+                            -(i64::from(shifted))
+                        } else {
+                            i64::from(shifted)
+                        };
                         (signed, Some(rm_val))
                     }
                 };
@@ -711,12 +775,23 @@ impl Cpu {
                 // Buses: base, then offset register, then store data.
                 let mut buses = vec![base_val];
                 buses.extend(offset_bus);
-                let data_val = if dir == MemDir::Store { Some(self.operand(rd, addr)) } else { None };
+                let data_val = if dir == MemDir::Store {
+                    Some(self.operand(rd, addr))
+                } else {
+                    None
+                };
                 buses.extend(data_val);
                 self.drive_operand_buses(observer, &buses, bus_base);
 
                 if !cond_pass {
-                    self.push_retire(addr, insn, cycle + self.config.load_latency, None, None, false);
+                    self.push_retire(
+                        addr,
+                        insn,
+                        cycle + self.config.load_latency,
+                        None,
+                        None,
+                        false,
+                    );
                     return Ok(false);
                 }
 
@@ -755,7 +830,14 @@ impl Cpu {
                         }
                         self.regs[rd.index()] = value;
                         self.reg_ready[rd.index()] = self.ready_cycle(complete_at);
-                        self.push_retire(addr, insn, complete_at, Some(value), Some(Pipe::Lsu), false);
+                        self.push_retire(
+                            addr,
+                            insn,
+                            complete_at,
+                            Some(value),
+                            Some(Pipe::Lsu),
+                            false,
+                        );
                     }
                     MemDir::Store => {
                         let value = data_val.expect("stores read their data register");
@@ -780,7 +862,13 @@ impl Cpu {
                 }
                 Ok(false)
             }
-            InsnKind::MemMulti { dir, base, writeback, regs, mode } => {
+            InsnKind::MemMulti {
+                dir,
+                base,
+                writeback,
+                regs,
+                mode,
+            } => {
                 let base_val = self.operand(base, addr);
                 let n = regs.len() as u32;
                 let start = match mode {
@@ -789,7 +877,14 @@ impl Cpu {
                 };
                 self.drive_operand_buses(observer, &[base_val], bus_base);
                 if !cond_pass {
-                    self.push_retire(addr, insn, cycle + self.config.load_latency, None, None, false);
+                    self.push_retire(
+                        addr,
+                        insn,
+                        cycle + self.config.load_latency,
+                        None,
+                        None,
+                        false,
+                    );
                     return Ok(false);
                 }
                 self.latch_is_ex(Pipe::Lsu, &[Some(start), None]);
@@ -820,8 +915,7 @@ impl Cpu {
                         self.stats.dcache_misses += 1;
                     }
                     penalty_total += penalty;
-                    let beat_complete =
-                        cycle + self.config.load_latency + i as u64 + penalty_total;
+                    let beat_complete = cycle + self.config.load_latency + i as u64 + penalty_total;
                     match dir {
                         MemDir::Load => {
                             let value = self.mem.read_u32(beat_addr)?;
@@ -853,7 +947,13 @@ impl Cpu {
                 }
                 Ok(false)
             }
-            InsnKind::MulLong { signed, rd_hi, rd_lo, rm, rs } => {
+            InsnKind::MulLong {
+                signed,
+                rd_hi,
+                rd_lo,
+                rm,
+                rs,
+            } => {
                 let rm_val = self.operand(rm, addr);
                 let rs_val = self.operand(rs, addr);
                 self.drive_operand_buses(observer, &[rm_val, rs_val], bus_base);
@@ -875,7 +975,14 @@ impl Cpu {
                     self.regs[rd_hi.index()] = hi;
                     self.reg_ready[rd_lo.index()] = self.ready_cycle(cycle + latency - 1);
                     self.reg_ready[rd_hi.index()] = self.ready_cycle(cycle + latency);
-                    self.push_retire(addr, insn, cycle + latency, Some(hi), Some(Pipe::Alu0), false);
+                    self.push_retire(
+                        addr,
+                        insn,
+                        cycle + latency,
+                        Some(hi),
+                        Some(Pipe::Alu0),
+                        false,
+                    );
                 } else {
                     self.push_retire(addr, insn, cycle + latency, None, None, false);
                 }
@@ -887,7 +994,9 @@ impl Cpu {
                         self.regs[Reg::LR.index()] = addr.wrapping_add(4);
                         self.reg_ready[Reg::LR.index()] = self.ready_cycle(cycle + 1);
                     }
-                    let target = addr.wrapping_add(4).wrapping_add((offset as u32).wrapping_mul(4));
+                    let target = addr
+                        .wrapping_add(4)
+                        .wrapping_add((offset as u32).wrapping_mul(4));
                     self.redirect(target, cycle + 1);
                     self.push_retire(addr, insn, cycle + 1, None, None, false);
                     return Ok(true);
@@ -1072,7 +1181,11 @@ double:     add r0, r0, r0
         cpu.load(&program).unwrap();
         let stats = cpu.run(&mut NullObserver).unwrap();
         // 400 movs in ~200 cycles; the nops and pipeline fill add a few.
-        assert!(stats.dual_issue_cycles >= 195, "dual issue cycles: {}", stats.dual_issue_cycles);
+        assert!(
+            stats.dual_issue_cycles >= 195,
+            "dual issue cycles: {}",
+            stats.dual_issue_cycles
+        );
         assert!(stats.cpi() < 0.65, "CPI {}", stats.cpi());
     }
 
@@ -1093,7 +1206,11 @@ double:     add r0, r0, r0
         let stats = cpu.run(&mut NullObserver).unwrap();
         assert_eq!(stats.dual_issue_cycles, 0);
         // Forwarding keeps CPI at 1 even though pairs are forbidden.
-        assert!(stats.cpi() > 0.9 && stats.cpi() < 1.2, "CPI {}", stats.cpi());
+        assert!(
+            stats.cpi() > 0.9 && stats.cpi() < 1.2,
+            "CPI {}",
+            stats.cpi()
+        );
     }
 
     #[test]
@@ -1116,13 +1233,13 @@ double:     add r0, r0, r0
         let pair_cpi = |younger_imm: bool| {
             let mut builder = ProgramBuilder::new(0).nops(8);
             for _ in 0..100 {
-                builder = builder.push(Insn::add(Reg::R0, Reg::R1, Reg::R2)).push(
-                    if younger_imm {
+                builder = builder
+                    .push(Insn::add(Reg::R0, Reg::R1, Reg::R2))
+                    .push(if younger_imm {
                         Insn::add(Reg::R3, Reg::R4, 7u32)
                     } else {
                         Insn::add(Reg::R3, Reg::R4, Reg::R5)
-                    },
-                );
+                    });
             }
             let program = builder.push(Insn::halt()).build().unwrap();
             let mut cpu = Cpu::new(UarchConfig::cortex_a7().with_ideal_memory());
@@ -1383,7 +1500,10 @@ callee:     push {lr}
         // Without beat occupancy the second ldm would issue one cycle
         // after the first (window ~3); the busy LSU delays it by the
         // four beats of the first transfer.
-        assert!(window >= 6, "second ldm must wait out the first's beats, got {window}");
+        assert!(
+            window >= 6,
+            "second ldm must wait out the first's beats, got {window}"
+        );
     }
 
     #[test]
@@ -1392,6 +1512,9 @@ callee:     push {lr}
         config.mem_size = 64;
         let program = Program::from_words(0, vec![0u32; 64]);
         let mut cpu = Cpu::new(config);
-        assert!(matches!(cpu.load(&program), Err(UarchError::ImageTooLarge { .. })));
+        assert!(matches!(
+            cpu.load(&program),
+            Err(UarchError::ImageTooLarge { .. })
+        ));
     }
 }

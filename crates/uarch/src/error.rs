@@ -32,7 +32,10 @@ impl fmt::Display for UarchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UarchError::BadAddress(addr) => write!(f, "memory access at 0x{addr:08x} out of range"),
-            UarchError::BadInstruction { addr, word: Some(w) } => {
+            UarchError::BadInstruction {
+                addr,
+                word: Some(w),
+            } => {
                 write!(f, "invalid instruction 0x{w:08x} at 0x{addr:08x}")
             }
             UarchError::BadInstruction { addr, word: None } => {
@@ -42,7 +45,10 @@ impl fmt::Display for UarchError {
                 write!(f, "no halt within {limit} cycles")
             }
             UarchError::ImageTooLarge { end, mem_size } => {
-                write!(f, "program image ends at 0x{end:08x} but RAM is {mem_size} bytes")
+                write!(
+                    f,
+                    "program image ends at 0x{end:08x} but RAM is {mem_size} bytes"
+                )
             }
         }
     }
@@ -56,9 +62,14 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(UarchError::BadAddress(0x100).to_string().contains("0x00000100"));
+        assert!(UarchError::BadAddress(0x100)
+            .to_string()
+            .contains("0x00000100"));
         assert!(UarchError::CycleBudgetExceeded(5).to_string().contains('5'));
-        let e = UarchError::BadInstruction { addr: 4, word: Some(0xffff_ffff) };
+        let e = UarchError::BadInstruction {
+            addr: 4,
+            word: Some(0xffff_ffff),
+        };
         assert!(e.to_string().contains("0xffffffff"));
     }
 

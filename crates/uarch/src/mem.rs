@@ -15,7 +15,9 @@ pub struct Memory {
 impl Memory {
     /// Allocates `size` bytes of zeroed RAM.
     pub fn new(size: u32) -> Memory {
-        Memory { bytes: vec![0; size as usize] }
+        Memory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// RAM size in bytes.

@@ -287,7 +287,12 @@ impl NodeState {
     /// statistics need to know the node was *driven* this cycle.
     pub fn assert(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
         let before = self.values.insert(node, value).unwrap_or(0);
-        NodeEvent { cycle, node, before, after: value }
+        NodeEvent {
+            cycle,
+            node,
+            before,
+            after: value,
+        }
     }
 
     /// Asserts a value on a zero-precharged node: the transition is always
@@ -295,7 +300,12 @@ impl NodeState {
     /// (so the next assertion is again measured from zero).
     pub fn assert_precharged(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
         self.values.insert(node, 0);
-        NodeEvent { cycle, node, before: 0, after: value }
+        NodeEvent {
+            cycle,
+            node,
+            before: 0,
+            after: value,
+        }
     }
 
     /// Resets every node to zero (used between independent benchmark
@@ -328,7 +338,12 @@ mod tests {
 
     #[test]
     fn event_hamming_quantities() {
-        let ev = NodeEvent { cycle: 0, node: Node::Mdr, before: 0b1100, after: 0b1010 };
+        let ev = NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0b1100,
+            after: 0b1010,
+        };
         assert_eq!(ev.hamming_distance(), 2);
         assert_eq!(ev.hamming_weight(), 2);
     }
@@ -359,7 +374,14 @@ mod tests {
     fn node_kinds_cover_table2_columns() {
         assert_eq!(Node::RfRead(0).kind(), NodeKind::RegisterFile);
         assert_eq!(Node::OperandBus(1).kind(), NodeKind::IsExBuffer);
-        assert_eq!(Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }.kind(), NodeKind::IsExBuffer);
+        assert_eq!(
+            Node::IsExOp {
+                pipe: Pipe::Alu0,
+                slot: 0
+            }
+            .kind(),
+            NodeKind::IsExBuffer
+        );
         assert_eq!(Node::ShiftBuf.kind(), NodeKind::ShiftBuffer);
         assert_eq!(Node::AluOut(Pipe::Alu1).kind(), NodeKind::Alu);
         assert_eq!(Node::ExWbBuf(Pipe::Lsu).kind(), NodeKind::ExWbBuffer);
@@ -374,12 +396,38 @@ mod tests {
         let mut state = NodeState::new();
         state.assert(0, Node::WbBus(0), 1);
         state.assert(0, Node::WbBus(1), 2);
-        state.assert(0, Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }, 3);
-        state.assert(0, Node::IsExOp { pipe: Pipe::Alu0, slot: 1 }, 4);
+        state.assert(
+            0,
+            Node::IsExOp {
+                pipe: Pipe::Alu0,
+                slot: 0,
+            },
+            3,
+        );
+        state.assert(
+            0,
+            Node::IsExOp {
+                pipe: Pipe::Alu0,
+                slot: 1,
+            },
+            4,
+        );
         assert_eq!(state.value(Node::WbBus(0)), 1);
         assert_eq!(state.value(Node::WbBus(1)), 2);
-        assert_eq!(state.value(Node::IsExOp { pipe: Pipe::Alu0, slot: 0 }), 3);
-        assert_eq!(state.value(Node::IsExOp { pipe: Pipe::Alu0, slot: 1 }), 4);
+        assert_eq!(
+            state.value(Node::IsExOp {
+                pipe: Pipe::Alu0,
+                slot: 0
+            }),
+            3
+        );
+        assert_eq!(
+            state.value(Node::IsExOp {
+                pipe: Pipe::Alu0,
+                slot: 1
+            }),
+            4
+        );
     }
 
     #[test]

@@ -60,13 +60,22 @@ impl RecordingObserver {
 
     /// Events on a specific node, in order.
     pub fn events_on(&self, node: crate::Node) -> Vec<NodeEvent> {
-        self.events.iter().copied().filter(|e| e.node == node).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.node == node)
+            .collect()
     }
 
     /// Events within the window delimited by the first rising and the
     /// first subsequent falling trigger edge.
     pub fn events_in_trigger_window(&self) -> Vec<NodeEvent> {
-        let Some(start) = self.triggers.iter().find(|(_, high)| *high).map(|(c, _)| *c) else {
+        let Some(start) = self
+            .triggers
+            .iter()
+            .find(|(_, high)| *high)
+            .map(|(c, _)| *c)
+        else {
             return Vec::new();
         };
         let end = self
@@ -75,7 +84,11 @@ impl RecordingObserver {
             .find(|(c, high)| !*high && *c >= start)
             .map(|(c, _)| *c)
             .unwrap_or(u64::MAX);
-        self.events.iter().copied().filter(|e| e.cycle >= start && e.cycle <= end).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.cycle >= start && e.cycle <= end)
+            .collect()
     }
 }
 
@@ -101,9 +114,24 @@ mod tests {
     #[test]
     fn recording_observer_filters_by_node() {
         let mut obs = RecordingObserver::new();
-        obs.node_event(NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 1 });
-        obs.node_event(NodeEvent { cycle: 1, node: Node::AlignBuf, before: 0, after: 2 });
-        obs.node_event(NodeEvent { cycle: 2, node: Node::Mdr, before: 1, after: 3 });
+        obs.node_event(NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0,
+            after: 1,
+        });
+        obs.node_event(NodeEvent {
+            cycle: 1,
+            node: Node::AlignBuf,
+            before: 0,
+            after: 2,
+        });
+        obs.node_event(NodeEvent {
+            cycle: 2,
+            node: Node::Mdr,
+            before: 1,
+            after: 3,
+        });
         assert_eq!(obs.events_on(Node::Mdr).len(), 2);
         assert_eq!(obs.events_on(Node::AlignBuf).len(), 1);
         assert_eq!(obs.events_on(Node::ShiftBuf).len(), 0);
@@ -112,11 +140,26 @@ mod tests {
     #[test]
     fn trigger_window_selects_inner_events() {
         let mut obs = RecordingObserver::new();
-        obs.node_event(NodeEvent { cycle: 0, node: Node::Mdr, before: 0, after: 1 });
+        obs.node_event(NodeEvent {
+            cycle: 0,
+            node: Node::Mdr,
+            before: 0,
+            after: 1,
+        });
         obs.trigger(1, true);
-        obs.node_event(NodeEvent { cycle: 2, node: Node::Mdr, before: 1, after: 2 });
+        obs.node_event(NodeEvent {
+            cycle: 2,
+            node: Node::Mdr,
+            before: 1,
+            after: 2,
+        });
         obs.trigger(3, false);
-        obs.node_event(NodeEvent { cycle: 4, node: Node::Mdr, before: 2, after: 3 });
+        obs.node_event(NodeEvent {
+            cycle: 4,
+            node: Node::Mdr,
+            before: 2,
+            after: 3,
+        });
         let window = obs.events_in_trigger_window();
         assert_eq!(window.len(), 1);
         assert_eq!(window[0].cycle, 2);

@@ -26,7 +26,9 @@ pub struct DualIssuePolicy {
 impl DualIssuePolicy {
     /// A policy that never pairs anything (a scalar core).
     pub fn single_issue() -> DualIssuePolicy {
-        DualIssuePolicy { matrix: [[false; InsnClass::COUNT]; InsnClass::COUNT] }
+        DualIssuePolicy {
+            matrix: [[false; InsnClass::COUNT]; InsnClass::COUNT],
+        }
     }
 
     /// A policy that pairs everything except `nop`/system ops, leaving
@@ -64,31 +66,87 @@ impl DualIssuePolicy {
         let rows: [(InsnClass, [(InsnClass, bool); 7]); 7] = [
             (
                 Mov,
-                [(Mov, true), (Alu, true), (AluImm, true), (Mul, false), (Shift, true), (Branch, true), (LdSt, false)],
+                [
+                    (Mov, true),
+                    (Alu, true),
+                    (AluImm, true),
+                    (Mul, false),
+                    (Shift, true),
+                    (Branch, true),
+                    (LdSt, false),
+                ],
             ),
             (
                 Alu,
-                [(Mov, true), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+                [
+                    (Mov, true),
+                    (Alu, false),
+                    (AluImm, true),
+                    (Mul, false),
+                    (Shift, false),
+                    (Branch, true),
+                    (LdSt, false),
+                ],
             ),
             (
                 AluImm,
-                [(Mov, true), (Alu, true), (AluImm, true), (Mul, false), (Shift, true), (Branch, true), (LdSt, true)],
+                [
+                    (Mov, true),
+                    (Alu, true),
+                    (AluImm, true),
+                    (Mul, false),
+                    (Shift, true),
+                    (Branch, true),
+                    (LdSt, true),
+                ],
             ),
             (
                 Branch,
-                [(Mov, true), (Alu, true), (AluImm, true), (Mul, true), (Shift, true), (Branch, false), (LdSt, true)],
+                [
+                    (Mov, true),
+                    (Alu, true),
+                    (AluImm, true),
+                    (Mul, true),
+                    (Shift, true),
+                    (Branch, false),
+                    (LdSt, true),
+                ],
             ),
             (
                 LdSt,
-                [(Mov, true), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+                [
+                    (Mov, true),
+                    (Alu, false),
+                    (AluImm, true),
+                    (Mul, false),
+                    (Shift, false),
+                    (Branch, true),
+                    (LdSt, false),
+                ],
             ),
             (
                 Mul,
-                [(Mov, false), (Alu, false), (AluImm, false), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+                [
+                    (Mov, false),
+                    (Alu, false),
+                    (AluImm, false),
+                    (Mul, false),
+                    (Shift, false),
+                    (Branch, true),
+                    (LdSt, false),
+                ],
             ),
             (
                 Shift,
-                [(Mov, false), (Alu, false), (AluImm, true), (Mul, false), (Shift, false), (Branch, true), (LdSt, false)],
+                [
+                    (Mov, false),
+                    (Alu, false),
+                    (AluImm, true),
+                    (Mul, false),
+                    (Shift, false),
+                    (Branch, true),
+                    (LdSt, false),
+                ],
             ),
         ];
         for (older, cols) in rows {

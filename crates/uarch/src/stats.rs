@@ -93,11 +93,32 @@ impl fmt::Display for ExecStats {
         writeln!(f, "cycles:            {}", self.cycles)?;
         writeln!(f, "instructions:      {}", self.instructions)?;
         writeln!(f, "CPI:               {:.3}", self.cpi())?;
-        writeln!(f, "dual-issue cycles: {} ({:.1}%)", self.dual_issue_cycles, 100.0 * self.dual_issue_rate())?;
-        writeln!(f, "stalls raw/flags:  {}/{}", self.raw_stalls, self.flags_stalls)?;
-        writeln!(f, "stalls fe/struct:  {}/{}", self.frontend_stalls, self.structural_stalls)?;
-        writeln!(f, "branches (taken):  {} ({})", self.branches, self.taken_branches)?;
-        write!(f, "cache misses I/D:  {}/{}", self.icache_misses, self.dcache_misses)
+        writeln!(
+            f,
+            "dual-issue cycles: {} ({:.1}%)",
+            self.dual_issue_cycles,
+            100.0 * self.dual_issue_rate()
+        )?;
+        writeln!(
+            f,
+            "stalls raw/flags:  {}/{}",
+            self.raw_stalls, self.flags_stalls
+        )?;
+        writeln!(
+            f,
+            "stalls fe/struct:  {}/{}",
+            self.frontend_stalls, self.structural_stalls
+        )?;
+        writeln!(
+            f,
+            "branches (taken):  {} ({})",
+            self.branches, self.taken_branches
+        )?;
+        write!(
+            f,
+            "cache misses I/D:  {}/{}",
+            self.icache_misses, self.dcache_misses
+        )
     }
 }
 
@@ -107,7 +128,11 @@ mod tests {
 
     #[test]
     fn cpi_computation() {
-        let stats = ExecStats { cycles: 100, instructions: 200, ..ExecStats::default() };
+        let stats = ExecStats {
+            cycles: 100,
+            instructions: 200,
+            ..ExecStats::default()
+        };
         assert!((stats.cpi() - 0.5).abs() < 1e-12);
         let empty = ExecStats::default();
         assert!(empty.cpi().is_infinite());

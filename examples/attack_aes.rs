@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces: 800,
         executions_per_trace: 4,
         sampling: SamplingConfig::picoscope_500msps_120mhz(),
-        noise: GaussianNoise { sd: 6.0, baseline: 40.0 },
+        noise: GaussianNoise {
+            sd: 6.0,
+            baseline: 40.0,
+        },
         seed: 1,
         threads: 8,
     };
@@ -41,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     // Focus on round 1 (the first ~1500 samples cover ARK+SB).
     let traces = traces.truncated(1500);
-    println!("acquired {} traces x {} samples\n", traces.len(), traces.samples_per_trace());
+    println!(
+        "acquired {} traces x {} samples\n",
+        traces.len(),
+        traces.samples_per_trace()
+    );
 
     // Step 1: recover key byte 0 with HW(SubBytes out) — no
     // microarchitectural knowledge needed.
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 2: recover key byte 1 with the microarchitecture-aware model:
     // HD between the two consecutively stored SubBytes outputs — the
     // MDR/align-buffer leak the paper characterizes in Table 2.
-    let hd_model = SubBytesStoreHd { byte: 1, prev_key: k0 };
+    let hd_model = SubBytesStoreHd {
+        byte: 1,
+        prev_key: k0,
+    };
     let result = cpa_attack(&traces, &hd_model, &CpaConfig::key_byte());
     let k1 = result.best_guess() as u8;
     let (sample, corr) = result.peak(usize::from(k1));

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {older:<10} + {younger:<10}  CPI {:.2}  -> {}",
             m.cpi,
-            if m.dual_issued() { "dual-issued" } else { "single-issued" }
+            if m.dual_issued() {
+                "dual-issued"
+            } else {
+                "single-issued"
+            }
         );
     }
 

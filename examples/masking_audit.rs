@@ -13,14 +13,15 @@
 //!
 //! Run with: `cargo run --release --example masking_audit`
 
-use superscalar_sca::prelude::*;
 use superscalar_sca::analysis::input_word;
 use superscalar_sca::core::AuditReport;
+use superscalar_sca::prelude::*;
 
 fn share_models() -> [SecretModel; 1] {
-    [SecretModel::new("HD(share0, share1) = HW(secret)", |input: &[u8]| {
-        f64::from((input_word(input, 0) ^ input_word(input, 1)).count_ones())
-    })]
+    [SecretModel::new(
+        "HD(share0, share1) = HW(secret)",
+        |input: &[u8]| f64::from((input_word(input, 0) ^ input_word(input, 1)).count_ones()),
+    )]
 }
 
 fn stage(cpu: &mut Cpu, input: &[u8]) {
@@ -41,7 +42,10 @@ fn operand_path_leaks(report: &AuditReport) -> usize {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uarch = UarchConfig::cortex_a7().with_ideal_memory();
-    let config = AuditConfig { executions: 500, ..AuditConfig::default() };
+    let config = AuditConfig {
+        executions: 500,
+        ..AuditConfig::default()
+    };
 
     // Vulnerable: both share-processing instructions place their share
     // in the same source-operand position. Two reg-reg ALU ops never
@@ -60,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = audit_program(&uarch, &vulnerable, 8, stage, &share_models(), &config)?;
     println!("== vulnerable schedule (shares in the same operand position) ==");
     println!("{}", report.render());
-    assert!(operand_path_leaks(&report) > 0, "the recombination must be detected");
+    assert!(
+        operand_path_leaks(&report) > 0,
+        "the recombination must be detected"
+    );
 
     // Hardening 1: unrelated public-value work separates the two shares
     // in time, scrubbing the shared buses between them — the
@@ -79,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = audit_program(&uarch, &spaced, 8, stage, &share_models(), &config)?;
     println!("== hardened schedule 1: spacer instructions ==");
     println!("{}", report.render());
-    assert_eq!(operand_path_leaks(&report), 0, "scheduling distance removes the recombination");
+    assert_eq!(
+        operand_path_leaks(&report),
+        0,
+        "scheduling distance removes the recombination"
+    );
 
     // Hardening 2: swap the (commutative) operands of the second eor so
     // the shares sit in different positions — the flip side of the
@@ -97,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = audit_program(&uarch, &swapped, 8, stage, &share_models(), &config)?;
     println!("== hardened schedule 2: operand swap ==");
     println!("{}", report.render());
-    assert_eq!(operand_path_leaks(&report), 0, "different positions, different buses");
+    assert_eq!(
+        operand_path_leaks(&report),
+        0,
+        "different positions, different buses"
+    );
 
     println!(
         "audit demonstrates: semantics-preserving reordering or operand swaps change \

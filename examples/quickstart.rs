@@ -36,9 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    synthesized power trace.
     let mut recorder = RecordingObserver::new();
     let stats = cpu.run(&mut recorder)?;
-    println!("executed {} instructions in {} cycles (CPI {:.2})", stats.instructions, stats.cycles, stats.cpi());
+    println!(
+        "executed {} instructions in {} cycles (CPI {:.2})",
+        stats.instructions,
+        stats.cycles,
+        stats.cpi()
+    );
     println!("dual-issue cycles: {}", stats.dual_issue_cycles);
-    println!("operand-bus events observed: {}", recorder.events_on(Node::OperandBus(0)).len());
+    println!(
+        "operand-bus events observed: {}",
+        recorder.events_on(Node::OperandBus(0)).len()
+    );
 
     cpu.restart(program.entry());
     let mut power = PowerRecorder::new(LeakageWeights::cortex_a7());

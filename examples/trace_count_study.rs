@@ -11,10 +11,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = AesSim::new(UarchConfig::cortex_a7(), &key)?;
 
     let acquisition = AcquisitionConfig {
-        traces: 600,
+        traces: 2400,
         executions_per_trace: 2,
         sampling: SamplingConfig::picoscope_500msps_120mhz(),
-        noise: GaussianNoise { sd: 10.0, baseline: 40.0 },
+        noise: GaussianNoise {
+            sd: 10.0,
+            baseline: 40.0,
+        },
         seed: 21,
         threads: 8,
     };
@@ -33,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?
         .truncated(1600);
 
-    let checkpoints = [25, 50, 100, 200, 400, 600];
+    let checkpoints = [50, 100, 200, 400, 800, 1600, 2400];
     for (name, curve) in [
         (
             "HW(SubBytes out)        [Figure 3 model]",
@@ -43,14 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "HD(consecutive stores)  [Figure 4 model]",
             rank_evolution(
                 &traces,
-                &SubBytesStoreHd { byte: 1, prev_key: key[0] },
+                &SubBytesStoreHd {
+                    byte: 1,
+                    prev_key: key[0],
+                },
                 key[1],
                 &checkpoints,
             ),
         ),
     ] {
         println!("model: {name}");
-        println!("{:>8} {:>6} {:>14} {:>14}", "traces", "rank", "correct peak", "best wrong");
+        println!(
+            "{:>8} {:>6} {:>14} {:>14}",
+            "traces", "rank", "correct peak", "best wrong"
+        );
         for point in &curve {
             println!(
                 "{:>8} {:>6} {:>14.4} {:>14.4}",

@@ -27,7 +27,10 @@ fn random_vectors(n: usize, seed: u64) -> Vec<([u8; 16], [u8; 16])> {
 fn aes_matches_golden_on_cortex_a7() {
     for (key, pt) in random_vectors(6, 1) {
         let mut sim = AesSim::new(UarchConfig::cortex_a7(), &key).expect("builds");
-        assert_eq!(sim.encrypt(&pt).expect("encrypts"), encrypt_block(&key, &pt));
+        assert_eq!(
+            sim.encrypt(&pt).expect("encrypts"),
+            encrypt_block(&key, &pt)
+        );
     }
 }
 
@@ -35,7 +38,10 @@ fn aes_matches_golden_on_cortex_a7() {
 fn aes_matches_golden_on_scalar_core() {
     for (key, pt) in random_vectors(4, 2) {
         let mut sim = AesSim::new(UarchConfig::scalar(), &key).expect("builds");
-        assert_eq!(sim.encrypt(&pt).expect("encrypts"), encrypt_block(&key, &pt));
+        assert_eq!(
+            sim.encrypt(&pt).expect("encrypts"),
+            encrypt_block(&key, &pt)
+        );
     }
 }
 
@@ -49,7 +55,10 @@ fn aes_correct_with_degraded_features() {
     config.policy = DualIssuePolicy::structural_only();
     for (key, pt) in random_vectors(4, 3) {
         let mut sim = AesSim::new(config.clone(), &key).expect("builds");
-        assert_eq!(sim.encrypt(&pt).expect("encrypts"), encrypt_block(&key, &pt));
+        assert_eq!(
+            sim.encrypt(&pt).expect("encrypts"),
+            encrypt_block(&key, &pt)
+        );
     }
 }
 
@@ -59,7 +68,10 @@ fn scalar_core_is_slower_but_equivalent() {
     let pt = [9u8; 16];
     let mut fast = AesSim::new(UarchConfig::cortex_a7().with_ideal_memory(), &key).expect("builds");
     let mut slow = AesSim::new(UarchConfig::scalar().with_ideal_memory(), &key).expect("builds");
-    assert_eq!(fast.encrypt(&pt).expect("encrypts"), slow.encrypt(&pt).expect("encrypts"));
+    assert_eq!(
+        fast.encrypt(&pt).expect("encrypts"),
+        slow.encrypt(&pt).expect("encrypts")
+    );
     let fast_cycles = fast.cpu().stats().cycles;
     let slow_cycles = slow.cpu().stats().cycles;
     assert!(

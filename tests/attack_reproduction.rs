@@ -24,7 +24,10 @@ fn acquire(traces: usize, noisy_os: bool, seed: u64) -> TraceSet {
         traces,
         executions_per_trace: 1,
         sampling: sampling.clone(),
-        noise: GaussianNoise { sd: 2.0, baseline: 10.0 },
+        noise: GaussianNoise {
+            sd: 2.0,
+            baseline: 10.0,
+        },
         seed,
         threads: 4,
     };
@@ -37,9 +40,13 @@ fn acquire(traces: usize, noisy_os: bool, seed: u64) -> TraceSet {
     let set = if noisy_os {
         let environment = LinuxEnvironment::idle_linux(&sampling).expect("environment");
         synth
-            .acquire_with(sim.cpu(), sim.entry(), generate, AesSim::stage_plaintext, |rng, s| {
-                environment.apply(rng, s)
-            })
+            .acquire_with(
+                sim.cpu(),
+                sim.entry(),
+                generate,
+                AesSim::stage_plaintext,
+                |rng, s| environment.apply(rng, s),
+            )
             .expect("acquires")
     } else {
         synth
@@ -54,8 +61,20 @@ fn acquire(traces: usize, noisy_os: bool, seed: u64) -> TraceSet {
 fn figure3_style_attack_recovers_key_byte() {
     let traces = acquire(250, false, 11);
     let model = SubBytesHw { byte: 0 };
-    let result = cpa_attack(&traces, &model, &CpaConfig { guesses: 256, threads: 4 });
-    assert_eq!(result.best_guess() as u8, KEY[0], "rank: {}", result.rank_of(usize::from(KEY[0])));
+    let result = cpa_attack(
+        &traces,
+        &model,
+        &CpaConfig {
+            guesses: 256,
+            threads: 4,
+        },
+    );
+    assert_eq!(
+        result.best_guess() as u8,
+        KEY[0],
+        "rank: {}",
+        result.rank_of(usize::from(KEY[0]))
+    );
     // Leakage must be present well inside the round, not only at t=0.
     let (sample, corr) = result.peak(usize::from(KEY[0]));
     assert!(sample > 20, "leak localized at sample {sample}");
@@ -67,8 +86,18 @@ fn figure4_style_attack_with_hd_store_model() {
     // OS jitter smears the single-sample leak instants, so this campaign
     // needs more traces than the bare-metal one.
     let traces = acquire(1000, true, 13);
-    let model = SubBytesStoreHd { byte: 1, prev_key: KEY[0] };
-    let result = cpa_attack(&traces, &model, &CpaConfig { guesses: 256, threads: 4 });
+    let model = SubBytesStoreHd {
+        byte: 1,
+        prev_key: KEY[0],
+    };
+    let result = cpa_attack(
+        &traces,
+        &model,
+        &CpaConfig {
+            guesses: 256,
+            threads: 4,
+        },
+    );
     assert_eq!(
         result.best_guess() as u8,
         KEY[1],
@@ -91,10 +120,22 @@ fn os_noise_reduces_correlation_amplitude() {
     // environment, smaller correlation.
     let quiet = acquire(200, false, 17);
     let noisy = acquire(200, true, 17);
-    let model = SubBytesStoreHd { byte: 1, prev_key: KEY[0] };
-    let config = CpaConfig { guesses: 256, threads: 4 };
-    let quiet_peak = cpa_attack(&quiet, &model, &config).peak(usize::from(KEY[1])).1.abs();
-    let noisy_peak = cpa_attack(&noisy, &model, &config).peak(usize::from(KEY[1])).1.abs();
+    let model = SubBytesStoreHd {
+        byte: 1,
+        prev_key: KEY[0],
+    };
+    let config = CpaConfig {
+        guesses: 256,
+        threads: 4,
+    };
+    let quiet_peak = cpa_attack(&quiet, &model, &config)
+        .peak(usize::from(KEY[1]))
+        .1
+        .abs();
+    let noisy_peak = cpa_attack(&noisy, &model, &config)
+        .peak(usize::from(KEY[1]))
+        .1
+        .abs();
     assert!(
         noisy_peak < quiet_peak,
         "OS noise must reduce the amplitude: quiet {quiet_peak} vs noisy {noisy_peak}"
@@ -110,13 +151,24 @@ fn wrong_fixed_model_fails_where_right_model_succeeds() {
     let good = cpa_attack(
         &traces,
         &SubBytesHw { byte: 0 },
-        &CpaConfig { guesses: 256, threads: 4 },
+        &CpaConfig {
+            guesses: 256,
+            threads: 4,
+        },
     );
     let good_peak = good.peak(usize::from(KEY[0])).1.abs();
-    let bad_model = superscalar_sca::analysis::FnSelection::new("hw(pt^k)", |input: &[u8], k: u8| {
-        f64::from((input[0] ^ k).count_ones())
-    });
-    let bad = cpa_attack(&traces, &bad_model, &CpaConfig { guesses: 256, threads: 4 });
+    let bad_model =
+        superscalar_sca::analysis::FnSelection::new("hw(pt^k)", |input: &[u8], k: u8| {
+            f64::from((input[0] ^ k).count_ones())
+        });
+    let bad = cpa_attack(
+        &traces,
+        &bad_model,
+        &CpaConfig {
+            guesses: 256,
+            threads: 4,
+        },
+    );
     let bad_peak = bad.peak(usize::from(KEY[0])).1.abs();
     assert!(
         good_peak > bad_peak,

@@ -40,7 +40,10 @@ fn audit(src: &str, executions: usize) -> superscalar_sca::core::AuditReport {
         8,
         stage,
         &share_models(),
-        &AuditConfig { executions, ..AuditConfig::default() },
+        &AuditConfig {
+            executions,
+            ..AuditConfig::default()
+        },
     )
     .expect("audits")
 }
@@ -68,13 +71,16 @@ fn cause_iii_dual_issue_changes_leakage() {
     let config = CharacterizationConfig {
         traces: 400,
         executions_per_trace: 1,
-        noise: GaussianNoise { sd: 1.5, baseline: 5.0 },
+        noise: GaussianNoise {
+            sd: 1.5,
+            baseline: 5.0,
+        },
         threads: 4,
         ..CharacterizationConfig::default()
     };
     let row3 = &table2_benchmarks()[2];
-    let dual = run_benchmark(row3, &UarchConfig::cortex_a7().with_ideal_memory(), &config)
-        .expect("runs");
+    let dual =
+        run_benchmark(row3, &UarchConfig::cortex_a7().with_ideal_memory(), &config).expect("runs");
     let scalar =
         run_benchmark(row3, &UarchConfig::scalar().with_ideal_memory(), &config).expect("runs");
     let cell = |row: &superscalar_sca::core::RowResult| {
@@ -93,13 +99,16 @@ fn cause_iv_data_remanence_needs_align_buffer() {
     let config = CharacterizationConfig {
         traces: 400,
         executions_per_trace: 1,
-        noise: GaussianNoise { sd: 1.5, baseline: 5.0 },
+        noise: GaussianNoise {
+            sd: 1.5,
+            baseline: 5.0,
+        },
         threads: 4,
         ..CharacterizationConfig::default()
     };
     let row7 = &table2_benchmarks()[6];
-    let with_buffer = run_benchmark(row7, &UarchConfig::cortex_a7().with_ideal_memory(), &config)
-        .expect("runs");
+    let with_buffer =
+        run_benchmark(row7, &UarchConfig::cortex_a7().with_ideal_memory(), &config).expect("runs");
     let mut no_buffer_config = UarchConfig::cortex_a7().with_ideal_memory();
     no_buffer_config.align_buffer = false;
     let without_buffer = run_benchmark(row7, &no_buffer_config, &config).expect("runs");
@@ -119,13 +128,16 @@ fn nop_is_not_security_neutral() {
     let config = CharacterizationConfig {
         traces: 400,
         executions_per_trace: 1,
-        noise: GaussianNoise { sd: 1.5, baseline: 5.0 },
+        noise: GaussianNoise {
+            sd: 1.5,
+            baseline: 5.0,
+        },
         threads: 4,
         ..CharacterizationConfig::default()
     };
     let row1 = &table2_benchmarks()[0];
-    let normal = run_benchmark(row1, &UarchConfig::cortex_a7().with_ideal_memory(), &config)
-        .expect("runs");
+    let normal =
+        run_benchmark(row1, &UarchConfig::cortex_a7().with_ideal_memory(), &config).expect("runs");
     let mut neutral_nops = UarchConfig::cortex_a7().with_ideal_memory();
     neutral_nops.nop_zeroes_wb = false;
     neutral_nops.nop_drives_operand_buses = false;

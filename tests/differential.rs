@@ -45,19 +45,28 @@ fn arb_operand2() -> impl Strategy<Value = Operand2> {
     prop_oneof![
         (0u32..256).prop_map(Operand2::Imm),
         arb_reg().prop_map(Operand2::Reg),
-        (arb_reg(), prop::sample::select(ShiftKind::ALL.to_vec()), 0u8..32).prop_map(
-            |(rm, kind, amount)| Operand2::ShiftedReg {
+        (
+            arb_reg(),
+            prop::sample::select(ShiftKind::ALL.to_vec()),
+            0u8..32
+        )
+            .prop_map(|(rm, kind, amount)| Operand2::ShiftedReg {
                 rm,
                 kind,
                 amount: ShiftAmount::Imm(amount)
-            }
-        ),
+            }),
     ]
 }
 
 fn arb_insn() -> impl Strategy<Value = Insn> {
-    let dp = (arb_dp_op(), any::<bool>(), arb_reg(), arb_reg(), arb_operand2()).prop_map(
-        |(op, set_flags, rd, rn, op2)| {
+    let dp = (
+        arb_dp_op(),
+        any::<bool>(),
+        arb_reg(),
+        arb_reg(),
+        arb_operand2(),
+    )
+        .prop_map(|(op, set_flags, rd, rn, op2)| {
             Insn::new(InsnKind::Dp {
                 op,
                 set_flags: set_flags || op.is_compare(),
@@ -65,8 +74,7 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
                 rn: if op.is_move() { None } else { Some(rn) },
                 op2,
             })
-        },
-    );
+        });
     let mul = (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rm, rs)| Insn::mul(rd, rm, rs));
     // Loads/stores inside a 64-byte scratch window via r10 + small imm.
     let mem = (any::<bool>(), 0u8..3, arb_reg(), 0i32..60).prop_map(|(load, size, rd, off)| {
@@ -104,12 +112,19 @@ fn run_on(insns: &[Insn], config: UarchConfig, seed: u64) -> ArchState {
     // Deterministic pseudo-random initial register values.
     for i in 0..8u8 {
         let reg = Reg::from_index(i).expect("reg");
-        cpu.set_reg(reg, (seed as u32).wrapping_mul(2654435761).wrapping_add(u32::from(i) * 97));
+        cpu.set_reg(
+            reg,
+            (seed as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(u32::from(i) * 97),
+        );
     }
     cpu.set_reg(Reg::R10, SCRATCH);
     cpu.run(&mut NullObserver).expect("runs");
     ArchState {
-        regs: (0..13u8).map(|i| cpu.reg(Reg::from_index(i).expect("reg"))).collect(),
+        regs: (0..13u8)
+            .map(|i| cpu.reg(Reg::from_index(i).expect("reg")))
+            .collect(),
         flags: cpu.flags(),
         scratch: cpu.mem().read_bytes(SCRATCH, 64).expect("scratch").to_vec(),
     }

@@ -20,7 +20,10 @@ fn acquire(traces: usize) -> TraceSet {
         traces,
         executions_per_trace: 1,
         sampling: SamplingConfig::per_cycle(),
-        noise: GaussianNoise { sd: 2.0, baseline: 10.0 },
+        noise: GaussianNoise {
+            sd: 2.0,
+            baseline: 10.0,
+        },
         seed: 31,
         threads: 4,
     };
@@ -52,7 +55,8 @@ fn acquire_save_load_attack_pipeline() {
 
     let recovered = recover_full_key(&reloaded, 4);
     assert_eq!(
-        recovered.key, KEY,
+        recovered.key,
+        KEY,
         "{}/16 bytes recovered from reloaded traces",
         recovered.correct_bytes(&KEY)
     );

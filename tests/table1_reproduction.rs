@@ -50,12 +50,20 @@ fn hazard_control_experiment() {
         (InsnClass::Alu, InsnClass::AluImm),
         (InsnClass::AluImm, InsnClass::LdSt),
     ] {
-        let free = measure_cpi(&CpiBenchmark::hazard_free(older, younger), &config)
-            .expect("measures");
-        let hazard = measure_cpi(&CpiBenchmark::with_raw_hazard(older, younger), &config)
-            .expect("measures");
-        assert!(free.dual_issued(), "({older},{younger}) hazard-free CPI {}", free.cpi);
-        assert!(!hazard.dual_issued(), "({older},{younger}) hazard CPI {}", hazard.cpi);
+        let free =
+            measure_cpi(&CpiBenchmark::hazard_free(older, younger), &config).expect("measures");
+        let hazard =
+            measure_cpi(&CpiBenchmark::with_raw_hazard(older, younger), &config).expect("measures");
+        assert!(
+            free.dual_issued(),
+            "({older},{younger}) hazard-free CPI {}",
+            free.cpi
+        );
+        assert!(
+            !hazard.dual_issued(),
+            "({older},{younger}) hazard CPI {}",
+            hazard.cpi
+        );
     }
 }
 
@@ -67,5 +75,8 @@ fn custom_policy_is_rediscovered() {
     config.policy.set(InsnClass::Mov, InsnClass::Shift, false);
     let map = DualIssueMap::measure(&config).expect("measures");
     assert!(!map.dual_issued(InsnClass::Mov, InsnClass::Shift));
-    assert!(map.dual_issued(InsnClass::Mov, InsnClass::Mov), "other cells unaffected");
+    assert!(
+        map.dual_issued(InsnClass::Mov, InsnClass::Mov),
+        "other cells unaffected"
+    );
 }

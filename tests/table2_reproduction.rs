@@ -14,7 +14,10 @@ fn quick_config() -> CharacterizationConfig {
     CharacterizationConfig {
         traces: 500,
         executions_per_trace: 1,
-        noise: GaussianNoise { sd: 1.5, baseline: 10.0 },
+        noise: GaussianNoise {
+            sd: 1.5,
+            baseline: 10.0,
+        },
         threads: 4,
         ..CharacterizationConfig::default()
     }
@@ -22,8 +25,11 @@ fn quick_config() -> CharacterizationConfig {
 
 #[test]
 fn every_cell_matches_the_paper() {
-    let report = characterize(&UarchConfig::cortex_a7().with_ideal_memory(), &quick_config())
-        .expect("characterizes");
+    let report = characterize(
+        &UarchConfig::cortex_a7().with_ideal_memory(),
+        &quick_config(),
+    )
+    .expect("characterizes");
     let mut failures = Vec::new();
     for row in &report.rows {
         for cell in &row.cells {
@@ -40,16 +46,27 @@ fn every_cell_matches_the_paper() {
             }
         }
     }
-    assert!(failures.is_empty(), "mismatching cells:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "mismatching cells:\n{}",
+        failures.join("\n")
+    );
     assert_eq!(report.matching_cells(), report.total_cells());
 }
 
 #[test]
 fn register_file_is_silent_everywhere() {
-    let report = characterize(&UarchConfig::cortex_a7().with_ideal_memory(), &quick_config())
-        .expect("characterizes");
+    let report = characterize(
+        &UarchConfig::cortex_a7().with_ideal_memory(),
+        &quick_config(),
+    )
+    .expect("characterizes");
     for row in &report.rows {
-        for cell in row.cells.iter().filter(|c| c.component == NodeKind::RegisterFile) {
+        for cell in row
+            .cells
+            .iter()
+            .filter(|c| c.component == NodeKind::RegisterFile)
+        {
             assert!(
                 !cell.significant,
                 "RF leaked in row {} model {} (corr {})",
@@ -61,10 +78,15 @@ fn register_file_is_silent_everywhere() {
 
 #[test]
 fn dual_issue_detection_matches_declared_rows() {
-    let report = characterize(&UarchConfig::cortex_a7().with_ideal_memory(), &quick_config())
-        .expect("characterizes");
-    let declared: Vec<bool> =
-        superscalar_sca::core::table2_benchmarks().iter().map(|b| b.dual_issued).collect();
+    let report = characterize(
+        &UarchConfig::cortex_a7().with_ideal_memory(),
+        &quick_config(),
+    )
+    .expect("characterizes");
+    let declared: Vec<bool> = superscalar_sca::core::table2_benchmarks()
+        .iter()
+        .map(|b| b.dual_issued)
+        .collect();
     let observed: Vec<bool> = report.rows.iter().map(|r| r.dual_issued).collect();
     assert_eq!(declared, observed);
 }
@@ -73,8 +95,11 @@ fn dual_issue_detection_matches_declared_rows() {
 fn shifter_leak_is_weakest() {
     // Section 4.1: the shifter buffer's correlation is about one tenth of
     // the other components'.
-    let report = characterize(&UarchConfig::cortex_a7().with_ideal_memory(), &quick_config())
-        .expect("characterizes");
+    let report = characterize(
+        &UarchConfig::cortex_a7().with_ideal_memory(),
+        &quick_config(),
+    )
+    .expect("characterizes");
     let row4 = &report.rows[3];
     let shift_peak = row4
         .cells

@@ -1,0 +1,137 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`] — with a simple wall-clock
+//! measurement loop (warm-up, then `sample_size` timed samples, reporting
+//! median/min/max per iteration). No statistics engine, no plots; it
+//! exists so `cargo bench` runs hermetically without a crates registry.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Drives the timing loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples after a warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms elapse to estimate a per-iteration cost,
+        // then pick an iteration count that makes each sample measurable.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        let target = Duration::from_millis(10);
+        self.iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints a per-iteration summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return self;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{name:<48} median {median:>12?}   min {min:>12?}   max {max:>12?}   ({} iters/sample)",
+            bencher.iters_per_sample
+        );
+        self
+    }
+
+    /// Upstream-compat no-op: final reporting happens per bench here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group, in either upstream form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

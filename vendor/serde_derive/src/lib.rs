@@ -1,0 +1,111 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace's sources annotate plain data types with
+//! `#[derive(Serialize, Deserialize)]`. Nothing in the tree actually
+//! serializes through serde (trace persistence uses a self-contained
+//! binary format in `sca-power`), so the vendored `serde` defines the two
+//! traits as markers and this macro emits the corresponding empty impls.
+//! It parses just enough of the item — outer attributes, visibility,
+//! `struct`/`enum`/`union`, name, and an optional generic parameter list —
+//! to name the type being derived for.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generic_params)` from a type definition token stream.
+///
+/// Returns the type name and the raw tokens of the generic parameter list
+/// (without the angle brackets), e.g. `("Foo", "T: Clone, const N: usize")`.
+fn parse_item(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and doc comments, visibility, and
+    // any other modifiers until the item keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id)
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    other => panic!("expected type name after item keyword, got {other:?}"),
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = name.expect("derive input must be a struct, enum, or union");
+
+    // Collect generic parameters if a `<...>` list follows the name.
+    let mut generics = String::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !generics.is_empty() {
+                generics.push(' ');
+            }
+            generics.push_str(&tt.to_string());
+        }
+    }
+    (name, generics)
+}
+
+/// Strips bounds and defaults from a generic parameter list, leaving the
+/// bare parameter names for the `Type<...>` position of an impl.
+fn generic_args(params: &str) -> String {
+    params
+        .split(',')
+        .map(|p| {
+            let p = p.trim();
+            let p = p.split(':').next().unwrap_or(p).trim();
+            let p = p.split('=').next().unwrap_or(p).trim();
+            p.trim_start_matches("const").trim()
+        })
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn emit(input: TokenStream, trait_path: &str, extra_lifetime: &str) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let code = if params.is_empty() {
+        format!("impl{extra_lifetime} {trait_path} for {name} {{}}")
+    } else {
+        let args = generic_args(&params);
+        let lifetime = extra_lifetime.trim_start_matches('<').trim_end_matches('>');
+        format!(
+            "impl<{lifetime}{sep}{params}> {trait_path} for {name}<{args}> {{}}",
+            sep = if lifetime.is_empty() { "" } else { ", " }
+        )
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the vendored marker `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Serialize", "")
+}
+
+/// Derives the vendored marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Deserialize<'de>", "<'de>")
+}
