@@ -5,6 +5,39 @@
 //! the guess whose correlation peaks highest is the attack's key
 //! candidate. This reproduces the attacks of Section 5 of the paper
 //! (Figures 3 and 4).
+//!
+//! Two evaluation styles share the same mathematics:
+//!
+//! * [`cpa_attack`] — the *batch* attack over a materialized
+//!   [`TraceSet`], parallelized across guesses;
+//! * [`CpaAccumulator`] — the *online* attack: each trace is folded into
+//!   running sums the moment it is acquired and then discarded, so a
+//!   campaign's memory footprint is `O(guesses × samples)` regardless of
+//!   trace count. Accumulators over disjoint trace shards merge by plain
+//!   addition, which is what lets the `sca-campaign` engine spread one
+//!   campaign across worker threads.
+//!
+//! ## The online-accumulator math
+//!
+//! Pearson's coefficient between a guess's predicted leakage `x` and the
+//! power at sample `s`, `y_s`, only needs five raw moments besides the
+//! trace count `n`:
+//!
+//! ```text
+//! Σx, Σx², Σy_s, Σy_s², Σx·y_s
+//!
+//!              n·Σxy − Σx·Σy
+//! r(x, y) = ─────────────────────────────────────
+//!           √(n·Σx² − (Σx)²) · √(n·Σy² − (Σy)²)
+//! ```
+//!
+//! Every moment is a sum over traces, so updating with one more trace is
+//! `O(guesses × samples)` work and merging two shard accumulators is an
+//! element-wise add. The division by `n` is deferred to
+//! [`CpaAccumulator::finish`], exactly as in [`PearsonAccumulator`] —
+//! a single-shard streaming run is therefore bit-identical to the batch
+//! attack, and a sharded run agrees to floating-point association
+//! (≲ 1e-12 over realistic campaigns).
 
 use crate::{distinguishing_confidence, PearsonAccumulator, SelectionFunction, TraceSet};
 
@@ -130,6 +163,217 @@ impl CpaResult {
         let r_correct = self.peak(correct).1.abs();
         let r_wrong = self.best_wrong_peak(correct);
         distinguishing_confidence(r_correct, r_wrong, self.n)
+    }
+}
+
+/// One-pass, mergeable CPA state — the streaming core of the campaign
+/// engine.
+///
+/// Holds the raw moments described in the module docs: per guess
+/// `Σx, Σx²`, per sample `Σy, Σy²`, and the `guess × sample` matrix
+/// `Σx·y`. Feed traces with [`absorb`](CpaAccumulator::absorb) (or the
+/// cache-blocked [`absorb_batch`](CpaAccumulator::absorb_batch)), combine
+/// worker shards with [`merge`](CpaAccumulator::merge), and extract the
+/// correlation matrix with [`finish`](CpaAccumulator::finish).
+///
+/// Streaming a trace set through one accumulator reproduces
+/// [`cpa_attack`] bit-for-bit; sharding only perturbs the sums'
+/// floating-point association:
+///
+/// ```
+/// use sca_analysis::{cpa_attack, hw8, CpaAccumulator, CpaConfig, FnSelection, SelectionFunction};
+///
+/// let model = FnSelection::new("hw(pt ^ k)", |input: &[u8], k: u8| {
+///     f64::from(hw8(input[0] ^ k))
+/// });
+/// let mut set = sca_analysis::TraceSet::new(2);
+/// for pt in [0x00u8, 0x5a, 0xa5, 0xff, 0x3c, 0xc3] {
+///     set.push(vec![f32::from(pt), 1.0], vec![pt]);
+/// }
+///
+/// // Stream the same traces through two shards, then merge.
+/// let mut shard_a = CpaAccumulator::new(256, 2);
+/// let mut shard_b = CpaAccumulator::new(256, 2);
+/// let mut predictions = vec![0.0f64; 256];
+/// for (i, (input, trace)) in set.iter().enumerate() {
+///     for (g, p) in predictions.iter_mut().enumerate() {
+///         *p = model.predict(input, g as u8);
+///     }
+///     let shard = if i % 2 == 0 { &mut shard_a } else { &mut shard_b };
+///     shard.absorb(&predictions, trace);
+/// }
+/// shard_a.merge(&shard_b);
+/// let streamed = shard_a.finish();
+///
+/// let batch = cpa_attack(&set, &model, &CpaConfig::key_byte());
+/// for g in 0..256 {
+///     for (r, b) in streamed.series(g).iter().zip(batch.series(g)) {
+///         assert!((r - b).abs() < 1e-12);
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CpaAccumulator {
+    guesses: usize,
+    samples: usize,
+    n: u64,
+    /// Per guess: Σx.
+    sum_x: Vec<f64>,
+    /// Per guess: Σx².
+    sum_xx: Vec<f64>,
+    /// Per sample: Σy.
+    sum_y: Vec<f64>,
+    /// Per sample: Σy².
+    sum_yy: Vec<f64>,
+    /// Row-major `guess × sample`: Σx·y.
+    sum_xy: Vec<f64>,
+}
+
+impl CpaAccumulator {
+    /// Creates an empty accumulator for `guesses × samples` correlations.
+    pub fn new(guesses: usize, samples: usize) -> CpaAccumulator {
+        let guesses = guesses.max(1);
+        CpaAccumulator {
+            guesses,
+            samples,
+            n: 0,
+            sum_x: vec![0.0; guesses],
+            sum_xx: vec![0.0; guesses],
+            sum_y: vec![0.0; samples],
+            sum_yy: vec![0.0; samples],
+            sum_xy: vec![0.0; guesses * samples],
+        }
+    }
+
+    /// Number of traces absorbed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether any trace was absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of guesses tracked.
+    pub fn guesses(&self) -> usize {
+        self.guesses
+    }
+
+    /// Samples per trace.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Folds one trace into the sums. `predictions[g]` is the modeled
+    /// leakage of this trace's input under guess `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions` or `trace` have the wrong length.
+    pub fn absorb(&mut self, predictions: &[f64], trace: &[f32]) {
+        self.absorb_batch(predictions, trace);
+    }
+
+    /// Folds a batch of traces into the sums in one cache-blocked pass.
+    ///
+    /// `predictions` is trace-major `batch × guesses`, `traces` is
+    /// trace-major `batch × samples`. Per element the update order equals
+    /// repeated [`absorb`](CpaAccumulator::absorb) calls, so batching
+    /// never changes the result — it only sweeps the large `Σx·y` matrix
+    /// once per batch instead of once per trace, which is where a
+    /// streaming campaign spends most of its memory bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent with the accumulator
+    /// geometry.
+    pub fn absorb_batch(&mut self, predictions: &[f64], traces: &[f32]) {
+        assert_eq!(
+            predictions.len() % self.guesses,
+            0,
+            "predictions not a whole number of traces"
+        );
+        let batch = predictions.len() / self.guesses;
+        assert_eq!(
+            traces.len(),
+            batch * self.samples,
+            "traces length disagrees with predictions"
+        );
+        self.n += batch as u64;
+        for trace in traces.chunks_exact(self.samples) {
+            for ((sy, syy), &y) in self.sum_y.iter_mut().zip(&mut self.sum_yy).zip(trace) {
+                let y = f64::from(y);
+                *sy += y;
+                *syy += y * y;
+            }
+        }
+        for g in 0..self.guesses {
+            let row = &mut self.sum_xy[g * self.samples..(g + 1) * self.samples];
+            for t in 0..batch {
+                let x = predictions[t * self.guesses + g];
+                self.sum_x[g] += x;
+                self.sum_xx[g] += x * x;
+                let trace = &traces[t * self.samples..(t + 1) * self.samples];
+                for (r, &y) in row.iter_mut().zip(trace) {
+                    *r += x * f64::from(y);
+                }
+            }
+        }
+    }
+
+    /// Merges a shard that absorbed a disjoint set of traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatch.
+    pub fn merge(&mut self, other: &CpaAccumulator) {
+        assert_eq!(self.guesses, other.guesses, "guess count mismatch");
+        assert_eq!(self.samples, other.samples, "sample count mismatch");
+        self.n += other.n;
+        let add = |a: &mut Vec<f64>, b: &Vec<f64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        add(&mut self.sum_x, &other.sum_x);
+        add(&mut self.sum_xx, &other.sum_xx);
+        add(&mut self.sum_y, &other.sum_y);
+        add(&mut self.sum_yy, &other.sum_yy);
+        add(&mut self.sum_xy, &other.sum_xy);
+    }
+
+    /// Extracts the correlation matrix (same formula, in the same
+    /// evaluation order, as [`PearsonAccumulator::correlations`]).
+    pub fn finish(&self) -> CpaResult {
+        let mut corr = vec![0.0f64; self.guesses * self.samples];
+        if self.n >= 2 {
+            let n = self.n as f64;
+            let var_y: Vec<f64> = self
+                .sum_y
+                .iter()
+                .zip(&self.sum_yy)
+                .map(|(&sy, &syy)| syy - sy * sy / n)
+                .collect();
+            for g in 0..self.guesses {
+                let var_x = self.sum_xx[g] - self.sum_x[g] * self.sum_x[g] / n;
+                let row = &mut corr[g * self.samples..(g + 1) * self.samples];
+                for (s, r) in row.iter_mut().enumerate() {
+                    let cov = self.sum_xy[g * self.samples + s] - self.sum_x[g] * self.sum_y[s] / n;
+                    *r = if var_x <= 0.0 || var_y[s] <= 0.0 {
+                        0.0
+                    } else {
+                        cov / (var_x.sqrt() * var_y[s].sqrt())
+                    };
+                }
+            }
+        }
+        CpaResult {
+            guesses: self.guesses,
+            samples: self.samples,
+            corr,
+            n: self.n,
+        }
     }
 }
 
@@ -307,6 +551,104 @@ mod tests {
         let mut ranking = result.ranking();
         ranking.sort_unstable();
         assert_eq!(ranking, (0..256).collect::<Vec<_>>());
+    }
+
+    fn predictions_for(model: &dyn crate::SelectionFunction, input: &[u8]) -> Vec<f64> {
+        (0..256).map(|g| model.predict(input, g as u8)).collect()
+    }
+
+    #[test]
+    fn streaming_single_shard_is_bit_identical_to_batch() {
+        let set = synthetic_traces(0x3c, 120, 1.5);
+        let model = sbox_model();
+        let mut acc = CpaAccumulator::new(256, set.samples_per_trace());
+        for (input, trace) in set.iter() {
+            acc.absorb(&predictions_for(&model, input), trace);
+        }
+        let streamed = acc.finish();
+        let batch = cpa_attack(
+            &set,
+            &model,
+            &CpaConfig {
+                guesses: 256,
+                threads: 3,
+            },
+        );
+        assert_eq!(streamed.traces_used(), batch.traces_used());
+        for g in 0..256 {
+            assert_eq!(streamed.series(g), batch.series(g), "guess {g}");
+        }
+    }
+
+    #[test]
+    fn batched_absorb_is_bit_identical_to_single_absorb() {
+        let set = synthetic_traces(0x77, 50, 2.0);
+        let model = sbox_model();
+        let samples = set.samples_per_trace();
+        let mut one_by_one = CpaAccumulator::new(256, samples);
+        for (input, trace) in set.iter() {
+            one_by_one.absorb(&predictions_for(&model, input), trace);
+        }
+        // Same traces in batches of 7 (last one ragged).
+        let mut batched = CpaAccumulator::new(256, samples);
+        let mut preds = Vec::new();
+        let mut flat = Vec::new();
+        for (i, (input, trace)) in set.iter().enumerate() {
+            preds.extend(predictions_for(&model, input));
+            flat.extend_from_slice(trace);
+            if (i + 1) % 7 == 0 || i + 1 == set.len() {
+                batched.absorb_batch(&preds, &flat);
+                preds.clear();
+                flat.clear();
+            }
+        }
+        assert_eq!(one_by_one.len(), batched.len());
+        let a = one_by_one.finish();
+        let b = batched.finish();
+        for g in 0..256 {
+            assert_eq!(a.series(g), b.series(g), "guess {g}");
+        }
+    }
+
+    #[test]
+    fn merged_shards_match_batch_cpa() {
+        let set = synthetic_traces(0x11, 90, 1.0);
+        let model = sbox_model();
+        let samples = set.samples_per_trace();
+        let mut shards: Vec<CpaAccumulator> =
+            (0..4).map(|_| CpaAccumulator::new(256, samples)).collect();
+        for (i, (input, trace)) in set.iter().enumerate() {
+            shards[i % 4].absorb(&predictions_for(&model, input), trace);
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let streamed = merged.finish();
+        let batch = cpa_attack(
+            &set,
+            &model,
+            &CpaConfig {
+                guesses: 256,
+                threads: 2,
+            },
+        );
+        assert_eq!(streamed.best_guess(), batch.best_guess());
+        for g in 0..256 {
+            for (r, b) in streamed.series(g).iter().zip(batch.series(g)) {
+                assert!((r - b).abs() < 1e-12, "guess {g}: {r} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zeros() {
+        let acc = CpaAccumulator::new(8, 3);
+        assert!(acc.is_empty());
+        let result = acc.finish();
+        assert_eq!(result.guesses(), 8);
+        assert_eq!(result.samples(), 3);
+        assert!(result.series(0).iter().all(|&r| r == 0.0));
     }
 
     #[test]

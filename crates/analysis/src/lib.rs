@@ -11,6 +11,11 @@
 //!   characterization leakage models;
 //! * [`cpa_attack`] / [`CpaResult`] — the guess × sample correlation
 //!   matrix with ranking and success metrics;
+//! * [`CpaAccumulator`] / [`TtestAccumulator`] — streaming, shard-
+//!   mergeable versions of CPA and the Welch t-test; the `sca-campaign`
+//!   engine runs its CPA campaigns through [`CpaAccumulator`] in
+//!   `O(guesses × samples)` memory, and [`TtestAccumulator`] offers the
+//!   same one-pass contract for TVLA-style assessments;
 //! * [`significance_threshold`] / [`distinguishing_confidence`] — the
 //!   paper's statistical criteria;
 //! * [`welch_t`] / [`snr`] — complementary leakage assessments.
@@ -26,7 +31,7 @@ mod snr;
 mod stats;
 mod ttest;
 
-pub use cpa::{cpa_attack, model_correlation, CpaConfig, CpaResult};
+pub use cpa::{cpa_attack, model_correlation, CpaAccumulator, CpaConfig, CpaResult};
 pub use metrics::{rank_evolution, traces_to_rank0, RankPoint};
 pub use models::{hd32, hw32, hw8, input_word, FnSelection, InputModel, SelectionFunction};
 pub use pearson::{pearson, PearsonAccumulator};
@@ -35,7 +40,7 @@ pub use stats::{
     correlation_confidence, distinguishing_confidence, fisher_z, normal_cdf, normal_quantile,
     significance_threshold, significant,
 };
-pub use ttest::{leaks, welch_t, TVLA_THRESHOLD};
+pub use ttest::{leaks, welch_t, TtestAccumulator, TVLA_THRESHOLD};
 
 // Re-exported so attack code only needs this crate.
 pub use sca_power::TraceSet;

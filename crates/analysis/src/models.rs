@@ -24,6 +24,18 @@ pub trait SelectionFunction: Send + Sync {
     }
 }
 
+// A shared reference to a model is itself a model, so sharded campaigns
+// can hand one selection function to many worker-local sinks.
+impl<T: SelectionFunction + ?Sized> SelectionFunction for &T {
+    fn predict(&self, input: &[u8], guess: u8) -> f64 {
+        (**self).predict(input, guess)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
 /// Hamming weight of a byte.
 #[inline]
 pub fn hw8(v: u8) -> u32 {

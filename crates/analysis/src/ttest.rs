@@ -66,6 +66,162 @@ pub fn leaks(a: &TraceSet, b: &TraceSet) -> bool {
     welch_t(a, b).iter().any(|t| t.abs() > TVLA_THRESHOLD)
 }
 
+/// Per-sample Welford state: running mean and centered second moment.
+#[derive(Clone, Debug)]
+struct Welford {
+    n: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl Welford {
+    fn new(width: usize) -> Welford {
+        Welford {
+            n: 0,
+            mean: vec![0.0; width],
+            m2: vec![0.0; width],
+        }
+    }
+
+    fn add(&mut self, trace: &[f32]) {
+        assert_eq!(trace.len(), self.mean.len(), "trace width mismatch");
+        self.n += 1;
+        let n = self.n as f64;
+        for ((mean, m2), &y) in self.mean.iter_mut().zip(&mut self.m2).zip(trace) {
+            let y = f64::from(y);
+            let delta = y - *mean;
+            *mean += delta / n;
+            *m2 += delta * (y - *mean);
+        }
+    }
+
+    /// Chan et al.'s parallel combination of two Welford states.
+    fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        for i in 0..self.mean.len() {
+            let delta = other.mean[i] - self.mean[i];
+            self.mean[i] += delta * nb / n;
+            self.m2[i] += other.m2[i] + delta * delta * na * nb / n;
+        }
+        self.n += other.n;
+    }
+
+    fn variance(&self, i: usize) -> f64 {
+        self.m2[i] / (self.n as f64 - 1.0)
+    }
+}
+
+/// Streaming Welch t-test: one-pass Welford statistics over the fixed
+/// and random populations, mergeable across campaign shards.
+///
+/// The batch [`welch_t`] needs both trace populations in memory; this
+/// accumulator keeps only a running mean and centered second moment per
+/// sample (`O(samples)` state), updated as traces arrive and combined
+/// across worker shards with Chan's parallel-variance formula.
+///
+/// ```
+/// use sca_analysis::{welch_t, TraceSet, TtestAccumulator};
+///
+/// let mut fixed = TraceSet::new(2);
+/// let mut random = TraceSet::new(2);
+/// let mut acc = TtestAccumulator::new(2);
+/// for i in 0..12u32 {
+///     let wobble = (i as f32 * 0.817).sin();
+///     let fixed_trace = vec![1.0 + wobble, 5.0];
+///     let random_trace = vec![1.0 - wobble, -1.0 + wobble];
+///     acc.add_fixed(&fixed_trace);
+///     acc.add_random(&random_trace);
+///     fixed.push(fixed_trace, vec![]);
+///     random.push(random_trace, vec![]);
+/// }
+/// for (streamed, batch) in acc.t_statistics().iter().zip(welch_t(&fixed, &random)) {
+///     assert!((streamed - batch).abs() < 1e-9);
+/// }
+/// assert!(acc.leaks()); // sample 1 separates the populations
+/// ```
+#[derive(Clone, Debug)]
+pub struct TtestAccumulator {
+    fixed: Welford,
+    random: Welford,
+}
+
+impl TtestAccumulator {
+    /// Creates an accumulator for traces of `width` samples.
+    pub fn new(width: usize) -> TtestAccumulator {
+        TtestAccumulator {
+            fixed: Welford::new(width),
+            random: Welford::new(width),
+        }
+    }
+
+    /// Absorbs one fixed-input trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace width disagrees with the accumulator.
+    pub fn add_fixed(&mut self, trace: &[f32]) {
+        self.fixed.add(trace);
+    }
+
+    /// Absorbs one random-input trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace width disagrees with the accumulator.
+    pub fn add_random(&mut self, trace: &[f32]) {
+        self.random.add(trace);
+    }
+
+    /// Traces absorbed as `(fixed, random)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.fixed.n, self.random.n)
+    }
+
+    /// Merges a shard that absorbed disjoint traces.
+    pub fn merge(&mut self, other: &TtestAccumulator) {
+        self.fixed.merge(&other.fixed);
+        self.random.merge(&other.random);
+    }
+
+    /// Point-wise Welch t statistics (same convention as [`welch_t`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population holds fewer than two traces.
+    pub fn t_statistics(&self) -> Vec<f64> {
+        assert!(
+            self.fixed.n >= 2 && self.random.n >= 2,
+            "need at least two traces per population"
+        );
+        let na = self.fixed.n as f64;
+        let nb = self.random.n as f64;
+        (0..self.fixed.mean.len())
+            .map(|i| {
+                let se = (self.fixed.variance(i) / na + self.random.variance(i) / nb).sqrt();
+                if se == 0.0 {
+                    0.0
+                } else {
+                    (self.fixed.mean[i] - self.random.mean[i]) / se
+                }
+            })
+            .collect()
+    }
+
+    /// Whether any sample's |t| crosses [`TVLA_THRESHOLD`].
+    pub fn leaks(&self) -> bool {
+        self.t_statistics().iter().any(|t| t.abs() > TVLA_THRESHOLD)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +256,41 @@ mod tests {
         let a = population(0.0, 200, 3);
         let b = population(0.0, 200, 4);
         assert!(!leaks(&a, &b));
+    }
+
+    #[test]
+    fn streaming_ttest_matches_batch_and_merges() {
+        let a = population(2.0, 150, 5);
+        let b = population(0.0, 170, 6);
+        let batch = welch_t(&a, &b);
+        // Two shards, round-robin traces, then merged.
+        let mut shard0 = TtestAccumulator::new(4);
+        let mut shard1 = TtestAccumulator::new(4);
+        for i in 0..a.len() {
+            let shard = if i % 2 == 0 { &mut shard0 } else { &mut shard1 };
+            shard.add_fixed(a.trace(i));
+        }
+        for i in 0..b.len() {
+            let shard = if i % 3 == 0 { &mut shard0 } else { &mut shard1 };
+            shard.add_random(b.trace(i));
+        }
+        shard0.merge(&shard1);
+        assert_eq!(shard0.counts(), (150, 170));
+        let streamed = shard0.t_statistics();
+        for (s, w) in streamed.iter().zip(&batch) {
+            assert!((s - w).abs() < 1e-9, "{s} vs {w}");
+        }
+        assert!(shard0.leaks());
+    }
+
+    #[test]
+    #[should_panic(expected = "two traces per population")]
+    fn streaming_ttest_needs_two_traces() {
+        let mut acc = TtestAccumulator::new(1);
+        acc.add_fixed(&[1.0]);
+        acc.add_random(&[1.0]);
+        acc.add_random(&[2.0]);
+        let _ = acc.t_statistics();
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Minimal command-line parsing shared by the regeneration binaries.
 
-/// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--full`.
+use std::fmt;
+
+/// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--batch N`,
+/// `--full`.
 ///
 /// `--full` raises trace counts to the paper's scale (100k traces for
 /// the characterizations, Figure 3); without it the defaults are sized
-/// for a quick run with the same qualitative outcome.
+/// for a quick run with the same qualitative outcome. `--batch` sets how
+/// many traces each campaign worker buffers between accumulator updates
+/// (it bounds transient memory and never changes results).
 #[derive(Clone, Copy, Debug)]
 pub struct CommonArgs {
     /// Trace count override.
@@ -13,6 +18,8 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Traces buffered per worker between sink updates.
+    pub batch: usize,
     /// Paper-scale campaign.
     pub full: bool,
 }
@@ -23,36 +30,83 @@ impl Default for CommonArgs {
             traces: None,
             seed: 0xdac_2018,
             threads: 8,
+            batch: sca_campaign::DEFAULT_BATCH,
             full: false,
         }
     }
 }
 
+/// A rejected command line: the offending argument and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgsError(String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --full";
+
 impl CommonArgs {
-    /// Parses `std::env::args`, ignoring unknown flags.
+    /// Parses `std::env::args`, exiting with status 2 on anything it
+    /// does not recognize — a typo like `--trace` must fail loudly, not
+    /// silently run the default campaign. `--help`/`-h` print the flag
+    /// list and exit 0.
     pub fn parse() -> CommonArgs {
-        let mut out = CommonArgs::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--traces" => {
-                    out.traces = args.next().and_then(|v| v.parse().ok());
-                }
-                "--seed" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        out.seed = v;
-                    }
-                }
-                "--threads" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        out.threads = v;
-                    }
-                }
-                "--full" => out.full = true,
-                _ => {}
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match CommonArgs::parse_from(args) {
+            Ok(args) => args,
+            Err(error) => {
+                eprintln!("error: {error}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
             }
         }
-        out
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unrecognized flag, a flag missing its
+    /// value, or a value that does not parse.
+    pub fn parse_from<I>(args: I) -> Result<CommonArgs, ArgsError>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut out = CommonArgs::default();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| -> Result<String, ArgsError> {
+                args.next()
+                    .ok_or_else(|| ArgsError(format!("flag '{flag}' expects a value")))
+            };
+            match arg.as_str() {
+                "--traces" => out.traces = Some(parse_value(&arg, &value(&arg)?)?),
+                "--seed" => out.seed = parse_value(&arg, &value(&arg)?)?,
+                "--threads" => out.threads = parse_value(&arg, &value(&arg)?)?,
+                "--batch" => out.batch = parse_value(&arg, &value(&arg)?)?,
+                "--full" => out.full = true,
+                unknown => {
+                    return Err(ArgsError(format!("unrecognized argument '{unknown}'")));
+                }
+            }
+        }
+        if out.threads == 0 {
+            return Err(ArgsError("'--threads' must be at least 1".to_owned()));
+        }
+        if out.batch == 0 {
+            return Err(ArgsError("'--batch' must be at least 1".to_owned()));
+        }
+        Ok(out)
     }
 
     /// Picks the trace count: explicit override, else `full_default` when
@@ -66,9 +120,18 @@ impl CommonArgs {
     }
 }
 
+fn parse_value<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ArgsError> {
+    raw.parse()
+        .map_err(|_| ArgsError(format!("flag '{flag}' got unparsable value '{raw}'")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, ArgsError> {
+        CommonArgs::parse_from(args.iter().copied().map(str::to_owned))
+    }
 
     #[test]
     fn trace_count_precedence() {
@@ -78,5 +141,50 @@ mod tests {
         assert_eq!(args.trace_count(100, 100_000), 100_000);
         args.traces = Some(42);
         assert_eq!(args.trace_count(100, 100_000), 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = parse(&[
+            "--traces",
+            "500",
+            "--seed",
+            "9",
+            "--threads",
+            "3",
+            "--batch",
+            "32",
+            "--full",
+        ])
+        .unwrap();
+        assert_eq!(args.traces, Some(500));
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.threads, 3);
+        assert_eq!(args.batch, 32);
+        assert!(args.full);
+    }
+
+    #[test]
+    fn empty_args_yield_defaults() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.traces, None);
+        assert_eq!(args.seed, 0xdac_2018);
+        assert_eq!(args.threads, 8);
+        assert_eq!(args.batch, sca_campaign::DEFAULT_BATCH);
+        assert!(!args.full);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let error = parse(&["--trace", "500"]).unwrap_err();
+        assert!(error.to_string().contains("--trace"), "{error}");
+    }
+
+    #[test]
+    fn missing_and_bad_values_are_rejected() {
+        assert!(parse(&["--traces"]).is_err());
+        assert!(parse(&["--seed", "not-a-number"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--batch", "0"]).is_err());
     }
 }

@@ -31,6 +31,7 @@ fn characterization(args: &CommonArgs) -> CharacterizationConfig {
         traces: args.trace_count(800, 20_000),
         executions_per_trace: 2,
         threads: args.threads,
+        batch: args.batch,
         seed: args.seed,
         ..CharacterizationConfig::default()
     }

@@ -12,6 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         executions_per_trace: if args.full { 16 } else { 4 },
         seed: args.seed,
         threads: args.threads,
+        batch: args.batch,
         ..Figure3Config::default()
     };
     println!(

@@ -12,6 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces: args.trace_count(2500, 10_000),
         seed: args.seed,
         threads: args.threads,
+        batch: args.batch,
         ..Figure4Config::default()
     };
     println!(

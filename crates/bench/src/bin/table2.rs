@@ -13,6 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces: args.trace_count(4000, 100_000),
         executions_per_trace: if args.full { 16 } else { 4 },
         threads: args.threads,
+        batch: args.batch,
         seed: args.seed,
         ..CharacterizationConfig::default()
     };

@@ -12,10 +12,8 @@ use std::collections::BTreeMap;
 use rand::Rng;
 
 use sca_aes::{aes128_program, AesSim, SubBytesHw};
-use sca_analysis::{cpa_attack, CpaConfig};
-use sca_power::{
-    AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer,
-};
+use sca_campaign::{Campaign, CampaignConfig, CpaSink};
+use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
 use sca_uarch::{PipelineObserver, UarchConfig};
 
 /// Figure 3 campaign parameters.
@@ -30,6 +28,8 @@ pub struct Figure3Config {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Traces buffered per worker between accumulator updates.
+    pub batch: usize,
     /// The AES key under attack.
     pub key: [u8; 16],
     /// Which SubBytes output byte the model targets.
@@ -45,6 +45,7 @@ impl Default for Figure3Config {
             executions_per_trace: 4,
             seed: 0xf1931,
             threads: 8,
+            batch: sca_campaign::DEFAULT_BATCH,
             key: *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c",
             target_byte: 0,
             noise: GaussianNoise::bare_metal(),
@@ -200,7 +201,10 @@ pub fn round1_regions(sim: &AesSim) -> Result<Vec<CycleRegion>, Box<dyn std::err
     Ok(kept)
 }
 
-/// Runs the Figure 3 experiment.
+/// Runs the Figure 3 experiment through the streaming campaign engine:
+/// traces are synthesized in sharded batches and folded straight into an
+/// online CPA accumulator, so memory stays `O(guesses × samples)` at any
+/// trace count.
 ///
 /// # Errors
 ///
@@ -217,16 +221,24 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
         .unwrap_or(1200);
     let analysis_samples = (analysis_end_cycle as f64 * samples_per_cycle) as usize;
 
-    let acquisition = AcquisitionConfig {
-        traces: config.traces,
-        executions_per_trace: config.executions_per_trace,
-        sampling,
-        noise: config.noise,
-        seed: config.seed,
-        threads: config.threads,
+    let campaign = Campaign::new(
+        LeakageWeights::cortex_a7(),
+        CampaignConfig {
+            traces: config.traces,
+            executions_per_trace: config.executions_per_trace,
+            sampling,
+            noise: config.noise,
+            seed: config.seed,
+            threads: config.threads,
+            batch: config.batch,
+        },
+    )
+    .with_window(0, analysis_samples);
+
+    let model = SubBytesHw {
+        byte: config.target_byte,
     };
-    let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), acquisition);
-    let traces = synth.acquire(
+    let sink = campaign.run(
         sim.cpu(),
         sim.entry(),
         |rng, _| {
@@ -235,20 +247,10 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
             pt
         },
         AesSim::stage_plaintext,
+        |samples| CpaSink::new(model, 256, samples),
     )?;
-    let traces = traces.truncated(analysis_samples);
-
-    let model = SubBytesHw {
-        byte: config.target_byte,
-    };
-    let result = cpa_attack(
-        &traces,
-        &model,
-        &CpaConfig {
-            guesses: 256,
-            threads: config.threads,
-        },
-    );
+    let traces_used = sink.len() as usize;
+    let result = sink.finish();
 
     let correct = config.key[config.target_byte];
     let series_correct = result.series(usize::from(correct)).to_vec();
@@ -288,6 +290,6 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
         recovered: result.best_guess() as u8,
         correct,
         samples_per_cycle,
-        traces: traces.len(),
+        traces: traces_used,
     })
 }

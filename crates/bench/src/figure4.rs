@@ -11,11 +11,10 @@
 use rand::Rng;
 
 use sca_aes::{AesSim, SubBytesStoreHd};
-use sca_analysis::{cpa_attack, model_correlation, CpaConfig, InputModel, SelectionFunction};
+use sca_analysis::SelectionFunction;
+use sca_campaign::{Campaign, CampaignConfig, CorrSink, CpaSink};
 use sca_osnoise::LinuxEnvironment;
-use sca_power::{
-    AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer,
-};
+use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
 use sca_uarch::UarchConfig;
 
 /// Figure 4 campaign parameters.
@@ -29,6 +28,8 @@ pub struct Figure4Config {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Traces buffered per worker between accumulator updates.
+    pub batch: usize,
     /// The AES key under attack.
     pub key: [u8; 16],
     /// Target byte (its predecessor's key byte is assumed recovered).
@@ -45,6 +46,7 @@ impl Default for Figure4Config {
             executions_per_trace: 16,
             seed: 0xf1947,
             threads: 8,
+            batch: sca_campaign::DEFAULT_BATCH,
             key: *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c",
             target_byte: 1,
             noise: GaussianNoise::bare_metal(),
@@ -99,7 +101,10 @@ impl Figure4Result {
     }
 }
 
-/// Runs the Figure 4 experiment.
+/// Runs the Figure 4 experiment through the streaming campaign engine:
+/// the loaded-Linux acquisition and the bare-metal reference are both
+/// sharded campaigns whose traces fold straight into online accumulators
+/// — no trace matrix is ever materialized.
 ///
 /// # Errors
 ///
@@ -109,26 +114,6 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
     let sampling = SamplingConfig::picoscope_500msps_120mhz();
     let environment = LinuxEnvironment::loaded_apache(&sampling)?;
 
-    let acquisition = AcquisitionConfig {
-        traces: config.traces,
-        executions_per_trace: config.executions_per_trace,
-        sampling,
-        noise: config.noise,
-        seed: config.seed,
-        threads: config.threads,
-    };
-    let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), acquisition);
-    let traces = synth.acquire_with(
-        sim.cpu(),
-        sim.entry(),
-        |rng, _| {
-            let mut pt = vec![0u8; 16];
-            rng.fill(&mut pt[..]);
-            pt
-        },
-        AesSim::stage_plaintext,
-        |rng, samples| environment.apply(rng, samples),
-    )?;
     // Focus the analysis on the round-1 SubBytes region, as the paper's
     // 0.7 µs Figure 4 span does; a narrow window both localizes the
     // targeted stores and keeps the wrong-guess extreme-value floor low.
@@ -144,8 +129,12 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
         let len = ((sb.1 - sb.0 + 24) as f64 * spc) as usize;
         (start.saturating_sub(8), len + 16)
     };
-    let traces = traces.window(window_start, window_len);
 
+    let generate = |rng: &mut rand::rngs::StdRng, _| {
+        let mut pt = vec![0u8; 16];
+        rng.fill(&mut pt[..]);
+        pt
+    };
     let model = SubBytesStoreHd {
         byte: config.target_byte,
         prev_key: config.key[config.target_byte - 1],
@@ -154,42 +143,57 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
     // Bare-metal reference: same model, same window, quiet environment —
     // quantifies the amplitude the OS noise costs.
     let bare_metal_peak = {
-        let quiet = AcquisitionConfig {
-            traces: 300,
-            executions_per_trace: config.executions_per_trace,
-            sampling: SamplingConfig::picoscope_500msps_120mhz(),
-            noise: config.noise,
-            seed: config.seed ^ 0xbabe,
-            threads: config.threads,
-        };
-        let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), quiet);
-        let reference = synth.acquire(
+        let quiet = Campaign::new(
+            LeakageWeights::cortex_a7(),
+            CampaignConfig {
+                traces: 300,
+                executions_per_trace: config.executions_per_trace,
+                sampling: SamplingConfig::picoscope_500msps_120mhz(),
+                noise: config.noise,
+                seed: config.seed ^ 0xbabe,
+                threads: config.threads,
+                batch: config.batch,
+            },
+        )
+        .with_window(window_start, window_len);
+        let reference = quiet.run(
             sim.cpu(),
             sim.entry(),
-            |rng, _| {
-                let mut pt = vec![0u8; 16];
-                rng.fill(&mut pt[..]);
-                pt
-            },
+            generate,
             AesSim::stage_plaintext,
+            |samples| {
+                CorrSink::new(
+                    move |input: &[u8]| model.predict(input, config.key[config.target_byte]),
+                    samples,
+                )
+            },
         )?;
-        let reference = reference.window(window_start, window_len);
-        let correct_key_model = InputModel::new(model.name(), move |input: &[u8]| {
-            model.predict(input, config.key[config.target_byte])
-        });
-        model_correlation(&reference, &correct_key_model)
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0, f64::max)
+        reference.peak()
     };
-    let result = cpa_attack(
-        &traces,
-        &model,
-        &CpaConfig {
-            guesses: 256,
+
+    let campaign = Campaign::new(
+        LeakageWeights::cortex_a7(),
+        CampaignConfig {
+            traces: config.traces,
+            executions_per_trace: config.executions_per_trace,
+            sampling,
+            noise: config.noise,
+            seed: config.seed,
             threads: config.threads,
+            batch: config.batch,
         },
-    );
+    )
+    .with_window(window_start, window_len);
+    let sink = campaign.run_with(
+        sim.cpu(),
+        sim.entry(),
+        generate,
+        AesSim::stage_plaintext,
+        |rng, samples| environment.apply(rng, samples),
+        |samples| CpaSink::new(model, 256, samples),
+    )?;
+    let traces_used = sink.len() as usize;
+    let result = sink.finish();
 
     let correct = config.key[config.target_byte];
     let series_correct = result.series(usize::from(correct)).to_vec();
@@ -212,6 +216,6 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
         correct,
         success_confidence: result.success_confidence(usize::from(correct)),
         bare_metal_peak,
-        traces: traces.len(),
+        traces: traces_used,
     })
 }

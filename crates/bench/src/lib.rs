@@ -5,6 +5,14 @@
 //! the Criterion benches. Each driver returns a structured result so
 //! integration tests can assert the paper's qualitative findings — who
 //! leaks, where, and whether the attacks succeed.
+//!
+//! The trace-driven experiments (`figure3`, `figure4`, and — via
+//! `sca-core` — `table2`/`ablation`) all acquire through the
+//! `sca-campaign` streaming engine, so campaigns run in accumulator-
+//! bounded memory and scale across `--threads` without changing
+//! verdicts. [`CommonArgs`] wires
+//! `--traces/--seed/--threads/--batch/--full` into the engine and
+//! rejects anything it does not recognize.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

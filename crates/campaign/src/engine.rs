@@ -1,0 +1,190 @@
+//! The campaign engine: deterministic acquisition fanned across workers,
+//! streamed into mergeable sinks.
+
+use rand::rngs::StdRng;
+
+use sca_power::{
+    AcquisitionConfig, GaussianNoise, LeakageWeights, SamplingConfig, TraceSynthesizer,
+};
+use sca_uarch::{Cpu, UarchError};
+
+use crate::{run_sharded, CampaignSink, ShardPlan, DEFAULT_BATCH};
+
+/// Campaign parameters: the acquisition knobs of
+/// [`AcquisitionConfig`] plus the sharding batch size.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of averaged traces to acquire.
+    pub traces: usize,
+    /// Executions averaged into each trace (the paper uses 16).
+    pub executions_per_trace: usize,
+    /// Sampling chain model.
+    pub sampling: SamplingConfig,
+    /// Per-execution measurement noise.
+    pub noise: GaussianNoise,
+    /// Master seed; every trace's RNG stream derives from it.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Traces buffered per worker between sink updates (`--batch`).
+    pub batch: usize,
+}
+
+impl CampaignConfig {
+    /// A quick default campaign of `traces` averaged traces.
+    pub fn new(traces: usize) -> CampaignConfig {
+        CampaignConfig {
+            traces,
+            executions_per_trace: 16,
+            sampling: SamplingConfig::default(),
+            noise: GaussianNoise::bare_metal(),
+            seed: 0x5ca_1ab1e,
+            threads: 1,
+            batch: DEFAULT_BATCH,
+        }
+    }
+}
+
+/// A streaming trace-acquisition campaign over a simulated CPU.
+///
+/// Wraps a [`TraceSynthesizer`] (so every trace is bit-identical to what
+/// the materializing [`TraceSynthesizer::acquire`] path would record)
+/// and drives it through the sharded engine: workers synthesize batches
+/// of traces and fold them straight into per-worker [`CampaignSink`]s,
+/// which merge in worker order at the end. Peak memory is the sink's
+/// accumulator plus one batch of traces per worker — never the full
+/// `traces × samples` matrix.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    synth: TraceSynthesizer,
+    threads: usize,
+    batch: usize,
+    window: Option<(usize, usize)>,
+}
+
+impl Campaign {
+    /// Creates a campaign engine.
+    pub fn new(weights: LeakageWeights, config: CampaignConfig) -> Campaign {
+        let threads = config.threads.max(1);
+        let batch = config.batch.max(1);
+        let acquisition = AcquisitionConfig {
+            traces: config.traces,
+            executions_per_trace: config.executions_per_trace,
+            sampling: config.sampling,
+            noise: config.noise,
+            seed: config.seed,
+            threads,
+        };
+        Campaign {
+            synth: TraceSynthesizer::new(weights, acquisition),
+            threads,
+            batch,
+            window: None,
+        }
+    }
+
+    /// Restricts the analysis to `samples` points starting at `start`
+    /// (builder style). Traces are cropped *before* they reach the
+    /// sinks, so accumulators only pay for the window — this is how
+    /// `figure3` keeps to round 1 and `figure4` to the SubBytes stores.
+    #[must_use]
+    pub fn with_window(mut self, start: usize, samples: usize) -> Campaign {
+        self.window = Some((start, samples));
+        self
+    }
+
+    /// The underlying acquisition configuration.
+    pub fn config(&self) -> &AcquisitionConfig {
+        self.synth.config()
+    }
+
+    /// The sharding plan this campaign will run with.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan {
+            items: self.synth.config().traces,
+            threads: self.threads,
+            batch: self.batch,
+        }
+    }
+
+    /// Runs the campaign, returning the merged sink.
+    ///
+    /// * `cpu` — loaded (and ideally warmed) template CPU;
+    /// * `entry` — program entry point;
+    /// * `generate` / `stage` — as in [`TraceSynthesizer::acquire`];
+    /// * `sink` — builds one worker's empty sink, given the (windowed)
+    ///   samples per trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from any worker.
+    pub fn run<G, S, K>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+        sink: impl Fn(usize) -> K + Sync,
+    ) -> Result<K, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        K: CampaignSink,
+    {
+        self.run_with(cpu, entry, generate, stage, |_, _| {}, sink)
+    }
+
+    /// Like [`Campaign::run`], with a post-processing hook applied to
+    /// each raw execution's samples (the OS-noise environments inject
+    /// co-resident workload power and jitter through it, exactly as in
+    /// [`TraceSynthesizer::acquire_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from any worker.
+    pub fn run_with<G, S, P, K>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+        post: P,
+        sink: impl Fn(usize) -> K + Sync,
+    ) -> Result<K, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+        K: CampaignSink,
+    {
+        let full = self.synth.probe_samples(cpu, entry, &generate, &stage)?;
+        let (start, samples) = match self.window {
+            Some((start, len)) => {
+                let start = start.min(full);
+                (start, len.min(full - start))
+            }
+            None => (0, full),
+        };
+
+        let plan = self.plan();
+        run_sharded(
+            &plan,
+            || cpu.clone(),
+            || sink(samples),
+            |worker_cpu, acc, range| {
+                let mut inputs: Vec<Vec<u8>> = Vec::with_capacity(range.len());
+                let mut flat: Vec<f32> = Vec::with_capacity(range.len() * samples);
+                for index in range {
+                    let (mut trace, input) = self
+                        .synth
+                        .synthesize_trace(worker_cpu, entry, index, &generate, &stage, &post)?;
+                    trace.resize(full, 0.0);
+                    flat.extend_from_slice(&trace[start..start + samples]);
+                    inputs.push(input);
+                }
+                acc.absorb_batch(&inputs, &flat, samples);
+                Ok(())
+            },
+        )
+    }
+}

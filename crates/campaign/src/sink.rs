@@ -1,0 +1,228 @@
+//! Streaming sinks: what a campaign folds its traces into.
+//!
+//! A sink receives each batch of `(input, trace)` pairs the moment a
+//! worker produces it and reduces them on the spot, so no trace outlives
+//! its batch. Sinks are [`Mergeable`]: each worker owns a private sink
+//! and the engine recombines them in worker order.
+
+use sca_analysis::{CpaAccumulator, CpaResult, PearsonAccumulator, SelectionFunction};
+
+use crate::Mergeable;
+
+/// A streaming consumer of campaign traces.
+///
+/// `traces` is trace-major `inputs.len() × samples`. Implementations
+/// must reduce in index order so results do not depend on batch size.
+pub trait CampaignSink: Mergeable + Send {
+    /// Folds one batch of traces (in index order) into the sink.
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize);
+}
+
+impl<A: CampaignSink, B: CampaignSink> CampaignSink for (A, B) {
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize) {
+        self.0.absorb_batch(inputs, traces, samples);
+        self.1.absorb_batch(inputs, traces, samples);
+    }
+}
+
+/// Streaming CPA: evaluates a [`SelectionFunction`] for every key guess
+/// and folds each batch into a [`CpaAccumulator`].
+///
+/// Memory is `O(guesses × samples)` — the full trace matrix of the
+/// batch attack never exists.
+#[derive(Debug)]
+pub struct CpaSink<S> {
+    selection: S,
+    guesses: usize,
+    acc: CpaAccumulator,
+    /// Scratch prediction buffer, trace-major `batch × guesses`.
+    predictions: Vec<f64>,
+}
+
+impl<S: SelectionFunction> CpaSink<S> {
+    /// Creates a sink attacking `guesses` candidates over traces of
+    /// `samples` points.
+    pub fn new(selection: S, guesses: usize, samples: usize) -> CpaSink<S> {
+        let guesses = guesses.max(1);
+        CpaSink {
+            selection,
+            guesses,
+            acc: CpaAccumulator::new(guesses, samples),
+            predictions: Vec::new(),
+        }
+    }
+
+    /// Traces absorbed so far.
+    pub fn len(&self) -> u64 {
+        self.acc.len()
+    }
+
+    /// Whether no trace was absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Extracts the guess × sample correlation matrix.
+    pub fn finish(&self) -> CpaResult {
+        self.acc.finish()
+    }
+
+    /// The underlying accumulator (e.g. to keep merging across
+    /// campaigns).
+    pub fn accumulator(&self) -> &CpaAccumulator {
+        &self.acc
+    }
+}
+
+impl<S: SelectionFunction> Mergeable for CpaSink<S> {
+    fn merge(&mut self, other: CpaSink<S>) {
+        self.acc.merge(&other.acc);
+    }
+}
+
+impl<S: SelectionFunction> CampaignSink for CpaSink<S> {
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize) {
+        debug_assert_eq!(traces.len(), inputs.len() * samples);
+        self.predictions.clear();
+        for input in inputs {
+            for g in 0..self.guesses {
+                self.predictions
+                    .push(self.selection.predict(input, g as u8));
+            }
+        }
+        self.acc.absorb_batch(&self.predictions, traces);
+    }
+}
+
+/// Streaming model correlation: one key-less leakage model against every
+/// sample point — the characterization primitive behind Table 2, in
+/// `O(samples)` memory.
+#[derive(Debug)]
+pub struct CorrSink<F> {
+    model: F,
+    acc: PearsonAccumulator,
+}
+
+impl<F: Fn(&[u8]) -> f64 + Send> CorrSink<F> {
+    /// Creates a sink correlating `model(input)` over traces of
+    /// `samples` points.
+    pub fn new(model: F, samples: usize) -> CorrSink<F> {
+        CorrSink {
+            model,
+            acc: PearsonAccumulator::new(samples),
+        }
+    }
+
+    /// Traces absorbed so far.
+    pub fn len(&self) -> u64 {
+        self.acc.len()
+    }
+
+    /// Whether no trace was absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Correlation of the model with every sample point.
+    pub fn correlations(&self) -> Vec<f64> {
+        self.acc.correlations()
+    }
+
+    /// Peak |correlation| across the window.
+    pub fn peak(&self) -> f64 {
+        self.correlations()
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<F: Fn(&[u8]) -> f64 + Send> Mergeable for CorrSink<F> {
+    fn merge(&mut self, other: CorrSink<F>) {
+        self.acc.merge(&other.acc);
+    }
+}
+
+impl<F: Fn(&[u8]) -> f64 + Send> CampaignSink for CorrSink<F> {
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize) {
+        for (input, trace) in inputs.iter().zip(traces.chunks_exact(samples)) {
+            self.acc.add((self.model)(input), trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_analysis::{cpa_attack, hw8, CpaConfig, FnSelection, TraceSet};
+
+    fn tiny_set() -> TraceSet {
+        let mut set = TraceSet::new(3);
+        for pt in [0x00u8, 0x13, 0x37, 0x5a, 0xa5, 0xc3, 0xff, 0x42] {
+            let leak = hw8(pt) as f32;
+            set.push(vec![leak, 1.0, -leak], vec![pt]);
+        }
+        set
+    }
+
+    fn model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
+        FnSelection::new("hw(pt^k)", |input: &[u8], k: u8| {
+            f64::from(hw8(input[0] ^ k))
+        })
+    }
+
+    #[test]
+    fn cpa_sink_matches_batch_attack() {
+        let set = tiny_set();
+        let mut sink = CpaSink::new(model(), 256, 3);
+        let mut inputs = Vec::new();
+        let mut flat = Vec::new();
+        for (input, trace) in set.iter() {
+            inputs.push(input.to_vec());
+            flat.extend_from_slice(trace);
+        }
+        sink.absorb_batch(&inputs, &flat, 3);
+        assert_eq!(sink.len(), set.len() as u64);
+        let streamed = sink.finish();
+        let batch = cpa_attack(
+            &set,
+            &model(),
+            &CpaConfig {
+                guesses: 256,
+                threads: 1,
+            },
+        );
+        for g in 0..256 {
+            assert_eq!(streamed.series(g), batch.series(g), "guess {g}");
+        }
+    }
+
+    #[test]
+    fn corr_sink_matches_model_correlation() {
+        let set = tiny_set();
+        let mut sink = CorrSink::new(|input: &[u8]| f64::from(hw8(input[0])), 3);
+        for (input, trace) in set.iter() {
+            sink.absorb_batch(&[input.to_vec()], trace, 3);
+        }
+        let reference = sca_analysis::model_correlation(
+            &set,
+            &sca_analysis::InputModel::new("hw(pt)", |input: &[u8]| f64::from(hw8(input[0]))),
+        );
+        assert_eq!(sink.correlations(), reference);
+        assert!(sink.peak() > 0.99, "direct leak: {}", sink.peak());
+    }
+
+    #[test]
+    fn tuple_sink_feeds_both() {
+        let set = tiny_set();
+        let mut pair = (
+            CpaSink::new(model(), 256, 3),
+            CorrSink::new(|input: &[u8]| f64::from(hw8(input[0])), 3),
+        );
+        for (input, trace) in set.iter() {
+            pair.absorb_batch(&[input.to_vec()], trace, 3);
+        }
+        assert_eq!(pair.0.len(), set.len() as u64);
+        assert_eq!(pair.1.len(), set.len() as u64);
+    }
+}

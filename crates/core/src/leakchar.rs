@@ -26,9 +26,10 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use sca_analysis::{model_correlation, significance_threshold, InputModel};
+use sca_analysis::{significance_threshold, PearsonAccumulator};
+use sca_campaign::{run_sharded, Mergeable, ShardPlan};
 use sca_isa::{AddrMode, Insn, Program, ProgramBuilder, Reg, ShiftKind};
-use sca_power::{ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource, TraceSet};
+use sca_power::{ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource};
 use sca_uarch::{Cpu, NodeKind, NullObserver, UarchConfig, UarchError};
 
 /// Paper-derived expectation for one model cell of Table 2.
@@ -565,6 +566,12 @@ pub struct CharacterizationConfig {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Work-unit granularity of the sharded engine (`--batch`). The
+    /// characterization streams each trace into its accumulators
+    /// immediately, so unlike the attack campaigns this buffers nothing
+    /// — it only sets how many traces a worker processes per engine
+    /// step, and never changes results.
+    pub batch: usize,
 }
 
 impl Default for CharacterizationConfig {
@@ -582,7 +589,26 @@ impl Default for CharacterizationConfig {
             confidence: 0.995,
             seed: 0xdac2018,
             threads: 4,
+            batch: sca_campaign::DEFAULT_BATCH,
         }
+    }
+}
+
+/// Streaming sink of one characterization row: one mergeable Pearson
+/// accumulator per model cell, each correlating its expression against
+/// its component's power sub-trace.
+struct RowSink {
+    /// Index-aligned with the benchmark's `models`.
+    accs: Vec<PearsonAccumulator>,
+    traces: u64,
+}
+
+impl Mergeable for RowSink {
+    fn merge(&mut self, other: RowSink) {
+        for (acc, theirs) in self.accs.iter_mut().zip(&other.accs) {
+            acc.merge(theirs);
+        }
+        self.traces += other.traces;
     }
 }
 
@@ -660,85 +686,73 @@ pub fn run_benchmark(
         (window_len, instants)
     };
 
-    // Per-component trace sets, acquired in one pass per execution.
-    let threads = config.threads.max(1);
-    let chunk = config.traces.div_ceil(threads);
+    // Streaming acquisition through the sharded campaign engine: each
+    // worker synthesizes its index range's multi-channel traces and folds
+    // them straight into per-cell Pearson accumulators, so memory is
+    // O(cells × window) instead of O(traces × components × window).
     let seed = config.seed ^ ((benchmark.row as u64) << 32);
-    let mut partials: Vec<Result<Vec<TraceSet>, UarchError>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(config.traces);
-            if lo >= hi {
-                break;
-            }
-            let template = &template;
-            let stage = &benchmark.stage;
-            let words = benchmark.input_words;
-            let noise = config.noise;
-            let executions = config.executions_per_trace.max(1);
-            handles.push(scope.spawn(move || {
-                let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT)
-                    .map(|_| TraceSet::new(window_len))
-                    .collect();
-                let mut cpu = template.clone();
-                for t in lo..hi {
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
-                    let mut input = vec![0u8; words * 4];
-                    rng.fill(&mut input[..]);
-                    let mut accumulated: Vec<Vec<f64>> =
-                        vec![vec![0.0; window_len]; NodeKind::COUNT];
-                    for e in 0..executions {
-                        cpu.restart_seeded(0, seed ^ ((t as u64) << 8 | e as u64));
-                        stage(&mut cpu, &input);
-                        let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
-                        cpu.run(&mut rec)?;
-                        let mut gauss = noise;
-                        for kind in NodeKind::ALL {
-                            let mut samples = rec.windowed_power(kind);
-                            samples.resize(window_len, 0.0);
-                            gauss.add_to(&mut rng, &mut samples);
-                            for (a, s) in accumulated[kind.index()].iter_mut().zip(&samples) {
-                                *a += s;
-                            }
+    let plan = ShardPlan {
+        items: config.traces,
+        threads: config.threads,
+        batch: config.batch,
+    };
+    let stage = &benchmark.stage;
+    let words = benchmark.input_words;
+    let noise = config.noise;
+    let executions = config.executions_per_trace.max(1);
+    let sink = run_sharded(
+        &plan,
+        || template.clone(),
+        || RowSink {
+            accs: benchmark
+                .models
+                .iter()
+                .map(|_| PearsonAccumulator::new(window_len))
+                .collect(),
+            traces: 0,
+        },
+        |cpu, sink, range| {
+            for t in range {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
+                let mut input = vec![0u8; words * 4];
+                rng.fill(&mut input[..]);
+                let mut accumulated: Vec<Vec<f64>> = vec![vec![0.0; window_len]; NodeKind::COUNT];
+                for e in 0..executions {
+                    cpu.restart_seeded(0, seed ^ ((t as u64) << 8 | e as u64));
+                    stage(cpu, &input);
+                    let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
+                    cpu.run(&mut rec)?;
+                    let mut gauss = noise;
+                    for kind in NodeKind::ALL {
+                        let mut samples = rec.windowed_power(kind);
+                        samples.resize(window_len, 0.0);
+                        gauss.add_to(&mut rng, &mut samples);
+                        for (a, s) in accumulated[kind.index()].iter_mut().zip(&samples) {
+                            *a += s;
                         }
                     }
-                    let inv = 1.0 / executions as f64;
-                    for kind in NodeKind::ALL {
-                        let trace: Vec<f32> = accumulated[kind.index()]
-                            .iter()
-                            .map(|&s| (s * inv) as f32)
-                            .collect();
-                        sets[kind.index()].push(trace, input.clone());
-                    }
                 }
-                Ok(sets)
-            }));
-        }
-        for handle in handles {
-            partials.push(handle.join().expect("worker panicked"));
-        }
-    });
-    let mut sets: Vec<TraceSet> = (0..NodeKind::COUNT)
-        .map(|_| TraceSet::new(window_len))
-        .collect();
-    for partial in partials {
-        for (kind, set) in partial?.into_iter().enumerate() {
-            sets[kind].merge(set);
-        }
-    }
+                let inv = 1.0 / executions as f64;
+                let channels: Vec<Vec<f32>> = accumulated
+                    .iter()
+                    .map(|channel| channel.iter().map(|&s| (s * inv) as f32).collect())
+                    .collect();
+                for (spec, acc) in benchmark.models.iter().zip(&mut sink.accs) {
+                    acc.add((spec.model)(&input), &channels[spec.component.index()]);
+                }
+                sink.traces += 1;
+            }
+            Ok::<(), UarchError>(())
+        },
+    )?;
 
-    let n = sets[0].len() as u64;
+    let n = sink.traces;
     let cells = benchmark
         .models
         .iter()
-        .map(|spec| {
-            let model = InputModel::new(spec.expr.clone(), {
-                let f = Arc::clone(&spec.model);
-                move |input: &[u8]| f(input)
-            });
-            let series = model_correlation(&sets[spec.component.index()], &model);
+        .zip(&sink.accs)
+        .map(|(spec, acc)| {
+            let series = acc.correlations();
             let candidates = &instants[spec.component.index()];
             let (peak_sample, peak_corr) = candidates
                 .iter()

@@ -142,19 +142,7 @@ impl TraceSynthesizer {
         S: Fn(&mut Cpu, &[u8]) + Sync,
         P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
     {
-        // Probe run: determine the window length in samples.
-        let samples_per_trace = {
-            let mut probe_cpu = cpu.clone();
-            let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, u64::MAX));
-            let input = generate(&mut rng, usize::MAX);
-            probe_cpu.restart_seeded(entry, 0);
-            stage(&mut probe_cpu, &input);
-            let mut recorder = PowerRecorder::new(self.weights.clone());
-            probe_cpu.run(&mut recorder)?;
-            self.config
-                .sampling
-                .sample_count(recorder.windowed_power().len())
-        };
+        let samples_per_trace = self.probe_samples(cpu, entry, &generate, &stage)?;
 
         let threads = self.config.threads.max(1).min(self.config.traces.max(1));
         if threads <= 1 {
@@ -162,7 +150,7 @@ impl TraceSynthesizer {
             let mut worker_cpu = cpu.clone();
             for t in 0..self.config.traces {
                 let (trace, input) =
-                    self.one_trace(&mut worker_cpu, entry, t, &generate, &stage, &post)?;
+                    self.synthesize_trace(&mut worker_cpu, entry, t, &generate, &stage, &post)?;
                 set.push(trace, input);
             }
             return Ok(set);
@@ -187,8 +175,14 @@ impl TraceSynthesizer {
                     let mut set = TraceSet::new(samples_per_trace);
                     let mut worker_cpu = template.clone();
                     for t in lo..hi {
-                        let (trace, input) =
-                            self.one_trace(&mut worker_cpu, entry, t, generate, stage, post)?;
+                        let (trace, input) = self.synthesize_trace(
+                            &mut worker_cpu,
+                            entry,
+                            t,
+                            generate,
+                            stage,
+                            post,
+                        )?;
                         set.push(trace, input);
                     }
                     Ok(set)
@@ -205,7 +199,54 @@ impl TraceSynthesizer {
         Ok(set)
     }
 
-    fn one_trace<G, S, P>(
+    /// Probe run: determines the trace window length in samples by
+    /// executing once with a throwaway input (index `usize::MAX`, so the
+    /// probe's RNG stream never collides with a real trace's).
+    ///
+    /// Campaign engines call this up front so streaming sinks can size
+    /// their accumulators before the first real trace exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn probe_samples<G, S>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: &G,
+        stage: &S,
+    ) -> Result<usize, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+    {
+        let mut probe_cpu = cpu.clone();
+        let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, u64::MAX));
+        let input = generate(&mut rng, usize::MAX);
+        probe_cpu.restart_seeded(entry, 0);
+        stage(&mut probe_cpu, &input);
+        let mut recorder = PowerRecorder::new(self.weights.clone());
+        probe_cpu.run(&mut recorder)?;
+        Ok(self
+            .config
+            .sampling
+            .sample_count(recorder.windowed_power().len()))
+    }
+
+    /// Synthesizes the single trace at `index`: draws the input from the
+    /// trace's own seeded RNG stream, runs `executions_per_trace`
+    /// executions, and averages them (noise and `post` applied per
+    /// execution).
+    ///
+    /// A trace depends only on `(config.seed, index)` — never on the
+    /// thread that produced it — which is the determinism contract the
+    /// sharded campaign engine in `sca-campaign` is built on. `cpu` is a
+    /// worker-local clone of the loaded template CPU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn synthesize_trace<G, S, P>(
         &self,
         cpu: &mut Cpu,
         entry: u32,

@@ -17,6 +17,7 @@
 //! | [`uarch`] | `sca-uarch` | the dual-issue pipeline simulator and its leakage nodes |
 //! | [`power`] | `sca-power` | leakage weights, noise, trace synthesis |
 //! | [`analysis`] | `sca-analysis` | Pearson CPA, significance statistics, t-test, SNR |
+//! | [`campaign`] | `sca-campaign` | sharded streaming campaign engine and sinks |
 //! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementation under attack |
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
@@ -68,6 +69,11 @@ pub mod analysis {
     pub use sca_analysis::*;
 }
 
+/// Sharded streaming campaign engine (re-export of `sca-campaign`).
+pub mod campaign {
+    pub use sca_campaign::*;
+}
+
 /// AES-128 target (re-export of `sca-aes`).
 pub mod aes {
     pub use sca_aes::*;
@@ -88,9 +94,10 @@ pub mod core {
 pub mod prelude {
     pub use sca_aes::{encrypt_block, AesSim, SubBytesHw, SubBytesStoreHd};
     pub use sca_analysis::{
-        cpa_attack, model_correlation, pearson, significance_threshold, CpaConfig, FnSelection,
-        InputModel, TraceSet,
+        cpa_attack, model_correlation, pearson, significance_threshold, CpaAccumulator, CpaConfig,
+        FnSelection, InputModel, TraceSet,
     };
+    pub use sca_campaign::{Campaign, CampaignConfig, CampaignSink, CorrSink, CpaSink, ShardPlan};
     pub use sca_core::{
         audit_program, characterize, measure_cpi, table2_benchmarks, AuditConfig,
         CharacterizationConfig, CpiBenchmark, DualIssueMap, PipelineHypothesis, SecretModel,
