@@ -1,0 +1,323 @@
+; First-order Boolean-masked AES-128 for the simulated Cortex-A7-like
+; core — the countermeasure the DAC 2018 paper's Section 4.2 reasons
+; about, implemented so that it is *provably first-order secure at the
+; ISA level*:
+;
+;   * masked S-box by table re-computation: each encryption draws a
+;     table-input mask `min` and a table-output mask `mout` and rebuilds
+;     MTAB[y] = SBOX[y ^ min] ^ mout (Herbst et al., CHES 2006 style);
+;   * per-row MixColumns masks m0..m3: before MixColumns the state is
+;     re-masked row-wise from `mout` to m0..m3, so the 4-way XOR inside
+;     the column transform combines bytes carrying *different* masks and
+;     its row sums stay masked (a uniform mask would cancel there);
+;   * share refresh between rounds: after AddRoundKey the state is
+;     re-masked from the MixColumns output masks m0'..m3' (computed by
+;     running the column transform once over the mask column) back to
+;     the table-input mask `min`.
+;
+; Every architectural intermediate between the trigger edges is blinded
+; by at least one fresh random mask — value-based (ISA-level) first-order
+; analysis finds nothing. What this schedule does NOT control is the
+; micro-architecture: SubBytes still stores its masked outputs
+; back-to-back, and because both bytes of a store pair carry the *same*
+; output mask `mout`, the transition on the LSU store-data path (IS/EX
+; operand buffer, operand bus, align buffer) is
+;     HD(S[x_i] ^ mout, S[x_j] ^ mout)  =  HD(S[x_i], S[x_j])
+; — the mask cancels, and the Figure 4 consecutive-store model attacks
+; the masked implementation as if it were unprotected. The `masked`
+; experiment binary demonstrates exactly that, and the `sca-sched`
+; hardening pass (public scrub stores between share stores) removes it.
+;
+; Memory contract with the Rust harness (crates/aes/src/masked.rs):
+;   STATE  0x1000  16-byte block, in/out, FIPS-197 byte order
+;   RK     0x1100  176 bytes of expanded round keys
+;   SBOX   0x1200  256-byte S-box table (unmasked reference)
+;   MASKS  0x1300  6 mask bytes: min, mout, m0, m1, m2, m3
+;   DELTA  0x1308  8 derived re-mask bytes (pre-MC row deltas, post-ARK
+;                  row deltas) — computed here, not staged
+;   MCOL   0x1310  4-byte scratch column for deriving m0'..m3'
+;   SCRUB  0x3000  public scrub cell (scheduler contract, see below)
+;   MTAB   0x1400  256-byte re-computed masked S-box table
+; The harness stages RK/SBOX once and rewrites STATE/MASKS per run.
+;
+; Scheduler contract: r6 (public zero) and r10 (address of SCRUB) are
+; initialized below and never otherwise used, so the `sca-sched`
+; hardening passes may insert `strb r6, [r10]` / `eor r6, r6, r6`
+; scrub instructions anywhere without changing the computation.
+
+; (DELTA = MASKS + 8 and MCOL = MASKS + 16 are materialized with an
+; add, as they are not rotated-8-bit encodable immediates.)
+        .equ  STATE, 0x1000
+        .equ  RK,    0x1100
+        .equ  SBOX,  0x1200
+        .equ  MASKS, 0x1300
+        .equ  SCRUB, 0x3000
+        .equ  MTAB,  0x1400
+        .equ  STACK, 0x4000
+
+start:  mov   sp, #STACK
+        mov   r6, #0            ; public scrub value (sched contract)
+        mov   r10, #SCRUB       ; public scrub cell (sched contract)
+        bl    remask_table      ; MTAB[y] = SBOX[y ^ min] ^ mout
+        bl    mask_sched        ; derive the row re-mask deltas
+        trig  #1
+        mov   r4, #STATE
+        bl    mask_state        ; state ^= min
+        mov   r7, #RK
+        bl    addkey            ; whitening key; state masked with min
+        mov   r8, #9
+round:  bl    subbytes          ; masked table: min -> mout
+        bl    shiftrows         ; row permutation, mask unchanged
+        bl    premc             ; rows: mout -> m0..m3
+        bl    mixcolumns        ; rows: m0..m3 -> m0'..m3'
+        bl    addkey
+        bl    postmc            ; rows: m0'..m3' -> min (share refresh)
+        subs  r8, r8, #1
+        bne   round
+        bl    subbytes          ; final round: min -> mout
+        bl    shiftrows
+        bl    addkey
+        bl    unmask            ; state ^= mout -> public ciphertext
+        trig  #0
+        halt
+
+; --- masked table re-computation (outside the trigger window) --------
+; MTAB[y] = SBOX[y ^ min] ^ mout for y = 0..255.
+remask_table:
+        mov   r2, #MASKS
+        ldrb  r0, [r2]          ; min
+        ldrb  r1, [r2, #1]      ; mout
+        mov   r2, #SBOX
+        mov   r3, #MTAB
+        mov   r5, #0            ; y
+rt_loop:
+        eor   r9, r5, r0        ; y ^ min
+        ldrb  r9, [r2, r9]      ; SBOX[y ^ min]
+        eor   r9, r9, r1        ; ^ mout
+        strb  r9, [r3, r5]      ; MTAB[y]
+        add   r5, r5, #1
+        cmp   r5, #0x100
+        bne   rt_loop
+        bx    lr
+
+; --- mask schedule: m0'..m3' and the two per-row delta tables --------
+; Runs the MixColumns column transform once over [m0..m3] (mask bytes
+; are public randomness, never combined with the state here), then
+; stores DELTA[r] = mout ^ m_r and DELTA[4+r] = m_r' ^ min.
+mask_sched:
+        push  {lr}
+        mov   r2, #MASKS
+        mov   r3, #MASKS
+        add   r3, r3, #0x10     ; MCOL
+        ldrb  r0, [r2, #2]      ; m0
+        strb  r0, [r3]
+        ldrb  r0, [r2, #3]      ; m1
+        strb  r0, [r3, #1]
+        ldrb  r0, [r2, #4]      ; m2
+        strb  r0, [r3, #2]
+        ldrb  r0, [r2, #5]      ; m3
+        strb  r0, [r3, #3]
+        mov   r12, r3           ; one column, in place
+        mov   r9, #1
+        bl    mc_cols           ; MCOL <- m0'..m3'
+        mov   r2, #MASKS
+        ldrb  r0, [r2]          ; min
+        ldrb  r1, [r2, #1]      ; mout
+        mov   r3, #MASKS
+        add   r3, r3, #8        ; DELTA
+        mov   r5, #MASKS
+        add   r5, r5, #0x10     ; MCOL
+        mov   r11, #0           ; row
+ds_loop:
+        add   r12, r11, #2
+        ldrb  r9, [r2, r12]     ; m_r
+        eor   r9, r9, r1        ; ^ mout
+        strb  r9, [r3, r11]     ; DELTA[r]
+        ldrb  r9, [r5, r11]     ; m_r'
+        eor   r9, r9, r0        ; ^ min
+        add   r12, r11, #4
+        strb  r9, [r3, r12]     ; DELTA[4 + r]
+        add   r11, r11, #1
+        cmp   r11, #4
+        bne   ds_loop
+        pop   {pc}
+
+; --- uniform state XOR helpers ---------------------------------------
+; xor16 XORs the byte in r1 into all 16 state bytes (r4 = state base).
+mask_state:
+        mov   r2, #MASKS
+        ldrb  r1, [r2]          ; min
+        b     xor16
+unmask:
+        mov   r2, #MASKS
+        ldrb  r1, [r2, #1]      ; mout
+xor16:  mov   r3, r4
+        mov   r0, #16
+x16_loop:
+        ldrb  r5, [r3]
+        eor   r5, r5, r1
+        strb  r5, [r3], #1
+        subs  r0, r0, #1
+        bne   x16_loop
+        bx    lr
+
+; --- row-wise re-masking ---------------------------------------------
+; state[i] ^= DELTA[table + (i & 3)]; the state is column-major, so
+; i & 3 is the row index.
+premc:  mov   r2, #MASKS
+        add   r2, r2, #8        ; DELTA
+        b     xorrows
+postmc: mov   r2, #MASKS
+        add   r2, r2, #12       ; DELTA + 4
+xorrows:
+        mov   r3, r4
+        mov   r0, #0
+xr_loop:
+        and   r1, r0, #3        ; row
+        ldrb  r5, [r2, r1]      ; delta for this row
+        ldrb  r9, [r3]
+        eor   r9, r9, r5
+        strb  r9, [r3], #1
+        add   r0, r0, #1
+        cmp   r0, #16
+        bne   xr_loop
+        bx    lr
+
+; --- AddRoundKey: state ^= *r7, word-wise; r7 += 16 ------------------
+addkey: ldr   r0, [r4]
+        ldr   r1, [r7], #4
+        eor   r0, r0, r1
+        str   r0, [r4]
+        ldr   r0, [r4, #4]
+        ldr   r1, [r7], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #4]
+        ldr   r0, [r4, #8]
+        ldr   r1, [r7], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #8]
+        ldr   r0, [r4, #12]
+        ldr   r1, [r7], #4
+        eor   r0, r0, r1
+        str   r0, [r4, #12]
+        bx    lr
+
+; --- SubBytes: state[i] = MTAB[state[i]], i = 0..15 in order ---------
+; Identical schedule to the unprotected implementation: the next input
+; byte is fetched before the current table output is stored, and the
+; outputs stream through the LSU's store-data path back to back — the
+; consecutive-store pair whose transition cancels the shared `mout`.
+subbytes:
+        mov   r2, #MTAB
+        mov   r3, r4            ; read pointer
+        mov   r12, r4           ; write pointer
+        mov   r0, #7
+        ldrb  r1, [r3], #1      ; x0 (masked min)
+        ldrb  r1, [r2, r1]      ; s0 = MTAB[x0] (masked mout)
+        ldrb  r9, [r3], #1      ; x1
+        ldrb  r9, [r2, r9]      ; s1
+sb_loop:
+        ldrb  r5, [r3], #1      ; x(i+2)
+        ldrb  r11, [r3], #1     ; x(i+3)
+        strb  r1, [r12], #1     ; store s(i)
+        strb  r9, [r12], #1     ; store s(i+1), back to back
+        ldrb  r5, [r2, r5]      ; s(i+2)
+        ldrb  r11, [r2, r11]    ; s(i+3)
+        mov   r1, r5
+        mov   r9, r11
+        subs  r0, r0, #1
+        bne   sb_loop
+        strb  r1, [r12], #1     ; store s14
+        strb  r9, [r12], #1     ; store s15
+        bx    lr
+
+; --- ShiftRows: row r rotates left by r (state is column-major) ------
+shiftrows:
+        ldrb  r0, [r4, #1]      ; row 1: rotate left 1
+        ldrb  r1, [r4, #5]
+        ldrb  r2, [r4, #9]
+        ldrb  r3, [r4, #13]
+        strb  r1, [r4, #1]
+        strb  r2, [r4, #5]
+        strb  r3, [r4, #9]
+        strb  r0, [r4, #13]
+        ldrb  r0, [r4, #2]      ; row 2: rotate left 2 (swap pairs)
+        ldrb  r1, [r4, #6]
+        ldrb  r2, [r4, #10]
+        ldrb  r3, [r4, #14]
+        strb  r2, [r4, #2]
+        strb  r3, [r4, #6]
+        strb  r0, [r4, #10]
+        strb  r1, [r4, #14]
+        ldrb  r0, [r4, #3]      ; row 3: rotate left 3 (= right 1)
+        ldrb  r1, [r4, #7]
+        ldrb  r2, [r4, #11]
+        ldrb  r3, [r4, #15]
+        strb  r3, [r4, #3]
+        strb  r0, [r4, #7]
+        strb  r1, [r4, #11]
+        strb  r2, [r4, #15]
+        bx    lr
+
+; --- MixColumns: rows carry distinct masks m0..m3 --------------------
+; The 4-way XOR `t` combines bytes with four different masks, so it is
+; blinded by m0^m1^m2^m3; each xtime input pairs two different row
+; masks. mc_cols transforms r9 columns starting at r12 (mask_sched
+; reuses it for the one-column mask transform).
+mixcolumns:
+        push  {lr}
+        mov   r12, r4           ; column pointer
+        mov   r9, #4            ; column counter
+        bl    mc_cols
+        pop   {pc}
+mc_cols:
+        push  {lr}
+mc_col: ldrb  r2, [r12]         ; a0
+        ldrb  r3, [r12, #1]     ; a1
+        ldrb  r5, [r12, #2]     ; a2
+        ldrb  r1, [r12, #3]     ; a3
+        eor   r11, r2, r3
+        eor   r0, r5, r1
+        eor   r11, r11, r0      ; t
+        eor   r0, r2, r3
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r2        ; new a0
+        push  {r0}
+        eor   r0, r3, r5
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r3        ; new a1
+        push  {r0}
+        eor   r0, r5, r1
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r5        ; new a2
+        push  {r0}
+        eor   r0, r1, r2
+        bl    xtime
+        eor   r0, r0, r11
+        eor   r0, r0, r1        ; new a3
+        strb  r0, [r12, #3]
+        pop   {r0}
+        strb  r0, [r12, #2]
+        pop   {r0}
+        strb  r0, [r12, #1]
+        pop   {r0}
+        strb  r0, [r12]
+        add   r12, r12, #4
+        subs  r9, r9, #1
+        bne   mc_col
+        pop   {pc}
+
+; --- xtime: GF(2^8) doubling, branchless shift-reduce ----------------
+; arg/result in r0; spills its scratch register.
+xtime:  push  {r1}
+        lsl   r0, r0, #1
+        lsr   r1, r0, #8        ; carried-out bit, 0 or 1
+        rsb   r1, r1, #0        ; 0x00000000 or 0xffffffff
+        and   r1, r1, #0x1b
+        eor   r0, r0, r1
+        and   r0, r0, #0xff
+        pop   {r1}
+        bx    lr

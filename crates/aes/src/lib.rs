@@ -9,6 +9,11 @@
 //!   code the paper attacks — table-based SubBytes (load + store per
 //!   byte), ShiftRows composed with one-byte shifts, MixColumns through a
 //!   non-inlined shift-reduce `xtime` with stack spills;
+//! * a first-order Boolean-masked implementation ([`MaskedAesSim`],
+//!   [`AES128_MASKED_ASM`]): masked S-box by table re-computation,
+//!   per-row MixColumns masks, share refresh between rounds — secure
+//!   under ISA-level analysis, and the countermeasure target of the
+//!   `masked` experiment;
 //! * the paper's two attack models ([`SubBytesHw`] for Figure 3,
 //!   [`SubBytesStoreHd`] for Figure 4).
 
@@ -18,6 +23,7 @@
 mod attack;
 mod golden;
 mod harness;
+mod masked;
 mod models;
 mod sbox;
 
@@ -27,5 +33,9 @@ pub use golden::{
     ROUND_KEY_BYTES,
 };
 pub use harness::{aes128_program, AesSim, AES128_ASM, RK_ADDR, SBOX_ADDR, STATE_ADDR};
+pub use masked::{
+    aes128_masked_program, MaskedAesSim, AES128_MASKED_ASM, MASKED_INPUT_LEN, MASKS_ADDR,
+    MASK_BYTES, MTAB_ADDR, SCRUB_ADDR,
+};
 pub use models::{SubBytesHw, SubBytesStoreHd};
 pub use sbox::{INV_SBOX, SBOX};

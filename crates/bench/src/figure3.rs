@@ -14,7 +14,9 @@ use rand::Rng;
 use sca_aes::{aes128_program, AesSim, SubBytesHw};
 use sca_campaign::{Campaign, CampaignConfig, CpaSink};
 use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
-use sca_uarch::{PipelineObserver, UarchConfig};
+use sca_uarch::UarchConfig;
+
+use crate::probe::RetireLog;
 
 /// Figure 3 campaign parameters.
 #[derive(Clone, Debug)]
@@ -112,25 +114,6 @@ impl Figure3Result {
             .iter()
             .map(|c| c.abs())
             .fold(0.0, f64::max)
-    }
-}
-
-/// Observer extracting trigger-relative retirement cycles.
-#[derive(Default)]
-struct RetireLog {
-    start: Option<u64>,
-    retirements: Vec<(u64, u32)>,
-}
-
-impl PipelineObserver for RetireLog {
-    fn trigger(&mut self, cycle: u64, high: bool) {
-        if high {
-            self.start.get_or_insert(cycle);
-        }
-    }
-
-    fn retire(&mut self, cycle: u64, addr: u32, _insn: sca_isa::Insn) {
-        self.retirements.push((cycle, addr));
     }
 }
 

@@ -20,8 +20,14 @@
 pub mod args;
 pub mod figure3;
 pub mod figure4;
+pub mod masked;
 pub mod plot;
+mod probe;
 
 pub use args::CommonArgs;
 pub use figure3::{run_figure3, Figure3Config, Figure3Result, PhaseRegion};
 pub use figure4::{run_figure4, Figure4Config, Figure4Result};
+pub use masked::{
+    run_masked, AblationRow, AttackOutcome, AuditSummary, MaskedConfig, MaskedResult, TargetResult,
+    TVLA_FIXED_PT,
+};

@@ -1,0 +1,27 @@
+//! Shared pipeline probing for the experiment drivers.
+
+use sca_uarch::PipelineObserver;
+
+/// Observer extracting the first rising-trigger cycle and every
+/// retirement `(cycle, addr)` — the probe `figure3`'s region labeling
+/// and `masked`'s window resolution both run over one warm execution
+/// (the targets are constant-time, so one probe stands for all).
+#[derive(Default)]
+pub(crate) struct RetireLog {
+    /// Cycle of the first rising trigger edge.
+    pub start: Option<u64>,
+    /// Retirements in order.
+    pub retirements: Vec<(u64, u32)>,
+}
+
+impl PipelineObserver for RetireLog {
+    fn trigger(&mut self, cycle: u64, high: bool) {
+        if high {
+            self.start.get_or_insert(cycle);
+        }
+    }
+
+    fn retire(&mut self, cycle: u64, addr: u32, _insn: sca_isa::Insn) {
+        self.retirements.push((cycle, addr));
+    }
+}

@@ -125,8 +125,12 @@
 //!   drives its multi-channel acquisition through this directly;
 //! * [`Campaign`] / [`CampaignConfig`] — the standard power-trace
 //!   campaign (probe for the window length, synthesize, crop, stream);
-//! * [`CampaignSink`] / [`CpaSink`] / [`CorrSink`] — streaming reducers
-//!   built on the mergeable accumulators in [`sca_analysis`].
+//! * [`CampaignSink`] / [`CpaSink`] / [`CorrSink`] / [`TtestSink`] —
+//!   streaming reducers built on the mergeable accumulators in
+//!   [`sca_analysis`]; `TtestSink` routes each trace into the fixed or
+//!   random TVLA population by classifying its input, which is how the
+//!   `masked` countermeasure campaigns run fixed-vs-random assessments
+//!   through the same sharded engine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -137,4 +141,4 @@ mod sink;
 
 pub use engine::{Campaign, CampaignConfig};
 pub use shard::{run_sharded, Mergeable, ShardPlan, DEFAULT_BATCH};
-pub use sink::{CampaignSink, CorrSink, CpaSink};
+pub use sink::{CampaignSink, CorrSink, CpaSink, TtestSink};

@@ -5,7 +5,9 @@
 //! its batch. Sinks are [`Mergeable`]: each worker owns a private sink
 //! and the engine recombines them in worker order.
 
-use sca_analysis::{CpaAccumulator, CpaResult, PearsonAccumulator, SelectionFunction};
+use sca_analysis::{
+    CpaAccumulator, CpaResult, PearsonAccumulator, SelectionFunction, TtestAccumulator,
+};
 
 use crate::Mergeable;
 
@@ -151,6 +153,85 @@ impl<F: Fn(&[u8]) -> f64 + Send> CampaignSink for CorrSink<F> {
     }
 }
 
+/// Streaming fixed-vs-random Welch t-test (TVLA): each trace is routed
+/// into the fixed or random population by a classifier over its input
+/// bytes, and folded into a mergeable [`TtestAccumulator`] —
+/// `O(samples)` memory, the countermeasure-assessment primitive behind
+/// the `masked` experiment.
+///
+/// The classifier sees the raw campaign input (for the masked AES that
+/// is `plaintext ‖ masks`), so a fixed-plaintext/random-mask TVLA
+/// campaign classifies on the plaintext prefix alone.
+#[derive(Debug)]
+pub struct TtestSink<F> {
+    classify: F,
+    acc: TtestAccumulator,
+}
+
+impl<F: Fn(&[u8]) -> bool + Send> TtestSink<F> {
+    /// Creates a sink over traces of `samples` points; `classify`
+    /// returns `true` for inputs belonging to the fixed population.
+    pub fn new(classify: F, samples: usize) -> TtestSink<F> {
+        TtestSink {
+            classify,
+            acc: TtestAccumulator::new(samples),
+        }
+    }
+
+    /// Traces absorbed as `(fixed, random)`.
+    pub fn counts(&self) -> (u64, u64) {
+        self.acc.counts()
+    }
+
+    /// Point-wise Welch t statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population holds fewer than two traces.
+    pub fn t_statistics(&self) -> Vec<f64> {
+        self.acc.t_statistics()
+    }
+
+    /// Largest |t| across the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population holds fewer than two traces.
+    pub fn max_t(&self) -> f64 {
+        self.t_statistics()
+            .iter()
+            .map(|t| t.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether any sample crosses the TVLA threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population holds fewer than two traces.
+    pub fn leaks(&self) -> bool {
+        self.acc.leaks()
+    }
+}
+
+impl<F: Fn(&[u8]) -> bool + Send> Mergeable for TtestSink<F> {
+    fn merge(&mut self, other: TtestSink<F>) {
+        self.acc.merge(&other.acc);
+    }
+}
+
+impl<F: Fn(&[u8]) -> bool + Send> CampaignSink for TtestSink<F> {
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize) {
+        for (input, trace) in inputs.iter().zip(traces.chunks_exact(samples)) {
+            if (self.classify)(input) {
+                self.acc.add_fixed(trace);
+            } else {
+                self.acc.add_random(trace);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +291,49 @@ mod tests {
         );
         assert_eq!(sink.correlations(), reference);
         assert!(sink.peak() > 0.99, "direct leak: {}", sink.peak());
+    }
+
+    #[test]
+    fn ttest_sink_matches_batch_welch() {
+        use sca_analysis::welch_t;
+        let mut fixed = TraceSet::new(3);
+        let mut random = TraceSet::new(3);
+        let mut sink = TtestSink::new(|input: &[u8]| input[0] == 0, 3);
+        for i in 0..20u32 {
+            let wobble = f64::from(i).sin() as f32;
+            let f = vec![2.0 + wobble, 0.0, 1.0];
+            let r = vec![-1.0 - wobble, 0.0, 1.0 + wobble];
+            sink.absorb_batch(&[vec![0u8], vec![1u8]], &[f.clone(), r.clone()].concat(), 3);
+            fixed.push(f, vec![0]);
+            random.push(r, vec![1]);
+        }
+        assert_eq!(sink.counts(), (20, 20));
+        let batch = welch_t(&fixed, &random);
+        for (s, b) in sink.t_statistics().iter().zip(&batch) {
+            assert!((s - b).abs() < 1e-9, "{s} vs {b}");
+        }
+        assert!(sink.leaks());
+        assert!(sink.max_t() > sca_analysis::TVLA_THRESHOLD);
+    }
+
+    #[test]
+    fn ttest_sink_merges_across_shards() {
+        let make = || TtestSink::new(|input: &[u8]| input[0] == 0, 1);
+        let mut whole = make();
+        let mut shard0 = make();
+        let mut shard1 = make();
+        for i in 0..30u32 {
+            let input = vec![(i % 2) as u8];
+            let trace = vec![if i % 2 == 0 { 5.0 } else { -5.0 } + (i as f32 * 0.37).sin()];
+            whole.absorb_batch(std::slice::from_ref(&input), &trace, 1);
+            let shard = if i < 13 { &mut shard0 } else { &mut shard1 };
+            shard.absorb_batch(&[input], &trace, 1);
+        }
+        shard0.merge(shard1);
+        assert_eq!(shard0.counts(), whole.counts());
+        for (a, b) in shard0.t_statistics().iter().zip(whole.t_statistics()) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

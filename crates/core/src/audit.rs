@@ -67,6 +67,13 @@ pub struct AuditConfig {
     pub confidence: f64,
     /// Master seed for input generation.
     pub seed: u64,
+    /// Restricts the audit to events in `[start, end)` cycles. Programs
+    /// under audit are constant-time, so a cycle window selects the same
+    /// program region in every execution; without one, auditing a full
+    /// cipher would record per-execution activity for every (node,
+    /// cycle) pair of the whole run. The countermeasure experiments use
+    /// this to focus on the round-1 SubBytes of the masked AES.
+    pub window: Option<(u64, u64)>,
 }
 
 impl Default for AuditConfig {
@@ -75,6 +82,7 @@ impl Default for AuditConfig {
             executions: 600,
             confidence: 0.9999,
             seed: 0xaadd17,
+            window: None,
         }
     }
 }
@@ -183,6 +191,11 @@ pub fn audit_program(
         let mut obs = RecordingObserver::new();
         cpu.run(&mut obs)?;
         for event in &obs.events {
+            if let Some((start, end)) = config.window {
+                if event.cycle < start || event.cycle >= end {
+                    continue;
+                }
+            }
             activity
                 .entry((event.node, event.cycle))
                 .or_insert_with(|| vec![0.0; config.executions])[execution] =
@@ -336,6 +349,57 @@ mod tests {
         assert!(
             bus_findings.is_empty(),
             "spacers should break the recombination: {bus_findings:?}"
+        );
+    }
+
+    /// A cycle window hides findings outside it without disturbing the
+    /// ones inside.
+    #[test]
+    fn window_restricts_findings() {
+        let program = assemble(
+            "
+            nop
+            mov r2, r0      ; the secret crosses the bus early
+            nop
+            nop
+            nop
+            nop
+            nop
+            mov r3, r0      ; ...and again late
+            nop
+            halt
+        ",
+        )
+        .unwrap();
+        let models = || {
+            [SecretModel::new("HW(secret)", |i: &[u8]| {
+                f64::from(input_word(i, 0).count_ones())
+            })]
+        };
+        let stage = |cpu: &mut Cpu, input: &[u8]| cpu.set_reg(Reg::R0, input_word(input, 0));
+        let config = AuditConfig {
+            executions: 200,
+            ..AuditConfig::default()
+        };
+        let full = audit_program(&a7(), &program, 4, stage, &models(), &config).unwrap();
+        assert!(!full.is_clean());
+        let last = full.findings.iter().map(|f| f.cycle).max().unwrap();
+        let windowed = audit_program(
+            &a7(),
+            &program,
+            4,
+            stage,
+            &models(),
+            &AuditConfig {
+                window: Some((0, 4)),
+                ..config
+            },
+        )
+        .unwrap();
+        assert!(windowed.findings.iter().all(|f| f.cycle < 4));
+        assert!(
+            windowed.findings.len() < full.findings.len(),
+            "window must exclude the late findings (full had one at cycle {last})"
         );
     }
 

@@ -17,7 +17,11 @@
 //!   benchmarks with per-component model expressions and >99.5%
 //!   Fisher-z significance verdicts;
 //! * [`audit_program`] — the leakage audit for arbitrary assembly that
-//!   the paper proposes integrating into development toolchains.
+//!   the paper proposes integrating into development toolchains;
+//! * [`masking_scenarios`] — the Section 4.2 share-recombination
+//!   schedules (vulnerable, spacer-hardened, operand-swapped, and the
+//!   `sca-sched` rewriter outputs), shared by the `masking_audit`
+//!   example and the integration tests that enforce its findings.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,6 +30,7 @@ mod audit;
 mod cpi;
 mod infer;
 mod leakchar;
+mod scenarios;
 
 pub use audit::{audit_program, AuditConfig, AuditReport, Finding, SecretModel};
 pub use cpi::{
@@ -36,4 +41,8 @@ pub use infer::{DualIssueMap, PipelineHypothesis};
 pub use leakchar::{
     characterize, run_benchmark, table2_benchmarks, CellResult, CharacterizationConfig,
     Expectation, LeakBenchmark, ModelSpec, RowResult, Table2Report, PAD_NOPS,
+};
+pub use scenarios::{
+    audit_scenario, masking_scenarios, operand_path_leaks, share_models, stage_shares,
+    MaskingScenario,
 };

@@ -1,0 +1,534 @@
+//! Architectural reference interpreter — the ISA's golden model.
+//!
+//! Executes a [`Program`] one instruction at a time with no pipeline, no
+//! caches and no timing: just the architectural semantics ([`eval_dp`],
+//! [`apply_shift`], [`eval_mul`]) applied to registers, flags and a flat
+//! little-endian memory. The pipeline simulator in `sca-uarch` must agree
+//! with this interpreter on final architectural state for *every*
+//! microarchitectural configuration — that conformance check is exactly
+//! the paper's premise (the microarchitecture changes side-channel
+//! behaviour, never results), and it is enforced by the
+//! `uarch_conformance` differential proptest at the workspace root.
+//!
+//! ```
+//! use sca_isa::{assemble, Interp, Reg};
+//!
+//! let program = assemble("
+//!     mov r0, #6
+//!     mov r1, #7
+//!     mul r2, r0, r1
+//!     halt
+//! ")?;
+//! let mut interp = Interp::new(0x1000);
+//! interp.load(&program)?;
+//! interp.run(1_000)?;
+//! assert_eq!(interp.reg(Reg::R2), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{
+    apply_shift, decode, eval_dp, eval_mul, Flags, Insn, InsnKind, IsaError, MemDir, MemMultiMode,
+    MemOffset, MemSize, Operand2, Program, Reg, ShiftAmount,
+};
+
+/// Why the interpreter stopped abnormally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// The word at `addr` is not a valid instruction (or lies outside
+    /// memory).
+    BadInstruction(u32),
+    /// A data access fell outside the configured memory.
+    BadAddress(u32),
+    /// `run` exceeded its step budget without reaching `halt`.
+    StepBudgetExceeded(u64),
+    /// A program image does not fit in the configured memory.
+    ImageTooLarge(u32),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::BadInstruction(addr) => {
+                write!(f, "no decodable instruction at {addr:#x}")
+            }
+            InterpError::BadAddress(addr) => write!(f, "data access out of range at {addr:#x}"),
+            InterpError::StepBudgetExceeded(steps) => {
+                write!(f, "no halt within {steps} steps")
+            }
+            InterpError::ImageTooLarge(end) => {
+                write!(f, "program image ends at {end:#x}, beyond memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The architectural interpreter: registers, flags, PC and a flat RAM.
+#[derive(Clone, Debug)]
+pub struct Interp {
+    regs: [u32; 16],
+    flags: Flags,
+    pc: u32,
+    mem: Vec<u8>,
+    halted: bool,
+}
+
+impl Interp {
+    /// Creates an interpreter with `mem_size` bytes of zeroed RAM.
+    pub fn new(mem_size: u32) -> Interp {
+        Interp {
+            regs: [0; 16],
+            flags: Flags::default(),
+            pc: 0,
+            mem: vec![0; mem_size as usize],
+            halted: false,
+        }
+    }
+
+    /// Loads a program image and points the PC at its entry.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::ImageTooLarge`] when the image does not fit.
+    pub fn load(&mut self, program: &Program) -> Result<(), InterpError> {
+        let end = program.base() + program.len_bytes();
+        if end as usize > self.mem.len() {
+            return Err(InterpError::ImageTooLarge(end));
+        }
+        for (i, word) in program.words().iter().enumerate() {
+            self.write_u32(program.base() + (i as u32) * 4, *word)?;
+        }
+        self.pc = program.entry();
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.index()]
+    }
+
+    /// Sets a register.
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// Current flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Sets the flags.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.flags = flags;
+    }
+
+    /// Whether `halt` was executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadAddress`] when out of range.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], InterpError> {
+        let i = self.check(addr, len)?;
+        Ok(&self.mem[i..i + len as usize])
+    }
+
+    /// Copies bytes into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadAddress`] when out of range.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), InterpError> {
+        let i = self.check(addr, data.len() as u32)?;
+        self.mem[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Runs until `halt`, returning the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bad fetches/accesses; aborts with
+    /// [`InterpError::StepBudgetExceeded`] after `max_steps`.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, InterpError> {
+        let mut steps = 0u64;
+        while !self.halted {
+            if steps >= max_steps {
+                return Err(InterpError::StepBudgetExceeded(max_steps));
+            }
+            self.step()?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and memory faults.
+    pub fn step(&mut self) -> Result<(), InterpError> {
+        let addr = self.pc;
+        let word = self.read_u32(addr)?;
+        let insn = decode(word).map_err(|_: IsaError| InterpError::BadInstruction(addr))?;
+        self.pc = addr.wrapping_add(4);
+        self.exec(insn, addr)
+    }
+
+    /// Reads a register as an operand; PC reads yield `addr + 8`, as in
+    /// the pipelined core.
+    fn operand(&self, reg: Reg, addr: u32) -> u32 {
+        if reg == Reg::PC {
+            addr.wrapping_add(8)
+        } else {
+            self.regs[reg.index()]
+        }
+    }
+
+    fn exec(&mut self, insn: Insn, addr: u32) -> Result<(), InterpError> {
+        if !insn.cond.passes(self.flags) {
+            return Ok(());
+        }
+        match insn.kind {
+            InsnKind::Nop | InsnKind::Trig { .. } => {}
+            InsnKind::Halt => self.halted = true,
+            InsnKind::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
+                let rn_val = rn.map(|r| self.operand(r, addr));
+                let (op2_val, shifter_carry) = match op2 {
+                    Operand2::Imm(v) => (v, self.flags.c),
+                    Operand2::Reg(rm) => (self.operand(rm, addr), self.flags.c),
+                    Operand2::ShiftedReg { rm, kind, amount } => {
+                        let rm_val = self.operand(rm, addr);
+                        let amount_val = match amount {
+                            ShiftAmount::Imm(n) => u32::from(n),
+                            ShiftAmount::Reg(rs) => self.operand(rs, addr) & 0xff,
+                        };
+                        let out = apply_shift(kind, rm_val, amount_val, self.flags.c);
+                        (out.value, out.carry)
+                    }
+                };
+                let out = eval_dp(op, rn_val.unwrap_or(0), op2_val, shifter_carry, self.flags);
+                if set_flags || op.is_compare() {
+                    self.flags = out.flags;
+                }
+                if let Some(rd) = rd {
+                    if rd == Reg::PC {
+                        self.pc = out.value & !3;
+                    } else {
+                        self.regs[rd.index()] = out.value;
+                    }
+                }
+            }
+            InsnKind::Mul {
+                op: _,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ra,
+            } => {
+                let value = eval_mul(
+                    self.operand(rm, addr),
+                    self.operand(rs, addr),
+                    ra.map(|r| self.operand(r, addr)),
+                );
+                if set_flags {
+                    self.flags.n = value >> 31 != 0;
+                    self.flags.z = value == 0;
+                }
+                self.regs[rd.index()] = value;
+            }
+            InsnKind::MulLong {
+                signed,
+                rd_hi,
+                rd_lo,
+                rm,
+                rs,
+            } => {
+                let rm_val = self.operand(rm, addr);
+                let rs_val = self.operand(rs, addr);
+                let product = if signed {
+                    (i64::from(rm_val as i32) * i64::from(rs_val as i32)) as u64
+                } else {
+                    u64::from(rm_val) * u64::from(rs_val)
+                };
+                self.regs[rd_lo.index()] = product as u32;
+                self.regs[rd_hi.index()] = (product >> 32) as u32;
+            }
+            InsnKind::Mem {
+                dir,
+                size,
+                rd,
+                addr: mode,
+            } => {
+                let base_val = self.operand(mode.base, addr);
+                let offset_val = match mode.offset {
+                    MemOffset::Imm(imm) => i64::from(imm),
+                    MemOffset::Reg {
+                        rm,
+                        kind,
+                        amount,
+                        sub,
+                    } => {
+                        let shifted = apply_shift(
+                            kind,
+                            self.operand(rm, addr),
+                            u32::from(amount),
+                            self.flags.c,
+                        )
+                        .value;
+                        if sub {
+                            -i64::from(shifted)
+                        } else {
+                            i64::from(shifted)
+                        }
+                    }
+                };
+                let effective = (i64::from(base_val) + offset_val) as u32;
+                let access_addr = match mode.index {
+                    crate::IndexMode::PostIndex => base_val,
+                    _ => effective,
+                };
+                // The store data register is read before any base
+                // writeback, matching the pipeline's issue-stage reads.
+                let data_val = (dir == MemDir::Store).then(|| self.operand(rd, addr));
+                if mode.writes_base() {
+                    self.regs[mode.base.index()] = effective;
+                }
+                match dir {
+                    MemDir::Load => {
+                        let value = match size {
+                            MemSize::Word => self.read_u32(access_addr)?,
+                            MemSize::Byte => u32::from(self.read_u8(access_addr)?),
+                            MemSize::Half => u32::from(self.read_u16(access_addr)?),
+                        };
+                        if rd == Reg::PC {
+                            self.pc = value & !3;
+                        } else {
+                            self.regs[rd.index()] = value;
+                        }
+                    }
+                    MemDir::Store => {
+                        let value = data_val.expect("stores read their data register");
+                        match size {
+                            MemSize::Word => self.write_u32(access_addr, value)?,
+                            MemSize::Byte => self.write_u8(access_addr, value as u8)?,
+                            MemSize::Half => self.write_u16(access_addr, value as u16)?,
+                        }
+                    }
+                }
+            }
+            InsnKind::MemMulti {
+                dir,
+                base,
+                writeback,
+                regs,
+                mode,
+            } => {
+                let base_val = self.operand(base, addr);
+                let n = regs.len() as u32;
+                let start = match mode {
+                    MemMultiMode::Ia => base_val,
+                    MemMultiMode::Db => base_val.wrapping_sub(4 * n),
+                };
+                let new_base = match mode {
+                    MemMultiMode::Ia => base_val.wrapping_add(4 * n),
+                    MemMultiMode::Db => start,
+                };
+                let base_reloaded = dir == MemDir::Load && regs.contains(base);
+                if writeback && !base_reloaded {
+                    self.regs[base.index()] = new_base;
+                }
+                let mut branch_target = None;
+                for (i, reg) in regs.iter().enumerate() {
+                    let beat_addr = start.wrapping_add(4 * i as u32);
+                    match dir {
+                        MemDir::Load => {
+                            let value = self.read_u32(beat_addr)?;
+                            if reg == Reg::PC {
+                                branch_target = Some(value & !3);
+                            } else {
+                                self.regs[reg.index()] = value;
+                            }
+                        }
+                        MemDir::Store => {
+                            let value = self.operand(reg, addr);
+                            self.write_u32(beat_addr, value)?;
+                        }
+                    }
+                }
+                if let Some(target) = branch_target {
+                    self.pc = target;
+                }
+            }
+            InsnKind::Branch { link, offset } => {
+                if link {
+                    self.regs[Reg::LR.index()] = addr.wrapping_add(4);
+                }
+                self.pc = addr
+                    .wrapping_add(4)
+                    .wrapping_add((offset as u32).wrapping_mul(4));
+            }
+            InsnKind::Bx { rm } => {
+                self.pc = self.operand(rm, addr) & !3;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- flat memory with the LSU's alignment discipline ----------------
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, InterpError> {
+        let end = addr.checked_add(len).ok_or(InterpError::BadAddress(addr))?;
+        if end as usize > self.mem.len() {
+            return Err(InterpError::BadAddress(addr));
+        }
+        Ok(addr as usize)
+    }
+
+    fn read_u8(&self, addr: u32) -> Result<u8, InterpError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.mem[i])
+    }
+
+    /// Halfword reads align down (bit 0 cleared), as the LSU does.
+    fn read_u16(&self, addr: u32) -> Result<u16, InterpError> {
+        let addr = addr & !1;
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.mem[i], self.mem[i + 1]]))
+    }
+
+    /// Word reads align down (low two bits cleared), as the LSU does.
+    fn read_u32(&self, addr: u32) -> Result<u32, InterpError> {
+        let addr = addr & !3;
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.mem[i],
+            self.mem[i + 1],
+            self.mem[i + 2],
+            self.mem[i + 3],
+        ]))
+    }
+
+    fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), InterpError> {
+        let i = self.check(addr, 1)?;
+        self.mem[i] = value;
+        Ok(())
+    }
+
+    fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), InterpError> {
+        let addr = addr & !1;
+        let i = self.check(addr, 2)?;
+        self.mem[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), InterpError> {
+        let addr = addr & !3;
+        let i = self.check(addr, 4)?;
+        self.mem[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn run(src: &str) -> Interp {
+        let program = assemble(src).expect("assembles");
+        let mut interp = Interp::new(1 << 16);
+        interp.load(&program).expect("loads");
+        interp.run(1_000_000).expect("halts");
+        interp
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let i = run("
+            mov r0, #5
+            adds r1, r0, #0xff
+            subs r2, r0, #5
+            moveq r3, #1
+            halt
+        ");
+        assert_eq!(i.reg(Reg::R1), 0x104);
+        assert_eq!(i.reg(Reg::R2), 0);
+        assert_eq!(i.reg(Reg::R3), 1, "eq condition after subs to zero");
+        assert!(i.flags().z);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let i = run("
+            mov r0, #10
+            mov r1, #0
+loop:       add r1, r1, r0
+            subs r0, r0, #1
+            bne loop
+            halt
+        ");
+        assert_eq!(i.reg(Reg::R1), 55);
+    }
+
+    #[test]
+    fn calls_and_stack() {
+        let i = run("
+            mov sp, #0x800
+            mov r0, #4
+            bl double
+            bl double
+            halt
+double:     push {lr}
+            add r0, r0, r0
+            pop {pc}
+        ");
+        assert_eq!(i.reg(Reg::R0), 16);
+        assert_eq!(i.reg(Reg::SP), 0x800);
+    }
+
+    #[test]
+    fn memory_subword_round_trip() {
+        let i = run("
+            mov r10, #0x400
+            mov r0, #0xab
+            strb r0, [r10, #1]
+            ldr r1, [r10]
+            ldrh r2, [r10]
+            ldrb r3, [r10, #1]
+            halt
+        ");
+        assert_eq!(i.reg(Reg::R1), 0x0000_ab00);
+        assert_eq!(i.reg(Reg::R2), 0xab00);
+        assert_eq!(i.reg(Reg::R3), 0xab);
+    }
+
+    #[test]
+    fn step_budget_guards_infinite_loops() {
+        let program = assemble("loop: b loop\n").unwrap();
+        let mut interp = Interp::new(0x100);
+        interp.load(&program).unwrap();
+        assert_eq!(interp.run(100), Err(InterpError::StepBudgetExceeded(100)),);
+    }
+
+    #[test]
+    fn data_is_not_an_instruction() {
+        let program = assemble(".word 0xffffffff\n").unwrap();
+        let mut interp = Interp::new(0x100);
+        interp.load(&program).unwrap();
+        assert_eq!(interp.run(10), Err(InterpError::BadInstruction(0)));
+    }
+}

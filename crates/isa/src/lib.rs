@@ -43,6 +43,7 @@ mod cond;
 mod encode;
 mod error;
 mod insn;
+mod interp;
 mod operand;
 mod program;
 mod reg;
@@ -55,6 +56,7 @@ pub use cond::{Cond, Flags};
 pub use encode::{decode, encode};
 pub use error::IsaError;
 pub use insn::{DpOp, Insn, InsnClass, InsnKind, MemDir, MemMultiMode, MemSize, MulOp};
+pub use interp::{Interp, InterpError};
 pub use operand::{AddrMode, IndexMode, MemOffset, Operand2, RotatedImm, ShiftAmount};
 pub use program::Program;
 pub use reg::{Reg, RegSet};

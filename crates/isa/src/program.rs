@@ -115,11 +115,17 @@ impl Program {
         self.source_lines.get(&addr).copied()
     }
 
-    pub(crate) fn insert_symbol(&mut self, name: String, addr: u32) {
+    /// Records (or moves) a symbol. Program rewriters — e.g. the
+    /// countermeasure scheduler in `sca-sched` — use this to carry the
+    /// symbol table across a relocation.
+    pub fn insert_symbol(&mut self, name: String, addr: u32) {
         self.symbols.insert(name, addr);
     }
 
-    pub(crate) fn insert_source_line(&mut self, addr: u32, line: usize) {
+    /// Records the source line for the word at `addr` (see
+    /// [`Program::source_line`]); rewriters use this to keep audit
+    /// findings attributable after relocation.
+    pub fn insert_source_line(&mut self, addr: u32, line: usize) {
         self.source_lines.insert(addr, line);
     }
 

@@ -1,0 +1,353 @@
+//! The share-distance scheduler: scrub insertion between share ops.
+
+use sca_isa::{AddrMode, Insn, Program, Reg};
+
+use crate::relocate::{decode_image, rebuild};
+use crate::{SchedError, SharePolicy};
+
+/// Parameters of the share-distance scheduler.
+#[derive(Clone, Debug)]
+pub struct HardenConfig {
+    /// Minimum number of instructions between two share-carrying
+    /// instructions (per kind); scrubs are inserted to pad the gap.
+    pub min_distance: usize,
+    /// Reserved register holding a public value — the data side of the
+    /// scrub instructions. The target program must treat it as scratch.
+    pub scrub_value: Reg,
+    /// Reserved register holding the address of a mapped public cell —
+    /// the base of the scrub store.
+    pub scrub_base: Reg,
+}
+
+impl Default for HardenConfig {
+    /// The contract of `sca-aes`'s masked implementation: `r6` public
+    /// zero, `r10` pointing at its SCRUB cell, distance 1 (one scrub
+    /// between adjacent share ops).
+    fn default() -> HardenConfig {
+        HardenConfig {
+            min_distance: 1,
+            scrub_value: Reg::R6,
+            scrub_base: Reg::R10,
+        }
+    }
+}
+
+/// What the scheduler did to a program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HardenReport {
+    /// Public stores inserted between share memory operations.
+    pub mem_scrubs: usize,
+    /// Public ALU scrubs inserted between share register reads.
+    pub bus_scrubs: usize,
+    /// Instructions in the original image.
+    pub original_insns: usize,
+    /// Instructions in the hardened image.
+    pub hardened_insns: usize,
+}
+
+/// A hardened program plus the insertion report.
+#[derive(Clone, Debug)]
+pub struct Hardened {
+    /// The relocated, scrub-padded program.
+    pub program: Program,
+    /// Insertion statistics.
+    pub report: HardenReport,
+}
+
+/// The public store scrub: rewrites both shared operand buses, the LSU
+/// IS/EX operand buffers, the MDR and the align buffer with public
+/// values.
+fn mem_scrub(config: &HardenConfig) -> Insn {
+    Insn::strb(config.scrub_value, AddrMode::base(config.scrub_base))
+}
+
+/// The public ALU scrub: drives the public value onto both shared
+/// operand buses and the IS/EX buffers of the issuing pipe.
+fn bus_scrub(config: &HardenConfig) -> Insn {
+    Insn::eor(config.scrub_value, config.scrub_value, config.scrub_value)
+}
+
+/// Runs the share-distance scheduler over a code-only program.
+///
+/// Walks the static instruction stream; whenever two share memory
+/// operations (per the policy's marked ranges) or two share register
+/// reads (per its secret registers) would sit closer than
+/// `config.min_distance`, public scrubs are inserted between them. The
+/// rewritten program is relocated (branches, entry, symbols, source
+/// lines) and remains architecturally equivalent as long as the program
+/// honours the reserved-register contract.
+///
+/// # Errors
+///
+/// [`SchedError::NotCode`] for images mixing data into the code,
+/// [`SchedError::BranchOutOfImage`] for branches escaping the image,
+/// and re-encoding failures.
+pub fn harden_program(
+    program: &Program,
+    policy: &SharePolicy,
+    config: &HardenConfig,
+) -> Result<Hardened, SchedError> {
+    let insns = decode_image(program)?;
+    let mut inserts: Vec<Vec<Insn>> = vec![Vec::new(); insns.len()];
+    let mut report = HardenReport {
+        original_insns: insns.len(),
+        ..HardenReport::default()
+    };
+
+    // Distance (in output instructions) since the last share op of each
+    // kind; start beyond the horizon so leading share ops get no scrubs.
+    let horizon = config.min_distance + 1;
+    let mut since_mem = horizon;
+    let mut since_read = horizon;
+    for (i, insn) in insns.iter().enumerate() {
+        let addr = program.base() + 4 * i as u32;
+        let share_mem = policy.is_share_mem(addr, insn);
+        let share_read = policy.reads_shares(insn);
+        let mem_deficit = if share_mem {
+            config.min_distance.saturating_sub(since_mem)
+        } else {
+            0
+        };
+        let read_deficit = if share_read {
+            config.min_distance.saturating_sub(since_read)
+        } else {
+            0
+        };
+        let mut pad = 0usize;
+        if mem_deficit > 0 {
+            // A store scrub rewrites the operand buses too, so it can
+            // cover an outstanding bus deficit of a mem+read instruction
+            // in the same padding run.
+            pad = mem_deficit.max(read_deficit);
+            for _ in 0..pad {
+                inserts[i].push(mem_scrub(config));
+            }
+            report.mem_scrubs += pad;
+        } else if read_deficit > 0 {
+            pad = read_deficit;
+            for _ in 0..pad {
+                inserts[i].push(bus_scrub(config));
+            }
+            report.bus_scrubs += pad;
+        }
+        since_mem = if share_mem {
+            0
+        } else {
+            (since_mem + 1 + pad).min(horizon)
+        };
+        since_read = if share_read {
+            0
+        } else {
+            (since_read + 1 + pad).min(horizon)
+        };
+    }
+
+    let hardened = rebuild(program, &insns, &inserts)?;
+    report.hardened_insns = hardened.words().len();
+    Ok(Hardened {
+        program: hardened,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{assemble, Interp, Reg};
+
+    /// Two back-to-back share stores get exactly one scrub between them,
+    /// and the hardened program computes the same result.
+    #[test]
+    fn scrubs_consecutive_share_stores() {
+        let src = "
+start:  mov   r10, #0x200
+        mov   r6, #0
+        mov   r3, #0x100
+copy:   strb  r0, [r3], #1
+        strb  r1, [r3], #1
+        bx    lr
+fin:    halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new().with_function(&program, "copy").unwrap();
+        let hardened = harden_program(&program, &policy, &HardenConfig::default()).unwrap();
+        assert_eq!(hardened.report.mem_scrubs, 1);
+        assert_eq!(
+            hardened.report.hardened_insns,
+            hardened.report.original_insns + 1
+        );
+        for (prog, expect_scrub) in [(&program, false), (&hardened.program, true)] {
+            let mut interp = Interp::new(0x1000);
+            interp.load(prog).unwrap();
+            interp.set_reg(Reg::R0, 0xaa);
+            interp.set_reg(Reg::R1, 0xbb);
+            interp.set_reg(Reg::LR, prog.symbol("fin").expect("fin label"));
+            interp.run(100).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(interp.read_bytes(0x100, 2).unwrap(), &[0xaa, 0xbb]);
+            if expect_scrub {
+                assert_eq!(interp.read_bytes(0x200, 1).unwrap(), &[0]);
+            }
+        }
+    }
+
+    /// A loop back-edge lands on the scrubs inserted ahead of the loop
+    /// head, so the distance guarantee holds on the looped path too:
+    /// the hardened run executes one extra (scrub) instruction per
+    /// loop entry, not just once.
+    #[test]
+    fn back_edges_execute_the_loop_head_scrubs() {
+        let src = "
+start:  mov   r10, #0x200
+        mov   r6, #0
+        mov   r3, #0x100
+        mov   r0, #4
+        strb  r1, [r3], #1
+body:   strb  r2, [r3], #1
+        subs  r0, r0, #1
+        bne   body
+done:   halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new().with_range(
+            program.symbol("body").unwrap() - 4,
+            program.symbol("done").unwrap(),
+        );
+        let hardened = harden_program(&program, &policy, &HardenConfig::default()).unwrap();
+        assert_eq!(hardened.report.mem_scrubs, 1, "one scrub before body");
+        let run = |prog: &Program| {
+            let mut interp = Interp::new(0x1000);
+            interp.load(prog).unwrap();
+            interp.run(10_000).unwrap()
+        };
+        let (base_steps, hard_steps) = (run(&program), run(&hardened.program));
+        // 4 loop entries (1 fall-through + 3 taken back-edges) each
+        // execute the inserted scrub.
+        assert_eq!(hard_steps, base_steps + 4, "scrub must run every iteration");
+    }
+
+    /// Loop branches survive relocation: a scrubbed loop body still
+    /// iterates the right number of times.
+    #[test]
+    fn relocates_loop_branches() {
+        let src = "
+start:  mov   r10, #0x200
+        mov   r6, #0
+        mov   r3, #0x100
+        mov   r0, #8
+body:   strb  r1, [r3], #1
+        strb  r2, [r3], #1
+        add   r1, r1, #1
+        add   r2, r2, #1
+        subs  r0, r0, #1
+        bne   body
+done:   halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new().with_range(
+            program.symbol("body").unwrap(),
+            program.symbol("done").unwrap(),
+        );
+        let hardened = harden_program(&program, &policy, &HardenConfig::default()).unwrap();
+        assert!(hardened.report.mem_scrubs >= 1);
+        let run = |prog: &Program| {
+            let mut interp = Interp::new(0x1000);
+            interp.load(prog).unwrap();
+            interp.set_reg(Reg::R1, 10);
+            interp.set_reg(Reg::R2, 50);
+            interp.run(10_000).unwrap();
+            interp.read_bytes(0x100, 16).unwrap().to_vec()
+        };
+        assert_eq!(run(&program), run(&hardened.program));
+        // Symbols survive relocation: `body` keeps its position (nothing
+        // is inserted ahead of the loop's first store), while `done`
+        // moves down past the inserted scrubs.
+        assert_eq!(hardened.program.symbol("body"), program.symbol("body"));
+        assert_eq!(
+            hardened.program.symbol("done").unwrap(),
+            program.symbol("done").unwrap() + 4 * hardened.report.mem_scrubs as u32,
+        );
+    }
+
+    /// Share register reads get bus scrubs.
+    #[test]
+    fn scrubs_share_register_reads() {
+        let src = "
+        nop
+        eor r2, r0, r4
+        eor r3, r1, r5
+        nop
+        halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new().with_secret_regs([Reg::R0, Reg::R1]);
+        let hardened = harden_program(&program, &policy, &HardenConfig::default()).unwrap();
+        assert_eq!(hardened.report.bus_scrubs, 1);
+        assert_eq!(hardened.report.mem_scrubs, 0);
+    }
+
+    /// An instruction that is both a share memory op and a share
+    /// register read gets padding covering the larger of the two
+    /// deficits (store scrubs rewrite the buses too).
+    #[test]
+    fn mixed_mem_and_read_share_takes_the_larger_deficit() {
+        // The final strb is both a share memory op (mem deficit 1, one
+        // eor sits between the stores) and a share register read (read
+        // deficit 2, it reads r0 right after the eor did). The padding
+        // must cover the larger read deficit — with store scrubs, which
+        // rewrite the operand buses as well as the memory path.
+        let src = "
+s:      strb r5, [r3], #1
+        eor  r2, r0, r4
+        strb r0, [r3], #1
+e:      halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new()
+            .with_span(&program, "s", "e")
+            .unwrap()
+            .with_secret_regs([Reg::R0]);
+        let config = HardenConfig {
+            min_distance: 2,
+            ..HardenConfig::default()
+        };
+        let hardened = harden_program(&program, &policy, &config).unwrap();
+        assert_eq!(hardened.report.mem_scrubs, 2, "read deficit wins");
+        assert_eq!(hardened.report.bus_scrubs, 0);
+    }
+
+    /// A wider distance inserts more padding.
+    #[test]
+    fn distance_is_configurable() {
+        let src = "
+s:      strb r0, [r3], #1
+        strb r1, [r3], #1
+        halt
+        ";
+        let program = assemble(src).unwrap();
+        let policy = SharePolicy::new().with_function(&program, "s").unwrap();
+        let config = HardenConfig {
+            min_distance: 3,
+            ..HardenConfig::default()
+        };
+        let hardened = harden_program(&program, &policy, &config).unwrap();
+        assert_eq!(hardened.report.mem_scrubs, 3);
+    }
+
+    /// Data words in the image are rejected rather than silently moved.
+    #[test]
+    fn data_in_image_is_rejected() {
+        let program = assemble(
+            "
+        nop
+        halt
+        .word 0xffffffff
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new();
+        match harden_program(&program, &policy, &HardenConfig::default()) {
+            Err(SchedError::NotCode(8)) => {}
+            other => panic!("expected NotCode(8), got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The lane-pinning rewriter: operand swaps that move shares onto
+//! different operand-bus lanes.
+//!
+//! On the modeled core, a data-processing instruction drives its first
+//! source (`rn`) over operand bus 0 and its register second operand
+//! over bus 1 (when single-issued; a dual-issued younger instruction's
+//! lanes are offset past its elder's). Two adjacent instructions that
+//! both read a share as `rn` therefore put the two shares on the *same*
+//! bus in consecutive cycles — the bus transition is `HD(share0,
+//! share1)`, which for Boolean shares equals the Hamming weight of the
+//! secret. Swapping the commutative operands of the younger instruction
+//! moves its share to the other lane; the transition disappears without
+//! changing a single architectural value — the paper's Section 4.2
+//! operand-swap effect, applied in the safe direction.
+
+use sca_isa::{DpOp, Insn, InsnKind, Operand2, Program};
+
+use crate::relocate::{decode_image, rebuild};
+use crate::{SchedError, SharePolicy};
+
+/// Operand position a share occupies in a data-processing instruction,
+/// if any: 0 for `rn`, 1 for a plain register `op2`.
+fn share_lane(insn: &Insn, policy: &SharePolicy) -> Option<u8> {
+    let InsnKind::Dp { rn, op2, .. } = &insn.kind else {
+        return None;
+    };
+    if let Some(rn) = rn {
+        if policy.secret_regs().contains(*rn) {
+            return Some(0);
+        }
+    }
+    if let Operand2::Reg(rm) = op2 {
+        if policy.secret_regs().contains(*rm) {
+            return Some(if rn.is_some() { 1 } else { 0 });
+        }
+    }
+    None
+}
+
+/// Swaps `rn` and a plain-register `op2` of a commutative operation.
+fn swap_operands(insn: &Insn) -> Option<Insn> {
+    let InsnKind::Dp {
+        op,
+        set_flags,
+        rd,
+        rn: Some(rn),
+        op2: Operand2::Reg(rm),
+    } = insn.kind
+    else {
+        return None;
+    };
+    if !matches!(op, DpOp::And | DpOp::Eor | DpOp::Orr | DpOp::Add) {
+        return None;
+    }
+    Some(Insn {
+        cond: insn.cond,
+        kind: InsnKind::Dp {
+            op,
+            set_flags,
+            rd,
+            rn: Some(rm),
+            op2: Operand2::Reg(rn),
+        },
+    })
+}
+
+/// Rewrites adjacent share-reading pairs so the shares ride different
+/// operand-bus lanes, swapping commutative operands of the younger
+/// instruction where both occupy the same lane. Returns the relocated
+/// program and the number of swaps applied.
+///
+/// # Errors
+///
+/// [`SchedError::NotCode`] for images mixing data into the code, and
+/// re-encoding failures.
+pub fn pin_lanes(program: &Program, policy: &SharePolicy) -> Result<(Program, usize), SchedError> {
+    let mut insns = decode_image(program)?;
+    let mut swaps = 0usize;
+    for i in 1..insns.len() {
+        let Some(older_lane) = share_lane(&insns[i - 1], policy) else {
+            continue;
+        };
+        let Some(younger_lane) = share_lane(&insns[i], policy) else {
+            continue;
+        };
+        if older_lane != younger_lane {
+            continue;
+        }
+        if let Some(swapped) = swap_operands(&insns[i]) {
+            if share_lane(&swapped, policy) != Some(younger_lane) {
+                insns[i] = swapped;
+                swaps += 1;
+            }
+        }
+    }
+    let inserts = vec![Vec::new(); insns.len()];
+    Ok((rebuild(program, &insns, &inserts)?, swaps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::{assemble, Reg};
+
+    #[test]
+    fn swaps_same_lane_share_pairs() {
+        let program = assemble(
+            "
+        nop
+        eor r2, r0, r4
+        eor r3, r1, r5
+        nop
+        halt
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new().with_secret_regs([Reg::R0, Reg::R1]);
+        let (pinned, swaps) = pin_lanes(&program, &policy).unwrap();
+        assert_eq!(swaps, 1);
+        assert_eq!(
+            pinned.insn_at(8).unwrap(),
+            Insn::eor(Reg::R3, Reg::R5, Reg::R1),
+            "the younger share moves to lane 1"
+        );
+        // The older instruction is untouched.
+        assert_eq!(
+            pinned.insn_at(4).unwrap(),
+            Insn::eor(Reg::R2, Reg::R0, Reg::R4)
+        );
+    }
+
+    #[test]
+    fn different_lanes_are_left_alone() {
+        let program = assemble(
+            "
+        eor r2, r0, r4
+        eor r3, r5, r1
+        halt
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new().with_secret_regs([Reg::R0, Reg::R1]);
+        let (_, swaps) = pin_lanes(&program, &policy).unwrap();
+        assert_eq!(swaps, 0);
+    }
+
+    #[test]
+    fn non_commutative_ops_are_not_swapped() {
+        let program = assemble(
+            "
+        sub r2, r0, r4
+        sub r3, r1, r4
+        halt
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new().with_secret_regs([Reg::R0, Reg::R1]);
+        let (pinned, swaps) = pin_lanes(&program, &policy).unwrap();
+        assert_eq!(swaps, 0);
+        assert_eq!(
+            pinned.insn_at(4).unwrap(),
+            Insn::sub(Reg::R3, Reg::R1, Reg::R4)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # sca-sched — countermeasure scheduling for `sca-isa` programs
+//!
+//! The paper's Section 4.2 observation is that *semantics-preserving*
+//! schedule changes decide side-channel security on a superscalar core:
+//! two shares of a masked secret leak when they meet in a shared
+//! pipeline buffer, and stop leaking when an instruction is scheduled
+//! between them or when a commutative operand swap moves one share to a
+//! different operand-bus lane. This crate turns those two observations
+//! into automatic program rewriters:
+//!
+//! * [`harden_program`] — the **share-distance scheduler**: inserts
+//!   public *scrub* instructions so that two share-carrying instructions
+//!   are never closer than a configured distance. Between memory
+//!   operations the scrub is a public store (`strb scrub_value,
+//!   [scrub_base]`), which rewrites the operand buses, the LSU IS/EX
+//!   operand buffers, the memory-data register *and* the align buffer
+//!   with public values — breaking transition leakage like the
+//!   mask-cancelling `HD(S[x_i]^m, S[x_j]^m)` of consecutive masked
+//!   S-box stores. Between ALU operations the scrub is
+//!   `eor scrub_value, scrub_value, scrub_value`, which drives public
+//!   values onto both shared operand buses and the IS/EX buffers.
+//! * [`pin_lanes`] — the **lane-pinning rewriter**: when two adjacent
+//!   instructions read shares in the *same* operand position (and would
+//!   therefore drive them over the same operand bus back to back), it
+//!   swaps the commutative operands of the younger instruction so the
+//!   shares ride different lanes.
+//!
+//! Both passes relocate the program: branch offsets are recomputed from
+//! an old-index → new-index map, and symbols and source lines are
+//! carried across, so hardened programs remain runnable and auditable.
+//! Architectural behaviour is preserved by construction — the scrub
+//! instructions only touch the two *reserved* registers named in
+//! [`HardenConfig`], which the target program must treat as public
+//! scratch (the masked AES in `sca-aes` reserves `r6`/`r10` for exactly
+//! this).
+//!
+//! ```
+//! use sca_isa::assemble;
+//! use sca_sched::{harden_program, HardenConfig, SharePolicy};
+//!
+//! // Two shares stored back to back: their HD leaks in the LSU.
+//! let program = assemble("
+//! copy:   strb r0, [r10], #1
+//!         strb r1, [r10], #1
+//!         bx   lr
+//! ")?;
+//! let policy = SharePolicy::new().with_function(&program, "copy")?;
+//! let hardened = harden_program(&program, &policy, &HardenConfig::default())?;
+//! assert_eq!(hardened.report.mem_scrubs, 1); // one scrub between the stores
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod harden;
+mod lanes;
+mod policy;
+mod relocate;
+
+pub use harden::{harden_program, HardenConfig, HardenReport, Hardened};
+pub use lanes::pin_lanes;
+pub use policy::SharePolicy;
+pub use relocate::SchedError;

@@ -1,0 +1,154 @@
+//! Which instructions carry shares of a masked secret.
+
+use sca_isa::{Insn, Program, Reg, RegSet};
+
+use crate::SchedError;
+
+/// Marks the share-carrying instructions of a program.
+///
+/// Two orthogonal markers are supported:
+///
+/// * **code ranges** — half-open `[start, end)` address ranges (usually
+///   whole functions, via [`SharePolicy::with_function`]): every memory
+///   operation inside a marked range is treated as moving share data
+///   through the LSU;
+/// * **secret registers** — any instruction *reading* one of these
+///   registers is treated as driving a share over the operand buses.
+#[derive(Clone, Debug, Default)]
+pub struct SharePolicy {
+    ranges: Vec<(u32, u32)>,
+    secret_regs: RegSet,
+}
+
+impl SharePolicy {
+    /// An empty policy (marks nothing).
+    pub fn new() -> SharePolicy {
+        SharePolicy::default()
+    }
+
+    /// Marks the half-open address range `[start, end)`.
+    #[must_use]
+    pub fn with_range(mut self, start: u32, end: u32) -> SharePolicy {
+        self.ranges.push((start, end));
+        self
+    }
+
+    /// Marks the function starting at symbol `name`: its range runs to
+    /// the next symbol at a higher address, or to the image end.
+    ///
+    /// Beware internal labels: a loop label inside the function ends the
+    /// range here — use [`SharePolicy::with_span`] with an explicit end
+    /// symbol for functions that have them.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownSymbol`] when the program has no such label.
+    pub fn with_function(self, program: &Program, name: &str) -> Result<SharePolicy, SchedError> {
+        let start = program
+            .symbol(name)
+            .ok_or_else(|| SchedError::UnknownSymbol(name.to_owned()))?;
+        let end = program
+            .symbols()
+            .map(|(_, addr)| addr)
+            .filter(|&addr| addr > start)
+            .min()
+            .unwrap_or(program.base() + program.len_bytes());
+        Ok(self.with_range(start, end))
+    }
+
+    /// Marks the half-open range from symbol `start` to symbol `end` —
+    /// the whole-function marker for functions with internal labels
+    /// (e.g. `[subbytes, shiftrows)` in the masked AES).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownSymbol`] when either label is missing.
+    pub fn with_span(
+        self,
+        program: &Program,
+        start: &str,
+        end: &str,
+    ) -> Result<SharePolicy, SchedError> {
+        let lookup = |name: &str| {
+            program
+                .symbol(name)
+                .ok_or_else(|| SchedError::UnknownSymbol(name.to_owned()))
+        };
+        let (start, end) = (lookup(start)?, lookup(end)?);
+        Ok(self.with_range(start, end))
+    }
+
+    /// Marks registers whose readers carry shares.
+    #[must_use]
+    pub fn with_secret_regs(mut self, regs: impl IntoIterator<Item = Reg>) -> SharePolicy {
+        self.secret_regs.extend(regs);
+        self
+    }
+
+    /// Whether `addr` lies in a marked range.
+    pub fn covers(&self, addr: u32) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&addr))
+    }
+
+    /// Whether the instruction at `addr` moves share data through the
+    /// LSU (any memory operation inside a marked range).
+    pub fn is_share_mem(&self, addr: u32, insn: &Insn) -> bool {
+        insn.is_mem() && self.covers(addr)
+    }
+
+    /// Whether the instruction reads a share over the operand buses
+    /// (reads a marked secret register).
+    pub fn reads_shares(&self, insn: &Insn) -> bool {
+        insn.reads().intersects(self.secret_regs)
+    }
+
+    /// The marked secret registers.
+    pub fn secret_regs(&self) -> RegSet {
+        self.secret_regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::assemble;
+
+    #[test]
+    fn function_ranges_span_to_the_next_symbol() {
+        let program = assemble(
+            "
+first:  nop
+        nop
+second: nop
+        halt
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new().with_function(&program, "first").unwrap();
+        assert!(policy.covers(0));
+        assert!(policy.covers(4));
+        assert!(!policy.covers(8), "range ends at the next symbol");
+        assert!(SharePolicy::new().with_function(&program, "nope").is_err());
+        let span = SharePolicy::new()
+            .with_span(&program, "first", "second")
+            .unwrap();
+        assert!(span.covers(4) && !span.covers(8));
+        assert!(SharePolicy::new()
+            .with_span(&program, "first", "nope")
+            .is_err());
+    }
+
+    #[test]
+    fn secret_register_reads_are_flagged() {
+        let policy = SharePolicy::new().with_secret_regs([Reg::R0, Reg::R1]);
+        assert!(policy.reads_shares(&Insn::eor(Reg::R2, Reg::R0, Reg::R4)));
+        assert!(policy.reads_shares(&Insn::mov(Reg::R2, Reg::R1)));
+        assert!(!policy.reads_shares(&Insn::mov(Reg::R2, Reg::R4)));
+        assert!(
+            !policy.reads_shares(&Insn::mov(Reg::R0, 1u32)),
+            "writes don't count"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Program relocation: rebuild an image after inserting instructions,
+//! keeping branches, the entry point, symbols and source lines correct.
+
+use std::fmt;
+
+use sca_isa::{decode, Insn, InsnKind, IsaError, Program};
+
+/// Why a scheduling pass refused a program.
+#[derive(Debug)]
+pub enum SchedError {
+    /// The word at `addr` does not decode: the image mixes code and
+    /// data, which an inserting rewriter cannot relocate safely.
+    NotCode(u32),
+    /// A branch at `addr` targets outside the image.
+    BranchOutOfImage(u32),
+    /// A named symbol does not exist.
+    UnknownSymbol(String),
+    /// Re-encoding the rewritten program failed.
+    Isa(IsaError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotCode(addr) => {
+                write!(f, "word at {addr:#x} is data, not an instruction")
+            }
+            SchedError::BranchOutOfImage(addr) => {
+                write!(f, "branch at {addr:#x} targets outside the image")
+            }
+            SchedError::UnknownSymbol(name) => write!(f, "no symbol named '{name}'"),
+            SchedError::Isa(e) => write!(f, "re-encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<IsaError> for SchedError {
+    fn from(e: IsaError) -> SchedError {
+        SchedError::Isa(e)
+    }
+}
+
+/// Decodes every word of a code-only image.
+pub(crate) fn decode_image(program: &Program) -> Result<Vec<Insn>, SchedError> {
+    program
+        .words()
+        .iter()
+        .enumerate()
+        .map(|(i, &word)| {
+            decode(word).map_err(|_| SchedError::NotCode(program.base() + 4 * i as u32))
+        })
+        .collect()
+}
+
+/// Rebuilds a program from the original and a per-instruction list of
+/// insertions (`inserts[i]` goes immediately *before* original
+/// instruction `i`). Branch offsets are recomputed so that a branch to
+/// an instruction with insertions lands on the *first inserted
+/// instruction*, not past it: insertions are architecture-neutral
+/// scrubs, and entering through them keeps the scheduler's distance
+/// guarantee intact on taken-branch paths (most importantly, loop
+/// back-edges re-execute the scrubs ahead of the loop head). The entry
+/// point, symbols and source lines are mapped across to the original
+/// instructions.
+pub(crate) fn rebuild(
+    program: &Program,
+    insns: &[Insn],
+    inserts: &[Vec<Insn>],
+) -> Result<Program, SchedError> {
+    debug_assert_eq!(insns.len(), inserts.len());
+    let n = insns.len();
+
+    // new_index[i] = output position of original instruction i (after
+    // its insertions); block_start[i] = position of its first inserted
+    // instruction (= new_index[i] when nothing was inserted). Entry n
+    // marks one past the final instruction for end-targeting branches.
+    let mut new_index = Vec::with_capacity(n + 1);
+    let mut block_start = Vec::with_capacity(n + 1);
+    let mut out: Vec<Insn> = Vec::with_capacity(n);
+    for (insn, before) in insns.iter().zip(inserts) {
+        block_start.push(out.len());
+        out.extend_from_slice(before);
+        new_index.push(out.len());
+        out.push(*insn);
+    }
+    block_start.push(out.len());
+    new_index.push(out.len());
+
+    // Fix branch offsets (offsets are in instructions, relative to the
+    // instruction after the branch).
+    for (i, insn) in insns.iter().enumerate() {
+        if let InsnKind::Branch { link, offset } = insn.kind {
+            let target = i as i64 + 1 + i64::from(offset);
+            if !(0..=n as i64).contains(&target) {
+                return Err(SchedError::BranchOutOfImage(program.base() + 4 * i as u32));
+            }
+            let new_i = new_index[i] as i64;
+            let new_target = block_start[target as usize] as i64;
+            let new_offset = new_target - (new_i + 1);
+            out[new_index[i]] = Insn {
+                cond: insn.cond,
+                kind: InsnKind::Branch {
+                    link,
+                    offset: new_offset as i32,
+                },
+            };
+        }
+    }
+
+    let base = program.base();
+    let mut rebuilt = Program::from_insns(base, &out)?;
+    let map_addr = |addr: u32| -> Option<u32> {
+        if addr < base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let index = ((addr - base) / 4) as usize;
+        (index <= n).then(|| base + 4 * new_index[index] as u32)
+    };
+    rebuilt.set_entry(map_addr(program.entry()).unwrap_or(base));
+    for (name, addr) in program.symbols() {
+        if let Some(new_addr) = map_addr(addr) {
+            rebuilt.insert_symbol(name.to_owned(), new_addr);
+        }
+    }
+    for (i, &new_i) in new_index.iter().take(n).enumerate() {
+        let old_addr = base + 4 * i as u32;
+        if let Some(line) = program.source_line(old_addr) {
+            rebuilt.insert_source_line(base + 4 * new_i as u32, line);
+        }
+    }
+    Ok(rebuilt)
+}

@@ -7,38 +7,16 @@
 //! the shares issue back-to-back, the shares meet on the shared operand
 //! bus and their Hamming distance — which equals `HW(s)`! — leaks.
 //!
-//! The audit detects this, and shows two of the paper's countermeasure
-//! ideas working: scheduling distance between the shares, and
-//! dual-issuing the two share computations so they ride different buses.
+//! The scenarios live in `sca_core::masking_scenarios`, shared with the
+//! integration tests (`tests/masking_audit.rs`) that enforce every
+//! verdict printed here: the vulnerable schedule, the paper's two
+//! hand-written countermeasures (scheduling distance and operand swap),
+//! and the same two derived automatically by the `sca-sched` rewriters.
 //!
 //! Run with: `cargo run --release --example masking_audit`
 
-use superscalar_sca::analysis::input_word;
-use superscalar_sca::core::AuditReport;
+use superscalar_sca::core::{audit_scenario, masking_scenarios, operand_path_leaks, AuditConfig};
 use superscalar_sca::prelude::*;
-
-fn share_models() -> [SecretModel; 1] {
-    [SecretModel::new(
-        "HD(share0, share1) = HW(secret)",
-        |input: &[u8]| f64::from((input_word(input, 0) ^ input_word(input, 1)).count_ones()),
-    )]
-}
-
-fn stage(cpu: &mut Cpu, input: &[u8]) {
-    cpu.set_reg(Reg::R0, input_word(input, 0)); // share 0 = s ^ m
-    cpu.set_reg(Reg::R1, input_word(input, 1)); // share 1 = m
-    cpu.set_reg(Reg::R4, 0x0f0f_0f0f); // public round constant
-    cpu.set_reg(Reg::R5, 0x3c3c_3c3c); // another public constant
-    cpu.set_reg(Reg::R7, 0x5555_aaaa); // unrelated public value
-}
-
-fn operand_path_leaks(report: &AuditReport) -> usize {
-    report
-        .findings
-        .iter()
-        .filter(|f| matches!(f.node, Node::OperandBus(_) | Node::IsExOp { .. }))
-        .count()
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uarch = UarchConfig::cortex_a7().with_ideal_memory();
@@ -47,76 +25,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..AuditConfig::default()
     };
 
-    // Vulnerable: both share-processing instructions place their share
-    // in the same source-operand position. Two reg-reg ALU ops never
-    // dual-issue on the A7 (Table 1), so they execute back-to-back on
-    // the same pipe and the shares meet on operand bus 0: the bus
-    // transition is HD(s0, s1) = HW(secret).
-    let vulnerable = assemble(
-        "
-        nop
-        eor r2, r0, r4     ; share 0 in position 0
-        eor r3, r1, r5     ; share 1 in position 0 -> same bus!
-        nop
-        halt
-    ",
-    )?;
-    let report = audit_program(&uarch, &vulnerable, 8, stage, &share_models(), &config)?;
-    println!("== vulnerable schedule (shares in the same operand position) ==");
-    println!("{}", report.render());
-    assert!(
-        operand_path_leaks(&report) > 0,
-        "the recombination must be detected"
-    );
-
-    // Hardening 1: unrelated public-value work separates the two shares
-    // in time, scrubbing the shared buses between them — the
-    // instruction-scheduling countermeasure of Section 4.2.
-    let spaced = assemble(
-        "
-        nop
-        eor r2, r0, r4     ; share 0
-        mov r6, r7         ; public spacer rewrites bus 0
-        mov r6, r7
-        eor r3, r1, r5     ; share 1 — bus no longer holds share 0
-        nop
-        halt
-    ",
-    )?;
-    let report = audit_program(&uarch, &spaced, 8, stage, &share_models(), &config)?;
-    println!("== hardened schedule 1: spacer instructions ==");
-    println!("{}", report.render());
-    assert_eq!(
-        operand_path_leaks(&report),
-        0,
-        "scheduling distance removes the recombination"
-    );
-
-    // Hardening 2: swap the (commutative) operands of the second eor so
-    // the shares sit in different positions — the flip side of the
-    // paper's operand-swap warning: a swap can create *or* remove
-    // leakage, and nothing at the ISA level tells you which.
-    let swapped = assemble(
-        "
-        nop
-        eor r2, r0, r4     ; share 0 in position 0
-        eor r3, r5, r1     ; share 1 moved to position 1
-        nop
-        halt
-    ",
-    )?;
-    let report = audit_program(&uarch, &swapped, 8, stage, &share_models(), &config)?;
-    println!("== hardened schedule 2: operand swap ==");
-    println!("{}", report.render());
-    assert_eq!(
-        operand_path_leaks(&report),
-        0,
-        "different positions, different buses"
-    );
+    for scenario in masking_scenarios() {
+        let report = audit_scenario(&scenario, &uarch, &config)?;
+        println!("== {}: {} ==", scenario.name, scenario.description);
+        println!("{}", report.render());
+        let leaks = operand_path_leaks(&report);
+        if scenario.expect_operand_path_leak {
+            assert!(leaks > 0, "the recombination must be detected");
+        } else {
+            assert_eq!(
+                leaks, 0,
+                "schedule '{}' must not recombine the shares",
+                scenario.name
+            );
+        }
+    }
 
     println!(
         "audit demonstrates: semantics-preserving reordering or operand swaps change \
-         side-channel security, invisibly to ISA-level reasoning"
+         side-channel security, invisibly to ISA-level reasoning — and the sca-sched \
+         rewriters apply the safe direction automatically"
     );
     Ok(())
 }

@@ -18,8 +18,9 @@
 //! | [`power`] | `sca-power` | leakage weights, noise, trace synthesis |
 //! | [`analysis`] | `sca-analysis` | Pearson CPA, significance statistics, t-test, SNR |
 //! | [`campaign`] | `sca-campaign` | sharded streaming campaign engine and sinks |
-//! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementation under attack |
+//! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementations under attack (unprotected and first-order masked) |
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
+//! | [`sched`] | `sca-sched` | countermeasure scheduling: share-distance scrubs, lane pinning |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
 //!
 //! ## Quickstart
@@ -79,6 +80,12 @@ pub mod aes {
     pub use sca_aes::*;
 }
 
+/// Countermeasure scheduling: share-distance scrub insertion and
+/// lane pinning (re-export of `sca-sched`).
+pub mod sched {
+    pub use sca_sched::*;
+}
+
 /// Operating-system noise environments (re-export of `sca-osnoise`).
 pub mod osnoise {
     pub use sca_osnoise::*;
@@ -92,7 +99,7 @@ pub mod core {
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use sca_aes::{encrypt_block, AesSim, SubBytesHw, SubBytesStoreHd};
+    pub use sca_aes::{encrypt_block, AesSim, MaskedAesSim, SubBytesHw, SubBytesStoreHd};
     pub use sca_analysis::{
         cpa_attack, model_correlation, pearson, significance_threshold, CpaAccumulator, CpaConfig,
         FnSelection, InputModel, TraceSet,
@@ -108,6 +115,7 @@ pub mod prelude {
         AcquisitionConfig, GaussianNoise, LeakageWeights, PowerRecorder, SamplingConfig,
         TraceSynthesizer,
     };
+    pub use sca_sched::{harden_program, pin_lanes, HardenConfig, SharePolicy};
     pub use sca_uarch::{
         Cpu, DualIssuePolicy, Node, NodeKind, NullObserver, PipelineObserver, RecordingObserver,
         UarchConfig,

@@ -4,10 +4,11 @@
 //! feature sets — because side-channel countermeasure evaluation is
 //! meaningless on a broken target.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use superscalar_sca::aes::{encrypt_block, AesSim};
+use superscalar_sca::aes::{encrypt_block, AesSim, MaskedAesSim, MASK_BYTES};
 use superscalar_sca::uarch::{DualIssuePolicy, UarchConfig};
 
 fn random_vectors(n: usize, seed: u64) -> Vec<([u8; 16], [u8; 16])> {
@@ -59,6 +60,75 @@ fn aes_correct_with_degraded_features() {
             sim.encrypt(&pt).expect("encrypts"),
             encrypt_block(&key, &pt)
         );
+    }
+}
+
+#[test]
+fn masked_aes_matches_golden_under_every_uarch() {
+    // The masked implementation must stay correct under the same
+    // configuration matrix as the unprotected one.
+    let mut degraded = UarchConfig::cortex_a7().with_ideal_memory();
+    degraded.nop_zeroes_wb = false;
+    degraded.align_buffer = false;
+    degraded.forwarding = false;
+    for (i, config) in [UarchConfig::cortex_a7(), UarchConfig::scalar(), degraded]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(40 + i as u64);
+        let mut key = [0u8; 16];
+        rng.fill(&mut key);
+        let mut sim = MaskedAesSim::new(config, &key).expect("builds");
+        for _ in 0..3 {
+            let mut pt = [0u8; 16];
+            let mut masks = [0u8; MASK_BYTES];
+            rng.fill(&mut pt);
+            rng.fill(&mut masks);
+            assert_eq!(
+                sim.encrypt_masked(&pt, &masks).expect("encrypts"),
+                encrypt_block(&key, &pt),
+                "uarch variant {i}, masks {masks:02x?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Masked-AES share-randomization invariance: for any plaintext and
+    /// any two mask draws, the ciphertext equals the golden model —
+    /// re-keying the mask RNG changes no ciphertext bit.
+    #[test]
+    fn masked_aes_ciphertext_is_mask_invariant(
+        pt_bytes in prop::collection::vec(any::<u8>(), 16..17),
+        masks_a_bytes in prop::collection::vec(any::<u8>(), 6..7),
+        masks_b_bytes in prop::collection::vec(any::<u8>(), 6..7),
+    ) {
+        let mut pt = [0u8; 16];
+        pt.copy_from_slice(&pt_bytes);
+        let mut masks_a = [0u8; MASK_BYTES];
+        masks_a.copy_from_slice(&masks_a_bytes);
+        let mut masks_b = [0u8; MASK_BYTES];
+        masks_b.copy_from_slice(&masks_b_bytes);
+        // One shared simulator: building a CPU per case would dominate
+        // the test; the key is fixed, the masks and plaintext vary.
+        use std::cell::RefCell;
+        thread_local! {
+            static SIM: RefCell<Option<MaskedAesSim>> = const { RefCell::new(None) };
+        }
+        let key = *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c";
+        let reference = encrypt_block(&key, &pt);
+        SIM.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let sim = slot.get_or_insert_with(|| {
+                MaskedAesSim::new(UarchConfig::cortex_a7().with_ideal_memory(), &key)
+                    .expect("builds")
+            });
+            prop_assert_eq!(sim.encrypt_masked(&pt, &masks_a).expect("encrypts"), reference);
+            prop_assert_eq!(sim.encrypt_masked(&pt, &masks_b).expect("encrypts"), reference);
+            Ok(())
+        })?;
     }
 }
 

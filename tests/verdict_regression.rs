@@ -1,0 +1,132 @@
+//! Verdict non-regression snapshots.
+//!
+//! Each experiment driver runs here at a reduced, fixed-seed scale and
+//! its *verdict* — recovered key bytes, success flags, ranks, audit
+//! counts — is pinned exactly. A pipeline, power-model or uarch change
+//! that silently flips an attack outcome now fails `cargo test` instead
+//! of only showing up in a full campaign; an intentional model change
+//! must update these snapshots (and say so in review).
+//!
+//! The campaigns are deterministic by the engine's contract (seed →
+//! per-trace RNG streams, thread-count invariant verdicts), so these
+//! snapshots hold on any machine and at any `--threads`; the configs
+//! below use 4 workers to keep tier-1 fast.
+
+use sca_bench::{run_figure3, run_figure4, run_masked, Figure3Config, Figure4Config, MaskedConfig};
+use superscalar_sca::power::GaussianNoise;
+
+/// A quiet probe chain: the test-scale campaigns keep the full sampling
+/// and OS models but lower the probe noise so a few hundred traces
+/// resolve the verdicts in debug builds. The full-noise quick/paper
+/// scales run through the binaries (and CI regenerates them).
+fn quiet_probe() -> GaussianNoise {
+    GaussianNoise {
+        sd: 2.0,
+        baseline: 30.0,
+    }
+}
+
+/// Figure 3 at 200 traces: the HW model recovers key byte 0 on bare
+/// metal, with the leakage localized in round-1 primitives.
+#[test]
+fn figure3_quick_verdict_is_stable() {
+    let result = run_figure3(&Figure3Config {
+        traces: 250,
+        executions_per_trace: 2,
+        threads: 4,
+        noise: quiet_probe(),
+        ..Figure3Config::default()
+    })
+    .expect("figure3 runs");
+    assert_eq!(
+        (result.recovered, result.correct, result.success()),
+        (0x2b, 0x2b, true),
+        "figure3 verdict changed: peak {:.4}",
+        result.peak()
+    );
+    assert!(!result.regions.is_empty(), "round-1 regions disappeared");
+}
+
+/// Figure 4 at 200 traces under the loaded-Linux environment: at this
+/// scale the OS-noise attack has not converged (key recovery at scale
+/// is asserted by `tests/attack_reproduction.rs` and the `figure4`
+/// binary), so the snapshot pins the exact deterministic outcome — any
+/// silent pipeline or environment-model change still flips it.
+#[test]
+fn figure4_quick_verdict_is_stable() {
+    let result = run_figure4(&Figure4Config {
+        traces: 200,
+        executions_per_trace: 4,
+        threads: 4,
+        noise: quiet_probe(),
+        ..Figure4Config::default()
+    })
+    .expect("figure4 runs");
+    assert_eq!(
+        (result.recovered, result.correct, result.success()),
+        (0xf6, 0x7e, false),
+        "figure4 verdict changed: peak {:.4}, confidence {:.3}",
+        result.peak(),
+        result.success_confidence
+    );
+    assert!(
+        result.bare_metal_peak > result.peak(),
+        "the OS environment must cost amplitude: bare {:.4} vs loaded {:.4}",
+        result.bare_metal_peak,
+        result.peak()
+    );
+}
+
+/// The countermeasure suite at 120 traces: every verdict line — all
+/// three targets × (HW CPA, HD CPA, TVLA) plus the two audit summaries
+/// — pinned byte for byte.
+#[test]
+fn masked_quick_verdict_lines_are_stable() {
+    let result = run_masked(&MaskedConfig {
+        traces: 120,
+        executions_per_trace: 2,
+        threads: 4,
+        audit_executions: 250,
+        ablations: false,
+        ..MaskedConfig::default()
+    })
+    .expect("masked suite runs");
+    let expected = [
+        "[unprotected] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0xa7, true 0x7e, rank 64)",
+        "[unprotected] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0x41, true 0x7e, rank 131)",
+        "[unprotected] TVLA fixed-vs-random: LEAKS",
+        "[masked] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x19, true 0x7e, rank 136)",
+        "[masked] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0x3c, true 0x7e, rank 40)",
+        "[masked] TVLA fixed-vs-random: clean",
+        "[masked+sched] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x1f, true 0x7e, rank 219)",
+        "[masked+sched] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0x08, true 0x7e, rank 152)",
+        "[masked+sched] TVLA fixed-vs-random: LEAKS",
+        "[masked] audit: 2 operand-path leak(s), 0 HW-model leak(s)",
+        "[masked+sched] audit: 0 operand-path leak(s), 0 HW-model leak(s)",
+    ];
+    let lines = result.verdict_lines();
+    assert_eq!(
+        lines,
+        expected,
+        "masked verdict lines changed:\n{}",
+        lines.join("\n")
+    );
+
+    // The acceptance-critical structure holds even at this scale (the
+    // CPA ranks need the binary's larger campaigns, but the noise-free
+    // audit does not): the masked-but-unscheduled target recombines the
+    // shares on operand-bus/IS-EX nodes, the value-level HW model is
+    // blind to the masked implementation, and the scheduler's scrubs
+    // silence the recombination entirely.
+    assert!(result.audit_masked.operand_path > 0);
+    assert_eq!(result.audit_masked.hw_findings, 0);
+    assert_eq!(
+        (
+            result.audit_scheduled.operand_path,
+            result.audit_scheduled.memory_path,
+            result.audit_scheduled.hw_findings
+        ),
+        (0, 0, 0)
+    );
+    assert!(result.harden.mem_scrubs > 0);
+}
