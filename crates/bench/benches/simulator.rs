@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sca_aes::AesSim;
 use sca_core::{measure_cpi, CpiBenchmark};
 use sca_isa::{assemble, InsnClass};
+use sca_target::{PresentSim, SpeckSim};
 use sca_uarch::{Cpu, NullObserver, UarchConfig};
 
 fn bench_aes_encrypt(c: &mut Criterion) {
@@ -15,6 +16,32 @@ fn bench_aes_encrypt(c: &mut Criterion) {
     c.bench_function("simulator/aes128_encrypt", |b| {
         let mut sim = sim.clone();
         let mut pt = [0u8; 16];
+        b.iter(|| {
+            pt[0] = pt[0].wrapping_add(1);
+            std::hint::black_box(sim.encrypt(&pt).expect("encrypts"));
+        });
+    });
+}
+
+fn bench_speck_encrypt(c: &mut Criterion) {
+    let key = [0x5au8; 16];
+    let sim = SpeckSim::new(UarchConfig::cortex_a7(), &key).expect("SPECK sim builds");
+    c.bench_function("simulator/speck64128_encrypt", |b| {
+        let mut sim = sim.clone();
+        let mut pt = [0u8; 8];
+        b.iter(|| {
+            pt[0] = pt[0].wrapping_add(1);
+            std::hint::black_box(sim.encrypt(&pt).expect("encrypts"));
+        });
+    });
+}
+
+fn bench_present_encrypt(c: &mut Criterion) {
+    let key = [0x5au8; 10];
+    let sim = PresentSim::new(UarchConfig::cortex_a7(), &key).expect("PRESENT sim builds");
+    c.bench_function("simulator/present80_encrypt", |b| {
+        let mut sim = sim.clone();
+        let mut pt = [0u8; 8];
         b.iter(|| {
             pt[0] = pt[0].wrapping_add(1);
             std::hint::black_box(sim.encrypt(&pt).expect("encrypts"));
@@ -55,6 +82,7 @@ fn bench_cpi_measurement(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_aes_encrypt, bench_cycle_throughput, bench_cpi_measurement
+    targets = bench_aes_encrypt, bench_speck_encrypt, bench_present_encrypt,
+        bench_cycle_throughput, bench_cpi_measurement
 }
 criterion_main!(benches);

@@ -3,14 +3,14 @@
 use std::fmt;
 
 /// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--batch N`,
-/// `--quick`, `--full`.
+/// `--quick`, `--full`, `--bench-json PATH`.
 ///
 /// `--full` raises trace counts to the paper's scale (100k traces for
 /// the characterizations, Figure 3); without it the defaults are sized
 /// for a quick run with the same qualitative outcome. `--batch` sets how
 /// many traces each campaign worker buffers between accumulator updates
 /// (it bounds transient memory and never changes results).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CommonArgs {
     /// Trace count override.
     pub traces: Option<usize>,
@@ -22,6 +22,12 @@ pub struct CommonArgs {
     pub batch: usize,
     /// Paper-scale campaign.
     pub full: bool,
+    /// Write per-kernel wall-clock timings to this path, as a JSON
+    /// array in the `customSmallerIsBetter` shape
+    /// (`[{"name", "value", "unit"}]`) that CI benchmark trackers
+    /// ingest. Timings are machine-dependent and go to the file only —
+    /// stdout stays byte-deterministic.
+    pub bench_json: Option<String>,
 }
 
 impl CommonArgs {
@@ -41,6 +47,7 @@ impl Default for CommonArgs {
             threads: 8,
             batch: sca_campaign::DEFAULT_BATCH,
             full: false,
+            bench_json: None,
         }
     }
 }
@@ -57,7 +64,8 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
-const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --quick, --full";
+const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --quick, --full, \
+     --bench-json PATH";
 
 impl CommonArgs {
     /// Parses `std::env::args`, exiting with status 2 on anything it
@@ -105,6 +113,7 @@ impl CommonArgs {
                 "--batch" => out.batch = parse_value(&arg, &value(&arg)?)?,
                 "--quick" => out.full = false,
                 "--full" => out.full = true,
+                "--bench-json" => out.bench_json = Some(value(&arg)?),
                 unknown => {
                     return Err(ArgsError(format!("unrecognized argument '{unknown}'")));
                 }
@@ -117,6 +126,16 @@ impl CommonArgs {
             return Err(ArgsError("'--batch' must be at least 1".to_owned()));
         }
         Ok(out)
+    }
+
+    /// Rejects `--bench-json` in binaries that emit no benchmark
+    /// timings (only `portfolio` does), exiting with status 2 — the
+    /// strict-args contract: a flag must never be silently ignored.
+    pub fn reject_bench_json(&self, binary: &str) {
+        if self.bench_json.is_some() {
+            eprintln!("error: '--bench-json' is not supported by '{binary}' (only 'portfolio')");
+            std::process::exit(2);
+        }
     }
 
     /// Picks the trace count: explicit override, else `full_default` when
@@ -165,6 +184,8 @@ mod tests {
             "--batch",
             "32",
             "--full",
+            "--bench-json",
+            "out.json",
         ])
         .unwrap();
         assert_eq!(args.traces, Some(500));
@@ -172,6 +193,7 @@ mod tests {
         assert_eq!(args.threads, 3);
         assert_eq!(args.batch, 32);
         assert!(args.full);
+        assert_eq!(args.bench_json.as_deref(), Some("out.json"));
     }
 
     #[test]
@@ -182,6 +204,7 @@ mod tests {
         assert_eq!(args.threads, 8);
         assert_eq!(args.batch, sca_campaign::DEFAULT_BATCH);
         assert!(!args.full);
+        assert!(args.bench_json.is_none());
     }
 
     #[test]
@@ -202,6 +225,7 @@ mod tests {
     #[test]
     fn missing_and_bad_values_are_rejected() {
         assert!(parse(&["--traces"]).is_err());
+        assert!(parse(&["--bench-json"]).is_err());
         assert!(parse(&["--seed", "not-a-number"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--batch", "0"]).is_err());

@@ -8,6 +8,7 @@ use sca_bench::{run_masked, CommonArgs, MaskedConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_bench_json("masked");
     let config = MaskedConfig {
         traces: args.trace_count(400, 5_000),
         executions_per_trace: if args.quick() { 8 } else { 16 },
@@ -24,8 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_masked(&config)?;
 
     println!(
-        "scheduler: {} public store scrub(s) inserted into SubBytes ({} -> {} instructions)\n",
-        result.harden.mem_scrubs, result.harden.original_insns, result.harden.hardened_insns
+        "scheduler: {} store+reload and {} ALU scrub pair(s) inserted into the masked \
+         SubBytes/ShiftRows span ({} -> {} instructions)\n",
+        result.harden.mem_scrubs,
+        result.harden.bus_scrubs,
+        result.harden.original_insns,
+        result.harden.hardened_insns
     );
 
     for target in &result.targets {

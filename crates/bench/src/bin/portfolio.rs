@@ -1,0 +1,92 @@
+//! Cipher-portfolio evaluation: Table-2-style characterization, HW and
+//! HD CPA, TVLA and node audits for every registered cipher target —
+//! AES-128 (unprotected and masked), SPECK64/128 and PRESENT-80.
+//!
+//! Usage: `cargo run --release -p sca-bench --bin portfolio
+//! [--traces N] [--quick|--full] [--bench-json PATH]`
+
+use sca_bench::{run_portfolio, CommonArgs, PortfolioConfig};
+use sca_target::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse();
+    let config = PortfolioConfig {
+        traces: args.trace_count(700, 4_000),
+        executions_per_trace: if args.quick() { 8 } else { 16 },
+        charz_traces: if args.quick() { 400 } else { 2_000 },
+        audit_executions: if args.quick() { 250 } else { 600 },
+        seed: args.seed,
+        threads: args.threads,
+        batch: args.batch,
+        ..PortfolioConfig::default()
+    };
+    println!(
+        "Cipher portfolio — the paper's methodology across cipher families, \
+         {} traces per campaign\n",
+        config.traces
+    );
+    let result = run_portfolio(&config)?;
+
+    for target in &result.targets {
+        println!(
+            "== {} (primary window {} cycles) ==",
+            target.name, target.window_cycles
+        );
+        for verdict in &target.cpa {
+            println!(
+                "  {:<44} peak correct |corr| {:.4}, best wrong {:.4}",
+                verdict.verdict(),
+                verdict.peak,
+                verdict.best_wrong,
+            );
+        }
+        println!(
+            "  TVLA fixed-vs-random: max |t| {:.2} -> {} ({} fixed / {} random traces)",
+            target.tvla.max_t,
+            if target.tvla.leaks { "LEAKS" } else { "clean" },
+            target.tvla.counts.0,
+            target.tvla.counts.1,
+        );
+        println!(
+            "  Table-2-style characterization ({} traces, 99.5% confidence):",
+            config.charz_traces
+        );
+        for row in &target.charz {
+            println!("    model {}", row.model);
+            for cell in &row.cells {
+                println!(
+                    "      {:<14} corr {:+.4} -> {}",
+                    cell.component.label(),
+                    cell.peak_corr,
+                    if cell.significant { "RED" } else { "black" },
+                );
+            }
+        }
+        println!(
+            "  node audit: {} operand-path leak(s), {} memory-path leak(s)\n",
+            target.audit_operand, target.audit_memory,
+        );
+    }
+
+    println!("verdicts:");
+    for line in result.verdict_lines() {
+        println!("  {line}");
+    }
+
+    let speck = result.target("speck64128");
+    let present = result.target("present80");
+    println!();
+    println!(
+        "portfolio claim: the microarchitecture-aware HD models generalize beyond AES — \
+         SPECK64/128 (ARX: shifter + adder carry chains) key byte recovered: {}; \
+         PRESENT-80 (4-bit S-box: sub-word align remanence) key byte recovered: {}",
+        speck.cpa_for(ModelKind::TransitionHd).success(),
+        present.cpa_for(ModelKind::TransitionHd).success(),
+    );
+
+    if let Some(path) = &args.bench_json {
+        std::fs::write(path, result.timings_json())?;
+        eprintln!("wrote {} kernel timings to {path}", result.timings.len());
+    }
+    Ok(())
+}

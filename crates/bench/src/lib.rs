@@ -22,6 +22,7 @@ pub mod figure3;
 pub mod figure4;
 pub mod masked;
 pub mod plot;
+pub mod portfolio;
 mod probe;
 
 pub use args::CommonArgs;
@@ -31,3 +32,4 @@ pub use masked::{
     run_masked, AblationRow, AttackOutcome, AuditSummary, MaskedConfig, MaskedResult, TargetResult,
     TVLA_FIXED_PT,
 };
+pub use portfolio::{run_portfolio, PhaseTiming, PortfolioConfig, PortfolioResult, TargetReport};

@@ -27,7 +27,7 @@ use sca_aes::{
 };
 use sca_campaign::{Campaign, CampaignConfig, CpaSink, TtestSink};
 use sca_core::{audit_program, AuditConfig, SecretModel};
-use sca_isa::Program;
+use sca_isa::{Program, Reg};
 use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
 use sca_sched::{harden_program, HardenConfig, HardenReport, SharePolicy};
 use sca_uarch::{Cpu, Node, UarchConfig};
@@ -294,9 +294,23 @@ fn build_targets(
     let unprotected = AesSim::new(uarch.clone(), &config.key)?;
     let masked = MaskedAesSim::new(uarch.clone(), &config.key)?;
     let masked_program = aes128_masked_program()?;
-    // [subbytes, shiftrows) — the whole function, past its internal
-    // sb_loop label.
-    let policy = SharePolicy::new().with_span(&masked_program, "subbytes", "shiftrows")?;
+    // The scrub scope covers the whole masked span that moves SubBytes
+    // outputs: [subbytes, mixcolumns) — SubBytes past its internal
+    // sb_loop label *and* ShiftRows, whose byte shuffle drags same-mask
+    // bytes through the align buffer back to back. The scoped secret
+    // registers extend it to the ALU `mov` pair shuttling the table
+    // outputs into the next iteration's stores (`r1/r9` fed from
+    // `r5/r11`): its back-to-back same-pipe reads recombine the shared
+    // output mask on the IS/EX operand path — the residual the TVLA
+    // assessment used to flag.
+    let policy = SharePolicy::new()
+        .with_span(&masked_program, "subbytes", "mixcolumns")?
+        .with_scoped_secret_regs(
+            &masked_program,
+            "subbytes",
+            "shiftrows",
+            [Reg::R1, Reg::R5, Reg::R9, Reg::R11],
+        )?;
     let hardened = harden_program(&masked_program, &policy, &HardenConfig::default())?;
     let scheduled = MaskedAesSim::from_program(uarch.clone(), &config.key, &hardened.program)?;
     let targets = vec![

@@ -1,0 +1,258 @@
+//! The cipher-portfolio experiment: the paper's methodology — Table-2
+//! style per-component characterization, value-level HW and
+//! microarchitecture-aware HD CPA, fixed-vs-random TVLA, node-level
+//! audit — run against every registered [`sca_target::CipherTarget`].
+//!
+//! The point is the generalization claim: the leakage characterization
+//! and the microarchitecture-aware attack models are properties of the
+//! *pipeline*, not of AES. The portfolio therefore spans cipher
+//! families the baseline never exercises — SPECK64/128's ARX rounds
+//! drive the barrel shifter and the adder's carry chain, PRESENT-80's
+//! nibble S-box layer drives sub-word align-buffer remanence — and
+//! every driver below is generic over the trait: no cipher is named
+//! outside the registry.
+
+use std::time::Instant;
+
+use sca_core::{audit_cipher_target, leak_paths, AuditConfig};
+use sca_power::GaussianNoise;
+use sca_target::{
+    characterize_target, portfolio, resolve_window, CipherTarget, CpaVerdict, ModelKind,
+    TargetCampaign, TargetCampaignConfig, TargetCharacterization, TvlaVerdict,
+};
+use sca_uarch::UarchConfig;
+
+/// Portfolio campaign parameters.
+#[derive(Clone, Debug)]
+pub struct PortfolioConfig {
+    /// Averaged traces per CPA / TVLA campaign.
+    pub traces: usize,
+    /// Executions averaged per trace.
+    pub executions_per_trace: usize,
+    /// Master seed (salted per target).
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Traces buffered per worker between accumulator updates.
+    pub batch: usize,
+    /// Measurement noise.
+    pub noise: GaussianNoise,
+    /// Traces for the per-component characterization.
+    pub charz_traces: usize,
+    /// Executions for the node-level audit.
+    pub audit_executions: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> PortfolioConfig {
+        PortfolioConfig {
+            traces: 300,
+            executions_per_trace: 8,
+            seed: 0xdac_2018,
+            threads: 8,
+            batch: sca_campaign::DEFAULT_BATCH,
+            noise: GaussianNoise::bare_metal(),
+            charz_traces: 200,
+            audit_executions: 250,
+        }
+    }
+}
+
+/// Everything measured against one target.
+#[derive(Clone, Debug)]
+pub struct TargetReport {
+    /// Registry name.
+    pub name: String,
+    /// One CPA verdict per declared model, in declaration order.
+    pub cpa: Vec<CpaVerdict>,
+    /// The fixed-vs-random assessment.
+    pub tvla: TvlaVerdict,
+    /// Table-2-style RED/black row per model.
+    pub charz: Vec<TargetCharacterization>,
+    /// Node-audit findings on the operand path (operand bus / IS-EX).
+    pub audit_operand: usize,
+    /// Node-audit findings on the memory data path (MDR / align).
+    pub audit_memory: usize,
+    /// Cycles in the primary analysis window.
+    pub window_cycles: u64,
+}
+
+impl TargetReport {
+    /// The verdict for a model kind (first match).
+    pub fn cpa_for(&self, kind: ModelKind) -> &CpaVerdict {
+        self.cpa
+            .iter()
+            .find(|v| v.kind == kind)
+            .expect("every target declares both model kinds")
+    }
+}
+
+/// One phase's wall-clock timing, for `--bench-json`.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    /// `portfolio/<target>/<phase>` key.
+    pub name: String,
+    /// Seconds elapsed.
+    pub seconds: f64,
+}
+
+/// The portfolio run's outputs.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// Per-target reports, in registry order.
+    pub targets: Vec<TargetReport>,
+    /// Wall-clock timings per campaign phase (machine-dependent; never
+    /// printed to stdout).
+    pub timings: Vec<PhaseTiming>,
+}
+
+impl PortfolioResult {
+    /// The report by target name.
+    pub fn target(&self, name: &str) -> &TargetReport {
+        self.targets
+            .iter()
+            .find(|t| t.name == name)
+            .expect("known target name")
+    }
+
+    /// The headline verdict lines (printed by the binary, pinned by the
+    /// regression tests).
+    pub fn verdict_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for target in &self.targets {
+            for verdict in &target.cpa {
+                lines.push(format!("[{}] {}", target.name, verdict.verdict()));
+            }
+            lines.push(format!(
+                "[{}] TVLA fixed-vs-random: {}",
+                target.name,
+                if target.tvla.leaks { "LEAKS" } else { "clean" },
+            ));
+            for row in &target.charz {
+                lines.push(format!("[{}] charz {}", target.name, row.verdict_line()));
+            }
+            lines.push(format!(
+                "[{}] audit: {} operand-path leak(s), {} memory-path leak(s)",
+                target.name, target.audit_operand, target.audit_memory,
+            ));
+        }
+        lines
+    }
+
+    /// Renders the timings in the `customSmallerIsBetter` JSON shape
+    /// CI benchmark trackers ingest.
+    pub fn timings_json(&self) -> String {
+        let entries: Vec<String> = self
+            .timings
+            .iter()
+            .map(|t| {
+                format!(
+                    "  {{ \"name\": \"{}\", \"unit\": \"s\", \"value\": {:.6} }}",
+                    t.name, t.seconds
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", entries.join(",\n"))
+    }
+}
+
+fn assess_target(
+    target: &dyn CipherTarget,
+    uarch: &UarchConfig,
+    config: &PortfolioConfig,
+    salt: u64,
+    timings: &mut Vec<PhaseTiming>,
+) -> Result<TargetReport, Box<dyn std::error::Error>> {
+    let time = |phase: &str, timings: &mut Vec<PhaseTiming>, start: Instant| {
+        timings.push(PhaseTiming {
+            name: format!("portfolio/{}/{}", target.name(), phase),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    };
+
+    let campaign_config = TargetCampaignConfig {
+        traces: config.traces,
+        executions_per_trace: config.executions_per_trace,
+        seed: config.seed ^ (salt << 24),
+        threads: config.threads,
+        batch: config.batch,
+        noise: config.noise,
+    };
+    let campaign = TargetCampaign::new(target, uarch, campaign_config.clone())?;
+    let window = resolve_window(target, campaign.cpu(), &target.primary_window())?;
+
+    let models = target.models();
+    let mut cpa = Vec::new();
+    for model in &models {
+        let start = Instant::now();
+        cpa.push(campaign.cpa(model)?);
+        time(
+            &format!("cpa-{}", model.kind.to_string().to_lowercase()),
+            timings,
+            start,
+        );
+    }
+
+    let start = Instant::now();
+    let tvla = campaign.tvla()?;
+    time("tvla", timings, start);
+
+    let start = Instant::now();
+    let charz = characterize_target(
+        target,
+        campaign.cpu(),
+        &models,
+        &TargetCampaignConfig {
+            traces: config.charz_traces,
+            ..campaign_config
+        },
+        0.995,
+    )?;
+    time("charz", timings, start);
+
+    let start = Instant::now();
+    let audit = audit_cipher_target(
+        target,
+        uarch,
+        &AuditConfig {
+            executions: config.audit_executions,
+            seed: config.seed ^ 0xa0d17 ^ salt,
+            ..AuditConfig::default()
+        },
+    )?;
+    time("audit", timings, start);
+    let (audit_operand, audit_memory) = leak_paths(&audit);
+
+    Ok(TargetReport {
+        name: target.name().to_owned(),
+        cpa,
+        tvla,
+        charz,
+        audit_operand,
+        audit_memory,
+        window_cycles: window.trigger_relative.1,
+    })
+}
+
+/// Runs the full portfolio.
+///
+/// # Errors
+///
+/// Propagates simulator and campaign faults.
+pub fn run_portfolio(
+    config: &PortfolioConfig,
+) -> Result<PortfolioResult, Box<dyn std::error::Error>> {
+    let uarch = UarchConfig::cortex_a7();
+    let mut targets = Vec::new();
+    let mut timings = Vec::new();
+    for (i, target) in portfolio().iter().enumerate() {
+        targets.push(assess_target(
+            target.as_ref(),
+            &uarch,
+            config,
+            i as u64 + 1,
+            &mut timings,
+        )?);
+    }
+    Ok(PortfolioResult { targets, timings })
+}

@@ -131,6 +131,13 @@
 //!   random TVLA population by classifying its input, which is how the
 //!   `masked` countermeasure campaigns run fixed-vs-random assessments
 //!   through the same sharded engine.
+//!
+//! Nothing in this crate names a cipher: generation, staging and
+//! selection functions arrive as closures/trait objects. The
+//! `sca-target` crate exploits exactly that to run its whole cipher
+//! portfolio (AES, SPECK64/128, PRESENT-80) through one generic
+//! `TargetCampaign` wrapper — sinks and shard plans are target-agnostic
+//! by construction.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -18,6 +18,9 @@
 //!   Fisher-z significance verdicts;
 //! * [`audit_program`] — the leakage audit for arbitrary assembly that
 //!   the paper proposes integrating into development toolchains;
+//! * [`audit_cipher_target`] — the same audit wired generically to the
+//!   `sca-target` cipher portfolio (models at the true key become the
+//!   secret expressions; the target's window resolves the cycle span);
 //! * [`masking_scenarios`] — the Section 4.2 share-recombination
 //!   schedules (vulnerable, spacer-hardened, operand-swapped, and the
 //!   `sca-sched` rewriter outputs), shared by the `masking_audit`
@@ -31,6 +34,7 @@ mod cpi;
 mod infer;
 mod leakchar;
 mod scenarios;
+mod targets;
 
 pub use audit::{audit_program, AuditConfig, AuditReport, Finding, SecretModel};
 pub use cpi::{
@@ -46,3 +50,4 @@ pub use scenarios::{
     audit_scenario, masking_scenarios, operand_path_leaks, share_models, stage_shares,
     MaskingScenario,
 };
+pub use targets::{audit_cipher_target, leak_paths};

@@ -35,9 +35,11 @@ impl Default for HardenConfig {
 /// What the scheduler did to a program.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HardenReport {
-    /// Public stores inserted between share memory operations.
+    /// Public store+reload scrub pairs inserted between share memory
+    /// operations (each pair is two instructions).
     pub mem_scrubs: usize,
-    /// Public ALU scrubs inserted between share register reads.
+    /// Public ALU scrub pairs (`nop` + multiply) inserted between share
+    /// register reads (each pair is two instructions).
     pub bus_scrubs: usize,
     /// Instructions in the original image.
     pub original_insns: usize,
@@ -54,17 +56,47 @@ pub struct Hardened {
     pub report: HardenReport,
 }
 
-/// The public store scrub: rewrites both shared operand buses, the LSU
-/// IS/EX operand buffers, the MDR and the align buffer with public
-/// values.
-fn mem_scrub(config: &HardenConfig) -> Insn {
-    Insn::strb(config.scrub_value, AddrMode::base(config.scrub_base))
+/// The public store+reload scrub pair: the store rewrites the shared
+/// operand buses, the LSU IS/EX operand buffers, the MDR and the align
+/// buffer; the reload additionally drags the public value through the
+/// LSU's *write-back* path (EX/WB buffer and write-back bus), which a
+/// store never touches — the path consecutive share loads recombine
+/// on.
+fn mem_scrub(config: &HardenConfig) -> [Insn; 2] {
+    [
+        Insn::strb(config.scrub_value, AddrMode::base(config.scrub_base)),
+        Insn::ldrb(config.scrub_value, AddrMode::base(config.scrub_base)),
+    ]
 }
 
-/// The public ALU scrub: drives the public value onto both shared
-/// operand buses and the IS/EX buffers of the issuing pipe.
-fn bus_scrub(config: &HardenConfig) -> Insn {
-    Insn::eor(config.scrub_value, config.scrub_value, config.scrub_value)
+/// The public ALU scrub pair, built from two of the paper's own
+/// microarchitectural findings used *constructively*:
+///
+/// * the `nop` exploits the write-back zeroing behind the paper's `†`
+///   boundary leakage: as it retires it resets **both** write-back
+///   buses to a public zero, whichever retire slots the neighbouring
+///   share reads land in;
+/// * the multiply-accumulate (`r6 = r6·r6 + r6`, identically zero for
+///   the reserved public zero) is pairing-proof placement: its three
+///   register reads exceed the dual-issue read-port budget (Table 1's
+///   3-port limit), so the share read *after* it can never be grabbed
+///   as the younger of a pair — it issues on the default pipe, whose
+///   IS/EX operand buffers the multiply (which always executes on the
+///   shifter/multiplier pipe 0) has just rewritten with public values.
+///
+/// A plain `eor` scrub, by contrast, can dual-issue *with* one of the
+/// shares it is meant to separate, re-aligning the pair onto one pipe
+/// back to back and creating the very recombination it should prevent.
+fn bus_scrub(config: &HardenConfig) -> [Insn; 2] {
+    [
+        Insn::nop(),
+        Insn::mla(
+            config.scrub_value,
+            config.scrub_value,
+            config.scrub_value,
+            config.scrub_value,
+        ),
+    ]
 }
 
 /// Runs the share-distance scheduler over a code-only program.
@@ -102,7 +134,7 @@ pub fn harden_program(
     for (i, insn) in insns.iter().enumerate() {
         let addr = program.base() + 4 * i as u32;
         let share_mem = policy.is_share_mem(addr, insn);
-        let share_read = policy.reads_shares(insn);
+        let share_read = policy.reads_shares_at(addr, insn);
         let mem_deficit = if share_mem {
             config.min_distance.saturating_sub(since_mem)
         } else {
@@ -115,20 +147,23 @@ pub fn harden_program(
         };
         let mut pad = 0usize;
         if mem_deficit > 0 {
-            // A store scrub rewrites the operand buses too, so it can
-            // cover an outstanding bus deficit of a mem+read instruction
-            // in the same padding run.
-            pad = mem_deficit.max(read_deficit);
-            for _ in 0..pad {
-                inserts[i].push(mem_scrub(config));
+            // A memory scrub pair rewrites the operand buses too, so it
+            // can cover an outstanding bus deficit of a mem+read
+            // instruction in the same padding run. Each pair counts as
+            // one scrub unit but inserts two instructions (store +
+            // reload), so the instruction distance it buys is doubled.
+            let units = mem_deficit.max(read_deficit);
+            pad = 2 * units;
+            for _ in 0..units {
+                inserts[i].extend(mem_scrub(config));
             }
-            report.mem_scrubs += pad;
+            report.mem_scrubs += units;
         } else if read_deficit > 0 {
-            pad = read_deficit;
-            for _ in 0..pad {
-                inserts[i].push(bus_scrub(config));
+            pad = 2 * read_deficit;
+            for _ in 0..read_deficit {
+                inserts[i].extend(bus_scrub(config));
             }
-            report.bus_scrubs += pad;
+            report.bus_scrubs += read_deficit;
         }
         since_mem = if share_mem {
             0
@@ -174,7 +209,8 @@ fin:    halt
         assert_eq!(hardened.report.mem_scrubs, 1);
         assert_eq!(
             hardened.report.hardened_insns,
-            hardened.report.original_insns + 1
+            hardened.report.original_insns + 2,
+            "one scrub unit = store + reload"
         );
         for (prog, expect_scrub) in [(&program, false), (&hardened.program, true)] {
             let mut interp = Interp::new(0x1000);
@@ -221,8 +257,8 @@ done:   halt
         };
         let (base_steps, hard_steps) = (run(&program), run(&hardened.program));
         // 4 loop entries (1 fall-through + 3 taken back-edges) each
-        // execute the inserted scrub.
-        assert_eq!(hard_steps, base_steps + 4, "scrub must run every iteration");
+        // execute the inserted store+reload pair.
+        assert_eq!(hard_steps, base_steps + 8, "scrub must run every iteration");
     }
 
     /// Loop branches survive relocation: a scrubbed loop body still
@@ -264,7 +300,7 @@ done:   halt
         assert_eq!(hardened.program.symbol("body"), program.symbol("body"));
         assert_eq!(
             hardened.program.symbol("done").unwrap(),
-            program.symbol("done").unwrap() + 4 * hardened.report.mem_scrubs as u32,
+            program.symbol("done").unwrap() + 8 * hardened.report.mem_scrubs as u32,
         );
     }
 

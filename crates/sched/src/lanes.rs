@@ -13,24 +13,26 @@
 //! changing a single architectural value — the paper's Section 4.2
 //! operand-swap effect, applied in the safe direction.
 
-use sca_isa::{DpOp, Insn, InsnKind, Operand2, Program};
+use sca_isa::{DpOp, Insn, InsnKind, Operand2, Program, RegSet};
 
 use crate::relocate::{decode_image, rebuild};
 use crate::{SchedError, SharePolicy};
 
 /// Operand position a share occupies in a data-processing instruction,
-/// if any: 0 for `rn`, 1 for a plain register `op2`.
-fn share_lane(insn: &Insn, policy: &SharePolicy) -> Option<u8> {
+/// if any: 0 for `rn`, 1 for a plain register `op2`. `secret` is the
+/// policy's register set in effect at the instruction's address
+/// (global plus scoped).
+fn share_lane(insn: &Insn, secret: RegSet) -> Option<u8> {
     let InsnKind::Dp { rn, op2, .. } = &insn.kind else {
         return None;
     };
     if let Some(rn) = rn {
-        if policy.secret_regs().contains(*rn) {
+        if secret.contains(*rn) {
             return Some(0);
         }
     }
     if let Operand2::Reg(rm) = op2 {
-        if policy.secret_regs().contains(*rm) {
+        if secret.contains(*rm) {
             return Some(if rn.is_some() { 1 } else { 0 });
         }
     }
@@ -77,17 +79,19 @@ pub fn pin_lanes(program: &Program, policy: &SharePolicy) -> Result<(Program, us
     let mut insns = decode_image(program)?;
     let mut swaps = 0usize;
     for i in 1..insns.len() {
-        let Some(older_lane) = share_lane(&insns[i - 1], policy) else {
+        let older_regs = policy.secret_regs_at(program.base() + 4 * (i as u32 - 1));
+        let younger_regs = policy.secret_regs_at(program.base() + 4 * i as u32);
+        let Some(older_lane) = share_lane(&insns[i - 1], older_regs) else {
             continue;
         };
-        let Some(younger_lane) = share_lane(&insns[i], policy) else {
+        let Some(younger_lane) = share_lane(&insns[i], younger_regs) else {
             continue;
         };
         if older_lane != younger_lane {
             continue;
         }
         if let Some(swapped) = swap_operands(&insns[i]) {
-            if share_lane(&swapped, policy) != Some(younger_lane) {
+            if share_lane(&swapped, younger_regs) != Some(younger_lane) {
                 insns[i] = swapped;
                 swaps += 1;
             }
@@ -127,6 +131,32 @@ mod tests {
             pinned.insn_at(4).unwrap(),
             Insn::eor(Reg::R2, Reg::R0, Reg::R4)
         );
+    }
+
+    #[test]
+    fn scoped_secret_regs_drive_the_pinner_too() {
+        let program = assemble(
+            "
+a:      nop
+b:      eor r2, r0, r4
+        eor r3, r1, r5
+c:      halt
+        ",
+        )
+        .unwrap();
+        // Same shares, but marked only inside [b, c): the pinner must
+        // still swap the younger eor there...
+        let scoped = SharePolicy::new()
+            .with_scoped_secret_regs(&program, "b", "c", [Reg::R0, Reg::R1])
+            .unwrap();
+        let (_, swaps) = pin_lanes(&program, &scoped).unwrap();
+        assert_eq!(swaps, 1);
+        // ...and must not act when the span excludes the pair.
+        let elsewhere = SharePolicy::new()
+            .with_scoped_secret_regs(&program, "a", "b", [Reg::R0, Reg::R1])
+            .unwrap();
+        let (_, swaps) = pin_lanes(&program, &elsewhere).unwrap();
+        assert_eq!(swaps, 0);
     }
 
     #[test]

@@ -14,10 +14,17 @@ use crate::SchedError;
 ///   through the LSU;
 /// * **secret registers** — any instruction *reading* one of these
 ///   registers is treated as driving a share over the operand buses.
+///   Registers can be marked globally ([`SharePolicy::with_secret_regs`])
+///   or *scoped to a range* ([`SharePolicy::with_scoped_secret_regs`]),
+///   for registers that only carry shares inside one function — e.g.
+///   the ALU `mov` pair shuttling SubBytes outputs between the table
+///   loads and the state stores of the masked AES, whose registers are
+///   public scratch everywhere else.
 #[derive(Clone, Debug, Default)]
 pub struct SharePolicy {
     ranges: Vec<(u32, u32)>,
     secret_regs: RegSet,
+    scoped_regs: Vec<((u32, u32), RegSet)>,
 }
 
 impl SharePolicy {
@@ -85,6 +92,34 @@ impl SharePolicy {
         self
     }
 
+    /// Marks registers whose readers carry shares *only inside* the
+    /// half-open `[start, end)` symbol span — the scrub scope for
+    /// share-shuttling ALU instructions (register moves between table
+    /// load and state store) whose registers are ordinary scratch in
+    /// the rest of the program.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::UnknownSymbol`] when either label is missing.
+    pub fn with_scoped_secret_regs(
+        mut self,
+        program: &Program,
+        start: &str,
+        end: &str,
+        regs: impl IntoIterator<Item = Reg>,
+    ) -> Result<SharePolicy, SchedError> {
+        let lookup = |name: &str| {
+            program
+                .symbol(name)
+                .ok_or_else(|| SchedError::UnknownSymbol(name.to_owned()))
+        };
+        let span = (lookup(start)?, lookup(end)?);
+        let mut set = RegSet::default();
+        set.extend(regs);
+        self.scoped_regs.push((span, set));
+        Ok(self)
+    }
+
     /// Whether `addr` lies in a marked range.
     pub fn covers(&self, addr: u32) -> bool {
         self.ranges
@@ -99,12 +134,30 @@ impl SharePolicy {
     }
 
     /// Whether the instruction reads a share over the operand buses
-    /// (reads a marked secret register).
+    /// (reads a globally marked secret register).
     pub fn reads_shares(&self, insn: &Insn) -> bool {
         insn.reads().intersects(self.secret_regs)
     }
 
-    /// The marked secret registers.
+    /// Whether the instruction at `addr` reads a share over the operand
+    /// buses — the address-aware variant the scheduler uses: global
+    /// secret registers anywhere, scoped secret registers inside their
+    /// spans.
+    pub fn reads_shares_at(&self, addr: u32, insn: &Insn) -> bool {
+        insn.reads().intersects(self.secret_regs_at(addr))
+    }
+
+    /// The secret registers in effect at `addr`: the global set plus
+    /// every scoped set whose span covers the address.
+    pub fn secret_regs_at(&self, addr: u32) -> RegSet {
+        self.scoped_regs
+            .iter()
+            .filter(|((start, end), _)| (*start..*end).contains(&addr))
+            .fold(self.secret_regs, |acc, (_, regs)| acc.union(*regs))
+    }
+
+    /// The globally marked secret registers (scoped sets excluded; see
+    /// [`SharePolicy::secret_regs_at`]).
     pub fn secret_regs(&self) -> RegSet {
         self.secret_regs
     }
@@ -137,6 +190,32 @@ second: nop
         assert!(span.covers(4) && !span.covers(8));
         assert!(SharePolicy::new()
             .with_span(&program, "first", "nope")
+            .is_err());
+    }
+
+    #[test]
+    fn scoped_secret_regs_only_apply_inside_their_span() {
+        let program = assemble(
+            "
+a:      mov r2, r1
+b:      mov r2, r1
+c:      halt
+        ",
+        )
+        .unwrap();
+        let policy = SharePolicy::new()
+            .with_scoped_secret_regs(&program, "b", "c", [Reg::R1])
+            .unwrap();
+        let insn = Insn::mov(Reg::R2, Reg::R1);
+        assert!(!policy.reads_shares_at(0, &insn), "outside the span");
+        assert!(policy.reads_shares_at(4, &insn), "inside the span");
+        assert!(
+            !policy.reads_shares_at(4, &Insn::mov(Reg::R2, Reg::R4)),
+            "unmarked register"
+        );
+        assert!(!policy.reads_shares(&insn), "global marker unaffected");
+        assert!(SharePolicy::new()
+            .with_scoped_secret_regs(&program, "b", "nope", [Reg::R1])
             .is_err());
     }
 

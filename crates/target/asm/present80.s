@@ -1,0 +1,115 @@
+; PRESENT-80 encryption for the simulated Cortex-A7-like core.
+;
+; The 4-bit-S-box member of the cipher portfolio. The software shape is
+; the classic byte-serial embedded implementation:
+;   * sBoxLayer: one combined two-nibble table lookup per state byte,
+;     loads and stores walking the 8 state bytes in order — the
+;     substituted bytes stream through the LSU as back-to-back sub-word
+;     stores, driving the align-buffer remanence of Table 2 row 7;
+;   * pLayer: the 64-bit bit permutation assembled from per-nibble
+;     spread tables (16 positions x 16 values, low/high output words),
+;     precomputed by the Rust harness;
+;   * addRoundKey: word-wise XOR against staged round keys.
+;
+; The code is constant-time given warm tables: the pre-trigger warm
+; loop touches every table cache line, so the in-window table lookups
+; (the only data-dependent addresses) always hit.
+;
+; Memory contract with the Rust harness (crates/target/src/present.rs):
+;   STATE  0x1000  8-byte block, in/out, big-endian byte order
+;   RK     0x1100  32 x 8-byte round keys (big-endian bytes)
+;   SP     0x1300  256-byte combined two-nibble S-box table
+;   PLO    0x1400  pLayer spread tables, low output words (16x16 x u32)
+;   PHI    0x1800  pLayer spread tables, high output words
+; The harness stages RK/SP/PLO/PHI once and rewrites STATE per run.
+
+        .equ  STATE, 0x1000
+        .equ  RK,    0x1100
+        .equ  SP,    0x1300
+        .equ  PLO,   0x1400
+        .equ  PHI,   0x1800
+        .equ  TEND,  0x1c00
+
+start:  mov   r3, #STATE
+        mov   r2, #RK
+        mov   r4, #SP
+        mov   r6, #PLO
+        mov   r7, #PHI
+; Pre-trigger table warm: one load per cache line over SP/PLO/PHI so
+; the data-dependent in-window lookups never miss.
+        mov   r0, r4
+        mov   r1, #TEND
+warm:   ldr   r8, [r0]
+        add   r0, r0, #32
+        cmp   r0, r1
+        bne   warm
+        trig  #1
+        mov   r5, #31
+; --- one substitution-permutation round ------------------------------
+round:  ldr   r0, [r3]          ; addRoundKey, word-wise
+        ldr   r1, [r2], #4
+        eor   r0, r0, r1
+        str   r0, [r3]
+        ldr   r0, [r3, #4]
+        ldr   r1, [r2], #4
+        eor   r0, r0, r1
+        str   r0, [r3, #4]
+; sBoxLayer: state[i] = SP[state[i]], i = 0..7 in order. Software-
+; pipelined pairs: both outputs of a pair store back to back — the
+; consecutive sub-word stores the HD model targets (`sbox` visit 0 is
+; the round-1 analysis window).
+sbox:   mov   r0, r3            ; read pointer
+        mov   r12, r3           ; write pointer
+        mov   r9, #4            ; four byte pairs
+sb_loop:
+        ldrb  r1, [r0], #1
+        ldrb  r11, [r0], #1
+        ldrb  r1, [r4, r1]      ; SP[b(i)]
+        ldrb  r11, [r4, r11]    ; SP[b(i+1)]
+        strb  r1, [r12], #1     ; store, back to back
+        strb  r11, [r12], #1
+        subs  r9, r9, #1
+        bne   sb_loop
+; pLayer: OR together the spread-table images of all 16 nibbles.
+; Offsets: hi nibble of byte i sits at position 2i -> i*128 + v*4;
+; lo nibble at position 2i+1 -> i*128 + 64 + v*4.
+perm:   mov   r8, #0            ; low output word
+        mov   r9, #0            ; high output word
+        mov   r0, #0            ; byte index
+pl_loop:
+        ldrb  r1, [r3, r0]      ; substituted byte i
+        lsr   r11, r1, #4       ; hi nibble value
+        lsl   r11, r11, #2
+        lsl   r12, r0, #7
+        add   r11, r11, r12     ; i*128 + v*4
+        ldr   r12, [r6, r11]
+        orr   r8, r8, r12
+        ldr   r12, [r7, r11]
+        orr   r9, r9, r12
+        and   r11, r1, #0x0f    ; lo nibble value
+        lsl   r11, r11, #2
+        add   r11, r11, #64
+        lsl   r12, r0, #7
+        add   r11, r11, r12     ; i*128 + 64 + v*4
+        ldr   r12, [r6, r11]
+        orr   r8, r8, r12
+        ldr   r12, [r7, r11]
+        orr   r9, r9, r12
+        add   r0, r0, #1
+        cmp   r0, #8
+        bne   pl_loop
+        str   r8, [r3]
+        str   r9, [r3, #4]
+        subs  r5, r5, #1
+        bne   round
+; --- final addRoundKey ------------------------------------------------
+        ldr   r0, [r3]
+        ldr   r1, [r2], #4
+        eor   r0, r0, r1
+        str   r0, [r3]
+        ldr   r0, [r3, #4]
+        ldr   r1, [r2]
+        eor   r0, r0, r1
+        str   r0, [r3, #4]
+        trig  #0
+        halt

@@ -1,0 +1,55 @@
+; SPECK64/128 encryption for the simulated Cortex-A7-like core.
+;
+; The ARX member of the cipher portfolio: every round is one modular
+; add, two rotates and two xors, so the secret-dependent values ride
+; precisely the pipeline paths AES never touches — the barrel-shifter
+; buffer (both rotates) and the ALU adder's carry chain. The state is
+; committed to memory with a byte-granular store loop each round (the
+; idiom of code feeding a byte-wide peripheral buffer), which is the
+; consecutive sub-word store sequence the portfolio's HD model targets,
+; exactly like the SubBytes stores of the AES implementation.
+;
+; The code is constant-time by construction: no data-dependent branches
+; or addresses anywhere (the cipher has no tables at all).
+;
+; Memory contract with the Rust harness (crates/target/src/speck.rs):
+;   STATE  0x1000  8-byte block, in/out: x word at +0, y word at +4 (LE)
+;   RK     0x1100  27 round-key words, staged by the harness
+; The harness stages RK once and rewrites STATE before each run.
+
+        .equ  STATE, 0x1000
+        .equ  RK,    0x1100
+
+start:  mov   r3, #STATE
+        mov   r2, #RK
+        trig  #1
+        ldr   r0, [r3]          ; x
+        ldr   r1, [r3, #4]      ; y
+        mov   r5, #27
+round:  ror   r0, r0, #8        ; x >>> 8        (shifter path)
+        add   r0, r0, r1        ; + y            (adder carry chain)
+        ldr   r8, [r2], #4      ; round key
+        eor   r0, r0, r8        ; ^ k
+        ror   r1, r1, #29       ; y <<< 3        (shifter path)
+        eor   r1, r1, r0        ; ^ x
+; byte-granular state commit: eight sub-word stores, back to back per
+; word — the next-to-last round's x commit is the portfolio's analysis
+; window (`commit` visit 25).
+commit: strb  r0, [r3]          ; x byte 0
+        lsr   r8, r0, #8
+        strb  r8, [r3, #1]      ; x byte 1   <- HW model target
+        lsr   r8, r0, #16
+        strb  r8, [r3, #2]      ; x byte 2   <- HD pair (byte 1 -> 2)
+        lsr   r8, r0, #24
+        strb  r8, [r3, #3]      ; x byte 3
+        strb  r1, [r3, #4]      ; y byte 0
+        lsr   r8, r1, #8
+        strb  r8, [r3, #5]      ; y byte 1
+        lsr   r8, r1, #16
+        strb  r8, [r3, #6]      ; y byte 2
+        lsr   r8, r1, #24
+        strb  r8, [r3, #7]      ; y byte 3
+        subs  r5, r5, #1
+        bne   round
+        trig  #0
+        halt

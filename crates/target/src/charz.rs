@@ -1,0 +1,214 @@
+//! Table-2-style per-component characterization of a cipher target.
+//!
+//! The paper's Table 2 characterizes each pipeline component against
+//! per-kernel model expressions; this module does the same against a
+//! *cipher*: the target's attack models, evaluated at the true key,
+//! are correlated against each component's own power sub-trace inside
+//! the target's analysis window, and each `(component, model)` cell
+//! gets a RED/black verdict at the configured Fisher-z confidence —
+//! exactly the characterization step the paper runs before mounting an
+//! attack, generalized over the portfolio.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sca_analysis::{significance_threshold, PearsonAccumulator};
+use sca_campaign::{run_sharded, Mergeable, ShardPlan};
+use sca_power::{ComponentPowerRecorder, LeakageWeights, NoiseSource};
+use sca_uarch::{Cpu, NodeKind, UarchError};
+
+use crate::{resolve_window, CipherTarget, TargetCampaignConfig, TargetModel};
+
+/// The components characterized — Table 2's seven columns.
+pub const CHARZ_COMPONENTS: [NodeKind; 7] = [
+    NodeKind::RegisterFile,
+    NodeKind::IsExBuffer,
+    NodeKind::ShiftBuffer,
+    NodeKind::Alu,
+    NodeKind::ExWbBuffer,
+    NodeKind::Mdr,
+    NodeKind::AlignBuffer,
+];
+
+/// One `(component, model)` cell.
+#[derive(Clone, Debug)]
+pub struct NodeCharacterization {
+    /// The pipeline component.
+    pub component: NodeKind,
+    /// Peak |correlation| inside the window.
+    pub peak_corr: f64,
+    /// RED (significant) or black.
+    pub significant: bool,
+}
+
+/// One model's characterization row across all components.
+#[derive(Clone, Debug)]
+pub struct TargetCharacterization {
+    /// The model (evaluated at the true key).
+    pub model: String,
+    /// Traces used.
+    pub traces: usize,
+    /// Detection confidence.
+    pub confidence: f64,
+    /// Per-component cells, in [`CHARZ_COMPONENTS`] order.
+    pub cells: Vec<NodeCharacterization>,
+}
+
+impl TargetCharacterization {
+    /// The compact RED/black verdict line the portfolio binary prints
+    /// and the regression tests pin.
+    pub fn verdict_line(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}={}",
+                    match c.component {
+                        NodeKind::RegisterFile => "RF",
+                        NodeKind::IsExBuffer => "ISEX",
+                        NodeKind::ShiftBuffer => "SHIFT",
+                        NodeKind::Alu => "ALU",
+                        NodeKind::ExWbBuffer => "EXWB",
+                        NodeKind::Mdr => "MDR",
+                        NodeKind::AlignBuffer => "ALIGN",
+                        NodeKind::FetchPath => "FETCH",
+                    },
+                    if c.significant { "RED" } else { "black" }
+                )
+            })
+            .collect();
+        format!("{}: {}", self.model, cells.join(" "))
+    }
+}
+
+struct CharzSink {
+    /// `models × components` Pearson accumulators.
+    accs: Vec<Vec<PearsonAccumulator>>,
+}
+
+impl Mergeable for CharzSink {
+    fn merge(&mut self, other: CharzSink) {
+        for (row, theirs) in self.accs.iter_mut().zip(&other.accs) {
+            for (acc, that) in row.iter_mut().zip(theirs) {
+                acc.merge(that);
+            }
+        }
+    }
+}
+
+/// Characterizes a target's models against every pipeline component.
+///
+/// One sharded acquisition serves every `(model, component)` cell:
+/// each trace records one power sub-trace per component (averaged over
+/// the configured executions, with per-execution noise), cropped to
+/// the target's primary window, and folds into per-cell Pearson
+/// accumulators — the leakage-characterization analog of the CPA
+/// campaigns, and deterministic under the same contract.
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+pub fn characterize_target(
+    target: &dyn CipherTarget,
+    cpu: &Cpu,
+    models: &[TargetModel],
+    config: &TargetCampaignConfig,
+    confidence: f64,
+) -> Result<Vec<TargetCharacterization>, UarchError> {
+    let window = resolve_window(target, cpu, &target.primary_window())?;
+    let (start, len) = (
+        window.trigger_relative.0 as usize,
+        window.trigger_relative.1 as usize,
+    );
+
+    let plan = ShardPlan {
+        items: config.traces,
+        threads: config.threads.max(1),
+        batch: config.batch.max(1),
+    };
+    let entry = target.program().entry();
+    let seed = config.seed ^ 0xc4a12;
+    let noise = config.noise;
+    let executions = config.executions_per_trace.max(1);
+    let sink = run_sharded(
+        &plan,
+        || cpu.clone(),
+        || CharzSink {
+            accs: models
+                .iter()
+                .map(|_| {
+                    CHARZ_COMPONENTS
+                        .iter()
+                        .map(|_| PearsonAccumulator::new(len))
+                        .collect()
+                })
+                .collect(),
+        },
+        |worker_cpu, sink, range| {
+            for t in range {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
+                let input = target.generate(&mut rng, t);
+                let mut accumulated: Vec<Vec<f64>> = vec![vec![0.0; len]; CHARZ_COMPONENTS.len()];
+                for e in 0..executions {
+                    worker_cpu.restart_seeded(entry, seed ^ ((t as u64) << 8 | e as u64));
+                    target.stage(worker_cpu, &input);
+                    let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
+                    worker_cpu.run(&mut rec)?;
+                    let mut gauss = noise;
+                    for (c, &kind) in CHARZ_COMPONENTS.iter().enumerate() {
+                        let mut samples = rec.windowed_power(kind);
+                        samples.resize(start + len, 0.0);
+                        let mut cropped = samples[start..start + len].to_vec();
+                        gauss.add_to(&mut rng, &mut cropped);
+                        for (a, s) in accumulated[c].iter_mut().zip(&cropped) {
+                            *a += s;
+                        }
+                    }
+                }
+                let inv = 1.0 / executions as f64;
+                let channels: Vec<Vec<f32>> = accumulated
+                    .iter()
+                    .map(|channel| channel.iter().map(|&s| (s * inv) as f32).collect())
+                    .collect();
+                for (model, row) in models.iter().zip(&mut sink.accs) {
+                    let prediction = model.predict_true(&input);
+                    for (acc, channel) in row.iter_mut().zip(&channels) {
+                        acc.add(prediction, channel);
+                    }
+                }
+            }
+            Ok::<(), UarchError>(())
+        },
+    )?;
+
+    // Bonferroni over the window keeps the per-cell false-positive rate
+    // at (1 - confidence).
+    let corrected = 1.0 - (1.0 - confidence) / len.max(1) as f64;
+    let threshold = significance_threshold(config.traces as u64, corrected);
+    Ok(models
+        .iter()
+        .zip(&sink.accs)
+        .map(|(model, row)| TargetCharacterization {
+            model: model.name.clone(),
+            traces: config.traces,
+            confidence,
+            cells: CHARZ_COMPONENTS
+                .iter()
+                .zip(row)
+                .map(|(&component, acc)| {
+                    let peak = acc
+                        .correlations()
+                        .iter()
+                        .map(|c| c.abs())
+                        .fold(0.0, f64::max);
+                    NodeCharacterization {
+                        component,
+                        peak_corr: peak,
+                        significant: peak >= threshold,
+                    }
+                })
+                .collect(),
+        })
+        .collect())
+}

@@ -1,0 +1,54 @@
+//! The portfolio registry.
+
+use crate::{AesTarget, CipherTarget, MaskedAesTarget, PresentTarget, SpeckTarget};
+
+/// The registered cipher portfolio, in presentation order: the paper's
+/// AES baseline (unprotected, then masked), then the two new families.
+///
+/// Every target uses its default key and targeted byte; the `portfolio`
+/// experiment binary iterates this list, and adding a cipher to the
+/// portfolio means implementing [`CipherTarget`] and appending it here.
+pub fn portfolio() -> Vec<Box<dyn CipherTarget>> {
+    vec![
+        Box::new(AesTarget::default()),
+        Box::new(MaskedAesTarget::default()),
+        Box::new(SpeckTarget::default()),
+        Box::new(PresentTarget::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+
+    #[test]
+    fn every_target_declares_both_model_kinds() {
+        for target in portfolio() {
+            let models = target.models();
+            assert!(
+                models.iter().any(|m| m.kind == ModelKind::ValueHw),
+                "{} lacks a value-level HW model",
+                target.name()
+            );
+            assert!(
+                models.iter().any(|m| m.kind == ModelKind::TransitionHd),
+                "{} lacks a microarchitecture-aware HD model",
+                target.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: Vec<&str> = vec!["aes128", "aes128-masked", "speck64128", "present80"];
+        let targets = portfolio();
+        assert_eq!(
+            targets
+                .iter()
+                .map(|t| t.name().to_owned())
+                .collect::<Vec<_>>(),
+            names
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Resolving symbol-level [`WindowHint`]s into cycle windows.
+
+use sca_isa::Insn;
+use sca_uarch::{Cpu, PipelineObserver, UarchError};
+
+use crate::{CipherTarget, SymbolVisit, WindowHint};
+
+/// A hint resolved against one probe execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolvedWindow {
+    /// `(start, len)` in trigger-relative cycles — what campaigns crop
+    /// to (after sampling-rate expansion).
+    pub trigger_relative: (u64, u64),
+    /// `[start, end)` in absolute cycles — what node-level audits
+    /// record in.
+    pub absolute: (u64, u64),
+}
+
+/// Observer extracting the first rising-trigger cycle and every
+/// retirement `(cycle, addr)`.
+#[derive(Default, Debug)]
+struct RetireProbe {
+    start: Option<u64>,
+    retirements: Vec<(u64, u32)>,
+}
+
+impl PipelineObserver for RetireProbe {
+    fn trigger(&mut self, cycle: u64, high: bool) {
+        if high {
+            self.start.get_or_insert(cycle);
+        }
+    }
+
+    fn retire(&mut self, cycle: u64, addr: u32, _insn: Insn) {
+        self.retirements.push((cycle, addr));
+    }
+}
+
+fn nth_visit(target: &dyn CipherTarget, probe: &RetireProbe, t0: u64, at: &SymbolVisit) -> u64 {
+    let addr = target
+        .program()
+        .symbol(&at.symbol)
+        .unwrap_or_else(|| panic!("no '{}' symbol in {}", at.symbol, target.name()));
+    probe
+        .retirements
+        .iter()
+        .filter(|&&(cycle, a)| a == addr && cycle >= t0)
+        .nth(at.visit)
+        .map(|&(cycle, _)| cycle - t0)
+        .unwrap_or_else(|| {
+            panic!(
+                "fewer than {} visits to '{}' in {}",
+                at.visit + 1,
+                at.symbol,
+                target.name()
+            )
+        })
+}
+
+/// Resolves a window hint by probing one execution of the target on a
+/// clone of `cpu` (the targets are constant-time, so one probe stands
+/// for all executions).
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+///
+/// # Panics
+///
+/// Panics when the hint names a symbol the program lacks or a visit
+/// that never happens — a packaging bug in the target definition.
+pub fn resolve_window(
+    target: &dyn CipherTarget,
+    cpu: &Cpu,
+    hint: &WindowHint,
+) -> Result<ResolvedWindow, UarchError> {
+    use rand::SeedableRng;
+    let mut probe_cpu = cpu.clone();
+    probe_cpu.restart(target.program().entry());
+    let input = target.generate(&mut rand::rngs::StdRng::seed_from_u64(0x77aa), 0);
+    target.stage(&mut probe_cpu, &input);
+    let mut probe = RetireProbe::default();
+    probe_cpu.run(&mut probe)?;
+    let t0 = probe
+        .start
+        .unwrap_or_else(|| panic!("no trigger in a {} run", target.name()));
+
+    let start = match &hint.start {
+        Some(at) => nth_visit(target, &probe, t0, at).saturating_sub(hint.lead),
+        None => 0,
+    };
+    let end = nth_visit(target, &probe, t0, &hint.end) + hint.tail;
+    assert!(end > start, "window hint resolves to an empty window");
+    Ok(ResolvedWindow {
+        trigger_relative: (start, end - start),
+        absolute: (t0 + start, t0 + end),
+    })
+}

@@ -19,6 +19,7 @@
 //! | [`analysis`] | `sca-analysis` | Pearson CPA, significance statistics, t-test, SNR |
 //! | [`campaign`] | `sca-campaign` | sharded streaming campaign engine and sinks |
 //! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementations under attack (unprotected and first-order masked) |
+//! | [`target`] | `sca-target` | the cipher portfolio: `CipherTarget` trait, SPECK64/128, PRESENT-80, target-generic campaigns |
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
 //! | [`sched`] | `sca-sched` | countermeasure scheduling: share-distance scrubs, lane pinning |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
@@ -86,6 +87,14 @@ pub mod sched {
     pub use sca_sched::*;
 }
 
+/// The cipher-target portfolio: the `CipherTarget` trait, the
+/// SPECK64/128 and PRESENT-80 implementations, and the target-generic
+/// campaign, characterization and window layers (re-export of
+/// `sca-target`).
+pub mod target {
+    pub use sca_target::*;
+}
+
 /// Operating-system noise environments (re-export of `sca-osnoise`).
 pub mod osnoise {
     pub use sca_osnoise::*;
@@ -116,6 +125,9 @@ pub mod prelude {
         TraceSynthesizer,
     };
     pub use sca_sched::{harden_program, pin_lanes, HardenConfig, SharePolicy};
+    pub use sca_target::{
+        portfolio, CipherTarget, PresentSim, SpeckSim, TargetCampaign, TargetCampaignConfig,
+    };
     pub use sca_uarch::{
         Cpu, DualIssuePolicy, Node, NodeKind, NullObserver, PipelineObserver, RecordingObserver,
         UarchConfig,

@@ -12,8 +12,12 @@
 //! snapshots hold on any machine and at any `--threads`; the configs
 //! below use 4 workers to keep tier-1 fast.
 
-use sca_bench::{run_figure3, run_figure4, run_masked, Figure3Config, Figure4Config, MaskedConfig};
+use sca_bench::{
+    run_figure3, run_figure4, run_masked, run_portfolio, Figure3Config, Figure4Config,
+    MaskedConfig, PortfolioConfig,
+};
 use superscalar_sca::power::GaussianNoise;
+use superscalar_sca::target::ModelKind;
 
 /// A quiet probe chain: the test-scale campaigns keep the full sampling
 /// and OS models but lower the probe noise so a few hundred traces
@@ -98,9 +102,9 @@ fn masked_quick_verdict_lines_are_stable() {
         "[masked] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x19, true 0x7e, rank 136)",
         "[masked] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0x3c, true 0x7e, rank 40)",
         "[masked] TVLA fixed-vs-random: clean",
-        "[masked+sched] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x1f, true 0x7e, rank 219)",
-        "[masked+sched] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0x08, true 0x7e, rank 152)",
-        "[masked+sched] TVLA fixed-vs-random: LEAKS",
+        "[masked+sched] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x2c, true 0x7e, rank 211)",
+        "[masked+sched] HD(SubBytes stores 0 -> 1): FAILURE (recovered 0xde, true 0x7e, rank 165)",
+        "[masked+sched] TVLA fixed-vs-random: clean",
         "[masked] audit: 2 operand-path leak(s), 0 HW-model leak(s)",
         "[masked+sched] audit: 0 operand-path leak(s), 0 HW-model leak(s)",
     ];
@@ -129,4 +133,83 @@ fn masked_quick_verdict_lines_are_stable() {
         (0, 0, 0)
     );
     assert!(result.harden.mem_scrubs > 0);
+    // The closed TVLA caveat: the extended scrub scope (store+reload
+    // pairs over SubBytes *and* ShiftRows, ALU scrub pairs for the mov
+    // shuttle) leaves the scheduled target clean under fixed-vs-random
+    // assessment.
+    let sched = result.target("masked+sched");
+    assert!(
+        !sched.tvla_leaks,
+        "masked+sched must assess TVLA-clean (max |t| {:.2})",
+        sched.tvla_max_t
+    );
+}
+
+/// The cipher portfolio at reduced scale: every verdict line — four
+/// targets × (HW CPA, HD CPA, TVLA, two Table-2-style characterization
+/// rows, audit) — pinned byte for byte, plus the acceptance-critical
+/// structure: the microarchitecture-aware HD model recovers the key
+/// byte (rank 0) for the two new, unprotected cipher families.
+#[test]
+fn portfolio_quick_verdict_lines_are_stable() {
+    let result = run_portfolio(&PortfolioConfig {
+        traces: 150,
+        executions_per_trace: 2,
+        threads: 4,
+        charz_traces: 150,
+        audit_executions: 200,
+        noise: quiet_probe(),
+        ..PortfolioConfig::default()
+    })
+    .expect("portfolio runs");
+    let expected = [
+        "[aes128] HW(SubBytes(pt[1] ^ k)): SUCCESS (recovered 0x7e, true 0x7e, rank 0)",
+        "[aes128] HD(SubBytes stores 0 -> 1): SUCCESS (recovered 0x7e, true 0x7e, rank 0)",
+        "[aes128] TVLA fixed-vs-random: LEAKS",
+        "[aes128] charz HW(SubBytes(pt[1] ^ k)): RF=black ISEX=black SHIFT=black ALU=black \
+         EXWB=black MDR=black ALIGN=black",
+        "[aes128] charz HD(SubBytes stores 0 -> 1): RF=black ISEX=RED SHIFT=black ALU=black \
+         EXWB=black MDR=black ALIGN=RED",
+        "[aes128] audit: 2 operand-path leak(s), 1 memory-path leak(s)",
+        "[aes128-masked] HW(SubBytes(pt[1] ^ k)): FAILURE (recovered 0x79, true 0x7e, rank 89)",
+        "[aes128-masked] HD(SubBytes stores 0 -> 1): SUCCESS (recovered 0x7e, true 0x7e, rank 0)",
+        "[aes128-masked] TVLA fixed-vs-random: LEAKS",
+        "[aes128-masked] charz HW(SubBytes(pt[1] ^ k)): RF=black ISEX=black SHIFT=black \
+         ALU=black EXWB=black MDR=black ALIGN=black",
+        "[aes128-masked] charz HD(SubBytes stores 0 -> 1): RF=black ISEX=RED SHIFT=black \
+         ALU=black EXWB=black MDR=black ALIGN=RED",
+        "[aes128-masked] audit: 2 operand-path leak(s), 1 memory-path leak(s)",
+        "[speck64128] HW(x26 commit byte 1): SUCCESS (recovered 0x3a, true 0x3a, rank 0)",
+        "[speck64128] HD(x26 commit bytes 1 -> 2): SUCCESS (recovered 0x52, true 0x52, rank 0)",
+        "[speck64128] TVLA fixed-vs-random: LEAKS",
+        "[speck64128] charz HW(x26 commit byte 1): RF=black ISEX=RED SHIFT=black ALU=RED \
+         EXWB=RED MDR=black ALIGN=black",
+        "[speck64128] charz HD(x26 commit bytes 1 -> 2): RF=black ISEX=RED SHIFT=black \
+         ALU=black EXWB=RED MDR=black ALIGN=RED",
+        "[speck64128] audit: 17 operand-path leak(s), 1 memory-path leak(s)",
+        "[present80] HW(sBoxLayer(pt[1] ^ k)): FAILURE (recovered 0x1c, true 0x7e, rank 42)",
+        "[present80] HD(sBoxLayer stores 0 -> 1): SUCCESS (recovered 0x7e, true 0x7e, rank 0)",
+        "[present80] TVLA fixed-vs-random: LEAKS",
+        "[present80] charz HW(sBoxLayer(pt[1] ^ k)): RF=black ISEX=black SHIFT=black ALU=black \
+         EXWB=black MDR=RED ALIGN=black",
+        "[present80] charz HD(sBoxLayer stores 0 -> 1): RF=black ISEX=RED SHIFT=black \
+         ALU=black EXWB=RED MDR=RED ALIGN=RED",
+        "[present80] audit: 2 operand-path leak(s), 6 memory-path leak(s)",
+    ];
+    let lines = result.verdict_lines();
+    assert_eq!(
+        lines,
+        expected,
+        "portfolio verdict lines changed:\n{}",
+        lines.join("\n")
+    );
+
+    for name in ["speck64128", "present80"] {
+        let hd = result.target(name).cpa_for(ModelKind::TransitionHd);
+        assert!(
+            hd.success(),
+            "[{name}] the HD model must recover the key byte: {}",
+            hd.verdict()
+        );
+    }
 }
