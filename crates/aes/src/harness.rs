@@ -1,6 +1,6 @@
 //! Running the assembly AES-128 on the simulated CPU.
 
-use sca_isa::{assemble, Program};
+use sca_isa::Program;
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use crate::{expand_key, ROUND_KEY_BYTES, SBOX};
@@ -15,14 +15,18 @@ pub const SBOX_ADDR: u32 = 0x1200;
 /// The embedded assembly source of the AES-128 implementation.
 pub const AES128_ASM: &str = include_str!("../asm/aes128.s");
 
-/// Assembles the AES-128 program.
+/// Assembles the AES-128 program (memoized: the embedded source is
+/// assembled once per process, then cloned — campaign workers and
+/// repeated target builds stage the image without re-running the
+/// assembler).
 ///
 /// # Errors
 ///
 /// Propagates assembler errors (which would indicate a packaging bug, as
 /// the source is embedded).
 pub fn aes128_program() -> Result<Program, sca_isa::IsaError> {
-    assemble(AES128_ASM)
+    static CACHE: std::sync::OnceLock<Program> = std::sync::OnceLock::new();
+    sca_isa::assemble_cached(AES128_ASM, &CACHE)
 }
 
 /// An AES-128 instance running on the simulated superscalar CPU.

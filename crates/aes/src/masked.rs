@@ -13,7 +13,7 @@
 //! first 16 bytes, exactly like a real attacker who sees plaintexts but
 //! not the victim's mask RNG.
 
-use sca_isa::{assemble, Program};
+use sca_isa::Program;
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use crate::{expand_key, RK_ADDR, SBOX, SBOX_ADDR, STATE_ADDR};
@@ -33,14 +33,16 @@ pub const MASKED_INPUT_LEN: usize = 16 + MASK_BYTES;
 /// The embedded assembly source of the masked implementation.
 pub const AES128_MASKED_ASM: &str = include_str!("../asm/aes128_masked.s");
 
-/// Assembles the masked AES-128 program.
+/// Assembles the masked AES-128 program (memoized: assembled once per
+/// process, then cloned).
 ///
 /// # Errors
 ///
 /// Propagates assembler errors (which would indicate a packaging bug, as
 /// the source is embedded).
 pub fn aes128_masked_program() -> Result<Program, sca_isa::IsaError> {
-    assemble(AES128_MASKED_ASM)
+    static CACHE: std::sync::OnceLock<Program> = std::sync::OnceLock::new();
+    sca_isa::assemble_cached(AES128_MASKED_ASM, &CACHE)
 }
 
 /// A masked AES-128 instance running on the simulated superscalar CPU.

@@ -242,6 +242,7 @@ fn assess_target(
 pub fn run_portfolio(
     config: &PortfolioConfig,
 ) -> Result<PortfolioResult, Box<dyn std::error::Error>> {
+    let started = Instant::now();
     let uarch = UarchConfig::cortex_a7();
     let mut targets = Vec::new();
     let mut timings = Vec::new();
@@ -254,5 +255,12 @@ pub fn run_portfolio(
             &mut timings,
         )?);
     }
+    // The headline number CI's perf-regression gate tracks: one wall
+    // clock over every target's campaigns, characterizations and
+    // audits.
+    timings.push(PhaseTiming {
+        name: "portfolio/total".to_owned(),
+        seconds: started.elapsed().as_secs_f64(),
+    });
     Ok(PortfolioResult { targets, timings })
 }

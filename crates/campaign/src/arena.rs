@@ -1,0 +1,156 @@
+//! The per-worker simulator arena of the trace-generation fast path.
+//!
+//! Synthesizing one trace needs a staged simulator, a power recorder,
+//! an f64 accumulation buffer, an expanded-sample buffer, an f32 trace
+//! buffer and — at the engine layer — a batch of inputs and a flat
+//! windowed-trace matrix for the sink. Before the arena existed, most
+//! of these were allocated per trace (or per execution); a `--full`
+//! campaign churned through millions of short-lived vectors. A
+//! [`SimArena`] bundles all of them as worker-owned state: the sharded
+//! engine creates one arena per worker (cloning the warmed template CPU
+//! exactly once) and reuses it across the worker's entire index range,
+//! so the steady-state hot loop performs no heap allocation at all.
+//!
+//! Reuse never changes results: the simulator is re-pointed at the
+//! program with [`Cpu::restart_seeded`] (the cheap architectural reset —
+//! pipeline, node and trigger state are overwritten in place, while
+//! registers, memory and caches persist exactly as they do across
+//! executions on silicon), and every buffer is cleared before refill.
+//! Traces remain a pure function of `(seed, index)`; the differential
+//! tests in `tests/campaign_determinism.rs` pin arena-vs-fresh
+//! byte-identity.
+
+use rand::rngs::StdRng;
+
+use sca_power::{PowerRecorder, SynthScratch, TraceSynthesizer};
+use sca_uarch::{Cpu, UarchError};
+
+/// One campaign worker's reusable simulation state: a staged CPU cloned
+/// once from the warmed template, a [`PowerRecorder`], and the scratch
+/// buffers of the allocation-free synthesis path
+/// ([`TraceSynthesizer::synth_into`]).
+#[derive(Clone, Debug)]
+pub struct SimArena {
+    pub(crate) cpu: Cpu,
+    pub(crate) recorder: PowerRecorder,
+    pub(crate) scratch: SynthScratch,
+    /// The current trace (full length, before windowing).
+    pub(crate) trace: Vec<f32>,
+    /// The batch's inputs, in index order.
+    pub(crate) inputs: Vec<Vec<u8>>,
+    /// The batch's windowed traces, trace-major `inputs.len() × samples`
+    /// — handed to [`crate::CampaignSink::absorb_batch`] directly.
+    pub(crate) flat: Vec<f32>,
+}
+
+impl SimArena {
+    /// Creates a worker arena for `synth`, cloning the warmed template
+    /// CPU once. The recorder is built with the synthesizer's leakage
+    /// weights, so arena traces are bit-identical to the materializing
+    /// path's.
+    pub fn new(synth: &TraceSynthesizer, template: &Cpu) -> SimArena {
+        SimArena {
+            cpu: template.clone(),
+            recorder: PowerRecorder::new(synth.weights().clone()),
+            scratch: SynthScratch::new(),
+            trace: Vec::new(),
+            inputs: Vec::new(),
+            flat: Vec::new(),
+        }
+    }
+
+    /// The worker's CPU (staged template clone).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Synthesizes the trace at `index` into the arena's buffers and
+    /// returns `(trace, input)` — the reusable-state equivalent of
+    /// [`TraceSynthesizer::synthesize_trace`], byte-identical to it for
+    /// any prior arena history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn synthesize<G, S, P>(
+        &mut self,
+        synth: &TraceSynthesizer,
+        entry: u32,
+        index: usize,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Result<(&[f32], Vec<u8>), UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        let input = synth.synth_into(
+            &mut self.cpu,
+            &mut self.recorder,
+            &mut self.scratch,
+            &mut self.trace,
+            entry,
+            index,
+            None,
+            generate,
+            stage,
+            post,
+        )?;
+        Ok((&self.trace, input))
+    }
+
+    /// Starts a new sink batch: clears the input and flat-trace buffers
+    /// (keeping their capacity).
+    pub(crate) fn begin_batch(&mut self) {
+        self.inputs.clear();
+        self.flat.clear();
+    }
+
+    /// Synthesizes the trace at `index`, pads it to `full` samples, and
+    /// appends its `[start, start + samples)` window (and its input) to
+    /// the current batch. When `clip` is true the synthesis itself is
+    /// clipped to the window (legal only when the post hook is a no-op
+    /// — out-of-window samples are then discarded unseen).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_windowed<G, S, P>(
+        &mut self,
+        synth: &TraceSynthesizer,
+        entry: u32,
+        index: usize,
+        (full, start, samples): (usize, usize, usize),
+        clip: bool,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Result<(), UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        let input = synth.synth_into(
+            &mut self.cpu,
+            &mut self.recorder,
+            &mut self.scratch,
+            &mut self.trace,
+            entry,
+            index,
+            clip.then_some((start, start + samples)),
+            generate,
+            stage,
+            post,
+        )?;
+        self.trace.resize(full, 0.0);
+        self.flat
+            .extend_from_slice(&self.trace[start..start + samples]);
+        self.inputs.push(input);
+        Ok(())
+    }
+
+    /// The current batch, `(inputs, flat windowed traces)`.
+    pub(crate) fn batch(&self) -> (&[Vec<u8>], &[f32]) {
+        (&self.inputs, &self.flat)
+    }
+}

@@ -8,7 +8,7 @@ use sca_power::{
 };
 use sca_uarch::{Cpu, UarchError};
 
-use crate::{run_sharded, CampaignSink, ShardPlan, DEFAULT_BATCH};
+use crate::{run_sharded, CampaignSink, ShardPlan, SimArena, DEFAULT_BATCH};
 
 /// Campaign parameters: the acquisition knobs of
 /// [`AcquisitionConfig`] plus the sharding batch size.
@@ -131,7 +131,10 @@ impl Campaign {
         S: Fn(&mut Cpu, &[u8]) + Sync,
         K: CampaignSink,
     {
-        self.run_with(cpu, entry, generate, stage, |_, _| {}, sink)
+        // No post hook ⇒ everything outside the analysis window is
+        // discarded unseen, so synthesis may clip to the window
+        // (in-window samples stay bit-identical; see `synth_into`).
+        self.run_inner(cpu, entry, generate, stage, |_, _| {}, sink, true)
     }
 
     /// Like [`Campaign::run`], with a post-processing hook applied to
@@ -157,6 +160,29 @@ impl Campaign {
         P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
         K: CampaignSink,
     {
+        // A post hook sees (and may shift) the whole trace — e.g. the
+        // OS-noise jitter moves samples into the window — so synthesis
+        // must stay unclipped here.
+        self.run_inner(cpu, entry, generate, stage, post, sink, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<G, S, P, K>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+        post: P,
+        sink: impl Fn(usize) -> K + Sync,
+        clip: bool,
+    ) -> Result<K, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+        K: CampaignSink,
+    {
         let full = self.synth.probe_samples(cpu, entry, &generate, &stage)?;
         let (start, samples) = match self.window {
             Some((start, len)) => {
@@ -169,20 +195,24 @@ impl Campaign {
         let plan = self.plan();
         run_sharded(
             &plan,
-            || cpu.clone(),
+            || SimArena::new(&self.synth, cpu),
             || sink(samples),
-            |worker_cpu, acc, range| {
-                let mut inputs: Vec<Vec<u8>> = Vec::with_capacity(range.len());
-                let mut flat: Vec<f32> = Vec::with_capacity(range.len() * samples);
+            |arena, acc, range| {
+                arena.begin_batch();
                 for index in range {
-                    let (mut trace, input) = self
-                        .synth
-                        .synthesize_trace(worker_cpu, entry, index, &generate, &stage, &post)?;
-                    trace.resize(full, 0.0);
-                    flat.extend_from_slice(&trace[start..start + samples]);
-                    inputs.push(input);
+                    arena.push_windowed(
+                        &self.synth,
+                        entry,
+                        index,
+                        (full, start, samples),
+                        clip,
+                        &generate,
+                        &stage,
+                        &post,
+                    )?;
                 }
-                acc.absorb_batch(&inputs, &flat, samples);
+                let (inputs, flat) = arena.batch();
+                acc.absorb_batch(inputs, flat, samples);
                 Ok(())
             },
         )

@@ -123,6 +123,10 @@
 //! * [`ShardPlan`] / [`run_sharded`] / [`Mergeable`] — the generic
 //!   deterministic map-reduce; `sca-core`'s Table 2 characterization
 //!   drives its multi-channel acquisition through this directly;
+//! * [`SimArena`] — one worker's reusable simulation state (staged CPU,
+//!   power recorder, synthesis scratch, batch buffers): created once per
+//!   shard and reused across the worker's whole index range, so the
+//!   steady-state trace loop is allocation-free;
 //! * [`Campaign`] / [`CampaignConfig`] — the standard power-trace
 //!   campaign (probe for the window length, synthesize, crop, stream);
 //! * [`CampaignSink`] / [`CpaSink`] / [`CorrSink`] / [`TtestSink`] —
@@ -142,10 +146,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod engine;
 mod shard;
 mod sink;
 
+pub use arena::SimArena;
 pub use engine::{Campaign, CampaignConfig};
 pub use shard::{run_sharded, Mergeable, ShardPlan, DEFAULT_BATCH};
 pub use sink::{CampaignSink, CorrSink, CpaSink, TtestSink};

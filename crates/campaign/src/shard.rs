@@ -179,8 +179,14 @@ where
             partials.push(handle.join().expect("campaign worker panicked"));
         }
     });
+    // An empty campaign reduces to the identity-merged (empty) sink —
+    // never a panic: `shards()` drops empty ranges, so `items == 0`
+    // reaches this fold with no partials at all.
     let mut partials = partials.into_iter();
-    let mut merged = partials.next().expect("at least one shard")?;
+    let Some(first) = partials.next() else {
+        return Ok(sink());
+    };
+    let mut merged = first?;
     for partial in partials {
         merged.merge(partial?);
     }
@@ -285,5 +291,33 @@ mod tests {
         )
         .unwrap();
         assert!(out.0.is_empty());
+    }
+
+    /// Regression: an empty campaign must return the identity-merged
+    /// sink at *any* thread/batch combination — the worker and process
+    /// closures must never run, and nothing may panic on the empty
+    /// partial list.
+    #[test]
+    fn empty_campaigns_never_panic_and_never_invoke_workers() {
+        for threads in [1usize, 2, 4, 17] {
+            for batch in [1usize, 7, 64] {
+                let plan = ShardPlan {
+                    items: 0,
+                    threads,
+                    batch,
+                };
+                assert!(plan.shards().is_empty());
+                let out = run_sharded(
+                    &plan,
+                    || panic!("no worker state for an empty campaign"),
+                    || Collect(Vec::new()),
+                    |_: &mut (), _, _| -> Result<(), &'static str> {
+                        panic!("no batches for an empty campaign")
+                    },
+                )
+                .expect("empty campaign yields the empty sink");
+                assert!(out.0.is_empty(), "threads {threads} batch {batch}");
+            }
+        }
     }
 }

@@ -700,9 +700,25 @@ pub fn run_benchmark(
     let words = benchmark.input_words;
     let noise = config.noise;
     let executions = config.executions_per_trace.max(1);
+    // One reusable multi-channel worker per shard (the `SimArena`
+    // pattern): CPU clone, recorder and scratch buffers live for the
+    // whole index range instead of being allocated per execution.
+    struct RowWorker {
+        cpu: Cpu,
+        recorder: ComponentPowerRecorder,
+        accumulated: Vec<Vec<f64>>,
+        samples: Vec<f64>,
+        channels: Vec<Vec<f32>>,
+    }
     let sink = run_sharded(
         &plan,
-        || template.clone(),
+        || RowWorker {
+            cpu: template.clone(),
+            recorder: ComponentPowerRecorder::new(LeakageWeights::cortex_a7()),
+            accumulated: vec![Vec::new(); NodeKind::COUNT],
+            samples: Vec::new(),
+            channels: vec![Vec::new(); NodeKind::COUNT],
+        },
         || RowSink {
             accs: benchmark
                 .models
@@ -711,34 +727,47 @@ pub fn run_benchmark(
                 .collect(),
             traces: 0,
         },
-        |cpu, sink, range| {
+        |worker, sink, range| {
             for t in range {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
                 let mut input = vec![0u8; words * 4];
                 rng.fill(&mut input[..]);
-                let mut accumulated: Vec<Vec<f64>> = vec![vec![0.0; window_len]; NodeKind::COUNT];
+                for channel in &mut worker.accumulated {
+                    channel.clear();
+                    channel.resize(window_len, 0.0);
+                }
                 for e in 0..executions {
-                    cpu.restart_seeded(0, seed ^ ((t as u64) << 8 | e as u64));
-                    stage(cpu, &input);
-                    let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
-                    cpu.run(&mut rec)?;
+                    worker
+                        .cpu
+                        .restart_seeded(0, seed ^ ((t as u64) << 8 | e as u64));
+                    stage(&mut worker.cpu, &input);
+                    worker.recorder.reset();
+                    worker.cpu.run(&mut worker.recorder)?;
                     let mut gauss = noise;
                     for kind in NodeKind::ALL {
-                        let mut samples = rec.windowed_power(kind);
-                        samples.resize(window_len, 0.0);
-                        gauss.add_to(&mut rng, &mut samples);
-                        for (a, s) in accumulated[kind.index()].iter_mut().zip(&samples) {
+                        worker
+                            .recorder
+                            .windowed_power_into(kind, &mut worker.samples);
+                        worker.samples.resize(window_len, 0.0);
+                        gauss.add_to(&mut rng, &mut worker.samples);
+                        for (a, s) in worker.accumulated[kind.index()]
+                            .iter_mut()
+                            .zip(&worker.samples)
+                        {
                             *a += s;
                         }
                     }
                 }
                 let inv = 1.0 / executions as f64;
-                let channels: Vec<Vec<f32>> = accumulated
-                    .iter()
-                    .map(|channel| channel.iter().map(|&s| (s * inv) as f32).collect())
-                    .collect();
+                for (channel, accumulated) in worker.channels.iter_mut().zip(&worker.accumulated) {
+                    channel.clear();
+                    channel.extend(accumulated.iter().map(|&s| (s * inv) as f32));
+                }
                 for (spec, acc) in benchmark.models.iter().zip(&mut sink.accs) {
-                    acc.add((spec.model)(&input), &channels[spec.component.index()]);
+                    acc.add(
+                        (spec.model)(&input),
+                        &worker.channels[spec.component.index()],
+                    );
                 }
                 sink.traces += 1;
             }

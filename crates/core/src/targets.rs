@@ -9,8 +9,8 @@
 //! expressions, and its primary window is resolved into absolute
 //! cycles by one probe run. No cipher is named anywhere.
 
-use sca_target::{resolve_window, CipherTarget};
-use sca_uarch::{Node, UarchConfig, UarchError};
+use sca_target::{resolve_window, CipherTarget, TargetError};
+use sca_uarch::{Node, UarchConfig};
 
 use crate::{audit_program, AuditConfig, AuditReport, SecretModel};
 
@@ -24,12 +24,13 @@ use crate::{audit_program, AuditConfig, AuditReport, SecretModel};
 ///
 /// # Errors
 ///
-/// Propagates simulator faults.
+/// Propagates simulator faults; a misconfigured target window surfaces
+/// as [`TargetError::Window`] naming the target instead of a panic.
 pub fn audit_cipher_target(
     target: &dyn CipherTarget,
     uarch: &UarchConfig,
     config: &AuditConfig,
-) -> Result<AuditReport, UarchError> {
+) -> Result<AuditReport, TargetError> {
     let cpu = target.build(uarch)?;
     let window = resolve_window(target, &cpu, &target.primary_window())?;
     // The audit draws raw random input bytes itself, bypassing the
@@ -48,7 +49,7 @@ pub fn audit_cipher_target(
             })
         })
         .collect();
-    audit_program(
+    Ok(audit_program(
         uarch,
         target.program(),
         target.input_len(),
@@ -63,7 +64,7 @@ pub fn audit_cipher_target(
             window: Some(window.absolute),
             ..config.clone()
         },
-    )
+    )?)
 }
 
 /// Counts a report's findings on the operand path (operand buses,

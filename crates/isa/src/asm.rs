@@ -56,6 +56,35 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
     Assembler::new().assemble(source)
 }
 
+/// Assembles a source string through a caller-supplied memo cell: the
+/// first call assembles and caches the image, later calls clone the
+/// cached [`Program`]. Embedded cipher sources are assembled once per
+/// process this way, so campaign code can re-stage a program image
+/// without re-running the assembler.
+///
+/// ```
+/// use std::sync::OnceLock;
+/// static CACHE: OnceLock<sca_isa::Program> = OnceLock::new();
+/// let a = sca_isa::assemble_cached("mov r0, #1\nhalt\n", &CACHE)?;
+/// let b = sca_isa::assemble_cached("ignored on later calls", &CACHE)?;
+/// assert_eq!(a.words(), b.words());
+/// # Ok::<(), sca_isa::IsaError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`assemble`] errors (nothing is cached on failure).
+pub fn assemble_cached(
+    source: &str,
+    cache: &'static std::sync::OnceLock<Program>,
+) -> Result<Program, IsaError> {
+    if let Some(program) = cache.get() {
+        return Ok(program.clone());
+    }
+    let program = assemble(source)?;
+    Ok(cache.get_or_init(|| program).clone())
+}
+
 /// The assembler. Construct with [`Assembler::new`], optionally seed
 /// constants with [`Assembler::define`], then call
 /// [`Assembler::assemble`].

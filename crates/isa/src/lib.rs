@@ -50,7 +50,7 @@ mod reg;
 mod semantics;
 mod shift;
 
-pub use asm::{assemble, Assembler};
+pub use asm::{assemble, assemble_cached, Assembler};
 pub use builder::{InsnExt, ProgramBuilder};
 pub use cond::{Cond, Flags};
 pub use encode::{decode, encode};

@@ -30,6 +30,6 @@ pub use io::{read_traces, write_traces};
 pub use model::LeakageWeights;
 pub use noise::{GaussianNoise, NoiseSource};
 pub use recorder::{ComponentPowerRecorder, PowerRecorder};
-pub use sampling::SamplingConfig;
-pub use synth::{AcquisitionConfig, TraceSynthesizer};
+pub use sampling::{cycle_window_to_samples, SamplingConfig};
+pub use synth::{AcquisitionConfig, SynthScratch, TraceSynthesizer};
 pub use trace::TraceSet;

@@ -96,10 +96,19 @@ impl LeakageWeights {
     }
 
     /// Power contribution of one node event.
+    #[inline]
     pub fn power_of(&self, event: &NodeEvent) -> f64 {
-        let kind = event.node.kind();
-        self.hd(kind) * f64::from(event.hamming_distance())
-            + self.hw(kind) * f64::from(event.hamming_weight())
+        self.power_of_kind(event.node.kind(), event)
+    }
+
+    /// Power contribution of one node event whose component kind the
+    /// caller has already resolved — the recorders sit on the busiest
+    /// observer path and need the kind themselves, so this avoids
+    /// resolving it twice per event.
+    #[inline]
+    pub fn power_of_kind(&self, kind: NodeKind, event: &NodeEvent) -> f64 {
+        self.hd[kind.index()] * f64::from(event.hamming_distance())
+            + self.hw[kind.index()] * f64::from(event.hamming_weight())
     }
 }
 

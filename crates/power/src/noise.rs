@@ -57,6 +57,34 @@ impl GaussianNoise {
     }
 }
 
+impl GaussianNoise {
+    /// Like [`NoiseSource::add_to`], but only *writes* noise inside the
+    /// `[keep.0, keep.1)` sample window. The RNG is advanced exactly as
+    /// `add_to` advances it — one `gen_range` + one `gen` per sample
+    /// whenever `sd != 0` — so the in-window values are bit-identical
+    /// to the unclipped path; only the Box–Muller transcendentals
+    /// (`ln`/`sqrt`/`cos`) of discarded samples are skipped.
+    ///
+    /// This is the campaign fast path: a windowed campaign crops every
+    /// trace to its analysis window *after* noising, so out-of-window
+    /// noise is dead work — a full AES execution spans ~12k samples of
+    /// which a round-1 window keeps a few hundred. Callers that post-
+    /// process whole traces (e.g. the OS-noise jitter, which shifts
+    /// samples *into* the window) must keep using `add_to`.
+    pub fn add_to_clipped(&mut self, rng: &mut StdRng, samples: &mut [f64], keep: (usize, usize)) {
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i >= keep.0 && i < keep.1 {
+                *s += self.baseline + self.sample(rng);
+            } else if self.sd != 0.0 {
+                // Consume the same two draws `sample` would, keeping
+                // the per-trace RNG stream aligned sample for sample.
+                let _: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let _: f64 = rng.gen();
+            }
+        }
+    }
+}
+
 impl NoiseSource for GaussianNoise {
     fn add_to(&mut self, rng: &mut StdRng, samples: &mut [f64]) {
         for s in samples.iter_mut() {
@@ -102,6 +130,45 @@ mod tests {
             samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn clipped_noise_is_bit_identical_inside_the_window() {
+        let make = || GaussianNoise {
+            sd: 4.0,
+            baseline: 7.0,
+        };
+        let mut full = vec![0.0f64; 64];
+        make().add_to(&mut StdRng::seed_from_u64(99), &mut full);
+        let mut clipped = vec![0.0f64; 64];
+        make().add_to_clipped(&mut StdRng::seed_from_u64(99), &mut clipped, (20, 40));
+        assert_eq!(&clipped[20..40], &full[20..40], "window bit-identical");
+        assert!(clipped[..20]
+            .iter()
+            .chain(&clipped[40..])
+            .all(|&s| s == 0.0));
+        // The RNG stream stays aligned past the window: appending more
+        // draws after either pass yields the same values.
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        make().add_to(&mut a, &mut vec![0.0; 64]);
+        make().add_to_clipped(&mut b, &mut vec![0.0; 64], (0, 3));
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "stream alignment");
+    }
+
+    #[test]
+    fn clipped_noise_with_zero_sd_draws_nothing() {
+        let mut noise = GaussianNoise {
+            sd: 0.0,
+            baseline: 2.0,
+        };
+        let mut a = StdRng::seed_from_u64(5);
+        let mut samples = vec![0.0f64; 8];
+        noise.add_to_clipped(&mut a, &mut samples, (2, 4));
+        assert_eq!(samples, vec![0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 0.0, 0.0]);
+        // sd == 0 consumes no randomness in either path.
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl PipelineObserver for PowerRecorder {
         if self.power.len() <= idx {
             self.power.resize(idx + 1, 0.0);
         }
-        self.power[idx] += self.weights.power_of(&event);
+        self.power[idx] += self.weights.power_of_kind(event.node.kind(), &event);
     }
 
     fn trigger(&mut self, cycle: u64, high: bool) {
@@ -99,11 +99,20 @@ impl PipelineObserver for PowerRecorder {
 /// probe signal superimposes all components (that is what the attacks
 /// see), but the per-component characterization of Table 2 needs the
 /// attribution; in simulation it is exact.
+///
+/// Storage is cycle-major (`power[cycle * COUNT + kind]`): the node
+/// events of one cycle then land on one cache line, which matters
+/// because this recorder observes every event of every characterization
+/// execution. [`ComponentPowerRecorder::reset`] clears the data but
+/// keeps the capacity, so a characterization worker reuses one recorder
+/// across its whole index range without reallocating.
 #[derive(Clone, Debug)]
 pub struct ComponentPowerRecorder {
     weights: LeakageWeights,
-    /// Per-kind per-cycle power, indexed by [`NodeKind::index`].
-    power: Vec<Vec<f64>>,
+    /// Cycle-major strided storage, `cycles × NodeKind::COUNT`.
+    power: Vec<f64>,
+    /// Cycles recorded so far (the stride count).
+    cycles: usize,
     triggers: Vec<(u64, bool)>,
 }
 
@@ -112,51 +121,84 @@ impl ComponentPowerRecorder {
     pub fn new(weights: LeakageWeights) -> ComponentPowerRecorder {
         ComponentPowerRecorder {
             weights,
-            power: vec![Vec::new(); sca_uarch::NodeKind::COUNT],
+            power: Vec::new(),
+            cycles: 0,
             triggers: Vec::new(),
         }
     }
 
-    /// The per-cycle power of one component inside the first trigger
-    /// window (whole series when no trigger fired).
-    pub fn windowed_power(&self, kind: sca_uarch::NodeKind) -> Vec<f64> {
-        let series = &self.power[kind.index()];
+    /// Clears recorded data while keeping the weights and the allocated
+    /// capacity (reuse across the averaged executions of a campaign).
+    pub fn reset(&mut self) {
+        self.power.clear();
+        self.cycles = 0;
+        self.triggers.clear();
+    }
+
+    fn window(&self) -> (usize, usize) {
         let Some(start) = self
             .triggers
             .iter()
             .find(|(_, h)| *h)
             .map(|(c, _)| *c as usize)
         else {
-            return series.clone();
+            return (0, self.cycles);
         };
         let end = self
             .triggers
             .iter()
             .find(|(c, h)| !*h && *c as usize >= start)
             .map(|(c, _)| *c as usize)
-            .unwrap_or(series.len())
-            .min(series.len());
-        series[start.min(end)..end].to_vec()
+            .unwrap_or(self.cycles)
+            .min(self.cycles);
+        (start.min(end), end)
+    }
+
+    /// The per-cycle power of one component inside the first trigger
+    /// window (whole series when no trigger fired).
+    pub fn windowed_power(&self, kind: sca_uarch::NodeKind) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.windowed_power_into(kind, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`ComponentPowerRecorder::windowed_power`]: clears `out` and
+    /// fills it with the windowed series, reusing its capacity.
+    pub fn windowed_power_into(&self, kind: sca_uarch::NodeKind, out: &mut Vec<f64>) {
+        let (start, end) = self.window();
+        let k = kind.index();
+        out.clear();
+        out.reserve(end - start);
+        const COUNT: usize = sca_uarch::NodeKind::COUNT;
+        out.extend(
+            self.power[start * COUNT..end * COUNT]
+                .iter()
+                .skip(k)
+                .step_by(COUNT),
+        );
     }
 }
 
 impl PipelineObserver for ComponentPowerRecorder {
     fn begin_cycle(&mut self, cycle: u64) {
         let needed = cycle as usize + 1;
-        for series in &mut self.power {
-            if series.len() < needed {
-                series.resize(needed, 0.0);
-            }
+        if self.cycles < needed {
+            self.power.resize(needed * sca_uarch::NodeKind::COUNT, 0.0);
+            self.cycles = needed;
         }
     }
 
     fn node_event(&mut self, event: NodeEvent) {
-        let series = &mut self.power[event.node.kind().index()];
         let idx = event.cycle as usize;
-        if series.len() <= idx {
-            series.resize(idx + 1, 0.0);
+        if self.cycles <= idx {
+            self.power
+                .resize((idx + 1) * sca_uarch::NodeKind::COUNT, 0.0);
+            self.cycles = idx + 1;
         }
-        series[idx] += self.weights.power_of(&event);
+        let kind = event.node.kind();
+        self.power[idx * sca_uarch::NodeKind::COUNT + kind.index()] +=
+            self.weights.power_of_kind(kind, &event);
     }
 
     fn trigger(&mut self, cycle: u64, high: bool) {

@@ -50,8 +50,34 @@ impl SamplingConfig {
     /// Sample `s` receives contributions from every cycle `c` whose pulse
     /// (starting at sample `c * samples_per_cycle`) covers `s`.
     pub fn expand(&self, cycle_power: &[f64]) -> Vec<f64> {
+        let mut samples = Vec::new();
+        self.expand_into(cycle_power, &mut samples);
+        samples
+    }
+
+    /// Allocation-free variant of [`SamplingConfig::expand`]: clears
+    /// `out` and fills it with the expanded sample series, reusing its
+    /// capacity. This is the per-execution path of the trace-generation
+    /// arena — bit-identical to `expand` (same accumulation order).
+    pub fn expand_into(&self, cycle_power: &[f64], out: &mut Vec<f64>) {
+        self.expand_into_clipped(cycle_power, out, (0, usize::MAX));
+    }
+
+    /// Like [`SamplingConfig::expand_into`], but only materializes the
+    /// samples inside `[keep.0, keep.1)`; everything outside stays
+    /// zero. In-window samples are bit-identical to the unclipped
+    /// expansion (each receives the same per-cycle contributions in the
+    /// same order), so a campaign that crops to a window before its
+    /// sinks can skip expanding the rest of the execution.
+    pub fn expand_into_clipped(
+        &self,
+        cycle_power: &[f64],
+        out: &mut Vec<f64>,
+        keep: (usize, usize),
+    ) {
         let n = self.sample_count(cycle_power.len());
-        let mut samples = vec![0.0; n];
+        out.clear();
+        out.resize(n, 0.0);
         let norm: f64 = self.kernel.iter().sum::<f64>().max(f64::MIN_POSITIVE);
         for (c, &p) in cycle_power.iter().enumerate() {
             if p == 0.0 {
@@ -59,27 +85,75 @@ impl SamplingConfig {
             }
             let start = c as f64 * self.samples_per_cycle;
             let first = start.floor() as usize;
+            // A cycle's pulse covers samples [first, first + kernel_len];
+            // skip cycles that cannot touch the kept window.
+            if first >= keep.1 || first + self.kernel.len() < keep.0 {
+                continue;
+            }
             // Linear placement: fractional starting position splits the
             // kernel between adjacent samples.
             let frac = start - start.floor();
             for (k, &amp) in self.kernel.iter().enumerate() {
                 let contribution = p * amp / norm;
                 let idx = first + k;
-                if idx < n {
-                    samples[idx] += contribution * (1.0 - frac);
+                if idx < n && idx >= keep.0 && idx < keep.1 {
+                    out[idx] += contribution * (1.0 - frac);
                 }
-                if idx + 1 < n {
-                    samples[idx + 1] += contribution * frac;
+                if idx + 1 < n && idx + 1 >= keep.0 && idx + 1 < keep.1 {
+                    out[idx + 1] += contribution * frac;
                 }
             }
         }
-        samples
     }
 
     /// Maps a cycle offset (within a window) to its nominal sample index.
     pub fn sample_of_cycle(&self, cycle: usize) -> usize {
         (cycle as f64 * self.samples_per_cycle).floor() as usize
     }
+
+    /// Converts a `(start, len)` cycle window into the `(start, len)`
+    /// sample window that covers it: end-exclusive rounding via
+    /// [`cycle_window_to_samples`], so fractional sampling rates keep
+    /// the tail sample instead of truncating it.
+    pub fn window_to_samples(&self, start_cycle: u64, len_cycles: u64) -> (usize, usize) {
+        cycle_window_to_samples(self.samples_per_cycle, start_cycle, len_cycles)
+    }
+}
+
+/// Converts a `(start, len)` cycle window into an end-exclusive sample
+/// window at `samples_per_cycle` samples per cycle: the start rounds
+/// *down* and the end (`start + len`, exclusive) rounds *up*, so every
+/// sample touched by the window's cycles is covered. Truncating
+/// `len * samples_per_cycle` instead — the historical bug — silently
+/// dropped the final sample whenever the rate is fractional, and read a
+/// window *end* as if it were a length.
+///
+/// The epsilons mirror [`SamplingConfig::sample_count`]: exact products
+/// (e.g. 120 cycles × 500/120) stay exact instead of picking up a
+/// spurious extra sample.
+///
+/// ```
+/// use sca_power::cycle_window_to_samples;
+///
+/// // Integer rate: cycle windows map 1:1.
+/// assert_eq!(cycle_window_to_samples(1.0, 3, 4), (3, 4));
+/// // Fractional rate: the window [1, 2) in cycles covers samples 4..9.
+/// let (start, len) = cycle_window_to_samples(500.0 / 120.0, 1, 1);
+/// assert_eq!((start, len), (4, 5));
+/// ```
+pub fn cycle_window_to_samples(
+    samples_per_cycle: f64,
+    start_cycle: u64,
+    len_cycles: u64,
+) -> (usize, usize) {
+    let start = (start_cycle as f64 * samples_per_cycle + 1e-9)
+        .floor()
+        .max(0.0) as usize;
+    let end_cycle = start_cycle + len_cycles;
+    let end = (end_cycle as f64 * samples_per_cycle - 1e-9)
+        .ceil()
+        .max(0.0) as usize;
+    (start, end.saturating_sub(start))
 }
 
 impl Default for SamplingConfig {
@@ -118,6 +192,62 @@ mod tests {
         let cfg = SamplingConfig::picoscope_500msps_120mhz();
         assert_eq!(cfg.sample_count(120), 500);
         assert_eq!(cfg.sample_of_cycle(120), 500);
+    }
+
+    #[test]
+    fn expand_into_matches_expand_and_reuses_capacity() {
+        let cfg = SamplingConfig::picoscope_500msps_120mhz();
+        let cycles: Vec<f64> = (0..40).map(|c| (c % 7) as f64).collect();
+        let reference = cfg.expand(&cycles);
+        let mut out = vec![0.0; 1000]; // stale, oversized
+        cfg.expand_into(&cycles, &mut out);
+        assert_eq!(out, reference);
+        let capacity = out.capacity();
+        cfg.expand_into(&cycles, &mut out);
+        assert_eq!(out.capacity(), capacity, "no reallocation on reuse");
+    }
+
+    /// Regression for the sample-window truncation bug: at a fractional
+    /// rate, truncating `len * samples_per_cycle` dropped the tail
+    /// sample of the window. End-exclusive rounding must cover every
+    /// sample the window's cycles touch.
+    #[test]
+    fn fractional_rate_windows_keep_the_tail_sample() {
+        let spc = 500.0 / 120.0; // ≈ 4.1667 samples per cycle
+        for start_cycle in 0u64..30 {
+            for len_cycles in 1u64..30 {
+                let (start, len) = cycle_window_to_samples(spc, start_cycle, len_cycles);
+                let end_exact = (start_cycle + len_cycles) as f64 * spc;
+                assert!(
+                    (start + len) as f64 >= end_exact - 1e-6,
+                    "window ({start_cycle}, {len_cycles}) truncated: \
+                     samples ({start}, {len}) vs exact end {end_exact}"
+                );
+                assert!(start as f64 <= start_cycle as f64 * spc + 1e-6);
+                // The old truncating conversion loses the tail at
+                // non-integer products.
+                let old_len = (len_cycles as f64 * spc) as usize;
+                assert!(len >= old_len, "end-exclusive rounding never shrinks");
+            }
+        }
+        // The concrete case from the issue: one mid-stream cycle.
+        assert_eq!(cycle_window_to_samples(spc, 1, 1), (4, 5));
+        assert_eq!((1.0 * spc) as usize, 4, "old truncation gave 4 samples");
+    }
+
+    #[test]
+    fn integer_rate_windows_are_identity() {
+        for start in 0u64..10 {
+            for len in 0u64..10 {
+                assert_eq!(
+                    cycle_window_to_samples(1.0, start, len),
+                    (start as usize, len as usize)
+                );
+            }
+        }
+        // Exact products stay exact at the paper's fractional rate.
+        let cfg = SamplingConfig::picoscope_500msps_120mhz();
+        assert_eq!(cfg.window_to_samples(0, 120), (0, 500));
     }
 
     #[test]

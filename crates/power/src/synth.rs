@@ -20,7 +20,7 @@ use rand::SeedableRng;
 
 use sca_uarch::{Cpu, UarchError};
 
-use crate::{GaussianNoise, LeakageWeights, NoiseSource, PowerRecorder, SamplingConfig, TraceSet};
+use crate::{GaussianNoise, LeakageWeights, PowerRecorder, SamplingConfig, TraceSet};
 
 /// Acquisition campaign parameters.
 #[derive(Clone, Debug)]
@@ -75,6 +75,27 @@ fn child_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Reusable per-worker scratch for the allocation-free synthesis path
+/// ([`TraceSynthesizer::synth_into`]): the f64 accumulation buffer the
+/// averaged executions sum into and the per-execution expanded-sample
+/// buffer. A campaign worker owns one of these (inside its `SimArena`)
+/// for its entire index range.
+#[derive(Clone, Debug, Default)]
+pub struct SynthScratch {
+    /// Execution-averaged power, in f64 (converted to f32 only at the
+    /// end, exactly like the materializing path).
+    accum: Vec<f64>,
+    /// One execution's expanded (and noised) sample series.
+    samples: Vec<f64>,
+}
+
+impl SynthScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> SynthScratch {
+        SynthScratch::default()
+    }
+}
+
 /// Synthesizes trace sets from a CPU, a leakage model and an acquisition
 /// configuration.
 #[derive(Clone, Debug)]
@@ -92,6 +113,12 @@ impl TraceSynthesizer {
     /// The acquisition configuration.
     pub fn config(&self) -> &AcquisitionConfig {
         &self.config
+    }
+
+    /// The leakage weights (what a reusable [`PowerRecorder`] must be
+    /// built with to reproduce this synthesizer's traces).
+    pub fn weights(&self) -> &LeakageWeights {
+        &self.weights
     }
 
     /// Acquires a trace set.
@@ -260,11 +287,76 @@ impl TraceSynthesizer {
         S: Fn(&mut Cpu, &[u8]) + Sync,
         P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
     {
+        let mut recorder = PowerRecorder::new(self.weights.clone());
+        let mut scratch = SynthScratch::new();
+        let mut trace = Vec::new();
+        let input = self.synth_into(
+            cpu,
+            &mut recorder,
+            &mut scratch,
+            &mut trace,
+            entry,
+            index,
+            None,
+            generate,
+            stage,
+            post,
+        )?;
+        Ok((trace, input))
+    }
+
+    /// The allocation-free synthesis path: like
+    /// [`TraceSynthesizer::synthesize_trace`], but every buffer — the
+    /// simulator, the power recorder, the f64 accumulation scratch and
+    /// the output f32 trace — is caller-owned and reused across calls.
+    /// `recorder` must have been built with this synthesizer's
+    /// [`TraceSynthesizer::weights`]; `trace` is cleared and filled with
+    /// the averaged trace.
+    ///
+    /// Bit-for-bit identical to `synthesize_trace` (same RNG streams,
+    /// same f64 accumulation order, same f32 conversion): the trace
+    /// remains a pure function of `(config.seed, index)` no matter how
+    /// many traces the buffers have already produced — the differential
+    /// tests in `tests/campaign_determinism.rs` pin this.
+    ///
+    /// `clip`, when `Some((start, end))`, restricts sample synthesis to
+    /// that end-exclusive window: out-of-window samples stay at zero
+    /// (expansion skipped) and receive no noise (the noise RNG is still
+    /// advanced identically, so in-window samples are bit-identical to
+    /// the unclipped trace). Only pass a clip when everything past the
+    /// window is discarded unseen — i.e. the campaign crops to exactly
+    /// this window *and* `post` ignores the samples (the windowed
+    /// engine passes a no-op post on the clipped path; OS-noise jitter,
+    /// which shifts samples into the window, must run unclipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synth_into<G, S, P>(
+        &self,
+        cpu: &mut Cpu,
+        recorder: &mut PowerRecorder,
+        scratch: &mut SynthScratch,
+        trace: &mut Vec<f32>,
+        entry: u32,
+        index: usize,
+        clip: Option<(usize, usize)>,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Result<Vec<u8>, UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
         let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, index as u64));
         let input = generate(&mut rng, index);
         let executions = self.config.executions_per_trace.max(1);
-        let mut accumulated: Vec<f64> = Vec::new();
+        scratch.accum.clear();
         let mut noise = self.config.noise;
+        let keep = clip.unwrap_or((0, usize::MAX));
         for execution in 0..executions {
             let scramble = child_seed(
                 self.config.seed ^ 0x5eed_0f0d_e500,
@@ -272,23 +364,28 @@ impl TraceSynthesizer {
             );
             cpu.restart_seeded(entry, scramble);
             stage(cpu, &input);
-            let mut recorder = PowerRecorder::new(self.weights.clone());
-            cpu.run(&mut recorder)?;
-            let mut samples = self.config.sampling.expand(recorder.windowed_power());
-            noise.add_to(&mut rng, &mut samples);
-            post(&mut rng, &mut samples);
-            if accumulated.is_empty() {
-                accumulated = samples;
+            recorder.reset();
+            cpu.run(recorder)?;
+            self.config.sampling.expand_into_clipped(
+                recorder.windowed_power(),
+                &mut scratch.samples,
+                keep,
+            );
+            noise.add_to_clipped(&mut rng, &mut scratch.samples, keep);
+            post(&mut rng, &mut scratch.samples);
+            if scratch.accum.is_empty() {
+                scratch.accum.extend_from_slice(&scratch.samples);
             } else {
-                let n = accumulated.len().min(samples.len());
+                let n = scratch.accum.len().min(scratch.samples.len());
                 for i in 0..n {
-                    accumulated[i] += samples[i];
+                    scratch.accum[i] += scratch.samples[i];
                 }
             }
         }
         let inv = 1.0 / executions as f64;
-        let trace: Vec<f32> = accumulated.iter().map(|&s| (s * inv) as f32).collect();
-        Ok((trace, input))
+        trace.clear();
+        trace.extend(scratch.accum.iter().map(|&s| (s * inv) as f32));
+        Ok(input)
     }
 }
 

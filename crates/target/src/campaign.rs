@@ -8,9 +8,9 @@
 
 use sca_campaign::{Campaign, CampaignConfig, CpaSink, TtestSink};
 use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
-use sca_uarch::{Cpu, UarchConfig, UarchError};
+use sca_uarch::{Cpu, UarchConfig};
 
-use crate::{resolve_window, CipherTarget, ModelKind, TargetModel};
+use crate::{resolve_window, CipherTarget, ModelKind, TargetError, TargetModel};
 
 /// Parameters of one target's campaigns.
 #[derive(Clone, Debug)]
@@ -120,7 +120,7 @@ impl<'a> TargetCampaign<'a> {
         target: &'a dyn CipherTarget,
         uarch: &UarchConfig,
         config: TargetCampaignConfig,
-    ) -> Result<TargetCampaign<'a>, UarchError> {
+    ) -> Result<TargetCampaign<'a>, TargetError> {
         Ok(TargetCampaign {
             cpu: target.build(uarch)?,
             target,
@@ -136,8 +136,10 @@ impl<'a> TargetCampaign<'a> {
 
     fn engine(&self, seed_salt: u64, window_cycles: (u64, u64)) -> Campaign {
         let sampling = SamplingConfig::picoscope_500msps_120mhz();
-        let start = (window_cycles.0 as f64 * sampling.samples_per_cycle) as usize;
-        let len = (window_cycles.1 as f64 * sampling.samples_per_cycle) as usize;
+        // End-exclusive rounding shared with the characterization layer:
+        // truncating `len * samples_per_cycle` here used to drop the
+        // window's tail sample at the fractional sampling rate.
+        let (start, len) = sampling.window_to_samples(window_cycles.0, window_cycles.1);
         Campaign::new(
             LeakageWeights::cortex_a7(),
             CampaignConfig {
@@ -158,8 +160,9 @@ impl<'a> TargetCampaign<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates simulator faults from any worker.
-    pub fn cpa(&self, model: &TargetModel) -> Result<CpaVerdict, UarchError> {
+    /// Propagates simulator faults from any worker, and window
+    /// misconfiguration as [`TargetError::Window`].
+    pub fn cpa(&self, model: &TargetModel) -> Result<CpaVerdict, TargetError> {
         let window = resolve_window(self.target, &self.cpu, &model.window)?;
         let target = self.target;
         let sink = self
@@ -192,8 +195,9 @@ impl<'a> TargetCampaign<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates simulator faults from any worker.
-    pub fn tvla(&self) -> Result<TvlaVerdict, UarchError> {
+    /// Propagates simulator faults from any worker, and window
+    /// misconfiguration as [`TargetError::Window`].
+    pub fn tvla(&self) -> Result<TvlaVerdict, TargetError> {
         let window = resolve_window(self.target, &self.cpu, &self.target.primary_window())?;
         let target = self.target;
         let sink = self.engine(0x77e5, window.trigger_relative).run(

@@ -17,7 +17,7 @@ use sca_campaign::{run_sharded, Mergeable, ShardPlan};
 use sca_power::{ComponentPowerRecorder, LeakageWeights, NoiseSource};
 use sca_uarch::{Cpu, NodeKind, UarchError};
 
-use crate::{resolve_window, CipherTarget, TargetCampaignConfig, TargetModel};
+use crate::{resolve_window, CipherTarget, TargetCampaignConfig, TargetError, TargetModel};
 
 /// The components characterized — Table 2's seven columns.
 pub const CHARZ_COMPONENTS: [NodeKind; 7] = [
@@ -87,6 +87,36 @@ struct CharzSink {
     accs: Vec<Vec<PearsonAccumulator>>,
 }
 
+/// One characterization worker's reusable state — the multi-channel
+/// analog of `sca_campaign::SimArena`: a staged CPU clone, a
+/// per-component power recorder, and the per-trace scratch buffers, all
+/// created once per shard and reused across its index range.
+struct CharzWorker {
+    cpu: Cpu,
+    recorder: ComponentPowerRecorder,
+    /// Per-component execution-averaged power (f64, one per component).
+    accumulated: Vec<Vec<f64>>,
+    /// One component's windowed per-cycle power.
+    samples: Vec<f64>,
+    /// The same, cropped to the analysis window and noised.
+    cropped: Vec<f64>,
+    /// Per-component averaged f32 channels handed to the accumulators.
+    channels: Vec<Vec<f32>>,
+}
+
+impl CharzWorker {
+    fn new(template: &Cpu, components: usize) -> CharzWorker {
+        CharzWorker {
+            cpu: template.clone(),
+            recorder: ComponentPowerRecorder::new(LeakageWeights::cortex_a7()),
+            accumulated: vec![Vec::new(); components],
+            samples: Vec::new(),
+            cropped: Vec::new(),
+            channels: vec![Vec::new(); components],
+        }
+    }
+}
+
 impl Mergeable for CharzSink {
     fn merge(&mut self, other: CharzSink) {
         for (row, theirs) in self.accs.iter_mut().zip(&other.accs) {
@@ -108,18 +138,24 @@ impl Mergeable for CharzSink {
 ///
 /// # Errors
 ///
-/// Propagates simulator faults.
+/// Propagates simulator faults, and window misconfiguration as
+/// [`TargetError::Window`].
 pub fn characterize_target(
     target: &dyn CipherTarget,
     cpu: &Cpu,
     models: &[TargetModel],
     config: &TargetCampaignConfig,
     confidence: f64,
-) -> Result<Vec<TargetCharacterization>, UarchError> {
+) -> Result<Vec<TargetCharacterization>, TargetError> {
     let window = resolve_window(target, cpu, &target.primary_window())?;
-    let (start, len) = (
-        window.trigger_relative.0 as usize,
-        window.trigger_relative.1 as usize,
+    // The characterization records per-cycle power (one sample per
+    // cycle), so the shared end-exclusive conversion is the identity
+    // here — but it keeps this crop on the same rounding contract as
+    // the campaign engine's sample-rate expansion.
+    let (start, len) = sca_power::cycle_window_to_samples(
+        1.0,
+        window.trigger_relative.0,
+        window.trigger_relative.1,
     );
 
     let plan = ShardPlan {
@@ -133,7 +169,7 @@ pub fn characterize_target(
     let executions = config.executions_per_trace.max(1);
     let sink = run_sharded(
         &plan,
-        || cpu.clone(),
+        || CharzWorker::new(cpu, CHARZ_COMPONENTS.len()),
         || CharzSink {
             accs: models
                 .iter()
@@ -145,35 +181,45 @@ pub fn characterize_target(
                 })
                 .collect(),
         },
-        |worker_cpu, sink, range| {
+        |worker, sink, range| {
             for t in range {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
                 let input = target.generate(&mut rng, t);
-                let mut accumulated: Vec<Vec<f64>> = vec![vec![0.0; len]; CHARZ_COMPONENTS.len()];
+                for channel in &mut worker.accumulated {
+                    channel.clear();
+                    channel.resize(len, 0.0);
+                }
                 for e in 0..executions {
-                    worker_cpu.restart_seeded(entry, seed ^ ((t as u64) << 8 | e as u64));
-                    target.stage(worker_cpu, &input);
-                    let mut rec = ComponentPowerRecorder::new(LeakageWeights::cortex_a7());
-                    worker_cpu.run(&mut rec)?;
+                    worker
+                        .cpu
+                        .restart_seeded(entry, seed ^ ((t as u64) << 8 | e as u64));
+                    target.stage(&mut worker.cpu, &input);
+                    worker.recorder.reset();
+                    worker.cpu.run(&mut worker.recorder)?;
                     let mut gauss = noise;
                     for (c, &kind) in CHARZ_COMPONENTS.iter().enumerate() {
-                        let mut samples = rec.windowed_power(kind);
-                        samples.resize(start + len, 0.0);
-                        let mut cropped = samples[start..start + len].to_vec();
-                        gauss.add_to(&mut rng, &mut cropped);
-                        for (a, s) in accumulated[c].iter_mut().zip(&cropped) {
+                        worker
+                            .recorder
+                            .windowed_power_into(kind, &mut worker.samples);
+                        worker.samples.resize(start + len, 0.0);
+                        worker.cropped.clear();
+                        worker
+                            .cropped
+                            .extend_from_slice(&worker.samples[start..start + len]);
+                        gauss.add_to(&mut rng, &mut worker.cropped);
+                        for (a, s) in worker.accumulated[c].iter_mut().zip(&worker.cropped) {
                             *a += s;
                         }
                     }
                 }
                 let inv = 1.0 / executions as f64;
-                let channels: Vec<Vec<f32>> = accumulated
-                    .iter()
-                    .map(|channel| channel.iter().map(|&s| (s * inv) as f32).collect())
-                    .collect();
+                for (channel, accumulated) in worker.channels.iter_mut().zip(&worker.accumulated) {
+                    channel.clear();
+                    channel.extend(accumulated.iter().map(|&s| (s * inv) as f32));
+                }
                 for (model, row) in models.iter().zip(&mut sink.accs) {
                     let prediction = model.predict_true(&input);
-                    for (acc, channel) in row.iter_mut().zip(&channels) {
+                    for (acc, channel) in row.iter_mut().zip(&worker.channels) {
                         acc.add(prediction, channel);
                     }
                 }

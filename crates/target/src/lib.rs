@@ -35,6 +35,7 @@
 mod aes;
 mod campaign;
 mod charz;
+mod error;
 mod present;
 mod registry;
 mod speck;
@@ -46,6 +47,7 @@ pub use campaign::{CpaVerdict, TargetCampaign, TargetCampaignConfig, TvlaVerdict
 pub use charz::{
     characterize_target, NodeCharacterization, TargetCharacterization, CHARZ_COMPONENTS,
 };
+pub use error::{TargetError, WindowError};
 pub use present::{
     present80_program, present_encrypt, present_encrypt_u64, present_p_layer, present_round_keys,
     present_sp_table, present_spread_tables, PresentSboxHw, PresentSim, PresentStoreHd,

@@ -18,7 +18,7 @@
 //!   shaped exactly like the AES Figure 3/4 pair but over the combined
 //!   nibble S-box.
 
-use sca_isa::{assemble, Program};
+use sca_isa::Program;
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use sca_analysis::SelectionFunction;
@@ -192,14 +192,16 @@ pub fn present_spread_tables() -> ([u32; 256], [u32; 256]) {
     (lo, hi)
 }
 
-/// Assembles the PRESENT-80 program.
+/// Assembles the PRESENT-80 program (memoized: assembled once per
+/// process, then cloned).
 ///
 /// # Errors
 ///
 /// Propagates assembler errors (which would indicate a packaging bug, as
 /// the source is embedded).
 pub fn present80_program() -> Result<Program, sca_isa::IsaError> {
-    assemble(PRESENT80_ASM)
+    static CACHE: std::sync::OnceLock<Program> = std::sync::OnceLock::new();
+    sca_isa::assemble_cached(PRESENT80_ASM, &CACHE)
 }
 
 /// A PRESENT-80 instance running on the simulated superscalar CPU.

@@ -17,7 +17,7 @@
 //!   the consecutive-store sequence the HD model targets;
 //! * the two attack models ([`SpeckLastRoundHw`], [`SpeckStoreHd`]).
 
-use sca_isa::{assemble, Program};
+use sca_isa::Program;
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use sca_analysis::SelectionFunction;
@@ -165,14 +165,16 @@ impl SelectionFunction for SpeckStoreHd {
     }
 }
 
-/// Assembles the SPECK64/128 program.
+/// Assembles the SPECK64/128 program (memoized: assembled once per
+/// process, then cloned).
 ///
 /// # Errors
 ///
 /// Propagates assembler errors (which would indicate a packaging bug, as
 /// the source is embedded).
 pub fn speck64128_program() -> Result<Program, sca_isa::IsaError> {
-    assemble(SPECK64128_ASM)
+    static CACHE: std::sync::OnceLock<Program> = std::sync::OnceLock::new();
+    sca_isa::assemble_cached(SPECK64128_ASM, &CACHE)
 }
 
 /// A SPECK64/128 instance running on the simulated superscalar CPU.

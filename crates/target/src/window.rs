@@ -1,9 +1,9 @@
 //! Resolving symbol-level [`WindowHint`]s into cycle windows.
 
 use sca_isa::Insn;
-use sca_uarch::{Cpu, PipelineObserver, UarchError};
+use sca_uarch::{Cpu, PipelineObserver};
 
-use crate::{CipherTarget, SymbolVisit, WindowHint};
+use crate::{CipherTarget, SymbolVisit, TargetError, WindowError, WindowHint};
 
 /// A hint resolved against one probe execution.
 #[derive(Clone, Copy, Debug)]
@@ -36,24 +36,29 @@ impl PipelineObserver for RetireProbe {
     }
 }
 
-fn nth_visit(target: &dyn CipherTarget, probe: &RetireProbe, t0: u64, at: &SymbolVisit) -> u64 {
+fn nth_visit(
+    target: &dyn CipherTarget,
+    probe: &RetireProbe,
+    t0: u64,
+    at: &SymbolVisit,
+) -> Result<u64, WindowError> {
     let addr = target
         .program()
         .symbol(&at.symbol)
-        .unwrap_or_else(|| panic!("no '{}' symbol in {}", at.symbol, target.name()));
+        .ok_or_else(|| WindowError::MissingSymbol {
+            target: target.name().to_owned(),
+            symbol: at.symbol.clone(),
+        })?;
     probe
         .retirements
         .iter()
         .filter(|&&(cycle, a)| a == addr && cycle >= t0)
         .nth(at.visit)
         .map(|&(cycle, _)| cycle - t0)
-        .unwrap_or_else(|| {
-            panic!(
-                "fewer than {} visits to '{}' in {}",
-                at.visit + 1,
-                at.symbol,
-                target.name()
-            )
+        .ok_or_else(|| WindowError::MissingVisit {
+            target: target.name().to_owned(),
+            symbol: at.symbol.clone(),
+            visit: at.visit,
         })
 }
 
@@ -63,17 +68,16 @@ fn nth_visit(target: &dyn CipherTarget, probe: &RetireProbe, t0: u64, at: &Symbo
 ///
 /// # Errors
 ///
-/// Propagates simulator faults.
-///
-/// # Panics
-///
-/// Panics when the hint names a symbol the program lacks or a visit
-/// that never happens — a packaging bug in the target definition.
+/// Propagates simulator faults as [`TargetError::Uarch`]; a hint naming
+/// a symbol the program lacks, a visit that never happens, a probe run
+/// without a trigger, or an empty resolved span — all packaging bugs in
+/// the target definition — surface as [`TargetError::Window`] naming
+/// the misconfigured target instead of aborting the campaign.
 pub fn resolve_window(
     target: &dyn CipherTarget,
     cpu: &Cpu,
     hint: &WindowHint,
-) -> Result<ResolvedWindow, UarchError> {
+) -> Result<ResolvedWindow, TargetError> {
     use rand::SeedableRng;
     let mut probe_cpu = cpu.clone();
     probe_cpu.restart(target.program().entry());
@@ -81,16 +85,21 @@ pub fn resolve_window(
     target.stage(&mut probe_cpu, &input);
     let mut probe = RetireProbe::default();
     probe_cpu.run(&mut probe)?;
-    let t0 = probe
-        .start
-        .unwrap_or_else(|| panic!("no trigger in a {} run", target.name()));
+    let t0 = probe.start.ok_or_else(|| WindowError::NoTrigger {
+        target: target.name().to_owned(),
+    })?;
 
     let start = match &hint.start {
-        Some(at) => nth_visit(target, &probe, t0, at).saturating_sub(hint.lead),
+        Some(at) => nth_visit(target, &probe, t0, at)?.saturating_sub(hint.lead),
         None => 0,
     };
-    let end = nth_visit(target, &probe, t0, &hint.end) + hint.tail;
-    assert!(end > start, "window hint resolves to an empty window");
+    let end = nth_visit(target, &probe, t0, &hint.end)? + hint.tail;
+    if end <= start {
+        return Err(WindowError::Empty {
+            target: target.name().to_owned(),
+        }
+        .into());
+    }
     Ok(ResolvedWindow {
         trigger_relative: (start, end - start),
         absolute: (t0 + start, t0 + end),

@@ -1,0 +1,65 @@
+//! Misconfigured window hints must surface as typed [`WindowError`]s
+//! naming the target — not as panics that abort a portfolio run
+//! mid-campaign.
+
+use sca_target::{resolve_window, CipherTarget, SpeckTarget, TargetError, WindowError, WindowHint};
+use sca_uarch::UarchConfig;
+
+fn built_speck() -> (SpeckTarget, sca_uarch::Cpu) {
+    let target = SpeckTarget::default();
+    let cpu = target
+        .build(&UarchConfig::cortex_a7().with_ideal_memory())
+        .expect("target builds");
+    (target, cpu)
+}
+
+#[test]
+fn missing_symbol_is_a_typed_error() {
+    let (target, cpu) = built_speck();
+    let hint = WindowHint::from_trigger("no_such_label", 0, 4);
+    match resolve_window(&target, &cpu, &hint) {
+        Err(TargetError::Window(WindowError::MissingSymbol {
+            target: name,
+            symbol,
+        })) => {
+            assert_eq!(name, target.name());
+            assert_eq!(symbol, "no_such_label");
+        }
+        other => panic!("expected a MissingSymbol window error, got {other:?}"),
+    }
+}
+
+#[test]
+fn impossible_visit_count_is_a_typed_error() {
+    let (target, cpu) = built_speck();
+    // The primary window's end symbol exists, but nothing retires a
+    // million times.
+    let mut hint = target.primary_window();
+    hint.end.visit = 1_000_000;
+    match resolve_window(&target, &cpu, &hint) {
+        Err(TargetError::Window(WindowError::MissingVisit { target: name, .. })) => {
+            assert_eq!(name, target.name());
+        }
+        other => panic!("expected a MissingVisit window error, got {other:?}"),
+    }
+}
+
+#[test]
+fn window_errors_render_the_target_name() {
+    let (target, cpu) = built_speck();
+    let hint = WindowHint::from_trigger("nowhere", 0, 0);
+    let error = resolve_window(&target, &cpu, &hint).unwrap_err();
+    let text = error.to_string();
+    assert!(
+        text.contains(target.name()) && text.contains("nowhere"),
+        "error must say which target is misconfigured: {text}"
+    );
+}
+
+#[test]
+fn well_formed_hints_still_resolve() {
+    let (target, cpu) = built_speck();
+    let window = resolve_window(&target, &cpu, &target.primary_window()).expect("resolves");
+    assert!(window.trigger_relative.1 > 0);
+    assert!(window.absolute.1 > window.absolute.0);
+}

@@ -31,6 +31,13 @@ pub struct Cache {
     sets: Vec<CacheSet>,
     hits: u64,
     misses: u64,
+    /// Cached geometry: `config.sets()`, so the per-access address split
+    /// does not re-derive it (two divisions) on the hot path.
+    set_count: u32,
+    /// `log2(line_size)` when the line size is a power of two.
+    line_shift: Option<u32>,
+    /// `log2(set_count)` when the set count is a power of two.
+    set_shift: Option<u32>,
 }
 
 impl Cache {
@@ -41,19 +48,35 @@ impl Cache {
                 lines: Vec::with_capacity(config.ways as usize),
             })
             .collect();
+        let set_count = config.sets();
         Cache {
-            config,
             sets,
             hits: 0,
             misses: 0,
+            set_count,
+            line_shift: config
+                .line_size
+                .is_power_of_two()
+                .then(|| config.line_size.trailing_zeros()),
+            set_shift: set_count
+                .is_power_of_two()
+                .then(|| set_count.trailing_zeros()),
+            config,
         }
     }
 
+    #[inline]
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
-        let line = addr / self.config.line_size;
-        let index = (line % self.config.sets()) as usize;
-        let tag = line / self.config.sets();
-        (index, tag)
+        // All modeled geometries are powers of two, turning the address
+        // split into shifts/masks; odd geometries fall back to division.
+        let line = match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.config.line_size,
+        };
+        match self.set_shift {
+            Some(shift) => ((line & (self.set_count - 1)) as usize, line >> shift),
+            None => ((line % self.set_count) as usize, line / self.set_count),
+        }
     }
 
     /// Performs an access, updating LRU state and allocating on miss.
@@ -62,8 +85,12 @@ impl Cache {
         let (index, tag) = self.index_and_tag(addr);
         let set = &mut self.sets[index];
         if let Some(pos) = set.lines.iter().position(|&t| t == tag) {
-            let tag = set.lines.remove(pos);
-            set.lines.insert(0, tag);
+            // Hot path: sequential code and warm data hit the MRU line
+            // almost every access, so only rotate when the hit is not
+            // already at the front.
+            if pos != 0 {
+                set.lines[..=pos].rotate_right(1);
+            }
             self.hits += 1;
             CacheAccess {
                 hit: true,

@@ -17,7 +17,7 @@
 //! from Figure 2 of the paper is a tracked [`Node`] whose transitions are
 //! streamed to a [`PipelineObserver`].
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use sca_isa::{
     apply_shift, decode, eval_dp, eval_mul, Flags, Insn, InsnClass, InsnKind, MemDir, MemMultiMode,
@@ -63,6 +63,102 @@ struct PendingEvent {
     precharged: bool,
 }
 
+/// The future-event queue: one slot of pending node assertions per
+/// upcoming cycle, kept as a ring so the hot `schedule`/`drain` pair
+/// never touches an ordered map. Slot vectors are recycled through a
+/// small pool — after the first few traces of a campaign the queue runs
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+struct EventQueue {
+    /// `slots[i]` holds the events for cycle `base + i`, in scheduling
+    /// order (the order observers must see them in).
+    slots: VecDeque<Vec<PendingEvent>>,
+    /// Cycle the front slot corresponds to.
+    base: u64,
+    /// Drained slot vectors awaiting reuse.
+    pool: Vec<Vec<PendingEvent>>,
+}
+
+impl EventQueue {
+    /// Empties the queue (keeping slot capacity for reuse) and re-bases
+    /// it at cycle zero.
+    fn clear(&mut self) {
+        while let Some(mut slot) = self.slots.pop_front() {
+            slot.clear();
+            self.pool.push(slot);
+        }
+        self.base = 0;
+    }
+
+    /// Appends an event at cycle `at` (which must not be in the past —
+    /// the pipeline only schedules into future cycles).
+    fn push(&mut self, at: u64, event: PendingEvent) {
+        debug_assert!(at >= self.base, "scheduling into the past");
+        let index = (at - self.base) as usize;
+        while self.slots.len() <= index {
+            self.slots.push_back(self.pool.pop().unwrap_or_default());
+        }
+        self.slots[index].push(event);
+    }
+
+    /// Removes and returns the events due at `cycle`, advancing the ring
+    /// past it. Returns `None` when the cycle has no events; the slot
+    /// vector must be handed back through [`EventQueue::recycle`].
+    fn drain(&mut self, cycle: u64) -> Option<Vec<PendingEvent>> {
+        while self.base < cycle {
+            if let Some(mut slot) = self.slots.pop_front() {
+                debug_assert!(slot.is_empty(), "skipped a cycle with pending events");
+                slot.clear();
+                self.pool.push(slot);
+            }
+            self.base += 1;
+        }
+        if self.base == cycle {
+            if let Some(slot) = self.slots.pop_front() {
+                self.base += 1;
+                if slot.is_empty() {
+                    self.pool.push(slot);
+                    return None;
+                }
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Returns a drained slot vector to the reuse pool.
+    fn recycle(&mut self, mut slot: Vec<PendingEvent>) {
+        slot.clear();
+        self.pool.push(slot);
+    }
+}
+
+/// Operand-bus values gathered during one dispatch — at most three (the
+/// register file has three read ports), kept on the stack so the issue
+/// stage never allocates.
+#[derive(Clone, Copy, Default)]
+struct BusList {
+    values: [u32; 3],
+    len: usize,
+}
+
+impl BusList {
+    fn push(&mut self, value: u32) {
+        self.values[self.len] = value;
+        self.len += 1;
+    }
+
+    fn extend(&mut self, value: Option<u32>) {
+        if let Some(value) = value {
+            self.push(value);
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.values[..self.len]
+    }
+}
+
 /// The simulated CPU.
 ///
 /// ```
@@ -105,7 +201,7 @@ pub struct Cpu {
     reg_ready: [u64; 16],
     flags_ready: u64,
     retire_queue: VecDeque<RetireEntry>,
-    pending: BTreeMap<u64, Vec<PendingEvent>>,
+    pending: EventQueue,
     /// Monotonic restart counter seeding the node-state scramble.
     restart_seq: u64,
 }
@@ -135,7 +231,7 @@ impl Cpu {
             reg_ready: [0; 16],
             flags_ready: 0,
             retire_queue: VecDeque::new(),
-            pending: BTreeMap::new(),
+            pending: EventQueue::default(),
             restart_seq: 0,
         }
     }
@@ -183,6 +279,16 @@ impl Cpu {
     /// restarts this particular `Cpu` instance has seen (acquisition
     /// pipelines derive the seed from the trace/execution index so that
     /// worker threading cannot change results).
+    ///
+    /// This is the per-execution *reset* of the trace-generation fast
+    /// path: a campaign worker's `SimArena` keeps one staged `Cpu` for
+    /// its whole index range and calls this between executions instead
+    /// of re-constructing and re-loading a simulator. The reset is
+    /// deliberately cheap — fixed-size node/pipeline state is
+    /// overwritten in place and the event queue recycles its slot
+    /// storage, so nothing here allocates once the arena is warm —
+    /// while register values, memory contents and cache state persist
+    /// exactly as they do across executions on silicon.
     pub fn restart_seeded(&mut self, entry: u32, scramble_seed: u64) {
         self.pc = entry;
         self.halted = false;
@@ -277,8 +383,8 @@ impl Cpu {
     pub fn step(&mut self, observer: &mut dyn PipelineObserver) -> Result<(), UarchError> {
         let cycle = self.cycle;
         observer.begin_cycle(cycle);
-        if let Some(events) = self.pending.remove(&cycle) {
-            for ev in events {
+        if let Some(events) = self.pending.drain(cycle) {
+            for ev in &events {
                 let event = if ev.precharged {
                     self.nodes.assert_precharged(cycle, ev.node, ev.value)
                 } else {
@@ -286,6 +392,7 @@ impl Cpu {
                 };
                 observer.node_event(event);
             }
+            self.pending.recycle(events);
         }
         self.retire(observer);
         if !self.halted {
@@ -510,14 +617,14 @@ impl Cpu {
     }
 
     fn schedule(&mut self, at: u64, node: Node, value: u32, precharged: bool) {
-        self.pending
-            .entry(at.max(self.cycle + 1))
-            .or_default()
-            .push(PendingEvent {
+        self.pending.push(
+            at.max(self.cycle + 1),
+            PendingEvent {
                 node,
                 value,
                 precharged,
-            });
+            },
+        );
     }
 
     fn ready_cycle(&self, forward_at: u64) -> u64 {
@@ -608,29 +715,17 @@ impl Cpu {
                 let rn_val = rn.map(|r| self.operand(r, addr));
                 // Operand-2 evaluation through the immediate path or the
                 // barrel shifter.
-                let (op2_val, shifter_carry, shifted, bus_values) = match op2 {
-                    Operand2::Imm(v) => {
-                        let mut buses = Vec::new();
-                        if let Some(rn_val) = rn_val {
-                            buses.push(rn_val);
-                        }
-                        (v, self.flags.c, false, buses)
-                    }
+                let mut buses = BusList::default();
+                buses.extend(rn_val);
+                let (op2_val, shifter_carry, shifted) = match op2 {
+                    Operand2::Imm(v) => (v, self.flags.c, false),
                     Operand2::Reg(rm) => {
                         let rm_val = self.operand(rm, addr);
-                        let mut buses = Vec::new();
-                        if let Some(rn_val) = rn_val {
-                            buses.push(rn_val);
-                        }
                         buses.push(rm_val);
-                        (rm_val, self.flags.c, false, buses)
+                        (rm_val, self.flags.c, false)
                     }
                     Operand2::ShiftedReg { rm, kind, amount } => {
                         let rm_val = self.operand(rm, addr);
-                        let mut buses = Vec::new();
-                        if let Some(rn_val) = rn_val {
-                            buses.push(rn_val);
-                        }
                         buses.push(rm_val);
                         let amount_val = match amount {
                             ShiftAmount::Imm(n) => u32::from(n),
@@ -641,10 +736,10 @@ impl Cpu {
                             }
                         };
                         let out = apply_shift(kind, rm_val, amount_val, self.flags.c);
-                        (out.value, out.carry, true, buses)
+                        (out.value, out.carry, true)
                     }
                 };
-                self.drive_operand_buses(observer, &bus_values, bus_base);
+                self.drive_operand_buses(observer, buses.as_slice(), bus_base);
 
                 let pipe = if shifted { Pipe::Alu0 } else { preferred_pipe };
                 let latency = if shifted {
@@ -710,9 +805,11 @@ impl Cpu {
                 let rm_val = self.operand(rm, addr);
                 let rs_val = self.operand(rs, addr);
                 let ra_val = ra.map(|r| self.operand(r, addr));
-                let mut buses = vec![rm_val, rs_val];
+                let mut buses = BusList::default();
+                buses.push(rm_val);
+                buses.push(rs_val);
                 buses.extend(ra_val);
-                self.drive_operand_buses(observer, &buses, bus_base);
+                self.drive_operand_buses(observer, buses.as_slice(), bus_base);
                 let latency = self.config.mul_latency;
                 if cond_pass {
                     self.latch_is_ex(Pipe::Alu0, &[Some(rm_val), Some(rs_val)]);
@@ -773,7 +870,8 @@ impl Cpu {
                 };
 
                 // Buses: base, then offset register, then store data.
-                let mut buses = vec![base_val];
+                let mut buses = BusList::default();
+                buses.push(base_val);
                 buses.extend(offset_bus);
                 let data_val = if dir == MemDir::Store {
                     Some(self.operand(rd, addr))
@@ -781,7 +879,7 @@ impl Cpu {
                     None
                 };
                 buses.extend(data_val);
-                self.drive_operand_buses(observer, &buses, bus_base);
+                self.drive_operand_buses(observer, buses.as_slice(), bus_base);
 
                 if !cond_pass {
                     self.push_retire(

@@ -114,6 +114,49 @@ pub enum Node {
 }
 
 impl Node {
+    /// Number of distinct trackable nodes (the dense index space of
+    /// [`Node::dense_index`]).
+    pub const COUNT: usize = 35;
+
+    /// Dense storage index, enumerating the node set in the same order
+    /// as the derived `Ord` (the order [`NodeState::scramble`] has always
+    /// walked the nodes in — the scrambled stale values each node
+    /// receives are pinned by the verdict-regression tests, so this
+    /// enumeration must never change).
+    ///
+    /// # Panics
+    ///
+    /// Panics for bus/port/slot indices ≥ 4 — no modeled configuration
+    /// reaches them (the A7 has 3 operand buses, 2 write-back buses and
+    /// fetch width 2), and silently widening the set would shift every
+    /// node's scramble stream.
+    #[inline(always)]
+    pub fn dense_index(self) -> usize {
+        #[cold]
+        #[inline(never)]
+        fn out_of_range() -> ! {
+            panic!("node index out of the tracked set");
+        }
+        let sub = |i: usize, width: usize| {
+            if i >= width {
+                out_of_range();
+            }
+            i
+        };
+        match self {
+            Node::RfRead(i) => sub(i as usize, 4),
+            Node::OperandBus(i) => 4 + sub(i as usize, 4),
+            Node::IsExOp { pipe, slot } => 8 + pipe.index() * 2 + sub(slot as usize, 2),
+            Node::ShiftBuf => 16,
+            Node::AluOut(p) => 17 + p.index(),
+            Node::ExWbBuf(p) => 21 + p.index(),
+            Node::WbBus(i) => 25 + sub(i as usize, 4),
+            Node::Mdr => 29,
+            Node::AlignBuf => 30,
+            Node::FetchWord(i) => 31 + sub(i as usize, 4),
+        }
+    }
+
     /// The coarse component this node belongs to, used for weight lookup
     /// and for grouping in characterization reports (the columns of
     /// Table 2).
@@ -242,9 +285,22 @@ impl NodeEvent {
 
 /// Tracks the current value of every node and emits [`NodeEvent`]s on
 /// change.
-#[derive(Clone, Debug, Default)]
+///
+/// Storage is a flat array indexed by [`Node::dense_index`] — this sits
+/// on the hottest path of the whole simulator (every pipeline stage
+/// asserts nodes every cycle, millions of times per campaign), and the
+/// dense index enumerates the node set in exactly the `Ord` order the
+/// previous tree-map storage iterated in, so [`NodeState::scramble`]
+/// assigns every node the same stale value it always has.
+#[derive(Clone, Debug)]
 pub struct NodeState {
-    values: std::collections::BTreeMap<Node, u32>,
+    values: [u32; Node::COUNT],
+}
+
+impl Default for NodeState {
+    fn default() -> NodeState {
+        NodeState::new()
+    }
 }
 
 impl NodeState {
@@ -254,29 +310,14 @@ impl NodeState {
     /// acts on the same set regardless of execution history — cloned CPUs
     /// and long-running CPUs must behave identically.
     pub fn new() -> NodeState {
-        let mut values = std::collections::BTreeMap::new();
-        for i in 0..4u8 {
-            values.insert(Node::RfRead(i), 0);
-            values.insert(Node::OperandBus(i), 0);
-            values.insert(Node::WbBus(i), 0);
-            values.insert(Node::FetchWord(i), 0);
+        NodeState {
+            values: [0; Node::COUNT],
         }
-        for pipe in Pipe::ALL {
-            for slot in 0..2u8 {
-                values.insert(Node::IsExOp { pipe, slot }, 0);
-            }
-            values.insert(Node::AluOut(pipe), 0);
-            values.insert(Node::ExWbBuf(pipe), 0);
-        }
-        values.insert(Node::ShiftBuf, 0);
-        values.insert(Node::Mdr, 0);
-        values.insert(Node::AlignBuf, 0);
-        NodeState { values }
     }
 
     /// Current value of a node (zero if never asserted).
     pub fn value(&self, node: Node) -> u32 {
-        self.values.get(&node).copied().unwrap_or(0)
+        self.values[node.dense_index()]
     }
 
     /// Asserts `value` on `node`, returning the transition event.
@@ -285,8 +326,10 @@ impl NodeState {
     /// to observers; identical-value assertions still produce an event
     /// with `before == after` (zero Hamming distance), because downstream
     /// statistics need to know the node was *driven* this cycle.
+    #[inline]
     pub fn assert(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
-        let before = self.values.insert(node, value).unwrap_or(0);
+        let slot = &mut self.values[node.dense_index()];
+        let before = std::mem::replace(slot, value);
         NodeEvent {
             cycle,
             node,
@@ -298,8 +341,9 @@ impl NodeState {
     /// Asserts a value on a zero-precharged node: the transition is always
     /// measured from zero, and the stored value returns to zero afterwards
     /// (so the next assertion is again measured from zero).
+    #[inline]
     pub fn assert_precharged(&mut self, cycle: u64, node: Node, value: u32) -> NodeEvent {
-        self.values.insert(node, 0);
+        self.values[node.dense_index()] = 0;
         NodeEvent {
             cycle,
             node,
@@ -311,7 +355,7 @@ impl NodeState {
     /// Resets every node to zero (used between independent benchmark
     /// runs).
     pub fn reset(&mut self) {
-        self.values.clear();
+        self.values = [0; Node::COUNT];
     }
 
     /// Scrambles every tracked node to a pseudorandom value derived from
@@ -323,7 +367,7 @@ impl NodeState {
     /// paper does not observe. Scrambling models the "unknown stale
     /// value" state while keeping runs deterministic.
     pub fn scramble(&mut self, seed: u64) {
-        for (i, value) in self.values.values_mut().enumerate() {
+        for (i, value) in self.values.iter_mut().enumerate() {
             let mut z = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -436,5 +480,57 @@ mod tests {
         state.assert(0, Node::Mdr, 0xdead);
         state.reset();
         assert_eq!(state.value(Node::Mdr), 0);
+    }
+
+    /// Every tracked node, in `Ord` order — the enumeration the scramble
+    /// streams are keyed by.
+    fn all_nodes_in_ord_order() -> Vec<Node> {
+        let mut nodes = Vec::new();
+        for i in 0..4u8 {
+            nodes.push(Node::RfRead(i));
+            nodes.push(Node::OperandBus(i));
+            nodes.push(Node::WbBus(i));
+            nodes.push(Node::FetchWord(i));
+        }
+        for pipe in Pipe::ALL {
+            for slot in 0..2u8 {
+                nodes.push(Node::IsExOp { pipe, slot });
+            }
+            nodes.push(Node::AluOut(pipe));
+            nodes.push(Node::ExWbBuf(pipe));
+        }
+        nodes.push(Node::ShiftBuf);
+        nodes.push(Node::Mdr);
+        nodes.push(Node::AlignBuf);
+        nodes.sort();
+        nodes
+    }
+
+    /// The dense index must enumerate nodes in exactly the derived-`Ord`
+    /// order the old tree-map storage iterated in: the per-node scramble
+    /// stream is `SplitMix64(seed, enumeration index)`, and the stale
+    /// values it produces are baked into every pinned verdict.
+    #[test]
+    fn dense_index_matches_ord_enumeration() {
+        let nodes = all_nodes_in_ord_order();
+        assert_eq!(nodes.len(), Node::COUNT);
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.dense_index(), i, "{node}");
+        }
+    }
+
+    #[test]
+    fn scramble_streams_are_keyed_by_ord_position() {
+        let mut state = NodeState::new();
+        state.scramble(0xfeed);
+        let splitmix = |seed: u64, i: u64| {
+            let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as u32
+        };
+        for (i, node) in all_nodes_in_ord_order().into_iter().enumerate() {
+            assert_eq!(state.value(node), splitmix(0xfeed, i as u64), "{node}");
+        }
     }
 }

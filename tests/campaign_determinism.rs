@@ -136,6 +136,93 @@ fn batch_size_never_changes_results() {
     }
 }
 
+/// Non-divisor batches — including a batch larger than the campaign
+/// (`items + 1`) — must be bit-identical to the canonical batch size:
+/// batches only bound how much transient trace data a worker buffers,
+/// and shard boundaries are deliberately independent of them. The
+/// property holds at every thread count, not just serially.
+#[test]
+fn non_divisor_batches_are_bit_identical() {
+    let items = 60; // campaign_config's trace count
+    for threads in [1usize, 3, 4] {
+        let reference = run_campaign(threads, 64);
+        for batch in [1usize, 7, 64, items + 1] {
+            let other = run_campaign(threads, batch);
+            assert_eq!(reference.best_guess(), other.best_guess());
+            for g in 0..256 {
+                assert_eq!(
+                    reference.series(g),
+                    other.series(g),
+                    "threads {threads} batch {batch} guess {g}"
+                );
+            }
+        }
+    }
+}
+
+/// The arena fast path (one reused CPU, recorder and scratch buffer per
+/// worker) must produce byte-identical traces to a fresh simulator
+/// state per trace: a trace is a pure function of `(seed, index)`, no
+/// matter how many traces the arena's buffers have already been
+/// through — and no matter in which order the indices are visited.
+#[test]
+fn arena_reuse_is_byte_identical_to_fresh_simulators() {
+    use superscalar_sca::campaign::SimArena;
+
+    let (cpu, entry) = fixture();
+    let config = campaign_config(1, 64);
+    let synth = TraceSynthesizer::new(
+        LeakageWeights::cortex_a7(),
+        AcquisitionConfig {
+            traces: config.traces,
+            executions_per_trace: config.executions_per_trace,
+            sampling: config.sampling,
+            noise: config.noise,
+            seed: config.seed,
+            threads: 1,
+        },
+    );
+    let post = |_: &mut rand::rngs::StdRng, _: &mut Vec<f64>| {};
+
+    // One arena, reused across every trace — including a revisit of
+    // index 0 after the buffers are thoroughly warm.
+    let mut arena = SimArena::new(&synth, &cpu);
+    let indices: Vec<usize> = (0..24).chain([0, 7, 23]).collect();
+    for &index in &indices {
+        let (arena_trace, arena_input) = {
+            let (trace, input) = arena
+                .synthesize(&synth, entry, index, &generate, &stage, &post)
+                .expect("arena synthesizes");
+            (trace.to_vec(), input)
+        };
+        // Fresh per-trace state, exactly like the pre-arena engine.
+        let mut fresh_cpu = cpu.clone();
+        let (fresh_trace, fresh_input) = synth
+            .synthesize_trace(&mut fresh_cpu, entry, index, &generate, &stage, &post)
+            .expect("fresh synthesizes");
+        assert_eq!(arena_input, fresh_input, "index {index}");
+        assert_eq!(arena_trace, fresh_trace, "index {index}");
+    }
+}
+
+/// An empty campaign (zero traces) returns the identity-merged sink —
+/// no worker runs, nothing panics — at any thread count.
+#[test]
+fn empty_campaign_returns_the_empty_sink() {
+    let (cpu, entry) = fixture();
+    for threads in [1usize, 4] {
+        let mut config = campaign_config(threads, 64);
+        config.traces = 0;
+        let sink = Campaign::new(LeakageWeights::cortex_a7(), config)
+            .run(&cpu, entry, generate, stage, |samples| {
+                CpaSink::new(model(), 256, samples)
+            })
+            .expect("empty campaign runs");
+        assert!(sink.is_empty(), "threads {threads}");
+        assert_eq!(sink.len(), 0);
+    }
+}
+
 #[test]
 fn thread_count_preserves_verdicts_and_correlations() {
     let serial = run_campaign(1, 16);
