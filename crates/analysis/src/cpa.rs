@@ -343,6 +343,46 @@ impl CpaAccumulator {
         add(&mut self.sum_xy, &other.sum_xy);
     }
 
+    /// Appends this accumulator's exact state (bit patterns, not
+    /// decimal) to a checkpoint snapshot.
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        let mut w = crate::StateWriter::new(out);
+        w.tag(b"CPAS");
+        w.u64(self.guesses as u64);
+        w.u64(self.samples as u64);
+        w.u64(self.n);
+        w.f64_slice(&self.sum_x);
+        w.f64_slice(&self.sum_xx);
+        w.f64_slice(&self.sum_y);
+        w.f64_slice(&self.sum_yy);
+        w.f64_slice(&self.sum_xy);
+    }
+
+    /// Restores state written by [`write_state`](Self::write_state) into
+    /// an accumulator of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, a foreign frame tag, or a geometry mismatch.
+    pub fn load_state(&mut self, r: &mut crate::StateReader<'_>) -> Result<(), crate::StateError> {
+        r.expect_tag(b"CPAS")?;
+        let guesses = r.u64()?;
+        let samples = r.u64()?;
+        if guesses != self.guesses as u64 || samples != self.samples as u64 {
+            return Err(crate::StateError::new(format!(
+                "CPA snapshot is {guesses} x {samples}, accumulator is {} x {}",
+                self.guesses, self.samples
+            )));
+        }
+        self.n = r.u64()?;
+        r.f64_into(&mut self.sum_x)?;
+        r.f64_into(&mut self.sum_xx)?;
+        r.f64_into(&mut self.sum_y)?;
+        r.f64_into(&mut self.sum_yy)?;
+        r.f64_into(&mut self.sum_xy)?;
+        Ok(())
+    }
+
     /// Extracts the correlation matrix (same formula, in the same
     /// evaluation order, as [`PearsonAccumulator::correlations`]).
     pub fn finish(&self) -> CpaResult {

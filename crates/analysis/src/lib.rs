@@ -18,7 +18,11 @@
 //!   same one-pass contract for TVLA-style assessments;
 //! * [`significance_threshold`] / [`distinguishing_confidence`] — the
 //!   paper's statistical criteria;
-//! * [`welch_t`] / [`snr`] — complementary leakage assessments.
+//! * [`welch_t`] / [`snr`] — complementary leakage assessments;
+//! * [`StateWriter`] / [`StateReader`] — exact bit-pattern snapshots of
+//!   accumulator state (`write_state`/`load_state` on every streaming
+//!   accumulator), the serialization layer under `sca-store`'s
+//!   checkpoint log.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +31,7 @@ mod cpa;
 mod metrics;
 mod models;
 mod pearson;
+mod snapshot;
 mod snr;
 mod stats;
 mod ttest;
@@ -35,6 +40,7 @@ pub use cpa::{cpa_attack, model_correlation, CpaAccumulator, CpaConfig, CpaResul
 pub use metrics::{rank_evolution, traces_to_rank0, RankPoint};
 pub use models::{hd32, hw32, hw8, input_word, FnSelection, InputModel, SelectionFunction};
 pub use pearson::{pearson, PearsonAccumulator};
+pub use snapshot::{StateError, StateReader, StateWriter};
 pub use snr::snr;
 pub use stats::{
     correlation_confidence, distinguishing_confidence, fisher_z, normal_cdf, normal_quantile,

@@ -115,6 +115,44 @@ impl PearsonAccumulator {
         }
     }
 
+    /// Appends this accumulator's exact state (bit patterns) to a
+    /// checkpoint snapshot.
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        let mut w = crate::StateWriter::new(out);
+        w.tag(b"PEAR");
+        w.u64(self.sum_y.len() as u64);
+        w.u64(self.n);
+        w.f64(self.sum_x);
+        w.f64(self.sum_xx);
+        w.f64_slice(&self.sum_y);
+        w.f64_slice(&self.sum_yy);
+        w.f64_slice(&self.sum_xy);
+    }
+
+    /// Restores state written by [`write_state`](Self::write_state) into
+    /// an accumulator of the same width.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, a foreign frame tag, or a width mismatch.
+    pub fn load_state(&mut self, r: &mut crate::StateReader<'_>) -> Result<(), crate::StateError> {
+        r.expect_tag(b"PEAR")?;
+        let samples = r.u64()?;
+        if samples != self.sum_y.len() as u64 {
+            return Err(crate::StateError::new(format!(
+                "Pearson snapshot has {samples} samples, accumulator has {}",
+                self.sum_y.len()
+            )));
+        }
+        self.n = r.u64()?;
+        self.sum_x = r.f64()?;
+        self.sum_xx = r.f64()?;
+        r.f64_into(&mut self.sum_y)?;
+        r.f64_into(&mut self.sum_yy)?;
+        r.f64_into(&mut self.sum_xy)?;
+        Ok(())
+    }
+
     /// Correlation at every sample point.
     pub fn correlations(&self) -> Vec<f64> {
         let n = self.n as f64;

@@ -1,0 +1,209 @@
+//! Exact binary snapshots of streaming accumulator state.
+//!
+//! Checkpointable campaigns serialize their sinks' accumulators and
+//! later restore them to the *bit-identical* floating-point state — a
+//! resumed campaign must produce the same verdict bytes as one that
+//! never stopped, so values round-trip through [`f64::to_bits`], never
+//! through decimal formatting. The vendored `serde` is marker-only (see
+//! `vendor/serde`), so the format here is self-contained little-endian,
+//! each accumulator framed by a 4-byte tag.
+
+use std::fmt;
+
+/// Why restoring a snapshot failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateError {
+    /// What went wrong, human-readable.
+    pub what: String,
+}
+
+impl StateError {
+    pub(crate) fn new(what: impl Into<String>) -> StateError {
+        StateError { what: what.into() }
+    }
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "accumulator state error: {}", self.what)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Little-endian writer for accumulator snapshots. Appends to a caller
+/// buffer so several accumulators can share one checkpoint record.
+#[derive(Debug)]
+pub struct StateWriter<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> StateWriter<'a> {
+    /// Wraps a buffer to append snapshot fields to.
+    pub fn new(out: &'a mut Vec<u8>) -> StateWriter<'a> {
+        StateWriter { out }
+    }
+
+    /// Writes a 4-byte frame tag.
+    pub fn tag(&mut self, tag: &[u8; 4]) {
+        self.out.extend_from_slice(tag);
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a slice of `f64`s (bit patterns, no length prefix — the
+    /// reader knows the geometry).
+    pub fn f64_slice(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Little-endian reader over a snapshot, tracking its position so
+/// composed states parse in sequence.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a snapshot buffer.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> StateReader<'a> {
+        StateReader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| StateError::new("truncated snapshot"))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// Consumes and checks a 4-byte frame tag.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a different tag (snapshot/sink mismatch).
+    pub fn expect_tag(&mut self, tag: &[u8; 4]) -> Result<(), StateError> {
+        let found = self.take(4)?;
+        if found != tag {
+            return Err(StateError::new(format!(
+                "expected frame {:?}, found {:?}",
+                String::from_utf8_lossy(tag),
+                String::from_utf8_lossy(found),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads `len` `f64` bit patterns into `out` (which must already
+    /// have length `len` — geometry comes from the accumulator).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn f64_into(&mut self, out: &mut [f64]) -> Result<(), StateError> {
+        for v in out.iter_mut() {
+            *v = self.f64()?;
+        }
+        Ok(())
+    }
+
+    /// Asserts the whole snapshot was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when trailing bytes remain (composed-state misparse).
+    pub fn finish(&self) -> Result<(), StateError> {
+        if self.at != self.bytes.len() {
+            return Err(StateError::new(format!(
+                "{} trailing snapshot bytes",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bit_patterns_round_trip() {
+        let values = [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0 / 3.0,
+            -f64::INFINITY,
+        ];
+        let mut buf = Vec::new();
+        let mut w = StateWriter::new(&mut buf);
+        w.tag(b"TEST");
+        w.u64(values.len() as u64);
+        w.f64_slice(&values);
+        let mut r = StateReader::new(&buf);
+        r.expect_tag(b"TEST").unwrap();
+        assert_eq!(r.u64().unwrap(), values.len() as u64);
+        let mut back = vec![0.0f64; values.len()];
+        r.f64_into(&mut back).unwrap();
+        r.finish().unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wrong_tag_truncation_and_trailing_bytes_fail() {
+        let mut buf = Vec::new();
+        let mut w = StateWriter::new(&mut buf);
+        w.tag(b"AAAA");
+        w.u64(7);
+        let mut r = StateReader::new(&buf);
+        assert!(r.expect_tag(b"BBBB").is_err());
+        let mut r = StateReader::new(&buf);
+        r.expect_tag(b"AAAA").unwrap();
+        assert!(r.finish().is_err(), "trailing bytes must be rejected");
+        r.u64().unwrap();
+        assert!(r.u64().is_err(), "truncation must be rejected");
+        r.finish().unwrap();
+    }
+}

@@ -118,6 +118,20 @@ impl Welford {
     fn variance(&self, i: usize) -> f64 {
         self.m2[i] / (self.n as f64 - 1.0)
     }
+
+    fn write_state(&self, out: &mut Vec<u8>) {
+        let mut w = crate::StateWriter::new(out);
+        w.u64(self.n);
+        w.f64_slice(&self.mean);
+        w.f64_slice(&self.m2);
+    }
+
+    fn load_state(&mut self, r: &mut crate::StateReader<'_>) -> Result<(), crate::StateError> {
+        self.n = r.u64()?;
+        r.f64_into(&mut self.mean)?;
+        r.f64_into(&mut self.m2)?;
+        Ok(())
+    }
 }
 
 /// Streaming Welch t-test: one-pass Welford statistics over the fixed
@@ -219,6 +233,36 @@ impl TtestAccumulator {
     /// Whether any sample's |t| crosses [`TVLA_THRESHOLD`].
     pub fn leaks(&self) -> bool {
         self.t_statistics().iter().any(|t| t.abs() > TVLA_THRESHOLD)
+    }
+
+    /// Appends this accumulator's exact state (bit patterns) to a
+    /// checkpoint snapshot.
+    pub fn write_state(&self, out: &mut Vec<u8>) {
+        let mut w = crate::StateWriter::new(out);
+        w.tag(b"TTST");
+        w.u64(self.fixed.mean.len() as u64);
+        self.fixed.write_state(out);
+        self.random.write_state(out);
+    }
+
+    /// Restores state written by [`write_state`](Self::write_state) into
+    /// an accumulator of the same width.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, a foreign frame tag, or a width mismatch.
+    pub fn load_state(&mut self, r: &mut crate::StateReader<'_>) -> Result<(), crate::StateError> {
+        r.expect_tag(b"TTST")?;
+        let width = r.u64()?;
+        if width != self.fixed.mean.len() as u64 {
+            return Err(crate::StateError::new(format!(
+                "t-test snapshot has width {width}, accumulator has {}",
+                self.fixed.mean.len()
+            )));
+        }
+        self.fixed.load_state(r)?;
+        self.random.load_state(r)?;
+        Ok(())
     }
 }
 

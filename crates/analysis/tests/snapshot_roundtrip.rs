@@ -1,0 +1,217 @@
+//! Exact serialize/deserialize round-trips for every checkpointable
+//! accumulator type.
+//!
+//! A checkpoint snapshot must restore the *bit-identical* accumulator:
+//! a resumed campaign folds further traces into the restored state and
+//! its verdict has to match an uninterrupted run byte for byte. These
+//! tests pin that contract for `CpaAccumulator`, `PearsonAccumulator`
+//! and `TtestAccumulator` (which previously had no round-trip coverage
+//! at all), including the empty and single-trace edge cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sca_analysis::{CpaAccumulator, PearsonAccumulator, StateReader, TtestAccumulator};
+
+fn trace(rng: &mut StdRng, samples: usize) -> Vec<f32> {
+    (0..samples).map(|_| rng.gen_range(-4.0f32..4.0)).collect()
+}
+
+fn predictions(rng: &mut StdRng, guesses: usize) -> Vec<f64> {
+    (0..guesses).map(|_| rng.gen_range(0.0f64..8.0)).collect()
+}
+
+/// Every f64 the two CPA accumulators would print must share bits; the
+/// cheapest complete check is comparing the serialized states.
+fn assert_cpa_identical(a: &CpaAccumulator, b: &CpaAccumulator) {
+    let (mut sa, mut sb) = (Vec::new(), Vec::new());
+    a.write_state(&mut sa);
+    b.write_state(&mut sb);
+    assert_eq!(sa, sb, "accumulator states must be bit-identical");
+}
+
+fn roundtrip_cpa(acc: &CpaAccumulator) -> CpaAccumulator {
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut back = CpaAccumulator::new(acc.guesses(), acc.samples());
+    let mut r = StateReader::new(&state);
+    back.load_state(&mut r).expect("load");
+    r.finish().expect("no trailing bytes");
+    back
+}
+
+#[test]
+fn cpa_round_trips_exactly_at_every_fill_level() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut acc = CpaAccumulator::new(16, 5);
+    // Empty, single-trace, then a longer run — exact at each step.
+    for step in 0..20 {
+        let back = roundtrip_cpa(&acc);
+        assert_eq!(back.len(), acc.len(), "step {step}");
+        assert_cpa_identical(&acc, &back);
+        // The restored accumulator keeps absorbing identically.
+        let (p, t) = (predictions(&mut rng, 16), trace(&mut rng, 5));
+        let mut cont_orig = acc.clone();
+        let mut cont_back = back;
+        cont_orig.absorb(&p, &t);
+        cont_back.absorb(&p, &t);
+        assert_cpa_identical(&cont_orig, &cont_back);
+        acc.absorb(&p, &t);
+    }
+}
+
+#[test]
+fn cpa_restores_irrational_sums_bit_for_bit() {
+    let mut acc = CpaAccumulator::new(4, 3);
+    // Values with no short binary representation.
+    acc.absorb(
+        &[1.0 / 3.0, std::f64::consts::PI, -2.0 / 7.0, 1e-300],
+        &[0.1, -0.3, 7e-30],
+    );
+    let back = roundtrip_cpa(&acc);
+    for g in 0..4 {
+        let (a, b) = (acc.finish(), back.finish());
+        assert_eq!(a.series(g), b.series(g), "guess {g}");
+    }
+}
+
+#[test]
+fn cpa_rejects_geometry_mismatch_and_foreign_tags() {
+    let acc = CpaAccumulator::new(8, 3);
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut wrong = CpaAccumulator::new(8, 4);
+    assert!(wrong.load_state(&mut StateReader::new(&state)).is_err());
+    let mut pearson = PearsonAccumulator::new(3);
+    let mut pearson_state = Vec::new();
+    pearson.write_state(&mut pearson_state);
+    let mut cpa = CpaAccumulator::new(8, 3);
+    assert!(
+        cpa.load_state(&mut StateReader::new(&pearson_state))
+            .is_err(),
+        "a Pearson snapshot must not restore into a CPA accumulator"
+    );
+    assert!(
+        pearson.load_state(&mut StateReader::new(&state)).is_err(),
+        "a CPA snapshot must not restore into a Pearson accumulator"
+    );
+}
+
+#[test]
+fn cpa_rejects_truncated_state() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut acc = CpaAccumulator::new(4, 3);
+    acc.absorb(&predictions(&mut rng, 4), &trace(&mut rng, 3));
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut back = CpaAccumulator::new(4, 3);
+    assert!(back
+        .load_state(&mut StateReader::new(&state[..state.len() - 1]))
+        .is_err());
+}
+
+#[test]
+fn pearson_round_trips_exactly_including_empty_and_single() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut acc = PearsonAccumulator::new(6);
+    for step in 0..10 {
+        let mut state = Vec::new();
+        acc.write_state(&mut state);
+        let mut back = PearsonAccumulator::new(6);
+        let mut r = StateReader::new(&state);
+        back.load_state(&mut r).expect("load");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.len(), acc.len(), "step {step}");
+        assert_eq!(back.correlations(), acc.correlations(), "step {step}");
+        let mut restate = Vec::new();
+        back.write_state(&mut restate);
+        assert_eq!(restate, state, "step {step}");
+        acc.add(rng.gen_range(0.0f64..8.0), &trace(&mut rng, 6));
+    }
+}
+
+#[test]
+fn ttest_round_trips_exactly_including_empty_and_single() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut acc = TtestAccumulator::new(5);
+    // Checked at: empty, single fixed trace, balanced, lopsided.
+    for step in 0..14 {
+        let mut state = Vec::new();
+        acc.write_state(&mut state);
+        let mut back = TtestAccumulator::new(5);
+        let mut r = StateReader::new(&state);
+        back.load_state(&mut r).expect("load");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.counts(), acc.counts(), "step {step}");
+        let mut restate = Vec::new();
+        back.write_state(&mut restate);
+        assert_eq!(restate, state, "step {step} state must be bit-identical");
+        if step % 3 == 0 {
+            acc.add_fixed(&trace(&mut rng, 5));
+        } else {
+            acc.add_random(&trace(&mut rng, 5));
+        }
+    }
+    // With enough traces, statistics of original and restored agree.
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut back = TtestAccumulator::new(5);
+    back.load_state(&mut StateReader::new(&state)).unwrap();
+    assert_eq!(back.t_statistics(), acc.t_statistics());
+    assert_eq!(back.leaks(), acc.leaks());
+}
+
+#[test]
+fn ttest_rejects_width_mismatch() {
+    let acc = TtestAccumulator::new(5);
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut wrong = TtestAccumulator::new(4);
+    assert!(wrong.load_state(&mut StateReader::new(&state)).is_err());
+}
+
+#[test]
+fn restored_ttest_continues_identically() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut acc = TtestAccumulator::new(3);
+    for _ in 0..5 {
+        acc.add_fixed(&trace(&mut rng, 3));
+        acc.add_random(&trace(&mut rng, 3));
+    }
+    let mut state = Vec::new();
+    acc.write_state(&mut state);
+    let mut back = TtestAccumulator::new(3);
+    back.load_state(&mut StateReader::new(&state)).unwrap();
+    for _ in 0..5 {
+        let (f, r) = (trace(&mut rng, 3), trace(&mut rng, 3));
+        acc.add_fixed(&f);
+        acc.add_random(&r);
+        back.add_fixed(&f);
+        back.add_random(&r);
+    }
+    let (mut sa, mut sb) = (Vec::new(), Vec::new());
+    acc.write_state(&mut sa);
+    back.write_state(&mut sb);
+    assert_eq!(sa, sb, "continued states must be bit-identical");
+}
+
+#[test]
+fn composed_states_share_one_buffer() {
+    // The campaign's checkpoint record concatenates several
+    // accumulators; parsing must consume each frame exactly.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut cpa = CpaAccumulator::new(4, 3);
+    let mut tt = TtestAccumulator::new(3);
+    cpa.absorb(&predictions(&mut rng, 4), &trace(&mut rng, 3));
+    tt.add_fixed(&trace(&mut rng, 3));
+    let mut state = Vec::new();
+    cpa.write_state(&mut state);
+    tt.write_state(&mut state);
+    let mut cpa_back = CpaAccumulator::new(4, 3);
+    let mut tt_back = TtestAccumulator::new(3);
+    let mut r = StateReader::new(&state);
+    cpa_back.load_state(&mut r).unwrap();
+    tt_back.load_state(&mut r).unwrap();
+    r.finish().unwrap();
+    assert_cpa_identical(&cpa, &cpa_back);
+    assert_eq!(tt_back.counts(), tt.counts());
+}

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--batch N`,
-/// `--quick`, `--full`, `--bench-json PATH`.
+/// `--quick`, `--full`, `--bench-json PATH`, plus the persistent-store
+/// family `--store DIR`, `--checkpoint-every N`, `--resume`,
+/// `--reanalyze`, `--kill-after N` (only `portfolio` accepts it).
 ///
 /// `--full` raises trace counts to the paper's scale (100k traces for
 /// the characterizations, Figure 3); without it the defaults are sized
@@ -28,6 +30,21 @@ pub struct CommonArgs {
     /// ingest. Timings are machine-dependent and go to the file only —
     /// stdout stays byte-deterministic.
     pub bench_json: Option<String>,
+    /// Persist campaign traces under this directory (one store per
+    /// target/analysis pair) and checkpoint accumulator state as the
+    /// campaigns run.
+    pub store: Option<String>,
+    /// Traces per checkpoint segment in stored campaigns.
+    pub checkpoint_every: u64,
+    /// Resume stored campaigns from their last valid checkpoint.
+    pub resume: bool,
+    /// Skip simulation entirely: stream the stored corpora back through
+    /// the attack accumulators and print the CPA/TVLA verdicts.
+    pub reanalyze: bool,
+    /// Fault injection for the crash-recovery CI job: abort the run
+    /// (exit 3) after this many traces have been persisted, counting
+    /// across every stored campaign of the run in execution order.
+    pub kill_after: Option<u64>,
 }
 
 impl CommonArgs {
@@ -48,6 +65,11 @@ impl Default for CommonArgs {
             batch: sca_campaign::DEFAULT_BATCH,
             full: false,
             bench_json: None,
+            store: None,
+            checkpoint_every: 1024,
+            resume: false,
+            reanalyze: false,
+            kill_after: None,
         }
     }
 }
@@ -65,7 +87,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --quick, --full, \
-     --bench-json PATH";
+     --bench-json PATH, --store DIR, --checkpoint-every N, --resume, --reanalyze, --kill-after N";
 
 impl CommonArgs {
     /// Parses `std::env::args`, exiting with status 2 on anything it
@@ -114,6 +136,11 @@ impl CommonArgs {
                 "--quick" => out.full = false,
                 "--full" => out.full = true,
                 "--bench-json" => out.bench_json = Some(value(&arg)?),
+                "--store" => out.store = Some(value(&arg)?),
+                "--checkpoint-every" => out.checkpoint_every = parse_value(&arg, &value(&arg)?)?,
+                "--resume" => out.resume = true,
+                "--reanalyze" => out.reanalyze = true,
+                "--kill-after" => out.kill_after = Some(parse_value(&arg, &value(&arg)?)?),
                 unknown => {
                     return Err(ArgsError(format!("unrecognized argument '{unknown}'")));
                 }
@@ -125,6 +152,32 @@ impl CommonArgs {
         if out.batch == 0 {
             return Err(ArgsError("'--batch' must be at least 1".to_owned()));
         }
+        if out.checkpoint_every == 0 {
+            return Err(ArgsError(
+                "'--checkpoint-every' must be at least 1".to_owned(),
+            ));
+        }
+        if out.store.is_none() {
+            // The strict-args contract: a flag must act or fail, never be
+            // silently ignored — every store-family flag implies a store.
+            let orphan = [
+                (out.resume, "--resume"),
+                (out.reanalyze, "--reanalyze"),
+                (out.kill_after.is_some(), "--kill-after"),
+            ]
+            .into_iter()
+            .find_map(|(set, flag)| set.then_some(flag));
+            if let Some(flag) = orphan {
+                return Err(ArgsError(format!("'{flag}' requires '--store DIR'")));
+            }
+        }
+        if out.reanalyze && (out.resume || out.kill_after.is_some()) {
+            return Err(ArgsError(
+                "'--reanalyze' streams an existing corpus; it cannot be combined with \
+                 '--resume' or '--kill-after'"
+                    .to_owned(),
+            ));
+        }
         Ok(out)
     }
 
@@ -134,6 +187,18 @@ impl CommonArgs {
     pub fn reject_bench_json(&self, binary: &str) {
         if self.bench_json.is_some() {
             eprintln!("error: '--bench-json' is not supported by '{binary}' (only 'portfolio')");
+            std::process::exit(2);
+        }
+    }
+
+    /// Rejects the persistent-store flag family in binaries whose
+    /// campaigns do not run against a trace store (only `portfolio`
+    /// does), exiting with status 2. `--store` gates the whole family,
+    /// so rejecting it suffices: the parser already refuses `--resume`,
+    /// `--reanalyze` and `--kill-after` without it.
+    pub fn reject_store_flags(&self, binary: &str) {
+        if self.store.is_some() {
+            eprintln!("error: '--store' is not supported by '{binary}' (only 'portfolio')");
             std::process::exit(2);
         }
     }
@@ -186,6 +251,13 @@ mod tests {
             "--full",
             "--bench-json",
             "out.json",
+            "--store",
+            "corpus/",
+            "--checkpoint-every",
+            "64",
+            "--resume",
+            "--kill-after",
+            "123",
         ])
         .unwrap();
         assert_eq!(args.traces, Some(500));
@@ -194,6 +266,10 @@ mod tests {
         assert_eq!(args.batch, 32);
         assert!(args.full);
         assert_eq!(args.bench_json.as_deref(), Some("out.json"));
+        assert_eq!(args.store.as_deref(), Some("corpus/"));
+        assert_eq!(args.checkpoint_every, 64);
+        assert!(args.resume);
+        assert_eq!(args.kill_after, Some(123));
     }
 
     #[test]
@@ -205,6 +281,11 @@ mod tests {
         assert_eq!(args.batch, sca_campaign::DEFAULT_BATCH);
         assert!(!args.full);
         assert!(args.bench_json.is_none());
+        assert!(args.store.is_none());
+        assert_eq!(args.checkpoint_every, 1024);
+        assert!(!args.resume);
+        assert!(!args.reanalyze);
+        assert!(args.kill_after.is_none());
     }
 
     #[test]
@@ -229,5 +310,27 @@ mod tests {
         assert!(parse(&["--seed", "not-a-number"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--batch", "0"]).is_err());
+        assert!(parse(&["--store"]).is_err());
+        assert!(parse(&["--store", "d", "--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--store", "d", "--kill-after", "many"]).is_err());
+    }
+
+    #[test]
+    fn store_family_flags_require_a_store() {
+        for orphan in ["--resume", "--reanalyze"] {
+            let error = parse(&[orphan]).unwrap_err();
+            assert!(error.to_string().contains("--store"), "{error}");
+        }
+        let error = parse(&["--kill-after", "5"]).unwrap_err();
+        assert!(error.to_string().contains("--store"), "{error}");
+        // With a store they all parse.
+        assert!(parse(&["--store", "d", "--resume"]).unwrap().resume);
+        assert!(parse(&["--store", "d", "--reanalyze"]).unwrap().reanalyze);
+    }
+
+    #[test]
+    fn reanalyze_excludes_mutating_store_flags() {
+        assert!(parse(&["--store", "d", "--reanalyze", "--resume"]).is_err());
+        assert!(parse(&["--store", "d", "--reanalyze", "--kill-after", "5"]).is_err());
     }
 }

@@ -3,13 +3,41 @@
 //! AES-128 (unprotected and masked), SPECK64/128 and PRESENT-80.
 //!
 //! Usage: `cargo run --release -p sca-bench --bin portfolio
-//! [--traces N] [--quick|--full] [--bench-json PATH]`
+//! [--traces N] [--quick|--full] [--bench-json PATH]
+//! [--store DIR [--checkpoint-every N] [--resume] [--kill-after N]]
+//! [--store DIR --reanalyze]`
+//!
+//! With `--store`, every CPA/TVLA campaign persists its traces and
+//! checkpoints its accumulator state; a run killed mid-campaign (or by
+//! `--kill-after`, which exits 3) is picked up by `--resume` with
+//! byte-identical stdout. `--reanalyze` skips simulation entirely and
+//! streams the stored corpora back through the attack statistics.
 
-use sca_bench::{run_portfolio, CommonArgs, PortfolioConfig};
-use sca_target::ModelKind;
+use std::path::Path;
+
+use sca_bench::{
+    run_portfolio, run_portfolio_reanalyze, CommonArgs, PortfolioConfig, PortfolioStoreConfig,
+};
+use sca_target::{ModelKind, TargetError};
+
+fn reanalyze(root: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("Cipher portfolio — re-analysis of the stored corpora under {root:?}\n");
+    let reports = run_portfolio_reanalyze(root)?;
+    println!("verdicts:");
+    for report in &reports {
+        for line in report.verdict_lines() {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    if args.reanalyze {
+        let root = args.store.as_deref().expect("parser requires --store");
+        return reanalyze(Path::new(root));
+    }
     let config = PortfolioConfig {
         traces: args.trace_count(700, 4_000),
         executions_per_trace: if args.quick() { 8 } else { 16 },
@@ -18,6 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: args.seed,
         threads: args.threads,
         batch: args.batch,
+        store: args.store.as_ref().map(|root| PortfolioStoreConfig {
+            root: root.into(),
+            checkpoint_every: args.checkpoint_every,
+            resume: args.resume,
+            kill_after: args.kill_after,
+        }),
         ..PortfolioConfig::default()
     };
     println!(
@@ -25,7 +59,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {} traces per campaign\n",
         config.traces
     );
-    let result = run_portfolio(&config)?;
+    let result = match run_portfolio(&config) {
+        Ok(result) => result,
+        // The --kill-after fault injection fired: everything up to the
+        // last checkpoint is durable. Exit 3 so the crash-recovery CI
+        // job can tell "killed as planned" from a real failure.
+        Err(e) if matches!(e.downcast_ref::<TargetError>(), Some(e) if e.is_killed()) => {
+            eprintln!("killed by --kill-after fault injection: {e}");
+            std::process::exit(3);
+        }
+        Err(e) => return Err(e),
+    };
 
     for target in &result.targets {
         println!(

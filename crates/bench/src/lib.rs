@@ -32,4 +32,7 @@ pub use masked::{
     run_masked, AblationRow, AttackOutcome, AuditSummary, MaskedConfig, MaskedResult, TargetResult,
     TVLA_FIXED_PT,
 };
-pub use portfolio::{run_portfolio, PhaseTiming, PortfolioConfig, PortfolioResult, TargetReport};
+pub use portfolio::{
+    run_portfolio, run_portfolio_reanalyze, PhaseTiming, PortfolioConfig, PortfolioResult,
+    PortfolioStoreConfig, ReanalyzeReport, TargetReport,
+};

@@ -12,13 +12,16 @@
 //! every driver below is generic over the trait: no cipher is named
 //! outside the registry.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use sca_campaign::KillPoint;
 use sca_core::{audit_cipher_target, leak_paths, AuditConfig};
 use sca_power::GaussianNoise;
 use sca_target::{
-    characterize_target, portfolio, resolve_window, CipherTarget, CpaVerdict, ModelKind,
-    TargetCampaign, TargetCampaignConfig, TargetCharacterization, TvlaVerdict,
+    characterize_target, portfolio, reanalyze_cpa, reanalyze_tvla, resolve_window, store_dir_name,
+    CipherTarget, CpaVerdict, ModelKind, TargetCampaign, TargetCampaignConfig,
+    TargetCharacterization, TargetStoreConfig, TvlaVerdict,
 };
 use sca_uarch::UarchConfig;
 
@@ -41,6 +44,55 @@ pub struct PortfolioConfig {
     pub charz_traces: usize,
     /// Executions for the node-level audit.
     pub audit_executions: usize,
+    /// When set, every CPA/TVLA campaign runs against a persistent
+    /// trace store under this configuration (characterizations and
+    /// audits stay unstored — they are cheap and deterministic).
+    pub store: Option<PortfolioStoreConfig>,
+}
+
+/// Persistent-store knobs of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioStoreConfig {
+    /// Directory holding one store per (target, analysis) pair.
+    pub root: PathBuf,
+    /// Traces per checkpoint segment.
+    pub checkpoint_every: u64,
+    /// Resume each stored campaign from its last valid checkpoint.
+    pub resume: bool,
+    /// Abort the run (a [`sca_campaign::CampaignError::Killed`] fault)
+    /// after this many traces have been persisted, counted across the
+    /// whole run's stored campaigns in execution order — the crash-
+    /// recovery CI job kills a run roughly halfway with this.
+    pub kill_after: Option<u64>,
+}
+
+impl PortfolioStoreConfig {
+    /// Store configuration rooted at `root`: checkpoint every 1024
+    /// traces, no resume, no fault injection.
+    pub fn new(root: impl Into<PathBuf>) -> PortfolioStoreConfig {
+        PortfolioStoreConfig {
+            root: root.into(),
+            checkpoint_every: 1024,
+            resume: false,
+            kill_after: None,
+        }
+    }
+
+    /// The kill point for the next stored campaign, given how many
+    /// traces previous campaigns planned, and advances the counter.
+    /// Campaign-local trace `t` is global trace `planned + t`, so a
+    /// `--kill-after G` inside this campaign's range becomes
+    /// [`KillPoint::AfterTrace`]`(G - planned)`.
+    fn next_kill(&self, planned: &mut u64, traces: u64) -> KillPoint {
+        let start = *planned;
+        *planned += traces;
+        match self.kill_after {
+            Some(global) if (start..*planned).contains(&global) => {
+                KillPoint::AfterTrace(global - start)
+            }
+            _ => KillPoint::None,
+        }
+    }
 }
 
 impl Default for PortfolioConfig {
@@ -54,6 +106,7 @@ impl Default for PortfolioConfig {
             noise: GaussianNoise::bare_metal(),
             charz_traces: 200,
             audit_executions: 250,
+            store: None,
         }
     }
 }
@@ -162,6 +215,7 @@ fn assess_target(
     config: &PortfolioConfig,
     salt: u64,
     timings: &mut Vec<PhaseTiming>,
+    planned: &mut u64,
 ) -> Result<TargetReport, Box<dyn std::error::Error>> {
     let time = |phase: &str, timings: &mut Vec<PhaseTiming>, start: Instant| {
         timings.push(PhaseTiming {
@@ -181,11 +235,23 @@ fn assess_target(
     let campaign = TargetCampaign::new(target, uarch, campaign_config.clone())?;
     let window = resolve_window(target, campaign.cpu(), &target.primary_window())?;
 
+    // One campaign ⇒ one TargetStoreConfig: the kill counter advances
+    // per campaign, so each gets its own kill point (usually None).
+    let store_for = |store: &PortfolioStoreConfig, planned: &mut u64| TargetStoreConfig {
+        root: store.root.clone(),
+        checkpoint_every: store.checkpoint_every,
+        resume: store.resume,
+        kill: store.next_kill(planned, config.traces as u64),
+    };
+
     let models = target.models();
     let mut cpa = Vec::new();
     for model in &models {
         let start = Instant::now();
-        cpa.push(campaign.cpa(model)?);
+        cpa.push(match &config.store {
+            Some(store) => campaign.cpa_stored(model, &store_for(store, planned))?.0,
+            None => campaign.cpa(model)?,
+        });
         time(
             &format!("cpa-{}", model.kind.to_string().to_lowercase()),
             timings,
@@ -194,7 +260,10 @@ fn assess_target(
     }
 
     let start = Instant::now();
-    let tvla = campaign.tvla()?;
+    let tvla = match &config.store {
+        Some(store) => campaign.tvla_stored(&store_for(store, planned))?.0,
+        None => campaign.tvla()?,
+    };
     time("tvla", timings, start);
 
     let start = Instant::now();
@@ -246,6 +315,7 @@ pub fn run_portfolio(
     let uarch = UarchConfig::cortex_a7();
     let mut targets = Vec::new();
     let mut timings = Vec::new();
+    let mut planned = 0u64;
     for (i, target) in portfolio().iter().enumerate() {
         targets.push(assess_target(
             target.as_ref(),
@@ -253,6 +323,7 @@ pub fn run_portfolio(
             config,
             i as u64 + 1,
             &mut timings,
+            &mut planned,
         )?);
     }
     // The headline number CI's perf-regression gate tracks: one wall
@@ -263,4 +334,64 @@ pub fn run_portfolio(
         seconds: started.elapsed().as_secs_f64(),
     });
     Ok(PortfolioResult { targets, timings })
+}
+
+/// One target's verdicts from re-analyzing stored corpora — the subset
+/// of a [`TargetReport`] a corpus can answer without simulating
+/// (characterizations and audits need live multi-channel runs).
+#[derive(Clone, Debug)]
+pub struct ReanalyzeReport {
+    /// Registry name.
+    pub name: String,
+    /// One CPA verdict per declared model, in declaration order.
+    pub cpa: Vec<CpaVerdict>,
+    /// The fixed-vs-random assessment.
+    pub tvla: TvlaVerdict,
+}
+
+impl ReanalyzeReport {
+    /// The verdict lines, in the same format as the corresponding
+    /// subset of [`PortfolioResult::verdict_lines`] — a stored run and
+    /// its re-analysis print identical CPA/TVLA lines.
+    pub fn verdict_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for verdict in &self.cpa {
+            lines.push(format!("[{}] {}", self.name, verdict.verdict()));
+        }
+        lines.push(format!(
+            "[{}] TVLA fixed-vs-random: {}",
+            self.name,
+            if self.tvla.leaks { "LEAKS" } else { "clean" },
+        ));
+        lines
+    }
+}
+
+/// Re-runs every registered target's CPA and TVLA analyses by streaming
+/// the corpora under `root` — zero simulator invocations, no
+/// characterization or audit phases.
+///
+/// # Errors
+///
+/// Propagates store I/O/corruption faults, including a missing corpus
+/// for any registered target.
+pub fn run_portfolio_reanalyze(
+    root: &Path,
+) -> Result<Vec<ReanalyzeReport>, Box<dyn std::error::Error>> {
+    let mut reports = Vec::new();
+    for target in portfolio().iter() {
+        let target = target.as_ref();
+        let mut cpa = Vec::new();
+        for model in &target.models() {
+            let dir = root.join(store_dir_name(target.name(), &model.name));
+            cpa.push(reanalyze_cpa(&dir, model)?);
+        }
+        let tvla = reanalyze_tvla(&root.join(store_dir_name(target.name(), "tvla")), target)?;
+        reports.push(ReanalyzeReport {
+            name: target.name().to_owned(),
+            cpa,
+            tvla,
+        });
+    }
+    Ok(reports)
 }

@@ -56,10 +56,10 @@ impl CampaignConfig {
 /// `traces × samples` matrix.
 #[derive(Clone, Debug)]
 pub struct Campaign {
-    synth: TraceSynthesizer,
-    threads: usize,
-    batch: usize,
-    window: Option<(usize, usize)>,
+    pub(crate) synth: TraceSynthesizer,
+    pub(crate) threads: usize,
+    pub(crate) batch: usize,
+    pub(crate) window: Option<(usize, usize)>,
 }
 
 impl Campaign {

@@ -150,8 +150,10 @@ mod arena;
 mod engine;
 mod shard;
 mod sink;
+mod store_run;
 
 pub use arena::SimArena;
 pub use engine::{Campaign, CampaignConfig};
 pub use shard::{run_sharded, Mergeable, ShardPlan, DEFAULT_BATCH};
-pub use sink::{CampaignSink, CorrSink, CpaSink, TtestSink};
+pub use sink::{CampaignSink, Checkpointable, CorrSink, CpaSink, TtestSink};
+pub use store_run::{reanalyze_store, CampaignError, KillPoint, StoreOptions, StoredRunReport};

@@ -6,7 +6,8 @@
 //! and the engine recombines them in worker order.
 
 use sca_analysis::{
-    CpaAccumulator, CpaResult, PearsonAccumulator, SelectionFunction, TtestAccumulator,
+    CpaAccumulator, CpaResult, PearsonAccumulator, SelectionFunction, StateError, StateReader,
+    TtestAccumulator,
 };
 
 use crate::Mergeable;
@@ -24,6 +25,41 @@ impl<A: CampaignSink, B: CampaignSink> CampaignSink for (A, B) {
     fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], samples: usize) {
         self.0.absorb_batch(inputs, traces, samples);
         self.1.absorb_batch(inputs, traces, samples);
+    }
+}
+
+/// A sink whose statistical state can be snapshotted exactly and
+/// restored later — the contract behind crash-safe resumable campaigns.
+///
+/// `save_state` must append the *bit patterns* of every accumulated
+/// value (via [`sca_analysis::StateWriter`]); restoring the snapshot
+/// into a freshly built sink of the same shape and absorbing further
+/// traces must be byte-identical to never having stopped. Scratch
+/// buffers and closures are not part of the state — only the
+/// accumulators are.
+pub trait Checkpointable {
+    /// Appends this sink's exact accumulator state to `out`.
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state written by
+    /// [`save_state`](Checkpointable::save_state) into a sink of the
+    /// same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, foreign frame tags, or a geometry mismatch.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError>;
+}
+
+impl<A: Checkpointable, B: Checkpointable> Checkpointable for (A, B) {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.0.save_state(out);
+        self.1.save_state(out);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.0.load_state(r)?;
+        self.1.load_state(r)
     }
 }
 
@@ -79,6 +115,16 @@ impl<S: SelectionFunction> CpaSink<S> {
 impl<S: SelectionFunction> Mergeable for CpaSink<S> {
     fn merge(&mut self, other: CpaSink<S>) {
         self.acc.merge(&other.acc);
+    }
+}
+
+impl<S: SelectionFunction> Checkpointable for CpaSink<S> {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.acc.write_state(out);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.acc.load_state(r)
     }
 }
 
@@ -142,6 +188,16 @@ impl<F: Fn(&[u8]) -> f64 + Send> CorrSink<F> {
 impl<F: Fn(&[u8]) -> f64 + Send> Mergeable for CorrSink<F> {
     fn merge(&mut self, other: CorrSink<F>) {
         self.acc.merge(&other.acc);
+    }
+}
+
+impl<F: Fn(&[u8]) -> f64 + Send> Checkpointable for CorrSink<F> {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.acc.write_state(out);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.acc.load_state(r)
     }
 }
 
@@ -217,6 +273,16 @@ impl<F: Fn(&[u8]) -> bool + Send> TtestSink<F> {
 impl<F: Fn(&[u8]) -> bool + Send> Mergeable for TtestSink<F> {
     fn merge(&mut self, other: TtestSink<F>) {
         self.acc.merge(&other.acc);
+    }
+}
+
+impl<F: Fn(&[u8]) -> bool + Send> Checkpointable for TtestSink<F> {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.acc.write_state(out);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.acc.load_state(r)
     }
 }
 

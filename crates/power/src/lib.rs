@@ -31,5 +31,5 @@ pub use model::LeakageWeights;
 pub use noise::{GaussianNoise, NoiseSource};
 pub use recorder::{ComponentPowerRecorder, PowerRecorder};
 pub use sampling::{cycle_window_to_samples, SamplingConfig};
-pub use synth::{AcquisitionConfig, SynthScratch, TraceSynthesizer};
+pub use synth::{simulator_runs, AcquisitionConfig, SynthScratch, TraceSynthesizer};
 pub use trace::TraceSet;

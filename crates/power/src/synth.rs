@@ -15,6 +15,8 @@
 //! Acquisition is deterministic given the seed, independent of the thread
 //! count: every trace derives its own RNG stream.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,6 +67,21 @@ impl AcquisitionConfig {
         self.threads = threads.max(1);
         self
     }
+}
+
+/// Process-wide count of simulator executions started by trace
+/// synthesis (every `cpu.run` issued by [`TraceSynthesizer::synth_into`]
+/// and [`TraceSynthesizer::probe_samples`], across all threads).
+///
+/// Re-analysis paths that replay a stored corpus assert this counter
+/// does not move — stored traces must never trigger resimulation.
+static SIMULATOR_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// How many simulator executions trace synthesis has started in this
+/// process so far. Monotonic; sample it before and after an operation
+/// to count the runs it caused.
+pub fn simulator_runs() -> u64 {
+    SIMULATOR_RUNS.load(Ordering::Relaxed)
 }
 
 /// Derives a statistically-independent child seed (SplitMix64 step).
@@ -226,6 +243,21 @@ impl TraceSynthesizer {
         Ok(set)
     }
 
+    /// Draws trace `index`'s input without running the simulator.
+    ///
+    /// Replays the same RNG stream prefix [`TraceSynthesizer::synth_into`]
+    /// uses (the input is drawn *before* any execution), so the returned
+    /// bytes are bit-identical to the input the full synthesis would
+    /// stage. Persistent trace stores use this to learn the input width
+    /// — and to re-derive inputs — with zero simulator work.
+    pub fn input_for<G>(&self, index: usize, generate: &G) -> Vec<u8>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+    {
+        let mut rng = StdRng::seed_from_u64(child_seed(self.config.seed, index as u64));
+        generate(&mut rng, index)
+    }
+
     /// Probe run: determines the trace window length in samples by
     /// executing once with a throwaway input (index `usize::MAX`, so the
     /// probe's RNG stream never collides with a real trace's).
@@ -253,6 +285,7 @@ impl TraceSynthesizer {
         probe_cpu.restart_seeded(entry, 0);
         stage(&mut probe_cpu, &input);
         let mut recorder = PowerRecorder::new(self.weights.clone());
+        SIMULATOR_RUNS.fetch_add(1, Ordering::Relaxed);
         probe_cpu.run(&mut recorder)?;
         Ok(self
             .config
@@ -365,6 +398,7 @@ impl TraceSynthesizer {
             cpu.restart_seeded(entry, scramble);
             stage(cpu, &input);
             recorder.reset();
+            SIMULATOR_RUNS.fetch_add(1, Ordering::Relaxed);
             cpu.run(recorder)?;
             self.config.sampling.expand_into_clipped(
                 recorder.windowed_power(),
@@ -489,6 +523,34 @@ mod tests {
             assert_eq!(serial.trace(i), parallel.trace(i), "trace {i}");
             assert_eq!(serial.input(i), parallel.input(i), "input {i}");
         }
+    }
+
+    #[test]
+    fn input_for_matches_acquired_inputs_without_simulating() {
+        let (cpu, entry) = fixture();
+        let config = AcquisitionConfig {
+            traces: 5,
+            executions_per_trace: 2,
+            sampling: SamplingConfig::per_cycle(),
+            noise: GaussianNoise {
+                sd: 1.0,
+                baseline: 0.0,
+            },
+            seed: 77,
+            threads: 1,
+        };
+        let synth = TraceSynthesizer::new(LeakageWeights::cortex_a7(), config);
+        let gen = |rng: &mut StdRng, _| {
+            use rand::Rng;
+            rng.gen::<u32>().to_le_bytes().to_vec()
+        };
+        let set = synth.acquire(&cpu, entry, gen, stage).unwrap();
+        for i in 0..set.len() {
+            assert_eq!(synth.input_for(i, &gen), set.input(i), "trace {i}");
+        }
+        // Exact simulator-run-counter assertions live in the dedicated
+        // single-test binary `tests/sim_counter.rs` (the counter is
+        // process-global, so parallel unit tests would race it).
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Typed store errors.
+//!
+//! Every error is `Clone` (I/O errors are captured as kind + message) so
+//! the campaign layers can keep their `Clone` error enums.
+
+use std::fmt;
+use std::io;
+
+/// Why a store operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O failure, captured as `kind: message`.
+    Io(String),
+    /// A file exists but its magic/version/checksum is wrong.
+    Corrupt {
+        /// Which store file is damaged.
+        file: &'static str,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// The store on disk was produced by a different campaign
+    /// configuration than the one trying to use it.
+    FingerprintMismatch {
+        /// Human-readable description of the first differing field.
+        what: String,
+    },
+    /// A read path (streaming, merging) needs traces the store does not
+    /// hold.
+    Incomplete {
+        /// First missing trace index.
+        missing: u64,
+        /// Total traces the store is declared to hold.
+        total: u64,
+    },
+    /// An append disagreed with the store geometry (input length or
+    /// samples per trace).
+    Geometry {
+        /// What disagreed.
+        what: String,
+    },
+    /// Every buffer-pool frame is pinned; nothing can be evicted.
+    PoolExhausted,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(message) => write!(f, "store I/O error: {message}"),
+            StoreError::Corrupt { file, what } => write!(f, "corrupt store file '{file}': {what}"),
+            StoreError::FingerprintMismatch { what } => {
+                write!(f, "store fingerprint mismatch: {what}")
+            }
+            StoreError::Incomplete { missing, total } => write!(
+                f,
+                "store is incomplete: trace {missing} of {total} is not covered"
+            ),
+            StoreError::Geometry { what } => write!(f, "store geometry violation: {what}"),
+            StoreError::PoolExhausted => {
+                f.write_str("buffer pool exhausted: every frame is pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(format!("{}: {e}", e.kind()))
+    }
+}
+
+/// FNV-1a 64-bit hash — the store's checksum primitive. Not
+/// cryptographic; it only has to catch torn writes and bit rot.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Continues an FNV-1a 64 hash from a prior state (for checksums over
+/// several disjoint fields without concatenating them).
+#[must_use]
+pub fn fnv1a64_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_continue_equals_concatenation() {
+        let whole = fnv1a64(b"hello world");
+        let parts = fnv1a64_continue(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn io_errors_convert_and_display() {
+        let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"), "{e}");
+    }
+}

@@ -1,0 +1,299 @@
+//! The write-ahead checkpoint log.
+//!
+//! An append-only file of framed records, each carrying the campaign's
+//! high-water trace index and a serialized sink snapshot. Records are
+//! `[payload_len][checksum][payload]`; a crash mid-append leaves a torn
+//! tail that fails its checksum, so a scan stops at the first invalid
+//! frame and resume recovers from the last checkpoint that was fully
+//! written. Opening the log for append first truncates the torn tail so
+//! the resumed run's own records never land after garbage.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::{fnv1a64, StoreError};
+
+/// File name of the checkpoint log inside a store directory.
+pub const WAL_FILE: &str = "checkpoints.wal";
+
+const WAL_MAGIC: &[u8; 4] = b"SCWL";
+const WAL_VERSION: u32 = 1;
+const WAL_HEADER_BYTES: usize = 8;
+
+/// Hashes an analysis name into the tag stored with each checkpoint, so
+/// one corpus can carry interleaved checkpoints for several analyses
+/// (per leakage model, TVLA) without restoring the wrong sink state.
+#[must_use]
+pub fn analysis_tag(name: &str) -> u64 {
+    fnv1a64(name.as_bytes())
+}
+
+/// One recovered checkpoint: every trace below `high_water` is durable
+/// in the page files, and `state` restores the analysis sink to the
+/// exact bit pattern it had at that boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Traces `0..high_water` are on disk and folded into `state`.
+    pub high_water: u64,
+    /// Which analysis this snapshot belongs to (see [`analysis_tag`]).
+    pub analysis_tag: u64,
+    /// Serialized sink state (exact `f64` bit patterns).
+    pub state: Vec<u8>,
+}
+
+impl CheckpointRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + self.state.len());
+        payload.extend_from_slice(&self.high_water.to_le_bytes());
+        payload.extend_from_slice(&self.analysis_tag.to_le_bytes());
+        payload.extend_from_slice(&self.state);
+        let mut out = Vec::with_capacity(16 + payload.len());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Scan result: the records that validate, in file order, plus the byte
+/// length of the valid prefix.
+#[derive(Debug, Default)]
+struct Scan {
+    records: Vec<CheckpointRecord>,
+    valid_len: u64,
+}
+
+fn scan(bytes: &[u8]) -> Result<Scan, StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt {
+        file: WAL_FILE,
+        what: what.to_owned(),
+    };
+    if bytes.len() < WAL_HEADER_BYTES || &bytes[..4] != WAL_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let mut out = Scan {
+        records: Vec::new(),
+        valid_len: WAL_HEADER_BYTES as u64,
+    };
+    let mut at = WAL_HEADER_BYTES;
+    loop {
+        // Anything that fails to parse from here on is a torn tail:
+        // stop, keeping what validated so far.
+        if at + 16 > bytes.len() {
+            break;
+        }
+        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+        let Some(end) = (at + 16).checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() || len < 16 {
+            break;
+        }
+        let payload = &bytes[at + 16..end];
+        if fnv1a64(payload) != checksum {
+            break;
+        }
+        out.records.push(CheckpointRecord {
+            high_water: u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
+            analysis_tag: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+            state: payload[16..].to_vec(),
+        });
+        at = end;
+        out.valid_len = at as u64;
+    }
+    Ok(out)
+}
+
+/// The open checkpoint log of one store directory.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    file: std::fs::File,
+}
+
+impl CheckpointLog {
+    /// Opens (creating if needed) the log for appending. A torn tail
+    /// left by a crash is truncated away first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] when the header itself is
+    /// damaged, and propagates I/O errors.
+    pub fn open(dir: &Path) -> Result<CheckpointLog, StoreError> {
+        let path = dir.join(WAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(WAL_HEADER_BYTES);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_all()?;
+        } else {
+            let bytes = std::fs::read(&path)?;
+            let valid = scan(&bytes)?;
+            if valid.valid_len < len {
+                file.set_len(valid.valid_len)?;
+                file.sync_all()?;
+            }
+        }
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(CheckpointLog { file })
+    }
+
+    /// Appends one checkpoint record and fsyncs. The caller must have
+    /// synced the page files covering `record.high_water` first — the
+    /// write-ahead contract is "pages durable, then the claim".
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), StoreError> {
+        self.file.write_all(&record.encode())?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Fault injection: appends only the first `keep_bytes` of the
+    /// framed record, simulating a crash mid-checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_torn(
+        &mut self,
+        record: &CheckpointRecord,
+        keep_bytes: usize,
+    ) -> Result<(), StoreError> {
+        let bytes = record.encode();
+        let keep = keep_bytes.min(bytes.len());
+        self.file.write_all(&bytes[..keep])?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads the most recent valid checkpoint for `analysis_tag`, or
+    /// `None` when the log is missing or holds none for that analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on a damaged header and
+    /// propagates I/O errors other than `NotFound`.
+    pub fn last(dir: &Path, analysis_tag: u64) -> Result<Option<CheckpointRecord>, StoreError> {
+        let bytes = match std::fs::read(dir.join(WAL_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let valid = scan(&bytes)?;
+        Ok(valid
+            .records
+            .into_iter()
+            .rev()
+            .find(|r| r.analysis_tag == analysis_tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(high_water: u64, tag: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            high_water,
+            analysis_tag: tag,
+            state: vec![high_water as u8; 5],
+        }
+    }
+
+    #[test]
+    fn last_returns_the_newest_record_per_tag() {
+        let dir = scratch("sca_store_wal_last");
+        let mut log = CheckpointLog::open(&dir).unwrap();
+        log.append(&record(10, 1)).unwrap();
+        log.append(&record(10, 2)).unwrap();
+        log.append(&record(20, 1)).unwrap();
+        assert_eq!(CheckpointLog::last(&dir, 1).unwrap(), Some(record(20, 1)));
+        assert_eq!(CheckpointLog::last(&dir, 2).unwrap(), Some(record(10, 2)));
+        assert_eq!(CheckpointLog::last(&dir, 3).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_truncated_on_reopen() {
+        let dir = scratch("sca_store_wal_torn");
+        let full_len;
+        {
+            let mut log = CheckpointLog::open(&dir).unwrap();
+            log.append(&record(10, 1)).unwrap();
+            full_len = fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+            log.append_torn(&record(20, 1), 9).unwrap();
+        }
+        // The torn record does not shadow the valid one...
+        assert_eq!(CheckpointLog::last(&dir, 1).unwrap(), Some(record(10, 1)));
+        // ...and reopening for append truncates it away.
+        let mut log = CheckpointLog::open(&dir).unwrap();
+        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), full_len);
+        log.append(&record(30, 1)).unwrap();
+        assert_eq!(CheckpointLog::last(&dir, 1).unwrap(), Some(record(30, 1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_torn_prefix_keeps_earlier_records_recoverable() {
+        // Sweep all tear lengths of the second record's frame.
+        let probe = record(20, 7).encode();
+        for keep in 0..probe.len() {
+            let dir = scratch(&format!("sca_store_wal_sweep_{keep}"));
+            let mut log = CheckpointLog::open(&dir).unwrap();
+            log.append(&record(10, 7)).unwrap();
+            log.append_torn(&record(20, 7), keep).unwrap();
+            let last = CheckpointLog::last(&dir, 7).unwrap().unwrap();
+            if keep == probe.len() {
+                assert_eq!(last.high_water, 20);
+            } else {
+                assert_eq!(last.high_water, 10, "keep={keep}");
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn missing_log_reads_as_no_checkpoint() {
+        let dir = scratch("sca_store_wal_missing");
+        assert_eq!(CheckpointLog::last(&dir, 1).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_header_is_corrupt_not_empty() {
+        let dir = scratch("sca_store_wal_header");
+        drop(CheckpointLog::open(&dir).unwrap());
+        fs::write(dir.join(WAL_FILE), b"XXXXYYYY").unwrap();
+        assert!(matches!(
+            CheckpointLog::last(&dir, 1),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,231 @@
+//! Property tests for the buffer pool: pin/unpin balance, eviction
+//! invariants, and concurrent interleavings at several pool sizes.
+//!
+//! The pool's contract has three load-bearing clauses the trace store
+//! relies on:
+//!
+//! 1. **Pin accounting** — `pinned()` equals the number of live
+//!    [`PinnedPage`] guards at every instant, and a pinned frame is
+//!    never evicted or invalidated;
+//! 2. **Bounded residency** — `len() <= capacity` after every
+//!    operation, with [`StoreError::PoolExhausted`] exactly when a miss
+//!    arrives while every frame is pinned;
+//! 3. **Coherence** — a fetch always yields the bytes `load` would
+//!    produce for that page, whether served from a frame or loaded.
+//!
+//! [`PinnedPage`]: sca_store::PinnedPage
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sca_store::{BufferPool, PinnedPage, StoreError};
+
+/// The canonical content of a page in these tests: a recognizable
+/// page-indexed byte pattern long enough to catch slot mix-ups.
+fn page_bytes(page: u64) -> Vec<u8> {
+    (0..16)
+        .map(|i| (page as u8).wrapping_mul(31).wrapping_add(i))
+        .collect()
+}
+
+fn load(page: u64) -> impl FnOnce() -> Result<Vec<u8>, StoreError> {
+    move || Ok(page_bytes(page))
+}
+
+/// One scripted pool operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Fetch a page and keep the guard.
+    Hold(u64),
+    /// Fetch a page and drop the guard immediately.
+    Touch(u64),
+    /// Drop the oldest held guard (no-op when none are held).
+    Release,
+    /// Invalidate a page's frame.
+    Invalidate(u64),
+}
+
+fn arb_op(pages: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages).prop_map(Op::Hold),
+        (0..pages).prop_map(Op::Touch),
+        Just(Op::Release),
+        (0..pages).prop_map(Op::Invalidate),
+    ]
+}
+
+/// Replays a script against a pool, checking the model after every
+/// step. The model only tracks what the contract promises: the multiset
+/// of pinned pages — residency of *unpinned* frames is the pool's own
+/// business (clock order is an implementation detail).
+fn check_script(capacity: usize, ops: &[Op]) {
+    let pool = BufferPool::new(capacity);
+    let mut held: Vec<PinnedPage<'_>> = Vec::new();
+    // page -> live guard count
+    let mut pins: BTreeMap<u64, usize> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Hold(page) | Op::Touch(page) => {
+                let distinct_pinned: BTreeSet<u64> = pins.keys().copied().collect();
+                let must_fail =
+                    distinct_pinned.len() >= pool.capacity() && !distinct_pinned.contains(page);
+                match pool.fetch(*page, load(*page)) {
+                    Ok(guard) => {
+                        assert!(!must_fail, "fetch({page}) succeeded with all frames pinned");
+                        assert_eq!(&*guard, &page_bytes(*page)[..], "wrong bytes for {page}");
+                        assert_eq!(guard.page_index(), *page);
+                        if matches!(op, Op::Hold(_)) {
+                            *pins.entry(*page).or_insert(0) += 1;
+                            held.push(guard);
+                        }
+                    }
+                    Err(StoreError::PoolExhausted) => {
+                        assert!(must_fail, "spurious exhaustion fetching {page}");
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            Op::Release => {
+                if !held.is_empty() {
+                    let guard = held.remove(0);
+                    let page = guard.page_index();
+                    let count = pins.get_mut(&page).expect("held page is tracked");
+                    *count -= 1;
+                    if *count == 0 {
+                        pins.remove(&page);
+                    }
+                    drop(guard);
+                }
+            }
+            Op::Invalidate(page) => {
+                let dropped = pool.invalidate(*page);
+                assert!(
+                    !(dropped && pins.contains_key(page)),
+                    "invalidate({page}) dropped a pinned frame"
+                );
+            }
+        }
+        // Invariants that hold after every operation.
+        assert!(pool.len() <= pool.capacity(), "residency exceeded capacity");
+        let expected_pins: usize = pins.values().sum();
+        assert_eq!(pool.pinned(), expected_pins, "pin accounting diverged");
+        assert_eq!(pool.pinned(), held.len());
+        // Every pinned page is resident: re-fetching it must hit, not
+        // reload (hit count strictly increases, miss count does not).
+        if let Some(&page) = pins.keys().next() {
+            let before = pool.stats();
+            let again = pool
+                .fetch(page, || panic!("pinned page {page} was not resident"))
+                .expect("re-fetch of a pinned page cannot exhaust the pool");
+            drop(again);
+            let after = pool.stats();
+            assert_eq!(after.hits, before.hits + 1);
+            assert_eq!(after.misses, before.misses);
+        }
+    }
+
+    drop(held);
+    assert_eq!(pool.pinned(), 0, "guards leaked pins");
+    let stats = pool.stats();
+    assert!(
+        stats.evictions <= stats.misses,
+        "every eviction is caused by a loading miss: {stats:?}"
+    );
+}
+
+proptest! {
+    /// Clause-by-clause model check over random scripts at pool sizes
+    /// from degenerate (1 frame) to comfortably larger than the working
+    /// set.
+    #[test]
+    fn pool_respects_pins_capacity_and_coherence(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec(arb_op(10), 1..60),
+    ) {
+        check_script(capacity, &ops);
+    }
+
+    /// Touch-only traffic (no held guards) can never exhaust the pool,
+    /// at any capacity, and the counters add up: every fetch is a hit
+    /// or a miss.
+    #[test]
+    fn unpinned_traffic_never_exhausts(
+        capacity in 1usize..5,
+        pages in proptest::collection::vec(0u64..32, 1..80),
+    ) {
+        let pool = BufferPool::new(capacity);
+        for &page in &pages {
+            let guard = pool.fetch(page, load(page)).expect("no pins, no exhaustion");
+            assert_eq!(&*guard, &page_bytes(page)[..]);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, pages.len() as u64);
+        assert!(stats.evictions <= stats.misses);
+        assert!(pool.len() <= capacity);
+        assert_eq!(pool.pinned(), 0);
+    }
+}
+
+/// Concurrent interleavings: hammer one pool from several threads at
+/// several pool sizes, each thread holding up to two guards at a time.
+/// Thread count times guards-per-thread stays below every tested
+/// capacity's worst case only for the largest pool — the smaller pools
+/// exercise the exhaustion path concurrently, which must surface as
+/// `PoolExhausted`, never as a wrong page or a torn buffer.
+#[test]
+fn concurrent_interleavings_preserve_coherence() {
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 300;
+    for capacity in [1usize, 2, 4, 16] {
+        let pool = Arc::new(BufferPool::new(capacity));
+        let loads = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let pool = Arc::clone(&pool);
+                let loads = Arc::clone(&loads);
+                scope.spawn(move || {
+                    // Deterministic per-thread page walk (LCG).
+                    let mut x = t.wrapping_mul(0x9e37_79b9) | 1;
+                    let mut held: Vec<PinnedPage<'_>> = Vec::new();
+                    for _ in 0..ITERS {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let page = (x >> 33) % 13;
+                        match pool.fetch(page, || {
+                            loads.fetch_add(1, Ordering::Relaxed);
+                            Ok(page_bytes(page))
+                        }) {
+                            Ok(guard) => {
+                                assert_eq!(&*guard, &page_bytes(page)[..], "torn or wrong page");
+                                if x & 4 == 0 {
+                                    held.push(guard);
+                                    if held.len() > 2 {
+                                        held.remove(0);
+                                    }
+                                }
+                            }
+                            // Small pools under concurrent pins may
+                            // legitimately exhaust; drop what we hold
+                            // and move on.
+                            Err(StoreError::PoolExhausted) => held.clear(),
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.pinned(), 0, "capacity {capacity}: pins leaked");
+        assert!(pool.len() <= capacity);
+        let stats = pool.stats();
+        assert_eq!(
+            stats.misses,
+            loads.load(Ordering::Relaxed),
+            "capacity {capacity}"
+        );
+        assert!(stats.hits > 0, "capacity {capacity}: expected some hits");
+    }
+}

@@ -6,8 +6,15 @@
 //! receive a staging closure, an input generator and a selection
 //! function, all derived from the trait object.
 
-use sca_campaign::{Campaign, CampaignConfig, CpaSink, TtestSink};
+use std::path::{Path, PathBuf};
+
+use sca_analysis::CpaResult;
+use sca_campaign::{
+    reanalyze_store, Campaign, CampaignConfig, CpaSink, KillPoint, StoreOptions, StoredRunReport,
+    TtestSink, DEFAULT_BATCH,
+};
 use sca_power::{GaussianNoise, LeakageWeights, SamplingConfig};
+use sca_store::{analysis_tag, TraceStore};
 use sca_uarch::{Cpu, UarchConfig};
 
 use crate::{resolve_window, CipherTarget, ModelKind, TargetError, TargetModel};
@@ -39,6 +46,54 @@ impl Default for TargetCampaignConfig {
             batch: sca_campaign::DEFAULT_BATCH,
             noise: GaussianNoise::bare_metal(),
         }
+    }
+}
+
+/// Persistent-store knobs of a target's campaigns: where the corpora
+/// live and how often the sink state is checkpointed.
+///
+/// Each (target, analysis) pair gets its own store directory under
+/// `root` (see [`store_dir_name`]) — CPA campaigns per model and the
+/// TVLA campaign use different seeds/windows, so they are distinct
+/// corpora by construction.
+#[derive(Clone, Debug)]
+pub struct TargetStoreConfig {
+    /// Directory holding one store subdirectory per (target, analysis).
+    pub root: PathBuf,
+    /// Traces per checkpoint segment.
+    pub checkpoint_every: u64,
+    /// Resume from the last valid checkpoint instead of starting over.
+    pub resume: bool,
+    /// Fault injection for the crash-recovery tests and CI job.
+    pub kill: KillPoint,
+}
+
+impl TargetStoreConfig {
+    /// Store configuration rooted at `root`, checkpointing every 1024
+    /// traces, not resuming, no fault injection.
+    pub fn new(root: impl Into<PathBuf>) -> TargetStoreConfig {
+        TargetStoreConfig {
+            root: root.into(),
+            checkpoint_every: 1024,
+            resume: false,
+            kill: KillPoint::None,
+        }
+    }
+}
+
+/// The store subdirectory for one (target, analysis) pair. Plain
+/// analysis names pass through (`aes128-tvla`); names with punctuation
+/// (model formulas) are replaced by their 64-bit FNV tag in hex, the
+/// same tag that labels their checkpoints.
+pub fn store_dir_name(label: &str, analysis: &str) -> String {
+    let plain = !analysis.is_empty()
+        && analysis
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if plain {
+        format!("{label}-{analysis}")
+    } else {
+        format!("{label}-{:016x}", analysis_tag(analysis))
     }
 }
 
@@ -92,6 +147,20 @@ pub struct TvlaVerdict {
     pub leaks: bool,
     /// Traces in the (fixed, random) populations.
     pub counts: (u64, u64),
+}
+
+fn cpa_verdict(model: &TargetModel, result: &CpaResult, window_cycles: u64) -> CpaVerdict {
+    let correct = usize::from(model.correct);
+    CpaVerdict {
+        model: model.name.clone(),
+        kind: model.kind,
+        recovered: result.best_guess() as u8,
+        correct: model.correct,
+        rank: result.rank_of(correct),
+        peak: result.peak(correct).1.abs(),
+        best_wrong: result.best_wrong_peak(correct),
+        window_cycles,
+    }
 }
 
 /// CPA and TVLA campaigns against one built target.
@@ -165,27 +234,61 @@ impl<'a> TargetCampaign<'a> {
     pub fn cpa(&self, model: &TargetModel) -> Result<CpaVerdict, TargetError> {
         let window = resolve_window(self.target, &self.cpu, &model.window)?;
         let target = self.target;
-        let sink = self
+        let sink = self.engine(0x0, window.trigger_relative).run(
+            &self.cpu,
+            target.program().entry(),
+            |rng, index| target.generate(rng, index),
+            |cpu, input| target.stage(cpu, input),
+            |samples| CpaSink::new(model, 256, samples),
+        )?;
+        Ok(cpa_verdict(
+            model,
+            &sink.finish(),
+            window.trigger_relative.1,
+        ))
+    }
+
+    /// Like [`TargetCampaign::cpa`], against a persistent trace store:
+    /// traces land in `store.root/<label>-<model tag>` as they are
+    /// simulated and the accumulator state is checkpointed every
+    /// `store.checkpoint_every` traces, so a killed campaign resumes
+    /// from the last checkpoint with a byte-identical verdict.
+    ///
+    /// # Errors
+    ///
+    /// As [`TargetCampaign::cpa`], plus store I/O/corruption and
+    /// fault-injection kills as [`TargetError::Campaign`].
+    pub fn cpa_stored(
+        &self,
+        model: &TargetModel,
+        store: &TargetStoreConfig,
+    ) -> Result<(CpaVerdict, StoredRunReport), TargetError> {
+        let window = resolve_window(self.target, &self.cpu, &model.window)?;
+        let target = self.target;
+        let opts = StoreOptions {
+            dir: store.root.join(store_dir_name(target.name(), &model.name)),
+            label: target.name().to_owned(),
+            analysis: model.name.clone(),
+            checkpoint_every: store.checkpoint_every,
+            resume: store.resume,
+            kill: store.kill,
+            window_cycles: window.trigger_relative.1,
+        };
+        let (sink, report) = self
             .engine(0x0, window.trigger_relative)
-            .run(
+            .run_stored(
                 &self.cpu,
                 target.program().entry(),
                 |rng, index| target.generate(rng, index),
                 |cpu, input| target.stage(cpu, input),
                 |samples| CpaSink::new(model, 256, samples),
-            )?
-            .finish();
-        let correct = usize::from(model.correct);
-        Ok(CpaVerdict {
-            model: model.name.clone(),
-            kind: model.kind,
-            recovered: sink.best_guess() as u8,
-            correct: model.correct,
-            rank: sink.rank_of(correct),
-            peak: sink.peak(correct).1.abs(),
-            best_wrong: sink.best_wrong_peak(correct),
-            window_cycles: window.trigger_relative.1,
-        })
+                &opts,
+            )
+            .map_err(TargetError::from)?;
+        Ok((
+            cpa_verdict(model, &sink.finish(), window.trigger_relative.1),
+            report,
+        ))
     }
 
     /// Runs a fixed-vs-random TVLA campaign in the target's primary
@@ -219,4 +322,101 @@ impl<'a> TargetCampaign<'a> {
             counts: sink.counts(),
         })
     }
+
+    /// Like [`TargetCampaign::tvla`], against a persistent trace store
+    /// in `store.root/<label>-tvla`; the fixed/random split is carried
+    /// by the stored inputs themselves (the classifier re-derives each
+    /// trace's population from its input bytes), so re-analysis needs no
+    /// side table.
+    ///
+    /// # Errors
+    ///
+    /// As [`TargetCampaign::tvla`], plus store I/O/corruption and
+    /// fault-injection kills as [`TargetError::Campaign`].
+    pub fn tvla_stored(
+        &self,
+        store: &TargetStoreConfig,
+    ) -> Result<(TvlaVerdict, StoredRunReport), TargetError> {
+        let window = resolve_window(self.target, &self.cpu, &self.target.primary_window())?;
+        let target = self.target;
+        let opts = StoreOptions {
+            dir: store.root.join(store_dir_name(target.name(), "tvla")),
+            label: target.name().to_owned(),
+            analysis: "tvla".to_owned(),
+            checkpoint_every: store.checkpoint_every,
+            resume: store.resume,
+            kill: store.kill,
+            window_cycles: window.trigger_relative.1,
+        };
+        let (sink, report) = self
+            .engine(0x77e5, window.trigger_relative)
+            .run_stored(
+                &self.cpu,
+                target.program().entry(),
+                |rng, index| {
+                    if index != usize::MAX && index % 2 == 0 {
+                        target.finish_input(target.fixed_plaintext(), rng)
+                    } else {
+                        target.generate(rng, index)
+                    }
+                },
+                |cpu, input| target.stage(cpu, input),
+                |samples| TtestSink::new(|input: &[u8]| target.is_fixed_class(input), samples),
+                &opts,
+            )
+            .map_err(TargetError::from)?;
+        Ok((
+            TvlaVerdict {
+                max_t: sink.max_t(),
+                leaks: sink.leaks(),
+                counts: sink.counts(),
+            },
+            report,
+        ))
+    }
+}
+
+/// Re-runs a CPA attack over a stored corpus by streaming its pages
+/// into a fresh accumulator — zero simulator invocations, any model
+/// (including ones the corpus was not originally collected for).
+///
+/// The result is byte-identical to a single-threaded, non-segmented
+/// campaign over the same traces; verdict fields (recovered byte, rank)
+/// always match the stored run that produced the corpus.
+///
+/// # Errors
+///
+/// Store I/O/corruption as [`TargetError::Campaign`].
+pub fn reanalyze_cpa(dir: &Path, model: &TargetModel) -> Result<CpaVerdict, TargetError> {
+    let store = TraceStore::open_any(dir)?;
+    let (samples, window_cycles) = {
+        let meta = store.meta();
+        (meta.samples as usize, meta.window_cycles)
+    };
+    let sink = reanalyze_store(&store, DEFAULT_BATCH, CpaSink::new(model, 256, samples))
+        .map_err(TargetError::from)?;
+    Ok(cpa_verdict(model, &sink.finish(), window_cycles))
+}
+
+/// Re-runs the fixed-vs-random TVLA assessment over a stored corpus —
+/// zero simulator invocations; the population split is re-derived from
+/// each stored input via the target's classifier.
+///
+/// # Errors
+///
+/// Store I/O/corruption as [`TargetError::Campaign`].
+pub fn reanalyze_tvla(dir: &Path, target: &dyn CipherTarget) -> Result<TvlaVerdict, TargetError> {
+    let store = TraceStore::open_any(dir)?;
+    let samples = store.meta().samples as usize;
+    let sink = reanalyze_store(
+        &store,
+        DEFAULT_BATCH,
+        TtestSink::new(|input: &[u8]| target.is_fixed_class(input), samples),
+    )
+    .map_err(TargetError::from)?;
+    Ok(TvlaVerdict {
+        max_t: sink.max_t(),
+        leaks: sink.leaks(),
+        counts: sink.counts(),
+    })
 }

@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use sca_campaign::CampaignError;
+use sca_store::StoreError;
 use sca_uarch::UarchError;
 
 /// Why a symbol-level [`crate::WindowHint`] failed to resolve against a
@@ -99,6 +101,17 @@ pub enum TargetError {
     Uarch(UarchError),
     /// Window-hint resolution failure (target packaging bug).
     Window(WindowError),
+    /// A stored campaign failed: trace-store I/O or corruption, a
+    /// checkpoint snapshot mismatch, or an injected kill point firing.
+    Campaign(CampaignError),
+}
+
+impl TargetError {
+    /// Whether this error is a [`CampaignError::Killed`] fault-injection
+    /// abort — the one callers handle specially (exit code 3, resume).
+    pub fn is_killed(&self) -> bool {
+        matches!(self, TargetError::Campaign(CampaignError::Killed { .. }))
+    }
 }
 
 impl fmt::Display for TargetError {
@@ -106,6 +119,7 @@ impl fmt::Display for TargetError {
         match self {
             TargetError::Uarch(e) => write!(f, "simulator fault: {e}"),
             TargetError::Window(e) => write!(f, "window resolution failed: {e}"),
+            TargetError::Campaign(e) => write!(f, "stored campaign failed: {e}"),
         }
     }
 }
@@ -115,6 +129,7 @@ impl std::error::Error for TargetError {
         match self {
             TargetError::Uarch(e) => Some(e),
             TargetError::Window(e) => Some(e),
+            TargetError::Campaign(e) => Some(e),
         }
     }
 }
@@ -128,6 +143,23 @@ impl From<UarchError> for TargetError {
 impl From<WindowError> for TargetError {
     fn from(e: WindowError) -> TargetError {
         TargetError::Window(e)
+    }
+}
+
+impl From<CampaignError> for TargetError {
+    fn from(e: CampaignError) -> TargetError {
+        // A simulator fault is a simulator fault no matter which engine
+        // path surfaced it — unwrap it so callers match one variant.
+        match e {
+            CampaignError::Uarch(e) => TargetError::Uarch(e),
+            other => TargetError::Campaign(other),
+        }
+    }
+}
+
+impl From<StoreError> for TargetError {
+    fn from(e: StoreError) -> TargetError {
+        TargetError::Campaign(CampaignError::Store(e))
     }
 }
 

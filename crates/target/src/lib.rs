@@ -43,7 +43,10 @@ mod traits;
 mod window;
 
 pub use aes::{AesTarget, MaskedAesTarget, PORTFOLIO_AES_KEY};
-pub use campaign::{CpaVerdict, TargetCampaign, TargetCampaignConfig, TvlaVerdict};
+pub use campaign::{
+    reanalyze_cpa, reanalyze_tvla, store_dir_name, CpaVerdict, TargetCampaign,
+    TargetCampaignConfig, TargetStoreConfig, TvlaVerdict,
+};
 pub use charz::{
     characterize_target, NodeCharacterization, TargetCharacterization, CHARZ_COMPONENTS,
 };

@@ -95,6 +95,13 @@ pub mod target {
     pub use sca_target::*;
 }
 
+/// Persistent trace corpus: checksummed pages, the pinning buffer
+/// pool, and the write-ahead checkpoint log behind crash-safe
+/// resumable campaigns (re-export of `sca-store`).
+pub mod store {
+    pub use sca_store::*;
+}
+
 /// Operating-system noise environments (re-export of `sca-osnoise`).
 pub mod osnoise {
     pub use sca_osnoise::*;

@@ -1,0 +1,217 @@
+//! Merge commutativity for partial trace stores: split a corpus into
+//! `k ∈ {2, 3, 7}` partial stores, merge them back in shuffled orders,
+//! and assert the merged store is indistinguishable from the unsplit
+//! one — identical trace bytes, identical re-analysis accumulator
+//! state, identical verdict.
+//!
+//! This works because a slot's encoding is a pure function of
+//! `(index, input, trace)`: any store holding trace `i` holds the same
+//! bytes for it, so merging is a union of idempotent writes and the
+//! result cannot depend on merge order or overlap.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use superscalar_sca::analysis::{hw8, FnSelection};
+use superscalar_sca::campaign::{reanalyze_store, Checkpointable, CpaSink};
+use superscalar_sca::store::{CorpusKey, StoreMeta, TraceStore};
+
+const TOTAL: u64 = 53;
+const INPUT_LEN: usize = 4;
+const SAMPLES: usize = 6;
+
+fn scratch(name: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sca_merge_{}_{name}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn meta() -> StoreMeta {
+    StoreMeta {
+        key: CorpusKey {
+            label: "merge-fixture".to_owned(),
+            seed: 99,
+            noise_sd_bits: 0.25f64.to_bits(),
+            noise_baseline_bits: 0.0f64.to_bits(),
+            executions_per_trace: 2,
+        },
+        window_start: 3,
+        samples: SAMPLES as u64,
+        window_cycles: SAMPLES as u64,
+        total_traces: TOTAL,
+        input_len: INPUT_LEN as u64,
+        page_capacity: 0, // filled in by `create`
+    }
+}
+
+/// Trace `i`'s synthetic input: a recognizable index-derived pattern.
+fn input(i: u64) -> Vec<u8> {
+    (0..INPUT_LEN as u64)
+        .map(|b| (i.wrapping_mul(0x9e37) >> (8 * (b % 4))) as u8)
+        .collect()
+}
+
+/// Trace `i`'s synthetic samples: one leaking sample (HW of input byte
+/// 0) plus index-dependent wobble, so CPA over the corpus is
+/// non-degenerate.
+fn trace(i: u64) -> Vec<f32> {
+    let leak = hw8(input(i)[0]) as f32;
+    (0..SAMPLES)
+        .map(|s| {
+            let wobble = ((i as f32) * 0.37 + (s as f32) * 1.13).sin();
+            if s == 2 {
+                leak + 0.1 * wobble
+            } else {
+                wobble
+            }
+        })
+        .collect()
+}
+
+/// Creates a store holding exactly the traces `indices`.
+fn partial_store(name: &str, indices: impl Iterator<Item = u64>) -> TraceStore {
+    let store = TraceStore::create(&scratch(name), meta()).expect("creates");
+    for i in indices {
+        store.append(i, &input(i), &trace(i)).expect("appends");
+    }
+    store
+}
+
+fn model() -> FnSelection<impl Fn(&[u8], u8) -> f64 + Send + Sync> {
+    FnSelection::new("hw(b0 ^ k)", |input: &[u8], k: u8| {
+        f64::from(hw8(input[0] ^ k))
+    })
+}
+
+/// The re-analysis accumulator state of a complete store, serialized.
+fn analysis_state(store: &TraceStore) -> Vec<u8> {
+    let sink = reanalyze_store(store, 16, CpaSink::new(model(), 256, SAMPLES))
+        .expect("complete store re-analyzes");
+    let mut state = Vec::new();
+    sink.save_state(&mut state);
+    state
+}
+
+/// Asserts `merged` equals the unsplit store trace-for-trace and
+/// analysis-for-analysis.
+fn assert_equivalent(merged: &TraceStore, unsplit: &TraceStore) {
+    assert!(merged.is_complete().expect("coverage reads"));
+    assert_eq!(merged.valid_count().expect("counts"), TOTAL);
+    for i in 0..TOTAL {
+        let got = merged.read_trace(i).expect("reads").expect("present");
+        let want = unsplit.read_trace(i).expect("reads").expect("present");
+        assert_eq!(got.0, want.0, "input {i}");
+        // Samples compare exactly: identical f32 bit patterns.
+        let got_bits: Vec<u32> = got.1.iter().map(|s| s.to_bits()).collect();
+        let want_bits: Vec<u32> = want.1.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "trace {i}");
+    }
+    assert_eq!(
+        analysis_state(merged),
+        analysis_state(unsplit),
+        "re-analysis accumulator state diverged"
+    );
+}
+
+/// Every permutation of `k` items (k! is small for k <= 3; larger k
+/// uses rotations and a reversal instead — see the k = 7 test).
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    if k == 1 {
+        return vec![vec![0]];
+    }
+    let mut all = Vec::new();
+    for sub in permutations(k - 1) {
+        for at in 0..=sub.len() {
+            let mut perm = sub.clone();
+            perm.insert(at, k - 1);
+            all.push(perm);
+        }
+    }
+    all
+}
+
+fn merged_in_order(parts: &[TraceStore], order: &[usize]) -> TraceStore {
+    let merged = TraceStore::create(&scratch("merged"), meta()).expect("creates");
+    for &at in order {
+        merged.merge_from(&parts[at]).expect("merges");
+    }
+    merged
+}
+
+#[test]
+fn two_and_three_way_splits_merge_identically_in_every_order() {
+    let unsplit = partial_store("unsplit", 0..TOTAL);
+    for k in [2usize, 3] {
+        // Interleaved split: every partial store spans every page, so
+        // merges overlap at page granularity without overlapping slots.
+        let parts: Vec<TraceStore> = (0..k)
+            .map(|j| {
+                partial_store(
+                    &format!("part{k}_{j}"),
+                    (0..TOTAL).filter(move |i| (*i as usize) % k == j),
+                )
+            })
+            .collect();
+        for order in permutations(k) {
+            let merged = merged_in_order(&parts, &order);
+            assert_equivalent(&merged, &unsplit);
+        }
+    }
+}
+
+#[test]
+fn seven_way_split_merges_identically_in_shuffled_orders() {
+    const K: usize = 7;
+    let unsplit = partial_store("unsplit7", 0..TOTAL);
+    // Contiguous split this time: partial j holds its own index range,
+    // the shape a sharded collection campaign would produce.
+    let bounds: Vec<u64> = (0..=K as u64).map(|j| j * TOTAL / K as u64).collect();
+    let parts: Vec<TraceStore> = (0..K)
+        .map(|j| partial_store(&format!("part7_{j}"), bounds[j]..bounds[j + 1]))
+        .collect();
+    // All K rotations plus the reversal: 8 distinct orders.
+    let mut orders: Vec<Vec<usize>> = (0..K)
+        .map(|r| (0..K).map(|i| (i + r) % K).collect())
+        .collect();
+    orders.push((0..K).rev().collect());
+    for order in orders {
+        let merged = merged_in_order(&parts, &order);
+        assert_equivalent(&merged, &unsplit);
+    }
+}
+
+#[test]
+fn overlapping_partials_merge_idempotently() {
+    let unsplit = partial_store("unsplit_ov", 0..TOTAL);
+    // Three overlapping windows covering the corpus twice over.
+    let parts = [
+        partial_store("ov_a", 0..40),
+        partial_store("ov_b", 20..TOTAL),
+        partial_store("ov_c", 10..30),
+    ];
+    let merged = merged_in_order(&parts, &[0, 1, 2]);
+    // Re-merging everything again must change nothing.
+    for part in &parts {
+        merged.merge_from(part).expect("re-merge");
+    }
+    merged.merge_from(&unsplit).expect("self-equivalent merge");
+    assert_equivalent(&merged, &unsplit);
+}
+
+#[test]
+fn incomplete_merges_are_detected() {
+    // Leave a hole: the union misses trace 17.
+    let parts = [
+        partial_store("hole_a", (0..TOTAL).filter(|&i| i < 17)),
+        partial_store("hole_b", (0..TOTAL).filter(|&i| i > 17)),
+    ];
+    let merged = merged_in_order(&parts, &[1, 0]);
+    assert!(!merged.is_complete().expect("coverage reads"));
+    assert_eq!(merged.valid_count().expect("counts"), TOTAL - 1);
+    assert!(
+        reanalyze_store(&merged, 16, CpaSink::new(model(), 256, SAMPLES)).is_err(),
+        "re-analysis of a holey corpus must fail loudly, not skip traces"
+    );
+}

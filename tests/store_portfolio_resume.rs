@@ -1,0 +1,129 @@
+//! The resume contract at portfolio scale: a portfolio run killed
+//! mid-campaign by `--kill-after` fault injection and then resumed must
+//! reproduce the uninterrupted stored run **byte-for-byte** — not just
+//! the discrete verdicts but every printed correlation's f64 bit
+//! pattern. This is exactly what CI's crash-resume job asserts on the
+//! binary's stdout; here it is pinned at the library level so a
+//! formatting change cannot mask a real divergence.
+//!
+//! Also pins that `run_portfolio_reanalyze` over the stored corpora
+//! reproduces the CPA/TVLA verdict lines of the run that collected
+//! them.
+
+use std::path::PathBuf;
+
+use sca_bench::{
+    run_portfolio, run_portfolio_reanalyze, PortfolioConfig, PortfolioResult, PortfolioStoreConfig,
+};
+use superscalar_sca::power::GaussianNoise;
+use superscalar_sca::target::TargetError;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sca_pf_resume_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Debug-build-sized portfolio: the real targets and models with a
+/// quieter probe so a hundred traces resolve in test time.
+fn config(store: PortfolioStoreConfig) -> PortfolioConfig {
+    PortfolioConfig {
+        traces: 100,
+        executions_per_trace: 2,
+        threads: 4,
+        charz_traces: 100,
+        audit_executions: 150,
+        noise: GaussianNoise {
+            sd: 2.0,
+            baseline: 30.0,
+        },
+        store: Some(store),
+        ..PortfolioConfig::default()
+    }
+}
+
+/// Bitwise comparison of everything the binary prints floats from.
+fn assert_bit_identical(a: &PortfolioResult, b: &PortfolioResult) {
+    assert_eq!(a.verdict_lines(), b.verdict_lines());
+    assert_eq!(a.targets.len(), b.targets.len());
+    for (ta, tb) in a.targets.iter().zip(&b.targets) {
+        assert_eq!(ta.name, tb.name);
+        assert_eq!(ta.cpa.len(), tb.cpa.len());
+        for (va, vb) in ta.cpa.iter().zip(&tb.cpa) {
+            assert_eq!(
+                va.peak.to_bits(),
+                vb.peak.to_bits(),
+                "{}/{}",
+                ta.name,
+                va.model
+            );
+            assert_eq!(
+                va.best_wrong.to_bits(),
+                vb.best_wrong.to_bits(),
+                "{}/{}",
+                ta.name,
+                va.model
+            );
+        }
+        assert_eq!(
+            ta.tvla.max_t.to_bits(),
+            tb.tvla.max_t.to_bits(),
+            "{}",
+            ta.name
+        );
+        assert_eq!(ta.tvla.counts, tb.tvla.counts);
+        assert_eq!(ta.audit_operand, tb.audit_operand);
+        assert_eq!(ta.audit_memory, tb.audit_memory);
+    }
+}
+
+#[test]
+fn killed_and_resumed_portfolio_is_bit_identical_to_uninterrupted() {
+    // Reference: one uninterrupted stored run.
+    let root_a = scratch("uninterrupted");
+    let store_a = PortfolioStoreConfig {
+        checkpoint_every: 64,
+        ..PortfolioStoreConfig::new(&root_a)
+    };
+    let reference = run_portfolio(&config(store_a)).expect("uninterrupted run");
+
+    // Kill a second run mid-way: planned stored traces are
+    // (targets × 3 campaigns × 100); global trace 450 lands inside a
+    // middle target's campaign, after several checkpoints.
+    let root_b = scratch("killed");
+    let killed = run_portfolio(&config(PortfolioStoreConfig {
+        checkpoint_every: 64,
+        kill_after: Some(450),
+        ..PortfolioStoreConfig::new(&root_b)
+    }));
+    let error = killed.expect_err("the kill point fires");
+    assert!(
+        matches!(error.downcast_ref::<TargetError>(), Some(e) if e.is_killed()),
+        "expected a fault-injection kill, got: {error}"
+    );
+
+    // Resume and compare against the reference, bit for bit.
+    let resumed = run_portfolio(&config(PortfolioStoreConfig {
+        checkpoint_every: 64,
+        resume: true,
+        ..PortfolioStoreConfig::new(&root_b)
+    }))
+    .expect("resumed run completes");
+    assert_bit_identical(&reference, &resumed);
+
+    // Re-analysis of either corpus reproduces the CPA/TVLA verdict
+    // lines the stored runs printed.
+    let reanalyzed = run_portfolio_reanalyze(&root_a).expect("re-analysis streams");
+    let full_lines = reference.verdict_lines();
+    for report in &reanalyzed {
+        for line in report.verdict_lines() {
+            assert!(
+                full_lines.contains(&line),
+                "re-analysis line not in the stored run's verdicts: {line}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+}
