@@ -301,11 +301,11 @@ impl CpaAccumulator {
             "traces length disagrees with predictions"
         );
         self.n += batch as u64;
-        for trace in traces.chunks_exact(self.samples) {
-            for ((sy, syy), &y) in self.sum_y.iter_mut().zip(&mut self.sum_yy).zip(trace) {
-                let y = f64::from(y);
-                *sy += y;
-                *syy += y * y;
+        // `chunks_exact(0)` panics; a zero-sample geometry (fully
+        // clipped window) still counts traces and prediction moments.
+        if self.samples > 0 {
+            for trace in traces.chunks_exact(self.samples) {
+                crate::kernels::moments(&mut self.sum_y, &mut self.sum_yy, trace);
             }
         }
         for g in 0..self.guesses {
@@ -315,11 +315,66 @@ impl CpaAccumulator {
                 self.sum_x[g] += x;
                 self.sum_xx[g] += x * x;
                 let trace = &traces[t * self.samples..(t + 1) * self.samples];
-                for (r, &y) in row.iter_mut().zip(trace) {
-                    *r += x * f64::from(y);
-                }
+                crate::kernels::axpy(row, x, trace);
             }
         }
+    }
+
+    /// The scalar reference of [`absorb_batch`](Self::absorb_batch):
+    /// plain per-element loops, compiled identically under every feature
+    /// setting. The SIMD conformance harness streams the same data
+    /// through both entry points and asserts bit-identical state; it is
+    /// `#[doc(hidden)]` because campaigns should always use
+    /// `absorb_batch`.
+    ///
+    /// # Panics
+    ///
+    /// As [`absorb_batch`](Self::absorb_batch).
+    #[doc(hidden)]
+    pub fn absorb_batch_scalar(&mut self, predictions: &[f64], traces: &[f32]) {
+        assert_eq!(
+            predictions.len() % self.guesses,
+            0,
+            "predictions not a whole number of traces"
+        );
+        let batch = predictions.len() / self.guesses;
+        assert_eq!(
+            traces.len(),
+            batch * self.samples,
+            "traces length disagrees with predictions"
+        );
+        self.n += batch as u64;
+        if self.samples > 0 {
+            for trace in traces.chunks_exact(self.samples) {
+                crate::kernels::moments_scalar(&mut self.sum_y, &mut self.sum_yy, trace);
+            }
+        }
+        for g in 0..self.guesses {
+            let row = &mut self.sum_xy[g * self.samples..(g + 1) * self.samples];
+            for t in 0..batch {
+                let x = predictions[t * self.guesses + g];
+                self.sum_x[g] += x;
+                self.sum_xx[g] += x * x;
+                let trace = &traces[t * self.samples..(t + 1) * self.samples];
+                crate::kernels::axpy_scalar(row, x, trace);
+            }
+        }
+    }
+
+    /// Raw moment state `(n, Σx, Σx², Σy, Σy², Σx·y)` — exposed for the
+    /// SIMD conformance harness, which asserts bit-identity of every
+    /// moment rather than of the (rounded) correlation output.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn raw_moments(&self) -> (u64, &[f64], &[f64], &[f64], &[f64], &[f64]) {
+        (
+            self.n,
+            &self.sum_x,
+            &self.sum_xx,
+            &self.sum_y,
+            &self.sum_yy,
+            &self.sum_xy,
+        )
     }
 
     /// Merges a shard that absorbed a disjoint set of traces.

@@ -28,6 +28,8 @@
 #![warn(missing_debug_implementations)]
 
 mod cpa;
+#[doc(hidden)]
+pub mod kernels;
 mod metrics;
 mod models;
 mod pearson;

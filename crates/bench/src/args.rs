@@ -3,9 +3,10 @@
 use std::fmt;
 
 /// Common knobs: `--traces N`, `--seed N`, `--threads N`, `--batch N`,
-/// `--quick`, `--full`, `--bench-json PATH`, plus the persistent-store
-/// family `--store DIR`, `--checkpoint-every N`, `--resume`,
-/// `--reanalyze`, `--kill-after N` (only `portfolio` accepts it).
+/// `--lanes N`, `--quick`, `--full`, `--bench-json PATH`, plus the
+/// persistent-store family `--store DIR`, `--checkpoint-every N`,
+/// `--resume`, `--reanalyze`, `--kill-after N` (only `portfolio`
+/// accepts it).
 ///
 /// `--full` raises trace counts to the paper's scale (100k traces for
 /// the characterizations, Figure 3); without it the defaults are sized
@@ -22,6 +23,9 @@ pub struct CommonArgs {
     pub threads: usize,
     /// Traces buffered per worker between sink updates.
     pub batch: usize,
+    /// Lockstep lanes per simulation group (1 = scalar path). Results
+    /// are bit-identical at every setting; only throughput changes.
+    pub lanes: usize,
     /// Paper-scale campaign.
     pub full: bool,
     /// Write per-kernel wall-clock timings to this path, as a JSON
@@ -63,6 +67,7 @@ impl Default for CommonArgs {
             seed: 0xdac_2018,
             threads: 8,
             batch: sca_campaign::DEFAULT_BATCH,
+            lanes: sca_campaign::DEFAULT_LANES,
             full: false,
             bench_json: None,
             store: None,
@@ -86,8 +91,9 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
-const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --quick, --full, \
-     --bench-json PATH, --store DIR, --checkpoint-every N, --resume, --reanalyze, --kill-after N";
+const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --lanes N, \
+     --quick, --full, --bench-json PATH, --store DIR, --checkpoint-every N, --resume, \
+     --reanalyze, --kill-after N";
 
 impl CommonArgs {
     /// Parses `std::env::args`, exiting with status 2 on anything it
@@ -133,6 +139,7 @@ impl CommonArgs {
                 "--seed" => out.seed = parse_value(&arg, &value(&arg)?)?,
                 "--threads" => out.threads = parse_value(&arg, &value(&arg)?)?,
                 "--batch" => out.batch = parse_value(&arg, &value(&arg)?)?,
+                "--lanes" => out.lanes = parse_value(&arg, &value(&arg)?)?,
                 "--quick" => out.full = false,
                 "--full" => out.full = true,
                 "--bench-json" => out.bench_json = Some(value(&arg)?),
@@ -151,6 +158,12 @@ impl CommonArgs {
         }
         if out.batch == 0 {
             return Err(ArgsError("'--batch' must be at least 1".to_owned()));
+        }
+        if out.lanes == 0 || out.lanes > sca_uarch::MAX_LANES {
+            return Err(ArgsError(format!(
+                "'--lanes' must be in 1..={}",
+                sca_uarch::MAX_LANES
+            )));
         }
         if out.checkpoint_every == 0 {
             return Err(ArgsError(
@@ -182,11 +195,15 @@ impl CommonArgs {
     }
 
     /// Rejects `--bench-json` in binaries that emit no benchmark
-    /// timings (only `portfolio` does), exiting with status 2 — the
-    /// strict-args contract: a flag must never be silently ignored.
+    /// timings (`portfolio`, `figure4` and `table2` do), exiting with
+    /// status 2 — the strict-args contract: a flag must never be
+    /// silently ignored.
     pub fn reject_bench_json(&self, binary: &str) {
         if self.bench_json.is_some() {
-            eprintln!("error: '--bench-json' is not supported by '{binary}' (only 'portfolio')");
+            eprintln!(
+                "error: '--bench-json' is not supported by '{binary}' \
+                 (only 'portfolio', 'figure4' and 'table2')"
+            );
             std::process::exit(2);
         }
     }
@@ -219,6 +236,25 @@ fn parse_value<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ArgsErr
         .map_err(|_| ArgsError(format!("flag '{flag}' got unparsable value '{raw}'")))
 }
 
+/// Writes a single wall-clock timing entry to `path` in the
+/// `customSmallerIsBetter` JSON shape CI benchmark trackers ingest —
+/// the one-entry counterpart of
+/// [`crate::PortfolioResult::timings_json`], used by the `figure4` and
+/// `table2` binaries' `--bench-json`. Timings are machine-dependent and
+/// go to the file only; stdout stays byte-deterministic.
+///
+/// # Errors
+///
+/// Propagates file-write failures.
+pub fn write_total_timing(path: &str, name: &str, seconds: f64) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        format!("[\n  {{ \"name\": \"{name}\", \"unit\": \"s\", \"value\": {seconds:.6} }}\n]\n"),
+    )?;
+    eprintln!("wrote 1 kernel timing to {path}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +284,8 @@ mod tests {
             "3",
             "--batch",
             "32",
+            "--lanes",
+            "4",
             "--full",
             "--bench-json",
             "out.json",
@@ -264,6 +302,7 @@ mod tests {
         assert_eq!(args.seed, 9);
         assert_eq!(args.threads, 3);
         assert_eq!(args.batch, 32);
+        assert_eq!(args.lanes, 4);
         assert!(args.full);
         assert_eq!(args.bench_json.as_deref(), Some("out.json"));
         assert_eq!(args.store.as_deref(), Some("corpus/"));
@@ -279,6 +318,7 @@ mod tests {
         assert_eq!(args.seed, 0xdac_2018);
         assert_eq!(args.threads, 8);
         assert_eq!(args.batch, sca_campaign::DEFAULT_BATCH);
+        assert_eq!(args.lanes, sca_campaign::DEFAULT_LANES);
         assert!(!args.full);
         assert!(args.bench_json.is_none());
         assert!(args.store.is_none());
@@ -310,6 +350,9 @@ mod tests {
         assert!(parse(&["--seed", "not-a-number"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--batch", "0"]).is_err());
+        assert!(parse(&["--lanes", "0"]).is_err());
+        assert!(parse(&["--lanes", "9"]).is_err());
+        assert_eq!(parse(&["--lanes", "8"]).unwrap().lanes, 8);
         assert!(parse(&["--store"]).is_err());
         assert!(parse(&["--store", "d", "--checkpoint-every", "0"]).is_err());
         assert!(parse(&["--store", "d", "--kill-after", "many"]).is_err());

@@ -2,13 +2,13 @@
 //! loaded Linux system (Apache at 1000 req/s on the second core), with
 //! the HD-between-consecutive-SubBytes-stores model.
 //!
-//! Usage: `cargo run --release -p sca-bench --bin figure4 [--traces N]`
+//! Usage: `cargo run --release -p sca-bench --bin figure4 [--traces N]
+//! [--bench-json PATH]`
 
-use sca_bench::{plot, run_figure4, CommonArgs, Figure4Config};
+use sca_bench::{plot, run_figure4, write_total_timing, CommonArgs, Figure4Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    args.reject_bench_json("figure4");
     args.reject_store_flags("figure4");
     let config = Figure4Config {
         traces: args.trace_count(2500, 10_000),
@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Figure 4 — CPA under loaded Linux, model HD(two consecutive SubBytes stores), {} traces (avg of {})\n",
         config.traces, config.executions_per_trace
     );
+    let started = std::time::Instant::now();
     let result = run_figure4(&config)?;
+    if let Some(path) = &args.bench_json {
+        write_total_timing(path, "figure4/total", started.elapsed().as_secs_f64())?;
+    }
 
     let us_per_sample = 1.0 / (500.0 / 120.0 * 120.0);
     println!("correlation of the correct key guess:");

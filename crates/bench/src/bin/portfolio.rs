@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: args.seed,
         threads: args.threads,
         batch: args.batch,
+        lanes: args.lanes,
         store: args.store.as_ref().map(|root| PortfolioStoreConfig {
             root: root.into(),
             checkpoint_every: args.checkpoint_every,

@@ -38,6 +38,8 @@ pub struct PortfolioConfig {
     pub threads: usize,
     /// Traces buffered per worker between accumulator updates.
     pub batch: usize,
+    /// Lockstep lanes per simulation group (`--lanes`; 1 = scalar).
+    pub lanes: usize,
     /// Measurement noise.
     pub noise: GaussianNoise,
     /// Traces for the per-component characterization.
@@ -103,6 +105,7 @@ impl Default for PortfolioConfig {
             seed: 0xdac_2018,
             threads: 8,
             batch: sca_campaign::DEFAULT_BATCH,
+            lanes: sca_campaign::DEFAULT_LANES,
             noise: GaussianNoise::bare_metal(),
             charz_traces: 200,
             audit_executions: 250,
@@ -230,6 +233,7 @@ fn assess_target(
         seed: config.seed ^ (salt << 24),
         threads: config.threads,
         batch: config.batch,
+        lanes: config.lanes,
         noise: config.noise,
     };
     let campaign = TargetCampaign::new(target, uarch, campaign_config.clone())?;

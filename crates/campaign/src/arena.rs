@@ -22,8 +22,24 @@
 
 use rand::rngs::StdRng;
 
-use sca_power::{PowerRecorder, SynthScratch, TraceSynthesizer};
-use sca_uarch::{Cpu, UarchError};
+use sca_power::{BlockPowerRecorder, PowerRecorder, SynthScratch, TraceSynthesizer};
+use sca_uarch::{Cpu, CpuBlock, UarchError};
+
+/// The lockstep half of an arena: a [`CpuBlock`] stepping several traces
+/// through one pipeline walk, with per-lane recorder/scratch buffers.
+///
+/// Present only when the campaign runs with more than one lane. Dropped
+/// (`SimArena::block = None`) the moment a group diverges: divergence
+/// means the lanes' cache/memory histories were perturbed mid-run, so
+/// the rest of the worker's range falls back to the scalar path, whose
+/// per-trace results never depend on such history.
+#[derive(Clone, Debug)]
+struct BlockSim {
+    block: CpuBlock,
+    recorder: BlockPowerRecorder,
+    scratches: Vec<SynthScratch>,
+    traces: Vec<Vec<f32>>,
+}
 
 /// One campaign worker's reusable simulation state: a staged CPU cloned
 /// once from the warmed template, a [`PowerRecorder`], and the scratch
@@ -41,6 +57,8 @@ pub struct SimArena {
     /// The batch's windowed traces, trace-major `inputs.len() × samples`
     /// — handed to [`crate::CampaignSink::absorb_batch`] directly.
     pub(crate) flat: Vec<f32>,
+    /// Lockstep lanes, when enabled (and not poisoned by divergence).
+    block: Option<BlockSim>,
 }
 
 impl SimArena {
@@ -56,7 +74,27 @@ impl SimArena {
             trace: Vec::new(),
             inputs: Vec::new(),
             flat: Vec::new(),
+            block: None,
         }
+    }
+
+    /// Like [`SimArena::new`], but additionally equips the arena with a
+    /// `lanes`-wide lockstep [`CpuBlock`] (when `lanes > 1`), so
+    /// `SimArena::push_windowed_group` can synthesize whole groups of
+    /// traces in one pipeline walk. `lanes` is clamped to
+    /// `1..=`[`sca_uarch::MAX_LANES`].
+    pub fn with_lanes(synth: &TraceSynthesizer, template: &Cpu, lanes: usize) -> SimArena {
+        let mut arena = SimArena::new(synth, template);
+        let lanes = lanes.clamp(1, sca_uarch::MAX_LANES);
+        if lanes > 1 {
+            arena.block = Some(BlockSim {
+                block: CpuBlock::from_template(template, lanes),
+                recorder: BlockPowerRecorder::new(synth.weights().clone(), lanes),
+                scratches: vec![SynthScratch::new(); lanes],
+                traces: vec![Vec::new(); lanes],
+            });
+        }
+        arena
     }
 
     /// The worker's CPU (staged template clone).
@@ -146,6 +184,82 @@ impl SimArena {
         self.flat
             .extend_from_slice(&self.trace[start..start + samples]);
         self.inputs.push(input);
+        Ok(())
+    }
+
+    /// Synthesizes the `count` consecutive traces starting at
+    /// `base_index` and appends their windows (and inputs) to the
+    /// current batch, exactly like `count` [`SimArena::push_windowed`]
+    /// calls in index order.
+    ///
+    /// When the arena has a lockstep block (and `count > 1`), the whole
+    /// group runs through it in one pipeline walk. The results are
+    /// bit-identical either way; on lockstep divergence the block is
+    /// dropped and this group — and every later group of this arena —
+    /// takes the scalar path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_windowed_group<G, S, P>(
+        &mut self,
+        synth: &TraceSynthesizer,
+        entry: u32,
+        base_index: usize,
+        count: usize,
+        (full, start, samples): (usize, usize, usize),
+        clip: bool,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Result<(), UarchError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        if count > 1 && self.block.is_some() {
+            let block = self.block.as_mut().expect("just checked");
+            debug_assert!(count <= block.block.max_lanes());
+            let got = synth.synth_block_into(
+                &mut block.block,
+                &mut block.recorder,
+                &mut block.scratches,
+                &mut block.traces,
+                entry,
+                base_index,
+                count,
+                clip.then_some((start, start + samples)),
+                generate,
+                stage,
+                post,
+            );
+            match got {
+                Some(inputs) => {
+                    for (lane, input) in inputs.into_iter().enumerate() {
+                        block.traces[lane].resize(full, 0.0);
+                        self.flat
+                            .extend_from_slice(&block.traces[lane][start..start + samples]);
+                        self.inputs.push(input);
+                    }
+                    return Ok(());
+                }
+                // Divergence: the lanes' microarchitectural state was
+                // perturbed mid-run, so retire the block for good and
+                // re-run this group (and all later ones) scalar —
+                // `synth_into` is self-contained per trace.
+                None => self.block = None,
+            }
+        }
+        for offset in 0..count {
+            self.push_windowed(
+                synth,
+                entry,
+                base_index + offset,
+                (full, start, samples),
+                clip,
+                generate,
+                stage,
+                post,
+            )?;
+        }
         Ok(())
     }
 

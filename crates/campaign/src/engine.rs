@@ -10,6 +10,13 @@ use sca_uarch::{Cpu, UarchError};
 
 use crate::{run_sharded, CampaignSink, ShardPlan, SimArena, DEFAULT_BATCH};
 
+/// Default lockstep lane width: the widest block the simulator
+/// supports ([`sca_uarch::MAX_LANES`]). Campaigns synthesize traces in
+/// groups of this many through one [`sca_uarch::CpuBlock`] pipeline
+/// walk; results are bit-identical at every lane count (1 disables the
+/// block entirely), so the only trade-off is throughput.
+pub const DEFAULT_LANES: usize = sca_uarch::MAX_LANES;
+
 /// Campaign parameters: the acquisition knobs of
 /// [`AcquisitionConfig`] plus the sharding batch size.
 #[derive(Clone, Debug)]
@@ -59,6 +66,7 @@ pub struct Campaign {
     pub(crate) synth: TraceSynthesizer,
     pub(crate) threads: usize,
     pub(crate) batch: usize,
+    pub(crate) lanes: usize,
     pub(crate) window: Option<(usize, usize)>,
 }
 
@@ -79,8 +87,21 @@ impl Campaign {
             synth: TraceSynthesizer::new(weights, acquisition),
             threads,
             batch,
+            lanes: DEFAULT_LANES,
             window: None,
         }
+    }
+
+    /// Sets the lockstep lane width (builder style): consecutive traces
+    /// are synthesized `lanes` at a time through one
+    /// [`sca_uarch::CpuBlock`]. Clamped to
+    /// `1..=`[`sca_uarch::MAX_LANES`]; 1 disables lockstep entirely.
+    /// Results are bit-identical at every setting — the differential
+    /// tests in `tests/lockstep_conformance.rs` pin this.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Campaign {
+        self.lanes = lanes.clamp(1, sca_uarch::MAX_LANES);
+        self
     }
 
     /// Restricts the analysis to `samples` points starting at `start`
@@ -195,21 +216,25 @@ impl Campaign {
         let plan = self.plan();
         run_sharded(
             &plan,
-            || SimArena::new(&self.synth, cpu),
+            || SimArena::with_lanes(&self.synth, cpu, self.lanes),
             || sink(samples),
             |arena, acc, range| {
                 arena.begin_batch();
-                for index in range {
-                    arena.push_windowed(
+                let mut index = range.start;
+                while index < range.end {
+                    let group = self.lanes.min(range.end - index);
+                    arena.push_windowed_group(
                         &self.synth,
                         entry,
                         index,
+                        group,
                         (full, start, samples),
                         clip,
                         &generate,
                         &stage,
                         &post,
                     )?;
+                    index += group;
                 }
                 let (inputs, flat) = arena.batch();
                 acc.absorb_batch(inputs, flat, samples);

@@ -153,7 +153,7 @@ mod sink;
 mod store_run;
 
 pub use arena::SimArena;
-pub use engine::{Campaign, CampaignConfig};
+pub use engine::{Campaign, CampaignConfig, DEFAULT_LANES};
 pub use shard::{run_sharded, Mergeable, ShardPlan, DEFAULT_BATCH};
 pub use sink::{CampaignSink, Checkpointable, CorrSink, CpaSink, TtestSink};
 pub use store_run::{reanalyze_store, CampaignError, KillPoint, StoreOptions, StoredRunReport};

@@ -375,34 +375,47 @@ impl Campaign {
         let no_post = |_: &mut StdRng, _: &mut Vec<f64>| {};
         run_sharded(
             &plan,
-            || SimArena::new(&self.synth, cpu),
+            || SimArena::with_lanes(&self.synth, cpu, self.lanes),
             || sink(samples),
             |arena, acc, range| {
                 arena.begin_batch();
-                for local in range {
-                    let global = seg_start + local as u64;
-                    arena.push_windowed(
+                let mut local = range.start;
+                while local < range.end {
+                    let group = self.lanes.min(range.end - local);
+                    arena.push_windowed_group(
                         &self.synth,
                         entry,
-                        global as usize,
+                        (seg_start as usize) + local,
+                        group,
                         (full, start, samples),
                         true,
                         generate,
                         stage,
                         &no_post,
                     )?;
-                    let input = arena.inputs.last().expect("trace was just pushed");
-                    let trace = &arena.flat[arena.flat.len() - samples..];
-                    match kill {
-                        KillPoint::MidPage { at, keep } if global == at => {
-                            store.append_torn(global, input, trace, keep)?;
+                    // Append the group's traces to the store strictly in
+                    // index order (the group was synthesized at once, but
+                    // its disk and kill-point semantics must match the
+                    // one-trace-at-a-time scalar path).
+                    let first_input = arena.inputs.len() - group;
+                    let first_flat = arena.flat.len() - group * samples;
+                    for g in 0..group {
+                        let global = seg_start + (local + g) as u64;
+                        let input = &arena.inputs[first_input + g];
+                        let off = first_flat + g * samples;
+                        let trace = &arena.flat[off..off + samples];
+                        match kill {
+                            KillPoint::MidPage { at, keep } if global == at => {
+                                store.append_torn(global, input, trace, keep)?;
+                                return Err(CampaignError::Killed { at: global });
+                            }
+                            _ => store.append(global, input, trace)?,
+                        }
+                        if kill == KillPoint::AfterTrace(global) {
                             return Err(CampaignError::Killed { at: global });
                         }
-                        _ => store.append(global, input, trace)?,
                     }
-                    if kill == KillPoint::AfterTrace(global) {
-                        return Err(CampaignError::Killed { at: global });
-                    }
+                    local += group;
                 }
                 let (inputs, flat) = arena.batch();
                 acc.absorb_batch(inputs, flat, samples);

@@ -25,11 +25,15 @@ mod recorder;
 mod sampling;
 mod synth;
 mod trace;
+#[doc(hidden)]
+pub mod vecops;
 
 pub use io::{read_traces, write_traces};
 pub use model::LeakageWeights;
 pub use noise::{GaussianNoise, NoiseSource};
-pub use recorder::{ComponentPowerRecorder, PowerRecorder};
+pub use recorder::{
+    BlockComponentPowerRecorder, BlockPowerRecorder, ComponentPowerRecorder, PowerRecorder,
+};
 pub use sampling::{cycle_window_to_samples, SamplingConfig};
 pub use synth::{simulator_runs, AcquisitionConfig, SynthScratch, TraceSynthesizer};
 pub use trace::TraceSet;

@@ -1,6 +1,6 @@
 //! Turning pipeline activity into per-cycle power.
 
-use sca_uarch::{NodeEvent, PipelineObserver};
+use sca_uarch::{BlockObserver, NodeEvent, PipelineObserver};
 
 use crate::LeakageWeights;
 
@@ -84,6 +84,140 @@ impl PipelineObserver for PowerRecorder {
             self.power.resize(idx + 1, 0.0);
         }
         self.power[idx] += self.weights.power_of_kind(event.node.kind(), &event);
+    }
+
+    fn trigger(&mut self, cycle: u64, high: bool) {
+        self.triggers.push((cycle, high));
+    }
+}
+
+/// A [`BlockObserver`] integrating one power series *per lane* of a
+/// lockstep [`sca_uarch::CpuBlock`] run.
+///
+/// Each lane's series is computed exactly as a scalar [`PowerRecorder`]
+/// observing that lane alone would compute it: per-lane events arrive
+/// in the same order, accumulate into the same `f64` per-cycle sums
+/// (same addition order, hence bit-identical), and the shared trigger
+/// edges delimit the same window for every lane.
+/// Storage is lane-major interleaved (`power[cycle * lanes + lane]`):
+/// the lockstep block emits each cycle's events lane-by-lane, so the
+/// writes of one cycle land on adjacent slots instead of `lanes`
+/// separate heap buffers — this recorder sits on the busiest observer
+/// path of the whole campaign engine.
+#[derive(Clone, Debug)]
+pub struct BlockPowerRecorder {
+    weights: LeakageWeights,
+    lanes: usize,
+    /// Lane-major interleaved per-cycle power.
+    power: Vec<f64>,
+    /// Cycles recorded so far (the stride count).
+    cycles: usize,
+    /// Shared `(cycle, level)` trigger edges in order.
+    triggers: Vec<(u64, bool)>,
+}
+
+impl BlockPowerRecorder {
+    /// Creates a recorder for up to `lanes` lanes.
+    pub fn new(weights: LeakageWeights, lanes: usize) -> BlockPowerRecorder {
+        BlockPowerRecorder {
+            weights,
+            lanes: lanes.max(1),
+            power: Vec::new(),
+            cycles: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    fn window(&self) -> (usize, usize) {
+        let Some(start) = self
+            .triggers
+            .iter()
+            .find(|(_, h)| *h)
+            .map(|(c, _)| *c as usize)
+        else {
+            return (0, self.cycles);
+        };
+        let end = self
+            .triggers
+            .iter()
+            .find(|(c, h)| !*h && *c as usize >= start)
+            .map(|(c, _)| *c as usize)
+            .unwrap_or(self.cycles)
+            .min(self.cycles);
+        (start.min(end), end)
+    }
+
+    /// The per-cycle power of one lane inside the first high-trigger
+    /// window (whole series when no trigger fired) — the block analogue
+    /// of [`PowerRecorder::windowed_power`].
+    pub fn windowed_power(&self, lane: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.windowed_power_into(lane, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`BlockPowerRecorder::windowed_power`]: clears `out` and fills
+    /// it with the lane's windowed series, reusing its capacity.
+    pub fn windowed_power_into(&self, lane: usize, out: &mut Vec<f64>) {
+        let (start, end) = self.window();
+        out.clear();
+        out.reserve(end - start);
+        out.extend(
+            self.power[start * self.lanes..end * self.lanes]
+                .iter()
+                .skip(lane)
+                .step_by(self.lanes),
+        );
+    }
+
+    /// Clears recorded data, keeping weights and lane capacity.
+    pub fn reset(&mut self) {
+        self.power.clear();
+        self.cycles = 0;
+        self.triggers.clear();
+    }
+}
+
+impl BlockObserver for BlockPowerRecorder {
+    fn begin_cycle(&mut self, cycle: u64) {
+        let needed = cycle as usize + 1;
+        if self.cycles < needed {
+            self.power.resize(needed * self.lanes, 0.0);
+            self.cycles = needed;
+        }
+    }
+
+    fn node_event(&mut self, lane: usize, event: NodeEvent) {
+        let idx = event.cycle as usize;
+        if self.cycles <= idx {
+            self.power.resize((idx + 1) * self.lanes, 0.0);
+            self.cycles = idx + 1;
+        }
+        self.power[idx * self.lanes + lane] +=
+            self.weights.power_of_kind(event.node.kind(), &event);
+    }
+
+    fn node_events(&mut self, events: &[NodeEvent]) {
+        let Some(first) = events.first() else {
+            return;
+        };
+        let idx = first.cycle as usize;
+        if self.cycles <= idx {
+            self.power.resize((idx + 1) * self.lanes, 0.0);
+            self.cycles = idx + 1;
+        }
+        // One kind/weight resolution for the whole batch; the per-lane
+        // arithmetic below is exactly `power_of_kind`, so each lane's
+        // slot receives the identical f64 the per-event path adds.
+        let kind = first.node.kind();
+        let whd = self.weights.hd(kind);
+        let whw = self.weights.hw(kind);
+        let base = idx * self.lanes;
+        for (slot, event) in self.power[base..base + events.len()].iter_mut().zip(events) {
+            *slot +=
+                whd * f64::from(event.hamming_distance()) + whw * f64::from(event.hamming_weight());
+        }
     }
 
     fn trigger(&mut self, cycle: u64, high: bool) {
@@ -177,6 +311,145 @@ impl ComponentPowerRecorder {
                 .skip(k)
                 .step_by(COUNT),
         );
+    }
+}
+
+/// A [`BlockObserver`] keeping one per-component power series *per
+/// lane* of a lockstep [`sca_uarch::CpuBlock`] run — the block analogue
+/// of [`ComponentPowerRecorder`], with the same cycle-major strided
+/// storage per lane.
+///
+/// Each lane's series is computed exactly as a scalar
+/// [`ComponentPowerRecorder`] observing that lane alone would compute
+/// it: the lane's events arrive in the same order, accumulate into the
+/// same strided `f64` slots (same addition order, hence bit-identical),
+/// and the shared trigger edges delimit the same window for every lane.
+/// Unlike [`BlockPowerRecorder`], storage here stays *per lane* (one
+/// cycle-major strided buffer each, exactly like the scalar
+/// [`ComponentPowerRecorder`]): one lane's per-cycle component block is
+/// a single cache line, and the characterization extracts each lane's
+/// seven component series by re-walking that lane's (L1-resident)
+/// buffer — an interleaved layout would spread every extraction stride
+/// across `lanes` cache lines and thrash the gather.
+#[derive(Clone, Debug)]
+pub struct BlockComponentPowerRecorder {
+    weights: LeakageWeights,
+    /// One cycle-major strided series (`cycles × NodeKind::COUNT`) per
+    /// lane.
+    power: Vec<Vec<f64>>,
+    /// Cycles recorded so far (shared: `begin_cycle` grows every lane).
+    cycles: usize,
+    /// Shared `(cycle, level)` trigger edges in order.
+    triggers: Vec<(u64, bool)>,
+}
+
+impl BlockComponentPowerRecorder {
+    /// Creates a recorder for up to `lanes` lanes.
+    pub fn new(weights: LeakageWeights, lanes: usize) -> BlockComponentPowerRecorder {
+        BlockComponentPowerRecorder {
+            weights,
+            power: vec![Vec::new(); lanes.max(1)],
+            cycles: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Clears recorded data, keeping weights and lane capacity.
+    pub fn reset(&mut self) {
+        for lane in &mut self.power {
+            lane.clear();
+        }
+        self.cycles = 0;
+        self.triggers.clear();
+    }
+
+    fn window(&self) -> (usize, usize) {
+        let Some(start) = self
+            .triggers
+            .iter()
+            .find(|(_, h)| *h)
+            .map(|(c, _)| *c as usize)
+        else {
+            return (0, self.cycles);
+        };
+        let end = self
+            .triggers
+            .iter()
+            .find(|(c, h)| !*h && *c as usize >= start)
+            .map(|(c, _)| *c as usize)
+            .unwrap_or(self.cycles)
+            .min(self.cycles);
+        (start.min(end), end)
+    }
+
+    /// Fills `out` with one lane's windowed per-cycle power for one
+    /// component — the lane-indexed analogue of
+    /// [`ComponentPowerRecorder::windowed_power_into`].
+    pub fn windowed_power_into(&self, lane: usize, kind: sca_uarch::NodeKind, out: &mut Vec<f64>) {
+        let (start, end) = self.window();
+        let k = kind.index();
+        out.clear();
+        out.reserve(end - start);
+        const COUNT: usize = sca_uarch::NodeKind::COUNT;
+        out.extend(
+            self.power[lane][start * COUNT..end * COUNT]
+                .iter()
+                .skip(k)
+                .step_by(COUNT),
+        );
+    }
+}
+
+impl BlockObserver for BlockComponentPowerRecorder {
+    fn begin_cycle(&mut self, cycle: u64) {
+        let needed = cycle as usize + 1;
+        if self.cycles < needed {
+            for series in &mut self.power {
+                series.resize(needed * sca_uarch::NodeKind::COUNT, 0.0);
+            }
+            self.cycles = needed;
+        }
+    }
+
+    fn node_event(&mut self, lane: usize, event: NodeEvent) {
+        let idx = event.cycle as usize;
+        if self.cycles <= idx {
+            for series in &mut self.power {
+                series.resize((idx + 1) * sca_uarch::NodeKind::COUNT, 0.0);
+            }
+            self.cycles = idx + 1;
+        }
+        let kind = event.node.kind();
+        self.power[lane][idx * sca_uarch::NodeKind::COUNT + kind.index()] +=
+            self.weights.power_of_kind(kind, &event);
+    }
+
+    fn node_events(&mut self, events: &[NodeEvent]) {
+        let Some(first) = events.first() else {
+            return;
+        };
+        let idx = first.cycle as usize;
+        if self.cycles <= idx {
+            for series in &mut self.power {
+                series.resize((idx + 1) * sca_uarch::NodeKind::COUNT, 0.0);
+            }
+            self.cycles = idx + 1;
+        }
+        // Same batching as `BlockPowerRecorder::node_events`: resolve
+        // the kind and both weights once, add the identical
+        // `power_of_kind` value to each lane's strided slot.
+        let kind = first.node.kind();
+        let whd = self.weights.hd(kind);
+        let whw = self.weights.hw(kind);
+        let off = idx * sca_uarch::NodeKind::COUNT + kind.index();
+        for (series, event) in self.power.iter_mut().zip(events) {
+            series[off] +=
+                whd * f64::from(event.hamming_distance()) + whw * f64::from(event.hamming_weight());
+        }
+    }
+
+    fn trigger(&mut self, cycle: u64, high: bool) {
+        self.triggers.push((cycle, high));
     }
 }
 

@@ -20,9 +20,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sca_uarch::{Cpu, UarchError};
+use sca_uarch::{Cpu, CpuBlock, UarchError};
 
-use crate::{GaussianNoise, LeakageWeights, PowerRecorder, SamplingConfig, TraceSet};
+use crate::{
+    BlockPowerRecorder, GaussianNoise, LeakageWeights, PowerRecorder, SamplingConfig, TraceSet,
+};
 
 /// Acquisition campaign parameters.
 #[derive(Clone, Debug)]
@@ -410,16 +412,111 @@ impl TraceSynthesizer {
             if scratch.accum.is_empty() {
                 scratch.accum.extend_from_slice(&scratch.samples);
             } else {
-                let n = scratch.accum.len().min(scratch.samples.len());
-                for i in 0..n {
-                    scratch.accum[i] += scratch.samples[i];
-                }
+                crate::vecops::add_assign(&mut scratch.accum, &scratch.samples);
             }
         }
         let inv = 1.0 / executions as f64;
         trace.clear();
-        trace.extend(scratch.accum.iter().map(|&s| (s * inv) as f32));
+        crate::vecops::scaled_narrow_extend(trace, &scratch.accum, inv);
         Ok(input)
+    }
+
+    /// Lockstep multi-trace synthesis: like `count` consecutive
+    /// [`TraceSynthesizer::synth_into`] calls for indices
+    /// `base_index..base_index + count`, but every execution steps all
+    /// traces through one [`CpuBlock`] in a single pipeline walk.
+    ///
+    /// Bit-for-bit identical to the scalar path by construction: each
+    /// lane draws from its own per-index RNG streams (inputs, noise,
+    /// scrambles) exactly as the scalar path does, and the block emits
+    /// per-lane node events in the same order a scalar run would, so the
+    /// f64 accumulation order matches. The differential tests in
+    /// `sca-campaign` pin this across every lane count.
+    ///
+    /// Returns `None` when the block detects lockstep divergence (data-
+    /// dependent control flow or timing); the caller must then fall back
+    /// to the scalar path for these indices. No simulator runs are
+    /// counted for a diverged group.
+    ///
+    /// `scratches` and `traces` must each hold at least `count` entries;
+    /// `traces[0..count]` are cleared and filled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synth_block_into<G, S, P>(
+        &self,
+        block: &mut CpuBlock,
+        recorder: &mut BlockPowerRecorder,
+        scratches: &mut [SynthScratch],
+        traces: &mut [Vec<f32>],
+        entry: u32,
+        base_index: usize,
+        count: usize,
+        clip: Option<(usize, usize)>,
+        generate: &G,
+        stage: &S,
+        post: &P,
+    ) -> Option<Vec<Vec<u8>>>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
+    {
+        assert!(count >= 1 && count <= block.max_lanes(), "bad lane count");
+        assert!(scratches.len() >= count && traces.len() >= count);
+
+        let mut rngs: Vec<StdRng> = (0..count)
+            .map(|l| StdRng::seed_from_u64(child_seed(self.config.seed, (base_index + l) as u64)))
+            .collect();
+        let inputs: Vec<Vec<u8>> = (0..count)
+            .map(|l| generate(&mut rngs[l], base_index + l))
+            .collect();
+        let executions = self.config.executions_per_trace.max(1);
+        let mut noises: Vec<GaussianNoise> = vec![self.config.noise; count];
+        for scratch in scratches.iter_mut().take(count) {
+            scratch.accum.clear();
+        }
+        let keep = clip.unwrap_or((0, usize::MAX));
+        // Gather buffer for one lane's windowed series (the recorder
+        // stores lanes interleaved); grows once and is reused across
+        // every (execution, lane) of this group.
+        let mut windowed: Vec<f64> = Vec::new();
+        let mut seeds = [0u64; sca_uarch::MAX_LANES];
+        for execution in 0..executions {
+            for (l, seed) in seeds.iter_mut().enumerate().take(count) {
+                *seed = child_seed(
+                    self.config.seed ^ 0x5eed_0f0d_e500,
+                    ((base_index + l) as u64) << 8 | execution as u64,
+                );
+            }
+            block.restart_seeded(entry, &seeds[..count]);
+            for (l, input) in inputs.iter().enumerate() {
+                stage(block.lane_mut(l), input);
+            }
+            recorder.reset();
+            if block.run(recorder).is_err() {
+                return None;
+            }
+            SIMULATOR_RUNS.fetch_add(count as u64, Ordering::Relaxed);
+            for l in 0..count {
+                let scratch = &mut scratches[l];
+                recorder.windowed_power_into(l, &mut windowed);
+                self.config
+                    .sampling
+                    .expand_into_clipped(&windowed, &mut scratch.samples, keep);
+                noises[l].add_to_clipped(&mut rngs[l], &mut scratch.samples, keep);
+                post(&mut rngs[l], &mut scratch.samples);
+                if scratch.accum.is_empty() {
+                    scratch.accum.extend_from_slice(&scratch.samples);
+                } else {
+                    crate::vecops::add_assign(&mut scratch.accum, &scratch.samples);
+                }
+            }
+        }
+        let inv = 1.0 / executions as f64;
+        for l in 0..count {
+            traces[l].clear();
+            crate::vecops::scaled_narrow_extend(&mut traces[l], &scratches[l].accum, inv);
+        }
+        Some(inputs)
     }
 }
 

@@ -32,6 +32,10 @@ pub struct TargetCampaignConfig {
     pub threads: usize,
     /// Traces buffered per worker between sink updates.
     pub batch: usize,
+    /// Lockstep lanes: consecutive traces simulated together through
+    /// one `CpuBlock` pipeline walk (1 disables lockstep). Results are
+    /// bit-identical at every setting.
+    pub lanes: usize,
     /// Measurement noise.
     pub noise: GaussianNoise,
 }
@@ -44,6 +48,7 @@ impl Default for TargetCampaignConfig {
             seed: 0xdac_2018,
             threads: 8,
             batch: sca_campaign::DEFAULT_BATCH,
+            lanes: sca_campaign::DEFAULT_LANES,
             noise: GaussianNoise::bare_metal(),
         }
     }
@@ -221,6 +226,7 @@ impl<'a> TargetCampaign<'a> {
                 batch: self.config.batch,
             },
         )
+        .with_lanes(self.config.lanes)
         .with_window(start, len)
     }
 

@@ -14,8 +14,10 @@ use rand::SeedableRng;
 
 use sca_analysis::{significance_threshold, PearsonAccumulator};
 use sca_campaign::{run_sharded, Mergeable, ShardPlan};
-use sca_power::{ComponentPowerRecorder, LeakageWeights, NoiseSource};
-use sca_uarch::{Cpu, NodeKind, UarchError};
+use sca_power::{
+    BlockComponentPowerRecorder, ComponentPowerRecorder, GaussianNoise, LeakageWeights, NoiseSource,
+};
+use sca_uarch::{Cpu, CpuBlock, NodeKind, UarchError};
 
 use crate::{resolve_window, CipherTarget, TargetCampaignConfig, TargetError, TargetModel};
 
@@ -94,6 +96,9 @@ struct CharzSink {
 struct CharzWorker {
     cpu: Cpu,
     recorder: ComponentPowerRecorder,
+    /// Lockstep group state; `None` at one lane, or permanently after a
+    /// divergence (same poison policy as `sca_campaign::SimArena`).
+    block: Option<CharzBlock>,
     /// Per-component execution-averaged power (f64, one per component).
     accumulated: Vec<Vec<f64>>,
     /// One component's windowed per-cycle power.
@@ -104,11 +109,26 @@ struct CharzWorker {
     channels: Vec<Vec<f32>>,
 }
 
+/// The lockstep counterpart of the scalar worker fields: a `CpuBlock`
+/// stepping up to `lanes` characterization traces together, a per-lane
+/// per-component recorder, and per-lane accumulation buffers.
+struct CharzBlock {
+    block: CpuBlock,
+    recorder: BlockComponentPowerRecorder,
+    /// `lanes × components` execution-averaged power.
+    accumulated: Vec<Vec<Vec<f64>>>,
+}
+
 impl CharzWorker {
-    fn new(template: &Cpu, components: usize) -> CharzWorker {
+    fn new(template: &Cpu, components: usize, lanes: usize) -> CharzWorker {
         CharzWorker {
             cpu: template.clone(),
             recorder: ComponentPowerRecorder::new(LeakageWeights::cortex_a7()),
+            block: (lanes > 1).then(|| CharzBlock {
+                block: CpuBlock::from_template(template, lanes),
+                recorder: BlockComponentPowerRecorder::new(LeakageWeights::cortex_a7(), lanes),
+                accumulated: vec![vec![Vec::new(); components]; lanes],
+            }),
             accumulated: vec![Vec::new(); components],
             samples: Vec::new(),
             cropped: Vec::new(),
@@ -125,6 +145,94 @@ impl Mergeable for CharzSink {
             }
         }
     }
+}
+
+/// Runs one lockstep group of `count` characterization traces starting
+/// at index `base` through the worker's `CpuBlock`, absorbing each
+/// lane's channels into the sink in trace-index order.
+///
+/// Every lane computes exactly what the scalar path computes for its
+/// index — same RNG streams, same noise draw order, same `f64`
+/// accumulation order — so the result is bit-identical. Returns
+/// `Ok(false)` on cross-lane divergence *before* touching the sink, so
+/// the caller can re-run the group on the scalar path.
+#[allow(clippy::too_many_arguments)]
+fn charz_block_group(
+    worker: &mut CharzWorker,
+    sink: &mut CharzSink,
+    target: &dyn CipherTarget,
+    models: &[TargetModel],
+    entry: u32,
+    seed: u64,
+    noise: GaussianNoise,
+    executions: usize,
+    start: usize,
+    len: usize,
+    base: usize,
+    count: usize,
+) -> Result<bool, UarchError> {
+    let Some(blk) = worker.block.as_mut() else {
+        return Ok(false);
+    };
+    debug_assert!(count > 1 && count <= blk.block.max_lanes());
+    let mut rngs: Vec<StdRng> = (0..count)
+        .map(|l| StdRng::seed_from_u64(seed.wrapping_add((base + l) as u64 * 0x9e37)))
+        .collect();
+    let inputs: Vec<Vec<u8>> = rngs
+        .iter_mut()
+        .enumerate()
+        .map(|(l, rng)| target.generate(rng, base + l))
+        .collect();
+    for lane in 0..count {
+        for channel in &mut blk.accumulated[lane] {
+            channel.clear();
+            channel.resize(len, 0.0);
+        }
+    }
+    let mut seeds = [0u64; sca_uarch::MAX_LANES];
+    for e in 0..executions {
+        for (l, s) in seeds[..count].iter_mut().enumerate() {
+            *s = seed ^ (((base + l) as u64) << 8 | e as u64);
+        }
+        blk.block.restart_seeded(entry, &seeds[..count]);
+        for (l, input) in inputs.iter().enumerate() {
+            target.stage(blk.block.lane_mut(l), input);
+        }
+        blk.recorder.reset();
+        if blk.block.run(&mut blk.recorder).is_err() {
+            return Ok(false);
+        }
+        for (l, rng) in rngs.iter_mut().enumerate() {
+            let mut gauss = noise;
+            for (c, &kind) in CHARZ_COMPONENTS.iter().enumerate() {
+                blk.recorder
+                    .windowed_power_into(l, kind, &mut worker.samples);
+                worker.samples.resize(start + len, 0.0);
+                worker.cropped.clear();
+                worker
+                    .cropped
+                    .extend_from_slice(&worker.samples[start..start + len]);
+                gauss.add_to(rng, &mut worker.cropped);
+                for (a, s) in blk.accumulated[l][c].iter_mut().zip(&worker.cropped) {
+                    *a += s;
+                }
+            }
+        }
+    }
+    let inv = 1.0 / executions as f64;
+    for (l, input) in inputs.iter().enumerate() {
+        for (channel, accumulated) in worker.channels.iter_mut().zip(&blk.accumulated[l]) {
+            channel.clear();
+            channel.extend(accumulated.iter().map(|&s| (s * inv) as f32));
+        }
+        for (model, row) in models.iter().zip(&mut sink.accs) {
+            let prediction = model.predict_true(input);
+            for (acc, channel) in row.iter_mut().zip(&worker.channels) {
+                acc.add(prediction, channel);
+            }
+        }
+    }
+    Ok(true)
 }
 
 /// Characterizes a target's models against every pipeline component.
@@ -167,9 +275,10 @@ pub fn characterize_target(
     let seed = config.seed ^ 0xc4a12;
     let noise = config.noise;
     let executions = config.executions_per_trace.max(1);
+    let lanes = config.lanes.clamp(1, sca_uarch::MAX_LANES);
     let sink = run_sharded(
         &plan,
-        || CharzWorker::new(cpu, CHARZ_COMPONENTS.len()),
+        || CharzWorker::new(cpu, CHARZ_COMPONENTS.len(), lanes),
         || CharzSink {
             accs: models
                 .iter()
@@ -182,47 +291,68 @@ pub fn characterize_target(
                 .collect(),
         },
         |worker, sink, range| {
-            for t in range {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9e37));
-                let input = target.generate(&mut rng, t);
-                for channel in &mut worker.accumulated {
-                    channel.clear();
-                    channel.resize(len, 0.0);
+            let mut t = range.start;
+            while t < range.end {
+                let width = worker.block.as_ref().map_or(1, |b| b.block.max_lanes());
+                let group = width.min(range.end - t);
+                if group > 1 {
+                    if charz_block_group(
+                        worker, sink, target, models, entry, seed, noise, executions, start, len,
+                        t, group,
+                    )? {
+                        t += group;
+                        continue;
+                    }
+                    // Divergence: poison the block for this worker and
+                    // re-run the whole group on the self-contained
+                    // scalar path (nothing was absorbed yet).
+                    worker.block = None;
                 }
-                for e in 0..executions {
-                    worker
-                        .cpu
-                        .restart_seeded(entry, seed ^ ((t as u64) << 8 | e as u64));
-                    target.stage(&mut worker.cpu, &input);
-                    worker.recorder.reset();
-                    worker.cpu.run(&mut worker.recorder)?;
-                    let mut gauss = noise;
-                    for (c, &kind) in CHARZ_COMPONENTS.iter().enumerate() {
+                for i in t..t + group {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9e37));
+                    let input = target.generate(&mut rng, i);
+                    for channel in &mut worker.accumulated {
+                        channel.clear();
+                        channel.resize(len, 0.0);
+                    }
+                    for e in 0..executions {
                         worker
-                            .recorder
-                            .windowed_power_into(kind, &mut worker.samples);
-                        worker.samples.resize(start + len, 0.0);
-                        worker.cropped.clear();
-                        worker
-                            .cropped
-                            .extend_from_slice(&worker.samples[start..start + len]);
-                        gauss.add_to(&mut rng, &mut worker.cropped);
-                        for (a, s) in worker.accumulated[c].iter_mut().zip(&worker.cropped) {
-                            *a += s;
+                            .cpu
+                            .restart_seeded(entry, seed ^ ((i as u64) << 8 | e as u64));
+                        target.stage(&mut worker.cpu, &input);
+                        worker.recorder.reset();
+                        worker.cpu.run(&mut worker.recorder)?;
+                        let mut gauss = noise;
+                        for (c, &kind) in CHARZ_COMPONENTS.iter().enumerate() {
+                            worker
+                                .recorder
+                                .windowed_power_into(kind, &mut worker.samples);
+                            worker.samples.resize(start + len, 0.0);
+                            worker.cropped.clear();
+                            worker
+                                .cropped
+                                .extend_from_slice(&worker.samples[start..start + len]);
+                            gauss.add_to(&mut rng, &mut worker.cropped);
+                            for (a, s) in worker.accumulated[c].iter_mut().zip(&worker.cropped) {
+                                *a += s;
+                            }
+                        }
+                    }
+                    let inv = 1.0 / executions as f64;
+                    for (channel, accumulated) in
+                        worker.channels.iter_mut().zip(&worker.accumulated)
+                    {
+                        channel.clear();
+                        channel.extend(accumulated.iter().map(|&s| (s * inv) as f32));
+                    }
+                    for (model, row) in models.iter().zip(&mut sink.accs) {
+                        let prediction = model.predict_true(&input);
+                        for (acc, channel) in row.iter_mut().zip(&worker.channels) {
+                            acc.add(prediction, channel);
                         }
                     }
                 }
-                let inv = 1.0 / executions as f64;
-                for (channel, accumulated) in worker.channels.iter_mut().zip(&worker.accumulated) {
-                    channel.clear();
-                    channel.extend(accumulated.iter().map(|&s| (s * inv) as f32));
-                }
-                for (model, row) in models.iter().zip(&mut sink.accs) {
-                    let prediction = model.predict_true(&input);
-                    for (acc, channel) in row.iter_mut().zip(&worker.channels) {
-                        acc.add(prediction, channel);
-                    }
-                }
+                t += group;
             }
             Ok::<(), UarchError>(())
         },

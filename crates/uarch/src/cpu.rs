@@ -30,19 +30,21 @@ use crate::{
 };
 
 /// One instruction sitting in the front end (fetched, being decoded).
+/// Shared with the lockstep block simulator (`block.rs`), whose front
+/// end is identical by construction.
 #[derive(Clone, Copy, Debug)]
-struct FrontendEntry {
-    addr: u32,
+pub(crate) struct FrontendEntry {
+    pub(crate) addr: u32,
     /// `Err` marks a word that did not decode; it only faults if issue
     /// actually reaches it (the fetch unit runs ahead of `halt`).
-    insn: Result<Insn, u32>,
+    pub(crate) insn: Result<Insn, u32>,
     /// Cycle from which the instruction is visible to the issue stage.
-    ready_at: u64,
+    pub(crate) ready_at: u64,
 }
 
 /// An instruction in flight between issue and retirement.
 #[derive(Clone, Copy, Debug)]
-struct RetireEntry {
+pub(crate) struct RetireEntry {
     addr: u32,
     insn: Insn,
     complete_at: u64,
@@ -57,7 +59,7 @@ struct RetireEntry {
 /// A node assertion scheduled for a future cycle (e.g. a load's MDR
 /// update three cycles after issue).
 #[derive(Clone, Copy, Debug)]
-struct PendingEvent {
+pub(crate) struct PendingEvent {
     node: Node,
     value: u32,
     precharged: bool,
@@ -69,7 +71,7 @@ struct PendingEvent {
 /// small pool — after the first few traces of a campaign the queue runs
 /// allocation-free.
 #[derive(Clone, Debug, Default)]
-struct EventQueue {
+pub(crate) struct EventQueue {
     /// `slots[i]` holds the events for cycle `base + i`, in scheduling
     /// order (the order observers must see them in).
     slots: VecDeque<Vec<PendingEvent>>,
@@ -182,28 +184,32 @@ impl BusList {
 /// worker thread so every trace starts from identical cache state.
 #[derive(Clone, Debug)]
 pub struct Cpu {
-    config: UarchConfig,
-    regs: [u32; 16],
-    flags: Flags,
-    pc: u32,
-    mem: Memory,
-    icache: CacheHierarchy,
-    dcache: CacheHierarchy,
-    nodes: NodeState,
-    stats: ExecStats,
-    cycle: u64,
-    halted: bool,
-    trigger_level: bool,
+    // Fields are crate-visible for the lockstep block simulator
+    // (`block.rs`), which drives N lane `Cpu`s through a shared control
+    // path and must read/write their architectural and node state
+    // directly.
+    pub(crate) config: UarchConfig,
+    pub(crate) regs: [u32; 16],
+    pub(crate) flags: Flags,
+    pub(crate) pc: u32,
+    pub(crate) mem: Memory,
+    pub(crate) icache: CacheHierarchy,
+    pub(crate) dcache: CacheHierarchy,
+    pub(crate) nodes: NodeState,
+    pub(crate) stats: ExecStats,
+    pub(crate) cycle: u64,
+    pub(crate) halted: bool,
+    pub(crate) trigger_level: bool,
 
-    frontend: VecDeque<FrontendEntry>,
-    fetch_ready_at: u64,
-    lsu_ready_at: u64,
-    reg_ready: [u64; 16],
-    flags_ready: u64,
-    retire_queue: VecDeque<RetireEntry>,
-    pending: EventQueue,
+    pub(crate) frontend: VecDeque<FrontendEntry>,
+    pub(crate) fetch_ready_at: u64,
+    pub(crate) lsu_ready_at: u64,
+    pub(crate) reg_ready: [u64; 16],
+    pub(crate) flags_ready: u64,
+    pub(crate) retire_queue: VecDeque<RetireEntry>,
+    pub(crate) pending: EventQueue,
     /// Monotonic restart counter seeding the node-state scramble.
-    restart_seq: u64,
+    pub(crate) restart_seq: u64,
 }
 
 impl Cpu {
@@ -526,7 +532,7 @@ impl Cpu {
     /// Structural legality of a dual-issue pair, independent of the
     /// pairing policy: read-port budget, write-port (WAW) conflicts,
     /// intra-group RAW/flag dependences, and a taken-branch guard.
-    fn pair_structurally_legal(&self, older: &Insn, younger: &Insn) -> bool {
+    pub(crate) fn pair_structurally_legal(&self, older: &Insn, younger: &Insn) -> bool {
         if older.read_ports() + younger.read_ports() > self.config.rf_read_ports {
             return false;
         }
@@ -553,7 +559,7 @@ impl Cpu {
     }
 
     /// Pipe for the younger instruction of a dual-issued pair.
-    fn younger_default_pipe(older: &Insn, younger: &Insn) -> Pipe {
+    pub(crate) fn younger_default_pipe(older: &Insn, younger: &Insn) -> Pipe {
         let older_takes_alu0 = matches!(
             older.class(),
             InsnClass::Mov | InsnClass::Alu | InsnClass::AluImm | InsnClass::Shift | InsnClass::Mul
@@ -569,7 +575,7 @@ impl Cpu {
     // ---- dispatch / execute ------------------------------------------------
 
     /// Reads a register as an operand (PC reads yield `addr + 8`).
-    fn operand(&self, reg: Reg, addr: u32) -> u32 {
+    pub(crate) fn operand(&self, reg: Reg, addr: u32) -> u32 {
         if reg == Reg::PC {
             addr.wrapping_add(8)
         } else {

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod block;
 mod cache;
 mod config;
 mod cpu;
@@ -46,6 +47,7 @@ mod observer;
 mod policy;
 mod stats;
 
+pub use block::{BlockObserver, CpuBlock, Divergence, MAX_LANES};
 pub use cache::{Cache, CacheAccess, CacheHierarchy};
 pub use config::{CacheConfig, UarchConfig};
 pub use cpu::Cpu;

@@ -1,0 +1,254 @@
+//! Lockstep conformance: a `CpuBlock` stepping N traces together must
+//! be **byte-identical** to N independent scalar `Cpu` runs — per
+//! target, per lane count, at the synthesis layer and through the full
+//! campaign engine.
+//!
+//! This is the harness that makes the lockstep fast path safe to leave
+//! on by default: the block shares one pipeline walk across lanes, so
+//! any divergence it fails to detect (or any per-lane event it emits in
+//! the wrong order) would silently corrupt every downstream statistic.
+//! Here every portfolio target — AES-128, masked AES, SPECK64/128,
+//! PRESENT-80 — runs at N ∈ {1, 2, 5, 8} against the scalar reference,
+//! and the traces are compared bit-for-bit, not to an epsilon.
+
+use rand::rngs::StdRng;
+
+use sca_target::{characterize_target, portfolio, TargetCampaignConfig};
+use superscalar_sca::campaign::{Campaign, CampaignConfig, Mergeable};
+use superscalar_sca::power::{
+    AcquisitionConfig, BlockPowerRecorder, GaussianNoise, PowerRecorder, SamplingConfig,
+    SynthScratch, TraceSynthesizer,
+};
+use superscalar_sca::uarch::{Cpu, CpuBlock, UarchConfig};
+
+const LANE_COUNTS: [usize; 4] = [1, 2, 5, 8];
+
+fn synthesizer(seed: u64) -> TraceSynthesizer {
+    TraceSynthesizer::new(
+        superscalar_sca::power::LeakageWeights::cortex_a7(),
+        AcquisitionConfig {
+            traces: 16,
+            executions_per_trace: 2,
+            sampling: SamplingConfig::picoscope_500msps_120mhz(),
+            noise: GaussianNoise::bare_metal(),
+            seed,
+            threads: 1,
+        },
+    )
+}
+
+/// The direct differential: `synth_block_into` at every lane count vs
+/// one `synth_into` per index, for every portfolio target — identical
+/// inputs and bit-identical f32 traces, from a nonzero base index so
+/// lane→index mapping is exercised too.
+#[test]
+fn block_synthesis_matches_scalar_per_target_and_lane_count() {
+    let uarch = UarchConfig::cortex_a7();
+    for target in portfolio().iter() {
+        let target = target.as_ref();
+        let template = target.build(&uarch).expect("target builds");
+        let entry = target.program().entry();
+        let synth = synthesizer(0x010c_45e7 ^ target.name().len() as u64);
+        let generate = |rng: &mut StdRng, index: usize| target.generate(rng, index);
+        let stage = |cpu: &mut Cpu, input: &[u8]| target.stage(cpu, input);
+        let post = |_: &mut StdRng, _: &mut Vec<f64>| {};
+
+        for lanes in LANE_COUNTS {
+            let base = 3; // nonzero: lane l must map to trace base + l
+                          // Scalar reference: one self-contained synthesis per index.
+            let mut scalar_cpu = template.clone();
+            let mut recorder = PowerRecorder::new(synth.weights().clone());
+            let mut scratch = SynthScratch::new();
+            let mut want: Vec<(Vec<f32>, Vec<u8>)> = Vec::new();
+            for index in base..base + lanes {
+                let mut trace = Vec::new();
+                let input = synth
+                    .synth_into(
+                        &mut scalar_cpu,
+                        &mut recorder,
+                        &mut scratch,
+                        &mut trace,
+                        entry,
+                        index,
+                        None,
+                        &generate,
+                        &stage,
+                        &post,
+                    )
+                    .expect("scalar synthesis runs");
+                want.push((trace, input));
+            }
+
+            // Lockstep: all lanes in one pipeline walk.
+            let mut block = CpuBlock::from_template(&template, lanes);
+            let mut block_recorder = BlockPowerRecorder::new(synth.weights().clone(), lanes);
+            let mut scratches = vec![SynthScratch::new(); lanes];
+            let mut traces = vec![Vec::new(); lanes];
+            let inputs = synth
+                .synth_block_into(
+                    &mut block,
+                    &mut block_recorder,
+                    &mut scratches,
+                    &mut traces,
+                    entry,
+                    base,
+                    lanes,
+                    None,
+                    &generate,
+                    &stage,
+                    &post,
+                )
+                .unwrap_or_else(|| {
+                    panic!("[{}] lanes {lanes}: unexpected divergence", target.name())
+                });
+
+            for l in 0..lanes {
+                assert_eq!(
+                    inputs[l],
+                    want[l].1,
+                    "[{}] lanes {lanes} lane {l}: input",
+                    target.name()
+                );
+                assert_eq!(
+                    traces[l].len(),
+                    want[l].0.len(),
+                    "[{}] lanes {lanes} lane {l}: trace length",
+                    target.name()
+                );
+                for (s, (a, b)) in traces[l].iter().zip(&want[l].0).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "[{}] lanes {lanes} lane {l} sample {s}",
+                        target.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A sink that materializes every (input, windowed trace) it absorbs,
+/// in index order — the campaign-level fingerprint.
+#[derive(Debug, Default)]
+struct CollectSink {
+    inputs: Vec<Vec<u8>>,
+    flat: Vec<f32>,
+}
+
+impl Mergeable for CollectSink {
+    fn merge(&mut self, other: CollectSink) {
+        self.inputs.extend(other.inputs);
+        self.flat.extend(other.flat);
+    }
+}
+
+impl superscalar_sca::campaign::CampaignSink for CollectSink {
+    fn absorb_batch(&mut self, inputs: &[Vec<u8>], traces: &[f32], _samples: usize) {
+        self.inputs.extend(inputs.iter().cloned());
+        self.flat.extend_from_slice(traces);
+    }
+}
+
+/// End-to-end through the campaign engine: every trace the engine
+/// delivers to its sinks is bit-identical at every lane count — across
+/// group-boundary remainders (traces % lanes ≠ 0), batch chunking and
+/// the clipped-window path, for a representative target.
+#[test]
+fn campaign_results_are_lane_count_invariant() {
+    let targets = portfolio();
+    let target = targets
+        .iter()
+        .find(|t| t.name() == "speck64128")
+        .expect("portfolio registers speck64128")
+        .as_ref();
+    let uarch = UarchConfig::cortex_a7();
+    let template = target.build(&uarch).expect("target builds");
+    let entry = target.program().entry();
+
+    let run = |lanes: usize| -> CollectSink {
+        let campaign = Campaign::new(
+            superscalar_sca::power::LeakageWeights::cortex_a7(),
+            CampaignConfig {
+                traces: 21, // deliberately not a multiple of any lane count
+                executions_per_trace: 2,
+                sampling: SamplingConfig::picoscope_500msps_120mhz(),
+                noise: GaussianNoise::bare_metal(),
+                seed: 0xb10c,
+                threads: 2,
+                batch: 6,
+            },
+        )
+        .with_lanes(lanes)
+        .with_window(2, 40);
+        campaign
+            .run(
+                &template,
+                entry,
+                |rng: &mut StdRng, index| target.generate(rng, index),
+                |cpu: &mut Cpu, input: &[u8]| target.stage(cpu, input),
+                |_| CollectSink::default(),
+            )
+            .expect("campaign runs")
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.inputs.len(), 21);
+    for lanes in [2, 5, 8] {
+        let got = run(lanes);
+        assert_eq!(got.inputs, reference.inputs, "lanes {lanes}: inputs");
+        assert_eq!(got.flat.len(), reference.flat.len(), "lanes {lanes}: size");
+        for (i, (a, b)) in got.flat.iter().zip(&reference.flat).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "lanes {lanes} flat sample {i}");
+        }
+    }
+}
+
+/// The per-component characterization rides the same lockstep block
+/// (`charz_block_group` + `BlockComponentPowerRecorder`): every
+/// `(model, component)` peak correlation must be bit-identical at every
+/// lane count, for every portfolio target — including the trailing
+/// partial group (traces % lanes != 0) and the threaded shard split.
+#[test]
+fn characterization_is_lane_count_invariant() {
+    let uarch = UarchConfig::cortex_a7();
+    for target in portfolio().iter() {
+        let target = target.as_ref();
+        let template = target.build(&uarch).expect("target builds");
+        let models = target.models();
+
+        let run = |lanes: usize| {
+            let config = TargetCampaignConfig {
+                traces: 19, // not a multiple of any lane count
+                executions_per_trace: 2,
+                seed: 0xc4a7_2e11,
+                threads: 2,
+                batch: 6,
+                lanes,
+                noise: GaussianNoise::bare_metal(),
+            };
+            characterize_target(target, &template, &models, &config, 0.995)
+                .expect("characterization runs")
+        };
+
+        let reference = run(1);
+        for lanes in [2, 5, 8] {
+            let got = run(lanes);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.model, r.model);
+                for (gc, rc) in g.cells.iter().zip(&r.cells) {
+                    assert_eq!(
+                        gc.peak_corr.to_bits(),
+                        rc.peak_corr.to_bits(),
+                        "[{}] lanes {lanes} model {} component {:?}",
+                        target.name(),
+                        g.model,
+                        gc.component
+                    );
+                    assert_eq!(gc.significant, rc.significant);
+                }
+            }
+        }
+    }
+}
