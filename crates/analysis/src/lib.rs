@@ -39,7 +39,7 @@ mod stats;
 mod ttest;
 
 pub use cpa::{cpa_attack, model_correlation, CpaAccumulator, CpaConfig, CpaResult};
-pub use metrics::{rank_evolution, traces_to_rank0, RankPoint};
+pub use metrics::{estimate_traces_to_disclosure, rank_evolution, traces_to_rank0, RankPoint};
 pub use models::{hd32, hw32, hw8, input_word, FnSelection, InputModel, SelectionFunction};
 pub use pearson::{pearson, PearsonAccumulator};
 pub use snapshot::{StateError, StateReader, StateWriter};

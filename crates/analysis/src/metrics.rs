@@ -114,6 +114,32 @@ pub fn traces_to_rank0(curve: &[RankPoint]) -> Option<usize> {
     candidate
 }
 
+/// A rule-of-thumb forecast of traces-to-disclosure from an observed
+/// peak correlation: `ceil(3 + 8 / ln²((1+ρ)/(1-ρ)))` — Mangard's
+/// success-rate formula for a 90%-confidence distinguishing experiment,
+/// the standard way to extrapolate "how many more traces" while an
+/// attack is still below rank 0.
+///
+/// Used by the campaign server's streamed progress events: once a
+/// partial campaign reaches rank 0 the *measured* crossing
+/// ([`traces_to_rank0`]) is authoritative, but before that this
+/// estimate is the only forward-looking number available. Returns
+/// `None` for `ρ ≤ 0` or non-finite inputs (no correlation ⇒ no
+/// forecast); `ρ ≥ 1` forecasts the 3-trace floor.
+#[must_use]
+pub fn estimate_traces_to_disclosure(rho: f64) -> Option<u64> {
+    if !rho.is_finite() || rho <= 0.0 {
+        return None;
+    }
+    if rho >= 1.0 {
+        return Some(3);
+    }
+    // Fisher z-transform: z = ln((1+ρ)/(1-ρ)) = 2·atanh(ρ).
+    let z = ((1.0 + rho) / (1.0 - rho)).ln();
+    let n = 3.0 + 8.0 / (z * z);
+    Some(n.ceil() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +233,27 @@ mod tests {
             "early luck at n=10 does not count"
         );
         assert_eq!(traces_to_rank0(&[]), None);
+    }
+
+    #[test]
+    fn disclosure_estimate_tracks_correlation_strength() {
+        // Stronger correlation ⇒ fewer traces; the curve must be
+        // monotone and hit the known anchors of Mangard's formula.
+        let strong = estimate_traces_to_disclosure(0.8).expect("valid rho");
+        let medium = estimate_traces_to_disclosure(0.3).expect("valid rho");
+        let weak = estimate_traces_to_disclosure(0.05).expect("valid rho");
+        assert!(strong < medium && medium < weak);
+        // ρ=0.05 ⇒ z≈0.1, n ≈ 3 + 8/0.01 ≈ 803.
+        assert!((750..=850).contains(&weak), "weak={weak}");
+        assert_eq!(estimate_traces_to_disclosure(1.5), Some(3));
+    }
+
+    #[test]
+    fn disclosure_estimate_rejects_unusable_correlations() {
+        assert_eq!(estimate_traces_to_disclosure(0.0), None);
+        assert_eq!(estimate_traces_to_disclosure(-0.4), None);
+        assert_eq!(estimate_traces_to_disclosure(f64::NAN), None);
+        assert_eq!(estimate_traces_to_disclosure(f64::INFINITY), None);
     }
 
     #[test]

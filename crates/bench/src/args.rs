@@ -159,12 +159,7 @@ impl CommonArgs {
         if out.batch == 0 {
             return Err(ArgsError("'--batch' must be at least 1".to_owned()));
         }
-        if out.lanes == 0 || out.lanes > sca_uarch::MAX_LANES {
-            return Err(ArgsError(format!(
-                "'--lanes' must be in 1..={}",
-                sca_uarch::MAX_LANES
-            )));
-        }
+        validate_lanes(out.lanes)?;
         if out.checkpoint_every == 0 {
             return Err(ArgsError(
                 "'--checkpoint-every' must be at least 1".to_owned(),
@@ -229,6 +224,26 @@ impl CommonArgs {
             quick_default
         })
     }
+}
+
+/// Validates a `--lanes` value against the lockstep engine's bounds:
+/// zero lanes is meaningless and more than [`sca_uarch::MAX_LANES`]
+/// overruns the SIMD group width. Shared by every binary that accepts
+/// the flag (`CommonArgs` and the `serve` front end), so the bound is
+/// enforced — and reported — identically everywhere.
+///
+/// # Errors
+///
+/// Returns the canonical `'--lanes' must be in 1..=MAX` rejection for
+/// an out-of-range value.
+pub fn validate_lanes(lanes: usize) -> Result<(), ArgsError> {
+    if lanes == 0 || lanes > sca_uarch::MAX_LANES {
+        return Err(ArgsError(format!(
+            "'--lanes' must be in 1..={}",
+            sca_uarch::MAX_LANES
+        )));
+    }
+    Ok(())
 }
 
 fn parse_value<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ArgsError> {
@@ -369,6 +384,27 @@ mod tests {
         // With a store they all parse.
         assert!(parse(&["--store", "d", "--resume"]).unwrap().resume);
         assert!(parse(&["--store", "d", "--reanalyze"]).unwrap().reanalyze);
+    }
+
+    #[test]
+    fn lanes_bounds_are_enforced_and_reported() {
+        // Regression: `--lanes 0` and `--lanes > MAX_LANES` must be
+        // rejected (exit 2 at the CLI), never silently clamped — a
+        // zero-lane campaign would divide by zero in the shard plan and
+        // an over-wide one would overrun the SIMD group.
+        for bad in [0, sca_uarch::MAX_LANES + 1, usize::MAX] {
+            let error = validate_lanes(bad).unwrap_err();
+            assert!(error.to_string().contains("--lanes"), "{error}");
+            assert!(
+                parse(&["--lanes", &bad.to_string()]).is_err(),
+                "parser accepted --lanes {bad}"
+            );
+        }
+        // Every in-range width parses, including both edges.
+        for good in 1..=sca_uarch::MAX_LANES {
+            assert!(validate_lanes(good).is_ok());
+            assert_eq!(parse(&["--lanes", &good.to_string()]).unwrap().lanes, good);
+        }
     }
 
     #[test]

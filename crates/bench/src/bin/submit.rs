@@ -1,0 +1,293 @@
+//! The campaign-service client.
+//!
+//! Connects to a running `serve` socket and either submits one campaign
+//! spec, asks for the stats line, or requests a drain-and-stop:
+//!
+//! ```text
+//! submit --socket s.sock --tenant ci --target aes128 --analysis hw --traces 150
+//! submit --socket s.sock --stats
+//! submit --socket s.sock --shutdown
+//! ```
+//!
+//! For a submission, every event line the server streams back goes to
+//! stderr as it arrives; the bare final verdict — the text that is
+//! byte-identical to the one-shot `portfolio` binary's line for the
+//! same spec — goes to stdout, so CI can diff `submit`'s stdout against
+//! committed pins. Exit status is 0 on a final verdict, 1 when the
+//! server rejects or fails the job, 2 on bad arguments.
+
+const USAGE: &str = "known flags: --socket PATH (required), then either --stats, --shutdown, \
+     or a spec: --tenant NAME --target NAME --analysis hw|hd|tvla --traces N \
+     [--executions N] [--seed N] [--noise-sd X] [--noise-baseline X] [--weight N]";
+
+/// What one invocation asks the server to do.
+#[derive(Clone, Debug, PartialEq)]
+enum Mode {
+    /// Submit the given wire line and stream the job's events.
+    Submit(String),
+    /// Print the stats line.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+#[derive(Clone, Debug)]
+struct SubmitArgs {
+    socket: String,
+    mode: Mode,
+}
+
+impl SubmitArgs {
+    fn parse() -> SubmitArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match SubmitArgs::parse_from(args) {
+            Ok(args) => args,
+            Err(error) => {
+                eprintln!("error: {error}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn parse_from<I>(args: I) -> Result<SubmitArgs, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut socket = None;
+        let mut stats = false;
+        let mut shutdown = false;
+        // Spec fields travel as the strings the user typed (validated
+        // locally), so the wire line is exactly what was asked for.
+        let mut fields: Vec<(&'static str, String)> = Vec::new();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| -> Result<String, String> {
+                args.next()
+                    .ok_or_else(|| format!("flag '{flag}' expects a value"))
+            };
+            let mut field = |key: &'static str, value: String| -> Result<(), String> {
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate flag '--{key}'"));
+                }
+                fields.push((key, value));
+                Ok(())
+            };
+            match arg.as_str() {
+                "--socket" => socket = Some(value(&arg)?),
+                "--stats" => stats = true,
+                "--shutdown" => shutdown = true,
+                "--tenant" => field("tenant", value(&arg)?)?,
+                "--target" => field("target", value(&arg)?)?,
+                "--analysis" => field("analysis", value(&arg)?)?,
+                "--traces" => field("traces", checked::<u64>(&arg, value(&arg)?)?)?,
+                "--executions" => field("executions", checked::<u64>(&arg, value(&arg)?)?)?,
+                "--seed" => field("seed", checked_seed(&arg, value(&arg)?)?)?,
+                "--noise-sd" => field("noise-sd", checked::<f64>(&arg, value(&arg)?)?)?,
+                "--noise-baseline" => {
+                    field("noise-baseline", checked::<f64>(&arg, value(&arg)?)?)?;
+                }
+                "--weight" => field("weight", checked::<u32>(&arg, value(&arg)?)?)?,
+                unknown => return Err(format!("unrecognized argument '{unknown}'")),
+            }
+        }
+        let socket = socket.ok_or("'--socket PATH' is required")?;
+        let mode = match (stats, shutdown, fields.is_empty()) {
+            (true, false, true) => Mode::Stats,
+            (false, true, true) => Mode::Shutdown,
+            (false, false, false) => {
+                for required in ["tenant", "target", "analysis", "traces"] {
+                    if !fields.iter().any(|(k, _)| *k == required) {
+                        return Err(format!("a submission requires '--{required}'"));
+                    }
+                }
+                let line = fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Mode::Submit(format!("submit {line}"))
+            }
+            (false, false, true) => {
+                return Err("nothing to do: give a spec, --stats or --shutdown".to_owned());
+            }
+            _ => {
+                return Err("'--stats', '--shutdown' and a spec are mutually exclusive".to_owned());
+            }
+        };
+        Ok(SubmitArgs { socket, mode })
+    }
+}
+
+/// Validates that `raw` parses as `T`, passing the original string
+/// through unchanged.
+fn checked<T: std::str::FromStr>(flag: &str, raw: String) -> Result<String, String> {
+    raw.parse::<T>()
+        .map(|_| raw.clone())
+        .map_err(|_| format!("flag '{flag}' got unparsable value '{raw}'"))
+}
+
+/// Seeds accept the wire protocol's `0x` hex form too.
+fn checked_seed(flag: &str, raw: String) -> Result<String, String> {
+    let ok = match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).is_ok(),
+        None => raw.parse::<u64>().is_ok(),
+    };
+    if ok {
+        Ok(raw)
+    } else {
+        Err(format!("flag '{flag}' got unparsable value '{raw}'"))
+    }
+}
+
+#[cfg(unix)]
+fn main() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let args = SubmitArgs::parse();
+    let mut stream = match UnixStream::connect(&args.socket) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("error: cannot connect to '{}': {e}", args.socket);
+            std::process::exit(1);
+        }
+    };
+    let request = match &args.mode {
+        Mode::Submit(line) => line.as_str(),
+        Mode::Stats => "stats",
+        Mode::Shutdown => "shutdown",
+    };
+    if let Err(e) = writeln!(stream, "{request}") {
+        eprintln!("error: cannot send request: {e}");
+        std::process::exit(1);
+    }
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("error: cannot read responses: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    let mut succeeded = false;
+    let mut failed = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        match &args.mode {
+            // The stats line is the deliverable: stdout.
+            Mode::Stats => println!("{line}"),
+            Mode::Shutdown => eprintln!("{line}"),
+            Mode::Submit(_) => {
+                // Full event stream to stderr; the bare verdict — the
+                // portfolio-identical text — additionally to stdout.
+                eprintln!("{line}");
+                if let Some(verdict) = sca_server::final_verdict(&line) {
+                    println!("{verdict}");
+                    succeeded = true;
+                }
+                if line.starts_with("rejected ") || line.starts_with("failed ") {
+                    failed = true;
+                }
+                if line.starts_with("done ") || line.starts_with("rejected ") {
+                    break;
+                }
+            }
+        }
+        if !matches!(args.mode, Mode::Submit(_)) {
+            break;
+        }
+    }
+    let ok = match args.mode {
+        Mode::Submit(_) => succeeded && !failed,
+        Mode::Stats | Mode::Shutdown => true,
+    };
+    std::process::exit(i32::from(!ok));
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("error: 'submit' requires unix-domain sockets");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SubmitArgs, String> {
+        SubmitArgs::parse_from(args.iter().copied().map(str::to_owned))
+    }
+
+    #[test]
+    fn builds_the_wire_line_verbatim() {
+        let args = parse(&[
+            "--socket",
+            "s.sock",
+            "--tenant",
+            "ci",
+            "--target",
+            "aes128",
+            "--analysis",
+            "hw",
+            "--traces",
+            "150",
+            "--executions",
+            "2",
+            "--seed",
+            "0xdac2018",
+            "--noise-sd",
+            "2.0",
+            "--noise-baseline",
+            "30.0",
+            "--weight",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.mode,
+            Mode::Submit(
+                "submit tenant=ci target=aes128 analysis=hw traces=150 executions=2 \
+                 seed=0xdac2018 noise-sd=2.0 noise-baseline=30.0 weight=3"
+                    .to_owned()
+            )
+        );
+    }
+
+    #[test]
+    fn modes_are_exclusive_and_validated() {
+        assert_eq!(
+            parse(&["--socket", "s", "--stats"]).unwrap().mode,
+            Mode::Stats
+        );
+        assert_eq!(
+            parse(&["--socket", "s", "--shutdown"]).unwrap().mode,
+            Mode::Shutdown
+        );
+        assert!(parse(&["--socket", "s"]).is_err());
+        assert!(parse(&["--socket", "s", "--stats", "--shutdown"]).is_err());
+        assert!(parse(&["--socket", "s", "--stats", "--tenant", "t"]).is_err());
+        assert!(parse(&["--stats"]).is_err());
+        // A spec needs all four required fields and numeric values.
+        assert!(parse(&["--socket", "s", "--tenant", "t"]).is_err());
+        assert!(parse(&[
+            "--socket",
+            "s",
+            "--tenant",
+            "t",
+            "--target",
+            "aes128",
+            "--analysis",
+            "hw",
+            "--traces",
+            "lots",
+        ])
+        .is_err());
+        assert!(parse(&["--socket", "s", "--tenant", "t", "--tenant", "u"]).is_err());
+    }
+}

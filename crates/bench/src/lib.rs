@@ -25,7 +25,7 @@ pub mod plot;
 pub mod portfolio;
 mod probe;
 
-pub use args::{write_total_timing, CommonArgs};
+pub use args::{validate_lanes, write_total_timing, CommonArgs};
 pub use figure3::{run_figure3, Figure3Config, Figure3Result, PhaseRegion};
 pub use figure4::{run_figure4, Figure4Config, Figure4Result};
 pub use masked::{

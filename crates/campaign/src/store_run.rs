@@ -121,6 +121,20 @@ pub struct StoredRunReport {
     pub checkpoints: u64,
     /// Samples per (windowed) trace.
     pub samples: usize,
+    /// Highest checkpointed trace index when the run returned — equal
+    /// to `total` when the campaign is finished, lower when a bounded
+    /// run ([`Campaign::run_stored_bounded`]) yielded early.
+    pub high_water: u64,
+    /// Total traces the campaign wants.
+    pub total: u64,
+}
+
+impl StoredRunReport {
+    /// Whether the campaign's full trace budget is checkpointed — a
+    /// bounded run returns `false` while slices remain.
+    pub fn complete(&self) -> bool {
+        self.high_water >= self.total
+    }
 }
 
 /// Everything that can go wrong in a stored campaign.
@@ -218,6 +232,47 @@ impl Campaign {
         S: Fn(&mut Cpu, &[u8]) + Sync,
         K: CampaignSink + Checkpointable,
     {
+        self.run_stored_bounded(cpu, entry, generate, stage, sink, opts, u64::MAX)
+    }
+
+    /// Like [`Campaign::run_stored`], but simulates at most
+    /// `max_new_traces` traces (rounded up to whole checkpoint
+    /// segments) before checkpointing and returning — the *job-slice*
+    /// primitive of the campaign server's cooperative scheduler.
+    ///
+    /// The returned sink holds the exact accumulator state of every
+    /// trace checkpointed so far, so callers can derive incremental
+    /// verdicts from it; `report.complete()` says whether slices
+    /// remain. Because each call resumes from the last checkpoint and
+    /// the segment boundaries pin the floating-point association, a
+    /// campaign executed as any sequence of bounded calls (with
+    /// `opts.resume` after the first) finishes byte-identical to one
+    /// uninterrupted [`Campaign::run_stored`] with the same
+    /// `checkpoint_every` and thread count.
+    ///
+    /// If work remains, at least one segment runs even when
+    /// `max_new_traces` is smaller than the segment length (a slice
+    /// must make progress to terminate).
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_stored`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stored_bounded<G, S, K>(
+        &self,
+        cpu: &Cpu,
+        entry: u32,
+        generate: G,
+        stage: S,
+        sink: impl Fn(usize) -> K + Sync,
+        opts: &StoreOptions,
+        max_new_traces: u64,
+    ) -> Result<(K, StoredRunReport), CampaignError>
+    where
+        G: Fn(&mut StdRng, usize) -> Vec<u8> + Sync,
+        S: Fn(&mut Cpu, &[u8]) + Sync,
+        K: CampaignSink + Checkpointable,
+    {
         let total = self.synth.config().traces as u64;
         let tag = analysis_tag(&opts.analysis);
         let key = self.corpus_key(&opts.label);
@@ -263,6 +318,8 @@ impl Campaign {
                             simulated: 0,
                             checkpoints: 0,
                             samples,
+                            high_water: total,
+                            total,
                         },
                     ));
                 }
@@ -306,7 +363,7 @@ impl Campaign {
         let mut high_water = resumed_from;
         let mut simulated = 0u64;
         let mut checkpoints = 0u64;
-        while high_water < total {
+        while high_water < total && simulated < max_new_traces {
             let seg_end = (high_water + every).min(total);
             let segment = self.run_segment(
                 cpu,
@@ -342,6 +399,8 @@ impl Campaign {
                 simulated,
                 checkpoints,
                 samples,
+                high_water,
+                total,
             },
         ))
     }

@@ -1,0 +1,93 @@
+//! Time as the harness sees it.
+//!
+//! Scheduling and verdicts never read a clock — determinism comes from
+//! the scheduler's emission order and the campaign seeds. The clock
+//! exists for *observability*: the harness stamps each scripted step
+//! with a tick so transcripts can assert ordering across sessions, and
+//! the `serve` binary reports wall uptime. Keeping it behind a trait
+//! means the in-process harness is deterministic by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic tick source.
+pub trait Clock: Send + Sync {
+    /// Ticks elapsed since the clock's origin.
+    fn now_ticks(&self) -> u64;
+}
+
+/// A manually-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    #[must_use]
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advances by `ticks` and returns the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst) + ticks
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ticks(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
+/// Wall time in milliseconds since construction — what the `serve`
+/// binary reports as uptime.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock originating now.
+    #[must_use]
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ticks(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_deterministically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ticks(), 0);
+        assert_eq!(clock.advance(3), 3);
+        assert_eq!(clock.advance(2), 5);
+        assert_eq!(clock.now_ticks(), 5);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_ticks();
+        let b = clock.now_ticks();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,50 @@
+//! The service's error taxonomy: what a client did wrong
+//! (spec/protocol), what the service refused (queue pressure,
+//! shutdown), and what failed underneath (campaign faults).
+
+use std::fmt;
+
+use sca_target::TargetError;
+
+/// Anything the campaign service can answer a request with besides a
+/// verdict.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The spec is malformed: bad field values, an unregistered target,
+    /// or a wire line that does not parse. The message is
+    /// client-facing.
+    Spec(String),
+    /// The bounded submission queue is full — back off and resubmit.
+    QueueFull,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// A campaign slice failed underneath (simulator fault, store
+    /// I/O/corruption).
+    Target(TargetError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Spec(what) => write!(f, "bad spec: {what}"),
+            ServerError::QueueFull => write!(f, "submission queue full"),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Target(e) => write!(f, "campaign failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Target(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TargetError> for ServerError {
+    fn from(e: TargetError) -> ServerError {
+        ServerError::Target(e)
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic in-process test harness.
+//!
+//! Concurrency properties are locked down by tests, not by reading
+//! logs: the harness runs a real [`CampaignServer`] with its dispatcher
+//! paused, scripts client sessions against it (wire lines, exactly as
+//! the socket front end would), then advances a [`VirtualClock`] tick
+//! by resuming the workers and waiting for the queue to drain. Every
+//! event each session observed is appended to its transcript as a
+//! tick-stamped wire line, so a test asserts on byte-exact transcripts
+//! — and because scheduler emission order, slice boundaries and
+//! campaign seeds are all deterministic, those transcripts are
+//! identical at any worker count.
+
+use std::sync::mpsc::Receiver;
+
+use crate::{
+    format_event, parse_request, CampaignServer, Clock, Event, Request, ServerConfig, ServerError,
+    ServerStats, VirtualClock,
+};
+
+/// Index of a scripted client session.
+pub type SessionId = usize;
+
+#[derive(Debug, Default)]
+struct Session {
+    name: String,
+    streams: Vec<Receiver<Event>>,
+    transcript: Vec<String>,
+}
+
+/// A paused [`CampaignServer`] plus scripted client sessions and a
+/// virtual clock. See the module docs for the stepping model.
+#[derive(Debug)]
+pub struct ServerHarness {
+    config: ServerConfig,
+    server: Option<CampaignServer>,
+    clock: VirtualClock,
+    sessions: Vec<Session>,
+}
+
+impl ServerHarness {
+    /// Starts a server (forced to `start_paused`) under the harness.
+    #[must_use]
+    pub fn new(mut config: ServerConfig) -> ServerHarness {
+        config.start_paused = true;
+        ServerHarness {
+            server: Some(CampaignServer::start(config.clone())),
+            config,
+            clock: VirtualClock::new(),
+            sessions: Vec::new(),
+        }
+    }
+
+    fn server(&self) -> &CampaignServer {
+        self.server.as_ref().expect("server is running")
+    }
+
+    /// Opens a scripted client session.
+    pub fn client(&mut self, name: &str) -> SessionId {
+        self.sessions.push(Session {
+            name: name.to_owned(),
+            ..Session::default()
+        });
+        self.sessions.len() - 1
+    }
+
+    /// Scripts one wire line from a session, exactly as the socket
+    /// front end would handle it. Rejections are recorded in the
+    /// session's transcript; acceptance events arrive with the next
+    /// [`step`](ServerHarness::step).
+    ///
+    /// Only `submit` lines are meaningful to a harness session —
+    /// `stats`/`shutdown` have dedicated methods.
+    pub fn submit_line(&mut self, session: SessionId, line: &str) {
+        let tick = self.clock.now_ticks();
+        let outcome = match parse_request(line) {
+            Ok(Request::Submit { spec, weight }) => {
+                self.server().submit(&spec, weight).map(|r| r.1)
+            }
+            Ok(_) => Err(ServerError::Spec(
+                "harness sessions only script submit lines".to_owned(),
+            )),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(stream) => self.sessions[session].streams.push(stream),
+            Err(e) => self.sessions[session]
+                .transcript
+                .push(format!("t{tick} rejected {e}")),
+        }
+    }
+
+    /// One deterministic tick: advance the virtual clock, let the
+    /// workers drain every live job, pause again, and append everything
+    /// each session observed to its transcript.
+    pub fn step(&mut self) {
+        let tick = self.clock.advance(1);
+        let server = self.server();
+        server.resume();
+        server.wait_idle();
+        server.pause();
+        for session in &mut self.sessions {
+            for stream in &session.streams {
+                while let Ok(event) = stream.try_recv() {
+                    session
+                        .transcript
+                        .push(format!("t{tick} {}", format_event(&event)));
+                }
+            }
+        }
+    }
+
+    /// A session's transcript so far: tick-stamped wire lines, in
+    /// observation order.
+    #[must_use]
+    pub fn transcript(&self, session: SessionId) -> &[String] {
+        &self.sessions[session].transcript
+    }
+
+    /// The session's name (as given to [`client`](ServerHarness::client)).
+    #[must_use]
+    pub fn session_name(&self, session: SessionId) -> &str {
+        &self.sessions[session].name
+    }
+
+    /// The bare final verdict lines a session has observed, in order —
+    /// the strings to diff byte-for-byte against one-shot portfolio
+    /// pins.
+    #[must_use]
+    pub fn final_verdicts(&self, session: SessionId) -> Vec<String> {
+        self.sessions[session]
+            .transcript
+            .iter()
+            .filter_map(|line| {
+                let line = line.split_once(' ').map_or(line.as_str(), |(_, rest)| rest);
+                crate::final_verdict(line).map(str::to_owned)
+            })
+            .collect()
+    }
+
+    /// Current service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.server().stats()
+    }
+
+    /// Restarts the service against the same corpus root: drains and
+    /// stops the current server, then starts a fresh paused one.
+    /// Session transcripts survive; undrained event streams do not
+    /// (their jobs finished during the drain).
+    pub fn restart(&mut self) {
+        let server = self.server.take().expect("server is running");
+        server.shutdown();
+        for session in &mut self.sessions {
+            session.streams.clear();
+        }
+        self.server = Some(CampaignServer::start(self.config.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_sessions_observe_deterministic_lifecycles() {
+        let dir = std::env::temp_dir().join(format!("sca-server-harness-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = ServerConfig::new(&dir);
+        config.checkpoint_every = 8;
+        config.slice_traces = 8;
+        config.threads_per_slice = 2;
+        let mut harness = ServerHarness::new(config);
+
+        let ci = harness.client("ci");
+        let dev = harness.client("dev");
+        let spec = "submit tenant=ci target=aes128 analysis=hw traces=16 \
+                    executions=1 seed=0xdac2018 noise-sd=2.0 noise-baseline=30.0";
+        harness.submit_line(ci, spec);
+        // Identical physical spec from another tenant: must coalesce.
+        harness.submit_line(dev, &spec.replace("tenant=ci", "tenant=dev"));
+        // A malformed line is rejected in place.
+        harness.submit_line(dev, "submit tenant=dev target=aes128 analysis=hw");
+        harness.step();
+
+        assert_eq!(harness.session_name(ci), "ci");
+        let ci_lines = harness.transcript(ci).join("\n");
+        assert!(
+            ci_lines.contains("accepted job=1 coalesced=false"),
+            "{ci_lines}"
+        );
+        assert!(ci_lines.contains("final job=1"), "{ci_lines}");
+        assert!(ci_lines.ends_with("done job=1"), "{ci_lines}");
+        let dev_lines = harness.transcript(dev).join("\n");
+        assert!(dev_lines.contains("rejected"), "{dev_lines}");
+        assert!(
+            dev_lines.contains("accepted job=1 coalesced=true"),
+            "{dev_lines}"
+        );
+
+        // Both sessions saw the same single final verdict.
+        assert_eq!(harness.final_verdicts(ci), harness.final_verdicts(dev));
+        assert_eq!(harness.final_verdicts(ci).len(), 1);
+
+        // The malformed line died at the wire parser: the server only
+        // ever saw the two well-formed submissions.
+        let stats = harness.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.completed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

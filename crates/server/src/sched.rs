@@ -1,0 +1,339 @@
+//! Deterministic fair-share scheduling of job slices.
+//!
+//! [`FairScheduler`] is a pure state machine — no threads, no clocks —
+//! that the server drives under its mutex. It implements weighted
+//! deficit round-robin (DRR) over tenants with a cost of one per slice:
+//! on each visit a tenant's deficit is recharged by its weight and it
+//! may emit that many slices before the round moves on, so a tenant
+//! with weight 3 gets three slices for every one a weight-1 tenant
+//! gets, and a `--full` sweep can never starve a `--quick` probe — the
+//! probe's tenant is visited every round no matter how deep the sweep's
+//! backlog is.
+//!
+//! # Determinism contract
+//!
+//! The emission order of [`next_slice`](FairScheduler::next_slice) is a pure
+//! function of (submission order, weights) — independent of how many
+//! workers drain the queue or how long slices take. Two rules buy this:
+//!
+//! 1. **Rotation at emission.** When a job's slice is emitted the job
+//!    is immediately rotated to its tenant's queue tail; completion
+//!    ([`complete`](FairScheduler::complete)) only clears the in-flight
+//!    flag (or removes the job when finished). Queue order therefore
+//!    never depends on completion timing.
+//! 2. **Head-of-line honesty.** `next` only ever emits the head of the
+//!    DRR order. If that head still has a slice in flight, `next`
+//!    returns `None` — it *waits* rather than skipping ahead, because
+//!    whether the head will still exist after its slice resolves (last
+//!    slice ⇒ removed) is exactly the information a skip would have to
+//!    guess. Slices of one job are sequential anyway (each resumes the
+//!    previous one's checkpoint), so the head-of-line wait costs
+//!    parallelism only when fewer jobs than workers are live.
+//!
+//! The submission queue is bounded: past
+//! [`queue_limit`](SchedConfig::queue_limit) live jobs, `submit`
+//! rejects with [`ServerError::QueueFull`] — backpressure at the door,
+//! as in simpledb's bounded queue-depth design, instead of an unbounded
+//! backlog.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::ServerError;
+
+/// Identity of one accepted job (one spec's campaign).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Scheduler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Maximum live (accepted, unfinished) jobs before submissions are
+    /// rejected.
+    pub queue_limit: usize,
+    /// Weight of a tenant that never asked for one.
+    pub default_weight: u32,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            queue_limit: 64,
+            default_weight: 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tenant {
+    name: String,
+    weight: u32,
+    /// Slices this tenant may still emit in the current round visit.
+    burst: u32,
+    /// Live jobs, head = next to emit. In-flight jobs stay queued
+    /// (rotated to the tail at emission) until they finish.
+    queue: VecDeque<JobId>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    tenant: usize,
+    in_flight: bool,
+}
+
+/// Weighted deficit round-robin over tenants; see the module docs for
+/// the fairness and determinism contracts.
+#[derive(Debug)]
+pub struct FairScheduler {
+    config: SchedConfig,
+    tenants: Vec<Tenant>,
+    /// Index of the tenant the DRR round is currently visiting.
+    cursor: usize,
+    jobs: std::collections::HashMap<JobId, JobState>,
+    next_id: u64,
+    emitted: u64,
+}
+
+impl FairScheduler {
+    /// An empty scheduler.
+    #[must_use]
+    pub fn new(config: SchedConfig) -> FairScheduler {
+        FairScheduler {
+            config,
+            tenants: Vec::new(),
+            cursor: 0,
+            jobs: std::collections::HashMap::new(),
+            next_id: 1,
+            emitted: 0,
+        }
+    }
+
+    /// Live (accepted, unfinished) jobs.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Slices emitted over the scheduler's lifetime.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn tenant_index(&mut self, name: &str) -> usize {
+        if let Some(i) = self.tenants.iter().position(|t| t.name == name) {
+            return i;
+        }
+        self.tenants.push(Tenant {
+            name: name.to_owned(),
+            weight: self.config.default_weight,
+            burst: 0,
+            queue: VecDeque::new(),
+        });
+        self.tenants.len() - 1
+    }
+
+    /// Sets a tenant's weight (minimum 1), creating the tenant if it
+    /// has never submitted. Takes effect from its next round visit.
+    pub fn set_weight(&mut self, tenant: &str, weight: u32) {
+        let i = self.tenant_index(tenant);
+        self.tenants[i].weight = weight.max(1);
+    }
+
+    /// Accepts a job for `tenant` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::QueueFull`] when the live-job count is at the
+    /// configured limit.
+    pub fn submit(&mut self, tenant: &str) -> Result<JobId, ServerError> {
+        if self.jobs.len() >= self.config.queue_limit {
+            return Err(ServerError::QueueFull);
+        }
+        let tenant = self.tenant_index(tenant);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.tenants[tenant].queue.push_back(id);
+        self.jobs.insert(
+            id,
+            JobState {
+                tenant,
+                in_flight: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The next slice to dispatch, or `None` when there is nothing
+    /// *deterministically* dispatchable right now — either no live jobs
+    /// remain, or the head of the DRR order has a slice in flight
+    /// (head-of-line wait; call again after a [`complete`]).
+    ///
+    /// Idempotent while blocked: a `None` return mutates no ordering
+    /// state, so polling is harmless.
+    ///
+    /// [`complete`]: FairScheduler::complete
+    pub fn next_slice(&mut self) -> Option<JobId> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        // At most one full lap over the tenants: some queue is
+        // non-empty (jobs is non-empty and every live job is queued),
+        // so the loop always terminates at a head job or a HOL wait.
+        for _ in 0..=self.tenants.len() {
+            let tenant = &mut self.tenants[self.cursor];
+            if tenant.queue.is_empty() {
+                tenant.burst = 0;
+                self.cursor = (self.cursor + 1) % self.tenants.len();
+                continue;
+            }
+            if tenant.burst == 0 {
+                tenant.burst = tenant.weight;
+            }
+            let head = *tenant.queue.front().expect("non-empty queue");
+            let state = self.jobs.get_mut(&head).expect("queued job is live");
+            if state.in_flight {
+                // Head-of-line wait: emitting any other job here would
+                // make the order depend on slice timing.
+                return None;
+            }
+            state.in_flight = true;
+            tenant.queue.rotate_left(1);
+            tenant.burst -= 1;
+            if tenant.burst == 0 {
+                self.cursor = (self.cursor + 1) % self.tenants.len();
+            }
+            self.emitted += 1;
+            return Some(head);
+        }
+        unreachable!("live jobs but no emittable or in-flight head");
+    }
+
+    /// Records that `job`'s in-flight slice resolved. `finished`
+    /// removes the job; otherwise it stays queued (already rotated to
+    /// its tenant's tail at emission) for its next slice.
+    ///
+    /// # Panics
+    ///
+    /// On completing a job that is not in flight — that is a server
+    /// bug, not a client error.
+    pub fn complete(&mut self, job: JobId, finished: bool) {
+        if finished {
+            let state = self.jobs.remove(&job).expect("completed job is live");
+            assert!(state.in_flight, "completed job had no slice in flight");
+            let queue = &mut self.tenants[state.tenant].queue;
+            let pos = queue.iter().position(|&j| j == job).expect("queued");
+            queue.remove(pos);
+        } else {
+            let state = self.jobs.get_mut(&job).expect("completed job is live");
+            assert!(state.in_flight, "completed job had no slice in flight");
+            state.in_flight = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the scheduler single-file, completing each slice
+    /// immediately; `slices[job]` = total slices the job needs.
+    fn drain(
+        sched: &mut FairScheduler,
+        slices: &std::collections::HashMap<JobId, u64>,
+    ) -> Vec<JobId> {
+        let mut done: std::collections::HashMap<JobId, u64> = std::collections::HashMap::new();
+        let mut order = Vec::new();
+        while let Some(job) = sched.next_slice() {
+            order.push(job);
+            let ran = done.entry(job).or_insert(0);
+            *ran += 1;
+            sched.complete(job, *ran >= slices[&job]);
+        }
+        assert_eq!(sched.live(), 0, "drain left live jobs");
+        order
+    }
+
+    #[test]
+    fn weighted_tenants_get_proportional_service() {
+        let mut sched = FairScheduler::new(SchedConfig::default());
+        sched.set_weight("heavy", 3);
+        let mut slices = std::collections::HashMap::new();
+        // One long job each; 12 slices apiece.
+        let heavy = sched.submit("heavy").unwrap();
+        let light = sched.submit("light").unwrap();
+        slices.insert(heavy, 12);
+        slices.insert(light, 12);
+        let order = drain(&mut sched, &slices);
+        // First complete round: heavy×3 then light×1.
+        assert_eq!(order[..4], [heavy, heavy, heavy, light]);
+        // Over the first 16 emissions the 3:1 ratio holds exactly.
+        let heavy_in_16 = order[..16].iter().filter(|&&j| j == heavy).count();
+        assert_eq!(heavy_in_16, 12);
+    }
+
+    #[test]
+    fn full_sweep_cannot_starve_quick_probe() {
+        let mut sched = FairScheduler::new(SchedConfig::default());
+        let mut slices = std::collections::HashMap::new();
+        let sweep = sched.submit("full").unwrap();
+        slices.insert(sweep, 100);
+        let probe = sched.submit("quick").unwrap();
+        slices.insert(probe, 1);
+        let order = drain(&mut sched, &slices);
+        // The probe's single slice lands on the second emission — one
+        // sweep slice ahead of it, not one hundred.
+        assert_eq!(order[1], probe);
+        assert_eq!(order.len(), 101);
+    }
+
+    #[test]
+    fn same_tenant_jobs_round_robin() {
+        // Rotation at emission means two jobs from one tenant
+        // interleave instead of running back-to-back.
+        let mut sched = FairScheduler::new(SchedConfig::default());
+        let mut slices = std::collections::HashMap::new();
+        let a = sched.submit("t").unwrap();
+        let b = sched.submit("t").unwrap();
+        slices.insert(a, 3);
+        slices.insert(b, 3);
+        assert_eq!(drain(&mut sched, &slices), vec![a, b, a, b, a, b]);
+    }
+
+    #[test]
+    fn queue_limit_rejects_and_frees_on_finish() {
+        let mut sched = FairScheduler::new(SchedConfig {
+            queue_limit: 2,
+            default_weight: 1,
+        });
+        let a = sched.submit("t").unwrap();
+        let _b = sched.submit("t").unwrap();
+        assert!(matches!(sched.submit("t"), Err(ServerError::QueueFull)));
+        let first = sched.next_slice().unwrap();
+        assert_eq!(first, a);
+        sched.complete(a, true);
+        assert!(sched.submit("t").is_ok());
+    }
+
+    #[test]
+    fn head_of_line_wait_blocks_until_completion() {
+        let mut sched = FairScheduler::new(SchedConfig::default());
+        let a = sched.submit("t").unwrap();
+        assert_eq!(sched.next_slice(), Some(a));
+        // a's next slice is the deterministic head but a is in flight:
+        // next() must wait, and repeated polls must not disturb state.
+        assert_eq!(sched.next_slice(), None);
+        assert_eq!(sched.next_slice(), None);
+        sched.complete(a, false);
+        assert_eq!(sched.next_slice(), Some(a));
+        sched.complete(a, true);
+        assert_eq!(sched.next_slice(), None);
+        assert_eq!(sched.live(), 0);
+    }
+}

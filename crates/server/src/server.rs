@@ -1,0 +1,569 @@
+//! The long-running campaign service.
+//!
+//! [`CampaignServer`] owns a [`FairScheduler`], a
+//! pool of worker threads, and the dedup map from spec fingerprints to
+//! live jobs. Clients [`submit`](CampaignServer::submit) specs and
+//! receive an [`Event`] stream on a per-subscription channel:
+//! acceptance, incremental progress after every slice (current rank,
+//! t-statistic, traces-to-disclosure), and a final verdict line that is
+//! byte-identical to the one-shot `portfolio` binary's.
+//!
+//! # Queue lifecycle and dedup
+//!
+//! A submitted spec is validated, fingerprinted, and then either
+//! *coalesced* — a live job with the same fingerprint exists, the new
+//! client just subscribes to it — or *accepted* as a new job in the
+//! bounded scheduler queue. Identical concurrent submissions therefore
+//! run the simulator exactly once; a resubmission after the job is gone
+//! becomes a new job whose first slice hits the store's restore fast
+//! path and finishes with zero simulation. Either way the trace store
+//! under `spec-<fingerprint>/` is the single source of truth.
+//!
+//! # Pausing and determinism
+//!
+//! The whole dispatcher can be paused (workers finish in-flight slices
+//! and then idle), which is how the deterministic test harness scripts
+//! concurrency: submit while paused, resume, wait for idle. The
+//! scheduler's emission order is a pure function of submission order
+//! and weights; slice boundaries are checkpoint segments; so every
+//! event a client observes is reproducible at any worker count.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sca_analysis::{estimate_traces_to_disclosure, traces_to_rank0};
+
+use crate::{
+    CampaignSpec, FairScheduler, JobId, JobRunner, SchedConfig, ServerError, SliceOutcome,
+    SliceVerdict,
+};
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the scheduler.
+    pub workers: usize,
+    /// Bounded live-job limit (backpressure at submission).
+    pub queue_limit: usize,
+    /// Weight of tenants that never asked for one.
+    pub default_weight: u32,
+    /// Maximum new traces simulated per slice (rounded up to whole
+    /// checkpoint segments by the campaign layer).
+    pub slice_traces: u64,
+    /// Traces per checkpoint segment in the spec stores.
+    pub checkpoint_every: u64,
+    /// Campaign engine threads inside one slice.
+    pub threads_per_slice: usize,
+    /// Lockstep lanes per simulation group.
+    pub lanes: usize,
+    /// Corpus root; one store directory per spec fingerprint.
+    pub store_root: std::path::PathBuf,
+    /// Start with the dispatcher paused (the test harness does).
+    pub start_paused: bool,
+}
+
+impl ServerConfig {
+    /// A small-footprint configuration rooted at `store_root`.
+    #[must_use]
+    pub fn new(store_root: impl Into<std::path::PathBuf>) -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_limit: 64,
+            default_weight: 1,
+            slice_traces: 64,
+            checkpoint_every: 64,
+            threads_per_slice: 4,
+            lanes: sca_campaign::DEFAULT_LANES,
+            store_root: store_root.into(),
+            start_paused: false,
+        }
+    }
+}
+
+/// How far the job is from disclosure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Disclosure {
+    /// The attack reached rank 0 at this many traces (and has stayed
+    /// there since).
+    Measured(u64),
+    /// Still above rank 0; Mangard's rule-of-thumb forecast from the
+    /// current peak correlation.
+    Estimated(u64),
+    /// No usable correlation yet.
+    Pending,
+}
+
+/// Analysis-specific progress payload.
+#[derive(Clone, Debug)]
+pub enum ProgressDetail {
+    /// CPA: the correct key's current standing.
+    Cpa {
+        /// Rank of the true key byte (0 = currently recovered).
+        rank: usize,
+        /// Peak |correlation| of the true key byte.
+        peak: f64,
+        /// Traces-to-disclosure, measured or forecast.
+        disclosure: Disclosure,
+    },
+    /// TVLA: the t-statistic trajectory.
+    Tvla {
+        /// Largest |t| so far; `None` until both populations hold two
+        /// traces.
+        max_t: Option<f64>,
+    },
+}
+
+/// One incremental progress snapshot (emitted after every slice).
+#[derive(Clone, Debug)]
+pub struct ProgressSnapshot {
+    /// Traces absorbed so far.
+    pub traces: u64,
+    /// The spec's total trace budget.
+    pub total: u64,
+    /// Analysis-specific payload.
+    pub detail: ProgressDetail,
+}
+
+/// What a subscriber receives about its job.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The submission was accepted (or coalesced onto a live job).
+    Accepted {
+        /// The job the subscription is attached to.
+        job: JobId,
+        /// Whether an identical live spec absorbed this submission.
+        coalesced: bool,
+    },
+    /// A slice finished; here is the incremental verdict.
+    Progress {
+        /// The job.
+        job: JobId,
+        /// The snapshot.
+        snapshot: ProgressSnapshot,
+    },
+    /// The campaign absorbed its full budget; the line is byte-identical
+    /// to the one-shot portfolio's verdict line for this spec.
+    Final {
+        /// The job.
+        job: JobId,
+        /// The verdict line.
+        line: String,
+    },
+    /// The campaign failed; the job is abandoned.
+    Failed {
+        /// The job.
+        job: JobId,
+        /// Client-facing description.
+        message: String,
+    },
+    /// Terminal marker: no more events for this job.
+    Done {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// Monotonic service counters (snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Specs submitted (accepted + coalesced + rejected).
+    pub submitted: u64,
+    /// Submissions absorbed by a live identical job.
+    pub coalesced: u64,
+    /// Submissions rejected (validation or queue pressure).
+    pub rejected: u64,
+    /// Jobs that reached a final verdict.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Slices executed (including restore fast-path hits).
+    pub slices: u64,
+    /// Jobs whose final verdict came straight from the store with zero
+    /// simulation.
+    pub store_served: u64,
+}
+
+struct JobRecord {
+    spec: CampaignSpec,
+    fingerprint: u64,
+    subscribers: Vec<Sender<Event>>,
+    /// Whether any slice has run yet (the first one tries the store's
+    /// restore fast path).
+    started: bool,
+    /// First trace count at which rank 0 was observed and held since —
+    /// the measured traces-to-disclosure candidate, with the same
+    /// stability rule as [`traces_to_rank0`].
+    rank0_at: Option<u64>,
+    /// Rank trajectory as (traces, rank) — kept so the measured
+    /// disclosure point obeys the stability rule exactly.
+    curve: Vec<sca_analysis::RankPoint>,
+}
+
+struct Inner {
+    sched: FairScheduler,
+    jobs: HashMap<JobId, JobRecord>,
+    by_fingerprint: HashMap<u64, JobId>,
+    stats: ServerStats,
+    paused: bool,
+    shutdown: bool,
+    executing: usize,
+}
+
+impl Inner {
+    fn broadcast(&mut self, job: JobId, event: &Event) {
+        if let Some(record) = self.jobs.get(&job) {
+            for sub in &record.subscribers {
+                // A client that hung up just stops listening; the job
+                // still runs to completion (its store entry is the
+                // durable result).
+                let _ = sub.send(event.clone());
+            }
+        }
+    }
+}
+
+/// The campaign service. Dropping it drains and joins the workers.
+pub struct CampaignServer {
+    state: Arc<(Mutex<Inner>, Condvar)>,
+    runner: Arc<JobRunner>,
+    config: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CampaignServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignServer")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignServer {
+    /// Starts the service: spawns the worker pool and begins (or, with
+    /// `start_paused`, arms) dispatching.
+    #[must_use]
+    pub fn start(config: ServerConfig) -> CampaignServer {
+        let mut runner = JobRunner::new(&config.store_root);
+        runner.threads = config.threads_per_slice;
+        runner.lanes = config.lanes;
+        runner.checkpoint_every = config.checkpoint_every;
+        let runner = Arc::new(runner);
+        let state = Arc::new((
+            Mutex::new(Inner {
+                sched: FairScheduler::new(SchedConfig {
+                    queue_limit: config.queue_limit,
+                    default_weight: config.default_weight,
+                }),
+                jobs: HashMap::new(),
+                by_fingerprint: HashMap::new(),
+                stats: ServerStats::default(),
+                paused: config.start_paused,
+                shutdown: false,
+                executing: 0,
+            }),
+            Condvar::new(),
+        ));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let runner = Arc::clone(&runner);
+                let slice_traces = config.slice_traces;
+                std::thread::spawn(move || worker_loop(&state, &runner, slice_traces))
+            })
+            .collect();
+        CampaignServer {
+            state,
+            runner,
+            config,
+            workers,
+        }
+    }
+
+    /// The configuration the server was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The slice runner (for tests that want to inspect store paths).
+    #[must_use]
+    pub fn runner(&self) -> &JobRunner {
+        &self.runner
+    }
+
+    /// Submits a spec. Returns the job id, this subscription's event
+    /// stream, and whether the submission coalesced onto a live
+    /// identical job. The `Accepted` event is already queued on the
+    /// stream.
+    ///
+    /// `weight`, when given, (re)sets the tenant's fair-share weight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Spec`] for invalid specs,
+    /// [`ServerError::QueueFull`] under backpressure, and
+    /// [`ServerError::ShuttingDown`] during drain. Rejections count in
+    /// [`ServerStats::rejected`].
+    pub fn submit(
+        &self,
+        spec: &CampaignSpec,
+        weight: Option<u32>,
+    ) -> Result<(JobId, Receiver<Event>, bool), ServerError> {
+        let (lock, cv) = &*self.state;
+        let mut inner = lock.lock().expect("server state poisoned");
+        inner.stats.submitted += 1;
+        let accepted = self.accept(&mut inner, spec, weight);
+        if accepted.is_err() {
+            inner.stats.rejected += 1;
+        }
+        cv.notify_all();
+        accepted
+    }
+
+    fn accept(
+        &self,
+        inner: &mut Inner,
+        spec: &CampaignSpec,
+        weight: Option<u32>,
+    ) -> Result<(JobId, Receiver<Event>, bool), ServerError> {
+        if inner.shutdown {
+            return Err(ServerError::ShuttingDown);
+        }
+        spec.validate()?;
+        self.runner.resolve(spec)?;
+        if let Some(weight) = weight {
+            inner.sched.set_weight(&spec.tenant, weight);
+        }
+        let fingerprint = spec.fingerprint();
+        let (tx, rx) = mpsc::channel();
+        if let Some(&job) = inner.by_fingerprint.get(&fingerprint) {
+            inner.stats.coalesced += 1;
+            let _ = tx.send(Event::Accepted {
+                job,
+                coalesced: true,
+            });
+            inner
+                .jobs
+                .get_mut(&job)
+                .expect("fingerprint-mapped job is live")
+                .subscribers
+                .push(tx);
+            return Ok((job, rx, true));
+        }
+        let job = inner.sched.submit(&spec.tenant)?;
+        let _ = tx.send(Event::Accepted {
+            job,
+            coalesced: false,
+        });
+        inner.jobs.insert(
+            job,
+            JobRecord {
+                spec: spec.clone(),
+                fingerprint,
+                subscribers: vec![tx],
+                started: false,
+                rank0_at: None,
+                curve: Vec::new(),
+            },
+        );
+        inner.by_fingerprint.insert(fingerprint, job);
+        Ok((job, rx, false))
+    }
+
+    /// A snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.state.0.lock().expect("server state poisoned").stats
+    }
+
+    /// Live (accepted, unfinished) jobs.
+    #[must_use]
+    pub fn live_jobs(&self) -> usize {
+        self.state
+            .0
+            .lock()
+            .expect("server state poisoned")
+            .sched
+            .live()
+    }
+
+    /// Stops dispatching new slices; in-flight slices finish.
+    pub fn pause(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("server state poisoned").paused = true;
+        cv.notify_all();
+    }
+
+    /// Resumes dispatching.
+    pub fn resume(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("server state poisoned").paused = false;
+        cv.notify_all();
+    }
+
+    /// Blocks until no live jobs remain and no slice is executing.
+    /// (With the dispatcher paused this only waits for in-flight slices
+    /// — use it after [`resume`](CampaignServer::resume).)
+    pub fn wait_idle(&self) {
+        let (lock, cv) = &*self.state;
+        let mut inner = lock.lock().expect("server state poisoned");
+        while !(inner.executing == 0 && (inner.sched.live() == 0 || inner.paused)) {
+            inner = cv.wait(inner).expect("server state poisoned");
+        }
+    }
+
+    /// Drains and stops: rejects new submissions, lets every live job
+    /// run to its verdict, then joins the workers. Idempotent.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let (lock, cv) = &*self.state;
+        let mut inner = lock.lock().expect("server state poisoned");
+        inner.shutdown = true;
+        // A paused, shut-down server would deadlock its drain.
+        inner.paused = false;
+        cv.notify_all();
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Builds the progress snapshot for a slice outcome and updates the
+/// job's measured-disclosure bookkeeping.
+fn snapshot(record: &mut JobRecord, outcome: &SliceOutcome) -> ProgressSnapshot {
+    let detail = match &outcome.verdict {
+        SliceVerdict::Cpa(v) => {
+            record.curve.push(sca_analysis::RankPoint {
+                traces: outcome.report.high_water as usize,
+                rank: v.rank,
+                correct_peak: v.peak,
+                best_wrong_peak: v.best_wrong,
+            });
+            record.rank0_at = traces_to_rank0(&record.curve).map(|t| t as u64);
+            let disclosure = match record.rank0_at {
+                Some(at) => Disclosure::Measured(at),
+                None => match estimate_traces_to_disclosure(v.peak) {
+                    Some(n) => Disclosure::Estimated(n),
+                    None => Disclosure::Pending,
+                },
+            };
+            ProgressDetail::Cpa {
+                rank: v.rank,
+                peak: v.peak,
+                disclosure,
+            }
+        }
+        SliceVerdict::Tvla(v) => ProgressDetail::Tvla {
+            max_t: v.as_ref().map(|v| v.max_t),
+        },
+    };
+    ProgressSnapshot {
+        traces: outcome.report.high_water,
+        total: outcome.report.total,
+        detail,
+    }
+}
+
+fn worker_loop(state: &Arc<(Mutex<Inner>, Condvar)>, runner: &Arc<JobRunner>, slice_traces: u64) {
+    let (lock, cv) = &**state;
+    loop {
+        // Acquire the next deterministic slice (or exit on drained
+        // shutdown).
+        let (job, spec, first) = {
+            let mut inner = lock.lock().expect("server state poisoned");
+            loop {
+                if inner.shutdown && inner.sched.live() == 0 {
+                    cv.notify_all();
+                    return;
+                }
+                if !inner.paused {
+                    if let Some(job) = inner.sched.next_slice() {
+                        let record = inner.jobs.get_mut(&job).expect("scheduled job is live");
+                        let spec = record.spec.clone();
+                        let first = !record.started;
+                        record.started = true;
+                        inner.executing += 1;
+                        break (job, spec, first);
+                    }
+                }
+                inner = cv.wait(inner).expect("server state poisoned");
+            }
+        };
+
+        // The expensive part runs without the lock: resume the store,
+        // simulate one slice. The very first slice of a job first asks
+        // the store whether the verdict is already fully persisted.
+        let result = if first {
+            match runner.try_restore(&spec) {
+                Ok(Some(outcome)) => Ok((outcome, true)),
+                Ok(None) => runner.run_slice(&spec, slice_traces).map(|o| (o, false)),
+                Err(e) => Err(e),
+            }
+        } else {
+            runner.run_slice(&spec, slice_traces).map(|o| (o, false))
+        };
+
+        let mut inner = lock.lock().expect("server state poisoned");
+        inner.executing -= 1;
+        inner.stats.slices += 1;
+        match result {
+            Ok((outcome, restored)) => {
+                let record = inner.jobs.get_mut(&job).expect("sliced job is live");
+                let snap = snapshot(record, &outcome);
+                let finished = outcome.complete();
+                inner.broadcast(
+                    job,
+                    &Event::Progress {
+                        job,
+                        snapshot: snap,
+                    },
+                );
+                if finished {
+                    let line = outcome.final_line(&spec.target);
+                    inner.broadcast(job, &Event::Final { job, line });
+                    inner.broadcast(job, &Event::Done { job });
+                    inner.stats.completed += 1;
+                    if restored {
+                        inner.stats.store_served += 1;
+                    }
+                    let fingerprint = inner.jobs[&job].fingerprint;
+                    inner.jobs.remove(&job);
+                    inner.by_fingerprint.remove(&fingerprint);
+                }
+                inner.sched.complete(job, finished);
+            }
+            Err(e) => {
+                inner.broadcast(
+                    job,
+                    &Event::Failed {
+                        job,
+                        message: e.to_string(),
+                    },
+                );
+                inner.broadcast(job, &Event::Done { job });
+                inner.stats.failed += 1;
+                let fingerprint = inner.jobs[&job].fingerprint;
+                inner.jobs.remove(&job);
+                inner.by_fingerprint.remove(&fingerprint);
+                inner.sched.complete(job, true);
+            }
+        }
+        cv.notify_all();
+    }
+}

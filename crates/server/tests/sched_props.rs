@@ -1,0 +1,210 @@
+//! Property tests for the fair-share scheduler's two contracts:
+//!
+//! 1. **Fairness** — weighted deficit round-robin gives every backlogged
+//!    tenant exactly its weight's worth of slices per round, so no
+//!    tenant (and no job) can be starved by another tenant's backlog;
+//! 2. **Determinism** — the emission order of
+//!    [`FairScheduler::next_slice`] is a pure function of (arrival
+//!    order, weights): replaying the same submissions against worker
+//!    pools of any size, with slices completing in *any* order the pool
+//!    allows, yields the identical emission sequence.
+//!
+//! The worker pool here is a model, not threads: proptest drives which
+//! in-flight slice completes next, which explores exactly the
+//! reorderings a real pool's timing could produce — and does it
+//! deterministically, so a counterexample replays.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sca_server::{FairScheduler, JobId, SchedConfig};
+
+/// One scripted scheduler workload: per-tenant weights and a flat
+/// arrival list of (tenant index, slices-to-completion).
+#[derive(Clone, Debug)]
+struct Script {
+    weights: Vec<u32>,
+    arrivals: Vec<(usize, u64)>,
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    (
+        proptest::collection::vec(1u32..5, 1..5),
+        proptest::collection::vec((0usize..4, 1u64..6), 1..13),
+    )
+        .prop_map(|(weights, raw)| {
+            let tenants = weights.len();
+            Script {
+                arrivals: raw.into_iter().map(|(t, s)| (t % tenants, s)).collect(),
+                weights,
+            }
+        })
+}
+
+/// Builds a scheduler with the script's weights set up front and every
+/// arrival submitted in order; returns the per-job slice budgets.
+fn build(script: &Script) -> (FairScheduler, HashMap<JobId, u64>) {
+    let mut sched = FairScheduler::new(SchedConfig {
+        queue_limit: usize::MAX,
+        default_weight: 1,
+    });
+    for (i, weight) in script.weights.iter().enumerate() {
+        sched.set_weight(&format!("t{i}"), *weight);
+    }
+    let mut budgets = HashMap::new();
+    for (tenant, slices) in &script.arrivals {
+        let job = sched
+            .submit(&format!("t{tenant}"))
+            .expect("unbounded queue");
+        budgets.insert(job, *slices);
+    }
+    (sched, budgets)
+}
+
+/// Single-file drain: one worker, each slice completes before the next
+/// emission. This is the reference emission order.
+fn drain_single(script: &Script) -> Vec<JobId> {
+    let (mut sched, budgets) = build(script);
+    let mut remaining = budgets;
+    let mut order = Vec::new();
+    while let Some(job) = sched.next_slice() {
+        order.push(job);
+        let left = remaining.get_mut(&job).expect("emitted job is live");
+        *left -= 1;
+        sched.complete(job, *left == 0);
+    }
+    assert_eq!(sched.live(), 0, "single-file drain left live jobs");
+    order
+}
+
+/// Worker-pool drain: up to `workers` slices in flight, with `choices`
+/// deciding which in-flight slice completes whenever the pool is full
+/// or the scheduler imposes a head-of-line wait.
+fn drain_pool(script: &Script, workers: usize, choices: &[usize]) -> Vec<JobId> {
+    let (mut sched, budgets) = build(script);
+    let mut remaining = budgets;
+    let mut in_flight: Vec<JobId> = Vec::new();
+    let mut order = Vec::new();
+    let mut choices = choices.iter().copied().chain(std::iter::repeat(0));
+    let cap: u64 = script.arrivals.iter().map(|(_, s)| s).sum::<u64>() * 4 + 16;
+    for _ in 0..cap {
+        if sched.live() == 0 {
+            break;
+        }
+        if in_flight.len() < workers {
+            if let Some(job) = sched.next_slice() {
+                order.push(job);
+                *remaining.get_mut(&job).expect("emitted job is live") -= 1;
+                in_flight.push(job);
+                continue;
+            }
+        }
+        // Pool full, or a head-of-line wait: something must complete.
+        assert!(
+            !in_flight.is_empty(),
+            "scheduler stalled with live jobs and an idle pool"
+        );
+        let pick = choices.next().expect("infinite chain") % in_flight.len();
+        let job = in_flight.swap_remove(pick);
+        sched.complete(job, remaining[&job] == 0);
+    }
+    assert_eq!(sched.live(), 0, "pool drain did not converge");
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Determinism: the emission order never depends on the worker count
+    /// or on slice completion timing.
+    #[test]
+    fn emission_order_is_a_pure_function_of_arrivals_and_weights(
+        script in arb_script(),
+        workers in 2usize..=8,
+        choices in proptest::collection::vec(0usize..8, 0..128),
+    ) {
+        let reference = drain_single(&script);
+        let pooled = drain_pool(&script, workers, &choices);
+        prop_assert_eq!(reference, pooled);
+    }
+
+    /// Liveness: a full drain serves every slice of every job — nothing
+    /// is starved or dropped, whatever the weights.
+    #[test]
+    fn every_submitted_slice_is_eventually_emitted(script in arb_script()) {
+        let order = drain_single(&script);
+        let total: u64 = script.arrivals.iter().map(|(_, s)| s).sum();
+        prop_assert_eq!(order.len() as u64, total);
+        for id in 1..=script.arrivals.len() as u64 {
+            prop_assert!(order.contains(&JobId(id)), "job {id} never ran");
+        }
+    }
+
+    /// The deficit bound: while every tenant stays backlogged, each
+    /// complete round of `sum(weights)` emissions gives tenant `i`
+    /// exactly `weight[i]` slices — proportional service with zero
+    /// long-run drift.
+    #[test]
+    fn backlogged_tenants_get_exactly_weighted_rounds(
+        weights in proptest::collection::vec(1u32..5, 1..5),
+        rounds in 1u64..=4,
+    ) {
+        let per_tenant: u64 = rounds * u64::from(*weights.iter().max().unwrap());
+        let script = Script {
+            weights: weights.clone(),
+            // One deep job per tenant, deep enough to stay backlogged
+            // for `rounds` full rounds.
+            arrivals: (0..weights.len())
+                .map(|t| (t, per_tenant * u64::from(weights[t])))
+                .collect(),
+        };
+        let order = drain_single(&script);
+        let round_len: usize = weights.iter().map(|&w| w as usize).sum();
+        for round in 0..rounds as usize {
+            let window = &order[round * round_len..(round + 1) * round_len];
+            for (tenant, &weight) in weights.iter().enumerate() {
+                let job = JobId(tenant as u64 + 1);
+                let got = window.iter().filter(|&&j| j == job).count();
+                prop_assert_eq!(
+                    got, weight as usize,
+                    "round {} gave tenant {} {} slices, weight {}",
+                    round, tenant, got, weight
+                );
+            }
+        }
+    }
+
+    /// No starvation, quantified: a one-slice probe submitted behind
+    /// arbitrarily deep backlogs from every other tenant still runs
+    /// within one full round — at most `sum(weights)` emissions after
+    /// the drain starts, never proportional to the backlog depth.
+    #[test]
+    fn quick_probe_waits_at_most_one_round_behind_any_backlog(
+        backlog_weights in proptest::collection::vec(1u32..5, 1..4),
+        backlog_jobs in proptest::collection::vec(1usize..4, 1..4),
+        depth in 20u64..=60,
+    ) {
+        let tenants = backlog_weights.len().min(backlog_jobs.len());
+        let mut arrivals = Vec::new();
+        for (t, &jobs) in backlog_jobs.iter().take(tenants).enumerate() {
+            for _ in 0..jobs {
+                arrivals.push((t, depth));
+            }
+        }
+        // The probe tenant arrives last, weight 1, one slice.
+        let mut weights = backlog_weights[..tenants].to_vec();
+        weights.push(1);
+        arrivals.push((tenants, 1));
+        let script = Script { weights: weights.clone(), arrivals };
+        let order = drain_single(&script);
+        let probe = JobId(script.arrivals.len() as u64);
+        let position = order.iter().position(|&j| j == probe).expect("probe ran");
+        let round: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        prop_assert!(
+            (position as u64) < round,
+            "probe waited {} emissions; one round is {}",
+            position,
+            round
+        );
+    }
+}

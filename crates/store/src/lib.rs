@@ -20,6 +20,9 @@
 //!   records of `(high-water trace index, serialized sink state)`;
 //!   pages are fsynced *before* the claim is logged, torn tails are
 //!   skipped on scan and truncated on reopen.
+//! * [`locks`] — [`KeyLocks`], an in-process table of per-key
+//!   exclusive locks so shard workers sharing one corpus root serialize
+//!   writers per store while distinct stores stay fully concurrent.
 //! * [`store`] — [`TraceStore`], tying the layers together with
 //!   `append`/`stream`/`checkpoint`/`merge_from`, plus the fault
 //!   injection entry points (`append_torn`, `checkpoint_torn`) the
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod locks;
 pub mod meta;
 pub mod page;
 pub mod pool;
@@ -43,6 +47,7 @@ pub mod store;
 pub mod wal;
 
 pub use error::{fnv1a64, fnv1a64_continue, StoreError};
+pub use locks::{KeyLockGuard, KeyLocks};
 pub use meta::{CorpusKey, StoreMeta, META_FILE};
 pub use page::{PageFile, PageGeometry, TraceRecord, PAGE_HEADER_BYTES, TARGET_PAGE_BYTES};
 pub use pool::{BufferPool, PinnedPage, PoolStats};

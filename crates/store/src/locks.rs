@@ -1,0 +1,168 @@
+//! Per-key mutual exclusion for shared corpus directories.
+//!
+//! A [`TraceStore`](crate::TraceStore) assumes one writer per
+//! directory: concurrent appends to the same store would race on page
+//! slots and interleave checkpoint records. When many workers share one
+//! corpus root — the campaign server's shard pool is the motivating
+//! case — each store directory is identified by a stable `u64` key (a
+//! fingerprint of its [`CorpusKey`](crate::CorpusKey)), and [`KeyLocks`]
+//! serializes writers per key while leaving distinct keys fully
+//! concurrent.
+//!
+//! The table is purely in-process. Cross-process exclusion is out of
+//! scope: the server owns its corpus root for the lifetime of the
+//! process, which is the deployment shape the ROADMAP's campaign
+//! service describes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One key's lock word: `busy` flips under the mutex, `cv` wakes
+/// blocked acquirers when the holder releases.
+#[derive(Debug, Default)]
+struct LockEntry {
+    busy: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// An in-process table of per-key exclusive locks.
+///
+/// [`acquire`](KeyLocks::acquire) blocks until the key is free and
+/// returns an RAII [`KeyLockGuard`]; dropping the guard releases the
+/// key and wakes one waiter. Entries are created on first use and kept
+/// for the table's lifetime — the key space is small (one per distinct
+/// campaign spec), so there is no eviction.
+///
+/// ```
+/// use sca_store::KeyLocks;
+///
+/// let locks = KeyLocks::new();
+/// let guard = locks.acquire(0xdac_2018);
+/// assert!(locks.try_acquire(0xdac_2018).is_none());
+/// drop(guard);
+/// assert!(locks.try_acquire(0xdac_2018).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct KeyLocks {
+    entries: Mutex<HashMap<u64, Arc<LockEntry>>>,
+}
+
+impl KeyLocks {
+    /// Creates an empty lock table.
+    #[must_use]
+    pub fn new() -> KeyLocks {
+        KeyLocks::default()
+    }
+
+    fn entry(&self, key: u64) -> Arc<LockEntry> {
+        let mut entries = self.entries.lock().expect("lock table poisoned");
+        Arc::clone(entries.entry(key).or_default())
+    }
+
+    /// Blocks until `key` is free, then holds it exclusively until the
+    /// returned guard is dropped.
+    #[must_use]
+    pub fn acquire(&self, key: u64) -> KeyLockGuard {
+        let entry = self.entry(key);
+        {
+            let mut busy = entry.busy.lock().expect("key lock poisoned");
+            while *busy {
+                busy = entry.cv.wait(busy).expect("key lock poisoned");
+            }
+            *busy = true;
+        }
+        KeyLockGuard { entry, key }
+    }
+
+    /// Acquires `key` only if it is currently free; `None` when another
+    /// guard holds it.
+    #[must_use]
+    pub fn try_acquire(&self, key: u64) -> Option<KeyLockGuard> {
+        let entry = self.entry(key);
+        {
+            let mut busy = entry.busy.lock().expect("key lock poisoned");
+            if *busy {
+                return None;
+            }
+            *busy = true;
+        }
+        Some(KeyLockGuard { entry, key })
+    }
+}
+
+/// Exclusive hold on one key of a [`KeyLocks`] table; releases (and
+/// wakes one blocked acquirer) on drop.
+#[derive(Debug)]
+pub struct KeyLockGuard {
+    entry: Arc<LockEntry>,
+    key: u64,
+}
+
+impl KeyLockGuard {
+    /// The key this guard holds.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl Drop for KeyLockGuard {
+    fn drop(&mut self) {
+        let mut busy = self.entry.busy.lock().expect("key lock poisoned");
+        *busy = false;
+        drop(busy);
+        self.entry.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let locks = KeyLocks::new();
+        let a = locks.acquire(1);
+        let b = locks.acquire(2);
+        assert_eq!(a.key(), 1);
+        assert_eq!(b.key(), 2);
+    }
+
+    #[test]
+    fn try_acquire_reflects_holder() {
+        let locks = KeyLocks::new();
+        let guard = locks.acquire(7);
+        assert!(locks.try_acquire(7).is_none());
+        drop(guard);
+        let reacquired = locks.try_acquire(7).expect("free after drop");
+        assert_eq!(reacquired.key(), 7);
+    }
+
+    #[test]
+    fn contended_key_serializes_critical_sections() {
+        // 8 threads × 100 increments through a non-atomic cell, guarded
+        // only by the key lock: any mutual-exclusion bug shows up as a
+        // lost update.
+        let locks = Arc::new(KeyLocks::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let locks = Arc::clone(&locks);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    let _guard = locks.acquire(42);
+                    let seen = counter.load(Ordering::Relaxed);
+                    thread::yield_now();
+                    counter.store(seen + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::path::{Path, PathBuf};
 
-use sca_analysis::CpaResult;
+use sca_analysis::{CpaResult, StateReader};
 use sca_campaign::{
     reanalyze_store, Campaign, CampaignConfig, CpaSink, KillPoint, StoreOptions, StoredRunReport,
     TtestSink, DEFAULT_BATCH,
@@ -269,6 +269,25 @@ impl<'a> TargetCampaign<'a> {
         model: &TargetModel,
         store: &TargetStoreConfig,
     ) -> Result<(CpaVerdict, StoredRunReport), TargetError> {
+        self.cpa_stored_bounded(model, store, u64::MAX)
+    }
+
+    /// Like [`TargetCampaign::cpa_stored`], but simulates at most
+    /// `max_new_traces` traces (whole checkpoint segments) before
+    /// returning — the campaign server's job-slice unit. The verdict is
+    /// computed from the partial accumulator, so callers get an
+    /// *incremental* verdict (current rank, peak) after every slice;
+    /// `report.complete()` says whether the campaign finished.
+    ///
+    /// # Errors
+    ///
+    /// As [`TargetCampaign::cpa_stored`].
+    pub fn cpa_stored_bounded(
+        &self,
+        model: &TargetModel,
+        store: &TargetStoreConfig,
+        max_new_traces: u64,
+    ) -> Result<(CpaVerdict, StoredRunReport), TargetError> {
         let window = resolve_window(self.target, &self.cpu, &model.window)?;
         let target = self.target;
         let opts = StoreOptions {
@@ -282,13 +301,14 @@ impl<'a> TargetCampaign<'a> {
         };
         let (sink, report) = self
             .engine(0x0, window.trigger_relative)
-            .run_stored(
+            .run_stored_bounded(
                 &self.cpu,
                 target.program().entry(),
                 |rng, index| target.generate(rng, index),
                 |cpu, input| target.stage(cpu, input),
                 |samples| CpaSink::new(model, 256, samples),
                 &opts,
+                max_new_traces,
             )
             .map_err(TargetError::from)?;
         Ok((
@@ -343,6 +363,29 @@ impl<'a> TargetCampaign<'a> {
         &self,
         store: &TargetStoreConfig,
     ) -> Result<(TvlaVerdict, StoredRunReport), TargetError> {
+        self.tvla_stored_bounded(store, u64::MAX)
+            .map(|(verdict, report)| {
+                (
+                    verdict.expect("an unbounded run absorbs both populations"),
+                    report,
+                )
+            })
+    }
+
+    /// Like [`TargetCampaign::tvla_stored`], but simulates at most
+    /// `max_new_traces` traces (whole checkpoint segments) before
+    /// returning. The verdict is `None` until both TVLA populations
+    /// hold at least two traces (the Welch statistic is undefined
+    /// before that).
+    ///
+    /// # Errors
+    ///
+    /// As [`TargetCampaign::tvla_stored`].
+    pub fn tvla_stored_bounded(
+        &self,
+        store: &TargetStoreConfig,
+        max_new_traces: u64,
+    ) -> Result<(Option<TvlaVerdict>, StoredRunReport), TargetError> {
         let window = resolve_window(self.target, &self.cpu, &self.target.primary_window())?;
         let target = self.target;
         let opts = StoreOptions {
@@ -356,7 +399,7 @@ impl<'a> TargetCampaign<'a> {
         };
         let (sink, report) = self
             .engine(0x77e5, window.trigger_relative)
-            .run_stored(
+            .run_stored_bounded(
                 &self.cpu,
                 target.program().entry(),
                 |rng, index| {
@@ -369,17 +412,22 @@ impl<'a> TargetCampaign<'a> {
                 |cpu, input| target.stage(cpu, input),
                 |samples| TtestSink::new(|input: &[u8]| target.is_fixed_class(input), samples),
                 &opts,
+                max_new_traces,
             )
             .map_err(TargetError::from)?;
-        Ok((
-            TvlaVerdict {
-                max_t: sink.max_t(),
-                leaks: sink.leaks(),
-                counts: sink.counts(),
-            },
-            report,
-        ))
+        Ok((tvla_verdict(&sink), report))
     }
+}
+
+/// The TVLA verdict of a (possibly partial) t-test sink, or `None`
+/// while either population holds fewer than two traces.
+fn tvla_verdict<F: Fn(&[u8]) -> bool + Send>(sink: &TtestSink<F>) -> Option<TvlaVerdict> {
+    let counts = sink.counts();
+    (counts.0 >= 2 && counts.1 >= 2).then(|| TvlaVerdict {
+        max_t: sink.max_t(),
+        leaks: sink.leaks(),
+        counts,
+    })
 }
 
 /// Re-runs a CPA attack over a stored corpus by streaming its pages
@@ -402,6 +450,86 @@ pub fn reanalyze_cpa(dir: &Path, model: &TargetModel) -> Result<CpaVerdict, Targ
     let sink = reanalyze_store(&store, DEFAULT_BATCH, CpaSink::new(model, 256, samples))
         .map_err(TargetError::from)?;
     Ok(cpa_verdict(model, &sink.finish(), window_cycles))
+}
+
+/// Restores a CPA verdict from a *finished* stored campaign's last
+/// checkpoint — zero simulator invocations and zero page reads: the
+/// exact accumulator snapshot the campaign wrote through the
+/// [`sca_campaign::Checkpointable`] codecs is loaded back into a fresh
+/// sink. Returns `None` when the directory holds no store or its
+/// checkpoints do not yet cover the full trace budget (the caller
+/// should then run or resume the campaign).
+///
+/// This is how the campaign server serves a resubmitted spec after a
+/// restart: the verdict is byte-identical to the one the stored run
+/// printed, and `sca_power::simulator_runs` does not move.
+///
+/// # Errors
+///
+/// Store I/O/corruption and snapshot mismatches as
+/// [`TargetError::Campaign`].
+pub fn restore_cpa(dir: &Path, model: &TargetModel) -> Result<Option<CpaVerdict>, TargetError> {
+    let Some((state, samples, window_cycles)) = load_complete_checkpoint(dir, &model.name)? else {
+        return Ok(None);
+    };
+    let mut sink = CpaSink::new(model, 256, samples);
+    load_sink_state(&mut sink, &state)?;
+    Ok(Some(cpa_verdict(model, &sink.finish(), window_cycles)))
+}
+
+/// Restores a TVLA verdict from a finished stored campaign's last
+/// checkpoint — the fixed-vs-random counterpart of [`restore_cpa`],
+/// with the same zero-simulation contract.
+///
+/// # Errors
+///
+/// Store I/O/corruption and snapshot mismatches as
+/// [`TargetError::Campaign`].
+pub fn restore_tvla(
+    dir: &Path,
+    target: &dyn CipherTarget,
+) -> Result<Option<TvlaVerdict>, TargetError> {
+    let Some((state, samples, _)) = load_complete_checkpoint(dir, "tvla")? else {
+        return Ok(None);
+    };
+    let mut sink = TtestSink::new(|input: &[u8]| target.is_fixed_class(input), samples);
+    load_sink_state(&mut sink, &state)?;
+    Ok(tvla_verdict(&sink))
+}
+
+/// The last checkpoint of `dir` for `analysis`, if the store exists and
+/// the checkpoint covers the full trace budget: `(state bytes, samples,
+/// window cycles)`.
+fn load_complete_checkpoint(
+    dir: &Path,
+    analysis: &str,
+) -> Result<Option<(Vec<u8>, usize, u64)>, TargetError> {
+    if !dir.join(sca_store::META_FILE).exists() {
+        return Ok(None);
+    }
+    let store = TraceStore::open_any(dir)?;
+    let (samples, window_cycles, total) = {
+        let meta = store.meta();
+        (meta.samples as usize, meta.window_cycles, meta.total_traces)
+    };
+    let checkpoint = store
+        .last_checkpoint(analysis_tag(analysis))
+        .map_err(sca_campaign::CampaignError::from)?;
+    Ok(checkpoint
+        .filter(|ck| ck.high_water >= total)
+        .map(|ck| (ck.state, samples, window_cycles)))
+}
+
+/// Loads a checkpoint snapshot into a freshly built sink.
+fn load_sink_state<K: sca_campaign::Checkpointable>(
+    sink: &mut K,
+    state: &[u8],
+) -> Result<(), TargetError> {
+    let mut reader = StateReader::new(state);
+    sink.load_state(&mut reader)
+        .and_then(|()| reader.finish())
+        .map_err(sca_campaign::CampaignError::from)
+        .map_err(TargetError::from)
 }
 
 /// Re-runs the fixed-vs-random TVLA assessment over a stored corpus —

@@ -44,8 +44,8 @@ mod window;
 
 pub use aes::{AesTarget, MaskedAesTarget, PORTFOLIO_AES_KEY};
 pub use campaign::{
-    reanalyze_cpa, reanalyze_tvla, store_dir_name, CpaVerdict, TargetCampaign,
-    TargetCampaignConfig, TargetStoreConfig, TvlaVerdict,
+    reanalyze_cpa, reanalyze_tvla, restore_cpa, restore_tvla, store_dir_name, CpaVerdict,
+    TargetCampaign, TargetCampaignConfig, TargetStoreConfig, TvlaVerdict,
 };
 pub use charz::{
     characterize_target, NodeCharacterization, TargetCharacterization, CHARZ_COMPONENTS,

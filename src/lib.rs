@@ -20,6 +20,7 @@
 //! | [`campaign`] | `sca-campaign` | sharded streaming campaign engine and sinks |
 //! | [`aes`] | `sca-aes` | golden AES-128 + the assembly implementations under attack (unprotected and first-order masked) |
 //! | [`target`] | `sca-target` | the cipher portfolio: `CipherTarget` trait, SPECK64/128, PRESENT-80, target-generic campaigns |
+//! | [`server`] | `sca-server` | multi-tenant campaign service: fair-share slice scheduling, store-backed dedup, streamed verdicts |
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
 //! | [`sched`] | `sca-sched` | countermeasure scheduling: share-distance scrubs, lane pinning |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
@@ -100,6 +101,14 @@ pub mod target {
 /// resumable campaigns (re-export of `sca-store`).
 pub mod store {
     pub use sca_store::*;
+}
+
+/// Multi-tenant campaign service: fair-share scheduling over
+/// checkpoint-sized job slices, fingerprint-keyed dedup against the
+/// trace store, and streamed incremental verdicts (re-export of
+/// `sca-server`).
+pub mod server {
+    pub use sca_server::*;
 }
 
 /// Operating-system noise environments (re-export of `sca-osnoise`).

@@ -1,0 +1,202 @@
+//! End-to-end test of the multi-tenant campaign service.
+//!
+//! `sca_power::simulator_runs` counts every pipeline execution in the
+//! process, and the counter is process-global — so this file holds
+//! exactly ONE test (one test per integration binary = one process =
+//! exact counts; same rule as `tests/store_reanalyze.rs`).
+//!
+//! The single test walks the service's whole contract in order:
+//!
+//! 1. run the one-shot portfolio to capture the ground-truth verdict
+//!    lines for the specs the clients will submit;
+//! 2. measure the simulator cost of one aes128 campaign and one
+//!    speck64128 campaign at the same shape (solo submissions with a
+//!    different seed);
+//! 3. submit the same specs from N concurrent clients — three
+//!    *duplicates* of the aes spec plus one *distinct* speck spec — and
+//!    assert the batch's simulator delta equals exactly one aes
+//!    campaign plus one speck campaign: coalescing provably ran the
+//!    simulator once for the three identical submissions;
+//! 4. assert every client's final verdict is byte-identical to the
+//!    one-shot portfolio's line for its spec;
+//! 5. restart the service on the same corpus root (twice, at different
+//!    worker counts) and resubmit: zero simulator delta — the verdicts
+//!    are served entirely from the store — with byte-identical
+//!    transcripts across worker counts.
+
+use sca_bench::{run_portfolio, PortfolioConfig};
+use superscalar_sca::power::{simulator_runs, GaussianNoise};
+use superscalar_sca::server::{ServerConfig, ServerHarness};
+use superscalar_sca::target::ModelKind;
+
+/// The same quiet probe chain as `tests/verdict_regression.rs`: low
+/// noise so 150 traces resolve the verdicts in debug builds.
+fn quiet_probe() -> GaussianNoise {
+    GaussianNoise {
+        sd: 2.0,
+        baseline: 30.0,
+    }
+}
+
+/// The wire line for the canonical quick spec against `target`, from
+/// `tenant`, with `seed` — 150 traces, 2 executions, quiet probe; the
+/// shape the portfolio ground truth below is captured at.
+fn spec_line(tenant: &str, target: &str, seed: u64) -> String {
+    format!(
+        "submit tenant={tenant} target={target} analysis=hw traces=150 \
+         executions=2 seed={seed:#x} noise-sd=2.0 noise-baseline=30.0"
+    )
+}
+
+const MASTER_SEED: u64 = 0xdac_2018;
+/// A seed the duplicates never use, for the cost-calibration solos.
+const SOLO_SEED: u64 = 0x5eed_0001;
+
+#[test]
+fn concurrent_clients_coalesce_and_match_the_one_shot_portfolio() {
+    assert_eq!(simulator_runs(), 0, "fresh process");
+    let root = std::env::temp_dir().join(format!("sca-server-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Ground truth: the one-shot portfolio at the exact spec shape the
+    // clients will submit. Its per-target campaign seed is
+    // `MASTER_SEED ^ (salt << 24)` — the server applies the same salt,
+    // which is what makes the lines comparable byte-for-byte.
+    let portfolio = run_portfolio(&PortfolioConfig {
+        traces: 150,
+        executions_per_trace: 2,
+        threads: 4,
+        noise: quiet_probe(),
+        charz_traces: 100,
+        audit_executions: 100,
+        ..PortfolioConfig::default()
+    })
+    .expect("one-shot portfolio runs");
+    let expected_aes = format!(
+        "[aes128] {}",
+        portfolio
+            .target("aes128")
+            .cpa_for(ModelKind::ValueHw)
+            .verdict()
+    );
+    let expected_speck = format!(
+        "[speck64128] {}",
+        portfolio
+            .target("speck64128")
+            .cpa_for(ModelKind::ValueHw)
+            .verdict()
+    );
+
+    let mut harness = ServerHarness::new(ServerConfig::new(&root));
+
+    // Simulator cost of one campaign per target shape, measured on solo
+    // submissions with a seed the duplicates never use. The invocation
+    // count is a pure function of the spec's shape (traces, executions,
+    // target), not of the seed, so these calibrate the dedup assertion.
+    let calib = harness.client("calibration");
+    let before = simulator_runs();
+    harness.submit_line(calib, &spec_line("calibration", "aes128", SOLO_SEED));
+    harness.step();
+    let aes_cost = simulator_runs() - before;
+    assert!(aes_cost > 0, "a campaign must simulate");
+    let before = simulator_runs();
+    harness.submit_line(calib, &spec_line("calibration", "speck64128", SOLO_SEED));
+    harness.step();
+    let speck_cost = simulator_runs() - before;
+    assert!(speck_cost > 0, "a campaign must simulate");
+
+    // N concurrent clients: three tenants submit the *identical* aes
+    // spec, a fourth submits a distinct speck spec. All four are queued
+    // before the dispatcher runs, exactly as a busy socket would
+    // deliver them.
+    let (a, b, c) = (
+        harness.client("ci-a"),
+        harness.client("ci-b"),
+        harness.client("ci-c"),
+    );
+    let d = harness.client("dev");
+    let before = simulator_runs();
+    harness.submit_line(a, &spec_line("ci-a", "aes128", MASTER_SEED));
+    harness.submit_line(b, &spec_line("ci-b", "aes128", MASTER_SEED));
+    harness.submit_line(c, &spec_line("ci-c", "aes128", MASTER_SEED));
+    harness.submit_line(d, &spec_line("dev", "speck64128", MASTER_SEED));
+    harness.step();
+    let batch_cost = simulator_runs() - before;
+
+    // THE dedup assertion: three identical submissions plus one
+    // distinct one cost exactly one aes campaign plus one speck
+    // campaign — the coalesced spec ran the simulator once.
+    assert_eq!(
+        batch_cost,
+        aes_cost + speck_cost,
+        "coalesced submissions re-simulated"
+    );
+    let stats = harness.stats();
+    assert_eq!(stats.submitted, 6, "2 calibration + 4 batch");
+    assert_eq!(stats.coalesced, 2, "b and c coalesced onto a's job");
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.store_served, 0, "nothing restored yet");
+
+    // Byte-identity with the one-shot portfolio, for every subscriber.
+    for session in [a, b, c] {
+        assert_eq!(
+            harness.final_verdicts(session),
+            vec![expected_aes.clone()],
+            "session {}",
+            harness.session_name(session)
+        );
+    }
+    assert_eq!(harness.final_verdicts(d), vec![expected_speck.clone()]);
+
+    // Streaming: each duplicate subscriber saw the same incremental
+    // trajectory — one progress line per 64-trace checkpoint slice,
+    // with rank and disclosure fields, before the final verdict.
+    let transcript = harness.transcript(a).join("\n");
+    for marker in ["traces=64/150", "traces=128/150", "traces=150/150"] {
+        assert!(
+            transcript.contains(marker),
+            "missing {marker}:\n{transcript}"
+        );
+    }
+    assert!(transcript.contains(" rank="), "{transcript}");
+    assert!(transcript.contains(" disclosure="), "{transcript}");
+
+    // Restart on the same corpus root at two different worker counts:
+    // resubmissions are served entirely from the store (zero simulator
+    // delta), and the transcripts are byte-identical across worker
+    // counts — scheduling, slicing and verdicts are all deterministic.
+    drop(harness);
+    let mut replays = Vec::new();
+    for workers in [1usize, 4] {
+        let mut config = ServerConfig::new(&root);
+        config.workers = workers;
+        let mut replay = ServerHarness::new(config);
+        let ra = replay.client("replay-a");
+        let rb = replay.client("replay-b");
+        let before = simulator_runs();
+        replay.submit_line(ra, &spec_line("replay-a", "aes128", MASTER_SEED));
+        replay.submit_line(rb, &spec_line("replay-b", "speck64128", MASTER_SEED));
+        replay.step();
+        assert_eq!(
+            simulator_runs(),
+            before,
+            "store-served replay simulated at {workers} workers"
+        );
+        assert_eq!(replay.final_verdicts(ra), vec![expected_aes.clone()]);
+        assert_eq!(replay.final_verdicts(rb), vec![expected_speck.clone()]);
+        let stats = replay.stats();
+        assert_eq!(stats.store_served, 2, "both replays restore");
+        assert_eq!(stats.completed, 2);
+        replays.push((
+            replay.transcript(ra).to_vec(),
+            replay.transcript(rb).to_vec(),
+        ));
+    }
+    assert_eq!(
+        replays[0], replays[1],
+        "replay transcripts differ across worker counts"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
