@@ -34,6 +34,11 @@ pub struct CommonArgs {
     /// ingest. Timings are machine-dependent and go to the file only —
     /// stdout stays byte-deterministic.
     pub bench_json: Option<String>,
+    /// Write the run's telemetry snapshot (span phase times, work
+    /// counters, gauges, histograms) to this path as a
+    /// `customSmallerIsBetter` JSON array. Like `--bench-json`, the file
+    /// is the only output touched — stdout stays byte-deterministic.
+    pub metrics_json: Option<String>,
     /// Persist campaign traces under this directory (one store per
     /// target/analysis pair) and checkpoint accumulator state as the
     /// campaigns run.
@@ -70,6 +75,7 @@ impl Default for CommonArgs {
             lanes: sca_campaign::DEFAULT_LANES,
             full: false,
             bench_json: None,
+            metrics_json: None,
             store: None,
             checkpoint_every: 1024,
             resume: false,
@@ -92,8 +98,8 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 const USAGE: &str = "known flags: --traces N, --seed N, --threads N, --batch N, --lanes N, \
-     --quick, --full, --bench-json PATH, --store DIR, --checkpoint-every N, --resume, \
-     --reanalyze, --kill-after N";
+     --quick, --full, --bench-json PATH, --metrics-json PATH, --store DIR, \
+     --checkpoint-every N, --resume, --reanalyze, --kill-after N";
 
 impl CommonArgs {
     /// Parses `std::env::args`, exiting with status 2 on anything it
@@ -143,6 +149,7 @@ impl CommonArgs {
                 "--quick" => out.full = false,
                 "--full" => out.full = true,
                 "--bench-json" => out.bench_json = Some(value(&arg)?),
+                "--metrics-json" => out.metrics_json = Some(value(&arg)?),
                 "--store" => out.store = Some(value(&arg)?),
                 "--checkpoint-every" => out.checkpoint_every = parse_value(&arg, &value(&arg)?)?,
                 "--resume" => out.resume = true,
@@ -211,6 +218,17 @@ impl CommonArgs {
     pub fn reject_store_flags(&self, binary: &str) {
         if self.store.is_some() {
             eprintln!("error: '--store' is not supported by '{binary}' (only 'portfolio')");
+            std::process::exit(2);
+        }
+    }
+
+    /// Rejects `--metrics-json` in binaries that do not export a
+    /// telemetry snapshot (only `portfolio` does), exiting with status 2
+    /// — the same never-silently-ignored contract as
+    /// [`reject_bench_json`](CommonArgs::reject_bench_json).
+    pub fn reject_metrics_json(&self, binary: &str) {
+        if self.metrics_json.is_some() {
+            eprintln!("error: '--metrics-json' is not supported by '{binary}' (only 'portfolio')");
             std::process::exit(2);
         }
     }
@@ -304,6 +322,8 @@ mod tests {
             "--full",
             "--bench-json",
             "out.json",
+            "--metrics-json",
+            "metrics.json",
             "--store",
             "corpus/",
             "--checkpoint-every",
@@ -320,6 +340,7 @@ mod tests {
         assert_eq!(args.lanes, 4);
         assert!(args.full);
         assert_eq!(args.bench_json.as_deref(), Some("out.json"));
+        assert_eq!(args.metrics_json.as_deref(), Some("metrics.json"));
         assert_eq!(args.store.as_deref(), Some("corpus/"));
         assert_eq!(args.checkpoint_every, 64);
         assert!(args.resume);
@@ -336,6 +357,7 @@ mod tests {
         assert_eq!(args.lanes, sca_campaign::DEFAULT_LANES);
         assert!(!args.full);
         assert!(args.bench_json.is_none());
+        assert!(args.metrics_json.is_none());
         assert!(args.store.is_none());
         assert_eq!(args.checkpoint_every, 1024);
         assert!(!args.resume);
@@ -362,6 +384,7 @@ mod tests {
     fn missing_and_bad_values_are_rejected() {
         assert!(parse(&["--traces"]).is_err());
         assert!(parse(&["--bench-json"]).is_err());
+        assert!(parse(&["--metrics-json"]).is_err());
         assert!(parse(&["--seed", "not-a-number"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--batch", "0"]).is_err());

@@ -48,6 +48,7 @@ fn cell_corr(row: &sca_core::RowResult, component: sca_uarch::NodeKind, expr: &s
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
     args.reject_bench_json("ablation");
+    args.reject_metrics_json("ablation");
     args.reject_store_flags("ablation");
     let config = characterization(&args);
     let benchmarks = table2_benchmarks();

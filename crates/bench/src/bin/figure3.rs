@@ -8,6 +8,7 @@ use sca_bench::{plot, run_figure3, CommonArgs, Figure3Config};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
     args.reject_bench_json("figure3");
+    args.reject_metrics_json("figure3");
     args.reject_store_flags("figure3");
     let config = Figure3Config {
         traces: args.trace_count(1500, 100_000),

@@ -9,6 +9,7 @@ use sca_bench::{plot, run_figure4, write_total_timing, CommonArgs, Figure4Config
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_metrics_json("figure4");
     args.reject_store_flags("figure4");
     let config = Figure4Config {
         traces: args.trace_count(2500, 10_000),

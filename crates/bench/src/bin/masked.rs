@@ -9,6 +9,7 @@ use sca_bench::{run_masked, CommonArgs, MaskedConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
     args.reject_bench_json("masked");
+    args.reject_metrics_json("masked");
     args.reject_store_flags("masked");
     let config = MaskedConfig {
         traces: args.trace_count(400, 5_000),

@@ -3,9 +3,15 @@
 //! AES-128 (unprotected and masked), SPECK64/128 and PRESENT-80.
 //!
 //! Usage: `cargo run --release -p sca-bench --bin portfolio
-//! [--traces N] [--quick|--full] [--bench-json PATH]
+//! [--traces N] [--quick|--full] [--bench-json PATH] [--metrics-json PATH]
 //! [--store DIR [--checkpoint-every N] [--resume] [--kill-after N]]
 //! [--store DIR --reanalyze]`
+//!
+//! `--metrics-json` additionally writes the run's telemetry snapshot
+//! (span phase times, work counters) as a `customSmallerIsBetter` JSON
+//! array and prints the human-readable tree to stderr. Telemetry never
+//! touches stdout: the verdict lines stay byte-identical with or
+//! without it.
 //!
 //! With `--store`, every CPA/TVLA campaign persists its traces and
 //! checkpoints its accumulator state; a run killed mid-campaign (or by
@@ -132,6 +138,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &args.bench_json {
         std::fs::write(path, result.timings_json())?;
         eprintln!("wrote {} kernel timings to {path}", result.timings.len());
+    }
+    if let Some(path) = &args.metrics_json {
+        let snap = sca_telemetry::global().snapshot();
+        std::fs::write(path, sca_telemetry::render_metrics_json(&snap))?;
+        // The human-readable tree goes to stderr: stdout carries only
+        // the byte-deterministic verdicts.
+        eprintln!("{}", sca_telemetry::render_summary(&snap));
+        eprintln!(
+            "wrote {} metrics to {path}",
+            snap.counters.len() + snap.spans.len()
+        );
     }
     Ok(())
 }

@@ -154,6 +154,17 @@ fn main() {
                     Err(e) => writeln!(writer, "rejected {e}").is_ok(),
                 },
                 Ok(Request::Stats) => writeln!(writer, "{}", format_stats(&server.stats())).is_ok(),
+                Ok(Request::Metrics) => {
+                    let snap = server.metrics_snapshot();
+                    let mut ok = true;
+                    for line in sca_telemetry::render_wire(&snap) {
+                        ok = writeln!(writer, "{line}").is_ok();
+                        if !ok {
+                            break;
+                        }
+                    }
+                    ok && writeln!(writer, "metrics-end").is_ok()
+                }
                 Ok(Request::Shutdown) => {
                     stop.store(true, Ordering::SeqCst);
                     let _ = writeln!(writer, "stopping");

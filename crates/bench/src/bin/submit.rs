@@ -16,8 +16,8 @@
 //! committed pins. Exit status is 0 on a final verdict, 1 when the
 //! server rejects or fails the job, 2 on bad arguments.
 
-const USAGE: &str = "known flags: --socket PATH (required), then either --stats, --shutdown, \
-     or a spec: --tenant NAME --target NAME --analysis hw|hd|tvla --traces N \
+const USAGE: &str = "known flags: --socket PATH (required), then either --stats, --metrics, \
+     --shutdown, or a spec: --tenant NAME --target NAME --analysis hw|hd|tvla --traces N \
      [--executions N] [--seed N] [--noise-sd X] [--noise-baseline X] [--weight N]";
 
 /// What one invocation asks the server to do.
@@ -27,6 +27,8 @@ enum Mode {
     Submit(String),
     /// Print the stats line.
     Stats,
+    /// Print the full metrics dump.
+    Metrics,
     /// Drain and stop the server.
     Shutdown,
 }
@@ -61,6 +63,7 @@ impl SubmitArgs {
     {
         let mut socket = None;
         let mut stats = false;
+        let mut metrics = false;
         let mut shutdown = false;
         // Spec fields travel as the strings the user typed (validated
         // locally), so the wire line is exactly what was asked for.
@@ -81,6 +84,7 @@ impl SubmitArgs {
             match arg.as_str() {
                 "--socket" => socket = Some(value(&arg)?),
                 "--stats" => stats = true,
+                "--metrics" => metrics = true,
                 "--shutdown" => shutdown = true,
                 "--tenant" => field("tenant", value(&arg)?)?,
                 "--target" => field("target", value(&arg)?)?,
@@ -97,10 +101,11 @@ impl SubmitArgs {
             }
         }
         let socket = socket.ok_or("'--socket PATH' is required")?;
-        let mode = match (stats, shutdown, fields.is_empty()) {
-            (true, false, true) => Mode::Stats,
-            (false, true, true) => Mode::Shutdown,
-            (false, false, false) => {
+        let mode = match (stats, metrics, shutdown, fields.is_empty()) {
+            (true, false, false, true) => Mode::Stats,
+            (false, true, false, true) => Mode::Metrics,
+            (false, false, true, true) => Mode::Shutdown,
+            (false, false, false, false) => {
                 for required in ["tenant", "target", "analysis", "traces"] {
                     if !fields.iter().any(|(k, _)| *k == required) {
                         return Err(format!("a submission requires '--{required}'"));
@@ -113,11 +118,16 @@ impl SubmitArgs {
                     .join(" ");
                 Mode::Submit(format!("submit {line}"))
             }
-            (false, false, true) => {
-                return Err("nothing to do: give a spec, --stats or --shutdown".to_owned());
+            (false, false, false, true) => {
+                return Err(
+                    "nothing to do: give a spec, --stats, --metrics or --shutdown".to_owned(),
+                );
             }
             _ => {
-                return Err("'--stats', '--shutdown' and a spec are mutually exclusive".to_owned());
+                return Err(
+                    "'--stats', '--metrics', '--shutdown' and a spec are mutually exclusive"
+                        .to_owned(),
+                );
             }
         };
         Ok(SubmitArgs { socket, mode })
@@ -161,6 +171,7 @@ fn main() {
     let request = match &args.mode {
         Mode::Submit(line) => line.as_str(),
         Mode::Stats => "stats",
+        Mode::Metrics => "metrics",
         Mode::Shutdown => "shutdown",
     };
     if let Err(e) = writeln!(stream, "{request}") {
@@ -182,6 +193,14 @@ fn main() {
         match &args.mode {
             // The stats line is the deliverable: stdout.
             Mode::Stats => println!("{line}"),
+            // Metric lines stream to stdout until the terminator.
+            Mode::Metrics => {
+                if line == "metrics-end" {
+                    break;
+                }
+                println!("{line}");
+                continue;
+            }
             Mode::Shutdown => eprintln!("{line}"),
             Mode::Submit(_) => {
                 // Full event stream to stderr; the bare verdict — the
@@ -205,7 +224,7 @@ fn main() {
     }
     let ok = match args.mode {
         Mode::Submit(_) => succeeded && !failed,
-        Mode::Stats | Mode::Shutdown => true,
+        Mode::Stats | Mode::Metrics | Mode::Shutdown => true,
     };
     std::process::exit(i32::from(!ok));
 }
@@ -269,8 +288,14 @@ mod tests {
             parse(&["--socket", "s", "--shutdown"]).unwrap().mode,
             Mode::Shutdown
         );
+        assert_eq!(
+            parse(&["--socket", "s", "--metrics"]).unwrap().mode,
+            Mode::Metrics
+        );
         assert!(parse(&["--socket", "s"]).is_err());
         assert!(parse(&["--socket", "s", "--stats", "--shutdown"]).is_err());
+        assert!(parse(&["--socket", "s", "--stats", "--metrics"]).is_err());
+        assert!(parse(&["--socket", "s", "--metrics", "--tenant", "t"]).is_err());
         assert!(parse(&["--socket", "s", "--stats", "--tenant", "t"]).is_err());
         assert!(parse(&["--stats"]).is_err());
         // A spec needs all four required fields and numeric values.

@@ -10,6 +10,7 @@ use sca_uarch::UarchConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_metrics_json("table2");
     args.reject_store_flags("table2");
     let config = CharacterizationConfig {
         traces: args.trace_count(4000, 100_000),

@@ -252,47 +252,56 @@ fn assess_target(
     let mut cpa = Vec::new();
     for model in &models {
         let start = Instant::now();
-        cpa.push(match &config.store {
-            Some(store) => campaign.cpa_stored(model, &store_for(store, planned))?.0,
-            None => campaign.cpa(model)?,
-        });
-        time(
-            &format!("cpa-{}", model.kind.to_string().to_lowercase()),
-            timings,
-            start,
-        );
+        let phase = format!("cpa-{}", model.kind.to_string().to_lowercase());
+        {
+            let _span = sca_telemetry::span!("{phase}");
+            cpa.push(match &config.store {
+                Some(store) => campaign.cpa_stored(model, &store_for(store, planned))?.0,
+                None => campaign.cpa(model)?,
+            });
+        }
+        time(&phase, timings, start);
     }
 
     let start = Instant::now();
-    let tvla = match &config.store {
-        Some(store) => campaign.tvla_stored(&store_for(store, planned))?.0,
-        None => campaign.tvla()?,
+    let tvla = {
+        let _span = sca_telemetry::span!("tvla");
+        match &config.store {
+            Some(store) => campaign.tvla_stored(&store_for(store, planned))?.0,
+            None => campaign.tvla()?,
+        }
     };
     time("tvla", timings, start);
 
     let start = Instant::now();
-    let charz = characterize_target(
-        target,
-        campaign.cpu(),
-        &models,
-        &TargetCampaignConfig {
-            traces: config.charz_traces,
-            ..campaign_config
-        },
-        0.995,
-    )?;
+    let charz = {
+        let _span = sca_telemetry::span!("charz");
+        characterize_target(
+            target,
+            campaign.cpu(),
+            &models,
+            &TargetCampaignConfig {
+                traces: config.charz_traces,
+                ..campaign_config
+            },
+            0.995,
+        )?
+    };
     time("charz", timings, start);
 
     let start = Instant::now();
-    let audit = audit_cipher_target(
-        target,
-        uarch,
-        &AuditConfig {
-            executions: config.audit_executions,
-            seed: config.seed ^ 0xa0d17 ^ salt,
-            ..AuditConfig::default()
-        },
-    )?;
+    let audit = {
+        let _span = sca_telemetry::span!("audit");
+        audit_cipher_target(
+            target,
+            uarch,
+            &AuditConfig {
+                executions: config.audit_executions,
+                seed: config.seed ^ 0xa0d17 ^ salt,
+                ..AuditConfig::default()
+            },
+        )?
+    };
     time("audit", timings, start);
     let (audit_operand, audit_memory) = leak_paths(&audit);
 
@@ -316,11 +325,15 @@ pub fn run_portfolio(
     config: &PortfolioConfig,
 ) -> Result<PortfolioResult, Box<dyn std::error::Error>> {
     let started = Instant::now();
+    // Root of the telemetry span tree; every target/phase/worker span
+    // nests under it, so `span/portfolio` is the run's wall clock.
+    let _root = sca_telemetry::span!("portfolio");
     let uarch = UarchConfig::cortex_a7();
     let mut targets = Vec::new();
     let mut timings = Vec::new();
     let mut planned = 0u64;
     for (i, target) in portfolio().iter().enumerate() {
+        let _span = sca_telemetry::span!("{}", target.name());
         targets.push(assess_target(
             target.as_ref(),
             &uarch,

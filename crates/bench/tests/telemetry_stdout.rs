@@ -1,0 +1,33 @@
+//! Telemetry must be invisible on stdout: the experiment binaries print
+//! byte-identical verdicts whether span timing is enabled (the default)
+//! or disabled via `SCA_TELEMETRY=0`. Counters are always on, so this
+//! also proves the counter hot paths never print.
+//!
+//! The check spawns a real binary rather than calling the library:
+//! the invariant is about *process* stdout, including anything a
+//! dependency might write.
+
+use std::process::Command;
+
+/// One spawned `figure3` run at test scale.
+fn run_figure3(telemetry: &str) -> (Vec<u8>, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_figure3"))
+        .args(["--quick", "--traces", "80"])
+        .env("SCA_TELEMETRY", telemetry)
+        .output()
+        .expect("figure3 spawns");
+    (output.stdout, output.status.success())
+}
+
+#[test]
+fn stdout_is_byte_identical_with_and_without_telemetry() {
+    let (enabled, ok_enabled) = run_figure3("1");
+    let (disabled, ok_disabled) = run_figure3("0");
+    assert!(ok_enabled, "figure3 with telemetry failed");
+    assert!(ok_disabled, "figure3 without telemetry failed");
+    assert!(!enabled.is_empty(), "figure3 printed nothing");
+    assert_eq!(
+        enabled, disabled,
+        "telemetry changed stdout: the verdict pins are void"
+    );
+}

@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 
 use sca_power::{BlockPowerRecorder, PowerRecorder, SynthScratch, TraceSynthesizer};
-use sca_uarch::{Cpu, CpuBlock, UarchError};
+use sca_uarch::{CacheCounts, Cpu, CpuBlock, UarchError};
 
 /// The lockstep half of an arena: a [`CpuBlock`] stepping several traces
 /// through one pipeline walk, with per-lane recorder/scratch buffers.
@@ -39,6 +39,23 @@ struct BlockSim {
     recorder: BlockPowerRecorder,
     scratches: Vec<SynthScratch>,
     traces: Vec<Vec<f32>>,
+}
+
+/// Work counts a worker accumulates locally (plain integers, no atomics
+/// on the hot path) and publishes to the global telemetry registry at
+/// batch boundaries via [`SimArena::publish_metrics`].
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerTally {
+    /// Cache work attributable to committed traces (warm-up counts the
+    /// template clones inherited are drained and discarded up front;
+    /// diverged lockstep work is drained and discarded too).
+    cache: CacheCounts,
+    /// Traces synthesized through the lockstep block.
+    lockstep_traces: u64,
+    /// Traces synthesized on the scalar path.
+    scalar_traces: u64,
+    /// Lockstep blocks retired by divergence.
+    blocks_poisoned: u64,
 }
 
 /// One campaign worker's reusable simulation state: a staged CPU cloned
@@ -59,6 +76,8 @@ pub struct SimArena {
     pub(crate) flat: Vec<f32>,
     /// Lockstep lanes, when enabled (and not poisoned by divergence).
     block: Option<BlockSim>,
+    /// Locally-buffered telemetry, published at batch boundaries.
+    tally: WorkerTally,
 }
 
 impl SimArena {
@@ -67,14 +86,19 @@ impl SimArena {
     /// weights, so arena traces are bit-identical to the materializing
     /// path's.
     pub fn new(synth: &TraceSynthesizer, template: &Cpu) -> SimArena {
+        let mut cpu = template.clone();
+        // The clone inherits the template's warm-up hit/miss counts;
+        // discard them so the tally attributes cache work to traces only.
+        let _ = cpu.drain_cache_counts();
         SimArena {
-            cpu: template.clone(),
+            cpu,
             recorder: PowerRecorder::new(synth.weights().clone()),
             scratch: SynthScratch::new(),
             trace: Vec::new(),
             inputs: Vec::new(),
             flat: Vec::new(),
             block: None,
+            tally: WorkerTally::default(),
         }
     }
 
@@ -87,8 +111,11 @@ impl SimArena {
         let mut arena = SimArena::new(synth, template);
         let lanes = lanes.clamp(1, sca_uarch::MAX_LANES);
         if lanes > 1 {
+            let mut block = CpuBlock::from_template(template, lanes);
+            // Same warm-up-inheritance discard as the scalar CPU above.
+            let _ = block.drain_cache_counts(lanes);
             arena.block = Some(BlockSim {
-                block: CpuBlock::from_template(template, lanes),
+                block,
                 recorder: BlockPowerRecorder::new(synth.weights().clone(), lanes),
                 scratches: vec![SynthScratch::new(); lanes],
                 traces: vec![Vec::new(); lanes],
@@ -184,6 +211,7 @@ impl SimArena {
         self.flat
             .extend_from_slice(&self.trace[start..start + samples]);
         self.inputs.push(input);
+        self.tally.scalar_traces += 1;
         Ok(())
     }
 
@@ -233,6 +261,9 @@ impl SimArena {
             );
             match got {
                 Some(inputs) => {
+                    let counts = block.block.drain_cache_counts(count);
+                    self.tally.cache.accumulate(&counts);
+                    self.tally.lockstep_traces += count as u64;
                     for (lane, input) in inputs.into_iter().enumerate() {
                         block.traces[lane].resize(full, 0.0);
                         self.flat
@@ -244,8 +275,17 @@ impl SimArena {
                 // Divergence: the lanes' microarchitectural state was
                 // perturbed mid-run, so retire the block for good and
                 // re-run this group (and all later ones) scalar —
-                // `synth_into` is self-contained per trace.
-                None => self.block = None,
+                // `synth_into` is self-contained per trace. The lanes'
+                // partial cache work is drained and discarded: only the
+                // scalar rerun counts, keeping the totals identical to a
+                // single-lane run.
+                None => {
+                    let block = self.block.as_mut().expect("just checked");
+                    let lanes = block.block.max_lanes();
+                    let _ = block.block.drain_cache_counts(lanes);
+                    self.tally.blocks_poisoned += 1;
+                    self.block = None;
+                }
             }
         }
         for offset in 0..count {
@@ -266,5 +306,33 @@ impl SimArena {
     /// The current batch, `(inputs, flat windowed traces)`.
     pub(crate) fn batch(&self) -> (&[Vec<u8>], &[f32]) {
         (&self.inputs, &self.flat)
+    }
+
+    /// Publishes the worker's locally-buffered tally to the global
+    /// telemetry registry and resets it. Called at batch boundaries so
+    /// the hot loop itself never touches shared atomics.
+    pub(crate) fn publish_metrics(&mut self) {
+        // Attribute the scalar CPU's cache work accumulated this batch.
+        let scalar = self.cpu.drain_cache_counts();
+        self.tally.cache.accumulate(&scalar);
+        let tally = std::mem::take(&mut self.tally);
+        let cache = tally.cache;
+        if !cache.is_zero() {
+            sca_telemetry::counter!("uarch/l1i/accesses").add(cache.l1i_hits + cache.l1i_misses);
+            sca_telemetry::counter!("uarch/l1i/misses").add(cache.l1i_misses);
+            sca_telemetry::counter!("uarch/l1d/accesses").add(cache.l1d_hits + cache.l1d_misses);
+            sca_telemetry::counter!("uarch/l1d/misses").add(cache.l1d_misses);
+            sca_telemetry::counter!("uarch/l2/accesses").add(cache.l2_hits + cache.l2_misses);
+            sca_telemetry::counter!("uarch/l2/misses").add(cache.l2_misses);
+        }
+        if tally.lockstep_traces > 0 {
+            sca_telemetry::counter!("campaign/lockstep_traces").add(tally.lockstep_traces);
+        }
+        if tally.scalar_traces > 0 {
+            sca_telemetry::counter!("campaign/scalar_traces").add(tally.scalar_traces);
+        }
+        if tally.blocks_poisoned > 0 {
+            sca_telemetry::counter!("campaign/blocks_poisoned").add(tally.blocks_poisoned);
+        }
     }
 }

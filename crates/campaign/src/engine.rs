@@ -204,7 +204,10 @@ impl Campaign {
         P: Fn(&mut StdRng, &mut Vec<f64>) + Sync,
         K: CampaignSink,
     {
-        let full = self.synth.probe_samples(cpu, entry, &generate, &stage)?;
+        let full = {
+            let _span = sca_telemetry::span!("probe");
+            self.synth.probe_samples(cpu, entry, &generate, &stage)?
+        };
         let (start, samples) = match self.window {
             Some((start, len)) => {
                 let start = start.min(full);
@@ -214,30 +217,45 @@ impl Campaign {
         };
 
         let plan = self.plan();
+        sca_telemetry::counter!("campaign/traces_planned").add(plan.items as u64);
+        // Worker threads have empty span stacks; graft their phase spans
+        // under the caller's current span so the tree stays hierarchical.
+        let parent = sca_telemetry::current_span_path();
         run_sharded(
             &plan,
             || SimArena::with_lanes(&self.synth, cpu, self.lanes),
             || sink(samples),
             |arena, acc, range| {
-                arena.begin_batch();
-                let mut index = range.start;
-                while index < range.end {
-                    let group = self.lanes.min(range.end - index);
-                    arena.push_windowed_group(
-                        &self.synth,
-                        entry,
-                        index,
-                        group,
-                        (full, start, samples),
-                        clip,
-                        &generate,
-                        &stage,
-                        &post,
-                    )?;
-                    index += group;
+                {
+                    let _span =
+                        sca_telemetry::span_at(sca_telemetry::child_path(&parent, "simulate"));
+                    arena.begin_batch();
+                    let mut index = range.start;
+                    while index < range.end {
+                        let group = self.lanes.min(range.end - index);
+                        arena.push_windowed_group(
+                            &self.synth,
+                            entry,
+                            index,
+                            group,
+                            (full, start, samples),
+                            clip,
+                            &generate,
+                            &stage,
+                            &post,
+                        )?;
+                        index += group;
+                    }
                 }
-                let (inputs, flat) = arena.batch();
-                acc.absorb_batch(inputs, flat, samples);
+                {
+                    let _span =
+                        sca_telemetry::span_at(sca_telemetry::child_path(&parent, "absorb"));
+                    let (inputs, flat) = arena.batch();
+                    acc.absorb_batch(inputs, flat, samples);
+                }
+                sca_telemetry::counter!("campaign/traces_simulated").add(range.len() as u64);
+                sca_telemetry::counter!("campaign/batches").inc();
+                arena.publish_metrics();
                 Ok(())
             },
         )

@@ -328,7 +328,10 @@ impl Campaign {
 
         // Slow path: probe the window, open (validating) or create the
         // store, and run segment by segment.
-        let full = self.synth.probe_samples(cpu, entry, &generate, &stage)?;
+        let full = {
+            let _span = sca_telemetry::span!("probe");
+            self.synth.probe_samples(cpu, entry, &generate, &stage)?
+        };
         let (start, samples) = match self.window {
             Some((start, len)) => {
                 let start = start.min(full);
@@ -363,7 +366,10 @@ impl Campaign {
         let mut high_water = resumed_from;
         let mut simulated = 0u64;
         let mut checkpoints = 0u64;
+        sca_telemetry::counter!("campaign/traces_planned")
+            .add((total - resumed_from).min(max_new_traces));
         while high_water < total && simulated < max_new_traces {
+            sca_telemetry::counter!("campaign/segments").inc();
             let seg_end = (high_water + every).min(total);
             let segment = self.run_segment(
                 cpu,
@@ -380,6 +386,7 @@ impl Campaign {
             simulated += seg_end - high_water;
             high_water = seg_end;
 
+            let _span = sca_telemetry::span!("checkpoint");
             let mut state = Vec::new();
             master.save_state(&mut state);
             if let KillPoint::MidCheckpoint { at, keep } = opts.kill {
@@ -432,6 +439,7 @@ impl Campaign {
         };
         let seg_start = segment.start;
         let no_post = |_: &mut StdRng, _: &mut Vec<f64>| {};
+        let parent = sca_telemetry::current_span_path();
         run_sharded(
             &plan,
             || SimArena::with_lanes(&self.synth, cpu, self.lanes),
@@ -441,21 +449,27 @@ impl Campaign {
                 let mut local = range.start;
                 while local < range.end {
                     let group = self.lanes.min(range.end - local);
-                    arena.push_windowed_group(
-                        &self.synth,
-                        entry,
-                        (seg_start as usize) + local,
-                        group,
-                        (full, start, samples),
-                        true,
-                        generate,
-                        stage,
-                        &no_post,
-                    )?;
+                    {
+                        let _span =
+                            sca_telemetry::span_at(sca_telemetry::child_path(&parent, "simulate"));
+                        arena.push_windowed_group(
+                            &self.synth,
+                            entry,
+                            (seg_start as usize) + local,
+                            group,
+                            (full, start, samples),
+                            true,
+                            generate,
+                            stage,
+                            &no_post,
+                        )?;
+                    }
                     // Append the group's traces to the store strictly in
                     // index order (the group was synthesized at once, but
                     // its disk and kill-point semantics must match the
                     // one-trace-at-a-time scalar path).
+                    let _span =
+                        sca_telemetry::span_at(sca_telemetry::child_path(&parent, "store-io"));
                     let first_input = arena.inputs.len() - group;
                     let first_flat = arena.flat.len() - group * samples;
                     for g in 0..group {
@@ -476,8 +490,15 @@ impl Campaign {
                     }
                     local += group;
                 }
-                let (inputs, flat) = arena.batch();
-                acc.absorb_batch(inputs, flat, samples);
+                {
+                    let _span =
+                        sca_telemetry::span_at(sca_telemetry::child_path(&parent, "absorb"));
+                    let (inputs, flat) = arena.batch();
+                    acc.absorb_batch(inputs, flat, samples);
+                }
+                sca_telemetry::counter!("campaign/traces_simulated").add(range.len() as u64);
+                sca_telemetry::counter!("campaign/batches").inc();
+                arena.publish_metrics();
                 Ok(())
             },
         )

@@ -15,8 +15,6 @@
 //! Acquisition is deterministic given the seed, independent of the thread
 //! count: every trace derives its own RNG stream.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,19 +69,29 @@ impl AcquisitionConfig {
     }
 }
 
-/// Process-wide count of simulator executions started by trace
-/// synthesis (every `cpu.run` issued by [`TraceSynthesizer::synth_into`]
-/// and [`TraceSynthesizer::probe_samples`], across all threads).
+/// The `power/simulator_runs` telemetry counter: simulator executions
+/// started by trace synthesis (every `cpu.run` issued by
+/// [`TraceSynthesizer::synth_into`] and
+/// [`TraceSynthesizer::probe_samples`], across all threads).
 ///
 /// Re-analysis paths that replay a stored corpus assert this counter
-/// does not move — stored traces must never trigger resimulation.
-static SIMULATOR_RUNS: AtomicU64 = AtomicU64::new(0);
+/// does not move — stored traces must never trigger resimulation. The
+/// count is pure work, never wall clock, so it is byte-identical across
+/// thread and lane counts (a diverged lockstep group counts nothing;
+/// its scalar rerun counts once per trace, like every other trace).
+fn simulator_runs_counter() -> &'static std::sync::Arc<sca_telemetry::Counter> {
+    sca_telemetry::counter!("power/simulator_runs")
+}
 
 /// How many simulator executions trace synthesis has started in this
 /// process so far. Monotonic; sample it before and after an operation
 /// to count the runs it caused.
+///
+/// A thin shim over the `power/simulator_runs` counter in
+/// [`sca_telemetry::global`] — kept so the exact-delta assertions
+/// written against the old process-global counter stay valid verbatim.
 pub fn simulator_runs() -> u64 {
-    SIMULATOR_RUNS.load(Ordering::Relaxed)
+    simulator_runs_counter().get()
 }
 
 /// Derives a statistically-independent child seed (SplitMix64 step).
@@ -287,7 +295,7 @@ impl TraceSynthesizer {
         probe_cpu.restart_seeded(entry, 0);
         stage(&mut probe_cpu, &input);
         let mut recorder = PowerRecorder::new(self.weights.clone());
-        SIMULATOR_RUNS.fetch_add(1, Ordering::Relaxed);
+        simulator_runs_counter().inc();
         probe_cpu.run(&mut recorder)?;
         Ok(self
             .config
@@ -400,7 +408,7 @@ impl TraceSynthesizer {
             cpu.restart_seeded(entry, scramble);
             stage(cpu, &input);
             recorder.reset();
-            SIMULATOR_RUNS.fetch_add(1, Ordering::Relaxed);
+            simulator_runs_counter().inc();
             cpu.run(recorder)?;
             self.config.sampling.expand_into_clipped(
                 recorder.windowed_power(),
@@ -495,7 +503,7 @@ impl TraceSynthesizer {
             if block.run(recorder).is_err() {
                 return None;
             }
-            SIMULATOR_RUNS.fetch_add(count as u64, Ordering::Relaxed);
+            simulator_runs_counter().add(count as u64);
             for l in 0..count {
                 let scratch = &mut scratches[l];
                 recorder.windowed_power_into(l, &mut windowed);

@@ -166,6 +166,10 @@ pub enum Event {
 }
 
 /// Monotonic service counters (snapshot).
+///
+/// Since the telemetry rework these are read out of the server's
+/// private [`sca_telemetry::Registry`]; the struct remains the stable
+/// exact-delta surface the e2e tests assert on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Specs submitted (accepted + coalesced + rejected).
@@ -183,6 +187,63 @@ pub struct ServerStats {
     /// Jobs whose final verdict came straight from the store with zero
     /// simulation.
     pub store_served: u64,
+    /// High-water mark of concurrently live jobs.
+    pub queue_peak: u64,
+}
+
+/// The server's metric handles, resolved once against a **per-server**
+/// [`sca_telemetry::Registry`] — tests run several servers in one
+/// process, and their counters must not bleed into each other (the
+/// process-global registry keeps the engine/store counters, which *are*
+/// process-wide work).
+struct ServerMetrics {
+    registry: Arc<sca_telemetry::Registry>,
+    submitted: Arc<sca_telemetry::Counter>,
+    coalesced: Arc<sca_telemetry::Counter>,
+    rejected: Arc<sca_telemetry::Counter>,
+    completed: Arc<sca_telemetry::Counter>,
+    failed: Arc<sca_telemetry::Counter>,
+    slices: Arc<sca_telemetry::Counter>,
+    store_served: Arc<sca_telemetry::Counter>,
+    queue_depth: Arc<sca_telemetry::Gauge>,
+    slice_seconds: Arc<sca_telemetry::Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Arc::new(sca_telemetry::Registry::new());
+        ServerMetrics {
+            submitted: registry.counter("server/submitted"),
+            coalesced: registry.counter("server/coalesced"),
+            rejected: registry.counter("server/rejected"),
+            completed: registry.counter("server/completed"),
+            failed: registry.counter("server/failed"),
+            slices: registry.counter("server/slices"),
+            store_served: registry.counter("server/store_served"),
+            queue_depth: registry.gauge("server/queue_depth"),
+            slice_seconds: registry
+                .histogram("server/slice_seconds", &sca_telemetry::LATENCY_BUCKETS),
+            registry,
+        }
+    }
+
+    fn tenant_slices(&self, tenant: &str) -> Arc<sca_telemetry::Counter> {
+        self.registry
+            .counter(&format!("server/tenant/{tenant}/slices"))
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.get(),
+            coalesced: self.coalesced.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            slices: self.slices.get(),
+            store_served: self.store_served.get(),
+            queue_peak: self.queue_depth.peak().max(0) as u64,
+        }
+    }
 }
 
 struct JobRecord {
@@ -205,7 +266,7 @@ struct Inner {
     sched: FairScheduler,
     jobs: HashMap<JobId, JobRecord>,
     by_fingerprint: HashMap<u64, JobId>,
-    stats: ServerStats,
+    metrics: ServerMetrics,
     paused: bool,
     shutdown: bool,
     executing: usize,
@@ -259,7 +320,7 @@ impl CampaignServer {
                 }),
                 jobs: HashMap::new(),
                 by_fingerprint: HashMap::new(),
-                stats: ServerStats::default(),
+                metrics: ServerMetrics::new(),
                 paused: config.start_paused,
                 shutdown: false,
                 executing: 0,
@@ -314,10 +375,10 @@ impl CampaignServer {
     ) -> Result<(JobId, Receiver<Event>, bool), ServerError> {
         let (lock, cv) = &*self.state;
         let mut inner = lock.lock().expect("server state poisoned");
-        inner.stats.submitted += 1;
+        inner.metrics.submitted.inc();
         let accepted = self.accept(&mut inner, spec, weight);
         if accepted.is_err() {
-            inner.stats.rejected += 1;
+            inner.metrics.rejected.inc();
         }
         cv.notify_all();
         accepted
@@ -340,7 +401,7 @@ impl CampaignServer {
         let fingerprint = spec.fingerprint();
         let (tx, rx) = mpsc::channel();
         if let Some(&job) = inner.by_fingerprint.get(&fingerprint) {
-            inner.stats.coalesced += 1;
+            inner.metrics.coalesced.inc();
             let _ = tx.send(Event::Accepted {
                 job,
                 coalesced: true,
@@ -370,13 +431,37 @@ impl CampaignServer {
             },
         );
         inner.by_fingerprint.insert(fingerprint, job);
+        inner.metrics.queue_depth.set(inner.sched.live() as i64);
         Ok((job, rx, false))
     }
 
     /// A snapshot of the service counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.state.0.lock().expect("server state poisoned").stats
+        self.state
+            .0
+            .lock()
+            .expect("server state poisoned")
+            .metrics
+            .stats()
+    }
+
+    /// A merged point-in-time metrics snapshot: this server's registry
+    /// (queue, slices, tenants) over the process-global one (simulator,
+    /// campaign and store work counters).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> sca_telemetry::Snapshot {
+        let mut snap = sca_telemetry::global().snapshot();
+        let server = self
+            .state
+            .0
+            .lock()
+            .expect("server state poisoned")
+            .metrics
+            .registry
+            .snapshot();
+        snap.merge(server);
+        snap
     }
 
     /// Live (accepted, unfinished) jobs.
@@ -509,6 +594,7 @@ fn worker_loop(state: &Arc<(Mutex<Inner>, Condvar)>, runner: &Arc<JobRunner>, sl
         // The expensive part runs without the lock: resume the store,
         // simulate one slice. The very first slice of a job first asks
         // the store whether the verdict is already fully persisted.
+        let slice_start = std::time::Instant::now();
         let result = if first {
             match runner.try_restore(&spec) {
                 Ok(Some(outcome)) => Ok((outcome, true)),
@@ -518,10 +604,13 @@ fn worker_loop(state: &Arc<(Mutex<Inner>, Condvar)>, runner: &Arc<JobRunner>, sl
         } else {
             runner.run_slice(&spec, slice_traces).map(|o| (o, false))
         };
+        let slice_seconds = slice_start.elapsed().as_secs_f64();
 
         let mut inner = lock.lock().expect("server state poisoned");
         inner.executing -= 1;
-        inner.stats.slices += 1;
+        inner.metrics.slices.inc();
+        inner.metrics.slice_seconds.observe(slice_seconds);
+        inner.metrics.tenant_slices(&spec.tenant).inc();
         match result {
             Ok((outcome, restored)) => {
                 let record = inner.jobs.get_mut(&job).expect("sliced job is live");
@@ -538,9 +627,9 @@ fn worker_loop(state: &Arc<(Mutex<Inner>, Condvar)>, runner: &Arc<JobRunner>, sl
                     let line = outcome.final_line(&spec.target);
                     inner.broadcast(job, &Event::Final { job, line });
                     inner.broadcast(job, &Event::Done { job });
-                    inner.stats.completed += 1;
+                    inner.metrics.completed.inc();
                     if restored {
-                        inner.stats.store_served += 1;
+                        inner.metrics.store_served.inc();
                     }
                     let fingerprint = inner.jobs[&job].fingerprint;
                     inner.jobs.remove(&job);
@@ -557,13 +646,14 @@ fn worker_loop(state: &Arc<(Mutex<Inner>, Condvar)>, runner: &Arc<JobRunner>, sl
                     },
                 );
                 inner.broadcast(job, &Event::Done { job });
-                inner.stats.failed += 1;
+                inner.metrics.failed.inc();
                 let fingerprint = inner.jobs[&job].fingerprint;
                 inner.jobs.remove(&job);
                 inner.by_fingerprint.remove(&fingerprint);
                 inner.sched.complete(job, true);
             }
         }
+        inner.metrics.queue_depth.set(inner.sched.live() as i64);
         cv.notify_all();
     }
 }

@@ -40,6 +40,9 @@ pub enum Request {
     },
     /// Ask for the stats line.
     Stats,
+    /// Ask for the full metrics dump (`metric <name>=<value>` lines,
+    /// terminated by `metrics-end`).
+    Metrics,
     /// Drain and stop the server.
     Shutdown,
 }
@@ -81,16 +84,16 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
     }
     match verb {
         "submit" => parse_submit(&mut fields),
-        "stats" | "shutdown" => {
+        "stats" | "metrics" | "shutdown" => {
             if let Some(key) = fields.keys().next() {
                 return Err(ServerError::Spec(format!(
                     "'{verb}' takes no fields, got '{key}'"
                 )));
             }
-            Ok(if verb == "stats" {
-                Request::Stats
-            } else {
-                Request::Shutdown
+            Ok(match verb {
+                "stats" => Request::Stats,
+                "metrics" => Request::Metrics,
+                _ => Request::Shutdown,
             })
         }
         other => Err(ServerError::Spec(format!("unknown request '{other}'"))),
@@ -181,12 +184,13 @@ pub fn format_event(event: &Event) -> String {
     }
 }
 
-/// Formats the stats line.
+/// Formats the stats line. New fields are only ever appended, so
+/// clients splitting on `key=value` pairs keep working.
 #[must_use]
 pub fn format_stats(stats: &ServerStats) -> String {
     format!(
         "stats submitted={} coalesced={} rejected={} completed={} failed={} \
-         slices={} store-served={}",
+         slices={} store-served={} queue-peak={}",
         stats.submitted,
         stats.coalesced,
         stats.rejected,
@@ -194,6 +198,7 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.failed,
         stats.slices,
         stats.store_served,
+        stats.queue_peak,
     )
 }
 
@@ -246,11 +251,13 @@ mod tests {
             "submit tenant=t target=aes128 analysis=cpa traces=10",
             "submit orphan",
             "stats verbose=yes",
+            "metrics format=json",
             "reboot",
         ] {
             assert!(parse_request(bad).is_err(), "accepted: '{bad}'");
         }
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
     }
 

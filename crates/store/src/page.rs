@@ -304,6 +304,7 @@ impl PageFile {
     /// Propagates I/O errors.
     pub fn sync(&self) -> Result<(), StoreError> {
         self.file.sync_all()?;
+        sca_telemetry::counter!("store/fsyncs").inc();
         Ok(())
     }
 

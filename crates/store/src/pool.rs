@@ -104,6 +104,7 @@ impl BufferPool {
             frame.referenced = true;
             let buf = Arc::clone(&frame.buf);
             inner.stats.hits += 1;
+            sca_telemetry::counter!("store/page_hits").inc();
             return Ok(PinnedPage {
                 pool: self,
                 page_index,
@@ -117,6 +118,7 @@ impl BufferPool {
         // the price of a single-mutex pool and fine at store page sizes.
         let buf = Arc::new(load()?);
         inner.stats.misses += 1;
+        sca_telemetry::counter!("store/page_misses").inc();
         inner.frames.push(Frame {
             page_index,
             buf: Arc::clone(&buf),
@@ -165,6 +167,7 @@ impl BufferPool {
             inner.frames.swap_remove(at);
             inner.hand = at % inner.frames.len().max(1);
             inner.stats.evictions += 1;
+            sca_telemetry::counter!("store/page_evictions").inc();
             return Ok(());
         }
         Err(StoreError::PoolExhausted)

@@ -189,6 +189,7 @@ impl TraceStore {
         self.writer(page_index)?
             .write_slot(self.geom.slot_of(index), input, trace)?;
         self.pool.invalidate(page_index);
+        sca_telemetry::counter!("store/slots_written").inc();
         Ok(())
     }
 
@@ -255,6 +256,7 @@ impl TraceStore {
         state: Vec<u8>,
     ) -> Result<(), StoreError> {
         self.sync_pages()?;
+        sca_telemetry::counter!("store/checkpoint_bytes").add(state.len() as u64);
         self.with_wal(|wal| {
             wal.append(&CheckpointRecord {
                 high_water,

@@ -162,6 +162,7 @@ impl CheckpointLog {
     pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), StoreError> {
         self.file.write_all(&record.encode())?;
         self.file.sync_all()?;
+        sca_telemetry::counter!("store/wal_fsyncs").inc();
         Ok(())
     }
 

@@ -1,0 +1,251 @@
+//! Snapshot exporters: a human tree for stderr, `customSmallerIsBetter`
+//! JSON for `--metrics-json`, and line-per-metric text for the server's
+//! `metrics` wire command.
+//!
+//! Nothing here writes anywhere — everything returns strings, and the
+//! callers route them to stderr, a file, or a socket. Stdout is off
+//! limits by the telemetry determinism contract.
+
+use crate::{Snapshot, SpanStat};
+
+/// Renders a human-readable summary: the span tree indented by path
+/// depth, then counters, gauges and histograms. Intended for stderr.
+#[must_use]
+pub fn render_summary(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        out.push_str("phase times:\n");
+        // Sort component-wise, not as plain strings: under a byte sort
+        // "aes128-masked" lands between "aes128" and "aes128/…"
+        // ('-' < '/'), detaching a parent from its children. Comparing
+        // path segments keeps every subtree contiguous, so iteration
+        // prints the tree depth-first.
+        let mut spans: Vec<_> = snapshot.spans.iter().collect();
+        spans.sort_by(|(a, _), (b, _)| {
+            a.split('/')
+                .collect::<Vec<_>>()
+                .cmp(&b.split('/').collect())
+        });
+        for (path, stat) in spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "{:indent$}{name:<24} {:>10.3}s  x{}\n",
+                "",
+                stat.seconds,
+                stat.count,
+                indent = 2 + depth * 2,
+            ));
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, (value, peak)) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<40} {value} (peak {peak})\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<40} n={} sum={:.3}s\n",
+                h.count, h.sum_seconds
+            ));
+        }
+    }
+    out
+}
+
+fn push_entry(entries: &mut Vec<String>, name: &str, unit: &str, value: &str) {
+    entries.push(format!(
+        "  {{ \"name\": \"{name}\", \"unit\": \"{unit}\", \"value\": {value} }}"
+    ));
+}
+
+/// Renders the snapshot as a `customSmallerIsBetter` JSON array — the
+/// same shape as `PortfolioResult::timings_json`, so CI benchmark
+/// trackers and the perf gate can ingest per-phase numbers directly.
+///
+/// Span entries are named `span/<path>` with unit `"s"`; counters keep
+/// their registry names with unit `"count"` and integer values (so the
+/// file's counter lines are byte-comparable across runs); gauges export
+/// their peak as `<name>/peak`; histograms export `<name>/count` and
+/// `<name>/sum` (unit `"s"`).
+#[must_use]
+pub fn render_metrics_json(snapshot: &Snapshot) -> String {
+    let mut entries = Vec::new();
+    for (path, stat) in &snapshot.spans {
+        push_entry(
+            &mut entries,
+            &format!("span/{path}"),
+            "s",
+            &format!("{:.6}", stat.seconds),
+        );
+    }
+    for (name, value) in &snapshot.counters {
+        push_entry(&mut entries, name, "count", &value.to_string());
+    }
+    for (name, (value, peak)) in &snapshot.gauges {
+        push_entry(&mut entries, name, "count", &value.to_string());
+        push_entry(
+            &mut entries,
+            &format!("{name}/peak"),
+            "count",
+            &peak.to_string(),
+        );
+    }
+    for (name, h) in &snapshot.histograms {
+        push_entry(
+            &mut entries,
+            &format!("{name}/count"),
+            "count",
+            &h.count.to_string(),
+        );
+        push_entry(
+            &mut entries,
+            &format!("{name}/sum"),
+            "s",
+            &format!("{:.6}", h.sum_seconds),
+        );
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
+}
+
+/// Renders the snapshot as `metric <name>=<value>` wire lines (no
+/// terminator — the server appends its own `metrics-end`). Spans are
+/// `span/<path>=<seconds>`; gauges add `<name>/peak`; histograms add
+/// `<name>/count` and `<name>/sum`.
+#[must_use]
+pub fn render_wire(snapshot: &Snapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (path, stat) in &snapshot.spans {
+        lines.push(format!("metric span/{path}={:.6}", stat.seconds));
+    }
+    for (name, value) in &snapshot.counters {
+        lines.push(format!("metric {name}={value}"));
+    }
+    for (name, (value, peak)) in &snapshot.gauges {
+        lines.push(format!("metric {name}={value}"));
+        lines.push(format!("metric {name}/peak={peak}"));
+    }
+    for (name, h) in &snapshot.histograms {
+        lines.push(format!("metric {name}/count={}", h.count));
+        lines.push(format!("metric {name}/sum={:.6}", h.sum_seconds));
+    }
+    lines
+}
+
+/// Sums the `seconds` of the top-level spans (paths without `/`) — the
+/// “phase times cover the wall clock” denominator used by the metrics
+/// checker.
+#[must_use]
+pub fn top_level_seconds(spans: &[(String, SpanStat)]) -> f64 {
+    spans
+        .iter()
+        .filter(|(path, _)| !path.contains('/'))
+        .map(|(_, stat)| stat.seconds)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("campaign/traces_simulated").add(700);
+        reg.gauge("server/queue_depth").set(3);
+        reg.histogram("server/slice_seconds", &[0.1, 1.0])
+            .observe(0.25);
+        reg.record_span("portfolio", 2.0);
+        reg.record_span("portfolio/aes128", 1.5);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_is_custom_smaller_is_better_shaped() {
+        let json = render_metrics_json(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains(
+            "{ \"name\": \"campaign/traces_simulated\", \"unit\": \"count\", \"value\": 700 }"
+        ));
+        assert!(json.contains("\"name\": \"span/portfolio\", \"unit\": \"s\""));
+        assert!(json.contains("\"name\": \"span/portfolio/aes128\""));
+        assert!(json.contains("\"name\": \"server/queue_depth/peak\""));
+        assert!(json.contains("\"name\": \"server/slice_seconds/count\""));
+        // Counter values are bare integers — byte-comparable.
+        assert!(json.contains("\"value\": 700 }"));
+    }
+
+    #[test]
+    fn summary_indents_by_span_depth() {
+        let text = render_summary(&sample());
+        assert!(text.contains("\n  portfolio "));
+        assert!(text.contains("\n    aes128 "));
+        assert!(text.contains("campaign/traces_simulated"));
+        assert!(text.contains("(peak 3)"));
+    }
+
+    #[test]
+    fn summary_keeps_subtrees_contiguous_under_dashed_siblings() {
+        // "p/aes128-masked" byte-sorts before "p/aes128/charz"; the
+        // tree must still print aes128's child right after aes128.
+        let reg = Registry::new();
+        reg.record_span("p", 3.0);
+        reg.record_span("p/aes128", 1.0);
+        reg.record_span("p/aes128-masked", 1.0);
+        reg.record_span("p/aes128/charz", 0.5);
+        let text = render_summary(&reg.snapshot());
+        let pos = |needle: &str| text.find(needle).expect(needle);
+        assert!(pos("aes128 ") < pos("charz "));
+        assert!(pos("charz ") < pos("aes128-masked "));
+    }
+
+    #[test]
+    fn wire_lines_cover_every_family() {
+        let lines = render_wire(&sample());
+        assert!(lines.contains(&"metric campaign/traces_simulated=700".to_owned()));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("metric span/portfolio=")));
+        assert!(lines.contains(&"metric server/queue_depth/peak=3".to_owned()));
+        assert!(lines.iter().all(|l| l.starts_with("metric ")));
+    }
+
+    #[test]
+    fn top_level_seconds_ignores_children() {
+        let spans = vec![
+            (
+                "a".to_owned(),
+                SpanStat {
+                    seconds: 1.0,
+                    count: 1,
+                },
+            ),
+            (
+                "a/b".to_owned(),
+                SpanStat {
+                    seconds: 0.9,
+                    count: 1,
+                },
+            ),
+            (
+                "c".to_owned(),
+                SpanStat {
+                    seconds: 2.0,
+                    count: 1,
+                },
+            ),
+        ];
+        assert!((top_level_seconds(&spans) - 3.0).abs() < 1e-12);
+    }
+}

@@ -293,6 +293,20 @@ impl CpuBlock {
         &mut self.lanes[lane]
     }
 
+    /// Drains the cache hit/miss counters of the first `count` lanes
+    /// (see [`Cpu::drain_cache_counts`]) and returns their sum. Lane
+    /// state is untouched — callers use this to attribute cache work to
+    /// committed lockstep groups (draining only the active lanes) or to
+    /// discard it (draining every lane after a divergence or right after
+    /// construction, when the counts are template warm-up inheritance).
+    pub fn drain_cache_counts(&mut self, count: usize) -> crate::CacheCounts {
+        let mut total = crate::CacheCounts::default();
+        for lane in &mut self.lanes[..count] {
+            total.accumulate(&lane.drain_cache_counts());
+        }
+        total
+    }
+
     /// Restarts the first `scramble_seeds.len()` lanes at `entry` (each
     /// with its own node-scramble seed, exactly as the scalar
     /// [`Cpu::restart_seeded`] would) and resets the shared control

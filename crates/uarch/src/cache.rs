@@ -130,6 +130,18 @@ impl Cache {
         }
     }
 
+    /// Returns `(hits, misses)` accumulated since the last drain and
+    /// zeroes both counters. Line state is untouched, so draining never
+    /// perturbs timing — it only re-bases the counts, which is how the
+    /// campaign arena discards the warm-up accesses inherited by each
+    /// worker's template clone before attributing counts to traces.
+    pub fn drain_counts(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.hits),
+            std::mem::take(&mut self.misses),
+        )
+    }
+
     /// The geometry this cache was built with.
     pub fn config(&self) -> CacheConfig {
         self.config
@@ -193,6 +205,57 @@ impl CacheHierarchy {
         if let Some(l2) = &mut self.l2 {
             l2.flush();
         }
+    }
+
+    /// Drains both levels' counters: `((l1_hits, l1_misses),
+    /// (l2_hits, l2_misses))`, zeros when a level is absent.
+    pub fn drain_counts(&mut self) -> ((u64, u64), (u64, u64)) {
+        (
+            self.l1.as_mut().map_or((0, 0), Cache::drain_counts),
+            self.l2.as_mut().map_or((0, 0), Cache::drain_counts),
+        )
+    }
+}
+
+/// Hit/miss counts across a CPU's cache instances, drained by
+/// [`crate::Cpu::drain_cache_counts`]. The I- and D-side L2 halves (see
+/// [`CacheHierarchy::l2`]) are summed into one L2 figure.
+///
+/// These are *work* counts: for a warmed, constant-address-trace
+/// workload they are a pure function of the instruction stream, so the
+/// campaign telemetry asserts they are byte-identical across thread and
+/// lane counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// L1 instruction-cache hits.
+    pub l1i_hits: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache hits.
+    pub l1d_hits: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 hits (I- and D-side halves summed).
+    pub l2_hits: u64,
+    /// L2 misses (I- and D-side halves summed).
+    pub l2_misses: u64,
+}
+
+impl CacheCounts {
+    /// Folds `other` into `self`.
+    pub fn accumulate(&mut self, other: &CacheCounts) {
+        self.l1i_hits += other.l1i_hits;
+        self.l1i_misses += other.l1i_misses;
+        self.l1d_hits += other.l1d_hits;
+        self.l1d_misses += other.l1d_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+    }
+
+    /// Whether every count is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == CacheCounts::default()
     }
 }
 

@@ -349,6 +349,26 @@ impl Cpu {
         self.stats
     }
 
+    /// Returns the hit/miss counts accumulated by every cache instance
+    /// since the last drain, and zeroes them. Cache *lines* are
+    /// untouched — timing, and therefore every trace, is unaffected.
+    ///
+    /// Campaign workers drain their template clone once at arena
+    /// creation (discarding the warm-up counts the clone inherited) and
+    /// then per batch, attributing the deltas to telemetry.
+    pub fn drain_cache_counts(&mut self) -> crate::CacheCounts {
+        let ((l1i_hits, l1i_misses), (l2i_hits, l2i_misses)) = self.icache.drain_counts();
+        let ((l1d_hits, l1d_misses), (l2d_hits, l2d_misses)) = self.dcache.drain_counts();
+        crate::CacheCounts {
+            l1i_hits,
+            l1i_misses,
+            l1d_hits,
+            l1d_misses,
+            l2_hits: l2i_hits + l2d_hits,
+            l2_misses: l2i_misses + l2d_misses,
+        }
+    }
+
     /// Cycles elapsed.
     pub fn cycle(&self) -> u64 {
         self.cycle

@@ -48,7 +48,7 @@ mod policy;
 mod stats;
 
 pub use block::{BlockObserver, CpuBlock, Divergence, MAX_LANES};
-pub use cache::{Cache, CacheAccess, CacheHierarchy};
+pub use cache::{Cache, CacheAccess, CacheCounts, CacheHierarchy};
 pub use config::{CacheConfig, UarchConfig};
 pub use cpu::Cpu;
 pub use error::UarchError;

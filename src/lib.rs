@@ -24,6 +24,7 @@
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
 //! | [`sched`] | `sca-sched` | countermeasure scheduling: share-distance scrubs, lane pinning |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
+//! | [`telemetry`] | `sca-telemetry` | always-on work counters, span phase timing, metric exporters |
 //!
 //! ## Quickstart
 //!
@@ -114,6 +115,15 @@ pub mod server {
 /// Operating-system noise environments (re-export of `sca-osnoise`).
 pub mod osnoise {
     pub use sca_osnoise::*;
+}
+
+/// Dependency-free metrics registry and span timing used across the
+/// stack: counters are always on (the exact-delta determinism tests
+/// are written against them), span timing is gated by the
+/// `SCA_TELEMETRY` environment variable, and nothing here ever writes
+/// to stdout or touches an RNG (re-export of `sca-telemetry`).
+pub mod telemetry {
+    pub use sca_telemetry::*;
 }
 
 /// The paper's methodology: characterization and audit (re-export of
