@@ -17,6 +17,7 @@
 //! * the paper's two attack models ([`SubBytesHw`] for Figure 3,
 //!   [`SubBytesStoreHd`] for Figure 4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -24,6 +24,7 @@
 //!   accumulator), the serialization layer under `sca-store`'s
 //!   checkpoint log.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

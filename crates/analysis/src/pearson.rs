@@ -240,9 +240,9 @@ mod tests {
         for (i, (x, t)) in xs.iter().zip(&traces).enumerate() {
             whole.add(*x, t);
             if i < 10 {
-                left.add(*x, t)
+                left.add(*x, t);
             } else {
-                right.add(*x, t)
+                right.add(*x, t);
             }
         }
         left.merge(&right);

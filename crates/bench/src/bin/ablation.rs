@@ -41,8 +41,7 @@ fn cell_corr(row: &sca_core::RowResult, component: sca_uarch::NodeKind, expr: &s
     row.cells
         .iter()
         .find(|c| c.component == component && c.expr == expr)
-        .map(|c| (c.peak_corr.abs(), c.significant))
-        .unwrap_or((0.0, false))
+        .map_or((0.0, false), |c| (c.peak_corr.abs(), c.significant))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,136 @@
+//! Static leakage lint over the cipher portfolio.
+//!
+//! ```text
+//! lint [TARGET...]
+//! ```
+//!
+//! Runs `sca-lint` over the named targets (default: all of them, in
+//! the fixed order below) and prints one compiler-style report per
+//! target. The output is fully deterministic — no simulation, no
+//! randomness, no thread scheduling — and is pinned byte-for-byte by
+//! `LINT_PINS.txt` in CI.
+//!
+//! Known targets:
+//!
+//! * `aes128` — the unprotected baseline (expected: RED);
+//! * `aes128-masked` — first-order masked, unscheduled (expected: the
+//!   pair rules fire where the shared output mask cancels);
+//! * `aes128-masked+sched` — the same program hardened by `sca-sched`
+//!   (expected: clean);
+//! * `speck64128`, `present80` — the other unprotected portfolio
+//!   members (expected: RED).
+//!
+//! The analysis is single-threaded by construction, so the campaign
+//! flags `--threads`/`--lanes` are rejected (exit 2) rather than
+//! silently ignored: a pinned output must not advertise knobs that
+//! cannot change it. Unknown arguments also exit 2.
+
+use sca_bench::masked_sched_program;
+use sca_isa::Program;
+use sca_lint::{lint_program, LintSpec};
+use sca_target::{AesTarget, CipherTarget, MaskedAesTarget, PresentTarget, SpeckTarget};
+
+/// One lintable portfolio entry: `(name, program, spec)`.
+type LintEntry = (String, Program, LintSpec);
+
+/// The portfolio in pinned print order.
+fn portfolio_specs() -> Result<Vec<LintEntry>, Box<dyn std::error::Error>> {
+    let aes = AesTarget::default();
+    let masked = MaskedAesTarget::default();
+    let (sched_program, _) = masked_sched_program()?;
+    let speck = SpeckTarget::default();
+    let present = PresentTarget::default();
+    Ok(vec![
+        (
+            aes.name().to_owned(),
+            aes.program().clone(),
+            aes.lint_spec(),
+        ),
+        (
+            masked.name().to_owned(),
+            masked.program().clone(),
+            masked.lint_spec(),
+        ),
+        // The scheduler preserves the memory contract and the release
+        // symbols, so the masked spec describes the hardened text too.
+        (
+            format!("{}+sched", masked.name()),
+            sched_program,
+            masked.lint_spec(),
+        ),
+        (
+            speck.name().to_owned(),
+            speck.program().clone(),
+            speck.lint_spec(),
+        ),
+        (
+            present.name().to_owned(),
+            present.program().clone(),
+            present.lint_spec(),
+        ),
+    ])
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint [TARGET...]\n\
+         targets: aes128 aes128-masked aes128-masked+sched speck64128 present80\n\
+         (output is deterministic and single-threaded; --threads/--lanes do not apply)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for arg in &args {
+        if arg.starts_with("--threads") || arg.starts_with("--lanes") {
+            eprintln!(
+                "lint: '{arg}' does not apply: the analysis is deterministic and single-threaded"
+            );
+            std::process::exit(2);
+        }
+        if arg.starts_with('-') {
+            usage();
+        }
+    }
+
+    let specs = match portfolio_specs() {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            std::process::exit(1);
+        }
+    };
+    let known: Vec<&str> = specs.iter().map(|(name, _, _)| name.as_str()).collect();
+    for arg in &args {
+        if !known.contains(&arg.as_str()) {
+            eprintln!("lint: unknown target '{arg}'");
+            usage();
+        }
+    }
+
+    let mut any_error = false;
+    for (name, program, spec) in &specs {
+        if !args.is_empty() && !args.iter().any(|a| a == name) {
+            continue;
+        }
+        println!("== {name} ==");
+        match lint_program(program, spec) {
+            Ok(report) => {
+                print!("{}", report.render(program));
+                any_error |= !report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("lint: {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!();
+    }
+    // Diagnostics are the expected outcome on the unprotected targets;
+    // the exit status reports them only when the user narrowed the run
+    // to targets they expect clean.
+    if any_error && !args.is_empty() {
+        std::process::exit(3);
+    }
+}

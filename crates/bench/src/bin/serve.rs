@@ -142,7 +142,7 @@ fn main() {
                 Ok(Request::Submit { spec, weight }) => match server.submit(&spec, weight) {
                     Ok((_, events, _)) => {
                         let mut ok = true;
-                        for event in events.iter() {
+                        for event in &events {
                             let done = matches!(event, Event::Done { .. });
                             ok = writeln!(writer, "{}", format_event(&event)).is_ok();
                             if !ok || done {

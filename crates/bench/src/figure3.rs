@@ -198,10 +198,7 @@ pub fn run_figure3(config: &Figure3Config) -> Result<Figure3Result, Box<dyn std:
     let samples_per_cycle = sampling.samples_per_cycle;
 
     let regions_cycles = round1_regions(&sim)?;
-    let analysis_end_cycle = regions_cycles
-        .last()
-        .map(|(_, _, e)| *e + 16)
-        .unwrap_or(1200);
+    let analysis_end_cycle = regions_cycles.last().map_or(1200, |(_, _, e)| *e + 16);
     let analysis_samples = (analysis_end_cycle as f64 * samples_per_cycle) as usize;
 
     let campaign = Campaign::new(

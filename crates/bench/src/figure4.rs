@@ -122,8 +122,7 @@ pub fn run_figure4(config: &Figure4Config) -> Result<Figure4Result, Box<dyn std:
         let sb = regions
             .iter()
             .find(|(name, _, _)| name == "SB")
-            .map(|&(_, s, e)| (s, e))
-            .unwrap_or((40, 340));
+            .map_or((40, 340), |&(_, s, e)| (s, e));
         let spc = 500.0 / 120.0;
         let start = (sb.0 as f64 * spc) as usize;
         let len = ((sb.1 - sb.0 + 24) as f64 * spc) as usize;

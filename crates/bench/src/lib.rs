@@ -14,6 +14,7 @@
 //! `--traces/--seed/--threads/--batch/--full` into the engine and
 //! rejects anything it does not recognize.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -29,8 +30,8 @@ pub use args::{validate_lanes, write_total_timing, CommonArgs};
 pub use figure3::{run_figure3, Figure3Config, Figure3Result, PhaseRegion};
 pub use figure4::{run_figure4, Figure4Config, Figure4Result};
 pub use masked::{
-    run_masked, AblationRow, AttackOutcome, AuditSummary, MaskedConfig, MaskedResult, TargetResult,
-    TVLA_FIXED_PT,
+    masked_sched_program, run_masked, AblationRow, AttackOutcome, AuditSummary, MaskedConfig,
+    MaskedResult, TargetResult, TVLA_FIXED_PT,
 };
 pub use portfolio::{
     run_portfolio, run_portfolio_reanalyze, PhaseTiming, PortfolioConfig, PortfolioResult,

@@ -286,23 +286,27 @@ fn stage_masked(cpu: &mut Cpu, input: &[u8]) {
     MaskedAesSim::stage_input(cpu, input);
 }
 
-/// Builds the three targets (and reports what the scheduler did).
-fn build_targets(
-    config: &MaskedConfig,
-    uarch: &UarchConfig,
-) -> Result<(Vec<Target>, HardenReport), Box<dyn std::error::Error>> {
-    let unprotected = AesSim::new(uarch.clone(), &config.key)?;
-    let masked = MaskedAesSim::new(uarch.clone(), &config.key)?;
+/// Hardens the masked AES program with the countermeasure suite's
+/// share-distance policy, returning the scheduled program and the
+/// scheduler's report. Exposed so the `lint` binary and the
+/// static-vs-dynamic differential validation analyze the *same*
+/// program text the dynamic verdicts here run against.
+///
+/// The scrub scope covers the whole masked span that moves SubBytes
+/// outputs: [subbytes, mixcolumns) — SubBytes past its internal
+/// sb_loop label *and* ShiftRows, whose byte shuffle drags same-mask
+/// bytes through the align buffer back to back. The scoped secret
+/// registers extend it to the ALU `mov` pair shuttling the table
+/// outputs into the next iteration's stores (`r1/r9` fed from
+/// `r5/r11`): its back-to-back same-pipe reads recombine the shared
+/// output mask on the IS/EX operand path — the residual the TVLA
+/// assessment used to flag.
+///
+/// # Errors
+///
+/// Propagates assembler and scheduler faults.
+pub fn masked_sched_program() -> Result<(Program, HardenReport), Box<dyn std::error::Error>> {
     let masked_program = aes128_masked_program()?;
-    // The scrub scope covers the whole masked span that moves SubBytes
-    // outputs: [subbytes, mixcolumns) — SubBytes past its internal
-    // sb_loop label *and* ShiftRows, whose byte shuffle drags same-mask
-    // bytes through the align buffer back to back. The scoped secret
-    // registers extend it to the ALU `mov` pair shuttling the table
-    // outputs into the next iteration's stores (`r1/r9` fed from
-    // `r5/r11`): its back-to-back same-pipe reads recombine the shared
-    // output mask on the IS/EX operand path — the residual the TVLA
-    // assessment used to flag.
     let policy = SharePolicy::new()
         .with_span(&masked_program, "subbytes", "mixcolumns")?
         .with_scoped_secret_regs(
@@ -312,7 +316,19 @@ fn build_targets(
             [Reg::R1, Reg::R5, Reg::R9, Reg::R11],
         )?;
     let hardened = harden_program(&masked_program, &policy, &HardenConfig::default())?;
-    let scheduled = MaskedAesSim::from_program(uarch.clone(), &config.key, &hardened.program)?;
+    Ok((hardened.program, hardened.report))
+}
+
+/// Builds the three targets (and reports what the scheduler did).
+fn build_targets(
+    config: &MaskedConfig,
+    uarch: &UarchConfig,
+) -> Result<(Vec<Target>, HardenReport), Box<dyn std::error::Error>> {
+    let unprotected = AesSim::new(uarch.clone(), &config.key)?;
+    let masked = MaskedAesSim::new(uarch.clone(), &config.key)?;
+    let masked_program = aes128_masked_program()?;
+    let (sched_program, harden_report) = masked_sched_program()?;
+    let scheduled = MaskedAesSim::from_program(uarch.clone(), &config.key, &sched_program)?;
     let targets = vec![
         Target {
             name: "unprotected",
@@ -336,10 +352,10 @@ fn build_targets(
             entry: scheduled.entry(),
             input_len: MASKED_INPUT_LEN,
             stage: stage_masked,
-            program: hardened.program,
+            program: sched_program,
         },
     ];
-    Ok((targets, hardened.report))
+    Ok((targets, harden_report))
 }
 
 fn campaign(config: &MaskedConfig, seed_salt: u64, window_cycles: (u64, u64)) -> Campaign {

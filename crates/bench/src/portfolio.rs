@@ -396,7 +396,7 @@ pub fn run_portfolio_reanalyze(
     root: &Path,
 ) -> Result<Vec<ReanalyzeReport>, Box<dyn std::error::Error>> {
     let mut reports = Vec::new();
-    for target in portfolio().iter() {
+    for target in &portfolio() {
         let target = target.as_ref();
         let mut cpa = Vec::new();
         for model in &target.models() {

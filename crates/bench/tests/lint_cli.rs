@@ -1,0 +1,82 @@
+//! The `lint` binary's CLI contract: byte-determinism and strict args.
+//!
+//! The report is computed by a single-threaded, simulation-free
+//! analysis, so its stdout must be byte-identical run to run and match
+//! the committed `LINT_PINS.txt` exactly (the CI lint-smoke job diffs
+//! the release build against the same file). Campaign flags that
+//! cannot change the output are rejected with exit 2, like the other
+//! strict-args binaries.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(args)
+        .output()
+        .expect("lint binary runs")
+}
+
+#[test]
+fn stdout_is_byte_identical_across_runs_and_matches_the_pins() {
+    let first = run_lint(&[]);
+    assert!(first.status.success(), "full run must exit 0");
+    let second = run_lint(&[]);
+    assert_eq!(
+        first.stdout, second.stdout,
+        "lint stdout must be byte-identical run to run"
+    );
+
+    let pins = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../LINT_PINS.txt");
+    let pinned = std::fs::read(&pins).expect("LINT_PINS.txt is committed");
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&pinned),
+        "lint stdout diverged from LINT_PINS.txt — regenerate the pins \
+         alongside the rule or program change that explains it"
+    );
+}
+
+#[test]
+fn campaign_flags_are_rejected_with_exit_2() {
+    for args in [
+        &["--threads", "4"][..],
+        &["--threads=4"][..],
+        &["--lanes", "2"][..],
+        &["--lanes=2"][..],
+        &["--unknown"][..],
+        &["no-such-target"][..],
+    ] {
+        let out = run_lint(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "lint {args:?} must exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "rejected invocations must not print a partial report"
+        );
+    }
+}
+
+#[test]
+fn narrowing_to_the_hardened_target_exits_clean() {
+    let out = run_lint(&["aes128-masked+sched"]);
+    assert!(
+        out.status.success(),
+        "the hardened masked AES must lint clean (exit 0), got {:?}",
+        out.status.code()
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean: no diagnostics"), "{stdout}");
+
+    let dirty = run_lint(&["aes128"]);
+    assert_eq!(
+        dirty.status.code(),
+        Some(3),
+        "naming an expected-dirty target must report exit 3"
+    );
+}

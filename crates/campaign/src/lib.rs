@@ -143,6 +143,7 @@
 //! `TargetCampaign` wrapper — sinks and shard plans are target-agnostic
 //! by construction.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

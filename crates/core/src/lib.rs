@@ -26,6 +26,7 @@
 //!   `sca-sched` rewriter outputs), shared by the `masking_audit`
 //!   example and the integration tests that enforce its findings.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

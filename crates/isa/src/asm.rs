@@ -1259,7 +1259,7 @@ done:   halt
                     },
                 ..
             } => {
-                assert_eq!(rs, Reg::R7)
+                assert_eq!(rs, Reg::R7);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1300,7 +1300,7 @@ done:   halt
                     },
                 ..
             } => {
-                assert!(sub)
+                assert!(sub);
             }
             other => panic!("unexpected {other:?}"),
         }

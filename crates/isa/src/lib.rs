@@ -34,6 +34,7 @@
 //! # Ok::<(), sca_isa::IsaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,510 @@
+//! The any-path CFG pass: a classic forward-dataflow fixed point over
+//! branches and loops for the *control and addressing* rules.
+//!
+//! Where the concrete pass ([`crate::exec`]) follows the real path,
+//! this pass joins taint over **every** static path: states propagate
+//! along fall-through edges, branch targets, calls and (conservatively)
+//! from every `bx`-style return to every call's return site, iterated
+//! to a fixed point. The domain is deliberately coarse — plain label
+//! unions with no cancellation, and a per-run memory summary joined
+//! into every load — so it over-approximates where data *could* flow,
+//! but stays *optimistic about masks*: a value carrying any mask label
+//! is treated as blinded (this pass never claims a mask cancels; the
+//! exact linear algebra for that lives in the concrete pass).
+//!
+//! Two rules are evaluated here because they are about paths, not
+//! pairs:
+//!
+//! * [`Rule::Sl108`] — a load/store whose *address* may carry exposed
+//!   data: a cache/addressing channel on real cores (the simulator's
+//!   power model is address-blind, so there is no dynamic column to
+//!   validate against — the rule is reported as a note).
+//! * [`Rule::Sl109`] — conditional control flow guarded by flags that
+//!   may carry exposed data.
+//!
+//! Diagnostics are suppressed for instructions only reachable before
+//! the `trig #1` measurement start (warm-up code), and inside release
+//! spans.
+
+use std::collections::BTreeMap;
+
+use sca_isa::{decode, Cond, InsnKind, MemOffset, Operand2, Program, Reg, ShiftAmount};
+
+use crate::report::Diagnostic;
+use crate::rules::Rule;
+use crate::spec::LintSpec;
+use crate::taint::Taint;
+use crate::LintError;
+
+/// Per-instruction abstract state: register and flag label sets.
+#[derive(Clone, PartialEq, Eq)]
+struct AbsState {
+    regs: [Taint; 16],
+    flags: Taint,
+}
+
+impl AbsState {
+    fn bottom() -> AbsState {
+        AbsState {
+            regs: [Taint::clean(); 16],
+            flags: Taint::clean(),
+        }
+    }
+
+    fn join(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for i in 0..16 {
+            let joined = self.regs[i].union(&other.regs[i]);
+            if joined != self.regs[i] {
+                self.regs[i] = joined;
+                changed = true;
+            }
+        }
+        let joined = self.flags.union(&other.flags);
+        if joined != self.flags {
+            self.flags = joined;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Runs the fixed point and returns SL108/SL109 findings.
+///
+/// # Errors
+///
+/// Never fails on undecodable words (data in images is treated as
+/// opaque); propagates nothing else today, the `Result` keeps the
+/// signature uniform with the concrete pass.
+pub fn analyze(program: &Program, spec: &LintSpec) -> Result<Vec<Diagnostic>, LintError> {
+    let n = program.words().len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let insns: Vec<Option<sca_isa::Insn>> =
+        program.words().iter().map(|&w| decode(w).ok()).collect();
+    let base = program.base();
+    let entry = ((program.entry().saturating_sub(base)) / 4) as usize;
+    let release = spec.resolve_release(program)?;
+
+    // Return sites: the instruction after every `bl`.
+    let return_sites: Vec<usize> = insns
+        .iter()
+        .enumerate()
+        .filter_map(|(i, insn)| match insn {
+            Some(insn) => match insn.kind {
+                InsnKind::Branch { link: true, .. } if i + 1 < n => Some(i + 1),
+                _ => None,
+            },
+            None => None,
+        })
+        .collect();
+
+    // Successor edges per instruction index.
+    let successors = |i: usize| -> Vec<usize> {
+        let Some(insn) = &insns[i] else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let fallthrough = i + 1 < n;
+        match insn.kind {
+            InsnKind::Halt => {}
+            InsnKind::Branch { link, offset } => {
+                let target = i as i64 + 1 + i64::from(offset);
+                if (0..n as i64).contains(&target) {
+                    out.push(target as usize);
+                }
+                // A call returns; a conditional branch falls through.
+                if (link || insn.cond != Cond::Al) && fallthrough {
+                    out.push(i + 1);
+                }
+            }
+            InsnKind::Bx { .. } => {
+                // Conservative return edge: to every call's return site.
+                out.extend(return_sites.iter().copied());
+                if insn.cond != Cond::Al && fallthrough {
+                    out.push(i + 1);
+                }
+            }
+            InsnKind::Dp {
+                rd: Some(Reg::PC), ..
+            } => {
+                out.extend(return_sites.iter().copied());
+                if insn.cond != Cond::Al && fallthrough {
+                    out.push(i + 1);
+                }
+            }
+            InsnKind::MemMulti { dir, regs, .. }
+                if dir == sca_isa::MemDir::Load && regs.contains(Reg::PC) =>
+            {
+                out.extend(return_sites.iter().copied());
+                if insn.cond != Cond::Al && fallthrough {
+                    out.push(i + 1);
+                }
+            }
+            InsnKind::Mem { dir, rd, .. } if dir == sca_isa::MemDir::Load && rd == Reg::PC => {
+                out.extend(return_sites.iter().copied());
+                if insn.cond != Cond::Al && fallthrough {
+                    out.push(i + 1);
+                }
+            }
+            _ => {
+                if fallthrough {
+                    out.push(i + 1);
+                }
+            }
+        }
+        out
+    };
+
+    // Pre-trigger set: instructions reachable from the entry without
+    // crossing a `trig #1` — warm-up code outside the measurement.
+    let mut pre_trigger = vec![false; n];
+    let has_trigger = insns
+        .iter()
+        .flatten()
+        .any(|insn| matches!(insn.kind, InsnKind::Trig { high: true }));
+    if has_trigger {
+        let mut stack = vec![entry.min(n - 1)];
+        while let Some(i) = stack.pop() {
+            if pre_trigger[i] {
+                continue;
+            }
+            pre_trigger[i] = true;
+            if matches!(
+                insns[i].as_ref().map(|insn| insn.kind),
+                Some(InsnKind::Trig { high: true })
+            ) {
+                continue;
+            }
+            stack.extend(successors(i));
+        }
+    }
+
+    // The flow-insensitive memory summary: everything any store may
+    // have written, joined into every load (addresses are opaque
+    // statically). Labelled regions contribute their initial labels.
+    let mut summary = Taint::clean();
+    for (_, taint) in spec.labelled_bytes() {
+        summary = summary.union(&taint);
+    }
+
+    let mut states: Vec<AbsState> = vec![AbsState::bottom(); n];
+    // Bottom (never reached) and reached-with-all-clean look identical
+    // as states, so reachability is tracked separately: a successor is
+    // enqueued on first contact even when the join is a no-op.
+    let mut reached = vec![false; n];
+    let mut on_list = vec![false; n];
+    let mut worklist: Vec<usize> = vec![entry.min(n - 1)];
+    on_list[entry.min(n - 1)] = true;
+    reached[entry.min(n - 1)] = true;
+    // Round-robin until both the states and the store summary are
+    // stable (the summary join restarts the worklist when it grows).
+    loop {
+        let mut summary_grew = false;
+        while let Some(i) = worklist.pop() {
+            on_list[i] = false;
+            let mut state = states[i].clone();
+            if let Some(insn) = &insns[i] {
+                step_abs(insn, &mut state, &mut summary, &mut summary_grew);
+            }
+            for succ in successors(i) {
+                let first = !reached[succ];
+                reached[succ] = true;
+                if (states[succ].join(&state) || first) && !on_list[succ] {
+                    on_list[succ] = true;
+                    worklist.push(succ);
+                }
+            }
+        }
+        if !summary_grew {
+            break;
+        }
+        for (i, flag) in on_list.iter_mut().enumerate() {
+            if reached[i] {
+                *flag = true;
+                worklist.push(i);
+            }
+        }
+    }
+
+    // Diagnostics from the stable states.
+    let mut findings: BTreeMap<(Rule, u32), String> = BTreeMap::new();
+    for (i, insn) in insns.iter().enumerate() {
+        let Some(insn) = insn else { continue };
+        let addr = base + 4 * i as u32;
+        if !reached[i]
+            || pre_trigger[i]
+            || release
+                .iter()
+                .any(|&(start, end)| addr >= start && addr < end)
+        {
+            continue;
+        }
+        let state = &states[i];
+        if let InsnKind::Mem { addr: mode, .. } = &insn.kind {
+            let mut addr_taint = state.regs[mode.base.index()];
+            if let MemOffset::Reg { rm, .. } = mode.offset {
+                addr_taint = addr_taint.union(&state.regs[rm.index()]);
+            }
+            if addr_taint.exposed() {
+                findings
+                    .entry((Rule::Sl108, addr))
+                    .or_insert_with(|| spec.describe(&addr_taint));
+            }
+        }
+        let flag_guarded = insn.cond != Cond::Al;
+        if flag_guarded && state.flags.exposed() {
+            findings
+                .entry((Rule::Sl109, addr))
+                .or_insert_with(|| spec.describe(&state.flags));
+        }
+    }
+    Ok(findings
+        .into_iter()
+        .map(|((rule, addr), witness)| Diagnostic {
+            rule,
+            addr_a: addr,
+            addr_b: addr,
+            witness,
+            count: 0,
+        })
+        .collect())
+}
+
+/// Abstract transfer of one instruction: plain label unions.
+fn step_abs(insn: &sca_isa::Insn, state: &mut AbsState, summary: &mut Taint, grew: &mut bool) {
+    let operand = |state: &AbsState, reg: Reg| -> Taint {
+        if reg == Reg::PC {
+            Taint::clean()
+        } else {
+            state.regs[reg.index()]
+        }
+    };
+    match insn.kind {
+        InsnKind::Dp {
+            op,
+            set_flags,
+            rd,
+            rn,
+            op2,
+        } => {
+            let mut taint = rn.map_or(Taint::clean(), |r| operand(state, r));
+            match op2 {
+                Operand2::Imm(_) => {}
+                Operand2::Reg(rm) => taint = taint.union(&operand(state, rm)),
+                Operand2::ShiftedReg { rm, amount, .. } => {
+                    taint = taint.union(&operand(state, rm));
+                    if let ShiftAmount::Reg(rs) = amount {
+                        taint = taint.union(&operand(state, rs));
+                    }
+                }
+            }
+            if set_flags || op.is_compare() {
+                state.flags = state.flags.union(&taint);
+            }
+            if let Some(rd) = rd {
+                if rd != Reg::PC {
+                    // Strong update: flow-sensitivity on registers is
+                    // what keeps loop counters clean.
+                    state.regs[rd.index()] = taint;
+                }
+            }
+        }
+        InsnKind::Mul {
+            set_flags,
+            rd,
+            rm,
+            rs,
+            ra,
+            ..
+        } => {
+            let mut taint = operand(state, rm).union(&operand(state, rs));
+            if let Some(ra) = ra {
+                taint = taint.union(&operand(state, ra));
+            }
+            if set_flags {
+                state.flags = state.flags.union(&taint);
+            }
+            state.regs[rd.index()] = taint;
+        }
+        InsnKind::MulLong {
+            rd_hi,
+            rd_lo,
+            rm,
+            rs,
+            ..
+        } => {
+            let taint = operand(state, rm).union(&operand(state, rs));
+            state.regs[rd_hi.index()] = taint;
+            state.regs[rd_lo.index()] = taint;
+        }
+        InsnKind::Mem {
+            dir,
+            rd,
+            addr: mode,
+            ..
+        } => {
+            let mut addr_taint = operand(state, mode.base);
+            if let MemOffset::Reg { rm, .. } = mode.offset {
+                addr_taint = addr_taint.union(&operand(state, rm));
+            }
+            if mode.writes_base() {
+                state.regs[mode.base.index()] = addr_taint;
+            }
+            match dir {
+                sca_isa::MemDir::Load => {
+                    let taint = summary.union(&addr_taint);
+                    if rd != Reg::PC {
+                        state.regs[rd.index()] = taint;
+                    }
+                }
+                sca_isa::MemDir::Store => {
+                    let joined = summary.union(&operand(state, rd));
+                    if joined != *summary {
+                        *summary = joined;
+                        *grew = true;
+                    }
+                }
+            }
+        }
+        InsnKind::MemMulti {
+            dir, base, regs, ..
+        } => match dir {
+            sca_isa::MemDir::Load => {
+                let taint = summary.union(&operand(state, base));
+                for reg in regs.iter() {
+                    if reg != Reg::PC {
+                        state.regs[reg.index()] = taint;
+                    }
+                }
+            }
+            sca_isa::MemDir::Store => {
+                let mut joined = *summary;
+                for reg in regs.iter() {
+                    joined = joined.union(&operand(state, reg));
+                }
+                if joined != *summary {
+                    *summary = joined;
+                    *grew = true;
+                }
+            }
+        },
+        InsnKind::Branch { link: true, .. } => {
+            state.regs[Reg::LR.index()] = Taint::clean();
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LintRegion, RegionKind};
+    use sca_isa::assemble;
+
+    fn spec() -> LintSpec {
+        LintSpec {
+            regions: vec![
+                LintRegion {
+                    name: "K".into(),
+                    addr: 0x100,
+                    len: 4,
+                    kind: RegionKind::Secret,
+                },
+                LintRegion {
+                    name: "PT".into(),
+                    addr: 0x200,
+                    len: 4,
+                    kind: RegionKind::Input,
+                },
+            ],
+            ..LintSpec::default()
+        }
+    }
+
+    #[test]
+    fn secret_indexed_load_is_flagged() {
+        let program = assemble(
+            "
+        mov   r1, #0x100
+        ldrb  r2, [r1]          ; key byte
+        mov   r1, #0x200
+        ldrb  r3, [r1]          ; input byte
+        eor   r2, r2, r3
+        mov   r4, #0x400
+        ldrb  r5, [r4, r2]      ; table lookup keyed by k ^ pt
+        halt
+        ",
+        )
+        .unwrap();
+        let findings = analyze(&program, &spec()).unwrap();
+        let sl108: Vec<_> = findings.iter().filter(|d| d.rule == Rule::Sl108).collect();
+        assert_eq!(sl108.len(), 1, "{findings:?}");
+        assert_eq!(sl108[0].addr_a, 24);
+        assert!(sl108[0].witness.contains("K{"), "{}", sl108[0].witness);
+    }
+
+    #[test]
+    fn secret_dependent_branch_is_flagged_through_a_loop() {
+        let program = assemble(
+            "
+        mov   r1, #0x100
+        ldrb  r2, [r1]
+        mov   r1, #0x200
+        ldrb  r3, [r1]
+        eor   r2, r2, r3
+loop:   subs  r2, r2, #1
+        bne   loop
+        halt
+        ",
+        )
+        .unwrap();
+        let findings = analyze(&program, &spec()).unwrap();
+        assert!(
+            findings.iter().any(|d| d.rule == Rule::Sl109),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn counter_loops_and_key_only_addresses_stay_quiet() {
+        let program = assemble(
+            "
+        mov   r0, #4
+        mov   r1, #0x100
+loop:   ldrb  r2, [r1], #1      ; key-indexed walk, counter loop
+        subs  r0, r0, #1
+        bne   loop
+        halt
+        ",
+        )
+        .unwrap();
+        let findings = analyze(&program, &spec()).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn pre_trigger_code_is_suppressed() {
+        let program = assemble(
+            "
+        mov   r1, #0x100
+        ldrb  r2, [r1]
+        mov   r1, #0x200
+        ldrb  r3, [r1]
+        eor   r2, r2, r3
+        mov   r4, #0x400
+        ldrb  r5, [r4, r2]      ; warm-up lookup, before the trigger
+        trig  #1
+        ldrb  r5, [r4, r2]      ; measured lookup
+        trig  #0
+        halt
+        ",
+        )
+        .unwrap();
+        let findings = analyze(&program, &spec()).unwrap();
+        let sl108: Vec<_> = findings.iter().filter(|d| d.rule == Rule::Sl108).collect();
+        assert_eq!(sl108.len(), 1, "{findings:?}");
+        assert_eq!(sl108[0].addr_a, 32, "only the in-window lookup");
+    }
+}

@@ -1,0 +1,756 @@
+//! The concrete-path taint machine — the linter's main pass.
+//!
+//! Executes the program on its canonical staged input with the same
+//! architectural semantics tables as [`sca_isa::Interp`] (`eval_dp`,
+//! `apply_shift`, `eval_mul`, `decode`), carrying a [`Taint`] shadow
+//! for every register, flag and memory byte. Because the targets are
+//! constant-time by construction (the conformance premise of the whole
+//! framework), one concrete path visits every instruction the
+//! measurement window sees; loops revisit their bodies and the
+//! per-site diagnostic join below iterates those revisits to a stable
+//! set — the fixed point over branches and loops, taken along the real
+//! path instead of an abstract one. (The flow-insensitive CFG pass in
+//! [`crate::cfg`] complements this with an any-path fixed point for
+//! the control/address rules.)
+//!
+//! At each executed instruction the machine records which values ride
+//! the microarchitectural sharing points — operand slots, the store
+//! data port, the shifter output, the write-back result, the memory
+//! data register, the align buffer — and evaluates the pair rules
+//! against the previous occupants, exactly where the paper places the
+//! leakage nodes.
+
+use std::collections::BTreeMap;
+
+use sca_isa::{
+    apply_shift, decode, eval_dp, eval_mul, Flags, Insn, InsnClass, InsnKind, MemDir, MemMultiMode,
+    MemOffset, MemSize, Operand2, Program, Reg, ShiftAmount,
+};
+use sca_uarch::DualIssuePolicy;
+
+use crate::report::Diagnostic;
+use crate::rules::Rule;
+use crate::spec::LintSpec;
+use crate::taint::Taint;
+use crate::LintError;
+
+/// What one executed instruction placed on the shared paths.
+#[derive(Clone, Default)]
+struct IssueRecord {
+    addr: u32,
+    class: Option<InsnClass>,
+    writes: sca_isa::RegSet,
+    /// Operand slot 0 (`rn` / base register): (taint, concrete value).
+    slot0: Option<(Taint, u32)>,
+    /// Operand slot 1 (`op2` / offset register), pre-shift.
+    slot1: Option<(Taint, u32)>,
+    /// Store-data port.
+    data: Option<(Taint, u32)>,
+    /// Primary write-back result (`rd`).
+    result: Option<(Taint, u32)>,
+    /// Memory transfer: (taint, value, sub-word?).
+    mem: Option<(Taint, u32, bool)>,
+    /// Whether diagnostics are suppressed at this site (release span
+    /// or outside the measurement window).
+    suppressed: bool,
+}
+
+/// The taint machine: concrete architectural state plus taint shadows.
+pub struct TaintMachine {
+    regs: [u32; 16],
+    flags: Flags,
+    pc: u32,
+    mem: Vec<u8>,
+    halted: bool,
+    treg: [Taint; 16],
+    tflags: Taint,
+    tmem: BTreeMap<u32, Taint>,
+    policy: DualIssuePolicy,
+    /// Inside the `trig #1` .. `trig #0` measurement window?
+    in_window: bool,
+    /// Program contains any trigger at all (if not, lint everything).
+    has_trigger: bool,
+    release: Vec<(u32, u32)>,
+    prev: Option<IssueRecord>,
+    /// Last sub-word access: (record, age in executed instructions).
+    last_sub: Option<(IssueRecord, usize)>,
+    findings: BTreeMap<(Rule, u32, u32), (String, usize)>,
+}
+
+impl TaintMachine {
+    /// Builds the machine: loads the program, applies the spec's
+    /// concrete staging and taint labels.
+    ///
+    /// # Errors
+    ///
+    /// [`LintError::BadAddress`] when staging falls outside memory,
+    /// [`LintError::MissingSymbol`] for unresolved release spans.
+    pub fn new(program: &Program, spec: &LintSpec) -> Result<TaintMachine, LintError> {
+        let mut mem = vec![0u8; spec.mem_size() as usize];
+        let image_end = program.base() as usize + program.len_bytes() as usize;
+        if image_end > mem.len() {
+            return Err(LintError::BadAddress(image_end as u32));
+        }
+        for (i, word) in program.words().iter().enumerate() {
+            let at = program.base() as usize + 4 * i;
+            mem[at..at + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        let mut has_trigger = false;
+        for word in program.words() {
+            if matches!(
+                decode(*word).map(|i| i.kind),
+                Ok(InsnKind::Trig { high: true })
+            ) {
+                has_trigger = true;
+            }
+        }
+        for (addr, bytes) in &spec.mem_init {
+            let at = *addr as usize;
+            if at + bytes.len() > mem.len() {
+                return Err(LintError::BadAddress(*addr));
+            }
+            mem[at..at + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut tmem = BTreeMap::new();
+        for (addr, taint) in spec.labelled_bytes() {
+            if addr as usize >= mem.len() {
+                return Err(LintError::BadAddress(addr));
+            }
+            tmem.insert(addr, taint);
+        }
+        Ok(TaintMachine {
+            regs: [0; 16],
+            flags: Flags::default(),
+            pc: program.entry(),
+            mem,
+            halted: false,
+            treg: [Taint::clean(); 16],
+            tflags: Taint::clean(),
+            tmem,
+            policy: DualIssuePolicy::cortex_a7(),
+            in_window: !has_trigger,
+            has_trigger,
+            release: spec.resolve_release(program)?,
+            prev: None,
+            last_sub: None,
+            findings: BTreeMap::new(),
+        })
+    }
+
+    /// Runs to `halt` and returns the joined findings of the pair/HW
+    /// rules, stable across loop revisits.
+    ///
+    /// # Errors
+    ///
+    /// Decode/access faults and [`LintError::StepBudgetExceeded`].
+    pub fn run(&mut self, spec: &LintSpec, max_steps: u64) -> Result<Vec<Diagnostic>, LintError> {
+        let mut steps = 0u64;
+        while !self.halted {
+            if steps >= max_steps {
+                return Err(LintError::StepBudgetExceeded(max_steps));
+            }
+            self.step(spec)?;
+            steps += 1;
+        }
+        Ok(self
+            .findings
+            .iter()
+            .map(|(&(rule, addr_a, addr_b), (witness, count))| Diagnostic {
+                rule,
+                addr_a,
+                addr_b,
+                witness: witness.clone(),
+                count: *count,
+            })
+            .collect())
+    }
+
+    fn record(&mut self, rule: Rule, addr_a: u32, addr_b: u32, witness: String) {
+        let entry = self
+            .findings
+            .entry((rule, addr_a, addr_b))
+            .or_insert_with(|| (witness, 0));
+        entry.1 += 1;
+    }
+
+    fn suppressed_at(&self, addr: u32) -> bool {
+        !self.in_window
+            || self
+                .release
+                .iter()
+                .any(|&(start, end)| addr >= start && addr < end)
+    }
+
+    // ---- architectural + taint step -----------------------------------
+
+    fn operand(&self, reg: Reg, addr: u32) -> (u32, Taint) {
+        if reg == Reg::PC {
+            (addr.wrapping_add(8), Taint::clean())
+        } else {
+            (self.regs[reg.index()], self.treg[reg.index()])
+        }
+    }
+
+    fn set_reg(&mut self, reg: Reg, value: u32, taint: Taint) {
+        self.regs[reg.index()] = value;
+        self.treg[reg.index()] = taint;
+    }
+
+    fn byte_taint(&self, addr: u32) -> Taint {
+        self.tmem.get(&addr).copied().unwrap_or_default()
+    }
+
+    fn set_byte_taint(&mut self, addr: u32, taint: Taint) {
+        if taint.is_clean() {
+            self.tmem.remove(&addr);
+        } else {
+            self.tmem.insert(addr, taint);
+        }
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, LintError> {
+        let end = addr.checked_add(len).ok_or(LintError::BadAddress(addr))?;
+        if end as usize > self.mem.len() {
+            return Err(LintError::BadAddress(addr));
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads `size` bytes: concrete value, content taint (rows
+    /// composed), using the LSU's align-down discipline.
+    fn load(&self, addr: u32, size: MemSize) -> Result<(u32, Taint), LintError> {
+        match size {
+            MemSize::Byte => {
+                let i = self.check(addr, 1)?;
+                Ok((u32::from(self.mem[i]), self.byte_taint(addr)))
+            }
+            MemSize::Half => {
+                let addr = addr & !1;
+                let i = self.check(addr, 2)?;
+                let value = u32::from(u16::from_le_bytes([self.mem[i], self.mem[i + 1]]));
+                let b = [self.byte_taint(addr), self.byte_taint(addr + 1)];
+                let clean = Taint::clean();
+                Ok((value, Taint::compose_word([&b[0], &b[1], &clean, &clean])))
+            }
+            MemSize::Word => {
+                let addr = addr & !3;
+                let i = self.check(addr, 4)?;
+                let value = u32::from_le_bytes([
+                    self.mem[i],
+                    self.mem[i + 1],
+                    self.mem[i + 2],
+                    self.mem[i + 3],
+                ]);
+                let b = [
+                    self.byte_taint(addr),
+                    self.byte_taint(addr + 1),
+                    self.byte_taint(addr + 2),
+                    self.byte_taint(addr + 3),
+                ];
+                Ok((value, Taint::compose_word([&b[0], &b[1], &b[2], &b[3]])))
+            }
+        }
+    }
+
+    fn store(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: MemSize,
+        taint: &Taint,
+    ) -> Result<(), LintError> {
+        match size {
+            MemSize::Byte => {
+                let i = self.check(addr, 1)?;
+                self.mem[i] = value as u8;
+                self.set_byte_taint(addr, taint.extract_byte(0));
+            }
+            MemSize::Half => {
+                let addr = addr & !1;
+                let i = self.check(addr, 2)?;
+                self.mem[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes());
+                for b in 0..2 {
+                    self.set_byte_taint(addr + b, taint.extract_byte(b as usize));
+                }
+            }
+            MemSize::Word => {
+                let addr = addr & !3;
+                let i = self.check(addr, 4)?;
+                self.mem[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                for b in 0..4 {
+                    self.set_byte_taint(addr + b, taint.extract_byte(b as usize));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One instruction: concrete execution, taint transfer, leak-node
+    /// recording and pair-rule evaluation.
+    fn step(&mut self, spec: &LintSpec) -> Result<(), LintError> {
+        let addr = self.pc;
+        let i = self.check(addr & !3, 4)?;
+        let word = u32::from_le_bytes([
+            self.mem[i],
+            self.mem[i + 1],
+            self.mem[i + 2],
+            self.mem[i + 3],
+        ]);
+        let insn = decode(word).map_err(|_| LintError::BadInstruction(addr))?;
+        self.pc = addr.wrapping_add(4);
+
+        let mut rec = IssueRecord {
+            addr,
+            class: Some(insn.class()),
+            writes: insn.writes(),
+            suppressed: self.suppressed_at(addr),
+            ..IssueRecord::default()
+        };
+
+        if !insn.cond.passes(self.flags) {
+            // A squashed conditional still occupies an issue slot but
+            // drives no operands here (conservatively empty ports).
+            self.finish_insn(spec, insn, rec);
+            return Ok(());
+        }
+
+        match insn.kind {
+            InsnKind::Nop => {}
+            InsnKind::Trig { high } => {
+                if self.has_trigger {
+                    self.in_window = high;
+                }
+            }
+            InsnKind::Halt => self.halted = true,
+            InsnKind::Dp {
+                op,
+                set_flags,
+                rd,
+                rn,
+                op2,
+            } => {
+                let rn_vt = rn.map(|r| self.operand(r, addr));
+                if let Some((v, t)) = rn_vt {
+                    rec.slot0 = Some((t, v));
+                }
+                let (op2_val, op2_taint, shifter_carry) = match op2 {
+                    Operand2::Imm(v) => (v, Taint::clean(), self.flags.c),
+                    Operand2::Reg(rm) => {
+                        let (v, t) = self.operand(rm, addr);
+                        rec.slot1 = Some((t, v));
+                        (v, t, self.flags.c)
+                    }
+                    Operand2::ShiftedReg { rm, kind, amount } => {
+                        let (rm_val, rm_taint) = self.operand(rm, addr);
+                        rec.slot1 = Some((rm_taint, rm_val));
+                        let (amount_val, amount_taint) = match amount {
+                            ShiftAmount::Imm(n) => (u32::from(n), Taint::clean()),
+                            ShiftAmount::Reg(rs) => {
+                                let (v, t) = self.operand(rs, addr);
+                                (v & 0xff, t)
+                            }
+                        };
+                        let out = apply_shift(kind, rm_val, amount_val, self.flags.c);
+                        let taint = if amount_taint.is_clean() {
+                            rm_taint.shift(kind, amount_val)
+                        } else {
+                            rm_taint.mix(&amount_taint)
+                        };
+                        // The shift pipe's output buffer holds this
+                        // value — the SHIFT Hamming-weight node.
+                        if amount_val != 0 && !rec.suppressed && taint.exposed() {
+                            self.record(Rule::Sl104, addr, addr, spec.describe(&taint));
+                        }
+                        (out.value, taint, out.carry)
+                    }
+                };
+                let rn_val = rn_vt.map_or(0, |(v, _)| v);
+                let rn_taint = rn_vt.map_or(Taint::clean(), |(_, t)| t);
+                let out = eval_dp(op, rn_val, op2_val, shifter_carry, self.flags);
+                let result_taint =
+                    dp_taint(op, &rn_taint, rn_val, &op2_taint, op2_val, &self.tflags);
+                if set_flags || op.is_compare() {
+                    self.flags = out.flags;
+                    self.tflags = rn_taint.union(&op2_taint).to_flags();
+                }
+                if let Some(rd) = rd {
+                    if rd == Reg::PC {
+                        self.pc = out.value & !3;
+                    } else {
+                        self.set_reg(rd, out.value, result_taint);
+                        rec.result = Some((result_taint, out.value));
+                        // Exposed ALU result: the ALU-node HW leak.
+                        if !rec.suppressed && result_taint.exposed() {
+                            self.record(Rule::Sl103, addr, addr, spec.describe(&result_taint));
+                        }
+                    }
+                }
+            }
+            InsnKind::Mul {
+                op: _,
+                set_flags,
+                rd,
+                rm,
+                rs,
+                ra,
+            } => {
+                let (rm_val, rm_taint) = self.operand(rm, addr);
+                let (rs_val, rs_taint) = self.operand(rs, addr);
+                rec.slot0 = Some((rm_taint, rm_val));
+                rec.slot1 = Some((rs_taint, rs_val));
+                let ra_vt = ra.map(|r| self.operand(r, addr));
+                let value = eval_mul(rm_val, rs_val, ra_vt.map(|(v, _)| v));
+                let mut taint = rm_taint.mix(&rs_taint);
+                if let Some((_, t)) = ra_vt {
+                    taint = taint.mix(&t);
+                }
+                if set_flags {
+                    self.flags.n = value >> 31 != 0;
+                    self.flags.z = value == 0;
+                    self.tflags = taint.to_flags();
+                }
+                self.set_reg(rd, value, taint);
+                rec.result = Some((taint, value));
+                if !rec.suppressed && taint.exposed() {
+                    self.record(Rule::Sl103, addr, addr, spec.describe(&taint));
+                }
+            }
+            InsnKind::MulLong {
+                signed,
+                rd_hi,
+                rd_lo,
+                rm,
+                rs,
+            } => {
+                let (rm_val, rm_taint) = self.operand(rm, addr);
+                let (rs_val, rs_taint) = self.operand(rs, addr);
+                rec.slot0 = Some((rm_taint, rm_val));
+                rec.slot1 = Some((rs_taint, rs_val));
+                let product = if signed {
+                    (i64::from(rm_val as i32) * i64::from(rs_val as i32)) as u64
+                } else {
+                    u64::from(rm_val) * u64::from(rs_val)
+                };
+                let taint = rm_taint.mix(&rs_taint);
+                self.set_reg(rd_lo, product as u32, taint);
+                self.set_reg(rd_hi, (product >> 32) as u32, taint);
+                rec.result = Some((taint, product as u32));
+                if !rec.suppressed && taint.exposed() {
+                    self.record(Rule::Sl103, addr, addr, spec.describe(&taint));
+                }
+            }
+            InsnKind::Mem {
+                dir,
+                size,
+                rd,
+                addr: mode,
+            } => {
+                let (base_val, base_taint) = self.operand(mode.base, addr);
+                rec.slot0 = Some((base_taint, base_val));
+                let mut addr_taint = base_taint;
+                let offset_val = match mode.offset {
+                    MemOffset::Imm(imm) => i64::from(imm),
+                    MemOffset::Reg {
+                        rm,
+                        kind,
+                        amount,
+                        sub,
+                    } => {
+                        let (rm_val, rm_taint) = self.operand(rm, addr);
+                        rec.slot1 = Some((rm_taint, rm_val));
+                        addr_taint = addr_taint.union(&rm_taint);
+                        let shifted =
+                            apply_shift(kind, rm_val, u32::from(amount), self.flags.c).value;
+                        if amount != 0 && !rec.suppressed {
+                            let st = rm_taint.shift(kind, u32::from(amount));
+                            if st.exposed() {
+                                self.record(Rule::Sl104, addr, addr, spec.describe(&st));
+                            }
+                        }
+                        if sub {
+                            -i64::from(shifted)
+                        } else {
+                            i64::from(shifted)
+                        }
+                    }
+                };
+                let effective = (i64::from(base_val) + offset_val) as u32;
+                let access_addr = match mode.index {
+                    sca_isa::IndexMode::PostIndex => base_val,
+                    _ => effective,
+                };
+                let data_vt = (dir == MemDir::Store).then(|| self.operand(rd, addr));
+                if mode.writes_base() {
+                    // Pointer bumps keep the base taint (base ± public
+                    // immediate / offset labels).
+                    let wb_taint = addr_taint;
+                    self.set_reg(mode.base, effective, wb_taint);
+                }
+                match dir {
+                    MemDir::Load => {
+                        let (value, content) = self.load(access_addr, size)?;
+                        // A table lookup's value depends on everything
+                        // its *address* depends on — but a non-linear
+                        // lookup strips the address's linear blinding,
+                        // so only the secret/input labels carry over.
+                        // (This is exactly why masked AES recomputes
+                        // its table: the content contributes the fresh
+                        // output mask.)
+                        let mut taint = content;
+                        for limb in 0..4 {
+                            taint.secrets[limb] |= addr_taint.secrets[limb];
+                            taint.inputs[limb] |= addr_taint.inputs[limb];
+                        }
+                        if rd == Reg::PC {
+                            self.pc = value & !3;
+                        } else {
+                            self.set_reg(rd, value, taint);
+                            rec.result = Some((taint, value));
+                        }
+                        rec.mem = Some((taint, value, size.is_subword()));
+                    }
+                    MemDir::Store => {
+                        let (value, data_taint) = data_vt.expect("stores read their data register");
+                        rec.data = Some((data_taint, value));
+                        rec.mem = Some((data_taint, value, size.is_subword()));
+                        self.store(access_addr, value, size, &data_taint)?;
+                    }
+                }
+            }
+            InsnKind::MemMulti {
+                dir,
+                base,
+                writeback,
+                regs,
+                mode,
+            } => {
+                let (base_val, base_taint) = self.operand(base, addr);
+                rec.slot0 = Some((base_taint, base_val));
+                let n = regs.len() as u32;
+                let start = match mode {
+                    MemMultiMode::Ia => base_val,
+                    MemMultiMode::Db => base_val.wrapping_sub(4 * n),
+                };
+                let new_base = match mode {
+                    MemMultiMode::Ia => base_val.wrapping_add(4 * n),
+                    MemMultiMode::Db => start,
+                };
+                let base_reloaded = dir == MemDir::Load && regs.contains(base);
+                if writeback && !base_reloaded {
+                    self.set_reg(base, new_base, base_taint);
+                }
+                let mut branch_target = None;
+                let mut beats = Taint::clean();
+                let mut last_value = 0u32;
+                for (i, reg) in regs.iter().enumerate() {
+                    let beat_addr = start.wrapping_add(4 * i as u32);
+                    match dir {
+                        MemDir::Load => {
+                            let (value, taint) = self.load(beat_addr, MemSize::Word)?;
+                            beats = beats.union(&taint);
+                            last_value = value;
+                            if reg == Reg::PC {
+                                branch_target = Some(value & !3);
+                            } else {
+                                self.set_reg(reg, value, taint);
+                            }
+                        }
+                        MemDir::Store => {
+                            let (value, taint) = self.operand(reg, addr);
+                            beats = beats.union(&taint);
+                            last_value = value;
+                            self.store(beat_addr, value, MemSize::Word, &taint)?;
+                        }
+                    }
+                }
+                rec.mem = Some((beats, last_value, false));
+                if dir == MemDir::Load {
+                    rec.result = Some((beats, last_value));
+                } else {
+                    rec.data = Some((beats, last_value));
+                }
+                if let Some(target) = branch_target {
+                    self.pc = target;
+                }
+            }
+            InsnKind::Branch { link, offset } => {
+                if link {
+                    self.set_reg(Reg::LR, addr.wrapping_add(4), Taint::clean());
+                }
+                self.pc = addr
+                    .wrapping_add(4)
+                    .wrapping_add((offset as u32).wrapping_mul(4));
+            }
+            InsnKind::Bx { rm } => {
+                let (v, _) = self.operand(rm, addr);
+                self.pc = v & !3;
+            }
+        }
+        self.finish_insn(spec, insn, rec);
+        Ok(())
+    }
+
+    /// Pair-rule evaluation against the previous instruction and the
+    /// align-buffer history, then history update.
+    fn finish_insn(&mut self, spec: &LintSpec, insn: Insn, rec: IssueRecord) {
+        let mut pending: Vec<(Rule, u32, u32, String)> = Vec::new();
+        if let Some(prev) = &self.prev {
+            let suppressed = rec.suppressed || prev.suppressed;
+            if !suppressed {
+                // SL101 — same operand slot of consecutive issues.
+                for (a, b) in [
+                    (&prev.slot0, &rec.slot0),
+                    (&prev.slot1, &rec.slot1),
+                    (&prev.data, &rec.data),
+                ] {
+                    if let Some(w) = pair_witness(spec, a, b) {
+                        pending.push((Rule::Sl101, prev.addr, rec.addr, w));
+                    }
+                }
+                // SL102 — dual-issue pairing: the policy can issue the
+                // two together (and no RAW dependency forbids it), so
+                // their operands cross the shared path the same cycle.
+                let can_pair = match (prev.class, rec.class) {
+                    (Some(older), Some(younger)) => {
+                        self.policy.allows(older, younger)
+                            && (insn.reads().iter().all(|r| !prev.writes.contains(r)))
+                    }
+                    _ => false,
+                };
+                if can_pair {
+                    for (a, b) in [
+                        (&prev.slot0, &rec.slot1),
+                        (&prev.slot1, &rec.slot0),
+                        (&prev.slot0, &rec.data),
+                        (&prev.data, &rec.slot0),
+                        (&prev.slot1, &rec.data),
+                        (&prev.data, &rec.slot1),
+                    ] {
+                        if let Some(w) = pair_witness(spec, a, b) {
+                            pending.push((Rule::Sl102, prev.addr, rec.addr, w));
+                        }
+                    }
+                }
+                // SL105 — adjacent write-back results in the EX/WB
+                // buffer (includes load write-backs: the WB bus is the
+                // same ExWb node).
+                if let Some(w) = pair_witness(spec, &prev.result, &rec.result) {
+                    pending.push((Rule::Sl105, prev.addr, rec.addr, w));
+                }
+                // SL106 — adjacent memory transfers through the MDR,
+                // at least one sub-word (word-aligned word streams
+                // replace the full register and showed no dynamic
+                // leak; sub-word traffic is where remanence bites).
+                if let (Some((ta, va, sa)), Some((tb, vb, sb))) = (&prev.mem, &rec.mem) {
+                    if (*sa || *sb) && va != vb {
+                        let hd = ta.xor(tb);
+                        if hd.exposed() {
+                            pending.push((
+                                Rule::Sl106,
+                                prev.addr,
+                                rec.addr,
+                                format!("HD({}, {})", spec.describe(ta), spec.describe(tb)),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // SL107 — align-buffer remanence: two sub-word transfers at
+        // most one instruction apart (the scheduler's share-distance
+        // contract bounds remanence to the issue window).
+        if let Some((taint_b, value_b, true)) = rec.mem {
+            if let Some((sub, age)) = &self.last_sub {
+                if *age <= 2 && !(rec.suppressed || sub.suppressed) {
+                    if let Some((taint_a, value_a, _)) = sub.mem {
+                        if value_a != value_b {
+                            let hd = taint_a.xor(&taint_b);
+                            if hd.exposed() {
+                                pending.push((
+                                    Rule::Sl107,
+                                    sub.addr,
+                                    rec.addr,
+                                    format!(
+                                        "HD({}, {})",
+                                        spec.describe(&taint_a),
+                                        spec.describe(&taint_b)
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            self.last_sub = Some((rec.clone(), 0));
+        } else if let Some((_, age)) = &mut self.last_sub {
+            *age += 1;
+        }
+        for (rule, a, b, w) in pending {
+            self.record(rule, a, b, w);
+        }
+        self.prev = Some(rec);
+    }
+}
+
+/// Taint transfer of a data-processing op, mirroring `eval_dp`.
+fn dp_taint(
+    op: sca_isa::DpOp,
+    rn: &Taint,
+    rn_val: u32,
+    op2: &Taint,
+    op2_val: u32,
+    flags: &Taint,
+) -> Taint {
+    use sca_isa::DpOp;
+    match op {
+        DpOp::Mov | DpOp::Mvn => *op2,
+        DpOp::Eor => rn.xor(op2),
+        DpOp::And => match (rn.is_clean(), op2.is_clean()) {
+            (true, true) => Taint::clean(),
+            (true, false) => op2.mask_and(rn_val),
+            (false, true) => rn.mask_and(op2_val),
+            (false, false) => rn.mix(op2),
+        },
+        DpOp::Bic => match (rn.is_clean(), op2.is_clean()) {
+            (true, true) => Taint::clean(),
+            // rd = rn & !op2: inversion keeps rows, the clean side
+            // masks bit-wise.
+            (true, false) => op2.mask_and(rn_val),
+            (false, true) => rn.mask_and(!op2_val),
+            (false, false) => rn.mix(op2),
+        },
+        DpOp::Orr => match (rn.is_clean(), op2.is_clean()) {
+            (true, true) => Taint::clean(),
+            (true, false) => op2.mask_orr(rn_val),
+            (false, true) => rn.mask_orr(op2_val),
+            (false, false) => rn.mix(op2),
+        },
+        DpOp::Add | DpOp::Sub | DpOp::Rsb => rn.mix(op2),
+        DpOp::Adc | DpOp::Sbc => rn.mix(op2).mix(flags),
+        // Compares produce no register result.
+        DpOp::Cmp | DpOp::Cmn | DpOp::Tst | DpOp::Teq => Taint::clean(),
+    }
+}
+
+/// HD witness of two same-path occupants, if the pair is exposed and
+/// the concrete transition is non-trivial.
+fn pair_witness(
+    spec: &LintSpec,
+    a: &Option<(Taint, u32)>,
+    b: &Option<(Taint, u32)>,
+) -> Option<String> {
+    let (ta, va) = a.as_ref()?;
+    let (tb, vb) = b.as_ref()?;
+    // Identical concrete values produce no transition (HD = 0): the
+    // same unmodified register riding the same port twice is not an
+    // overwrite.
+    if va == vb {
+        return None;
+    }
+    let hd = ta.xor(tb);
+    if hd.exposed() {
+        Some(format!("HD({}, {})", spec.describe(ta), spec.describe(tb)))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,194 @@
+//! Compiler-style diagnostics and the deterministic report.
+
+use std::collections::BTreeMap;
+
+use sca_isa::Program;
+
+use crate::rules::{Rule, Severity};
+
+/// One finding: a rule, the instruction span it fires on, and a
+/// witness naming the tainted values involved.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Address of the (older) instruction.
+    pub addr_a: u32,
+    /// Address of the younger instruction of a pair (equals `addr_a`
+    /// for single-site rules).
+    pub addr_b: u32,
+    /// Witness: the tainted value(s) whose weight/distance leaks.
+    pub witness: String,
+    /// How many dynamic visits (loop iterations) produced the finding;
+    /// 0 for purely static (CFG-pass) findings.
+    pub count: usize,
+}
+
+impl Diagnostic {
+    /// Severity, from the rule.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+
+    /// Renders the diagnostic against the program it was found in,
+    /// using the relocation metadata (symbols, source lines) the
+    /// assembler and `sca-sched` maintain.
+    pub fn render(&self, program: &Program) -> String {
+        let site = |addr: u32| {
+            let sym = symbol_context(program, addr);
+            match program.source_line(addr) {
+                Some(line) => format!("{addr:#06x} [{sym} line {line}]"),
+                None => format!("{addr:#06x} [{sym}]"),
+            }
+        };
+        let span = if self.addr_b == self.addr_a {
+            site(self.addr_a)
+        } else {
+            format!("{} .. {}", site(self.addr_a), site(self.addr_b))
+        };
+        let visits = if self.count > 1 {
+            format!(" (x{})", self.count)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} {} [{}] {}: {}{}",
+            self.severity().label(),
+            self.rule.id(),
+            self.rule.name(),
+            span,
+            self.witness,
+            visits
+        )
+    }
+}
+
+/// Nearest preceding symbol plus offset, e.g. `subbytes+0x8`.
+fn symbol_context(program: &Program, addr: u32) -> String {
+    let mut best: Option<(&str, u32)> = None;
+    for (name, sym_addr) in program.symbols() {
+        if sym_addr <= addr {
+            match best {
+                Some((_, b)) if b >= sym_addr => {}
+                _ => best = Some((name, sym_addr)),
+            }
+        }
+    }
+    match best {
+        Some((name, sym_addr)) if sym_addr == addr => name.to_owned(),
+        Some((name, sym_addr)) => format!("{}+{:#x}", name, addr - sym_addr),
+        None => "?".to_owned(),
+    }
+}
+
+/// The full lint result for one program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (older address, rule, younger address).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Builds a report from an unsorted set of findings.
+    pub fn from_findings(findings: Vec<Diagnostic>) -> LintReport {
+        let mut diagnostics = findings;
+        diagnostics.sort_by_key(|d| (d.addr_a, d.rule, d.addr_b));
+        LintReport { diagnostics }
+    }
+
+    /// Whether the program lints clean (no findings of any severity).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of one rule.
+    pub fn by_rule(&self, rule: Rule) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// `rule id -> count` summary, in rule order.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule.id()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the deterministic multi-line report (one diagnostic per
+    /// line, then a summary line).
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(program));
+            out.push('\n');
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("clean: no diagnostics\n");
+        } else {
+            let summary: Vec<String> = self
+                .rule_counts()
+                .into_iter()
+                .map(|(id, n)| format!("{id}={n}"))
+                .collect();
+            out.push_str(&format!(
+                "total: {} ({})\n",
+                self.diagnostics.len(),
+                summary.join(" ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sca_isa::assemble;
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let program = assemble(
+            "
+start:  nop
+f:      nop
+        nop
+        halt
+        ",
+        )
+        .unwrap();
+        let report = LintReport::from_findings(vec![
+            Diagnostic {
+                rule: Rule::Sl103,
+                addr_a: 8,
+                addr_b: 8,
+                witness: "K{0}^PT{0}".into(),
+                count: 2,
+            },
+            Diagnostic {
+                rule: Rule::Sl101,
+                addr_a: 4,
+                addr_b: 8,
+                witness: "HD(a, b)".into(),
+                count: 1,
+            },
+        ]);
+        let text = report.render(&program);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("error SL101"), "{text}");
+        assert!(lines[0].contains("0x0004 [f"), "{text}");
+        assert!(lines[1].starts_with("warning SL103"), "{text}");
+        assert!(lines[1].contains("(x2)"), "{text}");
+        assert_eq!(lines[2], "total: 2 (SL101=1 SL103=1)");
+        assert_eq!(text, report.render(&program), "byte-stable");
+    }
+
+    #[test]
+    fn clean_report() {
+        let program = assemble("halt\n").unwrap();
+        assert_eq!(
+            LintReport::default().render(&program),
+            "clean: no diagnostics\n"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Share-distance verification: the static scan `sca-sched` runs over
+//! its own output so the scheduler can *prove* the hardening held.
+//!
+//! The scheduler inserts scrubs so that two share-carrying memory
+//! operations (align/MDR path) or two share register reads (operand
+//! bus / IS-EX path) are never closer than the configured distance.
+//! This module re-checks that property on an arbitrary instruction
+//! stream, reporting violations with the linter's rule vocabulary:
+//! residual memory-path adjacency as [`Rule::Sl107`], residual
+//! operand-path adjacency as [`Rule::Sl102`] — the exact classes the
+//! scrubs exist to break.
+//!
+//! Distance is counted in *datapath-occupying* instructions: a
+//! control-flow instruction redirects fetch without refreshing the LSU
+//! buffers or the operand buses, and the instruction after it in the
+//! static stream may also be entered from elsewhere (a call or branch
+//! target) with no intervening code at all — so branches contribute
+//! zero separation ([`ShareSite::step`] is `false`).
+
+use crate::report::Diagnostic;
+use crate::rules::Rule;
+
+/// One instruction of the stream under verification.
+#[derive(Clone, Copy, Debug)]
+pub struct ShareSite {
+    /// Instruction address (for diagnostics).
+    pub addr: u32,
+    /// Share-carrying memory operation (the policy's marked ranges).
+    pub share_mem: bool,
+    /// Reads share registers.
+    pub share_read: bool,
+    /// Whether this instruction counts toward the separation distance.
+    /// `false` for control flow, which neither refreshes the datapath
+    /// nor guarantees the static successor is reached through it.
+    pub step: bool,
+}
+
+/// Scans a stream for share ops closer than `min_distance`, returning
+/// one diagnostic per violating pair.
+pub fn residual_share_hazards(stream: &[ShareSite], min_distance: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut mem: Option<(usize, u32)> = None; // (distance since, addr of) last share mem op
+    let mut read: Option<(usize, u32)> = None;
+    for site in stream {
+        if site.share_mem {
+            if let Some((gap, prev_addr)) = mem {
+                if gap < min_distance {
+                    out.push(Diagnostic {
+                        rule: Rule::Sl107,
+                        addr_a: prev_addr,
+                        addr_b: site.addr,
+                        witness: format!(
+                            "share memory ops {gap} apart (scheduler contract: >= {min_distance})"
+                        ),
+                        count: 0,
+                    });
+                }
+            }
+            mem = Some((0, site.addr));
+        } else if let Some((gap, prev_addr)) = mem {
+            mem = Some((gap + usize::from(site.step), prev_addr));
+        }
+        if site.share_read {
+            if let Some((gap, prev_addr)) = read {
+                if gap < min_distance {
+                    out.push(Diagnostic {
+                        rule: Rule::Sl102,
+                        addr_a: prev_addr,
+                        addr_b: site.addr,
+                        witness: format!(
+                            "share reads {gap} apart (scheduler contract: >= {min_distance})"
+                        ),
+                        count: 0,
+                    });
+                }
+            }
+            read = Some((0, site.addr));
+        } else if let Some((gap, prev_addr)) = read {
+            read = Some((gap + usize::from(site.step), prev_addr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(addr: u32, share_mem: bool, share_read: bool) -> ShareSite {
+        ShareSite {
+            addr,
+            share_mem,
+            share_read,
+            step: true,
+        }
+    }
+
+    #[test]
+    fn adjacent_shares_are_hazards() {
+        let stream = [site(0, true, false), site(4, true, false)];
+        let hazards = residual_share_hazards(&stream, 1);
+        assert_eq!(hazards.len(), 1);
+        assert_eq!(hazards[0].rule, Rule::Sl107);
+        assert_eq!((hazards[0].addr_a, hazards[0].addr_b), (0, 4));
+    }
+
+    #[test]
+    fn padded_shares_are_clean() {
+        let stream = [
+            site(0, true, true),
+            site(4, false, false),
+            site(8, true, true),
+        ];
+        assert!(residual_share_hazards(&stream, 1).is_empty());
+        let hazards = residual_share_hazards(&stream, 2);
+        assert_eq!(hazards.len(), 2, "distance 2 needs two fillers");
+        assert_eq!(hazards[0].rule, Rule::Sl107);
+        assert_eq!(hazards[1].rule, Rule::Sl102);
+    }
+
+    #[test]
+    fn control_flow_provides_no_separation() {
+        // strb; bx lr; ldrb — the call-boundary hazard: the branch
+        // occupies a slot but leaves the align buffer holding the first
+        // share when the second arrives.
+        let stream = [
+            site(0, true, false),
+            ShareSite {
+                addr: 4,
+                share_mem: false,
+                share_read: false,
+                step: false,
+            },
+            site(8, true, false),
+        ];
+        let hazards = residual_share_hazards(&stream, 1);
+        assert_eq!(hazards.len(), 1);
+        assert_eq!(hazards[0].rule, Rule::Sl107);
+        assert_eq!((hazards[0].addr_a, hazards[0].addr_b), (0, 8));
+    }
+}

@@ -1,0 +1,282 @@
+//! What a target tells the linter: labelled memory regions, concrete
+//! staging, and release (declassification) spans.
+
+use sca_isa::Program;
+
+use crate::taint::Taint;
+use crate::LintError;
+
+/// What kind of labels a region's bytes carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionKind {
+    /// Secret material (key bytes / round keys): byte `i` of the
+    /// region gets secret label `base + i`.
+    Secret,
+    /// Attacker-known varying inputs (plaintext): byte `i` gets input
+    /// label `base + i`.
+    Input,
+    /// Fresh uniform randomness (Boolean masks): byte `i` gets mask
+    /// label `base + i`, tracked linearly (at most 8 mask bytes).
+    Mask,
+}
+
+/// One labelled memory region.
+#[derive(Clone, Debug)]
+pub struct LintRegion {
+    /// Short name used in witnesses (`K`, `PT`, `M`).
+    pub name: String,
+    /// First byte address.
+    pub addr: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Label kind.
+    pub kind: RegionKind,
+}
+
+/// A diagnostic-release span: `[start, end)` by symbol, where the
+/// program intentionally de-blinds public outputs (ciphertext release).
+/// Diagnostics are suppressed inside the span; taint still propagates,
+/// so a release span can never launder secrets for downstream code.
+#[derive(Clone, Debug)]
+pub struct ReleaseSpan {
+    /// Symbol naming the first released instruction.
+    pub start: String,
+    /// Symbol naming the first instruction past the span.
+    pub end: String,
+}
+
+/// Everything the linter needs to know about a target besides its
+/// program: the canonical concrete staging (so the taint machine can
+/// execute the real path) and the taint labelling of that staging.
+#[derive(Clone, Debug, Default)]
+pub struct LintSpec {
+    /// Concrete memory staging `(addr, bytes)` — tables, round keys,
+    /// the canonical plaintext and mask bytes. Applied in order.
+    pub mem_init: Vec<(u32, Vec<u8>)>,
+    /// Labelled regions (applied after `mem_init`; a region may overlap
+    /// staged bytes).
+    pub regions: Vec<LintRegion>,
+    /// Release spans, resolved against the linted program's symbols.
+    pub release: Vec<ReleaseSpan>,
+    /// Memory size for the concrete execution (0 = 64 KiB default).
+    pub mem_size: u32,
+    /// Step budget for the concrete execution (0 = 4M default).
+    pub step_budget: u64,
+}
+
+impl LintSpec {
+    /// Effective memory size.
+    pub fn mem_size(&self) -> u32 {
+        if self.mem_size == 0 {
+            1 << 16
+        } else {
+            self.mem_size
+        }
+    }
+
+    /// Effective step budget.
+    pub fn step_budget(&self) -> u64 {
+        if self.step_budget == 0 {
+            4_000_000
+        } else {
+            self.step_budget
+        }
+    }
+
+    /// The initial taint of every labelled byte, in region order.
+    /// Secret and input labels wrap modulo 256, mask labels modulo 8
+    /// (the linear-tracking capacity) — wrapping coarsens witnesses but
+    /// never loses taint.
+    pub fn labelled_bytes(&self) -> Vec<(u32, Taint)> {
+        let mut out = Vec::new();
+        let (mut nsec, mut ninp, mut nmask) = (0usize, 0usize, 0usize);
+        for region in &self.regions {
+            for i in 0..region.len {
+                let taint = match region.kind {
+                    RegionKind::Secret => Taint::secret(nsec + i as usize),
+                    RegionKind::Input => Taint::input(ninp + i as usize),
+                    RegionKind::Mask => Taint::mask_byte(nmask + i as usize),
+                };
+                out.push((region.addr + i, taint));
+            }
+            match region.kind {
+                RegionKind::Secret => nsec += region.len as usize,
+                RegionKind::Input => ninp += region.len as usize,
+                RegionKind::Mask => nmask += region.len as usize,
+            }
+        }
+        out
+    }
+
+    /// Resolves the release spans against a program's symbol table.
+    ///
+    /// # Errors
+    ///
+    /// [`LintError::MissingSymbol`] when a span names a symbol the
+    /// program lacks — symbols survive `sca-sched` relocation, so this
+    /// indicates a mispackaged spec, not a hardened program.
+    pub fn resolve_release(&self, program: &Program) -> Result<Vec<(u32, u32)>, LintError> {
+        self.release
+            .iter()
+            .map(|span| {
+                let start = program
+                    .symbol(&span.start)
+                    .ok_or_else(|| LintError::MissingSymbol(span.start.clone()))?;
+                let end = program
+                    .symbol(&span.end)
+                    .ok_or_else(|| LintError::MissingSymbol(span.end.clone()))?;
+                Ok((start, end))
+            })
+            .collect()
+    }
+
+    /// Renders a taint as a compact deterministic witness string, e.g.
+    /// `K{0,4-7}^PT{0}` or `K{2}^PT{2}+lin(M)`.
+    pub fn describe(&self, taint: &Taint) -> String {
+        let mut parts = Vec::new();
+        let sec = bits_of(&taint.secrets);
+        let inp = bits_of(&taint.inputs);
+        if !sec.is_empty() {
+            parts.push(format!(
+                "{}{{{}}}",
+                self.kind_name(RegionKind::Secret),
+                ranges(&sec)
+            ));
+        }
+        if !inp.is_empty() {
+            parts.push(format!(
+                "{}{{{}}}",
+                self.kind_name(RegionKind::Input),
+                ranges(&inp)
+            ));
+        }
+        let mut s = if parts.is_empty() {
+            "public".to_owned()
+        } else {
+            parts.join("^")
+        };
+        let linb = taint.lin_bits();
+        if linb != 0 {
+            let bytes: Vec<usize> = (0..8).filter(|b| linb >> (8 * b) & 0xff != 0).collect();
+            s.push_str(&format!(
+                "+lin({}{{{}}})",
+                self.kind_name(RegionKind::Mask),
+                ranges(&bytes)
+            ));
+        }
+        if taint.nonlin != 0 {
+            let bytes: Vec<usize> = (0..64).filter(|b| taint.nonlin >> b & 1 != 0).collect();
+            s.push_str(&format!(
+                "+nl({}{{{}}})",
+                self.kind_name(RegionKind::Mask),
+                ranges(&bytes)
+            ));
+        }
+        s
+    }
+
+    /// First declared region name of a kind (fallback: a generic name).
+    fn kind_name(&self, kind: RegionKind) -> &str {
+        self.regions.iter().find(|r| r.kind == kind).map_or_else(
+            || match kind {
+                RegionKind::Secret => "K",
+                RegionKind::Input => "IN",
+                RegionKind::Mask => "M",
+            },
+            |r| r.name.as_str(),
+        )
+    }
+}
+
+/// Set bits of a 256-bit label set, as sorted indices.
+fn bits_of(limbs: &[u64; 4]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, &limb) in limbs.iter().enumerate() {
+        for b in 0..64 {
+            if limb >> b & 1 != 0 {
+                out.push(64 * i + b);
+            }
+        }
+    }
+    out
+}
+
+/// Renders sorted indices as compressed ranges: `0-3,7,12-15`.
+fn ranges(sorted: &[usize]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start;
+        while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
+            i += 1;
+            end = sorted[i];
+        }
+        if end > start {
+            parts.push(format!("{start}-{end}"));
+        } else {
+            parts.push(format!("{start}"));
+        }
+        i += 1;
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LintSpec {
+        LintSpec {
+            regions: vec![
+                LintRegion {
+                    name: "K".into(),
+                    addr: 0x100,
+                    len: 4,
+                    kind: RegionKind::Secret,
+                },
+                LintRegion {
+                    name: "PT".into(),
+                    addr: 0x200,
+                    len: 4,
+                    kind: RegionKind::Input,
+                },
+                LintRegion {
+                    name: "M".into(),
+                    addr: 0x300,
+                    len: 2,
+                    kind: RegionKind::Mask,
+                },
+            ],
+            ..LintSpec::default()
+        }
+    }
+
+    #[test]
+    fn labels_are_sequential_per_kind() {
+        let bytes = spec().labelled_bytes();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(bytes[0], (0x100, Taint::secret(0)));
+        assert_eq!(bytes[5], (0x201, Taint::input(1)));
+        assert_eq!(bytes[9], (0x301, Taint::mask_byte(1)));
+    }
+
+    #[test]
+    fn witnesses_render_ranges() {
+        let s = spec();
+        let t = Taint::secret(0)
+            .xor(&Taint::secret(1))
+            .xor(&Taint::secret(2))
+            .xor(&Taint::input(3));
+        assert_eq!(s.describe(&t), "K{0-2}^PT{3}");
+        assert_eq!(
+            s.describe(&t.xor(&Taint::mask_byte(1))),
+            "K{0-2}^PT{3}+lin(M{1})"
+        );
+        assert_eq!(
+            s.describe(&t.xor(&Taint::mask_byte(0)).demote()),
+            "K{0-2}^PT{3}+nl(M{0})"
+        );
+        assert_eq!(s.describe(&Taint::clean()), "public");
+    }
+}

@@ -1,0 +1,341 @@
+//! The taint domain: per-value secret/input labels plus an exact linear
+//! model of Boolean masking.
+//!
+//! A [`Taint`] describes what one 32-bit value (or one memory byte)
+//! depends on:
+//!
+//! * `secrets` / `inputs` — which *key bytes* and which *plaintext
+//!   bytes* influence the value, as 256-bit label sets. These only
+//!   grow: any data dependence, linear or not, keeps the label.
+//! * `lin` — the value's dependence on *mask bits*, tracked exactly as
+//!   long as it stays GF(2)-linear: row `r` is a bitset of the mask
+//!   bits XORed into value bit `r`. XOR combines rows by XOR (so two
+//!   values carrying the same mask **cancel** — the paper's
+//!   `HD(S[x_i] ^ m, S[x_j] ^ m) = HD(S[x_i], S[x_j])` observation is
+//!   literally this row arithmetic), and shifts/rotates by constants
+//!   permute rows exactly.
+//! * `nonlin` — mask *bytes* the value depends on non-linearly (after
+//!   an add/multiply/variable shift). Non-linear mask dependence can
+//!   never be shown to cancel, so it only unions.
+//!
+//! A value is **exposed** — statically predicted to leak under a
+//! first-order attack — when it depends on both key and plaintext
+//! material and no mask bit survives: `secrets ≠ ∅ ∧ inputs ≠ ∅ ∧
+//! lin = 0 ∧ nonlin = ∅`. Key-only values (round-key loads) and
+//! plaintext-only values are not exposed: with the key fixed across
+//! traces they carry no per-trace exploitable variance pairing secrets
+//! with known data, matching the dynamic CPA/TVLA ground truth.
+
+use sca_isa::ShiftKind;
+
+/// Number of `u64` limbs in a 256-entry label set.
+const LIMBS: usize = 4;
+
+/// Dependence labels of one value: secret bytes, input bytes, and an
+/// exact linear (plus conservative non-linear) mask model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Taint {
+    /// Secret-byte labels (one bit per labelled key byte, mod 256).
+    pub secrets: [u64; LIMBS],
+    /// Input-byte labels (one bit per labelled plaintext byte, mod 256).
+    pub inputs: [u64; LIMBS],
+    /// Row `r`: mask bits XORed into value bit `r` (64 mask-bit columns
+    /// = 8 mask bytes).
+    pub lin: [u64; 32],
+    /// Mask-byte labels with non-linear influence on the value.
+    pub nonlin: u64,
+}
+
+impl Default for Taint {
+    fn default() -> Taint {
+        Taint::clean()
+    }
+}
+
+impl Taint {
+    /// The untainted value: public, mask-free.
+    pub fn clean() -> Taint {
+        Taint {
+            secrets: [0; LIMBS],
+            inputs: [0; LIMBS],
+            lin: [0; 32],
+            nonlin: 0,
+        }
+    }
+
+    /// A value carrying exactly one secret-byte label.
+    pub fn secret(label: usize) -> Taint {
+        let mut t = Taint::clean();
+        t.secrets[(label / 64) % LIMBS] |= 1 << (label % 64);
+        t
+    }
+
+    /// A value carrying exactly one input-byte label.
+    pub fn input(label: usize) -> Taint {
+        let mut t = Taint::clean();
+        t.inputs[(label / 64) % LIMBS] |= 1 << (label % 64);
+        t
+    }
+
+    /// A memory *byte* that is one fresh mask byte: value bit `r` is
+    /// mask bit `8·label + r` for `r = 0..8`.
+    pub fn mask_byte(label: usize) -> Taint {
+        let mut t = Taint::clean();
+        let label = label % 8;
+        for r in 0..8 {
+            t.lin[r] = 1 << (8 * label + r);
+        }
+        t
+    }
+
+    /// Whether the value carries no labels at all.
+    pub fn is_clean(&self) -> bool {
+        *self == Taint::clean()
+    }
+
+    /// Whether any secret label is present.
+    pub fn has_secret(&self) -> bool {
+        self.secrets.iter().any(|&l| l != 0)
+    }
+
+    /// Whether any input label is present.
+    pub fn has_input(&self) -> bool {
+        self.inputs.iter().any(|&l| l != 0)
+    }
+
+    /// OR of all linear rows: the mask bits with any linear influence.
+    pub fn lin_bits(&self) -> u64 {
+        self.lin.iter().fold(0, |acc, &row| acc | row)
+    }
+
+    /// Mask-*byte* labels touched by a set of mask-*bit* columns.
+    fn bytes_of_bits(bits: u64) -> u64 {
+        let mut bytes = 0u64;
+        for byte in 0..8 {
+            if bits >> (8 * byte) & 0xff != 0 {
+                bytes |= 1 << byte;
+            }
+        }
+        bytes
+    }
+
+    /// All mask-byte labels with any influence, linear or not.
+    pub fn mask_bytes(&self) -> u64 {
+        Taint::bytes_of_bits(self.lin_bits()) | self.nonlin
+    }
+
+    /// The exposure predicate: key- and input-dependent with no
+    /// surviving mask.
+    pub fn exposed(&self) -> bool {
+        self.has_secret() && self.has_input() && self.lin_bits() == 0 && self.nonlin == 0
+    }
+
+    /// Label union (no cancellation) — the join used by the
+    /// flow-insensitive CFG pass and for address/store-port taint.
+    pub fn union(&self, other: &Taint) -> Taint {
+        let mut out = *self;
+        for i in 0..LIMBS {
+            out.secrets[i] |= other.secrets[i];
+            out.inputs[i] |= other.inputs[i];
+        }
+        for r in 0..32 {
+            out.lin[r] |= other.lin[r];
+        }
+        out.nonlin |= other.nonlin;
+        out
+    }
+
+    /// GF(2)-linear combination: labels union, linear rows XOR (mask
+    /// cancellation is exact), non-linear labels union.
+    pub fn xor(&self, other: &Taint) -> Taint {
+        let mut out = self.union(other);
+        for r in 0..32 {
+            out.lin[r] = self.lin[r] ^ other.lin[r];
+        }
+        out
+    }
+
+    /// Non-linear combination (add/sub/multiply/variable shift):
+    /// labels union, and every mask influence — including the linear
+    /// rows of both operands — is demoted to non-linear, where it can
+    /// never cancel again.
+    pub fn mix(&self, other: &Taint) -> Taint {
+        let mut out = self.union(other);
+        out.nonlin |= Taint::bytes_of_bits(out.lin_bits());
+        out.lin = [0; 32];
+        out
+    }
+
+    /// In-place demotion of linear mask content to non-linear.
+    pub fn demote(&self) -> Taint {
+        self.mix(&Taint::clean())
+    }
+
+    /// Flag taint of an operation over these operands: value-bit
+    /// structure is lost, so only label sets and demoted masks remain.
+    pub fn to_flags(&self) -> Taint {
+        self.demote()
+    }
+
+    /// Exact row transform of a constant-amount shift, mirroring
+    /// [`sca_isa::apply_shift`]'s value semantics on the linear rows.
+    pub fn shift(&self, kind: ShiftKind, amount: u32) -> Taint {
+        let mut out = *self;
+        let n = amount as usize;
+        match kind {
+            ShiftKind::Lsl => {
+                for r in (0..32).rev() {
+                    out.lin[r] = if r >= n { self.lin[r - n] } else { 0 };
+                }
+            }
+            ShiftKind::Lsr => {
+                for r in 0..32 {
+                    out.lin[r] = if r + n < 32 { self.lin[r + n] } else { 0 };
+                }
+            }
+            ShiftKind::Asr => {
+                for r in 0..32 {
+                    out.lin[r] = self.lin[(r + n).min(31)];
+                }
+            }
+            ShiftKind::Ror => {
+                let n = n % 32;
+                for r in 0..32 {
+                    out.lin[r] = self.lin[(r + n) % 32];
+                }
+            }
+        }
+        out
+    }
+
+    /// AND with a *public* constant: value bit `r` survives only where
+    /// the constant has a 1 bit; a zero constant makes the value fully
+    /// public.
+    pub fn mask_and(&self, constant: u32) -> Taint {
+        if constant == 0 {
+            return Taint::clean();
+        }
+        let mut out = *self;
+        for r in 0..32 {
+            if constant >> r & 1 == 0 {
+                out.lin[r] = 0;
+            }
+        }
+        out
+    }
+
+    /// OR with a *public* constant: value bit `r` is forced public
+    /// where the constant has a 1 bit.
+    pub fn mask_orr(&self, constant: u32) -> Taint {
+        if constant == u32::MAX {
+            return Taint::clean();
+        }
+        let mut out = *self;
+        for r in 0..32 {
+            if constant >> r & 1 == 1 {
+                out.lin[r] = 0;
+            }
+        }
+        out
+    }
+
+    /// Taint of one stored byte `index` of this word (rows re-based to
+    /// 0..8; label sets kept whole, conservatively).
+    pub fn extract_byte(&self, index: usize) -> Taint {
+        let mut out = *self;
+        out.lin = [0; 32];
+        for r in 0..8 {
+            out.lin[r] = self.lin[8 * index + r];
+        }
+        out
+    }
+
+    /// Taint of a word loaded from four byte taints (little-endian).
+    pub fn compose_word(bytes: [&Taint; 4]) -> Taint {
+        let mut out = Taint::clean();
+        for (i, b) in bytes.iter().enumerate() {
+            out = out.union(b);
+            for r in 0..8 {
+                out.lin[8 * i + r] = b.lin[r];
+            }
+        }
+        out
+    }
+
+    /// Whether `self`'s labels are all contained in `other`'s (with
+    /// `lin` compared as presence, not row structure) — the partial
+    /// order used for fixed-point convergence in the CFG pass.
+    pub fn subset_of(&self, other: &Taint) -> bool {
+        self.union(other) == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_needs_both_secret_and_input() {
+        let k = Taint::secret(3);
+        let p = Taint::input(7);
+        assert!(!k.exposed(), "key-only values are not exposed");
+        assert!(!p.exposed(), "input-only values are not exposed");
+        assert!(k.xor(&p).exposed(), "key ^ input is exposed");
+    }
+
+    #[test]
+    fn linear_masks_cancel_exactly() {
+        let m = Taint::mask_byte(1);
+        let a = Taint::secret(0).xor(&Taint::input(0)).xor(&m);
+        let b = Taint::secret(1).xor(&Taint::input(1)).xor(&m);
+        assert!(!a.exposed(), "masked value is blinded");
+        assert!(
+            a.xor(&b).exposed(),
+            "the shared mask cancels in the pair difference"
+        );
+    }
+
+    #[test]
+    fn shifted_masks_do_not_cancel() {
+        let m = Taint::mask_byte(0);
+        let a = Taint::secret(0).xor(&Taint::input(0)).xor(&m);
+        let b = a.shift(ShiftKind::Lsl, 1);
+        assert!(
+            !a.xor(&b).exposed(),
+            "m ^ (m << 1) leaves live mask bits in the difference"
+        );
+    }
+
+    #[test]
+    fn nonlinear_masks_never_cancel() {
+        let m = Taint::mask_byte(2);
+        let a = Taint::secret(0).xor(&Taint::input(0)).xor(&m).demote();
+        assert!(!a.exposed());
+        assert!(!a.xor(&a).exposed(), "nonlinear blinding survives pairing");
+    }
+
+    #[test]
+    fn and_with_zero_clears() {
+        let a = Taint::secret(0).xor(&Taint::input(0));
+        assert!(a.mask_and(0).is_clean());
+        assert!(a.mask_and(0xff).exposed());
+        assert!(a.mask_orr(u32::MAX).is_clean());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let m = Taint::mask_byte(3);
+        let word = Taint::compose_word([&m, &Taint::clean(), &m, &Taint::clean()]);
+        assert_eq!(word.extract_byte(0), m);
+        assert!(word.extract_byte(1).lin_bits() == 0);
+        assert_eq!(word.extract_byte(2), m);
+    }
+
+    #[test]
+    fn ror_rows_rotate() {
+        let m = Taint::mask_byte(0);
+        let r = m.shift(ShiftKind::Ror, 8);
+        assert_eq!(r.lin[24..32], m.lin[0..8]);
+        assert_eq!(r.shift(ShiftKind::Ror, 24), m, "rotations compose to id");
+    }
+}

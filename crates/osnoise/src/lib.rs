@@ -15,6 +15,7 @@
 //! * [`LinuxEnvironment`] — the composition, pluggable into
 //!   `sca_power::TraceSynthesizer::acquire_with`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -15,6 +15,7 @@
 //! * [`TraceSynthesizer`]/[`AcquisitionConfig`] — deterministic,
 //!   optionally multi-threaded campaign runner producing [`TraceSet`]s.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -55,8 +55,7 @@ impl PowerRecorder {
             .triggers
             .iter()
             .find(|(c, h)| !*h && *c as usize >= start)
-            .map(|(c, _)| *c as usize)
-            .unwrap_or(self.power.len());
+            .map_or(self.power.len(), |(c, _)| *c as usize);
         let end = end.min(self.power.len());
         let start = start.min(end);
         &self.power[start..end]
@@ -141,8 +140,7 @@ impl BlockPowerRecorder {
             .triggers
             .iter()
             .find(|(c, h)| !*h && *c as usize >= start)
-            .map(|(c, _)| *c as usize)
-            .unwrap_or(self.cycles)
+            .map_or(self.cycles, |(c, _)| *c as usize)
             .min(self.cycles);
         (start.min(end), end)
     }
@@ -282,8 +280,7 @@ impl ComponentPowerRecorder {
             .triggers
             .iter()
             .find(|(c, h)| !*h && *c as usize >= start)
-            .map(|(c, _)| *c as usize)
-            .unwrap_or(self.cycles)
+            .map_or(self.cycles, |(c, _)| *c as usize)
             .min(self.cycles);
         (start.min(end), end)
     }
@@ -376,8 +373,7 @@ impl BlockComponentPowerRecorder {
             .triggers
             .iter()
             .find(|(c, h)| !*h && *c as usize >= start)
-            .map(|(c, _)| *c as usize)
-            .unwrap_or(self.cycles)
+            .map_or(self.cycles, |(c, _)| *c as usize)
             .min(self.cycles);
         (start.min(end), end)
     }

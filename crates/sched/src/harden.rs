@@ -1,6 +1,7 @@
 //! The share-distance scheduler: scrub insertion between share ops.
 
-use sca_isa::{AddrMode, Insn, Program, Reg};
+use sca_isa::{AddrMode, Insn, InsnKind, Program, Reg};
+use sca_lint::schedule::{residual_share_hazards, ShareSite};
 
 use crate::relocate::{decode_image, rebuild};
 use crate::{SchedError, SharePolicy};
@@ -17,17 +18,23 @@ pub struct HardenConfig {
     /// Reserved register holding the address of a mapped public cell —
     /// the base of the scrub store.
     pub scrub_base: Reg,
+    /// Re-scan the output with `sca-lint`'s share-distance checker and
+    /// fail with [`SchedError::ResidualHazard`] if any share pair still
+    /// sits closer than `min_distance` — the scheduler proves its own
+    /// output clean instead of trusting the insertion scan.
+    pub verify: bool,
 }
 
 impl Default for HardenConfig {
     /// The contract of `sca-aes`'s masked implementation: `r6` public
     /// zero, `r10` pointing at its SCRUB cell, distance 1 (one scrub
-    /// between adjacent share ops).
+    /// between adjacent share ops), verification on.
     fn default() -> HardenConfig {
         HardenConfig {
             min_distance: 1,
             scrub_value: Reg::R6,
             scrub_base: Reg::R10,
+            verify: true,
         }
     }
 }
@@ -99,6 +106,22 @@ fn bus_scrub(config: &HardenConfig) -> [Insn; 2] {
     ]
 }
 
+/// Whether an instruction counts toward the share-separation distance.
+///
+/// A branch spends its slot redirecting fetch: it refreshes neither the
+/// LSU's memory-data register and align buffer (which only another
+/// memory access rewrites) nor the operand buses with a public value,
+/// and the instruction that *follows* it in the static stream may also
+/// be entered from elsewhere — a call boundary — with no intervening
+/// code at all. Counting control flow as separation is exactly the bug
+/// `sca-lint` caught on the masked AES: `strb share; bx lr;
+/// shiftrows: ldrb share` left the align buffer holding one share when
+/// the other arrived, a first-order HD leak the shared output mask
+/// cannot blind. Control flow therefore contributes zero distance.
+fn counts_as_distance(insn: &Insn) -> bool {
+    !matches!(insn.kind, InsnKind::Branch { .. } | InsnKind::Bx { .. })
+}
+
 /// Runs the share-distance scheduler over a code-only program.
 ///
 /// Walks the static instruction stream; whenever two share memory
@@ -165,16 +188,21 @@ pub fn harden_program(
             }
             report.bus_scrubs += read_deficit;
         }
+        let step = usize::from(counts_as_distance(insn));
         since_mem = if share_mem {
             0
         } else {
-            (since_mem + 1 + pad).min(horizon)
+            (since_mem + step + pad).min(horizon)
         };
         since_read = if share_read {
             0
         } else {
-            (since_read + 1 + pad).min(horizon)
+            (since_read + step + pad).min(horizon)
         };
+    }
+
+    if config.verify {
+        verify_output(program, policy, config, &insns, &inserts)?;
     }
 
     let hardened = rebuild(program, &insns, &inserts)?;
@@ -183,6 +211,50 @@ pub fn harden_program(
         program: hardened,
         report,
     })
+}
+
+/// The post-pass assertion: replay the scrub-padded stream through
+/// `sca-lint`'s independent share-distance checker. Scrubs are public
+/// datapath instructions (they count as separation, never as shares);
+/// original instructions keep their policy classification and their
+/// original addresses, so a violation is reported in terms the caller
+/// can map back to source.
+fn verify_output(
+    program: &Program,
+    policy: &SharePolicy,
+    config: &HardenConfig,
+    insns: &[Insn],
+    inserts: &[Vec<Insn>],
+) -> Result<(), SchedError> {
+    let mut stream = Vec::with_capacity(insns.len());
+    for (i, insn) in insns.iter().enumerate() {
+        let addr = program.base() + 4 * i as u32;
+        for _ in &inserts[i] {
+            stream.push(ShareSite {
+                addr,
+                share_mem: false,
+                share_read: false,
+                step: true,
+            });
+        }
+        stream.push(ShareSite {
+            addr,
+            share_mem: policy.is_share_mem(addr, insn),
+            share_read: policy.reads_shares_at(addr, insn),
+            step: counts_as_distance(insn),
+        });
+    }
+    match residual_share_hazards(&stream, config.min_distance)
+        .into_iter()
+        .next()
+    {
+        None => Ok(()),
+        Some(hazard) => Err(SchedError::ResidualHazard {
+            addr_a: hazard.addr_a,
+            addr_b: hazard.addr_b,
+            witness: hazard.witness,
+        }),
+    }
 }
 
 #[cfg(test)]

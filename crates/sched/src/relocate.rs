@@ -15,6 +15,16 @@ pub enum SchedError {
     BranchOutOfImage(u32),
     /// A named symbol does not exist.
     UnknownSymbol(String),
+    /// The post-pass verification found two share ops still closer than
+    /// the configured distance in the scheduler's own output.
+    ResidualHazard {
+        /// Address of the earlier share op (in the original image).
+        addr_a: u32,
+        /// Address of the later share op.
+        addr_b: u32,
+        /// The checker's description of the violation.
+        witness: String,
+    },
     /// Re-encoding the rewritten program failed.
     Isa(IsaError),
 }
@@ -29,6 +39,14 @@ impl fmt::Display for SchedError {
                 write!(f, "branch at {addr:#x} targets outside the image")
             }
             SchedError::UnknownSymbol(name) => write!(f, "no symbol named '{name}'"),
+            SchedError::ResidualHazard {
+                addr_a,
+                addr_b,
+                witness,
+            } => write!(
+                f,
+                "hardened output failed verification: {addr_a:#x} .. {addr_b:#x}: {witness}"
+            ),
             SchedError::Isa(e) => write!(f, "re-encoding failed: {e}"),
         }
     }

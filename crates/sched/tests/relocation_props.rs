@@ -1,0 +1,147 @@
+//! Relocation metadata properties of `harden_program`.
+//!
+//! The static linter's compiler-style spans (and the audit's source
+//! attribution) depend on the scheduler carrying branches, symbols and
+//! source lines across its insertions faithfully. These properties
+//! exercise that contract on randomized programs: random instruction
+//! mixes, a label on every body instruction, random share policies and
+//! distances, and an optional counted loop whose back-edge must be
+//! relocated.
+
+use proptest::prelude::*;
+use sca_isa::{Insn, InsnKind, Interp, Program, Reg};
+use sca_sched::{harden_program, HardenConfig, SharePolicy};
+
+/// One body instruction, chosen from a mix of share memory ops, plain
+/// ALU traffic, and loads.
+fn body_insn(selector: u8) -> &'static str {
+    match selector % 6 {
+        0 => "strb  r0, [r3], #1",
+        1 => "strb  r1, [r3], #1",
+        2 => "ldrb  r2, [r3]",
+        3 => "add   r1, r1, #3",
+        4 => "eor   r2, r0, r4",
+        _ => "mov   r5, r2",
+    }
+}
+
+/// Assembles the randomized program: a fixed prologue establishing the
+/// reserved-register contract (`r6` public zero, `r10` scrub cell),
+/// a labelled body, and an optional 3-iteration loop over its suffix.
+/// The data buffer (0x800) and scrub cell (0xf00) sit far above the
+/// largest possible hardened image — scrub insertion grows the program,
+/// and a buffer that merely clears the *original* image would let the
+/// stores corrupt the hardened one (self-modifying code).
+fn build_program(selectors: &[u8], loop_to: Option<usize>) -> Program {
+    let mut src = String::from(
+        "start:  mov   r10, #0xf00\n        mov   r6, #0\n        mov   r3, #0x800\n        mov   r8, #3\n",
+    );
+    for (i, &s) in selectors.iter().enumerate() {
+        src.push_str(&format!("l{i}:    {}\n", body_insn(s)));
+    }
+    if let Some(target) = loop_to {
+        src.push_str(&format!(
+            "        subs  r8, r8, #1\n        bne   l{target}\n"
+        ));
+    }
+    src.push_str("done:   halt\n");
+    sca_isa::assemble(&src).expect("generated program assembles")
+}
+
+fn run(program: &Program) -> (Vec<u32>, Vec<u8>) {
+    let mut interp = Interp::new(0x1000);
+    interp.load(program).expect("loads");
+    interp.set_reg(Reg::R0, 0xa5);
+    interp.set_reg(Reg::R1, 0x3c);
+    interp.set_reg(Reg::R2, 0x77);
+    interp.set_reg(Reg::R4, 0x0f);
+    interp.run(100_000).expect("halts");
+    let regs = [Reg::R0, Reg::R1, Reg::R2, Reg::R4, Reg::R5, Reg::R8]
+        .iter()
+        .map(|&r| interp.reg(r))
+        .collect();
+    (
+        regs,
+        interp.read_bytes(0x800, 0x100).expect("memory").to_vec(),
+    )
+}
+
+/// Branch-free comparison: relocation rewrites branch offsets by
+/// design, everything else must survive verbatim.
+fn non_branch_kind(insn: Insn) -> Option<InsnKind> {
+    (!matches!(insn.kind, InsnKind::Branch { .. })).then_some(insn.kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metadata_survives_harden_round_trips(
+        selectors in prop::collection::vec(0u8..6, 1..32),
+        with_loop in any::<bool>(),
+        loop_frac in 0.0f64..1.0,
+        range in (0usize..32, 0usize..32),
+        secret_regs in any::<bool>(),
+        min_distance in 1usize..4,
+    ) {
+        let program = build_program(
+            &selectors,
+            with_loop.then(|| ((selectors.len() - 1) as f64 * loop_frac) as usize),
+        );
+        let (lo, hi) = (range.0.min(selectors.len() - 1), range.1.min(selectors.len() - 1));
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut policy = SharePolicy::new().with_range(
+            program.symbol(&format!("l{lo}")).unwrap(),
+            // end-exclusive: one past the last body instruction
+            program.symbol(&format!("l{hi}")).unwrap() + 4,
+        );
+        if secret_regs {
+            policy = policy.with_secret_regs([Reg::R0]);
+        }
+        let config = HardenConfig { min_distance, ..HardenConfig::default() };
+        let hardened = harden_program(&program, &policy, &config).expect("hardens and verifies");
+
+        // Size bookkeeping: every scrub unit is exactly two instructions.
+        prop_assert_eq!(
+            hardened.report.hardened_insns,
+            hardened.report.original_insns
+                + 2 * (hardened.report.mem_scrubs + hardened.report.bus_scrubs),
+        );
+
+        // Symbols survive and still name the same (non-branch)
+        // instruction they named before relocation.
+        for (name, old_addr) in program.symbols() {
+            let new_addr = hardened.program.symbol(name);
+            prop_assert!(new_addr.is_some(), "symbol {} vanished", name);
+            let old_insn = program.insn_at(old_addr).expect("decodes");
+            let new_insn = hardened.program.insn_at(new_addr.unwrap()).expect("decodes");
+            if let Some(kind) = non_branch_kind(old_insn) {
+                prop_assert_eq!(kind, new_insn.kind, "symbol {} moved off its insn", name);
+            }
+        }
+
+        // Source lines survive 1:1: the original (line -> insn kind)
+        // pairs all reappear in the hardened image (inserted scrubs
+        // carry no source lines, so the counts match exactly).
+        let collect_lines = |p: &Program| {
+            let mut lines: Vec<(usize, String)> = (0..p.words().len())
+                .filter_map(|i| {
+                    let addr = p.base() + 4 * i as u32;
+                    p.source_line(addr).map(|l| {
+                        (
+                            l,
+                            format!("{:?}", non_branch_kind(p.insn_at(addr).expect("decodes"))),
+                        )
+                    })
+                })
+                .collect();
+            lines.sort();
+            lines
+        };
+        prop_assert_eq!(collect_lines(&program), collect_lines(&hardened.program));
+
+        // Branch relocation preserves the architecture: both programs
+        // compute identical register and memory state.
+        prop_assert_eq!(run(&program), run(&hardened.program));
+    }
+}

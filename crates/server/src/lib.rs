@@ -29,6 +29,7 @@
 //!   every concurrency property above is asserted on byte-exact
 //!   transcripts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;

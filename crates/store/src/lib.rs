@@ -36,6 +36,7 @@
 //! and order-independent. The campaign layer builds its byte-identical
 //! resume/merge verdict guarantees on exactly these two properties.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;

@@ -8,10 +8,11 @@ use rand::Rng;
 
 use sca_aes::{
     aes128_masked_program, aes128_program, encrypt_block, expand_key, AesSim, MaskedAesSim,
-    SubBytesHw, SubBytesStoreHd, MASKED_INPUT_LEN, MASK_BYTES, RK_ADDR, SBOX, SBOX_ADDR,
-    STATE_ADDR,
+    SubBytesHw, SubBytesStoreHd, MASKED_INPUT_LEN, MASKS_ADDR, MASK_BYTES, RK_ADDR, SBOX,
+    SBOX_ADDR, STATE_ADDR,
 };
 use sca_isa::Program;
+use sca_lint::{LintRegion, LintSpec, RegionKind, ReleaseSpan};
 use sca_uarch::{Cpu, UarchConfig, UarchError};
 
 use crate::{CipherTarget, ModelKind, TargetModel, WindowHint};
@@ -31,6 +32,45 @@ fn aes_hw_window() -> WindowHint {
 /// The SubBytes store window of the consecutive-store HD model.
 fn aes_hd_window() -> WindowHint {
     WindowHint::span("subbytes", 0, 4, "shiftrows", 0, 12)
+}
+
+/// The canonical plaintext of the static lint staging (the FIPS-197
+/// example block): varied bytes, so consecutive stores make non-trivial
+/// concrete transitions for the linter's pair rules.
+const LINT_PT: [u8; 16] = [
+    0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+];
+
+/// The canonical mask draw of the masked target's lint staging:
+/// pairwise-distinct nonzero bytes, so no masked transition degenerates
+/// to the trivial HD = 0 the linter skips.
+const LINT_MASKS: [u8; MASK_BYTES] = [0x3d, 0x6b, 0xa5, 0x17, 0xc2, 0x59];
+
+/// The shared (unprotected/masked) part of the AES lint spec: memory
+/// contract staging plus the key/plaintext labelling.
+fn aes_lint_spec(key: &[u8; 16]) -> LintSpec {
+    LintSpec {
+        mem_init: vec![
+            (SBOX_ADDR, SBOX.to_vec()),
+            (RK_ADDR, expand_key(key).to_vec()),
+            (STATE_ADDR, LINT_PT.to_vec()),
+        ],
+        regions: vec![
+            LintRegion {
+                name: "K".into(),
+                addr: RK_ADDR,
+                len: 176,
+                kind: RegionKind::Secret,
+            },
+            LintRegion {
+                name: "PT".into(),
+                addr: STATE_ADDR,
+                len: 16,
+                kind: RegionKind::Input,
+            },
+        ],
+        ..LintSpec::default()
+    }
 }
 
 fn aes_models(key: &[u8; 16], byte: usize) -> Vec<TargetModel> {
@@ -128,6 +168,10 @@ impl CipherTarget for AesTarget {
     fn primary_window(&self) -> WindowHint {
         aes_hd_window()
     }
+
+    fn lint_spec(&self) -> LintSpec {
+        aes_lint_spec(&self.key)
+    }
 }
 
 /// The first-order masked AES-128 implementation as a portfolio target.
@@ -215,5 +259,24 @@ impl CipherTarget for MaskedAesTarget {
 
     fn primary_window(&self) -> WindowHint {
         aes_hd_window()
+    }
+
+    fn lint_spec(&self) -> LintSpec {
+        let mut spec = aes_lint_spec(&self.key);
+        spec.mem_init.push((MASKS_ADDR, LINT_MASKS.to_vec()));
+        spec.regions.push(LintRegion {
+            name: "M".into(),
+            addr: MASKS_ADDR,
+            len: MASK_BYTES as u32,
+            kind: RegionKind::Mask,
+        });
+        // The final unmask intentionally de-blinds the ciphertext: a
+        // public output by definition, released rather than laundered
+        // (taint still propagates through the span).
+        spec.release.push(ReleaseSpan {
+            start: "unmask".into(),
+            end: "premc".into(),
+        });
+        spec
     }
 }

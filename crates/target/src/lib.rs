@@ -29,6 +29,7 @@
 //! * [`portfolio`] — the registry the `portfolio` experiment binary
 //!   iterates.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -66,4 +67,4 @@ pub use speck::{
 pub use traits::{
     CipherTarget, InputCanonicalizer, ModelKind, SymbolVisit, TargetModel, WindowHint,
 };
-pub use window::{resolve_window, ResolvedWindow};
+pub use window::{resolve_window, static_window, ResolvedWindow};

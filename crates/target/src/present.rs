@@ -19,6 +19,7 @@
 //!   nibble S-box.
 
 use sca_isa::Program;
+use sca_lint::{LintRegion, LintSpec, RegionKind};
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use sca_analysis::SelectionFunction;
@@ -429,6 +430,48 @@ impl crate::CipherTarget for PresentTarget {
 
     fn primary_window(&self) -> crate::WindowHint {
         present_window()
+    }
+
+    fn lint_spec(&self) -> LintSpec {
+        let mut rk_bytes = Vec::with_capacity((PRESENT_ROUNDS + 1) * 8);
+        for rk in present_round_keys(&self.key) {
+            rk_bytes.extend_from_slice(&rk.to_be_bytes());
+        }
+        let (lo, hi) = present_spread_tables();
+        let words_le = |words: &[u32; 256]| {
+            let mut bytes = Vec::with_capacity(1024);
+            for w in words {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            bytes
+        };
+        LintSpec {
+            mem_init: vec![
+                (PRESENT_SP_ADDR, present_sp_table().to_vec()),
+                (PRESENT_PLO_ADDR, words_le(&lo)),
+                (PRESENT_PHI_ADDR, words_le(&hi)),
+                (PRESENT_RK_ADDR, rk_bytes),
+                (
+                    PRESENT_STATE_ADDR,
+                    vec![0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe],
+                ),
+            ],
+            regions: vec![
+                LintRegion {
+                    name: "K".into(),
+                    addr: PRESENT_RK_ADDR,
+                    len: ((PRESENT_ROUNDS + 1) * 8) as u32,
+                    kind: RegionKind::Secret,
+                },
+                LintRegion {
+                    name: "PT".into(),
+                    addr: PRESENT_STATE_ADDR,
+                    len: 8,
+                    kind: RegionKind::Input,
+                },
+            ],
+            ..LintSpec::default()
+        }
     }
 }
 

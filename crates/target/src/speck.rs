@@ -18,6 +18,7 @@
 //! * the two attack models ([`SpeckLastRoundHw`], [`SpeckStoreHd`]).
 
 use sca_isa::Program;
+use sca_lint::{LintRegion, LintSpec, RegionKind};
 use sca_uarch::{Cpu, NullObserver, PipelineObserver, UarchConfig, UarchError};
 
 use sca_analysis::SelectionFunction;
@@ -402,6 +403,34 @@ impl crate::CipherTarget for SpeckTarget {
 
     fn primary_window(&self) -> crate::WindowHint {
         speck_window()
+    }
+
+    fn lint_spec(&self) -> LintSpec {
+        let mut rk_bytes = Vec::with_capacity(SPECK_ROUNDS * 4);
+        for rk in speck_round_keys(&self.key) {
+            rk_bytes.extend_from_slice(&rk.to_le_bytes());
+        }
+        // The designers' test-vector plaintext: varied bytes, so the
+        // concrete pair rules see non-trivial transitions.
+        let pt = *b"\x74\x65\x72\x3b\x2d\x43\x75\x74";
+        LintSpec {
+            mem_init: vec![(SPECK_RK_ADDR, rk_bytes), (SPECK_STATE_ADDR, pt.to_vec())],
+            regions: vec![
+                LintRegion {
+                    name: "K".into(),
+                    addr: SPECK_RK_ADDR,
+                    len: (SPECK_ROUNDS * 4) as u32,
+                    kind: RegionKind::Secret,
+                },
+                LintRegion {
+                    name: "PT".into(),
+                    addr: SPECK_STATE_ADDR,
+                    len: 8,
+                    kind: RegionKind::Input,
+                },
+            ],
+            ..LintSpec::default()
+        }
     }
 }
 

@@ -265,4 +265,12 @@ pub trait CipherTarget: Send + Sync {
     /// The window TVLA and the per-component characterization analyze
     /// (usually the primary HD model's window).
     fn primary_window(&self) -> WindowHint;
+
+    /// What the static leakage linter (`sca-lint`) needs to know about
+    /// this target: the canonical concrete staging of its memory
+    /// contract (tables, round keys, one representative plaintext and
+    /// mask draw), the taint labelling of the secret / input / mask
+    /// regions, and any diagnostic-release spans where the program
+    /// intentionally de-blinds public outputs.
+    fn lint_spec(&self) -> sca_lint::LintSpec;
 }

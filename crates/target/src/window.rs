@@ -1,6 +1,7 @@
-//! Resolving symbol-level [`WindowHint`]s into cycle windows.
+//! Resolving symbol-level [`WindowHint`]s into cycle windows — and,
+//! for the static linter, into instruction-address windows.
 
-use sca_isa::Insn;
+use sca_isa::{decode, Insn, InsnKind, Program};
 use sca_uarch::{Cpu, PipelineObserver};
 
 use crate::{CipherTarget, SymbolVisit, TargetError, WindowError, WindowHint};
@@ -104,4 +105,62 @@ pub fn resolve_window(
         trigger_relative: (start, end - start),
         absolute: (t0 + start, t0 + end),
     })
+}
+
+/// Resolves a [`WindowHint`] into a *static* instruction-address window
+/// `[start, end)` over the program text — where the hint's dynamic
+/// cycle window retires — so the differential validation can join the
+/// dynamic Table-2 characterization against `sca-lint` diagnostics
+/// (which carry instruction addresses) without running the simulator.
+///
+/// Symbols resolve directly; the hint's cycle slacks convert at one
+/// instruction per cycle (a superset on a dual-issue core, which only
+/// retires *faster*). Visit counts cannot be resolved statically, so
+/// whenever the hint needs dynamic context — it revisits a loop label
+/// (`end.visit > 0`), anchors at the trigger edge (where the end symbol
+/// heads the traced loop), or resolves empty — the end widens to the
+/// enclosing loop: the first backward non-link branch at or after the
+/// end symbol whose target is at or before it, inclusive.
+///
+/// Returns `None` if a symbol is missing, no `trig #1` exists for a
+/// trigger-anchored hint, or the window still resolves empty.
+pub fn static_window(program: &Program, hint: &WindowHint) -> Option<(u32, u32)> {
+    let base = program.base();
+    let limit = base + program.len_bytes();
+    let start = match &hint.start {
+        Some(at) => program
+            .symbol(&at.symbol)?
+            .saturating_sub(u32::try_from(hint.lead).ok()?.saturating_mul(4))
+            .max(base),
+        None => program.words().iter().enumerate().find_map(|(i, &w)| {
+            matches!(decode(w).ok()?.kind, InsnKind::Trig { high: true })
+                .then(|| base + 4 * i as u32)
+        })?,
+    };
+    let end_sym = program.symbol(&hint.end.symbol)?;
+    let mut end = end_sym
+        .saturating_add(u32::try_from(hint.tail).ok()?.saturating_mul(4))
+        .min(limit);
+    if hint.end.visit > 0 || hint.start.is_none() || end <= start {
+        let mut addr = end_sym;
+        while addr < limit {
+            if let Ok(insn) = program.insn_at(addr) {
+                if let InsnKind::Branch {
+                    link: false,
+                    offset,
+                } = insn.kind
+                {
+                    let target = addr
+                        .wrapping_add(4)
+                        .wrapping_add((offset as u32).wrapping_mul(4));
+                    if target <= end_sym {
+                        end = end.max(addr + 4);
+                        break;
+                    }
+                }
+            }
+            addr += 4;
+        }
+    }
+    (end > start).then_some((start, end))
 }

@@ -36,6 +36,8 @@
 //! server additionally owns a private `Registry` instance so that
 //! several servers in one test process keep separate books.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};

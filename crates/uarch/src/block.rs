@@ -572,15 +572,12 @@ impl CpuBlock {
             self.stats.count_stall(StallCause::Frontend);
             return Ok(());
         }
-        let older = match head.insn {
-            Ok(insn) => insn,
-            // The scalar path faults here; faults are per-trace business,
-            // so the block bows out and lets the fallback surface them.
-            Err(_) => {
-                return Err(Divergence {
-                    reason: "undecodable instruction reached issue",
-                })
-            }
+        // The scalar path faults here; faults are per-trace business,
+        // so the block bows out and lets the fallback surface them.
+        let Ok(older) = head.insn else {
+            return Err(Divergence {
+                reason: "undecodable instruction reached issue",
+            });
         };
         if let Some(cause) = self.issue_blocker(&older) {
             self.stats.count_stall(cause);

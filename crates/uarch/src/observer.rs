@@ -82,8 +82,7 @@ impl RecordingObserver {
             .triggers
             .iter()
             .find(|(c, high)| !*high && *c >= start)
-            .map(|(c, _)| *c)
-            .unwrap_or(u64::MAX);
+            .map_or(u64::MAX, |(c, _)| *c);
         self.events
             .iter()
             .copied()

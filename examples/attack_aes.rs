@@ -12,7 +12,7 @@ use superscalar_sca::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = *b"\x13\x37\xc0\xde\xca\xfe\xba\xbe\x00\x11\x22\x33\x44\x55\x66\x77";
-    println!("victim key (pretend we don't know it): {:02x?}\n", key);
+    println!("victim key (pretend we don't know it): {key:02x?}\n");
 
     // Build the victim: AES-128 on the simulated Cortex-A7, caches warm.
     let sim = AesSim::new(UarchConfig::cortex_a7(), &key)?;

@@ -23,6 +23,7 @@
 //! | [`server`] | `sca-server` | multi-tenant campaign service: fair-share slice scheduling, store-backed dedup, streamed verdicts |
 //! | [`osnoise`] | `sca-osnoise` | scheduler/workload/jitter environment models |
 //! | [`sched`] | `sca-sched` | countermeasure scheduling: share-distance scrubs, lane pinning |
+//! | [`lint`] | `sca-lint` | static secret-taint leakage linter, cross-validated against the dynamic characterization |
 //! | [`core`] | `sca-core` | CPI characterization, Table 2 benchmarks, leakage audit |
 //! | [`telemetry`] | `sca-telemetry` | always-on work counters, span phase timing, metric exporters |
 //!
@@ -51,6 +52,7 @@
 //! `EXPERIMENTS.md` at the repository root for the index and the
 //! paper-versus-measured comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Instruction-set substrate (re-export of `sca-isa`).
@@ -87,6 +89,14 @@ pub mod aes {
 /// lane pinning (re-export of `sca-sched`).
 pub mod sched {
     pub use sca_sched::*;
+}
+
+/// Static secret-taint leakage linter: rule-based predictions of the
+/// paper's pipeline leakage nodes from the program text alone,
+/// cross-validated against the dynamic characterization (re-export of
+/// `sca-lint`).
+pub mod lint {
+    pub use sca_lint::*;
 }
 
 /// The cipher-target portfolio: the `CipherTarget` trait, the

@@ -44,7 +44,7 @@ fn synthesizer(seed: u64) -> TraceSynthesizer {
 #[test]
 fn block_synthesis_matches_scalar_per_target_and_lane_count() {
     let uarch = UarchConfig::cortex_a7();
-    for target in portfolio().iter() {
+    for target in &portfolio() {
         let target = target.as_ref();
         let template = target.build(&uarch).expect("target builds");
         let entry = target.program().entry();
@@ -212,7 +212,7 @@ fn campaign_results_are_lane_count_invariant() {
 #[test]
 fn characterization_is_lane_count_invariant() {
     let uarch = UarchConfig::cortex_a7();
-    for target in portfolio().iter() {
+    for target in &portfolio() {
         let target = target.as_ref();
         let template = target.build(&uarch).expect("target builds");
         let models = target.models();

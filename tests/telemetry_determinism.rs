@@ -134,7 +134,7 @@ proptest! {
         seed in 0u64..1_000_000,
         traces in 24usize..64,
     ) {
-        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let (cpu, entry) = fixture();
         let mut runs = Vec::new();
         for threads in [1usize, 4] {
@@ -175,7 +175,9 @@ proptest! {
 /// cache-pressure-dependent, so they stay off the allowlist.)
 #[test]
 fn stored_campaigns_write_identical_work_counters() {
-    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (cpu, entry) = fixture();
     let base = std::env::temp_dir().join(format!("sca_telemetry_det_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
